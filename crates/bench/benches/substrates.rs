@@ -1,0 +1,123 @@
+//! E11 — substrate microbenchmarks: field ops, Reed–Solomon robust
+//! decoding, reliable broadcast, binary agreement (common vs local coin —
+//! the DESIGN.md coin ablation), AVSS, and one MPC multiplication.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mediator_bcast::harness::{Behavior, Net};
+use mediator_bcast::{AbaState, CoinSource, IdealCoin, LocalCoin, RbcState};
+use mediator_field::{rs, Fp, Poly};
+use mediator_vss::avss;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_field(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field");
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fp::random(&mut rng);
+    let b = Fp::random_nonzero(&mut rng);
+    g.bench_function("mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("inv", |bch| bch.iter(|| black_box(b).inv().unwrap()));
+    let poly = Poly::random_with_secret(a, 8, &mut rng);
+    g.bench_function("poly_eval_deg8", |bch| bch.iter(|| poly.eval(black_box(b))));
+    g.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed-solomon");
+    let mut rng = StdRng::seed_from_u64(2);
+    for (deg, e, n) in [(2usize, 2usize, 9usize), (4, 4, 17)] {
+        let p = Poly::random_with_secret(Fp::new(5), deg, &mut rng);
+        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+        for pt in pts.iter_mut().take(e) {
+            pt.1 += Fp::new(77);
+        }
+        g.bench_function(format!("decode_deg{deg}_e{e}_n{n}"), |bch| {
+            bch.iter(|| rs::decode_robust(black_box(&pts), deg, e).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn run_rbc(n: usize, t: usize, seed: u64) -> u64 {
+    let mut states: Vec<RbcState<u64>> = (0..n).map(|_| RbcState::new(n, t, 0)).collect();
+    let behavior: Behavior<_> = Box::new(|_, _, _| Vec::new());
+    let mut net = Net::new(n, vec![], seed, behavior);
+    let batch = states[0].start(42);
+    net.push_batch(0, batch);
+    net.run(|to, from, msg, sink| {
+        let (out, _) = states[to].on_message(from, msg);
+        sink.push_batch(to, out);
+    });
+    net.delivered
+}
+
+fn run_aba(n: usize, t: usize, seed: u64, local: bool) -> u64 {
+    let mut states: Vec<AbaState> = (0..n)
+        .map(|i| {
+            let coin: Box<dyn CoinSource> = if local {
+                Box::new(LocalCoin::new(100 + i as u64))
+            } else {
+                Box::new(IdealCoin::new(9))
+            };
+            AbaState::new(n, t, 0, coin)
+        })
+        .collect();
+    let behavior: Behavior<_> = Box::new(|_, _, _| Vec::new());
+    let mut net = Net::new(n, vec![], seed, behavior);
+    for (i, s) in states.iter_mut().enumerate() {
+        let batch = s.start(i % 2 == 0);
+        net.push_batch(i, batch);
+    }
+    net.run(|to, from, msg, sink| {
+        let (out, _) = states[to].on_message(from, msg);
+        sink.push_batch(to, out);
+    });
+    net.delivered
+}
+
+fn bench_agreement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agreement");
+    g.sample_size(20);
+    g.bench_function("rbc_n7", |bch| {
+        let mut seed = 0;
+        bch.iter(|| {
+            seed += 1;
+            run_rbc(7, 2, seed)
+        })
+    });
+    g.bench_function("aba_n7_common_coin", |bch| {
+        let mut seed = 0;
+        bch.iter(|| {
+            seed += 1;
+            run_aba(7, 2, seed, false)
+        })
+    });
+    g.bench_function("aba_n7_local_coin", |bch| {
+        let mut seed = 0;
+        bch.iter(|| {
+            seed += 1;
+            run_aba(7, 2, seed, true)
+        })
+    });
+    g.finish();
+}
+
+fn bench_avss(c: &mut Criterion) {
+    let mut g = c.benchmark_group("avss");
+    g.sample_size(20);
+    g.bench_function("deal_n9_f2_vec8", |bch| {
+        bch.iter_batched(
+            || StdRng::seed_from_u64(3),
+            |mut rng| {
+                let secrets: Vec<Fp> = (0..8).map(|_| Fp::random(&mut rng)).collect();
+                avss::deal(&secrets, 9, 2, &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_field, bench_rs, bench_agreement, bench_avss);
+criterion_main!(benches);

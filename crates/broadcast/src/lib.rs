@@ -1,0 +1,37 @@
+//! Asynchronous broadcast and agreement primitives: the BCG/BKR substrate.
+//!
+//! The cheap-talk constructions (Theorems 4.1–4.5) run secure multiparty
+//! computation in the style of Ben-Or–Canetti–Goldreich '93 and
+//! Ben-Or–Kelmer–Rabin '94, which are built from three primitives, all
+//! implemented here as **sans-IO state machines** (pure transition functions
+//! returning outgoing messages), so they can be unit-tested standalone and
+//! composed inside the MPC engine:
+//!
+//! * [`rbc`] — Bracha reliable broadcast (`t < n/3`): if the dealer is
+//!   honest everyone delivers its value; if any honest player delivers `v`,
+//!   every honest player delivers `v`.
+//! * [`aba`] — randomized binary Byzantine agreement (`t < n/3`), in the
+//!   Mostéfaoui–Moumen–Raynal style (BV-broadcast + common coin), with a
+//!   Bracha-style termination gadget. The coin is pluggable ([`coin`]):
+//!   an ideal setup coin (substituting BCG's AVSS-based coin — see
+//!   DESIGN.md) or purely local coins for the ablation experiment.
+//! * [`acs`] — BKR agreement on a common subset: every honest player ends
+//!   with the *same* set of ≥ n−t parties whose broadcasts all honest
+//!   players have delivered. This is what makes "wait for n−t inputs"
+//!   consistent across honest players in the input phase of the MPC.
+//!
+//! [`harness`] is a deterministic single-threaded driver used by this
+//! crate's tests and reused by the VSS/MPC crates' tests.
+
+pub mod aba;
+pub mod acs;
+pub mod coin;
+pub mod harness;
+pub mod outgoing;
+pub mod rbc;
+
+pub use aba::{AbaMsg, AbaState};
+pub use acs::{AcsMsg, AcsState};
+pub use coin::{CoinSource, IdealCoin, LocalCoin};
+pub use outgoing::{Dest, Outgoing};
+pub use rbc::{RbcMsg, RbcState};

@@ -1,0 +1,278 @@
+//! Circuit representation, evaluation, and metrics.
+
+use mediator_field::Fp;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Index of a wire (= index of the gate producing it).
+pub type WireId = usize;
+
+/// One gate of an arithmetic circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gate {
+    /// The `index`-th private input of `player`.
+    Input { player: usize, index: usize },
+    /// A uniformly random field element (jointly generated under MPC).
+    Rand,
+    /// A fair random bit, as a field element in `{0, 1}`.
+    RandBit,
+    /// A constant.
+    Const(Fp),
+    /// Addition of two wires.
+    Add(WireId, WireId),
+    /// Subtraction of two wires.
+    Sub(WireId, WireId),
+    /// Multiplication of two wires (the expensive gate under MPC).
+    Mul(WireId, WireId),
+    /// Multiplication by a public constant (cheap under MPC).
+    MulConst(WireId, Fp),
+}
+
+/// An arithmetic circuit with per-player private inputs and outputs.
+///
+/// Build with [`CircuitBuilder`](crate::CircuitBuilder); evaluate with
+/// [`Circuit::eval`] (fresh coins) or [`Circuit::eval_with_coins`]
+/// (deterministic replay, used by the minimally-informative mediator's
+/// simulation step).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Circuit {
+    pub(crate) num_players: usize,
+    pub(crate) inputs_per_player: Vec<usize>,
+    pub(crate) gates: Vec<Gate>,
+    /// `(player, wire)` pairs: `player` privately learns `wire`.
+    pub(crate) outputs: Vec<(usize, WireId)>,
+}
+
+/// The result of evaluating a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluation {
+    /// `outputs[p]` = the values privately delivered to player `p`, in
+    /// declaration order.
+    pub outputs: Vec<Vec<Fp>>,
+    /// The coins drawn for [`Gate::Rand`] gates, in gate order.
+    pub coins: Vec<Fp>,
+    /// The coins drawn for [`Gate::RandBit`] gates, in gate order.
+    pub coin_bits: Vec<bool>,
+}
+
+impl Circuit {
+    /// Number of players.
+    pub fn num_players(&self) -> usize {
+        self.num_players
+    }
+
+    /// Number of private inputs each player provides.
+    pub fn inputs_per_player(&self) -> &[usize] {
+        &self.inputs_per_player
+    }
+
+    /// The gates, in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The `(player, wire)` output declarations.
+    pub fn outputs(&self) -> &[(usize, WireId)] {
+        &self.outputs
+    }
+
+    /// Total gate count — the paper's `c`.
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of multiplication gates (the dominant MPC cost).
+    pub fn mul_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::Mul(_, _))).count()
+    }
+
+    /// Number of `Rand` gates.
+    pub fn rand_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::Rand)).count()
+    }
+
+    /// Number of `RandBit` gates.
+    pub fn rand_bit_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::RandBit)).count()
+    }
+
+    /// Multiplicative depth (longest chain of `Mul` gates).
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            d[i] = match *g {
+                Gate::Input { .. } | Gate::Rand | Gate::RandBit | Gate::Const(_) => 0,
+                Gate::Add(a, b) | Gate::Sub(a, b) => d[a].max(d[b]),
+                Gate::Mul(a, b) => d[a].max(d[b]) + 1,
+                Gate::MulConst(a, _) => d[a],
+            };
+        }
+        d.into_iter().max().unwrap_or(0)
+    }
+
+    /// Evaluates with fresh coins from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` does not match the declared input arity.
+    pub fn eval<R: Rng + ?Sized>(&self, inputs: &[Vec<Fp>], rng: &mut R) -> Evaluation {
+        let coins: Vec<Fp> = (0..self.rand_count()).map(|_| Fp::random(rng)).collect();
+        let coin_bits: Vec<bool> = (0..self.rand_bit_count()).map(|_| rng.gen()).collect();
+        self.eval_with_coins(inputs, &coins, &coin_bits)
+    }
+
+    /// Evaluates with explicit coins (deterministic replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities do not match the circuit declaration.
+    pub fn eval_with_coins(
+        &self,
+        inputs: &[Vec<Fp>],
+        coins: &[Fp],
+        coin_bits: &[bool],
+    ) -> Evaluation {
+        assert_eq!(inputs.len(), self.num_players, "wrong number of input vectors");
+        for (p, iv) in inputs.iter().enumerate() {
+            assert_eq!(
+                iv.len(),
+                self.inputs_per_player[p],
+                "player {p}: wrong input arity"
+            );
+        }
+        assert_eq!(coins.len(), self.rand_count(), "wrong number of coins");
+        assert_eq!(coin_bits.len(), self.rand_bit_count(), "wrong number of coin bits");
+
+        let mut values = Vec::with_capacity(self.gates.len());
+        let mut ci = 0usize;
+        let mut cbi = 0usize;
+        for g in &self.gates {
+            let v = match *g {
+                Gate::Input { player, index } => inputs[player][index],
+                Gate::Rand => {
+                    let v = coins[ci];
+                    ci += 1;
+                    v
+                }
+                Gate::RandBit => {
+                    let v = if coin_bits[cbi] { Fp::ONE } else { Fp::ZERO };
+                    cbi += 1;
+                    v
+                }
+                Gate::Const(c) => c,
+                Gate::Add(a, b) => values[a] + values[b],
+                Gate::Sub(a, b) => values[a] - values[b],
+                Gate::Mul(a, b) => values[a] * values[b],
+                Gate::MulConst(a, c) => values[a] * c,
+            };
+            values.push(v);
+        }
+        let mut outputs = vec![Vec::new(); self.num_players];
+        for &(p, w) in &self.outputs {
+            outputs[p].push(values[w]);
+        }
+        Evaluation {
+            outputs,
+            coins: coins.to_vec(),
+            coin_bits: coin_bits.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sum_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(2, &[1, 1]);
+        let x = b.input(0, 0);
+        let y = b.input(1, 0);
+        let s = b.add(x, y);
+        b.output(0, s);
+        b.output(1, s);
+        b.build()
+    }
+
+    #[test]
+    fn eval_sum() {
+        let c = sum_circuit();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = c.eval(&[vec![Fp::new(4)], vec![Fp::new(5)]], &mut rng);
+        assert_eq!(out.outputs[0], vec![Fp::new(9)]);
+        assert_eq!(out.outputs[1], vec![Fp::new(9)]);
+    }
+
+    #[test]
+    fn metrics() {
+        let c = sum_circuit();
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.mul_count(), 0);
+        assert_eq!(c.depth(), 0);
+
+        let mut b = CircuitBuilder::new(1, &[2]);
+        let x = b.input(0, 0);
+        let y = b.input(0, 1);
+        let m1 = b.mul(x, y);
+        let m2 = b.mul(m1, x);
+        let r = b.rand();
+        let s = b.add(m2, r);
+        b.output(0, s);
+        let c = b.build();
+        assert_eq!(c.mul_count(), 2);
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.rand_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_replay_with_coins() {
+        let mut b = CircuitBuilder::new(1, &[0]);
+        let r = b.rand();
+        let bit = b.rand_bit();
+        let s = b.add(r, bit);
+        b.output(0, s);
+        let c = b.build();
+        let out = c.eval_with_coins(&[vec![]], &[Fp::new(100)], &[true]);
+        assert_eq!(out.outputs[0], vec![Fp::new(101)]);
+        let out2 = c.eval_with_coins(&[vec![]], &[Fp::new(100)], &[false]);
+        assert_eq!(out2.outputs[0], vec![Fp::new(100)]);
+    }
+
+    #[test]
+    fn eval_records_the_coins_it_drew() {
+        let mut b = CircuitBuilder::new(1, &[0]);
+        let r = b.rand();
+        b.output(0, r);
+        let c = b.build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = c.eval(&[vec![]], &mut rng);
+        assert_eq!(out.outputs[0], vec![out.coins[0]]);
+        // Replaying the recorded coins reproduces the run.
+        let replay = c.eval_with_coins(&[vec![]], &out.coins, &out.coin_bits);
+        assert_eq!(replay.outputs, out.outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input arity")]
+    fn arity_mismatch_panics() {
+        let c = sum_circuit();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = c.eval(&[vec![], vec![Fp::ONE]], &mut rng);
+    }
+
+    #[test]
+    fn sub_and_mulconst() {
+        let mut b = CircuitBuilder::new(1, &[2]);
+        let x = b.input(0, 0);
+        let y = b.input(0, 1);
+        let d = b.sub(x, y);
+        let e = b.mul_const(d, Fp::new(10));
+        b.output(0, e);
+        let c = b.build();
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = c.eval(&[vec![Fp::new(7), Fp::new(3)]], &mut rng);
+        assert_eq!(out.outputs[0], vec![Fp::new(40)]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for circuit gadgets: boolean identities over all
+//! bit assignments, lookup-table correctness over random functions, and
+//! evaluation/replay determinism.
+
+use mediator_circuits::{Circuit, CircuitBuilder};
+use mediator_field::Fp;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eval1(c: &Circuit, inputs: &[Vec<Fp>], seed: u64) -> Fp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    c.eval(inputs, &mut rng).outputs.concat()[0]
+}
+
+proptest! {
+    /// XOR/AND/OR/NOT compose correctly on arbitrary 3-bit formulas:
+    /// (a XOR b) OR (NOT c AND a) checked against the boolean reference.
+    #[test]
+    fn boolean_formula_matches_reference(a in 0u64..2, b in 0u64..2, c in 0u64..2) {
+        let mut bld = CircuitBuilder::new(1, &[3]);
+        let wa = bld.input(0, 0);
+        let wb = bld.input(0, 1);
+        let wc = bld.input(0, 2);
+        let x = bld.xor(wa, wb);
+        let nc = bld.not(wc);
+        let y = bld.and(nc, wa);
+        let z = bld.or(x, y);
+        bld.output(0, z);
+        let circuit = bld.build();
+        let got = eval1(&circuit, &[vec![Fp::new(a), Fp::new(b), Fp::new(c)]], 0);
+        let expect = ((a ^ b) | ((1 - c) & a)) & 1;
+        prop_assert_eq!(got, Fp::new(expect));
+    }
+
+    /// `lookup` reproduces arbitrary functions over small domains.
+    #[test]
+    fn lookup_reproduces_random_tables(values in proptest::collection::vec(any::<u64>(), 5), x in 0u64..5) {
+        let mut bld = CircuitBuilder::new(1, &[1]);
+        let wx = bld.input(0, 0);
+        let table: Vec<Fp> = values.iter().map(|&v| Fp::new(v)).collect();
+        let y = bld.lookup(wx, &[0, 1, 2, 3, 4], &table);
+        bld.output(0, y);
+        let circuit = bld.build();
+        let got = eval1(&circuit, &[vec![Fp::new(x)]], 0);
+        prop_assert_eq!(got, table[x as usize]);
+    }
+
+    /// `select` equals the ternary operator for arbitrary field values.
+    #[test]
+    fn select_is_ternary(bit in 0u64..2, x in any::<u64>(), y in any::<u64>()) {
+        let mut bld = CircuitBuilder::new(1, &[3]);
+        let wb = bld.input(0, 0);
+        let wx = bld.input(0, 1);
+        let wy = bld.input(0, 2);
+        let s = bld.select(wb, wx, wy);
+        bld.output(0, s);
+        let circuit = bld.build();
+        let got = eval1(&circuit, &[vec![Fp::new(bit), Fp::new(x), Fp::new(y)]], 0);
+        let expect = if bit == 1 { Fp::new(x) } else { Fp::new(y) };
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Majority over arbitrary bit vectors (n up to 7) matches counting.
+    #[test]
+    fn majority_matches_popcount(bits in proptest::collection::vec(0u64..2, 1..8)) {
+        let n = bits.len();
+        let mut bld = CircuitBuilder::new(1, &[n]);
+        let ws: Vec<_> = (0..n).map(|i| bld.input(0, i)).collect();
+        let m = bld.majority(&ws);
+        bld.output(0, m);
+        let circuit = bld.build();
+        let input: Vec<Fp> = bits.iter().map(|&b| Fp::new(b)).collect();
+        let got = eval1(&circuit, &[input], 0);
+        let ones: usize = bits.iter().map(|&b| b as usize).sum();
+        let expect = if 2 * ones > n { Fp::ONE } else { Fp::ZERO };
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Coins recorded by one evaluation replay to the identical outputs.
+    #[test]
+    fn record_replay_determinism(seed in any::<u64>(), x in any::<u64>()) {
+        let mut bld = CircuitBuilder::new(1, &[1]);
+        let wx = bld.input(0, 0);
+        let r = bld.rand();
+        let b = bld.rand_bit();
+        let s1 = bld.add(wx, r);
+        let s2 = bld.add(s1, b);
+        bld.output(0, s2);
+        let circuit = bld.build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = circuit.eval(&[vec![Fp::new(x)]], &mut rng);
+        let replay = circuit.eval_with_coins(&[vec![Fp::new(x)]], &first.coins, &first.coin_bits);
+        prop_assert_eq!(first.outputs, replay.outputs);
+    }
+
+    /// Gate-count metrics are consistent: size ≥ mul_count + rand counts.
+    #[test]
+    fn metrics_are_consistent(width in 1usize..4, depth in 0usize..4) {
+        let c = mediator_circuits::catalog::work_circuit(3, width, depth);
+        prop_assert!(c.size() >= c.mul_count());
+        prop_assert_eq!(c.mul_count(), width * depth);
+        prop_assert_eq!(c.depth(), depth);
+    }
+}

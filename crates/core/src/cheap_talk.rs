@@ -1,0 +1,583 @@
+//! Cheap-talk games: the mediator replaced by asynchronous MPC.
+//!
+//! `CheapTalkPlayer` embeds the MPC engine into a `mediator-sim` process.
+//! The four theorem parameterizations:
+//!
+//! | Theorem | `CtVariant` | threshold | extras |
+//! |---------|-------------|-----------|--------|
+//! | 4.1 | `Robust` | `n > 4(k+t)` | none |
+//! | 4.2 | `Epsilon{κ}` | `n > 3(k+t)` | ε-detection, abort → default move |
+//! | 4.4 | `Robust` + `punishment` + `barrier` | `n > 3k+4t` | wills carry the punishment; cotermination barrier |
+//! | 4.5 | `Epsilon{κ}` + `punishment` | `n > 2k+3t` | both |
+//!
+//! Infinite-play semantics: with `punishment = Some(ρ)` the player writes
+//! `ρ_i` into its will at start (the Aumann–Hart executor plays it on
+//! deadlock); without wills, the caller resolves un-moved players with the
+//! game's default moves (`Outcome::resolve_default`).
+//!
+//! The cotermination barrier (Definition 5.3): after decoding its action, a
+//! player broadcasts `Finished` and only moves once `n − (k+t)` players have
+//! done so — so either all honest players move, or none do (and every will
+//! fires), never a harmful mix.
+
+use crate::deviations::Behavior;
+use mediator_bcast::Dest;
+use mediator_circuits::Circuit;
+use mediator_field::Fp;
+use mediator_mpc::{Mode, MpcConfig, MpcEngine, MpcEvent, MpcMsg};
+use mediator_sim::{Action, Ctx, Outcome, Process, ProcessId, SchedulerKind, World};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Which theorem's machinery to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtVariant {
+    /// Theorem 4.1: full robustness, `n > 4(k+t)`.
+    Robust,
+    /// Theorems 4.2/4.5: detection with `kappa` cut-and-choose checks.
+    Epsilon {
+        /// Cut-and-choose checks per dealer.
+        kappa: usize,
+    },
+}
+
+/// Wire messages of the cheap-talk game.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtMsg {
+    /// An MPC engine message.
+    Mpc(MpcMsg),
+    /// Cotermination barrier vote: "I have my action".
+    Finished,
+}
+
+/// Specification of a cheap-talk execution.
+#[derive(Clone)]
+pub struct CheapTalkSpec {
+    /// Number of players.
+    pub n: usize,
+    /// Rational-coalition bound.
+    pub k: usize,
+    /// Malicious bound.
+    pub t: usize,
+    /// Engine variant.
+    pub variant: CtVariant,
+    /// The mediator circuit being simulated.
+    pub circuit: Arc<Circuit>,
+    /// Shared setup seed (ABA coins, detection challenges).
+    pub coin_seed: u64,
+    /// Default circuit inputs for excluded players.
+    pub defaults: Vec<Vec<Fp>>,
+    /// Punishment actions for the wills (Theorems 4.4/4.5); `None` = no
+    /// wills (Theorems 4.1/4.2).
+    pub punishment: Option<Vec<Action>>,
+    /// Default moves (`M_i`) used when the engine aborts without wills.
+    pub default_actions: Vec<Action>,
+    /// Enable the t-cotermination barrier.
+    pub barrier: bool,
+}
+
+impl CheapTalkSpec {
+    /// The deviation budget `f = k + t`.
+    pub fn f(&self) -> usize {
+        self.k + self.t
+    }
+
+    /// Builds the engine configuration for this spec.
+    pub fn mpc_config(&self) -> MpcConfig {
+        let f = self.f();
+        match self.variant {
+            CtVariant::Robust => MpcConfig::robust(self.n, f, self.coin_seed, self.defaults.clone()),
+            CtVariant::Epsilon { kappa } => MpcConfig {
+                n: self.n,
+                f,
+                t: self.t.max(1).min(f.max(1)),
+                mode: Mode::Epsilon { kappa },
+                coin_seed: self.coin_seed,
+                defaults: self.defaults.clone(),
+            },
+        }
+    }
+
+    /// A Theorem 4.1 spec.
+    pub fn theorem_4_1(
+        n: usize,
+        k: usize,
+        t: usize,
+        circuit: Circuit,
+        defaults: Vec<Vec<Fp>>,
+        default_actions: Vec<Action>,
+    ) -> Self {
+        CheapTalkSpec {
+            n,
+            k,
+            t,
+            variant: CtVariant::Robust,
+            circuit: Arc::new(circuit),
+            coin_seed: 0x5EED,
+            defaults,
+            punishment: None,
+            default_actions,
+            barrier: false,
+        }
+    }
+
+    /// A Theorem 4.2 spec (ε-implementation).
+    pub fn theorem_4_2(
+        n: usize,
+        k: usize,
+        t: usize,
+        kappa: usize,
+        circuit: Circuit,
+        defaults: Vec<Vec<Fp>>,
+        default_actions: Vec<Action>,
+    ) -> Self {
+        CheapTalkSpec {
+            variant: CtVariant::Epsilon { kappa },
+            ..CheapTalkSpec::theorem_4_1(n, k, t, circuit, defaults, default_actions)
+        }
+    }
+
+    /// A Theorem 4.4 spec (punishment wills + cotermination barrier).
+    pub fn theorem_4_4(
+        n: usize,
+        k: usize,
+        t: usize,
+        circuit: Circuit,
+        defaults: Vec<Vec<Fp>>,
+        punishment: Vec<Action>,
+        default_actions: Vec<Action>,
+    ) -> Self {
+        CheapTalkSpec {
+            punishment: Some(punishment),
+            barrier: true,
+            ..CheapTalkSpec::theorem_4_1(n, k, t, circuit, defaults, default_actions)
+        }
+    }
+
+    /// A Theorem 4.5 spec (ε + punishment).
+    #[allow(clippy::too_many_arguments)]
+    pub fn theorem_4_5(
+        n: usize,
+        k: usize,
+        t: usize,
+        kappa: usize,
+        circuit: Circuit,
+        defaults: Vec<Vec<Fp>>,
+        punishment: Vec<Action>,
+        default_actions: Vec<Action>,
+    ) -> Self {
+        CheapTalkSpec {
+            variant: CtVariant::Epsilon { kappa },
+            punishment: Some(punishment),
+            barrier: true,
+            ..CheapTalkSpec::theorem_4_1(n, k, t, circuit, defaults, default_actions)
+        }
+    }
+}
+
+/// One cheap-talk player: the honest strategy, with optional parameterized
+/// deviations ([`Behavior`]) so experiments can reuse the honest machinery.
+pub struct CheapTalkPlayer {
+    spec: CheapTalkSpec,
+    me: usize,
+    input: Vec<Fp>,
+    engine: Option<MpcEngine>,
+    behavior: Behavior,
+    sends: u64,
+    crashed: bool,
+    action: Option<Action>,
+    moved: bool,
+    finished: BTreeSet<ProcessId>,
+}
+
+impl CheapTalkPlayer {
+    /// An honest player.
+    pub fn honest(spec: CheapTalkSpec, me: usize, input: Vec<Fp>) -> Self {
+        CheapTalkPlayer::with_behavior(spec, me, input, Behavior::default())
+    }
+
+    /// A player with deviations switched on.
+    pub fn with_behavior(spec: CheapTalkSpec, me: usize, input: Vec<Fp>, behavior: Behavior) -> Self {
+        CheapTalkPlayer {
+            spec,
+            me,
+            input,
+            engine: None,
+            behavior,
+            sends: 0,
+            crashed: false,
+            action: None,
+            moved: false,
+            finished: BTreeSet::new(),
+        }
+    }
+
+    fn deliver_out(&mut self, batch: Vec<mediator_bcast::Outgoing<MpcMsg>>, ctx: &mut Ctx<CtMsg>) {
+        for o in batch {
+            // Opening/output lies: corrupt the values we emit.
+            let msg = if self.behavior.lie_in_opens {
+                match o.msg {
+                    MpcMsg::Open { id, value } => MpcMsg::Open { id, value: value + Fp::new(1_000_003) },
+                    MpcMsg::Output { idx, value } => {
+                        MpcMsg::Output { idx, value: value + Fp::new(1_000_003) }
+                    }
+                    other => other,
+                }
+            } else {
+                o.msg
+            };
+            match o.dest {
+                Dest::One(d) => self.send(d, CtMsg::Mpc(msg), ctx),
+                Dest::All => {
+                    for d in 0..self.spec.n {
+                        self.send(d, CtMsg::Mpc(msg.clone()), ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, dst: usize, msg: CtMsg, ctx: &mut Ctx<CtMsg>) {
+        if self.crashed {
+            return;
+        }
+        if let Some(limit) = self.behavior.crash_after_sends {
+            if self.sends >= limit {
+                self.crashed = true;
+                return;
+            }
+        }
+        self.sends += 1;
+        ctx.send(dst, msg);
+    }
+
+    fn handle_event(&mut self, ev: MpcEvent, ctx: &mut Ctx<CtMsg>) {
+        match ev {
+            MpcEvent::Done(outputs) => {
+                let action = outputs.first().map(|v| v.as_u64()).unwrap_or(0);
+                self.action = Some(action);
+                if self.behavior.refuse_to_move {
+                    // Rational deadlock play: never move, keep (or set) the
+                    // deviant will.
+                    ctx.halt();
+                    return;
+                }
+                if self.spec.barrier {
+                    for d in 0..self.spec.n {
+                        self.send(d, CtMsg::Finished, ctx);
+                    }
+                    self.try_finish(ctx);
+                } else {
+                    self.moved = true;
+                    ctx.make_move(action);
+                    ctx.halt();
+                }
+            }
+            MpcEvent::Aborted => {
+                if self.spec.punishment.is_some() {
+                    // The will (punishment) handles it: halt without moving.
+                    ctx.halt();
+                } else {
+                    ctx.make_move(self.spec.default_actions[self.me]);
+                    ctx.halt();
+                }
+            }
+            MpcEvent::CoreDecided(_) => {}
+        }
+    }
+
+    fn try_finish(&mut self, ctx: &mut Ctx<CtMsg>) {
+        if self.moved || self.action.is_none() {
+            return;
+        }
+        let quorum = self.spec.n - self.spec.f();
+        if self.finished.len() >= quorum {
+            self.moved = true;
+            ctx.make_move(self.action.expect("checked"));
+            ctx.halt();
+        }
+    }
+}
+
+impl Process<CtMsg> for CheapTalkPlayer {
+    fn on_start(&mut self, ctx: &mut Ctx<CtMsg>) {
+        if let Some(p) = &self.spec.punishment {
+            ctx.set_will(p[self.me]);
+        }
+        if let Some(w) = self.behavior.will_override {
+            ctx.set_will(w);
+        }
+        if self.behavior.silent {
+            ctx.halt();
+            return;
+        }
+        let mut engine = MpcEngine::new(self.spec.mpc_config(), self.spec.circuit.clone(), self.me);
+        let input = self.behavior.input_override.clone().unwrap_or_else(|| self.input.clone());
+        let batch = engine.start(&input, ctx.rng());
+        self.engine = Some(engine);
+        self.deliver_out(batch, ctx);
+    }
+
+    fn on_message(&mut self, src: ProcessId, msg: CtMsg, ctx: &mut Ctx<CtMsg>) {
+        match msg {
+            CtMsg::Mpc(m) => {
+                let Some(engine) = self.engine.as_mut() else { return };
+                let (batch, ev) = engine.on_message(src, m);
+                self.deliver_out(batch, ctx);
+                if let Some(ev) = ev {
+                    self.handle_event(ev, ctx);
+                }
+            }
+            CtMsg::Finished => {
+                self.finished.insert(src);
+                self.try_finish(ctx);
+            }
+        }
+    }
+}
+
+/// Runs one cheap-talk game with optional deviant behaviours per player.
+/// Returns the sim outcome; message counts and traces ride along.
+pub fn run_cheap_talk(
+    spec: &CheapTalkSpec,
+    inputs: &[Vec<Fp>],
+    behaviors: &BTreeMap<usize, Behavior>,
+    kind: &SchedulerKind,
+    seed: u64,
+    max_steps: u64,
+) -> Outcome {
+    let n = spec.n;
+    assert_eq!(inputs.len(), n);
+    let procs: Vec<Box<dyn Process<CtMsg>>> = (0..n)
+        .map(|p| {
+            let b = behaviors.get(&p).cloned().unwrap_or_default();
+            Box::new(CheapTalkPlayer::with_behavior(spec.clone(), p, inputs[p].clone(), b))
+                as Box<dyn Process<CtMsg>>
+        })
+        .collect();
+    let mut world = World::new(procs, seed);
+    // The fairness backstop: adversarial schedulers (LIFO in particular)
+    // may starve a prerequisite message behind a torrent of fresh protocol
+    // traffic; force-delivering after 2000 steps keeps runs near-linear
+    // while leaving plenty of room for genuinely adversarial reordering.
+    world.set_starvation_bound(2_000);
+    let mut sched = kind.build();
+    world.run(sched.as_mut(), max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mediator_circuits::catalog;
+
+    fn majority_spec(n: usize, k: usize, t: usize) -> CheapTalkSpec {
+        CheapTalkSpec::theorem_4_1(
+            n,
+            k,
+            t,
+            catalog::majority_circuit(n),
+            vec![vec![Fp::ZERO]; n],
+            vec![0; n],
+        )
+    }
+
+    #[test]
+    fn honest_cheap_talk_computes_majority() {
+        let n = 5; // k=1, t=0: n > 4 ✓
+        let spec = majority_spec(n, 1, 0);
+        let inputs: Vec<Vec<Fp>> = [1u64, 0, 1, 1, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
+        let out = run_cheap_talk(
+            &spec,
+            &inputs,
+            &BTreeMap::new(),
+            &SchedulerKind::Random,
+            42,
+            2_000_000,
+        );
+        let moves = out.resolve_default(&vec![9; n]);
+        assert_eq!(moves, vec![1; n]);
+    }
+
+    #[test]
+    fn silent_deviator_does_not_block_robust_protocol() {
+        let n = 5;
+        let spec = majority_spec(n, 1, 0);
+        let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
+        let mut behaviors = BTreeMap::new();
+        behaviors.insert(
+            3usize,
+            Behavior { silent: true, ..Behavior::default() },
+        );
+        let out = run_cheap_talk(
+            &spec,
+            &inputs,
+            &behaviors,
+            &SchedulerKind::Random,
+            7,
+            2_000_000,
+        );
+        for (p, m) in out.moves.iter().enumerate() {
+            if p != 3 {
+                assert_eq!(*m, Some(1), "player {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn opening_liar_is_corrected() {
+        let n = 5;
+        let spec = majority_spec(n, 1, 0);
+        let inputs: Vec<Vec<Fp>> =
+            [0u64, 0, 1, 0, 1].iter().map(|&b| vec![Fp::new(b)]).collect();
+        let mut behaviors = BTreeMap::new();
+        behaviors.insert(
+            2usize,
+            Behavior { lie_in_opens: true, ..Behavior::default() },
+        );
+        let out = run_cheap_talk(
+            &spec,
+            &inputs,
+            &behaviors,
+            &SchedulerKind::Random,
+            13,
+            4_000_000,
+        );
+        // Honest majority of (0,0,1,0,1) = 0 — the liar's input still counts
+        // (it dealt honestly) but its opening lies must be corrected.
+        for (p, m) in out.moves.iter().enumerate() {
+            if p != 2 {
+                assert_eq!(*m, Some(0), "player {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_gives_cotermination_under_crash() {
+        // Theorem 4.4 machinery: punishment wills + barrier. One player
+        // crashes mid-protocol; either everyone (honest) moves or nobody
+        // does — never a mix.
+        let n = 6; // k=1, t=0: n > 3k+4t = 3 ✓ (and > 4f for the engine)
+        let spec = CheapTalkSpec::theorem_4_4(
+            n,
+            1,
+            0,
+            catalog::majority_circuit(n),
+            vec![vec![Fp::ZERO]; n],
+            vec![5; n], // punishment action
+            vec![0; n],
+        );
+        let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
+        for seed in 0..5 {
+            let mut behaviors = BTreeMap::new();
+            behaviors.insert(
+                1usize,
+                Behavior { crash_after_sends: Some(40), ..Behavior::default() },
+            );
+            let out = run_cheap_talk(
+                &spec,
+                &inputs,
+                &behaviors,
+                &SchedulerKind::Random,
+                seed,
+                2_000_000,
+            );
+            let honest_moved: Vec<bool> = (0..n)
+                .filter(|&p| p != 1)
+                .map(|p| out.moves[p].is_some())
+                .collect();
+            let all = honest_moved.iter().all(|&b| b);
+            let none = honest_moved.iter().all(|&b| !b);
+            assert!(all || none, "cotermination violated, seed {seed}: {honest_moved:?}");
+            if none {
+                // Wills fire: everyone "plays" the punishment.
+                let resolved = out.resolve_ah(&vec![9; n]);
+                for (p, a) in resolved.iter().enumerate() {
+                    if p != 1 {
+                        assert_eq!(*a, 5, "punishment in will, player {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refuse_to_move_triggers_wills_of_nobody_else_with_barrier_quorum() {
+        // A single refusing player cannot stop the others: quorum is n−f.
+        let n = 6;
+        let spec = CheapTalkSpec::theorem_4_4(
+            n,
+            1,
+            0,
+            catalog::majority_circuit(n),
+            vec![vec![Fp::ZERO]; n],
+            vec![5; n],
+            vec![0; n],
+        );
+        let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
+        let mut behaviors = BTreeMap::new();
+        behaviors.insert(0usize, Behavior { refuse_to_move: true, ..Behavior::default() });
+        let out = run_cheap_talk(
+            &spec,
+            &inputs,
+            &behaviors,
+            &SchedulerKind::Random,
+            3,
+            2_000_000,
+        );
+        for p in 1..n {
+            assert_eq!(out.moves[p], Some(1), "player {p} must still move");
+        }
+    }
+
+    #[test]
+    fn epsilon_variant_honest_run() {
+        let n = 4; // k=0, t=1: n > 3 ✓
+        let spec = CheapTalkSpec::theorem_4_2(
+            n,
+            0,
+            1,
+            2,
+            catalog::majority_circuit(n),
+            vec![vec![Fp::ZERO]; n],
+            vec![0; n],
+        );
+        let inputs: Vec<Vec<Fp>> =
+            [1u64, 1, 1, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
+        let out = run_cheap_talk(
+            &spec,
+            &inputs,
+            &BTreeMap::new(),
+            &SchedulerKind::Random,
+            23,
+            2_000_000,
+        );
+        let moves = out.resolve_default(&vec![9; n]);
+        assert_eq!(moves, vec![1; n]);
+    }
+
+    #[test]
+    fn input_override_changes_the_outcome() {
+        // A lying input is *allowed* by the model (it is the player's own
+        // input); verify the machinery wires it through.
+        let n = 5;
+        let spec = majority_spec(n, 1, 0);
+        let inputs: Vec<Vec<Fp>> =
+            [1u64, 1, 0, 0, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
+        let mut behaviors = BTreeMap::new();
+        behaviors.insert(
+            2usize,
+            Behavior { input_override: Some(vec![Fp::ONE]), ..Behavior::default() },
+        );
+        let out = run_cheap_talk(
+            &spec,
+            &inputs,
+            &behaviors,
+            &SchedulerKind::Random,
+            31,
+            2_000_000,
+        );
+        // With the override the inputs become (1,1,1,0,0): majority 1.
+        let moves = out.resolve_default(&vec![9; n]);
+        assert_eq!(moves, vec![1; n]);
+    }
+}

@@ -1,0 +1,391 @@
+//! The deviation library and empirical robustness reports.
+//!
+//! Solution concepts over *extended* games quantify over all strategies —
+//! an infinite space. The paper's lower-bound companion exhibits specific
+//! attacks; experiments here do the analogous thing: a battery of
+//! parameterized deviations applied to the honest machinery, measuring the
+//! utility consequences for deviators (resilience) and bystanders
+//! (immunity). [`Behavior`] deviations plug into
+//! [`CheapTalkPlayer`](crate::cheap_talk::CheapTalkPlayer); the §6.4
+//! colluders are mediator-game processes.
+
+use crate::mediator::MedMsg;
+use mediator_field::Fp;
+use mediator_games::{library, BayesianGame};
+use mediator_sim::{Action, Ctx, Process, ProcessId};
+
+/// Parameterized deviations applied to the honest cheap-talk player.
+#[derive(Debug, Clone, Default)]
+pub struct Behavior {
+    /// Never participate at all (crash at start).
+    pub silent: bool,
+    /// Crash (stop sending) after this many messages.
+    pub crash_after_sends: Option<u64>,
+    /// Substitute this input for the real one.
+    pub input_override: Option<Vec<Fp>>,
+    /// Corrupt every opening/output point sent.
+    pub lie_in_opens: bool,
+    /// Decode the action but never move (force wills/deadlock).
+    pub refuse_to_move: bool,
+    /// Write this will instead of the honest one.
+    pub will_override: Option<Action>,
+}
+
+impl Behavior {
+    /// The honest behaviour.
+    pub fn honest() -> Self {
+        Behavior::default()
+    }
+
+    /// Named battery of deviations for robustness reports.
+    pub fn battery() -> Vec<(&'static str, Behavior)> {
+        vec![
+            ("silent", Behavior { silent: true, ..Default::default() }),
+            (
+                "crash-mid",
+                Behavior { crash_after_sends: Some(60), ..Default::default() },
+            ),
+            (
+                "lie-input",
+                Behavior { input_override: Some(vec![Fp::ONE]), ..Default::default() },
+            ),
+            ("lie-opens", Behavior { lie_in_opens: true, ..Default::default() }),
+            (
+                "refuse-move",
+                Behavior { refuse_to_move: true, ..Default::default() },
+            ),
+        ]
+    }
+}
+
+/// A process that never does anything (generic silent deviator).
+pub struct SilentProcess;
+
+impl<M> Process<M> for SilentProcess {
+    fn on_start(&mut self, ctx: &mut Ctx<M>) {
+        ctx.halt();
+    }
+    fn on_message(&mut self, _src: ProcessId, _msg: M, _ctx: &mut Ctx<M>) {}
+}
+
+/// The §6.4 rational colluder (mediator game): paired players of opposite
+/// parity who XOR their round-1 leaks to learn `b` early, then deadlock the
+/// naive mediator when `b = 0` (preferring the 1.1 punishment payoff to the
+/// 1.0 all-zeros payoff) and cooperate when `b = 1` (payoff 2).
+pub struct CounterexampleColluder {
+    n: usize,
+    partner: ProcessId,
+    my_leak: Option<u64>,
+    partner_leak: Option<u64>,
+    input: Vec<Fp>,
+    acked: bool,
+}
+
+impl CounterexampleColluder {
+    /// Creates a colluder whose gossip partner is `partner`.
+    pub fn new(n: usize, partner: ProcessId) -> Self {
+        CounterexampleColluder {
+            n,
+            partner,
+            my_leak: None,
+            partner_leak: None,
+            input: Vec::new(),
+            acked: false,
+        }
+    }
+
+    fn mediator(&self) -> ProcessId {
+        self.n
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<MedMsg>) {
+        let (Some(a), Some(b)) = (self.my_leak, self.partner_leak) else {
+            return;
+        };
+        if self.acked {
+            return;
+        }
+        self.acked = true;
+        let bit = a ^ b; // opposite parity: leak_i XOR leak_j = b
+        if bit == 0 {
+            // Deadlock the naive mediator: never ack. Play ⊥ via the will,
+            // pocket the 1.1 punishment payoff.
+            ctx.set_will(library::BOTTOM as Action);
+            ctx.halt();
+        } else {
+            // Cooperate: ack round 1, then play the announced action.
+            ctx.send(self.mediator(), MedMsg::Input { round: 1, value: self.input.clone() });
+        }
+    }
+}
+
+impl Process<MedMsg> for CounterexampleColluder {
+    fn on_start(&mut self, ctx: &mut Ctx<MedMsg>) {
+        ctx.set_will(library::BOTTOM as Action);
+        ctx.send(self.mediator(), MedMsg::Input { round: 0, value: self.input.clone() });
+    }
+
+    fn on_message(&mut self, src: ProcessId, msg: MedMsg, ctx: &mut Ctx<MedMsg>) {
+        match msg {
+            MedMsg::Round { round: 1, payload } if src == self.mediator() => {
+                let leak = payload.first().map(|v| v.as_u64()).unwrap_or(0);
+                self.my_leak = Some(leak);
+                ctx.send(self.partner, MedMsg::Gossip { payload: vec![Fp::new(leak)] });
+                self.decide(ctx);
+            }
+            MedMsg::Gossip { payload } if src == self.partner => {
+                self.partner_leak = payload.first().map(|v| v.as_u64());
+                self.decide(ctx);
+            }
+            MedMsg::Stop { action } if src == self.mediator() => {
+                ctx.make_move(action);
+                ctx.halt();
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One row of a robustness report.
+#[derive(Debug, Clone)]
+pub struct DeviationRow {
+    /// Deviation name.
+    pub name: String,
+    /// Who deviated.
+    pub deviators: Vec<usize>,
+    /// Mean deviator utility under the deviation.
+    pub deviator_utility: f64,
+    /// Mean deviator utility under honest play.
+    pub deviator_baseline: f64,
+    /// Worst honest player's utility under the deviation.
+    pub honest_worst: f64,
+    /// That player's utility under honest play.
+    pub honest_baseline: f64,
+    /// Samples used.
+    pub samples: usize,
+}
+
+impl DeviationRow {
+    /// The deviator's gain (positive = resilience violated by this attack).
+    pub fn gain(&self) -> f64 {
+        self.deviator_utility - self.deviator_baseline
+    }
+
+    /// The harm inflicted on honest players (positive = immunity violated).
+    pub fn harm(&self) -> f64 {
+        self.honest_baseline - self.honest_worst
+    }
+}
+
+/// An empirical (ε-)(k,t)-robustness report over a deviation battery.
+#[derive(Debug, Clone, Default)]
+pub struct RobustnessReport {
+    /// One row per deviation tried.
+    pub rows: Vec<DeviationRow>,
+}
+
+impl RobustnessReport {
+    /// The largest deviator gain across the battery.
+    pub fn max_gain(&self) -> f64 {
+        self.rows.iter().map(DeviationRow::gain).fold(0.0, f64::max)
+    }
+
+    /// The largest honest harm across the battery.
+    pub fn max_harm(&self) -> f64 {
+        self.rows.iter().map(DeviationRow::harm).fold(0.0, f64::max)
+    }
+
+    /// Whether the battery found no ε-violating attack.
+    pub fn is_eps_robust(&self, eps: f64) -> bool {
+        self.max_gain() < eps + 1e-9 && self.max_harm() < eps + 1e-9
+    }
+}
+
+/// Builds an empirical robustness report for a cheap-talk spec: runs the
+/// honest baseline and every battery deviation (applied to `deviator`),
+/// converts outcomes to game utilities under the fixed `types` draw, and
+/// tabulates gains and harms.
+///
+/// Moves are resolved with the AH semantics when the spec carries a
+/// punishment (wills) and with the spec's default actions otherwise. Actions
+/// outside the game's range are passed through to the utility function —
+/// the library games treat them as "something else" (zero matches), which is
+/// the natural reading of an off-menu move.
+pub fn cheap_talk_robustness_report(
+    spec: &crate::cheap_talk::CheapTalkSpec,
+    game: &BayesianGame,
+    types: &[usize],
+    inputs: &[Vec<Fp>],
+    deviator: usize,
+    samples: usize,
+) -> RobustnessReport {
+    use mediator_sim::SchedulerKind;
+    let n = spec.n;
+    let resolve = |out: &mediator_sim::Outcome| -> Vec<usize> {
+        let moves = if spec.punishment.is_some() {
+            out.resolve_ah(&spec.default_actions)
+        } else {
+            out.resolve_default(&spec.default_actions)
+        };
+        moves[..n].iter().map(|&a| a as usize).collect()
+    };
+    // Baseline.
+    let base_runs: Vec<(Vec<usize>, Vec<usize>)> = (0..samples as u64)
+        .map(|seed| {
+            let out = crate::cheap_talk::run_cheap_talk(
+                spec,
+                inputs,
+                &std::collections::BTreeMap::new(),
+                &SchedulerKind::Random,
+                seed,
+                8_000_000,
+            );
+            (types.to_vec(), resolve(&out))
+        })
+        .collect();
+    let base_u = empirical_utilities(game, &base_runs);
+
+    let mut report = RobustnessReport::default();
+    for (name, behavior) in Behavior::battery() {
+        let dev_runs: Vec<(Vec<usize>, Vec<usize>)> = (0..samples as u64)
+            .map(|seed| {
+                let mut behaviors = std::collections::BTreeMap::new();
+                behaviors.insert(deviator, behavior.clone());
+                let out = crate::cheap_talk::run_cheap_talk(
+                    spec,
+                    inputs,
+                    &behaviors,
+                    &SchedulerKind::Random,
+                    seed,
+                    8_000_000,
+                );
+                (types.to_vec(), resolve(&out))
+            })
+            .collect();
+        let dev_u = empirical_utilities(game, &dev_runs);
+        let honest_worst = (0..n)
+            .filter(|&p| p != deviator)
+            .map(|p| dev_u[p])
+            .fold(f64::INFINITY, f64::min);
+        let honest_baseline = (0..n)
+            .filter(|&p| p != deviator)
+            .map(|p| base_u[p])
+            .fold(f64::INFINITY, f64::min);
+        report.rows.push(DeviationRow {
+            name: name.to_string(),
+            deviators: vec![deviator],
+            deviator_utility: dev_u[deviator],
+            deviator_baseline: base_u[deviator],
+            honest_worst,
+            honest_baseline,
+            samples,
+        });
+    }
+    report
+}
+
+/// Mean per-player utilities over `(types, actions)` samples.
+pub fn empirical_utilities(game: &BayesianGame, runs: &[(Vec<usize>, Vec<usize>)]) -> Vec<f64> {
+    assert!(!runs.is_empty());
+    let mut acc = vec![0.0; game.n()];
+    for (types, actions) in runs {
+        let us = game.utilities(types, actions);
+        for i in 0..game.n() {
+            acc[i] += us[i];
+        }
+    }
+    for a in &mut acc {
+        *a /= runs.len() as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cheap_talk::CheapTalkSpec;
+    use mediator_circuits::catalog;
+
+    #[test]
+    fn robustness_report_on_byzantine_agreement_game() {
+        // n=5, k=1, t=0 robust cheap talk playing the BA game. The honest
+        // profile pays 1 to everyone; the battery should show (a) bounded
+        // gains for the deviator and (b) the harms each attack causes
+        // (silent/crash deviations DO harm in the BA game: unanimity breaks
+        // when the deviator does not move — that is a property of the game,
+        // not a protocol failure; the protocol's job per Theorem 4.1 is to
+        // match what the *mediator game* would yield under the same
+        // deviation, which also breaks unanimity).
+        let n = 5;
+        let game = mediator_games::library::byzantine_agreement_game(n);
+        let spec = CheapTalkSpec::theorem_4_1(
+            n,
+            1,
+            0,
+            catalog::majority_circuit(n),
+            vec![vec![Fp::ZERO]; n],
+            vec![0; n],
+        );
+        let types = vec![1usize; n];
+        let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
+        let report = cheap_talk_robustness_report(&spec, &game, &types, &inputs, 2, 4);
+        assert_eq!(report.rows.len(), Behavior::battery().len());
+        // The lie-opens attack must not profit: outputs are corrected.
+        let lie = report.rows.iter().find(|r| r.name == "lie-opens").unwrap();
+        assert!(lie.gain() <= 1e-9, "lying in openings gains {}", lie.gain());
+        assert!(lie.harm() <= 1e-9, "lying in openings harms {}", lie.harm());
+        // The lie-input attack flips the deviator's vote — with unanimous
+        // honest inputs the majority is unchanged: no gain, no harm.
+        let li = report.rows.iter().find(|r| r.name == "lie-input").unwrap();
+        assert!(li.gain().abs() <= 1e-9 && li.harm() <= 1e-9);
+    }
+
+    #[test]
+    fn battery_has_distinct_names() {
+        let b = Behavior::battery();
+        let names: std::collections::BTreeSet<&str> = b.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), b.len());
+    }
+
+    #[test]
+    fn row_gain_and_harm() {
+        let row = DeviationRow {
+            name: "x".into(),
+            deviators: vec![0],
+            deviator_utility: 1.55,
+            deviator_baseline: 1.5,
+            honest_worst: 1.1,
+            honest_baseline: 1.5,
+            samples: 100,
+        };
+        assert!((row.gain() - 0.05).abs() < 1e-12);
+        assert!((row.harm() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_utilities_average() {
+        let (game, _) = mediator_games::library::prisoners_dilemma();
+        let runs = vec![
+            (vec![0, 0], vec![0, 0]), // (3,3)
+            (vec![0, 0], vec![1, 1]), // (1,1)
+        ];
+        let us = empirical_utilities(&game, &runs);
+        assert_eq!(us, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn report_robustness_threshold() {
+        let mut rep = RobustnessReport::default();
+        rep.rows.push(DeviationRow {
+            name: "a".into(),
+            deviators: vec![1],
+            deviator_utility: 1.0,
+            deviator_baseline: 1.0,
+            honest_worst: 0.95,
+            honest_baseline: 1.0,
+            samples: 10,
+        });
+        assert!(rep.is_eps_robust(0.1));
+        assert!(!rep.is_eps_robust(0.01));
+    }
+}

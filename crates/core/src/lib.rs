@@ -1,0 +1,43 @@
+//! Implementing mediators with asynchronous cheap talk — the paper's
+//! primary contribution (Abraham–Dolev–Geffner–Halpern, PODC 2019).
+//!
+//! This crate ties the substrates together into the objects the paper
+//! reasons about:
+//!
+//! * [`mediator`] — **mediator games** `Γ_d`: the underlying Bayesian game
+//!   extended with a trusted-mediator process speaking the *canonical form*
+//!   of §2 (players send their input, respond to each non-STOP round, act
+//!   on STOP), including the §6.4 *naive* two-round mediator that leaks
+//!   `a + b·i (mod 2)` before revealing the action.
+//! * [`cheap_talk`] — **cheap-talk games** `Γ_CT`: the mediator replaced by
+//!   the asynchronous MPC engine, in the four parameterizations of
+//!   Theorems 4.1 (robust, `n > 4k+4t`), 4.2 (ε, `n > 3k+3t`),
+//!   4.4 (punishment wills + cotermination barrier, `n > 3k+4t`) and
+//!   4.5 (ε + punishment, `n > 2k+3t`), with both infinite-play semantics
+//!   (default moves and Aumann–Hart wills).
+//! * [`min_info`] — the Lemma 6.8 **minimally informative mediator**:
+//!   scheduler-equivalence-class counting (`(2rn)(4rn)(4rn)!/(r!)^{2n}`),
+//!   the least round count `R` with `(Rn)! ≥ classes`, and the
+//!   `2^{O(N log N)}`-vs-`O(n)` message-cost table.
+//! * [`implement`] — empirical **implementation checking**: outcome
+//!   distributions under scheduler batteries, compared with the paper's
+//!   set-distance (both directions for implementation, one direction for
+//!   weak implementation).
+//! * [`deviations`] — the deviation library (silence, crashes, input lies,
+//!   opening lies, §6.4 deadlock collusion) and robustness reports
+//!   (empirical ε-(k,t)-robustness over the battery).
+//! * [`egl`] — the Even–Goldreich–Lempel `O(1/ε)`-messages baseline the
+//!   paper compares against in §1.
+//! * [`report`] — plain-text/markdown tables for the experiment harness.
+
+pub mod cheap_talk;
+pub mod deviations;
+pub mod egl;
+pub mod implement;
+pub mod mediator;
+pub mod min_info;
+pub mod report;
+
+pub use cheap_talk::{run_cheap_talk, CheapTalkPlayer, CheapTalkSpec, CtMsg, CtVariant};
+pub use deviations::{Behavior, RobustnessReport};
+pub use mediator::{run_mediator_game, MedMsg, MediatorGameSpec};

@@ -1,0 +1,480 @@
+//! Mediator games: the underlying game extended with a trusted mediator.
+//!
+//! The mediator is an extra simulated process (id `n`) whose strategy is an
+//! arithmetic circuit, speaking the **canonical form** of §2: player `i`
+//! sends `(i, 0, x_i)`; the mediator answers each round `r` with a message
+//! that the player acks with `(i, r, x_i)`; the final message carries
+//! `STOP` plus the action to play. The mediator waits for `n − k − t`
+//! complete input sets before computing (a player that never shows up must
+//! not block the game — the same rule the cheap-talk core agreement
+//! enforces).
+//!
+//! Two mediator shapes matter for the experiments:
+//!
+//! * the **standard** one-round mediator (inputs → STOP(action));
+//! * the §6.4 **naive** two-round mediator: round 1 privately sends the
+//!   leak `a + b·i (mod 2)` and waits for *all* `n` acks — the design flaw
+//!   the counterexample exploits — and only then STOPs with the action.
+//!
+//! `extra_rounds` inserts content-free rounds for the Lemma 6.8
+//! message-count experiments.
+
+use mediator_circuits::Circuit;
+use mediator_field::Fp;
+use mediator_sim::{Action, Ctx, Outcome, Process, ProcessId, SchedulerKind, World};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Wire messages of a mediator game.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MedMsg {
+    /// Player → mediator: `(i, round, x_i)` of the canonical form.
+    Input {
+        /// The round being acked (0 = initial).
+        round: u64,
+        /// The player's (re-sent) input.
+        value: Vec<Fp>,
+    },
+    /// Mediator → player: a non-STOP round, possibly carrying a payload
+    /// (the §6.4 leak rides here).
+    Round {
+        /// Round number (1-based).
+        round: u64,
+        /// Private payload for the recipient.
+        payload: Vec<Fp>,
+    },
+    /// Mediator → player: STOP with the action to play.
+    Stop {
+        /// The recommended/computed action.
+        action: Action,
+    },
+    /// Deviator-to-deviator gossip (honest players never send this; the
+    /// model explicitly allows bad players to talk to each other).
+    Gossip {
+        /// Arbitrary payload.
+        payload: Vec<Fp>,
+    },
+}
+
+/// Specification of a mediator game execution.
+#[derive(Clone)]
+pub struct MediatorGameSpec {
+    /// Number of players (the mediator is process `n`).
+    pub n: usize,
+    /// Rational-coalition bound.
+    pub k: usize,
+    /// Malicious bound.
+    pub t: usize,
+    /// The mediator's circuit (one output wire per player = its action;
+    /// for the naive §6.4 mediator the output packs `2·leak + action`).
+    pub circuit: Arc<Circuit>,
+    /// Default inputs for players whose input never arrives.
+    pub defaults: Vec<Vec<Fp>>,
+    /// §6.4 naive shape: split the output into a round-1 leak (high bits)
+    /// and a STOP action (low bit), and wait for *all* n acks in between.
+    pub naive_split: bool,
+    /// Content-free extra rounds before STOP (Lemma 6.8 experiments).
+    pub extra_rounds: u64,
+    /// Wills (Aumann–Hart): action each honest player leaves in its will.
+    pub wills: Option<Vec<Action>>,
+}
+
+impl MediatorGameSpec {
+    /// A standard one-round mediator game.
+    pub fn standard(n: usize, k: usize, t: usize, circuit: Circuit, defaults: Vec<Vec<Fp>>) -> Self {
+        MediatorGameSpec {
+            n,
+            k,
+            t,
+            circuit: Arc::new(circuit),
+            defaults,
+            naive_split: false,
+            extra_rounds: 0,
+            wills: None,
+        }
+    }
+
+    /// How many complete inputs the mediator waits for.
+    pub fn wait_for(&self) -> usize {
+        if self.naive_split {
+            self.n // the naive design flaw: waits for everyone
+        } else {
+            self.n - self.k - self.t
+        }
+    }
+}
+
+/// The trusted mediator process (id `n`).
+pub struct CircuitMediator {
+    spec: MediatorGameSpec,
+    inputs: BTreeMap<usize, Vec<Fp>>,
+    computed: Option<Vec<Action>>, // per-player actions
+    leaks: Option<Vec<Fp>>,
+    round: u64,
+    round_sent: u64,
+    acks: BTreeMap<u64, usize>,
+    stopped: bool,
+}
+
+impl CircuitMediator {
+    /// Creates the mediator for `spec`.
+    pub fn new(spec: MediatorGameSpec) -> Self {
+        CircuitMediator {
+            spec,
+            inputs: BTreeMap::new(),
+            computed: None,
+            leaks: None,
+            round: 0,
+            round_sent: 0,
+            acks: BTreeMap::new(),
+            stopped: false,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.spec.n
+    }
+
+    fn try_advance(&mut self, ctx: &mut Ctx<MedMsg>) {
+        if self.stopped {
+            return;
+        }
+        // Phase 1: gather inputs.
+        if self.computed.is_none() {
+            if self.inputs.len() < self.spec.wait_for() {
+                return;
+            }
+            let inputs: Vec<Vec<Fp>> = (0..self.n())
+                .map(|p| {
+                    self.inputs
+                        .get(&p)
+                        .cloned()
+                        .unwrap_or_else(|| self.spec.defaults[p].clone())
+                })
+                .collect();
+            let eval = self.spec.circuit.eval(&inputs, ctx.rng());
+            let (actions, leaks) = if self.spec.naive_split {
+                let mut acts = Vec::with_capacity(self.n());
+                let mut lks = Vec::with_capacity(self.n());
+                for p in 0..self.n() {
+                    let packed = eval.outputs[p][0].as_u64();
+                    acts.push(packed & 1);
+                    lks.push(Fp::new(packed >> 1));
+                }
+                (acts, Some(lks))
+            } else {
+                (
+                    (0..self.n()).map(|p| eval.outputs[p][0].as_u64()).collect(),
+                    None,
+                )
+            };
+            self.computed = Some(actions);
+            self.leaks = leaks;
+        }
+        // Phase 2: intermediate rounds, each gated on a quorum of acks.
+        let total_rounds = self.spec.extra_rounds + u64::from(self.spec.naive_split);
+        loop {
+            if self.round < total_rounds {
+                let r = self.round + 1;
+                if self.round_sent < r {
+                    for p in 0..self.n() {
+                        let payload = if self.spec.naive_split && r == 1 {
+                            vec![self.leaks.as_ref().expect("leaks computed")[p]]
+                        } else {
+                            Vec::new()
+                        };
+                        ctx.send(p, MedMsg::Round { round: r, payload });
+                    }
+                    self.round_sent = r;
+                }
+                if self.acks.get(&r).copied().unwrap_or(0) >= self.round_quorum() {
+                    self.round += 1;
+                    continue;
+                }
+                return; // waiting for acks
+            }
+            // STOP.
+            self.stopped = true;
+            let actions = self.computed.as_ref().expect("computed");
+            for p in 0..self.n() {
+                ctx.send(p, MedMsg::Stop { action: actions[p] });
+            }
+            ctx.halt();
+            return;
+        }
+    }
+
+    fn round_quorum(&self) -> usize {
+        self.spec.wait_for()
+    }
+}
+
+/// Honest canonical-form player in the mediator game.
+pub struct HonestMedPlayer {
+    /// The player's private input.
+    pub input: Vec<Fp>,
+    /// Will to leave at start (Aumann–Hart), if any.
+    pub will: Option<Action>,
+    mediator: ProcessId,
+}
+
+impl HonestMedPlayer {
+    /// Creates a canonical honest player for a game with `n` players.
+    pub fn new(n: usize, input: Vec<Fp>, will: Option<Action>) -> Self {
+        HonestMedPlayer { input, will, mediator: n }
+    }
+}
+
+impl Process<MedMsg> for HonestMedPlayer {
+    fn on_start(&mut self, ctx: &mut Ctx<MedMsg>) {
+        if let Some(w) = self.will {
+            ctx.set_will(w);
+        }
+        ctx.send(self.mediator, MedMsg::Input { round: 0, value: self.input.clone() });
+    }
+
+    fn on_message(&mut self, src: ProcessId, msg: MedMsg, ctx: &mut Ctx<MedMsg>) {
+        if src != self.mediator {
+            return; // honest players ignore non-mediator chatter
+        }
+        match msg {
+            MedMsg::Round { round, .. } => {
+                ctx.send(self.mediator, MedMsg::Input { round, value: self.input.clone() });
+            }
+            MedMsg::Stop { action } => {
+                ctx.make_move(action);
+                ctx.halt();
+            }
+            MedMsg::Input { .. } | MedMsg::Gossip { .. } => {}
+        }
+    }
+}
+
+impl Process<MedMsg> for CircuitMediator {
+    fn on_start(&mut self, ctx: &mut Ctx<MedMsg>) {
+        self.try_advance(ctx);
+    }
+
+    fn on_message(&mut self, src: ProcessId, msg: MedMsg, ctx: &mut Ctx<MedMsg>) {
+        if let MedMsg::Input { round, value } = msg {
+            if src < self.n() {
+                if round == 0 {
+                    if value.len() == self.spec.defaults[src].len() {
+                        self.inputs.entry(src).or_insert(value);
+                    }
+                } else {
+                    *self.acks.entry(round).or_insert(0) += 1;
+                }
+            }
+        }
+        self.try_advance(ctx);
+    }
+}
+
+/// Runs one mediator game. `deviants` replaces the given players' processes;
+/// everyone else plays the honest canonical strategy with `inputs[p]`.
+/// Returns the sim outcome (resolve moves with the spec's wills or the
+/// game's default moves at the caller).
+pub fn run_mediator_game(
+    spec: &MediatorGameSpec,
+    inputs: &[Vec<Fp>],
+    deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>>,
+    kind: &SchedulerKind,
+    seed: u64,
+    max_steps: u64,
+) -> Outcome {
+    let mut world = build_world(spec, inputs, deviants, seed);
+    world.set_starvation_bound(10_000);
+    let mut sched = kind.build();
+    world.run(sched.as_mut(), max_steps)
+}
+
+/// Runs one mediator game under a **relaxed scheduler** (§5): messages from
+/// the mediator are dropped (whole batches at a time — the all-or-none rule
+/// of Lemma 6.10) after `drop_after` deliveries. This is the deadlock
+/// machinery of Propositions 6.9/6.11: with the mediator's STOP batch
+/// withheld, no honest player can move, and the wills (punishments) fire.
+pub fn run_mediator_game_relaxed(
+    spec: &MediatorGameSpec,
+    inputs: &[Vec<Fp>],
+    deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>>,
+    drop_after: u64,
+    seed: u64,
+    max_steps: u64,
+) -> Outcome {
+    let mediator = spec.n;
+    let mut world = build_world(spec, inputs, deviants, seed);
+    world.allow_drops();
+    let mut sched = mediator_sim::RelaxedScheduler::new(vec![mediator], drop_after);
+    world.run(&mut sched, max_steps)
+}
+
+fn build_world(
+    spec: &MediatorGameSpec,
+    inputs: &[Vec<Fp>],
+    mut deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>>,
+    seed: u64,
+) -> World<MedMsg> {
+    let n = spec.n;
+    assert_eq!(inputs.len(), n);
+    let mut procs: Vec<Box<dyn Process<MedMsg>>> = Vec::with_capacity(n + 1);
+    for p in 0..n {
+        if let Some(d) = deviants.remove(&p) {
+            procs.push(d);
+        } else {
+            let will = spec.wills.as_ref().map(|w| w[p]);
+            procs.push(Box::new(HonestMedPlayer::new(n, inputs[p].clone(), will)));
+        }
+    }
+    procs.push(Box::new(CircuitMediator::new(spec.clone())));
+    World::new(procs, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mediator_circuits::catalog;
+
+    fn majority_spec(n: usize) -> MediatorGameSpec {
+        MediatorGameSpec::standard(n, 1, 0, catalog::majority_circuit(n), vec![vec![Fp::ZERO]; n])
+    }
+
+    #[test]
+    fn honest_majority_game_everyone_plays_majority() {
+        let n = 5;
+        let spec = majority_spec(n);
+        // The mediator waits for n−k−t = 4 inputs and defaults the last to
+        // 0, and *which* input arrives late depends on the scheduler (that
+        // is the point of the asynchronous model). These inputs give
+        // majority 1 for every 4-subset, so the outcome is scheduler-proof.
+        let inputs: Vec<Vec<Fp>> = [1u64, 1, 1, 1, 0]
+            .iter()
+            .map(|&b| vec![Fp::new(b)])
+            .collect();
+        for kind in SchedulerKind::battery(n) {
+            let out = run_mediator_game(&spec, &inputs, BTreeMap::new(), &kind, 7, 100_000);
+            // The world has n+1 processes (the mediator never moves).
+            let moves = out.resolve_default(&vec![9; n + 1]);
+            assert_eq!(moves[..n], vec![1; n][..], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mediator_does_not_wait_for_missing_players() {
+        // One player silent: mediator waits for n−k−t = 4 inputs, fills the
+        // default, and everyone else still moves.
+        let n = 5;
+        let spec = majority_spec(n);
+        let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
+        let mut deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>> = BTreeMap::new();
+        deviants.insert(2, Box::new(crate::deviations::SilentProcess));
+        let out = run_mediator_game(
+            &spec,
+            &inputs,
+            deviants,
+            &SchedulerKind::Random,
+            11,
+            100_000,
+        );
+        for (p, m) in out.moves.iter().enumerate() {
+            if p != 2 && p < n {
+                assert_eq!(*m, Some(1), "player {p}");
+            }
+        }
+        assert_eq!(out.moves[2], None);
+    }
+
+    #[test]
+    fn naive_split_mediator_sends_leak_then_stop() {
+        let n = 4;
+        let mut spec = MediatorGameSpec::standard(
+            n,
+            1,
+            0,
+            catalog::counterexample_naive(n),
+            vec![vec![]; n],
+        );
+        spec.naive_split = true;
+        let inputs = vec![vec![]; n];
+        let out = run_mediator_game(
+            &spec,
+            &inputs,
+            BTreeMap::new(),
+            &SchedulerKind::Random,
+            3,
+            100_000,
+        );
+        // All honest: everyone eventually moves the same bit b.
+        let moves = out.moves[..n].to_vec();
+        let b = moves[0].expect("moved");
+        assert!(b == 0 || b == 1);
+        for m in &moves {
+            assert_eq!(*m, Some(b));
+        }
+        // And a leak round happened before STOP: 2 mediator messages per
+        // player (Round + Stop).
+        assert!(out.trace.sent_by(n) >= 2 * n as u64);
+    }
+
+    #[test]
+    fn relaxed_scheduler_drops_stop_batch_and_wills_fire() {
+        // Lemma 6.10: a relaxed scheduler deadlocks a canonical mediator
+        // game exactly by withholding an entire mediator batch; the
+        // all-or-none rule means no honest player moves, and the AH wills
+        // (punishments) apply uniformly — the hypothesis Proposition 6.9
+        // uses to price deadlocks at the punishment payoff.
+        let n = 4;
+        let mut spec = majority_spec(n);
+        spec.wills = Some(vec![7; n]);
+        let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
+        // Let the players' inputs through, then drop everything the
+        // mediator sends (its STOP batch).
+        let out = run_mediator_game_relaxed(&spec, &inputs, BTreeMap::new(), n as u64 + 1, 3, 100_000);
+        assert!(out.trace.dropped_count() > 0, "mediator batch must be dropped");
+        // Nobody moved; everyone's will fires — all-or-none, never a mix.
+        for p in 0..n {
+            assert_eq!(out.moves[p], None, "player {p} cannot move without STOP");
+        }
+        let resolved = out.resolve_ah(&vec![0; n + 1]);
+        assert_eq!(&resolved[..n], &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn relaxed_scheduler_with_late_drop_changes_nothing() {
+        // If the blackout starts after the STOP batch was delivered, the
+        // run is indistinguishable from a non-relaxed one (the paper's
+        // "deadlock iff no STOP delivered" characterization).
+        let n = 4;
+        let spec = majority_spec(n);
+        let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
+        let out = run_mediator_game_relaxed(&spec, &inputs, BTreeMap::new(), 10_000, 3, 100_000);
+        for p in 0..n {
+            assert_eq!(out.moves[p], Some(1));
+        }
+    }
+
+    #[test]
+    fn wills_are_left_when_configured() {
+        let n = 4;
+        let mut spec = majority_spec(n);
+        spec.wills = Some(vec![7; n]);
+        // Mediator never gets enough inputs: 3 players silent (wait_for=3
+        // with k=1,t=0... n−k−t = 3, so make all 4 silent except one).
+        let mut deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>> = BTreeMap::new();
+        for p in 1..n {
+            deviants.insert(p, Box::new(crate::deviations::SilentProcess));
+        }
+        let out = run_mediator_game(
+            &spec,
+            &vec![vec![Fp::ONE]; n],
+            deviants,
+            &SchedulerKind::Random,
+            5,
+            100_000,
+        );
+        // Player 0 deadlocks; AH resolution plays its will.
+        assert_eq!(out.moves[0], None);
+        let resolved = out.resolve_ah(&vec![0; n + 1]);
+        assert_eq!(resolved[0], 7);
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text tables for the experiment harness.
+
+use std::fmt;
+
+/// A printable experiment table (rendered as GitHub-flavoured markdown).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title line.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity doesn't match the headers.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n## {}\n", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let render = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, w) in cells.iter().zip(&widths) {
+                write!(f, " {c:w$} |")?;
+            }
+            writeln!(f)
+        };
+        render(&self.headers, f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<1$}|", "", w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 4 significant decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a boolean as a check/cross.
+pub fn check(b: bool) -> String {
+    if b { "✓".into() } else { "✗".into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| a | bb |"));
+        assert!(s.contains("| 1 | 2  |"));
+        assert!(s.contains("|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f4(1.0 / 3.0), "0.3333");
+        assert_eq!(check(true), "✓");
+        assert_eq!(check(false), "✗");
+    }
+}

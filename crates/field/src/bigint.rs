@@ -1,0 +1,419 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! Only what the Lemma 6.8 scheduler-class counting needs: construction from
+//! `u64`, multiplication by `u64`, full multiplication, comparison, factorial,
+//! power, division by another `BigUint` (for `(4rn)!/(r!)^{2n}`), and a base-2
+//! logarithm estimate. Little-endian base-2^32 limbs keep the carry logic in
+//! `u64` without any `unsafe`.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Arbitrary-precision unsigned integer (little-endian `u32` limbs).
+///
+/// # Example
+///
+/// ```
+/// use mediator_field::BigUint;
+/// let f10 = BigUint::factorial(10);
+/// assert_eq!(f10, BigUint::from(3628800u64));
+/// assert!(BigUint::factorial(25) > BigUint::from(u64::MAX));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct BigUint {
+    /// Invariant: no trailing zero limbs (zero is the empty vector).
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Returns `true` for the value zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `n!` by repeated multiplication.
+    pub fn factorial(n: u64) -> Self {
+        let mut acc = BigUint::one();
+        for i in 2..=n {
+            acc = acc.mul_u64(i);
+        }
+        acc
+    }
+
+    /// Multiplies by a `u64` scalar.
+    pub fn mul_u64(&self, m: u64) -> Self {
+        if m == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let (lo, hi) = (m as u32 as u64, m >> 32);
+        let a = self.mul_u32(lo as u32);
+        if hi == 0 {
+            return a;
+        }
+        let b = self.mul_u32(hi as u32).shl_limbs(1);
+        a.add(&b)
+    }
+
+    fn mul_u32(&self, m: u32) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            let v = l as u64 * m as u64 + carry;
+            out.push(v as u32);
+            carry = v >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    fn shl_limbs(&self, k: usize) -> Self {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u32; k];
+        limbs.extend_from_slice(&self.limbs);
+        BigUint { limbs }
+    }
+
+    /// Adds two big integers.
+    pub fn add(&self, rhs: &Self) -> Self {
+        let n = self.limbs.len().max(rhs.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = *self.limbs.get(i).unwrap_or(&0) as u64;
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as u64;
+            let v = a + b + carry;
+            out.push(v as u32);
+            carry = v >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Full multiplication (schoolbook; operands here are small).
+    pub fn mul(&self, rhs: &Self) -> Self {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let v = a as u64 * b as u64 + out[i + j] + carry;
+                out[i + j] = v & 0xFFFF_FFFF;
+                carry = v >> 32;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let v = out[k] + carry;
+                out[k] = v & 0xFFFF_FFFF;
+                carry = v >> 32;
+                k += 1;
+            }
+        }
+        let mut r = BigUint {
+            limbs: out.into_iter().map(|v| v as u32).collect(),
+        };
+        r.trim();
+        r
+    }
+
+    /// `self^e` by square-and-multiply.
+    pub fn pow(&self, mut e: u64) -> Self {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            base = base.mul(&base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Floor division by another big integer.
+    ///
+    /// Long division limb-by-limb on bits; operands in this codebase are a
+    /// few thousand bits at most, so the simple algorithm is fine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn div(&self, rhs: &Self) -> Self {
+        assert!(!rhs.is_zero(), "BigUint division by zero");
+        if self < rhs {
+            return BigUint::zero();
+        }
+        let bits = self.bit_len();
+        let mut quotient = BigUint::zero();
+        let mut rem = BigUint::zero();
+        for i in (0..bits).rev() {
+            rem = rem.shl1();
+            if self.bit(i) {
+                rem = rem.add(&BigUint::one());
+            }
+            quotient = quotient.shl1();
+            if &rem >= rhs {
+                rem = rem.sub(rhs);
+                quotient = quotient.add(&BigUint::one());
+            }
+        }
+        quotient
+    }
+
+    fn shl1(&self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u32;
+        for &l in &self.limbs {
+            out.push((l << 1) | carry);
+            carry = l >> 31;
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Subtraction; `rhs` must not exceed `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        assert!(self >= rhs, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i] as i64;
+            let b = *rhs.limbs.get(i).unwrap_or(&0) as i64;
+            let mut v = a - b - borrow;
+            if v < 0 {
+                v += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(v as u32);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 32, i % 32);
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
+    }
+
+    /// Approximate base-2 logarithm (`bit_len - 1` plus a fractional part
+    /// from the top 53 bits). Returns negative infinity for zero.
+    pub fn log2(&self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        let bl = self.bit_len();
+        // Take the top ≤ 53 bits as a float mantissa.
+        let take = bl.min(53);
+        let mut mant = 0u64;
+        for i in ((bl - take)..bl).rev() {
+            mant = (mant << 1) | self.bit(i) as u64;
+        }
+        (mant as f64).log2() + (bl - take) as f64
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        let mut r = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        r.trim();
+        r
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bit_len() <= 64 {
+            let mut v = 0u64;
+            for (i, &l) in self.limbs.iter().enumerate() {
+                v |= (l as u64) << (32 * i);
+            }
+            write!(f, "BigUint({v})")
+        } else {
+            write!(f, "BigUint(~2^{:.1})", self.log2())
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bit_len() <= 64 {
+            let mut v = 0u64;
+            for (i, &l) in self.limbs.iter().enumerate() {
+                v |= (l as u64) << (32 * i);
+            }
+            write!(f, "{v}")
+        } else {
+            write!(f, "≈2^{:.1}", self.log2())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_factorials_exact() {
+        let expect: [u64; 11] = [1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800];
+        for (n, &e) in expect.iter().enumerate() {
+            assert_eq!(BigUint::factorial(n as u64), BigUint::from(e), "{n}!");
+        }
+    }
+
+    #[test]
+    fn factorial_20_fits_u64() {
+        assert_eq!(BigUint::factorial(20), BigUint::from(2432902008176640000u64));
+    }
+
+    #[test]
+    fn comparison_orders_by_magnitude() {
+        assert!(BigUint::factorial(30) > BigUint::factorial(29));
+        assert!(BigUint::from(0u64) < BigUint::one());
+        assert_eq!(BigUint::from(5u64).cmp(&BigUint::from(5u64)), Ordering::Equal);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = BigUint::factorial(25);
+        let b = BigUint::factorial(20);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::one().sub(&BigUint::from(2u64));
+    }
+
+    #[test]
+    fn mul_matches_factorial_identity() {
+        // 10! * 11 = 11!
+        assert_eq!(
+            BigUint::factorial(10).mul_u64(11),
+            BigUint::factorial(11)
+        );
+        assert_eq!(
+            BigUint::factorial(10).mul(&BigUint::from(11u64)),
+            BigUint::factorial(11)
+        );
+    }
+
+    #[test]
+    fn div_factorials() {
+        // 12! / 10! = 132
+        let q = BigUint::factorial(12).div(&BigUint::factorial(10));
+        assert_eq!(q, BigUint::from(132u64));
+    }
+
+    #[test]
+    fn div_rounds_down() {
+        let q = BigUint::from(7u64).div(&BigUint::from(2u64));
+        assert_eq!(q, BigUint::from(3u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::one().div(&BigUint::zero());
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(BigUint::from(3u64).pow(4), BigUint::from(81u64));
+        assert_eq!(BigUint::from(2u64).pow(70).bit_len(), 71);
+    }
+
+    #[test]
+    fn log2_close_to_lgamma() {
+        // log2(100!) = 524.765...
+        let l = BigUint::factorial(100).log2();
+        assert!((l - 524.765).abs() < 0.01, "log2(100!) = {l}");
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        let v = BigUint::from(0b1011u64);
+        assert_eq!(v.bit_len(), 4);
+        assert!(v.bit(0) && v.bit(1) && !v.bit(2) && v.bit(3));
+    }
+
+    #[test]
+    fn mul_u64_with_high_bits() {
+        let big = u64::MAX;
+        let a = BigUint::from(big).mul_u64(big);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expect = BigUint::from(2u64).pow(128).sub(&BigUint::from(2u64).pow(65)).add(&BigUint::one());
+        assert_eq!(a, expect);
+    }
+}

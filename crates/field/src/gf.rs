@@ -1,0 +1,361 @@
+//! The prime field `GF(p)` with `p = 2^61 - 1` (a Mersenne prime).
+//!
+//! The modulus is large enough that random linear-combination checks have
+//! negligible collision probability (`< 2^-60`), and small enough that a
+//! product of two elements fits in a `u128` with cheap Mersenne reduction.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// The field modulus `p = 2^61 - 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of the prime field `GF(2^61 - 1)`.
+///
+/// The canonical representative is always kept in `0..MODULUS`.
+///
+/// # Example
+///
+/// ```
+/// use mediator_field::Fp;
+/// let a = Fp::new(5);
+/// let b = Fp::new(7);
+/// assert_eq!((a * b).as_u64(), 35);
+/// assert_eq!((a - b) + b, a);
+/// assert_eq!(a * a.inv().unwrap(), Fp::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Creates a field element, reducing `v` modulo `p`.
+    #[inline]
+    pub fn new(v: u64) -> Self {
+        Fp(v % MODULUS)
+    }
+
+    /// Creates a field element from a signed integer (negative values wrap).
+    #[inline]
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Fp::new(v as u64)
+        } else {
+            -Fp::new(v.unsigned_abs())
+        }
+    }
+
+    /// Returns the canonical representative in `0..p`.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Mersenne reduction of a `u128` product into `0..p`.
+    #[inline]
+    fn reduce128(x: u128) -> u64 {
+        // Split into low 61 bits and high bits; since 2^61 ≡ 1 (mod p),
+        // x = hi*2^61 + lo ≡ hi + lo.
+        let lo = (x & (MODULUS as u128)) as u64;
+        let hi = (x >> 61) as u128;
+        let mut r = lo as u128 + hi;
+        // One more fold covers the full u128 range.
+        r = (r & MODULUS as u128) + (r >> 61);
+        let mut r = r as u64;
+        if r >= MODULUS {
+            r -= MODULUS;
+        }
+        r
+    }
+
+    /// Raises `self` to the power `e` by square-and-multiply.
+    pub fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Returns the multiplicative inverse, or `None` for zero.
+    ///
+    /// Uses Fermat's little theorem (`a^(p-2)`), which is constant-time-ish
+    /// and has no edge cases besides zero.
+    pub fn inv(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+
+    /// Samples a uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection sampling over 61 bits keeps the distribution exactly
+        // uniform (bias would otherwise be ~2^-61, but exactness is free).
+        loop {
+            let v = rng.gen::<u64>() & ((1u64 << 61) - 1);
+            if v < MODULUS {
+                return Fp(v);
+            }
+        }
+    }
+
+    /// Samples a uniformly random *nonzero* field element.
+    pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v = Self::random(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Self {
+        Fp::new(v)
+    }
+}
+
+impl From<u32> for Fp {
+    fn from(v: u32) -> Self {
+        Fp::new(v as u64)
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+    #[inline]
+    fn add(self, rhs: Fp) -> Fp {
+        let mut s = self.0 + rhs.0; // < 2^62, no overflow
+        if s >= MODULUS {
+            s -= MODULUS;
+        }
+        Fp(s)
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+    #[inline]
+    fn sub(self, rhs: Fp) -> Fp {
+        let s = if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + MODULUS - rhs.0
+        };
+        Fp(s)
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+    #[inline]
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp(Fp::reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl Div for Fp {
+    type Output = Fp;
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: Fp) -> Fp {
+        self * rhs.inv().expect("division by zero in GF(2^61-1)")
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    #[inline]
+    fn neg(self) -> Fp {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp(MODULUS - self.0)
+        }
+    }
+}
+
+impl AddAssign for Fp {
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fp {
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fp {
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Fp {
+    fn div_assign(&mut self, rhs: Fp) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Fp {
+    fn sum<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Fp {
+    fn product<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modulus_is_mersenne_61() {
+        assert_eq!(MODULUS, 2305843009213693951);
+    }
+
+    #[test]
+    fn add_wraps_at_modulus() {
+        assert_eq!(Fp::new(MODULUS - 1) + Fp::ONE, Fp::ZERO);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(Fp::ZERO - Fp::ONE, Fp::new(MODULUS - 1));
+    }
+
+    #[test]
+    fn new_reduces_large_values() {
+        assert_eq!(Fp::new(MODULUS), Fp::ZERO);
+        assert_eq!(Fp::new(MODULUS + 5), Fp::new(5));
+        assert_eq!(Fp::new(u64::MAX), Fp::new(u64::MAX % MODULUS));
+    }
+
+    #[test]
+    fn from_i64_handles_negatives() {
+        assert_eq!(Fp::from_i64(-1), -Fp::ONE);
+        assert_eq!(Fp::from_i64(-7) + Fp::new(7), Fp::ZERO);
+        assert_eq!(Fp::from_i64(42), Fp::new(42));
+    }
+
+    #[test]
+    fn mul_reduce_large_operands() {
+        let a = Fp::new(MODULUS - 1); // = -1
+        assert_eq!(a * a, Fp::ONE);
+        let b = Fp::new(MODULUS - 2); // = -2
+        assert_eq!(a * b, Fp::new(2));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Fp::new(12345);
+        let mut acc = Fp::ONE;
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc);
+            acc *= a;
+        }
+    }
+
+    #[test]
+    fn inverse_of_zero_is_none() {
+        assert!(Fp::ZERO.inv().is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip_random() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let a = Fp::random_nonzero(&mut rng);
+            assert_eq!(a * a.inv().unwrap(), Fp::ONE);
+        }
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let a = Fp::random(&mut rng);
+            assert_eq!(a + (-a), Fp::ZERO);
+        }
+    }
+
+    #[test]
+    fn division_matches_inverse() {
+        let a = Fp::new(999);
+        let b = Fp::new(13);
+        assert_eq!(a / b * b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Fp::ONE / Fp::ZERO;
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let xs = [Fp::new(1), Fp::new(2), Fp::new(3)];
+        assert_eq!(xs.iter().copied().sum::<Fp>(), Fp::new(6));
+        assert_eq!(xs.iter().copied().product::<Fp>(), Fp::new(6));
+    }
+
+    #[test]
+    fn random_is_in_range_and_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let a = Fp::random(&mut r1);
+            let b = Fp::random(&mut r2);
+            assert_eq!(a, b);
+            assert!(a.as_u64() < MODULUS);
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem_sample() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let a = Fp::random_nonzero(&mut rng);
+            assert_eq!(a.pow(MODULUS - 1), Fp::ONE);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Finite-field arithmetic and coding-theory primitives for the
+//! mediator-implementation protocols.
+//!
+//! Everything in the cheap-talk constructions of Abraham–Dolev–Geffner–Halpern
+//! (PODC 2019) ultimately bottoms out in Shamir secret sharing and robust
+//! polynomial reconstruction over a finite field. This crate provides:
+//!
+//! * [`Fp`] — the prime field `GF(2^61 - 1)` (a Mersenne prime, so reduction
+//!   is two adds and a compare; products fit in `u128`).
+//! * [`Poly`] — dense univariate polynomials with evaluation, interpolation,
+//!   Euclidean division and GCD.
+//! * [`rs`] — Reed–Solomon encoding and **Berlekamp–Welch robust decoding**,
+//!   the exact primitive whose `n ≥ deg + 2e + 1` requirement produces the
+//!   paper's `n > 4(k+t)` threshold (Theorem 4.1).
+//! * [`BigUint`] — a minimal arbitrary-precision unsigned integer, used only
+//!   by the Lemma 6.8 scheduler-class counting (factorials like `(4rn)!`).
+//!
+//! # Example
+//!
+//! ```
+//! use mediator_field::{Fp, Poly};
+//!
+//! let p = Poly::from_coeffs(vec![Fp::new(3), Fp::new(0), Fp::new(1)]); // 3 + x^2
+//! assert_eq!(p.eval(Fp::new(2)), Fp::new(7));
+//! ```
+
+pub mod bigint;
+pub mod gf;
+pub mod poly;
+pub mod rs;
+
+pub use bigint::BigUint;
+pub use gf::Fp;
+pub use poly::Poly;
+pub use rs::{decode_robust, encode, interpolate_exact, RsError};

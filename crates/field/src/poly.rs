@@ -1,0 +1,350 @@
+//! Dense univariate polynomials over [`Fp`].
+//!
+//! Provides the operations the sharing and decoding layers need: evaluation,
+//! Lagrange interpolation, Euclidean division, and multiplication. Degrees in
+//! this codebase are tiny (at most a few hundred), so the quadratic algorithms
+//! are the right choice — no FFT.
+
+use crate::gf::Fp;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense univariate polynomial `c0 + c1 x + c2 x^2 + ...` over `GF(2^61-1)`.
+///
+/// The invariant is that the leading coefficient is nonzero (the zero
+/// polynomial is represented by an empty coefficient vector).
+///
+/// # Example
+///
+/// ```
+/// use mediator_field::{Fp, Poly};
+/// let p = Poly::from_coeffs(vec![Fp::new(1), Fp::new(2)]); // 1 + 2x
+/// assert_eq!(p.eval(Fp::new(10)), Fp::new(21));
+/// assert_eq!(p.degree(), Some(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Poly {
+    coeffs: Vec<Fp>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: Fp) -> Self {
+        Poly::from_coeffs(vec![c])
+    }
+
+    /// Builds a polynomial from low-to-high coefficients, trimming leading zeros.
+    pub fn from_coeffs(coeffs: Vec<Fp>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// Samples a uniformly random polynomial of degree at most `deg` whose
+    /// constant term is `secret` — the Shamir dealing polynomial.
+    pub fn random_with_secret<R: Rng + ?Sized>(secret: Fp, deg: usize, rng: &mut R) -> Self {
+        let mut coeffs = Vec::with_capacity(deg + 1);
+        coeffs.push(secret);
+        for _ in 0..deg {
+            coeffs.push(Fp::random(rng));
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// The coefficients, low-to-high (empty for the zero polynomial).
+    pub fn coeffs(&self) -> &[Fp] {
+        &self.coeffs
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: Fp) -> Fp {
+        let mut acc = Fp::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates at the points `1, 2, ..., n` — the standard share vector.
+    pub fn eval_shares(&self, n: usize) -> Vec<Fp> {
+        (1..=n as u64).map(|i| self.eval(Fp::new(i))).collect()
+    }
+
+    /// Lagrange interpolation through `(x_i, y_i)` pairs with distinct `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two `x_i` coincide.
+    pub fn interpolate(points: &[(Fp, Fp)]) -> Self {
+        let mut acc = Poly::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // Build the Lagrange basis polynomial L_i with L_i(xi)=1.
+            let mut basis = Poly::constant(Fp::ONE);
+            let mut denom = Fp::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert!(xi != xj, "interpolation points must be distinct");
+                // basis *= (x - xj)
+                basis = &basis * &Poly::from_coeffs(vec![-xj, Fp::ONE]);
+                denom *= xi - xj;
+            }
+            let scale = yi * denom.inv().expect("distinct points imply nonzero denom");
+            acc = &acc + &basis.scale(scale);
+        }
+        acc
+    }
+
+    /// Multiplies every coefficient by `s`.
+    pub fn scale(&self, s: Fp) -> Self {
+        Poly::from_coeffs(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q * divisor + r` and `deg r < deg divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(&self, divisor: &Poly) -> (Poly, Poly) {
+        assert!(!divisor.is_zero(), "polynomial division by zero");
+        let dd = divisor.coeffs.len();
+        if self.coeffs.len() < dd {
+            return (Poly::zero(), self.clone());
+        }
+        let lead_inv = divisor.coeffs[dd - 1].inv().expect("leading coeff nonzero");
+        let mut rem = self.coeffs.clone();
+        let qlen = rem.len() - dd + 1;
+        let mut quot = vec![Fp::ZERO; qlen];
+        for k in (0..qlen).rev() {
+            let coef = rem[k + dd - 1] * lead_inv;
+            quot[k] = coef;
+            if coef.is_zero() {
+                continue;
+            }
+            for (j, &dc) in divisor.coeffs.iter().enumerate() {
+                rem[k + j] = rem[k + j] - coef * dc;
+            }
+        }
+        rem.truncate(dd - 1);
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "Poly(0)");
+        }
+        write!(f, "Poly(")?;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + {c}·x^{i}")?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl Add for &Poly {
+    type Output = Poly;
+    fn add(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![Fp::ZERO; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        for (i, &c) in rhs.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        Poly::from_coeffs(out)
+    }
+}
+
+impl Sub for &Poly {
+    type Output = Poly;
+    fn sub(self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![Fp::ZERO; n];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            out[i] += c;
+        }
+        for (i, &c) in rhs.coeffs.iter().enumerate() {
+            out[i] -= c;
+        }
+        Poly::from_coeffs(out)
+    }
+}
+
+impl Mul for &Poly {
+    type Output = Poly;
+    fn mul(self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![Fp::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn poly(cs: &[u64]) -> Poly {
+        Poly::from_coeffs(cs.iter().map(|&c| Fp::new(c)).collect())
+    }
+
+    #[test]
+    fn zero_polynomial_basics() {
+        let z = Poly::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(Fp::new(99)), Fp::ZERO);
+    }
+
+    #[test]
+    fn trim_removes_leading_zeros() {
+        let p = Poly::from_coeffs(vec![Fp::new(1), Fp::ZERO, Fp::ZERO]);
+        assert_eq!(p.degree(), Some(0));
+    }
+
+    #[test]
+    fn eval_horner_quadratic() {
+        let p = poly(&[3, 2, 1]); // 3 + 2x + x^2
+        assert_eq!(p.eval(Fp::new(2)), Fp::new(11));
+    }
+
+    #[test]
+    fn eval_shares_uses_points_1_to_n() {
+        let p = poly(&[5, 1]); // 5 + x
+        assert_eq!(
+            p.eval_shares(3),
+            vec![Fp::new(6), Fp::new(7), Fp::new(8)]
+        );
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = poly(&[1, 2, 3]);
+        let b = poly(&[7, 0, 0, 9]);
+        let s = &a + &b;
+        assert_eq!(&s - &b, a);
+    }
+
+    #[test]
+    fn mul_matches_known_product() {
+        // (1 + x)(1 - x) = 1 - x^2
+        let a = poly(&[1, 1]);
+        let b = Poly::from_coeffs(vec![Fp::ONE, -Fp::ONE]);
+        let prod = &a * &b;
+        assert_eq!(prod, Poly::from_coeffs(vec![Fp::ONE, Fp::ZERO, -Fp::ONE]));
+    }
+
+    #[test]
+    fn interpolate_recovers_polynomial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for deg in 0..8usize {
+            let p = Poly::random_with_secret(Fp::new(777), deg, &mut rng);
+            let pts: Vec<(Fp, Fp)> = (1..=deg as u64 + 1)
+                .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+                .collect();
+            let q = Poly::interpolate(&pts);
+            assert_eq!(p, q, "degree {deg}");
+        }
+    }
+
+    #[test]
+    fn interpolate_constant_term_is_secret() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Poly::random_with_secret(Fp::new(424242), 3, &mut rng);
+        let pts: Vec<(Fp, Fp)> = (1..=4u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+        let q = Poly::interpolate(&pts);
+        assert_eq!(q.eval(Fp::ZERO), Fp::new(424242));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn interpolate_rejects_duplicate_points() {
+        let pts = vec![(Fp::new(1), Fp::new(2)), (Fp::new(1), Fp::new(3))];
+        let _ = Poly::interpolate(&pts);
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = Poly::random_with_secret(Fp::random(&mut rng), 7, &mut rng);
+            let b = Poly::random_with_secret(Fp::random(&mut rng), 3, &mut rng);
+            if b.is_zero() {
+                continue;
+            }
+            let (q, r) = a.div_rem(&b);
+            let back = &(&q * &b) + &r;
+            assert_eq!(back, a);
+            assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+        }
+    }
+
+    #[test]
+    fn div_rem_smaller_dividend() {
+        let a = poly(&[1]);
+        let b = poly(&[0, 0, 1]);
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn random_with_secret_has_requested_secret() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Poly::random_with_secret(Fp::new(31337), 5, &mut rng);
+        assert_eq!(p.eval(Fp::ZERO), Fp::new(31337));
+    }
+
+    #[test]
+    fn scale_multiplies_evaluations() {
+        let p = poly(&[1, 2, 3]);
+        let s = Fp::new(9);
+        let q = p.scale(s);
+        for x in 0..5u64 {
+            assert_eq!(q.eval(Fp::new(x)), p.eval(Fp::new(x)) * s);
+        }
+    }
+}

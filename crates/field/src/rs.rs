@@ -1,0 +1,376 @@
+//! Reed–Solomon encoding and Berlekamp–Welch robust decoding.
+//!
+//! Robust decoding is the primitive behind every resilience threshold in the
+//! paper: reconstructing a degree-`d` polynomial from `n` claimed evaluations
+//! of which up to `e` may be adversarial requires `n ≥ d + 2e + 1`. In the
+//! cheap-talk protocol of Theorem 4.1 the output wire is shared at degree
+//! `2(k+t)` and up to `k+t` shares may lie, which is exactly where
+//! `n > 4(k+t)` comes from.
+
+use crate::gf::Fp;
+use crate::poly::Poly;
+use std::fmt;
+
+/// Errors produced by [`decode_robust`] / [`interpolate_exact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsError {
+    /// Fewer evaluation points than the information-theoretic minimum.
+    NotEnoughPoints { have: usize, need: usize },
+    /// No polynomial of the requested degree is consistent with the points
+    /// under the claimed error bound (decoding ambiguity or > e corruptions).
+    DecodingFailed,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::NotEnoughPoints { have, need } => {
+                write!(f, "not enough evaluation points: have {have}, need {need}")
+            }
+            RsError::DecodingFailed => write!(f, "robust decoding failed (too many corrupted shares)"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// Encodes `poly` at points `1..=n` (the share vector convention).
+pub fn encode(poly: &Poly, n: usize) -> Vec<Fp> {
+    poly.eval_shares(n)
+}
+
+/// Exact interpolation: requires all points to be consistent with a single
+/// polynomial of degree ≤ `deg`, otherwise fails.
+///
+/// This is the *crash-tolerant* reconstruction used by the ε-protocols: no
+/// lies are corrected, they are only detected.
+///
+/// # Errors
+///
+/// [`RsError::NotEnoughPoints`] if fewer than `deg + 1` points are given;
+/// [`RsError::DecodingFailed`] if the points are inconsistent.
+pub fn interpolate_exact(points: &[(Fp, Fp)], deg: usize) -> Result<Poly, RsError> {
+    if points.len() < deg + 1 {
+        return Err(RsError::NotEnoughPoints {
+            have: points.len(),
+            need: deg + 1,
+        });
+    }
+    let p = Poly::interpolate(&points[..deg + 1]);
+    if p.degree().map_or(0, |d| d) > deg {
+        return Err(RsError::DecodingFailed);
+    }
+    for &(x, y) in &points[deg + 1..] {
+        if p.eval(x) != y {
+            return Err(RsError::DecodingFailed);
+        }
+    }
+    Ok(p)
+}
+
+/// Berlekamp–Welch robust decoding.
+///
+/// Given `n` claimed evaluations `(x_i, y_i)` of a degree-≤`deg` polynomial
+/// of which at most `max_errors` are wrong, recovers the polynomial provided
+/// `n ≥ deg + 2·max_errors + 1`. Returns the decoded polynomial together with
+/// the indices (into `points`) of the corrupted shares.
+///
+/// # Errors
+///
+/// [`RsError::NotEnoughPoints`] if `n < deg + 2·max_errors + 1`;
+/// [`RsError::DecodingFailed`] if more than `max_errors` points are corrupt.
+///
+/// # Example
+///
+/// ```
+/// use mediator_field::{Fp, Poly, rs};
+/// let p = Poly::from_coeffs(vec![Fp::new(9), Fp::new(4)]); // 9 + 4x, deg 1
+/// let mut pts: Vec<(Fp, Fp)> = (1..=5u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+/// pts[2].1 = Fp::new(123456); // one corruption
+/// let (q, bad) = rs::decode_robust(&pts, 1, 1).unwrap();
+/// assert_eq!(q, p);
+/// assert_eq!(bad, vec![2]);
+/// ```
+pub fn decode_robust(
+    points: &[(Fp, Fp)],
+    deg: usize,
+    max_errors: usize,
+) -> Result<(Poly, Vec<usize>), RsError> {
+    let n = points.len();
+    let need = deg + 2 * max_errors + 1;
+    if n < need {
+        return Err(RsError::NotEnoughPoints { have: n, need });
+    }
+    if max_errors == 0 {
+        return interpolate_exact(points, deg).map(|p| (p, Vec::new()));
+    }
+
+    // Try decreasing error counts e = max_errors, ..., 0. Trying the largest
+    // first is fine: the Berlekamp–Welch system with slack still recovers the
+    // codeword when fewer errors occurred, because E(x) picks up spurious
+    // roots that cancel in Q/E. We verify the result against the error bound.
+    for e in (0..=max_errors).rev() {
+        if let Some(result) = try_decode(points, deg, e) {
+            let (p, bad) = result;
+            if bad.len() <= max_errors {
+                return Ok((p, bad));
+            }
+        }
+    }
+    Err(RsError::DecodingFailed)
+}
+
+/// One Berlekamp–Welch attempt with exactly-`e` error-locator degree.
+///
+/// Solve for Q (deg ≤ deg+e) and monic E (deg = e) with Q(x_i) = y_i E(x_i).
+/// Unknowns: q_0..q_{deg+e}, e_0..e_{e-1}  (e_e = 1). Total deg+2e+1.
+fn try_decode(points: &[(Fp, Fp)], deg: usize, e: usize) -> Option<(Poly, Vec<usize>)> {
+    let n = points.len();
+    let nq = deg + e + 1; // number of Q coefficients
+    let unknowns = nq + e;
+    if n < unknowns {
+        return None;
+    }
+
+    // Build the linear system: for each i,
+    //   sum_j q_j x_i^j - y_i sum_{j<e} e_j x_i^j = y_i x_i^e
+    let mut m = vec![vec![Fp::ZERO; unknowns + 1]; n];
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let mut xp = Fp::ONE;
+        for j in 0..nq {
+            m[i][j] = xp;
+            xp *= x;
+        }
+        let mut xp = Fp::ONE;
+        for j in 0..e {
+            m[i][nq + j] = -(y * xp);
+            xp *= x;
+        }
+        // rhs: y * x^e
+        m[i][unknowns] = y * x.pow(e as u64);
+    }
+
+    let sol = solve_linear(&mut m, unknowns)?;
+
+    let q = Poly::from_coeffs(sol[..nq].to_vec());
+    let mut ecoeffs = sol[nq..].to_vec();
+    ecoeffs.push(Fp::ONE); // monic
+    let epoly = Poly::from_coeffs(ecoeffs);
+    if epoly.is_zero() {
+        return None;
+    }
+    let (p, rem) = q.div_rem(&epoly);
+    if !rem.is_zero() {
+        return None;
+    }
+    if p.degree().map_or(0, |d| d) > deg {
+        return None;
+    }
+    // Identify corrupted indices and verify consistency everywhere else.
+    let mut bad = Vec::new();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        if p.eval(x) != y {
+            bad.push(i);
+        }
+    }
+    Some((p, bad))
+}
+
+/// Gaussian elimination over Fp; returns one solution of the (possibly
+/// underdetermined) system, or `None` if inconsistent.
+fn solve_linear(m: &mut [Vec<Fp>], unknowns: usize) -> Option<Vec<Fp>> {
+    let rows = m.len();
+    let mut pivot_row = 0usize;
+    let mut pivot_cols = Vec::new();
+    for col in 0..unknowns {
+        // Find a pivot.
+        let Some(r) = (pivot_row..rows).find(|&r| !m[r][col].is_zero()) else {
+            continue;
+        };
+        m.swap(pivot_row, r);
+        let inv = m[pivot_row][col].inv().expect("pivot nonzero");
+        for j in col..=unknowns {
+            m[pivot_row][j] = m[pivot_row][j] * inv;
+        }
+        for r2 in 0..rows {
+            if r2 != pivot_row && !m[r2][col].is_zero() {
+                let factor = m[r2][col];
+                for j in col..=unknowns {
+                    m[r2][j] = m[r2][j] - factor * m[pivot_row][j];
+                }
+            }
+        }
+        pivot_cols.push((pivot_row, col));
+        pivot_row += 1;
+        if pivot_row == rows {
+            break;
+        }
+    }
+    // Check consistency of the remaining rows.
+    for r in pivot_row..rows {
+        if m[r][..unknowns].iter().all(|c| c.is_zero()) && !m[r][unknowns].is_zero() {
+            return None;
+        }
+    }
+    // Free variables get zero.
+    let mut sol = vec![Fp::ZERO; unknowns];
+    for &(r, c) in &pivot_cols {
+        sol[c] = m[r][unknowns];
+    }
+    Some(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn share_points(p: &Poly, n: usize) -> Vec<(Fp, Fp)> {
+        (1..=n as u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect()
+    }
+
+    #[test]
+    fn decode_no_errors() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let p = Poly::random_with_secret(Fp::new(5), 3, &mut rng);
+        let pts = share_points(&p, 10);
+        let (q, bad) = decode_robust(&pts, 3, 3).unwrap();
+        assert_eq!(q, p);
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn decode_corrects_up_to_e_errors() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for deg in 0..4usize {
+            for e in 0..3usize {
+                let n = deg + 2 * e + 1;
+                let p = Poly::random_with_secret(Fp::random(&mut rng), deg, &mut rng);
+                let mut pts = share_points(&p, n);
+                // Corrupt e distinct random positions.
+                let mut idxs: Vec<usize> = (0..n).collect();
+                for i in 0..e {
+                    let j = rng.gen_range(i..n);
+                    idxs.swap(i, j);
+                }
+                let mut expect_bad: Vec<usize> = idxs[..e].to_vec();
+                expect_bad.sort_unstable();
+                for &i in &expect_bad {
+                    pts[i].1 += Fp::new(1 + rng.gen_range(0..1000));
+                }
+                let (q, bad) = decode_robust(&pts, deg, e)
+                    .unwrap_or_else(|err| panic!("deg={deg} e={e}: {err}"));
+                assert_eq!(q, p, "deg={deg} e={e}");
+                assert_eq!(bad, expect_bad, "deg={deg} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_fails_beyond_error_budget() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let deg = 2;
+        let e = 2;
+        let n = deg + 2 * e + 1; // 7
+        let p = Poly::random_with_secret(Fp::new(1), deg, &mut rng);
+        let mut pts = share_points(&p, n);
+        // Corrupt e+1 = 3 shares: decoding must not silently return a wrong
+        // polynomial claiming ≤ e errors. (It may fail, or it may return p
+        // itself only if the corruptions happen to still be closest — with
+        // random corruption values, returning exactly p is impossible since
+        // 3 > e.)
+        for pt in pts.iter_mut().take(e + 1) {
+            pt.1 += Fp::new(1 + rng.gen_range(0..1000));
+        }
+        match decode_robust(&pts, deg, e) {
+            Err(RsError::DecodingFailed) => {}
+            Ok((q, bad)) => {
+                // If something decoded, it must be a genuinely consistent
+                // codeword within the error budget — but p differs from it in
+                // 3 places, so q != p is acceptable only if bad.len() <= e.
+                assert!(bad.len() <= e);
+                assert_ne!(q, p);
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn decode_requires_enough_points() {
+        let pts = vec![(Fp::new(1), Fp::new(1)); 3];
+        let err = decode_robust(&pts, 2, 1).unwrap_err();
+        assert_eq!(err, RsError::NotEnoughPoints { have: 3, need: 5 });
+    }
+
+    #[test]
+    fn ambiguity_at_exactly_4f_is_possible() {
+        // The sharpness experiment behind Theorem 4.1: with n = deg + 2e
+        // points (one short), two different degree-`deg` polynomials can each
+        // be within distance e of the received word. We build such a word.
+        let deg = 2; // = 2f with f=1
+        let e = 1;
+        let n = deg + 2 * e; // 4 = 4f, one less than the 4f+1 needed
+        let p1 = Poly::from_coeffs(vec![Fp::new(10), Fp::new(1), Fp::new(1)]);
+        // p2 agrees with p1 on n - 2e = deg points and differs elsewhere:
+        let pts_shared: Vec<(Fp, Fp)> =
+            (1..=deg as u64).map(|i| (Fp::new(i), p1.eval(Fp::new(i)))).collect();
+        let mut pts2 = pts_shared.clone();
+        pts2.push((Fp::new(100), Fp::new(999)));
+        let p2 = Poly::interpolate(&pts2);
+        assert_ne!(p1, p2);
+        // Received word: p1 on points 1..deg+e, p2 on the rest — within
+        // distance e of both codewords.
+        let mut word = Vec::new();
+        for i in 1..=n as u64 {
+            let x = Fp::new(i);
+            let y = if i <= (deg + e) as u64 { p1.eval(x) } else { p2.eval(x) };
+            word.push((x, y));
+        }
+        // decode_robust refuses to run (NotEnoughPoints): the threshold is real.
+        assert_eq!(
+            decode_robust(&word, deg, e).unwrap_err(),
+            RsError::NotEnoughPoints { have: n, need: n + 1 }
+        );
+        // And indeed both polynomials are within distance e of the word.
+        let d1 = word.iter().filter(|&&(x, y)| p1.eval(x) != y).count();
+        let d2 = word.iter().filter(|&&(x, y)| p2.eval(x) != y).count();
+        assert!(d1 <= e && d2 <= e);
+    }
+
+    #[test]
+    fn exact_interpolation_detects_inconsistency() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = Poly::random_with_secret(Fp::new(7), 2, &mut rng);
+        let mut pts = share_points(&p, 5);
+        assert!(interpolate_exact(&pts, 2).is_ok());
+        pts[4].1 += Fp::ONE;
+        assert_eq!(interpolate_exact(&pts, 2).unwrap_err(), RsError::DecodingFailed);
+    }
+
+    #[test]
+    fn exact_interpolation_needs_deg_plus_one() {
+        let pts = vec![(Fp::new(1), Fp::new(1))];
+        assert_eq!(
+            interpolate_exact(&pts, 2).unwrap_err(),
+            RsError::NotEnoughPoints { have: 1, need: 3 }
+        );
+    }
+
+    #[test]
+    fn encode_then_decode_roundtrip_many() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..10 {
+            let deg = rng.gen_range(0..5);
+            let p = Poly::random_with_secret(Fp::random(&mut rng), deg, &mut rng);
+            let shares = encode(&p, deg + 5);
+            let pts: Vec<(Fp, Fp)> = shares
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (Fp::new(i as u64 + 1), y))
+                .collect();
+            let (q, _) = decode_robust(&pts, deg, 2).unwrap();
+            assert_eq!(q, p);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests: field axioms, polynomial identities, and robust
+//! decoding under arbitrary corruption patterns.
+
+use mediator_field::{rs, BigUint, Fp, Poly};
+use proptest::prelude::*;
+
+fn arb_fp() -> impl Strategy<Value = Fp> {
+    any::<u64>().prop_map(Fp::new)
+}
+
+fn arb_poly(max_deg: usize) -> impl Strategy<Value = Poly> {
+    proptest::collection::vec(arb_fp(), 1..=max_deg + 1).prop_map(Poly::from_coeffs)
+}
+
+proptest! {
+    #[test]
+    fn field_addition_commutes(a in arb_fp(), b in arb_fp()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn field_multiplication_commutes_and_associates(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn field_distributive_law(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn field_additive_inverse(a in arb_fp()) {
+        prop_assert_eq!(a + (-a), Fp::ZERO);
+        prop_assert_eq!(a - a, Fp::ZERO);
+    }
+
+    #[test]
+    fn field_multiplicative_inverse(a in arb_fp()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.inv().unwrap(), Fp::ONE);
+        }
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in arb_fp(), e1 in 0u64..64, e2 in 0u64..64) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn poly_add_is_pointwise(p in arb_poly(6), q in arb_poly(6), x in arb_fp()) {
+        let sum = &p + &q;
+        prop_assert_eq!(sum.eval(x), p.eval(x) + q.eval(x));
+    }
+
+    #[test]
+    fn poly_mul_is_pointwise(p in arb_poly(5), q in arb_poly(5), x in arb_fp()) {
+        let prod = &p * &q;
+        prop_assert_eq!(prod.eval(x), p.eval(x) * q.eval(x));
+    }
+
+    #[test]
+    fn poly_div_rem_identity(p in arb_poly(8), q in arb_poly(4)) {
+        if !q.is_zero() {
+            let (quot, rem) = p.div_rem(&q);
+            let back = &(&quot * &q) + &rem;
+            prop_assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn interpolation_roundtrip(p in arb_poly(6)) {
+        let deg = p.degree().unwrap_or(0);
+        let pts: Vec<(Fp, Fp)> = (1..=deg as u64 + 1)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        let q = Poly::interpolate(&pts);
+        prop_assert_eq!(p, q);
+    }
+
+    /// The headline robustness property: for any degree ≤ 4, any error count
+    /// e ≤ 2, any subset of corrupted positions and any corruption values,
+    /// Berlekamp–Welch recovers the true polynomial from deg + 2e + 1 points.
+    #[test]
+    fn robust_decode_recovers_under_arbitrary_corruption(
+        secret in arb_fp(),
+        deg in 0usize..4,
+        e in 0usize..3,
+        corrupt_sel in proptest::collection::vec(any::<u16>(), 3),
+        deltas in proptest::collection::vec(1u64..1_000_000, 3),
+        coeff_seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(coeff_seed);
+        let p = Poly::random_with_secret(secret, deg, &mut rng);
+        let n = deg + 2 * e + 1;
+        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        // Pick e distinct positions to corrupt.
+        let mut positions: Vec<usize> = (0..n).collect();
+        for (i, sel) in corrupt_sel.iter().enumerate().take(e) {
+            let j = i + (*sel as usize) % (n - i);
+            positions.swap(i, j);
+        }
+        for (i, &pos) in positions.iter().take(e).enumerate() {
+            pts[pos].1 += Fp::new(deltas[i]);
+        }
+        let (q, bad) = rs::decode_robust(&pts, deg, e).expect("decode");
+        prop_assert_eq!(q, p);
+        prop_assert_eq!(bad.len(), e.min(bad.len() + e - bad.len())); // bad ⊆ corrupted
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = BigUint::from(a).mul(&BigUint::from(b));
+        let expect = a as u128 * b as u128;
+        let lo = BigUint::from(expect as u64);
+        let hi = BigUint::from((expect >> 64) as u64);
+        let reference = hi.mul(&BigUint::from(u64::MAX)).add(&hi).add(&lo);
+        prop_assert_eq!(prod, reference);
+    }
+
+    #[test]
+    fn biguint_add_sub_roundtrip(a in any::<u64>(), b in any::<u64>()) {
+        let x = BigUint::from(a);
+        let y = BigUint::from(b);
+        prop_assert_eq!(x.add(&y).sub(&y), x);
+    }
+
+    #[test]
+    fn biguint_div_is_floor_division(a in any::<u64>(), b in 1u64..u64::MAX) {
+        let q = BigUint::from(a).div(&BigUint::from(b));
+        prop_assert_eq!(q, BigUint::from(a / b));
+    }
+}

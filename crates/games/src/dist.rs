@@ -1,0 +1,200 @@
+//! Outcome distributions and the paper's distance on them (§2).
+//!
+//! An implementation (or ε-implementation) compares, for each type profile,
+//! the distribution over action profiles induced in the cheap-talk game with
+//! the one induced in the mediator game. The distance used by the paper is
+//! total variation scaled by 2: `dist(π, π') = Σ_s |π(s) − π'(s)| ≤ ε`.
+
+use crate::game::ActionIx;
+use std::collections::BTreeMap;
+
+/// A distribution over action profiles, stored sparsely.
+///
+/// # Example
+///
+/// ```
+/// use mediator_games::OutcomeDist;
+/// let mut d = OutcomeDist::new();
+/// d.add(vec![0, 1], 0.5);
+/// d.add(vec![1, 0], 0.5);
+/// assert!((d.prob(&[0, 1]) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OutcomeDist {
+    probs: BTreeMap<Vec<ActionIx>, f64>,
+}
+
+impl OutcomeDist {
+    /// An empty (all-zero) distribution.
+    pub fn new() -> Self {
+        OutcomeDist::default()
+    }
+
+    /// Builds an empirical distribution from observed samples.
+    pub fn from_samples<I: IntoIterator<Item = Vec<ActionIx>>>(samples: I) -> Self {
+        let mut d = OutcomeDist::new();
+        let mut count = 0usize;
+        for s in samples {
+            *d.probs.entry(s).or_insert(0.0) += 1.0;
+            count += 1;
+        }
+        if count > 0 {
+            for p in d.probs.values_mut() {
+                *p /= count as f64;
+            }
+        }
+        d
+    }
+
+    /// Adds probability mass to a profile.
+    pub fn add(&mut self, profile: Vec<ActionIx>, p: f64) {
+        *self.probs.entry(profile).or_insert(0.0) += p;
+    }
+
+    /// The probability of a profile.
+    pub fn prob(&self, profile: &[ActionIx]) -> f64 {
+        self.probs.get(profile).copied().unwrap_or(0.0)
+    }
+
+    /// Total mass (1.0 for a proper distribution).
+    pub fn total(&self) -> f64 {
+        self.probs.values().sum()
+    }
+
+    /// Iterates over `(profile, probability)` pairs with positive mass.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<ActionIx>, f64)> {
+        self.probs.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// The support size.
+    pub fn support_len(&self) -> usize {
+        self.probs.len()
+    }
+}
+
+impl FromIterator<(Vec<ActionIx>, f64)> for OutcomeDist {
+    fn from_iter<I: IntoIterator<Item = (Vec<ActionIx>, f64)>>(iter: I) -> Self {
+        let mut d = OutcomeDist::new();
+        for (k, p) in iter {
+            d.add(k, p);
+        }
+        d
+    }
+}
+
+/// The paper's distance: `Σ_s |π(s) − π'(s)|` (twice the total variation).
+pub fn l1_distance(a: &OutcomeDist, b: &OutcomeDist) -> f64 {
+    let mut keys: Vec<&Vec<ActionIx>> = a.probs.keys().collect();
+    for k in b.probs.keys() {
+        if !a.probs.contains_key(k) {
+            keys.push(k);
+        }
+    }
+    keys.iter()
+        .map(|k| (a.prob(k) - b.prob(k)).abs())
+        .sum()
+}
+
+/// The Hausdorff-style distance between two *sets* of distributions under
+/// [`l1_distance`]: `max(sup_a inf_b d(a,b), sup_b inf_a d(a,b))`.
+///
+/// The paper's ε-implementation (§2) requires every scheduler-induced
+/// distribution on one side to be ε-matched on the other side, in both
+/// directions — exactly the two suprema here.
+pub fn set_distance(xs: &[OutcomeDist], ys: &[OutcomeDist]) -> f64 {
+    fn one_sided(xs: &[OutcomeDist], ys: &[OutcomeDist]) -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| l1_distance(x, y))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    }
+    if xs.is_empty() || ys.is_empty() {
+        return if xs.is_empty() && ys.is_empty() { 0.0 } else { f64::INFINITY };
+    }
+    one_sided(xs, ys).max(one_sided(ys, xs))
+}
+
+/// The one-sided variant for *weak* implementation: every distribution in
+/// `xs` must be ε-matched in `ys` (but not conversely).
+pub fn weak_set_distance(xs: &[OutcomeDist], ys: &[OutcomeDist]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    if ys.is_empty() {
+        return f64::INFINITY;
+    }
+    xs.iter()
+        .map(|x| {
+            ys.iter()
+                .map(|y| l1_distance(x, y))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_samples_normalizes() {
+        let d = OutcomeDist::from_samples(vec![vec![0], vec![0], vec![1], vec![0]]);
+        assert!((d.prob(&[0]) - 0.75).abs() < 1e-12);
+        assert!((d.prob(&[1]) - 0.25).abs() < 1e-12);
+        assert!((d.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_identical_is_zero() {
+        let d = OutcomeDist::from_samples(vec![vec![0, 1], vec![1, 0]]);
+        assert_eq!(l1_distance(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn l1_disjoint_is_two() {
+        let a = OutcomeDist::from_samples(vec![vec![0]]);
+        let b = OutcomeDist::from_samples(vec![vec![1]]);
+        assert!((l1_distance(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_partial_overlap() {
+        let mut a = OutcomeDist::new();
+        a.add(vec![0], 0.5);
+        a.add(vec![1], 0.5);
+        let mut b = OutcomeDist::new();
+        b.add(vec![0], 1.0);
+        assert!((l1_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_distance_symmetric_cases() {
+        let a = OutcomeDist::from_samples(vec![vec![0]]);
+        let b = OutcomeDist::from_samples(vec![vec![1]]);
+        // Same sets: zero.
+        assert_eq!(set_distance(&[a.clone(), b.clone()], &[b.clone(), a.clone()]), 0.0);
+        // One side missing b: distance 2 (b unmatched).
+        assert!((set_distance(&[a.clone(), b.clone()], &[a.clone()]) - 2.0).abs() < 1e-12);
+        // Weak distance is one-sided: {a} ⊆ {a,b} is fine.
+        assert_eq!(weak_set_distance(&[a.clone()], &[a.clone(), b.clone()]), 0.0);
+        assert!((weak_set_distance(&[a.clone(), b.clone()], &[a]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let a = OutcomeDist::from_samples(vec![vec![0]]);
+        assert_eq!(set_distance(&[], &[]), 0.0);
+        assert_eq!(set_distance(&[a.clone()], &[]), f64::INFINITY);
+        assert_eq!(weak_set_distance(&[], &[a]), 0.0);
+    }
+
+    #[test]
+    fn collect_from_pairs() {
+        let d: OutcomeDist = vec![(vec![0], 0.25), (vec![1], 0.75)].into_iter().collect();
+        assert!((d.prob(&[1]) - 0.75).abs() < 1e-12);
+        assert_eq!(d.support_len(), 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! Concrete games: the paper's running examples and the experiment workloads.
+//!
+//! * [`counterexample_game`] — the §6.4 game showing that naive punishment
+//!   fails (actions `{0, 1, ⊥}`, payoffs 1.1 / 1 / 2 / 0).
+//! * [`byzantine_agreement_game`] — the introduction's motivating example:
+//!   agreement becomes trivial with a mediator computing the majority.
+//! * [`chicken_correlated`] — the classic game whose correlated equilibrium
+//!   (worth more than any Nash) *requires* a mediator; the canonical reason
+//!   mediators help at all.
+//! * [`prisoners_dilemma`], [`coordination_game`], [`free_rider_game`] —
+//!   standard games used across the test-suite (the free-rider game encodes
+//!   the paper's Gnutella discussion in §3).
+
+use crate::dist::OutcomeDist;
+use crate::game::{ActionIx, BayesianGame, TypeIx};
+use crate::strategy::{Strategy, StrategyProfile};
+
+/// Action index for `⊥` in the counterexample game.
+pub const BOTTOM: ActionIx = 2;
+
+/// The §6.4 counterexample game for `n` players (requires `n > 3k` with
+/// `k = ⌊(n−1)/3⌋` computed here).
+///
+/// Actions are `{0, 1, ⊥}` (⊥ encoded as index [`BOTTOM`]). Payoffs (common
+/// to all players):
+///
+/// * ≥ k+1 players play ⊥ → everyone gets **1.1**;
+/// * ≤ k play ⊥ and everyone plays 0 or ⊥ → everyone gets **1**;
+/// * ≤ k play ⊥ and everyone plays 1 or ⊥ → everyone gets **2**;
+/// * otherwise → everyone gets **0**.
+///
+/// Returns `(game, mediated_outcome, k)`, where `mediated_outcome` is the
+/// distribution the paper's mediator induces (all play `b` for a uniform
+/// coin `b`), worth an expected **1.5** to every player.
+pub fn counterexample_game(n: usize) -> (BayesianGame, OutcomeDist, usize) {
+    assert!(n >= 4, "need n ≥ 4 so that k ≥ 1");
+    let k = (n - 1) / 3;
+    let game = BayesianGame::complete_info(
+        format!("counterexample-6.4(n={n},k={k})"),
+        vec![3; n],
+        move |a| {
+            let bots = a.iter().filter(|&&x| x == BOTTOM).count();
+            let zeros = a.iter().filter(|&&x| x == 0).count();
+            let ones = a.iter().filter(|&&x| x == 1).count();
+            let u = if bots >= k + 1 {
+                1.1
+            } else if ones == 0 && zeros + bots == a.len() {
+                1.0
+            } else if zeros == 0 && ones + bots == a.len() {
+                2.0
+            } else {
+                0.0
+            };
+            vec![u; a.len()]
+        },
+    );
+    let mut mediated = OutcomeDist::new();
+    mediated.add(vec![0; n], 0.5);
+    mediated.add(vec![1; n], 0.5);
+    (game, mediated, k)
+}
+
+/// Expected utilities of a (complete-information) game under an outcome
+/// distribution — e.g. the mediated reference outcome.
+pub fn dist_utilities(game: &BayesianGame, types: &[TypeIx], dist: &OutcomeDist) -> Vec<f64> {
+    let mut acc = vec![0.0; game.n()];
+    for (profile, p) in dist.iter() {
+        let us = game.utilities(types, profile);
+        for i in 0..game.n() {
+            acc[i] += p * us[i];
+        }
+    }
+    acc
+}
+
+/// The Byzantine-agreement game from the paper's introduction for `n`
+/// players.
+///
+/// Types are initial bits (uniform i.i.d.); actions are `{0, 1}`. All
+/// players get 1 if they unanimously output the majority of the inputs
+/// (ties broken toward 0), and 0 otherwise. With a mediator the honest
+/// strategy is trivial: send your input, output the majority the mediator
+/// returns.
+pub fn byzantine_agreement_game(n: usize) -> BayesianGame {
+    let profiles: Vec<(Vec<TypeIx>, f64)> = (0..(1usize << n))
+        .map(|mask| {
+            let tp: Vec<TypeIx> = (0..n).map(|i| (mask >> i) & 1).collect();
+            (tp, 1.0 / (1usize << n) as f64)
+        })
+        .collect();
+    BayesianGame::new(
+        format!("byzantine-agreement(n={n})"),
+        vec![2; n],
+        vec![2; n],
+        profiles,
+        move |t, a| {
+            let maj = majority(t);
+            let agreed = a.iter().all(|&x| x == a[0]);
+            let u = if agreed && a[0] == maj { 1.0 } else { 0.0 };
+            vec![u; t.len()]
+        },
+    )
+}
+
+/// Majority of a bit vector, ties toward 0 (the mediator's rule).
+pub fn majority(bits: &[usize]) -> usize {
+    let ones = bits.iter().filter(|&&b| b == 1).count();
+    usize::from(2 * ones > bits.len())
+}
+
+/// Chicken with a mediator-only correlated equilibrium.
+///
+/// Payoffs (row = player 0): actions are 0 = Dare, 1 = Chicken.
+///
+/// ```text
+///            Dare      Chicken
+/// Dare      (0, 0)     (7, 2)
+/// Chicken   (2, 7)     (6, 6)
+/// ```
+///
+/// The mediator draws `(C,C)` with probability 1/2 and `(C,D)`, `(D,C)` with
+/// probability 1/4 each, privately telling each player its own action.
+/// Obeying is a correlated equilibrium (told Dare: 7 > 6 strict; told
+/// Chicken: 14/3 either way, weak) worth **5.25** to each player —
+/// strictly more than the symmetric mixed Nash (14/3 ≈ 4.67) and
+/// unattainable without correlation. The dyadic probabilities are chosen so
+/// the distribution is *exactly* realizable from two fair coins, which the
+/// arithmetic-circuit mediator needs.
+pub fn chicken_correlated() -> (BayesianGame, OutcomeDist) {
+    let game = BayesianGame::complete_info("chicken", vec![2, 2], |a| match (a[0], a[1]) {
+        (0, 0) => vec![0.0, 0.0],
+        (0, 1) => vec![7.0, 2.0],
+        (1, 0) => vec![2.0, 7.0],
+        (1, 1) => vec![6.0, 6.0],
+        _ => unreachable!(),
+    });
+    let mut mediated = OutcomeDist::new();
+    mediated.add(vec![1, 1], 0.5);
+    mediated.add(vec![0, 1], 0.25);
+    mediated.add(vec![1, 0], 0.25);
+    (game, mediated)
+}
+
+/// The prisoner's dilemma and its defection equilibrium.
+pub fn prisoners_dilemma() -> (BayesianGame, StrategyProfile) {
+    let game = BayesianGame::complete_info("prisoners-dilemma", vec![2, 2], |a| {
+        match (a[0], a[1]) {
+            (0, 0) => vec![3.0, 3.0],
+            (0, 1) => vec![0.0, 4.0],
+            (1, 0) => vec![4.0, 0.0],
+            (1, 1) => vec![1.0, 1.0],
+            _ => unreachable!(),
+        }
+    });
+    let defect = vec![Strategy::pure(1, 2, 1), Strategy::pure(1, 2, 1)];
+    (game, defect)
+}
+
+/// A pure coordination game for `n` players with `m` meeting points: all get
+/// 1 if unanimous, 0 otherwise.
+pub fn coordination_game(n: usize, m: usize) -> BayesianGame {
+    BayesianGame::complete_info(format!("coordination(n={n},m={m})"), vec![m; n], |a| {
+        let u = if a.iter().all(|&x| x == a[0]) { 1.0 } else { 0.0 };
+        vec![u; a.len()]
+    })
+}
+
+/// The free-rider (file-sharing) game from the paper's §3 discussion of
+/// Gnutella: action 0 = share (cost 0.2), action 1 = free-ride. Every player
+/// gains 1 if at least one *other* player shares. Not sharing strictly
+/// dominates, so "nobody shares" is the unique equilibrium — yet ~30% of
+/// real users share, the paper's motivation for t-immunity.
+pub fn free_rider_game(n: usize) -> (BayesianGame, StrategyProfile) {
+    let game = BayesianGame::complete_info(format!("free-rider(n={n})"), vec![2; n], |a| {
+        (0..a.len())
+            .map(|i| {
+                let others_share = a
+                    .iter()
+                    .enumerate()
+                    .any(|(j, &x)| j != i && x == 0);
+                let gain = if others_share { 1.0 } else { 0.0 };
+                let cost = if a[i] == 0 { 0.2 } else { 0.0 };
+                gain - cost
+            })
+            .collect()
+    });
+    let all_ride = (0..n).map(|_| Strategy::pure(1, 2, 1)).collect();
+    (game, all_ride)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution;
+
+    #[test]
+    fn counterexample_payoff_cases() {
+        let (g, _, k) = counterexample_game(7);
+        assert_eq!(k, 2);
+        let n = 7;
+        // All zeros → 1.
+        assert_eq!(g.utilities(&vec![0; n], &vec![0; n])[0], 1.0);
+        // All ones → 2.
+        assert_eq!(g.utilities(&vec![0; n], &vec![1; n])[0], 2.0);
+        // k+1 = 3 bottoms → 1.1 regardless of the rest.
+        let mut a = vec![0; n];
+        a[0] = BOTTOM;
+        a[1] = BOTTOM;
+        a[2] = BOTTOM;
+        a[3] = 1;
+        assert!((g.utilities(&vec![0; n], &a)[0] - 1.1).abs() < 1e-12);
+        // Mixed 0s and 1s with ≤ k bottoms → 0.
+        let mut a = vec![0; n];
+        a[0] = 1;
+        assert_eq!(g.utilities(&vec![0; n], &a)[0], 0.0);
+        // ≤ k bottoms with only zeros → 1.
+        let mut a = vec![0; n];
+        a[0] = BOTTOM;
+        assert_eq!(g.utilities(&vec![0; n], &a)[0], 1.0);
+    }
+
+    #[test]
+    fn counterexample_mediated_value_is_1_5() {
+        let (g, mediated, _) = counterexample_game(4);
+        let us = dist_utilities(&g, &[0; 4], &mediated);
+        for u in us {
+            assert!((u - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn byzantine_agreement_majority_outcome_pays() {
+        let g = byzantine_agreement_game(3);
+        // types (1,1,0): majority 1. Unanimous 1 pays.
+        assert_eq!(g.utilities(&[1, 1, 0], &[1, 1, 1]), vec![1.0; 3]);
+        assert_eq!(g.utilities(&[1, 1, 0], &[0, 0, 0]), vec![0.0; 3]);
+        assert_eq!(g.utilities(&[1, 1, 0], &[1, 0, 1]), vec![0.0; 3]);
+        // Tie (majority rule: ties toward 0) — n=3 cannot tie; check n=4.
+        let g4 = byzantine_agreement_game(4);
+        assert_eq!(g4.utilities(&[0, 0, 1, 1], &[0, 0, 0, 0]), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn majority_rule() {
+        assert_eq!(majority(&[1, 1, 0]), 1);
+        assert_eq!(majority(&[0, 1]), 0); // tie → 0
+        assert_eq!(majority(&[1]), 1);
+    }
+
+    #[test]
+    fn chicken_correlated_value_is_5_25() {
+        let (g, med) = chicken_correlated();
+        let us = dist_utilities(&g, &[0, 0], &med);
+        // 0.5·6 + 0.25·7 + 0.25·2 = 5.25 for each player.
+        assert!((us[0] - 5.25).abs() < 1e-12);
+        assert!((us[1] - 5.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chicken_correlated_is_an_equilibrium_of_obedience() {
+        // Obeying the mediator must be a correlated equilibrium: told Dare,
+        // the other is surely Chicken (7 ≥ 6); told Chicken, the posterior is
+        // 2/3 Chicken, 1/3 Dare (14/3 either way).
+        let (g, med) = chicken_correlated();
+        // Conditional on being told Chicken (action 1), player 0's payoff:
+        let p_cc = med.prob(&[1, 1]);
+        let p_cd = med.prob(&[1, 0]); // player 0 Chicken, player 1 Dare
+        let norm = p_cc + p_cd;
+        let obey = (p_cc * g.utilities(&[0, 0], &[1, 1])[0]
+            + p_cd * g.utilities(&[0, 0], &[1, 0])[0])
+            / norm;
+        let defect = (p_cc * g.utilities(&[0, 0], &[0, 1])[0]
+            + p_cd * g.utilities(&[0, 0], &[0, 0])[0])
+            / norm;
+        assert!(obey >= defect - 1e-12, "obey {obey} vs defect {defect}");
+    }
+
+    #[test]
+    fn chicken_has_no_symmetric_pure_equilibrium_as_good() {
+        let (g, _) = chicken_correlated();
+        // (C,C) = (6,6) is not Nash: deviating to Dare gives 7.
+        let cc = vec![Strategy::pure(1, 2, 1), Strategy::pure(1, 2, 1)];
+        assert!(!solution::is_k_resilient(&g, &cc, 1, 0.0));
+        // (D,C) is Nash, worth (7,2) — asymmetric.
+        let dc = vec![Strategy::pure(1, 2, 0), Strategy::pure(1, 2, 1)];
+        assert!(solution::is_k_resilient(&g, &dc, 1, 0.0));
+    }
+
+    #[test]
+    fn free_riding_dominates() {
+        let (g, all_ride) = free_rider_game(3);
+        assert!(solution::is_k_resilient(&g, &all_ride, 1, 0.0));
+        // Everyone sharing is NOT an equilibrium (free-riding saves 0.2).
+        let all_share = vec![Strategy::pure(1, 2, 0); 3];
+        assert!(!solution::is_k_resilient(&g, &all_share, 1, 0.0));
+    }
+
+    #[test]
+    fn coordination_unanimity_is_robust_equilibrium() {
+        let g = coordination_game(3, 2);
+        let all0 = vec![Strategy::pure(1, 2, 0); 3];
+        assert!(solution::is_k_resilient(&g, &all0, 1, 0.0));
+        // A single adversary CAN harm the others (break unanimity):
+        // coordination is not 1-immune.
+        assert!(!solution::is_t_immune(&g, &all0, 1, 0.0));
+    }
+}

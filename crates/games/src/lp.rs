@@ -1,0 +1,352 @@
+//! A small dense two-phase simplex solver.
+//!
+//! Solves `maximize c·x  subject to  A x ≤ b, x ≥ 0` for the tiny linear
+//! programs arising in coalition-deviation checks (searching *mixed* joint
+//! deviations exactly, which a pure-action enumeration cannot do: a
+//! profitable deviation for a 2-coalition may require randomizing between
+//! joint actions neither of which dominates alone).
+//!
+//! Bland's rule is used for pivot selection, so the solver never cycles.
+//! Dimensions here are at most a few dozen, so no effort is spent on
+//! sparsity or numerical refinements beyond a fixed tolerance.
+
+/// Solver tolerance for feasibility/optimality decisions.
+pub const EPS: f64 = 1e-9;
+
+/// Result of [`maximize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution found: objective value and primal solution.
+    Optimal { value: f64, x: Vec<f64> },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+/// Maximizes `c·x` subject to `a[r]·x ≤ b[r]` for every row and `x ≥ 0`.
+///
+/// # Panics
+///
+/// Panics if row lengths are inconsistent with `c`.
+pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
+    let n = c.len();
+    let m = a.len();
+    assert_eq!(b.len(), m, "b length mismatch");
+    for row in a {
+        assert_eq!(row.len(), n, "row length mismatch");
+    }
+
+    // Tableau layout: columns [x (n)] [slack (m)] [artificial (≤m)] [rhs].
+    // Phase 1: minimize sum of artificials for rows with negative b.
+    let mut need_artificial = vec![false; m];
+    for (r, &bv) in b.iter().enumerate() {
+        if bv < 0.0 {
+            need_artificial[r] = true;
+        }
+    }
+    let num_art: usize = need_artificial.iter().filter(|&&x| x).count();
+    let cols = n + m + num_art; // + rhs handled separately
+    let mut t = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![0usize; m];
+
+    let mut art_ix = 0usize;
+    for r in 0..m {
+        if need_artificial[r] {
+            // Multiply the row by -1 so rhs ≥ 0, slack gets -1, artificial +1.
+            for j in 0..n {
+                t[r][j] = -a[r][j];
+            }
+            t[r][n + r] = -1.0;
+            t[r][n + m + art_ix] = 1.0;
+            t[r][cols] = -b[r];
+            basis[r] = n + m + art_ix;
+            art_ix += 1;
+        } else {
+            for j in 0..n {
+                t[r][j] = a[r][j];
+            }
+            t[r][n + r] = 1.0;
+            t[r][cols] = b[r];
+            basis[r] = n + r;
+        }
+    }
+
+    if num_art > 0 {
+        // Phase-1 objective: minimize Σ artificials == maximize -Σ artificials.
+        let mut obj = vec![0.0; cols + 1];
+        for j in n + m..cols {
+            obj[j] = -1.0;
+        }
+        // Price out the basic artificials.
+        for r in 0..m {
+            if basis[r] >= n + m {
+                for j in 0..=cols {
+                    obj[j] += t[r][j];
+                }
+            }
+        }
+        if !run_simplex(&mut t, &mut obj, &mut basis, cols) {
+            return LpResult::Unbounded; // cannot happen in phase 1
+        }
+        // The objective row stores the negated running value: after phase 1,
+        // Σ artificials = obj[cols]. Nonzero means no feasible point.
+        if obj[cols] > EPS {
+            return LpResult::Infeasible;
+        }
+        // Drive any artificial variables out of the basis if possible.
+        for r in 0..m {
+            if basis[r] >= n + m {
+                if let Some(j) = (0..n + m).find(|&j| t[r][j].abs() > EPS) {
+                    pivot(&mut t, &mut vec![0.0; cols + 1], &mut basis, r, j, cols);
+                } // else the row is redundant; leave the artificial at 0.
+            }
+        }
+    }
+
+    // Phase 2: original objective, artificial columns frozen at 0.
+    let mut obj = vec![0.0; cols + 1];
+    for j in 0..n {
+        obj[j] = c[j];
+    }
+    // Price out basic variables.
+    for r in 0..m {
+        let bj = basis[r];
+        if obj[bj].abs() > 0.0 {
+            let coef = obj[bj];
+            for j in 0..=cols {
+                obj[j] -= coef * t[r][j];
+            }
+        }
+    }
+    // Forbid re-entering artificials by zeroing their reduced costs hard.
+    let frozen = n + m;
+    if !run_simplex_restricted(&mut t, &mut obj, &mut basis, cols, frozen) {
+        return LpResult::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for r in 0..m {
+        if basis[r] < n {
+            x[basis[r]] = t[r][cols];
+        }
+    }
+    let value = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    LpResult::Optimal { value, x }
+}
+
+/// Runs simplex iterations (Bland's rule). Returns `false` on unboundedness.
+fn run_simplex(t: &mut [Vec<f64>], obj: &mut Vec<f64>, basis: &mut [usize], cols: usize) -> bool {
+    run_simplex_restricted(t, obj, basis, cols, cols)
+}
+
+fn run_simplex_restricted(
+    t: &mut [Vec<f64>],
+    obj: &mut Vec<f64>,
+    basis: &mut [usize],
+    cols: usize,
+    allowed: usize,
+) -> bool {
+    loop {
+        // Entering variable: smallest index with positive reduced cost.
+        let Some(e) = (0..allowed).find(|&j| obj[j] > EPS) else {
+            return true; // optimal
+        };
+        // Leaving row: min ratio, ties by smallest basis index (Bland).
+        let mut best: Option<(usize, f64)> = None;
+        for (r, row) in t.iter().enumerate() {
+            if row[e] > EPS {
+                let ratio = row[cols] / row[e];
+                match best {
+                    None => best = Some((r, ratio)),
+                    Some((br, bratio)) => {
+                        if ratio < bratio - EPS
+                            || (ratio < bratio + EPS && basis[r] < basis[br])
+                        {
+                            best = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((r, _)) = best else {
+            return false; // unbounded
+        };
+        pivot(t, obj, basis, r, e, cols);
+    }
+}
+
+fn pivot(
+    t: &mut [Vec<f64>],
+    obj: &mut Vec<f64>,
+    basis: &mut [usize],
+    r: usize,
+    e: usize,
+    cols: usize,
+) {
+    let piv = t[r][e];
+    for j in 0..=cols {
+        t[r][j] /= piv;
+    }
+    for r2 in 0..t.len() {
+        if r2 != r && t[r2][e].abs() > 0.0 {
+            let f = t[r2][e];
+            for j in 0..=cols {
+                t[r2][j] -= f * t[r][j];
+            }
+        }
+    }
+    if obj[e].abs() > 0.0 {
+        let f = obj[e];
+        for j in 0..=cols {
+            obj[j] -= f * t[r][j];
+        }
+    }
+    basis[r] = e;
+}
+
+/// Solves `max_λ min_i (U λ)_i − base_i` over the probability simplex, where
+/// `U` is `|rows| × |λ|`. Returns the optimal margin and the maximizing
+/// distribution.
+///
+/// This is the coalition-deviation subproblem: `λ` ranges over distributions
+/// on the coalition's joint actions, row `i` is a coalition member, and the
+/// margin is the member's gain over the baseline. A strictly positive value
+/// means a (possibly mixed) deviation makes **every** member strictly better
+/// off.
+pub fn max_min_margin(u: &[Vec<f64>], base: &[f64]) -> (f64, Vec<f64>) {
+    let rows = u.len();
+    assert_eq!(base.len(), rows);
+    let nact = u[0].len();
+    // Variables: λ_0..λ_{nact-1}, tp, tm  (margin = tp - tm).
+    // max tp - tm
+    // s.t. -Σ λ_a u[i][a] + tp - tm ≤ -base_i   ∀i
+    //      Σ λ_a ≤ 1,  -Σ λ_a ≤ -1  (equality)
+    let nv = nact + 2;
+    let mut c = vec![0.0; nv];
+    c[nact] = 1.0;
+    c[nact + 1] = -1.0;
+    let mut a = Vec::with_capacity(rows + 2);
+    let mut b = Vec::with_capacity(rows + 2);
+    for i in 0..rows {
+        let mut row = vec![0.0; nv];
+        for (j, coef) in row.iter_mut().enumerate().take(nact) {
+            *coef = -u[i][j];
+        }
+        row[nact] = 1.0;
+        row[nact + 1] = -1.0;
+        a.push(row);
+        b.push(-base[i]);
+    }
+    let mut sum_row = vec![1.0; nact];
+    sum_row.extend_from_slice(&[0.0, 0.0]);
+    a.push(sum_row.clone());
+    b.push(1.0);
+    let neg: Vec<f64> = sum_row.iter().map(|v| -v).collect();
+    a.push(neg);
+    b.push(-1.0);
+
+    match maximize(&c, &a, &b) {
+        LpResult::Optimal { value, x } => (value, x[..nact].to_vec()),
+        // The feasible set (simplex × margins) is never empty and the margin
+        // is bounded by finite utilities.
+        other => unreachable!("max_min_margin LP must be solvable: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_bounded_lp() {
+        // max x + y s.t. x ≤ 2, y ≤ 3, x + y ≤ 4
+        let r = maximize(
+            &[1.0, 1.0],
+            &[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+            &[2.0, 3.0, 4.0],
+        );
+        match r {
+            LpResult::Optimal { value, .. } => assert_close(value, 4.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let r = maximize(&[1.0], &[vec![-1.0]], &[1.0]);
+        assert_eq!(r, LpResult::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ -1 with x ≥ 0 is infeasible.
+        let r = maximize(&[1.0], &[vec![1.0]], &[-1.0]);
+        assert_eq!(r, LpResult::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_feasible() {
+        // max -x s.t. -x ≤ -2  (i.e. x ≥ 2) → x = 2, value -2.
+        let r = maximize(&[-1.0], &[vec![-1.0]], &[-2.0]);
+        match r {
+            LpResult::Optimal { value, x } => {
+                assert_close(value, -2.0);
+                assert_close(x[0], 2.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_via_two_inequalities() {
+        // max x s.t. x + y = 1 (two ineqs), y ≥ 0 → x = 1.
+        let r = maximize(
+            &[1.0, 0.0],
+            &[vec![1.0, 1.0], vec![-1.0, -1.0]],
+            &[1.0, -1.0],
+        );
+        match r {
+            LpResult::Optimal { value, .. } => assert_close(value, 1.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_min_margin_pure_winner() {
+        // One member, two joint actions with gains 1 and 3 over base 0.
+        let (v, lambda) = max_min_margin(&[vec![1.0, 3.0]], &[0.0]);
+        assert_close(v, 3.0);
+        assert_close(lambda[1], 1.0);
+    }
+
+    #[test]
+    fn max_min_margin_requires_mixing() {
+        // Two members; action 0 favours member 0, action 1 favours member 1.
+        // base = (0.5, 0.5). Neither pure action beats the base for both,
+        // but the 50/50 mix yields (1,1) > (0.5,0.5).
+        let u = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
+        let (v, lambda) = max_min_margin(&u, &[0.5, 0.5]);
+        assert_close(v, 0.5);
+        assert_close(lambda[0], 0.5);
+        assert_close(lambda[1], 0.5);
+    }
+
+    #[test]
+    fn max_min_margin_negative_when_no_gain() {
+        let u = vec![vec![0.0, 1.0]];
+        let (v, _) = max_min_margin(&u, &[2.0]);
+        assert_close(v, -1.0);
+    }
+
+    #[test]
+    fn max_min_margin_single_action() {
+        let (v, lambda) = max_min_margin(&[vec![5.0]], &[1.0]);
+        assert_close(v, 4.0);
+        assert_close(lambda[0], 1.0);
+    }
+}

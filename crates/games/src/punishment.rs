@@ -1,0 +1,188 @@
+//! m-punishment strategies (Definition 4.3).
+//!
+//! A profile `ρ` in the underlying game is an *m-punishment strategy* with
+//! respect to an (extended-game) equilibrium `σ'` if, whenever all but at
+//! most `m` players play `ρ`, every one of the ≤ m deviators ends up strictly
+//! worse off than its expected utility under `σ'` — no matter what the
+//! deviators play. Theorems 4.4/4.5 use the punishment as the content of the
+//! honest players' *wills*: deadlocking the cheap talk triggers `ρ`, so a
+//! rational coalition prefers to let the protocol finish.
+
+use crate::game::{BayesianGame, TypeIx};
+use crate::solution::{payoff_matrix, subsets_up_to, TOL};
+use crate::strategy::{validate_profile, StrategyProfile};
+
+/// A witness that `rho` fails to m-punish: a deviating set and a member that
+/// still reaches its equilibrium utility.
+#[derive(Debug, Clone)]
+pub struct PunishmentFailure {
+    /// The deviating set `K`.
+    pub deviators: Vec<usize>,
+    /// The member whose best response against the punishment is not worse
+    /// than its equilibrium utility.
+    pub survivor: usize,
+    /// Best-response utility against the punishment.
+    pub achieved: f64,
+    /// The equilibrium utility it had to fall below.
+    pub target: f64,
+    /// The conditioning joint type assignment of `K`.
+    pub types: Vec<TypeIx>,
+}
+
+/// Checks Definition 4.3: is `rho` an m-punishment strategy with respect to
+/// target utilities `target[i](x_K)`?
+///
+/// `target` gives each player's expected equilibrium utility in the extended
+/// game, conditional on nothing (the common case: equilibrium utilities do
+/// not depend on the coalition's private types — Corollary 6.3 makes them
+/// scheduler-independent as well). Pass per-player unconditional utilities.
+///
+/// Deviators are searched over pure joint type-dependent actions, which is
+/// exhaustive: each deviator maximizes a linear function of its own mixed
+/// strategy, so a pure best response exists.
+pub fn is_m_punishment(
+    game: &BayesianGame,
+    rho: &StrategyProfile,
+    target: &[f64],
+    m: usize,
+) -> bool {
+    punishment_failure(game, rho, target, m).is_none()
+}
+
+/// Returns a witness if `rho` fails to m-punish; see [`is_m_punishment`].
+pub fn punishment_failure(
+    game: &BayesianGame,
+    rho: &StrategyProfile,
+    target: &[f64],
+    m: usize,
+) -> Option<PunishmentFailure> {
+    validate_profile(game, rho);
+    assert_eq!(target.len(), game.n());
+    if m == 0 {
+        return None;
+    }
+    for deviators in subsets_up_to(game.n(), m) {
+        for tassign in game.type_profiles_of(&deviators) {
+            let mut rep = vec![0; game.n()];
+            for (pos, &i) in deviators.iter().enumerate() {
+                rep[i] = tassign[pos];
+            }
+            let cond = game.type_dist_given(&deviators, &rep);
+            if cond.is_empty() {
+                continue;
+            }
+            let matrix = payoff_matrix(game, rho, &[], &deviators, &cond);
+            for (pos, &i) in deviators.iter().enumerate() {
+                let best = matrix
+                    .iter()
+                    .map(|col| col[i])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                // Definition 4.3 requires u_i(σ') > u_i(best response vs ρ):
+                // the punishment fails if the deviator can reach ≥ target.
+                if best >= target[i] - TOL {
+                    return Some(PunishmentFailure {
+                        deviators: deviators.clone(),
+                        survivor: i,
+                        achieved: best,
+                        target: target[i],
+                        types: tassign.clone(),
+                    });
+                }
+                let _ = pos;
+            }
+        }
+    }
+    None
+}
+
+/// The *punishment margin*: the smallest gap `target[i] − best_response_i`
+/// over all deviating sets of size ≤ m and members i. Positive iff `rho`
+/// m-punishes. Used by experiment tables to report "how much teeth" a
+/// punishment has.
+pub fn punishment_margin(
+    game: &BayesianGame,
+    rho: &StrategyProfile,
+    target: &[f64],
+    m: usize,
+) -> f64 {
+    validate_profile(game, rho);
+    let mut margin = f64::INFINITY;
+    for deviators in subsets_up_to(game.n(), m) {
+        for tassign in game.type_profiles_of(&deviators) {
+            let mut rep = vec![0; game.n()];
+            for (pos, &i) in deviators.iter().enumerate() {
+                rep[i] = tassign[pos];
+            }
+            let cond = game.type_dist_given(&deviators, &rep);
+            if cond.is_empty() {
+                continue;
+            }
+            let matrix = payoff_matrix(game, rho, &[], &deviators, &cond);
+            for &i in &deviators {
+                let best = matrix
+                    .iter()
+                    .map(|col| col[i])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                margin = margin.min(target[i] - best);
+            }
+        }
+    }
+    margin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn counterexample_bottom_is_k_punishment() {
+        // The §6.4 game: playing ⊥ (action 2) punishes coalitions of size ≤ k
+        // against the target utility 1.5.
+        let (game, _, k) = library::counterexample_game(4);
+        let rho: StrategyProfile = (0..game.n())
+            .map(|_| Strategy::pure(1, 3, 2))
+            .collect();
+        let target = vec![1.5; game.n()];
+        assert!(is_m_punishment(&game, &rho, &target, k));
+        // Margin: deviators get 1.1 (≥ k+1 players play ⊥), so 0.4.
+        let m = punishment_margin(&game, &rho, &target, k);
+        assert!((m - 0.4).abs() < 1e-9, "margin {m}");
+    }
+
+    #[test]
+    fn punishment_fails_against_higher_target_set_too_low() {
+        let (game, _, k) = library::counterexample_game(4);
+        let rho: StrategyProfile = (0..game.n())
+            .map(|_| Strategy::pure(1, 3, 2))
+            .collect();
+        // If the equilibrium only guaranteed 1.0, ⊥ (which yields 1.1) is no
+        // punishment at all.
+        let target = vec![1.0; game.n()];
+        let fail = punishment_failure(&game, &rho, &target, k).unwrap();
+        assert!(fail.achieved >= 1.1 - 1e-9);
+    }
+
+    #[test]
+    fn zero_m_is_trivially_punishing() {
+        let (game, _, _) = library::counterexample_game(4);
+        let rho: StrategyProfile = (0..game.n())
+            .map(|_| Strategy::pure(1, 3, 0))
+            .collect();
+        assert!(is_m_punishment(&game, &rho, &[0.0; 4], 0));
+    }
+
+    #[test]
+    fn deviator_best_response_is_found() {
+        // Punishment = all play 0; a deviator playing 1 gets 10 ⇒ fails.
+        let game = BayesianGame::complete_info("g", vec![2, 2], |a| {
+            let u = |ai: usize| if ai == 1 { 10.0 } else { 0.0 };
+            vec![u(a[0]), u(a[1])]
+        });
+        let rho = vec![Strategy::pure(1, 2, 0), Strategy::pure(1, 2, 0)];
+        let fail = punishment_failure(&game, &rho, &[5.0, 5.0], 1).unwrap();
+        assert_eq!(fail.achieved, 10.0);
+        assert_eq!(fail.target, 5.0);
+    }
+}

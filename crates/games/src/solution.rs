@@ -1,0 +1,729 @@
+//! Exact checkers for the paper's solution concepts (Definitions 3.1–3.6).
+//!
+//! All checks are exact up to floating tolerance for the *underlying*
+//! (one-shot) game: coalition deviations are searched over **mixed,
+//! correlated, type-sharing** joint strategies using the LP in [`crate::lp`]
+//! (pure-deviation enumeration alone is unsound for coalitions of size ≥ 2 —
+//! see `lp::max_min_margin`). Deviations of the adversarial set `T` in the
+//! (k,t)-robustness check are enumerated over pure type-dependent joint
+//! strategies, which is exhaustive for the *minimizing/enabling* role `T`
+//! plays in finite games of the size used here.
+//!
+//! Checks of extended (mediator / cheap-talk) games — where the strategy
+//! space is infinite — live in `mediator-core::deviations` and are
+//! necessarily battery-based; this module is the ground truth for one-shot
+//! games.
+
+use crate::game::{ActionIx, BayesianGame, TypeIx};
+use crate::lp;
+use crate::strategy::{
+    joint_action_index, joint_type_index, validate_profile, CoalitionDeviation, StrategyProfile,
+};
+
+/// Numerical tolerance for equilibrium decisions.
+pub const TOL: f64 = 1e-9;
+
+/// A witness that a solution concept fails.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The deviating (rational) coalition `K`, if any.
+    pub coalition: Vec<usize>,
+    /// The adversarial set `T`, if any.
+    pub adversaries: Vec<usize>,
+    /// The margin by which the concept is violated.
+    pub margin: f64,
+    /// Human-readable description.
+    pub description: String,
+}
+
+/// Enumerates all non-empty subsets of `0..n` with at most `max` elements.
+pub fn subsets_up_to(n: usize, max: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    fn rec(start: usize, n: usize, max: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if !cur.is_empty() {
+            out.push(cur.clone());
+        }
+        if cur.len() == max {
+            return;
+        }
+        for i in start..n {
+            cur.push(i);
+            rec(i + 1, n, max, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, max, &mut cur, &mut out);
+    out
+}
+
+/// Expected per-player utilities under `profile` with the deviations in
+/// `devs` overriding the members' strategies, expectation over `cond`
+/// (a normalized type distribution, e.g. [`BayesianGame::type_dist_given`]).
+///
+/// # Panics
+///
+/// Panics if deviations overlap each other.
+pub fn expected_utilities_with(
+    game: &BayesianGame,
+    profile: &StrategyProfile,
+    devs: &[&CoalitionDeviation],
+    cond: &[(Vec<TypeIx>, f64)],
+) -> Vec<f64> {
+    let m = payoff_matrix(game, profile, devs, &[], cond);
+    m.into_iter().next().expect("matrix has one row for empty searcher set")
+}
+
+/// Expected per-player utilities under `profile` over the full prior.
+pub fn expected_utilities(game: &BayesianGame, profile: &StrategyProfile) -> Vec<f64> {
+    validate_profile(game, profile);
+    expected_utilities_with(game, profile, &[], game.type_dist())
+}
+
+/// The payoff matrix for a *searching* coalition: entry `[ja][i]` is player
+/// `i`'s expected utility when the searchers play the joint pure action with
+/// lexicographic index `ja`, everyone else plays `profile` overridden by
+/// `devs`, and types follow `cond`.
+///
+/// With an empty searcher set the matrix has a single row: the expected
+/// utilities themselves.
+///
+/// # Panics
+///
+/// Panics if `searchers` intersects any deviation, or deviations overlap.
+pub fn payoff_matrix(
+    game: &BayesianGame,
+    profile: &StrategyProfile,
+    devs: &[&CoalitionDeviation],
+    searchers: &[usize],
+    cond: &[(Vec<TypeIx>, f64)],
+) -> Vec<Vec<f64>> {
+    let n = game.n();
+    // Ownership map: who controls each player's action.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Owner {
+        Profile,
+        Dev(usize),
+        Searcher,
+    }
+    let mut owner = vec![Owner::Profile; n];
+    for (d, dev) in devs.iter().enumerate() {
+        for &i in &dev.members {
+            assert!(matches!(owner[i], Owner::Profile), "overlapping deviations at player {i}");
+            owner[i] = Owner::Dev(d);
+        }
+    }
+    for &i in searchers {
+        assert!(matches!(owner[i], Owner::Profile), "searcher {i} overlaps a deviation");
+        owner[i] = Owner::Searcher;
+    }
+
+    let num_ja: usize = searchers
+        .iter()
+        .map(|&i| game.action_counts()[i])
+        .product::<usize>()
+        .max(1);
+    let mut out = vec![vec![0.0; n]; num_ja];
+
+    for (types, tprob) in cond {
+        if *tprob <= 0.0 {
+            continue;
+        }
+        // Joint type indices for each deviation.
+        let dev_jts: Vec<usize> = devs
+            .iter()
+            .map(|dev| {
+                let tprofile: Vec<TypeIx> = dev.members.iter().map(|&i| types[i]).collect();
+                joint_type_index(game, &dev.members, &tprofile)
+            })
+            .collect();
+
+        for actions in game.action_profiles() {
+            // Probability of the non-searcher part of this action profile.
+            let mut prob = *tprob;
+            for i in 0..n {
+                match owner[i] {
+                    Owner::Profile => prob *= profile[i].prob(types[i], actions[i]),
+                    Owner::Dev(_) | Owner::Searcher => {}
+                }
+                if prob == 0.0 {
+                    break;
+                }
+            }
+            if prob == 0.0 {
+                continue;
+            }
+            for (d, dev) in devs.iter().enumerate() {
+                let ja: Vec<ActionIx> = dev.members.iter().map(|&i| actions[i]).collect();
+                prob *= dev.prob(dev_jts[d], joint_action_index(game, &dev.members, &ja));
+                if prob == 0.0 {
+                    break;
+                }
+            }
+            if prob == 0.0 {
+                continue;
+            }
+            let sja: Vec<ActionIx> = searchers.iter().map(|&i| actions[i]).collect();
+            let col = if searchers.is_empty() {
+                0
+            } else {
+                joint_action_index_for(game, searchers, &sja)
+            };
+            let us = game.utilities(types, &actions);
+            for i in 0..n {
+                out[col][i] += prob * us[i];
+            }
+        }
+    }
+    out
+}
+
+fn joint_action_index_for(game: &BayesianGame, members: &[usize], joint: &[ActionIx]) -> usize {
+    joint_action_index(game, members, joint)
+}
+
+/// Checks Definition 3.1 / 3.2: `profile` is a (ε-)k-resilient equilibrium.
+///
+/// With `eps == 0.0` this is exact k-resilience ("no coalition of ≤ k can
+/// make **all** its members strictly better off, sharing type information");
+/// with `eps > 0.0` it is ε-k-resilience ("... better off by ≥ ε").
+pub fn is_k_resilient(game: &BayesianGame, profile: &StrategyProfile, k: usize, eps: f64) -> bool {
+    k_resilience_violation(game, profile, k, eps).is_none()
+}
+
+/// Returns a witness if (ε-)k-resilience fails; see [`is_k_resilient`].
+pub fn k_resilience_violation(
+    game: &BayesianGame,
+    profile: &StrategyProfile,
+    k: usize,
+    eps: f64,
+) -> Option<Violation> {
+    validate_profile(game, profile);
+    resilience_violation_given(game, profile, None, k, eps, false)
+}
+
+/// Checks strong (ε-)k-resilience: no coalition deviation makes **any**
+/// member better off (Definition 3.1, "strongly").
+pub fn is_strongly_k_resilient(
+    game: &BayesianGame,
+    profile: &StrategyProfile,
+    k: usize,
+    eps: f64,
+) -> bool {
+    validate_profile(game, profile);
+    resilience_violation_given(game, profile, None, k, eps, true).is_none()
+}
+
+/// Inner resilience check with an optional fixed adversary deviation
+/// (used by the robustness check, where `T` plays `tau_t`).
+fn resilience_violation_given(
+    game: &BayesianGame,
+    profile: &StrategyProfile,
+    tau_t: Option<&CoalitionDeviation>,
+    k: usize,
+    eps: f64,
+    strong: bool,
+) -> Option<Violation> {
+    let n = game.n();
+    let blocked: Vec<usize> = tau_t.map(|d| d.members.clone()).unwrap_or_default();
+    let candidates: Vec<usize> = (0..n).filter(|i| !blocked.contains(i)).collect();
+    let devs_fixed: Vec<&CoalitionDeviation> = tau_t.into_iter().collect();
+
+    for coalition_local in subsets_up_to(candidates.len(), k) {
+        let coalition: Vec<usize> = coalition_local.iter().map(|&j| candidates[j]).collect();
+        // Condition on every joint type of K∪T with positive probability.
+        let mut cond_set = coalition.clone();
+        cond_set.extend_from_slice(&blocked);
+        for tassign in game.type_profiles_of(&cond_set) {
+            // Build a representative full type profile for conditioning.
+            let mut rep = vec![0; n];
+            for (pos, &i) in cond_set.iter().enumerate() {
+                rep[i] = tassign[pos];
+            }
+            let cond = game.type_dist_given(&cond_set, &rep);
+            if cond.is_empty() {
+                continue;
+            }
+            // Baseline: everyone plays profile (T still plays tau_t).
+            let base = expected_utilities_with(game, profile, &devs_fixed, &cond);
+            // Matrix over the coalition's joint pure actions.
+            let matrix = payoff_matrix(game, profile, &devs_fixed, &coalition, &cond);
+            let rows: Vec<Vec<f64>> = coalition
+                .iter()
+                .map(|&i| matrix.iter().map(|col| col[i]).collect())
+                .collect();
+            let base_k: Vec<f64> = coalition.iter().map(|&i| base[i]).collect();
+            let margin = if strong {
+                // Any single member gaining violates strong resilience; the
+                // max of a linear function over the simplex is at a vertex.
+                rows.iter()
+                    .zip(&base_k)
+                    .map(|(r, b)| r.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - b)
+                    .fold(f64::NEG_INFINITY, f64::max)
+            } else {
+                let (m, _) = lp::max_min_margin(&rows, &base_k);
+                m
+            };
+            let threshold = if eps > 0.0 { eps - TOL } else { TOL };
+            if margin >= threshold {
+                return Some(Violation {
+                    coalition: coalition.clone(),
+                    adversaries: blocked.clone(),
+                    margin,
+                    description: format!(
+                        "coalition {coalition:?} (types {tassign:?}) gains {margin:.6}"
+                    ),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Checks Definition 3.3 / 3.5: `profile` is (ε-)t-immune — no set of ≤ t
+/// players can lower any *other* player's utility (by ≥ ε).
+pub fn is_t_immune(game: &BayesianGame, profile: &StrategyProfile, t: usize, eps: f64) -> bool {
+    t_immunity_violation(game, profile, t, eps).is_none()
+}
+
+/// Returns a witness if (ε-)t-immunity fails; see [`is_t_immune`].
+pub fn t_immunity_violation(
+    game: &BayesianGame,
+    profile: &StrategyProfile,
+    t: usize,
+    eps: f64,
+) -> Option<Violation> {
+    validate_profile(game, profile);
+    if t == 0 {
+        return None;
+    }
+    let n = game.n();
+    for adv in subsets_up_to(n, t) {
+        for tassign in game.type_profiles_of(&adv) {
+            let mut rep = vec![0; n];
+            for (pos, &i) in adv.iter().enumerate() {
+                rep[i] = tassign[pos];
+            }
+            let cond = game.type_dist_given(&adv, &rep);
+            if cond.is_empty() {
+                continue;
+            }
+            let base = expected_utilities_with(game, profile, &[], &cond);
+            // T minimizes some victim's utility: linear ⇒ pure suffices.
+            let matrix = payoff_matrix(game, profile, &[], &adv, &cond);
+            for i in 0..n {
+                if adv.contains(&i) {
+                    continue;
+                }
+                let worst = matrix
+                    .iter()
+                    .map(|col| col[i])
+                    .fold(f64::INFINITY, f64::min);
+                let harm = base[i] - worst;
+                let threshold = if eps > 0.0 { eps - TOL } else { TOL };
+                if harm >= threshold {
+                    return Some(Violation {
+                        coalition: vec![i],
+                        adversaries: adv.clone(),
+                        margin: harm,
+                        description: format!(
+                            "adversaries {adv:?} (types {tassign:?}) harm player {i} by {harm:.6}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Checks Definition 3.4 / 3.6: `profile` is a (ε-)(k,t)-robust equilibrium.
+///
+/// `profile` must be (ε-)t-immune, and for every adversary set `T` (|T| ≤ t)
+/// and every pure type-dependent joint strategy `τ_T`, the profile with `T`
+/// fixed to `τ_T` must be (ε-)k-resilient for coalitions disjoint from `T`.
+///
+/// The `τ_T` enumeration is over pure deviations; the searched coalition
+/// response is mixed (LP). Set `strong` for the "strongly" variants.
+///
+/// # Panics
+///
+/// Panics if the `τ_T` enumeration would exceed `10^7` candidates; the
+/// checker is meant for the small games in [`crate::library`].
+pub fn is_kt_robust(
+    game: &BayesianGame,
+    profile: &StrategyProfile,
+    k: usize,
+    t: usize,
+    eps: f64,
+    strong: bool,
+) -> bool {
+    kt_robustness_violation(game, profile, k, t, eps, strong).is_none()
+}
+
+/// Returns a witness if (ε-)(k,t)-robustness fails; see [`is_kt_robust`].
+pub fn kt_robustness_violation(
+    game: &BayesianGame,
+    profile: &StrategyProfile,
+    k: usize,
+    t: usize,
+    eps: f64,
+    strong: bool,
+) -> Option<Violation> {
+    validate_profile(game, profile);
+    if let Some(v) = t_immunity_violation(game, profile, t, eps) {
+        return Some(v);
+    }
+    if k == 0 {
+        return None;
+    }
+    // T = ∅ case: plain resilience.
+    if let Some(v) = resilience_violation_given(game, profile, None, k, eps, strong) {
+        return Some(v);
+    }
+    if t == 0 {
+        return None;
+    }
+    let n = game.n();
+    for adv in subsets_up_to(n, t) {
+        for tau in enumerate_pure_deviations(game, &adv) {
+            if let Some(v) = resilience_violation_given(game, profile, Some(&tau), k, eps, strong)
+            {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Enumerates all pure type-dependent joint deviations of `members`.
+fn enumerate_pure_deviations(game: &BayesianGame, members: &[usize]) -> Vec<CoalitionDeviation> {
+    let num_jt: usize = members
+        .iter()
+        .map(|&i| game.type_counts()[i])
+        .product::<usize>()
+        .max(1);
+    let num_ja: usize = members
+        .iter()
+        .map(|&i| game.action_counts()[i])
+        .product::<usize>()
+        .max(1);
+    let total = (num_ja as f64).powi(num_jt as i32);
+    assert!(
+        total <= 1e7,
+        "pure deviation space too large ({total:.0}); use the battery-based checker instead"
+    );
+    let mut out = Vec::with_capacity(total as usize);
+    let mut choice = vec![0usize; num_jt];
+    loop {
+        let table: Vec<Vec<f64>> = choice
+            .iter()
+            .map(|&ja| {
+                let mut row = vec![0.0; num_ja];
+                row[ja] = 1.0;
+                row
+            })
+            .collect();
+        out.push(CoalitionDeviation {
+            members: members.to_vec(),
+            table,
+        });
+        // Odometer.
+        let mut i = num_jt;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            choice[i] += 1;
+            if choice[i] < num_ja {
+                break;
+            }
+            choice[i] = 0;
+        }
+    }
+}
+
+/// Enumerates all pure-strategy Nash equilibria of a complete-information
+/// game (each returned profile is a vector of action indices).
+///
+/// A small diagnostic used to contrast Nash outcomes with mediated
+/// (correlated) outcomes — e.g. chicken's pure equilibria are the
+/// asymmetric (7,2)/(2,7) cells while the mediator reaches 5.25 each.
+///
+/// # Panics
+///
+/// Panics if the game has private types.
+pub fn pure_nash_equilibria(game: &BayesianGame) -> Vec<Vec<ActionIx>> {
+    assert!(
+        game.type_counts().iter().all(|&c| c == 1),
+        "pure-Nash enumeration requires complete information"
+    );
+    let types = vec![0; game.n()];
+    let mut out = Vec::new();
+    'profiles: for profile in game.action_profiles() {
+        let us = game.utilities(&types, &profile);
+        for i in 0..game.n() {
+            for alt in 0..game.action_counts()[i] {
+                if alt == profile[i] {
+                    continue;
+                }
+                let mut q = profile.clone();
+                q[i] = alt;
+                if game.utilities(&types, &q)[i] > us[i] + TOL {
+                    continue 'profiles;
+                }
+            }
+        }
+        out.push(profile);
+    }
+    out
+}
+
+/// The maximum joint gain any coalition of size ≤ k can extract (over all
+/// joint types): a diagnostic used by experiment tables.
+pub fn best_coalition_gain(game: &BayesianGame, profile: &StrategyProfile, k: usize) -> f64 {
+    validate_profile(game, profile);
+    let n = game.n();
+    let mut best = f64::NEG_INFINITY;
+    for coalition in subsets_up_to(n, k) {
+        for tassign in game.type_profiles_of(&coalition) {
+            let mut rep = vec![0; n];
+            for (pos, &i) in coalition.iter().enumerate() {
+                rep[i] = tassign[pos];
+            }
+            let cond = game.type_dist_given(&coalition, &rep);
+            if cond.is_empty() {
+                continue;
+            }
+            let base = expected_utilities_with(game, profile, &[], &cond);
+            let matrix = payoff_matrix(game, profile, &[], &coalition, &cond);
+            let rows: Vec<Vec<f64>> = coalition
+                .iter()
+                .map(|&i| matrix.iter().map(|col| col[i]).collect())
+                .collect();
+            let base_k: Vec<f64> = coalition.iter().map(|&i| base[i]).collect();
+            let (m, _) = lp::max_min_margin(&rows, &base_k);
+            best = best.max(m);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::BayesianGame;
+    use crate::strategy::Strategy;
+
+    /// Prisoner's dilemma. Action 0 = cooperate, 1 = defect.
+    fn pd() -> (BayesianGame, StrategyProfile) {
+        let g = BayesianGame::complete_info("pd", vec![2, 2], |a| {
+            match (a[0], a[1]) {
+                (0, 0) => vec![3.0, 3.0],
+                (0, 1) => vec![0.0, 4.0],
+                (1, 0) => vec![4.0, 0.0],
+                (1, 1) => vec![1.0, 1.0],
+                _ => unreachable!(),
+            }
+        });
+        let defect = vec![Strategy::pure(1, 2, 1), Strategy::pure(1, 2, 1)];
+        (g, defect)
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = subsets_up_to(3, 2);
+        assert_eq!(s.len(), 6); // {0},{0,1},{0,2},{1},{1,2},{2}
+        assert!(s.contains(&vec![0, 2]));
+        assert!(!s.contains(&vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn pd_defect_is_nash_but_not_2_resilient() {
+        let (g, defect) = pd();
+        assert!(is_k_resilient(&g, &defect, 1, 0.0));
+        // Jointly cooperating gives both 3 > 1.
+        assert!(!is_k_resilient(&g, &defect, 2, 0.0));
+        let v = k_resilience_violation(&g, &defect, 2, 0.0).unwrap();
+        assert_eq!(v.coalition, vec![0, 1]);
+        assert!((v.margin - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pd_cooperate_not_even_nash() {
+        let (g, _) = pd();
+        let coop = vec![Strategy::pure(1, 2, 0), Strategy::pure(1, 2, 0)];
+        assert!(!is_k_resilient(&g, &coop, 1, 0.0));
+    }
+
+    #[test]
+    fn eps_resilience_threshold() {
+        let (g, defect) = pd();
+        // The 2-coalition gain is exactly 2.0: so defect is ε-2-resilient
+        // for ε > 2 but not for ε ≤ 2.
+        assert!(is_k_resilient(&g, &defect, 2, 2.5));
+        assert!(!is_k_resilient(&g, &defect, 2, 1.5));
+    }
+
+    #[test]
+    fn strong_resilience_is_stricter() {
+        // A game where a 2-coalition deviation helps one member and hurts the
+        // other: not a violation of plain resilience, but of strong.
+        let g = BayesianGame::complete_info("asym", vec![2, 2], |a| {
+            match (a[0], a[1]) {
+                (0, 0) => vec![1.0, 1.0],
+                (1, 1) => vec![2.0, 0.0], // helps 0, hurts 1
+                _ => vec![0.0, 0.0],
+            }
+        });
+        let both0 = vec![Strategy::pure(1, 2, 0), Strategy::pure(1, 2, 0)];
+        // Unilateral deviation to 1 yields 0 ⇒ Nash. Joint deviation to (1,1)
+        // gives (2,0): member 1 does not gain ⇒ still 2-resilient.
+        assert!(is_k_resilient(&g, &both0, 2, 0.0));
+        // But member 0 gains ⇒ not strongly 2-resilient.
+        assert!(!is_strongly_k_resilient(&g, &both0, 2, 0.0));
+    }
+
+    #[test]
+    fn mixed_deviation_found_where_pure_fails() {
+        // Coalition {0,1} vs. bystander 2. Actions {0,1} each. The coalition's
+        // pure joint deviations each help only one member; the 50/50 mix
+        // helps both (the lp::max_min_margin test case embedded in a game).
+        let g = BayesianGame::complete_info("mix", vec![2, 2, 1], |a| {
+            match (a[0], a[1]) {
+                (0, 0) => vec![0.5, 0.5, 0.0],
+                (0, 1) => vec![2.0, 0.0, 0.0],
+                (1, 0) => vec![0.0, 2.0, 0.0],
+                (1, 1) => vec![0.5, 0.5, 0.0],
+                _ => unreachable!(),
+            }
+        });
+        let base = vec![
+            Strategy::pure(1, 2, 0),
+            Strategy::pure(1, 2, 0),
+            Strategy::pure(1, 1, 0),
+        ];
+        // (0,0) gives (0.5, 0.5). Mixing (0,1)/(1,0) 50/50 gives (1,1).
+        let v = k_resilience_violation(&g, &base, 2, 0.0).expect("mixed deviation exists");
+        assert!((v.margin - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn immunity_detects_harm() {
+        // Player 1 can burn player 0's payoff.
+        let g = BayesianGame::complete_info("burn", vec![1, 2], |a| {
+            if a[1] == 0 { vec![1.0, 1.0] } else { vec![0.0, 1.0] }
+        });
+        let prof = vec![Strategy::pure(1, 1, 0), Strategy::pure(1, 2, 0)];
+        assert!(!is_t_immune(&g, &prof, 1, 0.0));
+        let v = t_immunity_violation(&g, &prof, 1, 0.0).unwrap();
+        assert_eq!(v.adversaries, vec![1]);
+        assert_eq!(v.coalition, vec![0]); // the victim
+        assert!((v.margin - 1.0).abs() < 1e-9);
+        // ε-immunity with ε > harm passes.
+        assert!(is_t_immune(&g, &prof, 1, 1.5));
+    }
+
+    #[test]
+    fn immunity_holds_in_dummy_game() {
+        // Utilities independent of actions: nothing can harm anyone.
+        let g = BayesianGame::complete_info("const", vec![2, 2, 2], |_| vec![1.0, 1.0, 1.0]);
+        let prof = vec![Strategy::pure(1, 2, 0); 3];
+        assert!(is_t_immune(&g, &prof, 2, 0.0));
+        assert!(is_kt_robust(&g, &prof, 2, 1, 0.0, true));
+    }
+
+    #[test]
+    fn robustness_catches_adversary_enabled_deviation() {
+        // 3 players. If player 2 (adversary) plays 1, then player 0 can gain
+        // by deviating; otherwise not. So the profile is 1-resilient and
+        // 1-immune but not (1,1)-robust.
+        let g = BayesianGame::complete_info("enable", vec![2, 1, 2], |a| {
+            let u0 = match (a[0], a[2]) {
+                (0, _) => 1.0,
+                (1, 1) => 2.0, // deviation pays only if adversary enables it
+                (1, 0) => 0.0,
+                _ => unreachable!(),
+            };
+            vec![u0, 0.0, 0.0]
+        });
+        let prof = vec![
+            Strategy::pure(1, 2, 0),
+            Strategy::pure(1, 1, 0),
+            Strategy::pure(1, 2, 0),
+        ];
+        assert!(is_k_resilient(&g, &prof, 1, 0.0));
+        assert!(is_t_immune(&g, &prof, 1, 0.0));
+        let v = kt_robustness_violation(&g, &prof, 1, 1, 0.0, false).unwrap();
+        assert_eq!(v.adversaries, vec![2]);
+        assert_eq!(v.coalition, vec![0]);
+    }
+
+    #[test]
+    fn bayesian_conditioning_in_resilience() {
+        // Player 0 knows a coin (type); deviating pays only on type 1. A
+        // type-agnostic check would average the gain away; the per-type check
+        // must catch it.
+        let g = BayesianGame::new(
+            "coin-dev",
+            vec![2, 1],
+            vec![2, 1],
+            vec![(vec![0, 0], 0.5), (vec![1, 0], 0.5)],
+            |t, a| {
+                let u0 = if t[0] == 1 && a[0] == 1 {
+                    5.0
+                } else if a[0] == 0 {
+                    1.0
+                } else {
+                    0.0
+                };
+                vec![u0, 0.0]
+            },
+        );
+        let prof = vec![Strategy::pure(2, 2, 0), Strategy::pure(1, 1, 0)];
+        let v = k_resilience_violation(&g, &prof, 1, 0.0).unwrap();
+        assert!((v.margin - 4.0).abs() < 1e-6, "gain on type 1 is 5-1=4");
+    }
+
+    #[test]
+    fn expected_utilities_basic() {
+        let (g, defect) = pd();
+        assert_eq!(expected_utilities(&g, &defect), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn pure_nash_of_prisoners_dilemma_is_mutual_defection() {
+        let (g, _) = pd();
+        assert_eq!(pure_nash_equilibria(&g), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn pure_nash_of_chicken_are_the_asymmetric_cells() {
+        let g = BayesianGame::complete_info("chicken", vec![2, 2], |a| match (a[0], a[1]) {
+            (0, 0) => vec![0.0, 0.0],
+            (0, 1) => vec![7.0, 2.0],
+            (1, 0) => vec![2.0, 7.0],
+            (1, 1) => vec![6.0, 6.0],
+            _ => unreachable!(),
+        });
+        let mut nash = pure_nash_equilibria(&g);
+        nash.sort();
+        assert_eq!(nash, vec![vec![0, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn coordination_has_every_unanimous_profile_as_nash() {
+        let g = crate::library::coordination_game(3, 2);
+        let nash = pure_nash_equilibria(&g);
+        assert!(nash.contains(&vec![0, 0, 0]));
+        assert!(nash.contains(&vec![1, 1, 1]));
+    }
+
+    #[test]
+    fn best_coalition_gain_diagnostic() {
+        let (g, defect) = pd();
+        let gain = best_coalition_gain(&g, &defect, 2);
+        assert!((gain - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests: distance metric axioms, LP solver sanity, and
+//! solution-concept monotonicity laws.
+
+use mediator_games::dist::{l1_distance, set_distance, OutcomeDist};
+use mediator_games::lp;
+use mediator_games::solution;
+use mediator_games::BayesianGame;
+use mediator_games::Strategy as GameStrategy;
+use proptest::prelude::*;
+
+fn arb_dist(support: usize) -> impl Strategy<Value = OutcomeDist> {
+    proptest::collection::vec(1u32..100, support).prop_map(|ws| {
+        let total: u32 = ws.iter().sum();
+        ws.into_iter()
+            .enumerate()
+            .map(|(i, w)| (vec![i], w as f64 / total as f64))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn l1_is_a_metric(a in arb_dist(4), b in arb_dist(4), c in arb_dist(4)) {
+        // Identity, symmetry, triangle inequality.
+        prop_assert!(l1_distance(&a, &a) < 1e-12);
+        prop_assert!((l1_distance(&a, &b) - l1_distance(&b, &a)).abs() < 1e-12);
+        prop_assert!(l1_distance(&a, &c) <= l1_distance(&a, &b) + l1_distance(&b, &c) + 1e-12);
+    }
+
+    #[test]
+    fn l1_bounded_by_two(a in arb_dist(5), b in arb_dist(5)) {
+        prop_assert!(l1_distance(&a, &b) <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn set_distance_zero_for_equal_sets(a in arb_dist(3), b in arb_dist(3)) {
+        let xs = vec![a.clone(), b.clone()];
+        let ys = vec![b, a];
+        prop_assert!(set_distance(&xs, &ys) < 1e-12);
+    }
+
+    #[test]
+    fn lp_max_min_margin_never_exceeds_best_entry(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 3), 1..4
+        ),
+    ) {
+        let base = vec![0.0; rows.len()];
+        let (v, lambda) = lp::max_min_margin(&rows, &base);
+        // Margin cannot exceed the best single entry of any row (each row's
+        // margin is a convex combination of its entries).
+        let cap = rows
+            .iter()
+            .map(|r| r.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(v <= cap + 1e-6, "v={v} cap={cap}");
+        // The solution is a distribution.
+        let total: f64 = lambda.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!(lambda.iter().all(|&l| l >= -1e-9));
+        // And achieves (approximately) the reported value.
+        let achieved = rows
+            .iter()
+            .map(|r| r.iter().zip(&lambda).map(|(x, l)| x * l).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((achieved - v).abs() < 1e-6, "achieved={achieved} v={v}");
+    }
+
+    /// ε-monotonicity: if a profile is ε-k-resilient it is ε'-k-resilient
+    /// for every ε' ≥ ε; and k-resilience is monotone downward in k.
+    #[test]
+    fn resilience_monotonicity(payoff_seed in any::<u64>()) {
+        // Random 2-player 2-action complete-information game.
+        let vals: Vec<f64> = (0..8)
+            .map(|i| {
+                let mut z = payoff_seed.wrapping_add(i * 0x9E37_79B9);
+                z ^= z >> 16;
+                (z % 100) as f64 / 10.0
+            })
+            .collect();
+        let game = BayesianGame::complete_info("rand", vec![2, 2], move |a| {
+            let ix = a[0] * 2 + a[1];
+            vec![vals[ix], vals[4 + ix]]
+        });
+        let profile = vec![GameStrategy::pure(1, 2, 0), GameStrategy::pure(1, 2, 0)];
+        for eps in [0.5f64, 1.0, 2.0, 4.0] {
+            let weak = solution::is_k_resilient(&game, &profile, 2, eps);
+            let weaker = solution::is_k_resilient(&game, &profile, 2, eps * 2.0);
+            prop_assert!(!weak || weaker, "ε-monotonicity violated at ε={eps}");
+        }
+        let k2 = solution::is_k_resilient(&game, &profile, 2, 0.0);
+        let k1 = solution::is_k_resilient(&game, &profile, 1, 0.0);
+        prop_assert!(!k2 || k1, "k-monotonicity violated");
+    }
+
+    /// Robustness implies its components.
+    #[test]
+    fn robustness_implies_immunity_and_resilience(payoff_seed in any::<u64>()) {
+        let vals: Vec<f64> = (0..8)
+            .map(|i| {
+                let mut z = payoff_seed.wrapping_add(i * 0xBF58_476D);
+                z ^= z >> 13;
+                (z % 50) as f64 / 5.0
+            })
+            .collect();
+        let game = BayesianGame::complete_info("rand2", vec![2, 2], move |a| {
+            let ix = a[0] * 2 + a[1];
+            vec![vals[ix], vals[4 + ix]]
+        });
+        let profile = vec![GameStrategy::pure(1, 2, 1), GameStrategy::pure(1, 2, 1)];
+        if solution::is_kt_robust(&game, &profile, 1, 1, 0.0, false) {
+            prop_assert!(solution::is_k_resilient(&game, &profile, 1, 0.0));
+            prop_assert!(solution::is_t_immune(&game, &profile, 1, 0.0));
+        }
+    }
+}

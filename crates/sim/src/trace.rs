@@ -1,0 +1,126 @@
+//! Message patterns: the environment-visible view of a run.
+//!
+//! Lemma 6.8 of the paper defines a *message pattern* as the sequence of
+//! events `(s, i, j, k)` ("the `k`-th message from `i` to `j` was sent") and
+//! `(d, i, j, k)` ("... was delivered"), with contents hidden. Schedulers in
+//! this crate see exactly this information, and [`Trace`] records it for the
+//! whole run so that experiments can count messages and reconstruct
+//! scheduler-equivalence classes.
+
+use crate::process::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One environment-visible event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Process `p` received its start signal.
+    Started { p: ProcessId },
+    /// The `k`-th message from `src` to `dst` was sent (paper: `(s,i,j,k)`).
+    Sent { src: ProcessId, dst: ProcessId, k: u64 },
+    /// The `k`-th message from `src` to `dst` was delivered (paper: `(d,i,j,k)`).
+    Delivered { src: ProcessId, dst: ProcessId, k: u64 },
+    /// The `k`-th message from `src` to `dst` was dropped by a relaxed scheduler.
+    Dropped { src: ProcessId, dst: ProcessId, k: u64 },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Started { p } => write!(f, "(start,{p})"),
+            TraceEvent::Sent { src, dst, k } => write!(f, "(s,{src},{dst},{k})"),
+            TraceEvent::Delivered { src, dst, k } => write!(f, "(d,{src},{dst},{k})"),
+            TraceEvent::Dropped { src, dst, k } => write!(f, "(x,{src},{dst},{k})"),
+        }
+    }
+}
+
+/// The full message pattern of a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// Appends an event. Traces are plain data; building them by hand is
+    /// useful for testing pattern-classification tooling.
+    pub fn push_event(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All events, in dispatch order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of messages sent.
+    pub fn sent_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Sent { .. }))
+            .count() as u64
+    }
+
+    /// Number of messages delivered.
+    pub fn delivered_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
+            .count() as u64
+    }
+
+    /// Number of messages dropped by a relaxed scheduler.
+    pub fn dropped_count(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Dropped { .. }))
+            .count() as u64
+    }
+
+    /// Messages sent by a specific process.
+    pub fn sent_by(&self, p: ProcessId) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Sent { src, .. } if *src == p))
+            .count() as u64
+    }
+
+    /// Renders the pattern in the paper's tuple notation.
+    pub fn to_pattern_string(&self) -> String {
+        let parts: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_rendering() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Started { p: 0 });
+        t.push(TraceEvent::Sent { src: 0, dst: 3, k: 1 });
+        t.push(TraceEvent::Sent { src: 1, dst: 0, k: 1 });
+        t.push(TraceEvent::Sent { src: 0, dst: 3, k: 2 });
+        t.push(TraceEvent::Delivered { src: 0, dst: 3, k: 2 });
+        assert_eq!(t.sent_count(), 3);
+        assert_eq!(t.delivered_count(), 1);
+        assert_eq!(t.dropped_count(), 0);
+        assert_eq!(t.sent_by(0), 2);
+        // This is the example pattern from the proof of Lemma 6.8.
+        assert_eq!(
+            t.to_pattern_string(),
+            "(start,0), (s,0,3,1), (s,1,0,1), (s,0,3,2), (d,0,3,2)"
+        );
+    }
+}

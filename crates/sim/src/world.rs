@@ -1,0 +1,624 @@
+//! The deterministic event loop.
+
+use crate::process::{Action, Ctx, Process, ProcessId};
+use crate::scheduler::{PendingView, SchedChoice, Scheduler};
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationKind {
+    /// Every process halted (or every pending event was consumed) and all
+    /// processes that wanted to move have moved.
+    Quiescent,
+    /// No pending events remain but some live process never halted — the
+    /// run deadlocked (possible only with relaxed schedulers or buggy
+    /// protocols).
+    Deadlock,
+    /// The step budget ran out with events still pending (livelock guard).
+    BudgetExhausted,
+}
+
+/// The result of running a [`World`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Outcome {
+    /// The move each process made in the underlying game, if any.
+    pub moves: Vec<Option<Action>>,
+    /// The will each process left, if any (the Aumann–Hart approach).
+    pub wills: Vec<Option<Action>>,
+    /// Which processes halted.
+    pub halted: Vec<bool>,
+    /// Messages sent during the run.
+    pub messages_sent: u64,
+    /// Messages delivered during the run.
+    pub messages_delivered: u64,
+    /// Steps (events dispatched).
+    pub steps: u64,
+    /// How the run ended.
+    pub termination: TerminationKind,
+    /// The full message pattern.
+    pub trace: Trace,
+}
+
+impl Outcome {
+    /// Resolves final moves for the **default-move approach**: a process
+    /// that never moved is assigned `defaults[i]` (the paper's `M_i(t)`).
+    pub fn resolve_default(&self, defaults: &[Action]) -> Vec<Action> {
+        self.moves
+            .iter()
+            .enumerate()
+            .map(|(i, m)| m.unwrap_or(defaults[i]))
+            .collect()
+    }
+
+    /// Resolves final moves for the **AH (wills) approach**: a process that
+    /// never moved plays its will if it wrote one, else `fallback[i]`.
+    /// (The paper's strategies always write a will before any deadlock can
+    /// occur; the fallback covers ill-formed strategies.)
+    pub fn resolve_ah(&self, fallback: &[Action]) -> Vec<Action> {
+        self.moves
+            .iter()
+            .zip(&self.wills)
+            .enumerate()
+            .map(|(i, (m, w))| m.or(*w).unwrap_or(fallback[i]))
+            .collect()
+    }
+}
+
+enum Pending<M> {
+    Start(ProcessId),
+    Msg {
+        src: ProcessId,
+        dst: ProcessId,
+        payload: M,
+        k: u64,
+        seq: u64,
+        batch: u64,
+        born: u64,
+    },
+}
+
+/// A deterministic asynchronous world: processes plus in-flight events.
+///
+/// Determinism: one master seed derives one RNG per process and one for the
+/// scheduler; two runs with the same processes, scheduler, and seed produce
+/// identical traces.
+pub struct World<M> {
+    procs: Vec<Box<dyn Process<M>>>,
+    pending: Vec<Pending<M>>,
+    started: Vec<bool>,
+    halted: Vec<bool>,
+    moves: Vec<Option<Action>>,
+    wills: Vec<Option<Action>>,
+    proc_rngs: Vec<StdRng>,
+    sched_rng: StdRng,
+    pair_seq: Vec<u64>, // (src*n_total + dst) -> next k
+    next_seq: u64,
+    next_batch: u64,
+    steps: u64,
+    sent: u64,
+    delivered: u64,
+    trace: Trace,
+    allow_drop: bool,
+    starvation_bound: u64,
+}
+
+impl<M> World<M> {
+    /// Creates a world over the given processes with a master seed.
+    pub fn new(procs: Vec<Box<dyn Process<M>>>, seed: u64) -> Self {
+        let n = procs.len();
+        let proc_rngs = (0..n)
+            .map(|i| StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64)))
+            .collect();
+        World {
+            procs,
+            pending: Vec::new(),
+            started: vec![false; n],
+            halted: vec![false; n],
+            moves: vec![None; n],
+            wills: vec![None; n],
+            proc_rngs,
+            sched_rng: StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
+            pair_seq: vec![0; n * n],
+            next_seq: 0,
+            next_batch: 0,
+            steps: 0,
+            sent: 0,
+            delivered: 0,
+            trace: Trace::new(),
+            allow_drop: false,
+            starvation_bound: u64::MAX,
+        }
+    }
+
+    /// Permits [`SchedChoice::Drop`] (relaxed-scheduler semantics, §5).
+    /// Dropping one message drops its entire batch (all-or-none rule).
+    pub fn allow_drops(&mut self) -> &mut Self {
+        self.allow_drop = true;
+        self
+    }
+
+    /// Force-delivers any event pending longer than `bound` steps, keeping
+    /// adversarial schedulers technically fair (eventual delivery).
+    pub fn set_starvation_bound(&mut self, bound: u64) -> &mut Self {
+        self.starvation_bound = bound;
+        self
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Returns `true` if the world has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Runs to quiescence, deadlock, or the step budget; consumes the
+    /// schedule produced by `scheduler`.
+    pub fn run(&mut self, scheduler: &mut dyn Scheduler, max_steps: u64) -> Outcome {
+        let n = self.procs.len();
+        // Start signals for everyone (the paper: each player receives a
+        // signal that the game has started when first scheduled).
+        for p in 0..n {
+            self.pending.push(Pending::Start(p));
+        }
+
+        let termination = loop {
+            // Purge events to halted processes: they are dead weight and the
+            // paper's halted players neither receive nor react.
+            self.purge_halted();
+
+            if self.pending.is_empty() {
+                let all_done = self.halted.iter().all(|&h| h);
+                break if all_done {
+                    TerminationKind::Quiescent
+                } else {
+                    TerminationKind::Deadlock
+                };
+            }
+            if self.steps >= max_steps {
+                break TerminationKind::BudgetExhausted;
+            }
+
+            let choice = self.pick(scheduler);
+            match choice {
+                SchedChoice::Deliver(i) => self.dispatch(i),
+                SchedChoice::Drop(i) => {
+                    if self.allow_drop {
+                        self.drop_batch(i);
+                    } else {
+                        // Ordinary games: dropping is not available; deliver
+                        // instead so a buggy scheduler cannot violate the
+                        // model.
+                        self.dispatch(i);
+                    }
+                }
+            }
+            self.steps += 1;
+        };
+
+        Outcome {
+            moves: self.moves.clone(),
+            wills: self.wills.clone(),
+            halted: self.halted.clone(),
+            messages_sent: self.sent,
+            messages_delivered: self.delivered,
+            steps: self.steps,
+            termination,
+            trace: std::mem::take(&mut self.trace),
+        }
+    }
+
+    fn purge_halted(&mut self) {
+        let halted = &self.halted;
+        self.pending.retain(|p| match p {
+            Pending::Start(p) => !halted[*p],
+            Pending::Msg { dst, .. } => !halted[*dst],
+        });
+    }
+
+    fn views(&self) -> Vec<PendingView> {
+        self.pending
+            .iter()
+            .map(|p| match p {
+                Pending::Start(pid) => PendingView {
+                    src: None,
+                    dst: *pid,
+                    k: 0,
+                    seq: 0,
+                    batch: 0,
+                    age: self.steps,
+                },
+                Pending::Msg { src, dst, k, seq, batch, born, .. } => PendingView {
+                    src: Some(*src),
+                    dst: *dst,
+                    k: *k,
+                    seq: *seq,
+                    batch: *batch,
+                    age: self.steps - born,
+                },
+            })
+            .collect()
+    }
+
+    fn pick(&mut self, scheduler: &mut dyn Scheduler) -> SchedChoice {
+        let views = self.views();
+        // Starvation backstop: force-deliver over-age events.
+        if let Some((i, _)) = views
+            .iter()
+            .enumerate()
+            .find(|(_, v)| v.age > self.starvation_bound)
+        {
+            return SchedChoice::Deliver(i);
+        }
+        let c = scheduler.next(&views, &mut self.sched_rng);
+        let idx = match c {
+            SchedChoice::Deliver(i) | SchedChoice::Drop(i) => i,
+        };
+        assert!(idx < self.pending.len(), "scheduler returned out-of-range index");
+        c
+    }
+
+    fn dispatch(&mut self, i: usize) {
+        let ev = self.pending.swap_remove(i);
+        match ev {
+            Pending::Start(pid) => self.start_if_needed(pid),
+            Pending::Msg { src, dst, payload, k, .. } => {
+                // The paper: a player gets its start signal when *first
+                // scheduled*, whether by an external signal or by a
+                // game-related message. Deliver the start before the message.
+                self.start_if_needed(dst);
+                if self.halted[dst] {
+                    return; // halted during on_start; message discarded
+                }
+                self.trace.push(TraceEvent::Delivered { src, dst, k });
+                self.delivered += 1;
+                let mut ctx = Ctx::new(dst, self.steps, &mut self.proc_rngs[dst]);
+                self.procs[dst].on_message(src, payload, &mut ctx);
+                let effects = ctx.finish();
+                self.apply_effects(dst, effects);
+            }
+        }
+    }
+
+    fn start_if_needed(&mut self, pid: ProcessId) {
+        if self.started[pid] {
+            return;
+        }
+        self.started[pid] = true;
+        self.trace.push(TraceEvent::Started { p: pid });
+        let mut ctx = Ctx::new(pid, self.steps, &mut self.proc_rngs[pid]);
+        self.procs[pid].on_start(&mut ctx);
+        let effects = ctx.finish();
+        self.apply_effects(pid, effects);
+    }
+
+    fn apply_effects(&mut self, pid: ProcessId, effects: crate::process::Effects<M>) {
+        let n = self.procs.len();
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        for (dst, payload) in effects.outbox {
+            assert!(dst < n, "send to unknown process {dst}");
+            let slot = pid * n + dst;
+            self.pair_seq[slot] += 1;
+            let k = self.pair_seq[slot];
+            self.trace.push(TraceEvent::Sent { src: pid, dst, k });
+            self.sent += 1;
+            self.pending.push(Pending::Msg {
+                src: pid,
+                dst,
+                payload,
+                k,
+                seq: self.next_seq,
+                batch,
+                born: self.steps,
+            });
+            self.next_seq += 1;
+        }
+        if let Some(a) = effects.made_move {
+            if self.moves[pid].is_none() {
+                self.moves[pid] = Some(a);
+            }
+        }
+        match effects.will {
+            Some((_, true)) => self.wills[pid] = None,
+            Some((a, false)) => self.wills[pid] = Some(a),
+            None => {}
+        }
+        if effects.halted {
+            self.halted[pid] = true;
+        }
+    }
+
+    fn drop_batch(&mut self, i: usize) {
+        let batch = match &self.pending[i] {
+            Pending::Start(_) => {
+                // Start signals cannot be dropped: the game always starts.
+                self.dispatch(i);
+                return;
+            }
+            Pending::Msg { batch, .. } => *batch,
+        };
+        let mut j = 0;
+        while j < self.pending.len() {
+            let matches = matches!(&self.pending[j], Pending::Msg { batch: b, .. } if *b == batch);
+            if matches {
+                if let Pending::Msg { src, dst, k, .. } = self.pending.swap_remove(j) {
+                    self.trace.push(TraceEvent::Dropped { src, dst, k });
+                }
+            } else {
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FifoScheduler, LifoScheduler, RandomScheduler, RelaxedScheduler};
+
+    /// Sends `fanout` messages to everyone on start; echoes once on receipt;
+    /// moves with the number of messages received after `quota` receipts.
+    struct Chatter {
+        n: usize,
+        fanout: usize,
+        quota: usize,
+        received: usize,
+    }
+
+    impl Process<u32> for Chatter {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            for d in 0..self.n {
+                if d != ctx.me() {
+                    for _ in 0..self.fanout {
+                        ctx.send(d, 1);
+                    }
+                }
+            }
+        }
+        fn on_message(&mut self, _src: ProcessId, _msg: u32, ctx: &mut Ctx<u32>) {
+            self.received += 1;
+            if self.received == self.quota {
+                ctx.make_move(self.received as Action);
+                ctx.halt();
+            }
+        }
+    }
+
+    fn chatter_world(n: usize, fanout: usize, quota: usize, seed: u64) -> World<u32> {
+        let procs: Vec<Box<dyn Process<u32>>> = (0..n)
+            .map(|_| {
+                Box::new(Chatter { n, fanout, quota, received: 0 }) as Box<dyn Process<u32>>
+            })
+            .collect();
+        World::new(procs, seed)
+    }
+
+    #[test]
+    fn all_processes_receive_quota_and_move() {
+        let mut w = chatter_world(4, 2, 3, 1);
+        let out = w.run(&mut RandomScheduler::new(), 100_000);
+        assert_eq!(out.termination, TerminationKind::Quiescent);
+        for m in &out.moves {
+            assert_eq!(*m, Some(3));
+        }
+        assert_eq!(out.messages_sent, 4 * 3 * 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut w = chatter_world(5, 1, 2, seed);
+            w.run(&mut RandomScheduler::new(), 100_000)
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(a.trace.events(), b.trace.events());
+        let c = run(100);
+        // Different seed ⇒ (almost surely) different schedule.
+        assert_ne!(a.trace.events(), c.trace.events());
+    }
+
+    #[test]
+    fn fifo_and_lifo_schedules_differ() {
+        let mut w1 = chatter_world(3, 2, 2, 7);
+        let mut w2 = chatter_world(3, 2, 2, 7);
+        let o1 = w1.run(&mut FifoScheduler, 100_000);
+        let o2 = w2.run(&mut LifoScheduler, 100_000);
+        assert_ne!(o1.trace.events(), o2.trace.events());
+        // But both terminate with the same moves — scheduler-proofness of
+        // this trivial protocol.
+        assert_eq!(o1.moves, o2.moves);
+    }
+
+    #[test]
+    fn deadlock_detected_when_waiting_forever() {
+        /// Waits for a message that never comes.
+        struct Waiter;
+        impl Process<u32> for Waiter {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                ctx.set_will(13);
+            }
+            fn on_message(&mut self, _src: ProcessId, _m: u32, _ctx: &mut Ctx<u32>) {}
+        }
+        let mut w: World<u32> = World::new(vec![Box::new(Waiter)], 0);
+        let out = w.run(&mut RandomScheduler::new(), 1000);
+        assert_eq!(out.termination, TerminationKind::Deadlock);
+        assert_eq!(out.moves[0], None);
+        // AH approach: the will fires.
+        assert_eq!(out.resolve_ah(&[0]), vec![13]);
+        // Default-move approach: the default fires.
+        assert_eq!(out.resolve_default(&[7]), vec![7]);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        /// Two processes ping-pong forever.
+        struct PingPong;
+        impl Process<u32> for PingPong {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                let peer = 1 - ctx.me();
+                ctx.send(peer, 0);
+            }
+            fn on_message(&mut self, src: ProcessId, m: u32, ctx: &mut Ctx<u32>) {
+                ctx.send(src, m + 1);
+            }
+        }
+        let mut w: World<u32> = World::new(vec![Box::new(PingPong), Box::new(PingPong)], 3);
+        let out = w.run(&mut RandomScheduler::new(), 500);
+        assert_eq!(out.termination, TerminationKind::BudgetExhausted);
+        assert_eq!(out.steps, 500);
+    }
+
+    #[test]
+    fn relaxed_scheduler_can_cause_deadlock_but_batches_drop_atomically() {
+        /// Process 0 sends one batch of two messages to 1 and 2; they move on
+        /// receipt.
+        struct Sender;
+        impl Process<u32> for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.me() == 0 {
+                    ctx.send(1, 10);
+                    ctx.send(2, 20);
+                    ctx.make_move(0);
+                    ctx.halt();
+                }
+            }
+            fn on_message(&mut self, _src: ProcessId, m: u32, ctx: &mut Ctx<u32>) {
+                ctx.make_move(m as Action);
+                ctx.halt();
+            }
+        }
+        let procs: Vec<Box<dyn Process<u32>>> =
+            vec![Box::new(Sender), Box::new(Sender), Box::new(Sender)];
+        let mut w = World::new(procs, 11);
+        w.allow_drops();
+        let out = w.run(&mut RelaxedScheduler::new(vec![0], 0), 10_000);
+        // The whole batch was dropped: receivers never move — and crucially
+        // NOT only one of them (all-or-none, Lemma 6.10's hypothesis).
+        assert_eq!(out.trace.dropped_count(), 2);
+        assert_eq!(out.moves[1], None);
+        assert_eq!(out.moves[2], None);
+        assert_eq!(out.termination, TerminationKind::Deadlock);
+    }
+
+    #[test]
+    fn drops_ignored_without_relaxed_semantics() {
+        struct Sender;
+        impl Process<u32> for Sender {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.me() == 0 {
+                    ctx.send(1, 10);
+                    ctx.halt();
+                }
+            }
+            fn on_message(&mut self, _src: ProcessId, m: u32, ctx: &mut Ctx<u32>) {
+                ctx.make_move(m as Action);
+                ctx.halt();
+            }
+        }
+        let procs: Vec<Box<dyn Process<u32>>> = vec![Box::new(Sender), Box::new(Sender)];
+        let mut w = World::new(procs, 11);
+        // No allow_drops(): the Drop choice degrades to Deliver.
+        let out = w.run(&mut RelaxedScheduler::new(vec![0], 0), 10_000);
+        assert_eq!(out.moves[1], Some(10));
+        assert_eq!(out.trace.dropped_count(), 0);
+    }
+
+    #[test]
+    fn starvation_bound_forces_delivery() {
+        // LIFO + a self-feeding process would starve the other message
+        // forever; the bound forces it through.
+        struct SelfFeeder {
+            count: u32,
+        }
+        impl Process<u32> for SelfFeeder {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.me() == 0 {
+                    ctx.send(0, 0); // self-message loop
+                    ctx.send(1, 42); // the message LIFO will starve
+                }
+            }
+            fn on_message(&mut self, _src: ProcessId, m: u32, ctx: &mut Ctx<u32>) {
+                if ctx.me() == 0 {
+                    self.count += 1;
+                    if self.count < 200 {
+                        ctx.send(0, m);
+                    } else {
+                        ctx.make_move(0);
+                        ctx.halt();
+                    }
+                } else {
+                    ctx.make_move(m as Action);
+                    ctx.halt();
+                }
+            }
+        }
+        let procs: Vec<Box<dyn Process<u32>>> = vec![
+            Box::new(SelfFeeder { count: 0 }),
+            Box::new(SelfFeeder { count: 0 }),
+        ];
+        let mut w = World::new(procs, 5);
+        w.set_starvation_bound(50);
+        let out = w.run(&mut LifoScheduler, 100_000);
+        assert_eq!(out.moves[1], Some(42), "starved message must eventually arrive");
+    }
+
+    #[test]
+    fn messages_to_halted_processes_are_discarded() {
+        struct OneShot;
+        impl Process<u32> for OneShot {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.me() == 0 {
+                    ctx.send(1, 1);
+                    ctx.send(1, 2);
+                    ctx.halt();
+                }
+            }
+            fn on_message(&mut self, _src: ProcessId, m: u32, ctx: &mut Ctx<u32>) {
+                ctx.make_move(m as Action);
+                ctx.halt(); // halt after first message; second must be purged
+            }
+        }
+        let procs: Vec<Box<dyn Process<u32>>> = vec![Box::new(OneShot), Box::new(OneShot)];
+        let mut w = World::new(procs, 2);
+        let out = w.run(&mut FifoScheduler, 10_000);
+        assert_eq!(out.termination, TerminationKind::Quiescent);
+        assert_eq!(out.moves[1], Some(1));
+        assert_eq!(out.messages_delivered, 1);
+    }
+
+    #[test]
+    fn per_pair_sequence_numbers_count_up() {
+        struct Burst;
+        impl Process<u32> for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.me() == 0 {
+                    ctx.send(1, 0);
+                    ctx.send(1, 0);
+                    ctx.send(1, 0);
+                    ctx.halt();
+                }
+            }
+            fn on_message(&mut self, _src: ProcessId, _m: u32, _ctx: &mut Ctx<u32>) {}
+        }
+        let procs: Vec<Box<dyn Process<u32>>> = vec![Box::new(Burst), Box::new(Burst)];
+        let mut w = World::new(procs, 2);
+        let out = w.run(&mut FifoScheduler, 100);
+        let ks: Vec<u64> = out
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Sent { src: 0, dst: 1, k } => Some(*k),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ks, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the simulator: determinism, conservation laws,
+//! and trace well-formedness under arbitrary seeds and scheduler choices.
+
+use mediator_sim::{
+    Ctx, FifoScheduler, LifoScheduler, Process, ProcessId, RandomScheduler, Scheduler,
+    TraceEvent, World,
+};
+use proptest::prelude::*;
+
+/// A parameterized gossip protocol: each process forwards a counter to a
+/// pseudo-random peer until it hits zero.
+struct Gossip {
+    n: usize,
+    hops: u32,
+}
+
+impl Process<u32> for Gossip {
+    fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+        if ctx.me() == 0 {
+            let peer = 1 % self.n;
+            ctx.send(peer, self.hops);
+        }
+    }
+    fn on_message(&mut self, _src: ProcessId, hops: u32, ctx: &mut Ctx<u32>) {
+        if hops == 0 {
+            ctx.make_move(u64::from(hops));
+            ctx.halt();
+        } else {
+            let peer = (ctx.me() + hops as usize) % self.n;
+            ctx.send(peer, hops - 1);
+        }
+    }
+}
+
+fn gossip_world(n: usize, hops: u32, seed: u64) -> World<u32> {
+    let procs: Vec<Box<dyn Process<u32>>> = (0..n)
+        .map(|_| Box::new(Gossip { n, hops }) as Box<dyn Process<u32>>)
+        .collect();
+    World::new(procs, seed)
+}
+
+proptest! {
+    /// Same seed + same scheduler = identical trace (full determinism).
+    #[test]
+    fn runs_are_reproducible(n in 2usize..6, hops in 0u32..20, seed in any::<u64>()) {
+        let mut w1 = gossip_world(n, hops, seed);
+        let mut w2 = gossip_world(n, hops, seed);
+        let o1 = w1.run(&mut RandomScheduler::new(), 100_000);
+        let o2 = w2.run(&mut RandomScheduler::new(), 100_000);
+        prop_assert_eq!(o1.trace.events(), o2.trace.events());
+        prop_assert_eq!(o1.moves, o2.moves);
+        prop_assert_eq!(o1.steps, o2.steps);
+    }
+
+    /// Messages delivered never exceed messages sent, and with non-dropping
+    /// schedulers the run ends with everything delivered or discarded at a
+    /// halted process.
+    #[test]
+    fn message_conservation(n in 2usize..6, hops in 0u32..20, seed in any::<u64>()) {
+        let mut w = gossip_world(n, hops, seed);
+        let out = w.run(&mut RandomScheduler::new(), 100_000);
+        prop_assert!(out.messages_delivered <= out.messages_sent);
+        prop_assert_eq!(out.trace.sent_count(), out.messages_sent);
+        prop_assert_eq!(out.trace.delivered_count(), out.messages_delivered);
+    }
+
+    /// Per-pair sequence numbers in the trace are consecutive from 1.
+    #[test]
+    fn per_pair_sequence_numbers_are_consecutive(n in 2usize..5, hops in 1u32..15, seed in any::<u64>()) {
+        let mut w = gossip_world(n, hops, seed);
+        let out = w.run(&mut FifoScheduler, 100_000);
+        let mut counters = std::collections::BTreeMap::new();
+        for e in out.trace.events() {
+            if let TraceEvent::Sent { src, dst, k } = e {
+                let c = counters.entry((src, dst)).or_insert(0u64);
+                *c += 1;
+                prop_assert_eq!(*k, *c, "non-consecutive k for {:?}", (src, dst));
+            }
+        }
+    }
+
+    /// The same protocol terminates under every built-in scheduler.
+    #[test]
+    fn termination_is_scheduler_independent(n in 2usize..5, hops in 0u32..15, seed in any::<u64>()) {
+        for mk in [
+            || Box::new(RandomScheduler::new()) as Box<dyn Scheduler>,
+            || Box::new(FifoScheduler) as Box<dyn Scheduler>,
+            || Box::new(LifoScheduler) as Box<dyn Scheduler>,
+        ] {
+            let mut w = gossip_world(n, hops, seed);
+            let out = w.run(mk().as_mut(), 100_000);
+            // The chain has hops+1 messages: someone eventually moves.
+            prop_assert!(out.moves.iter().any(|m| m.is_some()));
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Asynchronous verifiable secret sharing (`t < n/4`) from symmetric
+//! bivariate polynomials, shipping vectors of secrets per instance.
+//!
+//! The dealer samples, per secret, a random symmetric bivariate polynomial
+//! `S(x, y)` of degree `f` in each variable with `S(0,0) = secret`, and
+//! sends player `i` its *row* `f_i(y) = S(x_i, y)`. Players cross-check by
+//! echoing evaluation points (`f_i(x_j) = f_j(x_i)` by symmetry), confirm
+//! their row once `2f+1` echoes agree with it, recover a missing or
+//! corrupted row by online error correction over the echoes addressed to
+//! them, and run Bracha-style READY amplification to terminate. The final
+//! share is `f_i(0)`, a point on the degree-`f` polynomial `S(x, 0)`.
+//!
+//! Properties exercised by the tests (for `n > 4f`):
+//!
+//! * honest dealer → every honest player completes with consistent shares;
+//! * a withheld row is recovered from echoes;
+//! * a corrupted row is overridden by the echo consensus;
+//! * a dealer that shares to too few players completes nowhere (so the ACS
+//!   excludes it from the input core).
+
+use crate::reconstruct::OecState;
+use crate::shamir::Share;
+use mediator_field::{Fp, Poly};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// AVSS wire messages (vector-valued: one entry per shared secret).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AvssMsg {
+    /// Dealer → player: the player's row polynomial coefficients, one
+    /// coefficient vector per secret.
+    Rows(Vec<Vec<Fp>>),
+    /// Player `i` → player `j`: the evaluations `f_i(x_j)`, one per secret.
+    Echo(Vec<Fp>),
+    /// Bracha-style completion vote.
+    Ready,
+}
+
+/// Outgoing message with explicit destination (AVSS rows are per-recipient,
+/// so the generic broadcast-only plumbing does not fit).
+pub type AvssOut = (AvssDest, AvssMsg);
+
+/// Destination selector for [`AvssOut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvssDest {
+    /// To one player.
+    One(usize),
+    /// To all players (including self).
+    All,
+}
+
+/// Dealer-side sharing: builds the per-player row messages.
+///
+/// Returns one `Rows` message per player.
+pub fn deal<R: Rng + ?Sized>(
+    secrets: &[Fp],
+    n: usize,
+    f: usize,
+    rng: &mut R,
+) -> Vec<AvssMsg> {
+    // One symmetric bivariate polynomial per secret:
+    // S(x,y) = Σ_{a≤b} c_{ab} (x^a y^b + x^b y^a excess handled below).
+    // We store the full (f+1)×(f+1) symmetric coefficient matrix.
+    let per_secret: Vec<Vec<Vec<Fp>>> = secrets
+        .iter()
+        .map(|&s| {
+            let mut m = vec![vec![Fp::ZERO; f + 1]; f + 1];
+            for a in 0..=f {
+                for b in a..=f {
+                    let c = if a == 0 && b == 0 { s } else { Fp::random(rng) };
+                    m[a][b] = c;
+                    m[b][a] = c;
+                }
+            }
+            m
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let xi = Fp::new(i as u64 + 1);
+            let rows: Vec<Vec<Fp>> = per_secret
+                .iter()
+                .map(|m| {
+                    // f_i(y) = Σ_b (Σ_a m[a][b] x_i^a) y^b
+                    (0..=f)
+                        .map(|b| {
+                            let mut acc = Fp::ZERO;
+                            let mut xp = Fp::ONE;
+                            for row in m.iter().take(f + 1) {
+                                acc += row[b] * xp;
+                                xp *= xi;
+                            }
+                            acc
+                        })
+                        .collect()
+                })
+                .collect();
+            AvssMsg::Rows(rows)
+        })
+        .collect()
+}
+
+/// One player's state in one AVSS instance.
+#[derive(Debug, Clone)]
+pub struct AvssState {
+    n: usize,
+    f: usize,
+    me: usize,
+    num_secrets: Option<usize>,
+    own_rows: Option<Vec<Poly>>,
+    confirmed_rows: Option<Vec<Poly>>,
+    echoes: BTreeMap<usize, Vec<Fp>>,
+    echo_sent: bool,
+    ready_sent: bool,
+    ready_recv: BTreeSet<usize>,
+    completed: bool,
+}
+
+impl AvssState {
+    /// Creates the receiving-side state for one instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > 4f` (the AVSS threshold) and `me < n`.
+    pub fn new(n: usize, f: usize, me: usize) -> Self {
+        assert!(n > 4 * f, "AVSS requires n > 4f (n={n}, f={f})");
+        assert!(me < n);
+        AvssState {
+            n,
+            f,
+            me,
+            num_secrets: None,
+            own_rows: None,
+            confirmed_rows: None,
+            echoes: BTreeMap::new(),
+            echo_sent: false,
+            ready_sent: false,
+            ready_recv: BTreeSet::new(),
+            completed: false,
+        }
+    }
+
+    /// Whether the instance completed (shares available).
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// The share vector `f_me(0)` once completed.
+    pub fn shares(&self) -> Option<Vec<Share>> {
+        if !self.completed {
+            return None;
+        }
+        let rows = self.confirmed_rows.as_ref()?;
+        Some(
+            rows.iter()
+                .map(|r| Share { index: self.me, value: r.eval(Fp::ZERO) })
+                .collect(),
+        )
+    }
+
+    /// Processes a message from `from` (the dealer for `Rows`, peers for the
+    /// rest). Returns outgoing messages and `true` when the instance
+    /// completes now.
+    pub fn on_message(&mut self, from: usize, msg: AvssMsg) -> (Vec<AvssOut>, bool) {
+        let mut out = Vec::new();
+        if self.completed {
+            return (out, false);
+        }
+        match msg {
+            AvssMsg::Rows(rows) => {
+                if self.own_rows.is_none() && self.valid_rows(&rows) {
+                    self.num_secrets = Some(rows.len());
+                    self.own_rows =
+                        Some(rows.into_iter().map(Poly::from_coeffs).collect());
+                    self.send_echoes(&mut out);
+                }
+                let _ = from;
+            }
+            AvssMsg::Echo(vals) => {
+                if let Some(k) = self.num_secrets {
+                    if vals.len() != k {
+                        return (out, false); // malformed echo: drop
+                    }
+                } else {
+                    self.num_secrets = Some(vals.len());
+                }
+                self.echoes.entry(from).or_insert(vals);
+            }
+            AvssMsg::Ready => {
+                self.ready_recv.insert(from);
+            }
+        }
+        self.progress(&mut out);
+        let done = self.completed;
+        (out, done)
+    }
+
+    fn valid_rows(&self, rows: &[Vec<Fp>]) -> bool {
+        !rows.is_empty() && rows.iter().all(|r| r.len() <= self.f + 1)
+    }
+
+    fn send_echoes(&mut self, out: &mut Vec<AvssOut>) {
+        if self.echo_sent {
+            return;
+        }
+        if let Some(rows) = &self.own_rows {
+            self.echo_sent = true;
+            for j in 0..self.n {
+                let xj = Fp::new(j as u64 + 1);
+                let vals: Vec<Fp> = rows.iter().map(|r| r.eval(xj)).collect();
+                out.push((AvssDest::One(j), AvssMsg::Echo(vals)));
+            }
+        }
+    }
+
+    /// Attempts confirmation, READY, amplification, recovery, completion.
+    fn progress(&mut self, out: &mut Vec<AvssOut>) {
+        self.try_confirm();
+        // Late recovery may enable our echoes (helping others finish).
+        if self.own_rows.is_none() && self.confirmed_rows.is_some() {
+            self.own_rows = self.confirmed_rows.clone();
+            self.send_echoes(out);
+        }
+        if self.confirmed_rows.is_some() && !self.ready_sent {
+            // Direct READY once confirmed, or amplified READY at f+1 votes.
+            let amplify = self.ready_recv.len() >= self.f + 1;
+            let direct = true; // confirmation alone suffices to vote
+            if direct || amplify {
+                self.ready_sent = true;
+                out.push((AvssDest::All, AvssMsg::Ready));
+            }
+        }
+        if self.confirmed_rows.is_some()
+            && self.ready_recv.len() >= 2 * self.f + 1
+            && !self.completed
+        {
+            self.completed = true;
+        }
+    }
+
+    /// Confirms rows coordinate-wise: own row if ≥ 2f+1 echoes agree, else
+    /// the OEC-recovered row from the echoes addressed to us.
+    fn try_confirm(&mut self) {
+        if self.confirmed_rows.is_some() {
+            return;
+        }
+        let Some(k) = self.num_secrets else { return };
+        let mut confirmed: Vec<Poly> = Vec::with_capacity(k);
+        for c in 0..k {
+            // Own-row confirmation.
+            if let Some(rows) = &self.own_rows {
+                let row = &rows[c];
+                let agree = self
+                    .echoes
+                    .iter()
+                    .filter(|(&j, vals)| {
+                        vals.len() == k && vals[c] == row.eval(Fp::new(j as u64 + 1))
+                    })
+                    .count();
+                if agree >= 2 * self.f + 1 {
+                    confirmed.push(row.clone());
+                    continue;
+                }
+            }
+            // Echo-consensus recovery: the echoes sent to me are points of
+            // my row (symmetry), decode with ≤ f corruptions, accept at
+            // 2f+1 agreement.
+            let mut oec = OecState::new(self.f, self.f);
+            let mut rec = None;
+            for (&j, vals) in &self.echoes {
+                if vals.len() != k {
+                    continue;
+                }
+                if oec.add_share(j, vals[c]).is_some() {
+                    rec = oec.polynomial().cloned();
+                    break;
+                }
+            }
+            match rec {
+                Some(p) => confirmed.push(p),
+                None => return, // coordinate not confirmable yet
+            }
+        }
+        self.confirmed_rows = Some(confirmed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mediator_field::rs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Minimal driver: routes AvssOut messages among `n` states; `drop_row`
+    /// suppresses the dealer's Rows to those players; `corrupt_row` hands
+    /// those players a garbage row instead.
+    fn run(
+        n: usize,
+        f: usize,
+        dealer: usize,
+        secrets: &[Fp],
+        drop_rows: &[usize],
+        corrupt_rows: &[usize],
+        seed: u64,
+    ) -> Vec<AvssState> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut states: Vec<AvssState> = (0..n).map(|i| AvssState::new(n, f, i)).collect();
+        let rows = deal(secrets, n, f, &mut rng);
+        let mut queue: Vec<(usize, usize, AvssMsg)> = Vec::new();
+        for (i, msg) in rows.into_iter().enumerate() {
+            if drop_rows.contains(&i) {
+                continue;
+            }
+            let msg = if corrupt_rows.contains(&i) {
+                AvssMsg::Rows(
+                    secrets
+                        .iter()
+                        .map(|_| vec![Fp::random(&mut rng); f + 1])
+                        .collect(),
+                )
+            } else {
+                msg
+            };
+            queue.push((dealer, i, msg));
+        }
+        use rand::Rng;
+        let mut guard = 0u64;
+        while !queue.is_empty() {
+            guard += 1;
+            assert!(guard < 1_000_000, "AVSS test livelock");
+            let i = rng.gen_range(0..queue.len());
+            let (from, to, msg) = queue.swap_remove(i);
+            let (out, _) = states[to].on_message(from, msg);
+            for (dest, m) in out {
+                match dest {
+                    AvssDest::One(d) => queue.push((to, d, m)),
+                    AvssDest::All => {
+                        for d in 0..n {
+                            queue.push((to, d, m.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        states
+    }
+
+    fn check_consistent_shares(states: &[AvssState], f: usize, secrets: &[Fp]) {
+        for (c, &secret) in secrets.iter().enumerate() {
+            let pts: Vec<(Fp, Fp)> = states
+                .iter()
+                .filter(|s| s.is_completed())
+                .map(|s| s.shares().unwrap()[c].point())
+                .collect();
+            assert!(pts.len() >= f + 1, "not enough completed players");
+            let p = rs::interpolate_exact(&pts, f).expect("shares must be f-consistent");
+            assert_eq!(p.eval(Fp::ZERO), secret, "coordinate {c}");
+        }
+    }
+
+    #[test]
+    fn honest_dealer_all_complete_consistently() {
+        let secrets = [Fp::new(11), Fp::new(22), Fp::new(33)];
+        for seed in 0..3 {
+            let states = run(5, 1, 0, &secrets, &[], &[], seed);
+            assert!(states.iter().all(|s| s.is_completed()), "seed {seed}");
+            check_consistent_shares(&states, 1, &secrets);
+        }
+    }
+
+    #[test]
+    fn withheld_row_is_recovered_from_echoes() {
+        let secrets = [Fp::new(5)];
+        for seed in 0..3 {
+            let states = run(5, 1, 0, &secrets, &[3], &[], seed);
+            assert!(states[3].is_completed(), "player 3 must recover, seed {seed}");
+            check_consistent_shares(&states, 1, &secrets);
+        }
+    }
+
+    #[test]
+    fn corrupted_row_is_overridden_by_echo_consensus() {
+        let secrets = [Fp::new(1234)];
+        for seed in 0..3 {
+            let states = run(5, 1, 0, &secrets, &[], &[2], seed);
+            assert!(states[2].is_completed(), "seed {seed}");
+            // Crucially the corrupted player's share lies on the same
+            // polynomial as everyone else's.
+            check_consistent_shares(&states, 1, &secrets);
+        }
+    }
+
+    #[test]
+    fn dealer_sharing_to_too_few_completes_nowhere() {
+        let secrets = [Fp::new(9)];
+        // Rows reach only 2 of 5 players: 2f+1 = 3 echo confirmations are
+        // unreachable, so nobody confirms, nobody votes READY.
+        let states = run(5, 1, 0, &secrets, &[2, 3, 4], &[], 0);
+        assert!(states.iter().all(|s| !s.is_completed()));
+    }
+
+    #[test]
+    fn larger_instance_with_two_faults() {
+        let secrets = [Fp::new(7), Fp::new(8)];
+        let states = run(9, 2, 4, &secrets, &[0], &[1], 11);
+        assert!(states.iter().all(|s| s.is_completed()));
+        check_consistent_shares(&states, 2, &secrets);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 4f")]
+    fn rejects_insufficient_n() {
+        let _ = AvssState::new(8, 2, 0);
+    }
+
+    #[test]
+    fn shares_unavailable_before_completion() {
+        let s = AvssState::new(5, 1, 0);
+        assert!(!s.is_completed());
+        assert!(s.shares().is_none());
+    }
+}

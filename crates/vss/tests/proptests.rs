@@ -1,0 +1,108 @@
+//! Property-based tests for the sharing layer: privacy-degree arithmetic,
+//! online error correction soundness under arbitrary adversarial order and
+//! lie patterns.
+
+use mediator_field::{rs, Fp};
+use mediator_vss::shamir::{lagrange_at_zero, share_secret, Share};
+use mediator_vss::OecState;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn share_then_reconstruct(secret in any::<u64>(), deg in 0usize..4, extra in 1usize..4, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = deg + extra;
+        let (_, shares) = share_secret(Fp::new(secret), deg, n, &mut rng);
+        let pts: Vec<(Fp, Fp)> = shares.iter().map(Share::point).collect();
+        let p = rs::interpolate_exact(&pts, deg).unwrap();
+        prop_assert_eq!(p.eval(Fp::ZERO), Fp::new(secret));
+    }
+
+    #[test]
+    fn linear_combinations_of_sharings_share_the_combination(
+        s1 in any::<u64>(), s2 in any::<u64>(), c in any::<u64>(), seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let deg = 2;
+        let n = 6;
+        let (_, a) = share_secret(Fp::new(s1), deg, n, &mut rng);
+        let (_, b) = share_secret(Fp::new(s2), deg, n, &mut rng);
+        let combo: Vec<Share> = a.iter().zip(&b).map(|(x, y)| Share {
+            index: x.index,
+            value: x.value + Fp::new(c) * y.value,
+        }).collect();
+        let pts: Vec<(Fp, Fp)> = combo.iter().map(Share::point).collect();
+        let p = rs::interpolate_exact(&pts, deg).unwrap();
+        prop_assert_eq!(p.eval(Fp::ZERO), Fp::new(s1) + Fp::new(c) * Fp::new(s2));
+    }
+
+    #[test]
+    fn lagrange_weights_sum_reconstruction(secret in any::<u64>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let deg = 2;
+        let n = 7;
+        let (_, shares) = share_secret(Fp::new(secret), deg, n, &mut rng);
+        let holders = [1usize, 3, 4, 6];
+        let mut acc = Fp::ZERO;
+        for &j in &holders {
+            acc += lagrange_at_zero(&holders, j) * shares[j].value;
+        }
+        prop_assert_eq!(acc, Fp::new(secret));
+    }
+
+    /// OEC soundness under arbitrary arrival order, arbitrary liar subset of
+    /// size ≤ f and arbitrary lie values: any accepted value equals the true
+    /// secret, and acceptance happens once all honest shares are in.
+    #[test]
+    fn oec_never_accepts_a_wrong_value(
+        secret in any::<u64>(),
+        order_seed in any::<u64>(),
+        liar_mask in any::<u16>(),
+        lie in 1u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let deg = 2usize;
+        let f = 2usize;
+        let n = deg + 2 * f + 1; // 7
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (_, shares) = share_secret(Fp::new(secret), deg, n, &mut rng);
+        // Choose up to f liars from the mask.
+        let liars: Vec<usize> = (0..n).filter(|i| (liar_mask >> i) & 1 == 1).take(f).collect();
+        // Arbitrary arrival order.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut orng = StdRng::seed_from_u64(order_seed);
+        use rand::Rng;
+        for i in 0..n {
+            let j = orng.gen_range(i..n);
+            order.swap(i, j);
+        }
+        let mut oec = OecState::new(deg, f);
+        for &i in &order {
+            let v = if liars.contains(&i) { shares[i].value + Fp::new(lie) } else { shares[i].value };
+            if let Some(got) = oec.add_share(i, v) {
+                prop_assert_eq!(got, Fp::new(secret));
+            }
+        }
+        prop_assert_eq!(oec.secret(), Some(Fp::new(secret)), "must terminate with all shares in");
+    }
+
+    /// Privacy-shaped property: any deg shares are consistent with every
+    /// candidate secret (perfect secrecy of Shamir sharing).
+    #[test]
+    fn deg_shares_are_consistent_with_any_secret(
+        secret in any::<u64>(), candidate in any::<u64>(), seed in any::<u64>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let deg = 3;
+        let (_, shares) = share_secret(Fp::new(secret), deg, 8, &mut rng);
+        // Take deg shares and a hypothetical secret: an interpolating
+        // polynomial of degree ≤ deg always exists.
+        let mut pts = vec![(Fp::ZERO, Fp::new(candidate))];
+        pts.extend(shares.iter().take(deg).map(Share::point));
+        let p = mediator_field::Poly::interpolate(&pts);
+        prop_assert!(p.degree().map_or(0, |d| d) <= deg);
+        prop_assert_eq!(p.eval(Fp::ZERO), Fp::new(candidate));
+    }
+}

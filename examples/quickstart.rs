@@ -1,0 +1,55 @@
+//! Quickstart: implement a majority-vote mediator with asynchronous cheap
+//! talk (Theorem 4.1, `n > 4k + 4t`).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mediator_talk::circuits::catalog;
+use mediator_talk::core::{run_cheap_talk, CheapTalkSpec};
+use mediator_talk::field::Fp;
+use mediator_talk::sim::SchedulerKind;
+use std::collections::BTreeMap;
+
+fn main() {
+    let n = 5;
+    let (k, t) = (1, 0); // n = 5 > 4k + 4t = 4 ✓
+
+    // The mediator everyone wants: "send me your bit, I'll tell you the
+    // majority". With a trusted third party this is trivial; the point of
+    // the paper is doing it with *nothing but player-to-player messages*.
+    let circuit = catalog::majority_circuit(n);
+    println!(
+        "mediator circuit: {} gates ({} multiplications, depth {})",
+        circuit.size(),
+        circuit.mul_count(),
+        circuit.depth()
+    );
+
+    let spec = CheapTalkSpec::theorem_4_1(
+        n,
+        k,
+        t,
+        circuit,
+        vec![vec![Fp::ZERO]; n], // default input for players that never show
+        vec![0; n],              // default moves
+    );
+
+    let votes = [1u64, 0, 1, 1, 0];
+    let inputs: Vec<Vec<Fp>> = votes.iter().map(|&b| vec![Fp::new(b)]).collect();
+    println!("player votes: {votes:?} (majority = 1)");
+
+    // Run the cheap-talk protocol under three qualitatively different
+    // network schedulers — the outcome must not depend on the adversary's
+    // choice of message timing.
+    for kind in [SchedulerKind::Random, SchedulerKind::Fifo, SchedulerKind::Lifo] {
+        let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), &kind, 42, 2_000_000);
+        let moves = out.resolve_default(&vec![0; n]);
+        println!(
+            "{kind:?}: all players moved {moves:?} using {} messages",
+            out.messages_sent
+        );
+        assert_eq!(moves, vec![1; n]);
+    }
+    println!("majority mediator implemented with cheap talk — no trusted party involved");
+}

@@ -1,0 +1,51 @@
+//! `mediator-talk` — a full Rust reproduction of *"Implementing Mediators
+//! with Asynchronous Cheap Talk"* (Abraham, Dolev, Geffner, Halpern;
+//! PODC 2019, arXiv:1806.01214).
+//!
+//! A mediator makes hard coordination problems trivial; this system shows
+//! *when and how `n` asynchronous players can simulate one with nothing but
+//! cheap talk*, tolerating `k` rational deviators and `t` malicious players.
+//! The facade re-exports the workspace crates:
+//!
+//! * [`field`] — `GF(2^61−1)`, polynomials, Reed–Solomon robust decoding;
+//! * [`sim`] — the asynchronous environment/scheduler model of §2;
+//! * [`games`] — Bayesian games and the (k,t)-robustness solution concepts;
+//! * [`circuits`] — arithmetic-circuit mediators;
+//! * [`bcast`] — reliable broadcast, binary agreement, common subset;
+//! * [`vss`] — Shamir, online error correction, AVSS, detectable sharing;
+//! * [`mpc`] — the robust (`n > 4f`) and ε (`n > 3f`) MPC engines;
+//! * [`core`] — mediator games, the four cheap-talk transforms
+//!   (Theorems 4.1/4.2/4.4/4.5), Lemma 6.8, the deviation library and the
+//!   experiment machinery.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mediator_talk::core::{run_cheap_talk, CheapTalkSpec};
+//! use mediator_talk::circuits::catalog;
+//! use mediator_talk::field::Fp;
+//! use mediator_talk::sim::SchedulerKind;
+//! use std::collections::BTreeMap;
+//!
+//! // Five players implement a majority-vote mediator with cheap talk,
+//! // tolerating one rational deviator (n > 4k+4t with k=1, t=0).
+//! let n = 5;
+//! let spec = CheapTalkSpec::theorem_4_1(
+//!     n, 1, 0,
+//!     catalog::majority_circuit(n),
+//!     vec![vec![Fp::ZERO]; n],
+//!     vec![0; n],
+//! );
+//! let inputs: Vec<Vec<Fp>> = [1u64, 0, 1, 1, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
+//! let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), &SchedulerKind::Random, 7, 2_000_000);
+//! assert_eq!(out.resolve_default(&vec![0; n]), vec![1; n]);
+//! ```
+
+pub use mediator_bcast as bcast;
+pub use mediator_circuits as circuits;
+pub use mediator_core as core;
+pub use mediator_field as field;
+pub use mediator_games as games;
+pub use mediator_mpc as mpc;
+pub use mediator_sim as sim;
+pub use mediator_vss as vss;

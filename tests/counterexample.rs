@@ -1,0 +1,95 @@
+//! Integration: the §6.4 counterexample, exact payoff structure.
+
+use mediator_talk::circuits::catalog;
+use mediator_talk::core::deviations::CounterexampleColluder;
+use mediator_talk::core::{run_mediator_game, MedMsg, MediatorGameSpec};
+use mediator_talk::games::{library, punishment, Strategy};
+use mediator_talk::sim::{Process, SchedulerKind};
+use std::collections::BTreeMap;
+
+const BOT: u64 = library::BOTTOM as u64;
+
+fn run(n: usize, naive: bool, collude: bool, seed: u64) -> Vec<usize> {
+    let (_, _, k) = library::counterexample_game(n);
+    let circuit = if naive {
+        catalog::counterexample_naive(n)
+    } else {
+        catalog::counterexample_minfo(n)
+    };
+    let mut spec = MediatorGameSpec::standard(n, k, 0, circuit, vec![vec![]; n]);
+    spec.naive_split = naive;
+    spec.wills = Some(vec![BOT; n]);
+    let mut deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>> = BTreeMap::new();
+    if collude {
+        deviants.insert(0, Box::new(CounterexampleColluder::new(n, 1)));
+        deviants.insert(1, Box::new(CounterexampleColluder::new(n, 0)));
+    }
+    let out = run_mediator_game(&spec, &vec![vec![]; n], deviants, &SchedulerKind::Random, seed, 200_000);
+    out.resolve_ah(&vec![BOT; n + 1])[..n].iter().map(|&a| a as usize).collect()
+}
+
+#[test]
+fn bottom_is_a_k_punishment_with_margin_0_4() {
+    let (game, mediated, k) = library::counterexample_game(7);
+    let value = library::dist_utilities(&game, &[0; 7], &mediated)[0];
+    assert!((value - 1.5).abs() < 1e-12);
+    let rho: Vec<Strategy> = (0..7).map(|_| Strategy::pure(1, 3, library::BOTTOM)).collect();
+    assert!(punishment::is_m_punishment(&game, &rho, &vec![value; 7], k));
+    let margin = punishment::punishment_margin(&game, &rho, &vec![value; 7], k);
+    assert!((margin - 0.4).abs() < 1e-9);
+}
+
+#[test]
+fn honest_naive_play_is_unanimous_coin() {
+    let n = 7;
+    let (game, _, _) = library::counterexample_game(n);
+    for seed in 0..10 {
+        let actions = run(n, true, false, seed);
+        assert!(actions.iter().all(|&a| a == actions[0]), "unanimous");
+        assert!(actions[0] == 0 || actions[0] == 1);
+        let u = game.utilities(&vec![0; n], &actions)[0];
+        assert!(u == 1.0 || u == 2.0);
+    }
+}
+
+#[test]
+fn colluders_profit_exactly_when_b_is_zero_under_naive_mediator() {
+    let n = 7;
+    let (game, _, _) = library::counterexample_game(n);
+    let mut profited = 0;
+    let mut cooperated = 0;
+    let runs = 60;
+    for seed in 0..runs {
+        let base = run(n, true, false, seed);
+        let dev = run(n, true, true, seed);
+        let u_base = game.utilities(&vec![0; n], &base)[0];
+        let u_dev = game.utilities(&vec![0; n], &dev)[0];
+        if base[0] == 0 {
+            // b = 0: the coalition deadlocks; everyone lands on ⊥ (1.1 > 1).
+            assert_eq!(dev, vec![library::BOTTOM; n], "seed {seed}");
+            assert!(u_dev > u_base, "seed {seed}: {u_dev} vs {u_base}");
+            profited += 1;
+        } else {
+            // b = 1: the coalition cooperates; payoff 2 as honest.
+            assert_eq!(dev, vec![1; n], "seed {seed}");
+            assert_eq!(u_dev, u_base);
+            cooperated += 1;
+        }
+    }
+    assert!(profited > 0 && cooperated > 0, "both coin sides exercised");
+}
+
+#[test]
+fn min_info_mediator_removes_the_profit() {
+    let n = 7;
+    let (game, _, _) = library::counterexample_game(n);
+    for seed in 0..30 {
+        let base = run(n, false, false, seed);
+        let dev = run(n, false, true, seed);
+        // The colluders never learn b before STOP: they behave like honest
+        // players and the outcome coincides with the baseline.
+        assert_eq!(base, dev, "seed {seed}");
+        let u = game.utilities(&vec![0; n], &dev)[0];
+        assert!(u == 1.0 || u == 2.0);
+    }
+}

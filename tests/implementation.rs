@@ -1,0 +1,95 @@
+//! Integration: implementation checking — the cheap-talk game induces the
+//! same outcome distributions as the mediator game over the scheduler
+//! battery (§2's definition, estimated).
+
+use mediator_talk::circuits::catalog;
+use mediator_talk::core::implement::compare_implementations;
+use mediator_talk::core::mediator::{run_mediator_game, MediatorGameSpec};
+use mediator_talk::core::{run_cheap_talk, CheapTalkSpec};
+use mediator_talk::field::Fp;
+use mediator_talk::games::dist::OutcomeDist;
+use mediator_talk::sim::SchedulerKind;
+use std::collections::BTreeMap;
+
+#[test]
+fn majority_cheap_talk_implements_the_mediator_exactly_on_unanimous_inputs() {
+    let n = 5;
+    let kinds = vec![SchedulerKind::Random, SchedulerKind::Fifo, SchedulerKind::Lifo];
+    let spec = CheapTalkSpec::theorem_4_1(
+        n,
+        1,
+        0,
+        catalog::majority_circuit(n),
+        vec![vec![Fp::ZERO]; n],
+        vec![0; n],
+    );
+    let med = MediatorGameSpec::standard(n, 1, 0, catalog::majority_circuit(n), vec![vec![Fp::ZERO]; n]);
+    let inputs = vec![vec![Fp::ONE]; n];
+    let rep = compare_implementations(
+        &kinds,
+        8,
+        |kind, seed| {
+            let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), kind, seed, 20_000_000);
+            out.resolve_default(&vec![0; n]).iter().map(|&a| a as usize).collect()
+        },
+        |kind, seed| {
+            let out = run_mediator_game(&med, &inputs, BTreeMap::new(), kind, seed, 200_000);
+            out.resolve_default(&vec![0; n + 1])[..n].iter().map(|&a| a as usize).collect()
+        },
+    );
+    // Unanimous inputs ⇒ both games are point masses on (1,...,1).
+    assert_eq!(rep.distance, 0.0, "exact implementation on this input");
+    assert!(rep.eps_implements(0.0));
+}
+
+#[test]
+fn coin_mediator_distribution_is_a_fair_coin_in_both_games() {
+    let n = 5;
+    let circuit = catalog::counterexample_minfo(n);
+    let spec = CheapTalkSpec::theorem_4_1(n, 1, 0, circuit.clone(), vec![vec![]; n], vec![0; n]);
+    let med = MediatorGameSpec::standard(n, 1, 0, circuit, vec![vec![]; n]);
+    let empty: Vec<Vec<Fp>> = vec![vec![]; n];
+
+    let samples = 40u64;
+    let ct = OutcomeDist::from_samples((0..samples).map(|seed| {
+        let out = run_cheap_talk(&spec, &empty, &BTreeMap::new(), &SchedulerKind::Random, seed, 20_000_000);
+        out.resolve_default(&vec![0; n]).iter().map(|&a| a as usize).collect::<Vec<_>>()
+    }));
+    let md = OutcomeDist::from_samples((0..samples).map(|seed| {
+        let out = run_mediator_game(&med, &empty, BTreeMap::new(), &SchedulerKind::Random, seed, 200_000);
+        out.resolve_default(&vec![0; n + 1])[..n].iter().map(|&a| a as usize).collect::<Vec<_>>()
+    }));
+    // Support is exactly {all-0, all-1} on both sides.
+    assert_eq!(ct.support_len(), 2, "cheap talk support: {ct:?}");
+    assert_eq!(md.support_len(), 2);
+    // Both near-fair; allow generous sampling noise at 60 samples.
+    for d in [&ct, &md] {
+        let p1 = d.prob(&vec![1; n]);
+        assert!((p1 - 0.5).abs() < 0.25, "biased coin: {p1}");
+    }
+}
+
+#[test]
+fn mediated_and_cheap_talk_message_counts_differ_by_orders_of_magnitude() {
+    // The price of removing the trusted party, quantified.
+    let n = 5;
+    let spec = CheapTalkSpec::theorem_4_1(
+        n,
+        1,
+        0,
+        catalog::majority_circuit(n),
+        vec![vec![Fp::ZERO]; n],
+        vec![0; n],
+    );
+    let med = MediatorGameSpec::standard(n, 1, 0, catalog::majority_circuit(n), vec![vec![Fp::ZERO]; n]);
+    let inputs = vec![vec![Fp::ONE]; n];
+    let ct = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), &SchedulerKind::Random, 1, 20_000_000);
+    let md = run_mediator_game(&med, &inputs, BTreeMap::new(), &SchedulerKind::Random, 1, 200_000);
+    assert!(md.messages_sent <= 2 * (n as u64) + 2, "mediator game is O(n): {}", md.messages_sent);
+    assert!(
+        ct.messages_sent > 10 * md.messages_sent,
+        "cheap talk costs real messages: {} vs {}",
+        ct.messages_sent,
+        md.messages_sent
+    );
+}
