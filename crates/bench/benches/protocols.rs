@@ -30,7 +30,14 @@ fn bench_mediator_game(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            run_mediator_game(&spec, &inputs, BTreeMap::new(), &SchedulerKind::Random, seed, 200_000)
+            run_mediator_game(
+                &spec,
+                &inputs,
+                BTreeMap::new(),
+                &SchedulerKind::Random,
+                seed,
+                200_000,
+            )
         })
     });
     g.finish();

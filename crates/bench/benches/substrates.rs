@@ -28,7 +28,9 @@ fn bench_rs(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     for (deg, e, n) in [(2usize, 2usize, 9usize), (4, 4, 17)] {
         let p = Poly::random_with_secret(Fp::new(5), deg, &mut rng);
-        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
         for pt in pts.iter_mut().take(e) {
             pt.1 += Fp::new(77);
         }

@@ -85,7 +85,9 @@ fn e11_substrate_timings() {
     use rand::SeedableRng;
 
     let p = Poly::random_with_secret(Fp::new(5), 4, &mut rng);
-    let mut pts: Vec<(Fp, Fp)> = (1..=17u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+    let mut pts: Vec<(Fp, Fp)> = (1..=17u64)
+        .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+        .collect();
     for pt in pts.iter_mut().take(4) {
         pt.1 += Fp::new(99);
     }
@@ -118,7 +120,14 @@ fn e11_substrate_timings() {
         vec![vec![Fp::ZERO]; 5],
     );
     let start = Instant::now();
-    let out = run_mediator_game(&med, &inputs, BTreeMap::new(), &SchedulerKind::Random, 1, 200_000);
+    let out = run_mediator_game(
+        &med,
+        &inputs,
+        BTreeMap::new(),
+        &SchedulerKind::Random,
+        1,
+        200_000,
+    );
     t.row(vec![
         "mediator game".into(),
         format!("n 5, majority, {} msgs", out.messages_sent),
@@ -132,12 +141,26 @@ fn e11_substrate_timings() {
 fn e1_thresholds_robust(samples: usize) {
     let mut t = Table::new(
         "E1 — Theorem 4.1 thresholds (robust cheap talk, majority mediator)",
-        &["k", "t", "n", "paper", "built?", "honest ok", "f silent ok", "f liars ok", "msgs/run"],
+        &[
+            "k",
+            "t",
+            "n",
+            "paper",
+            "built?",
+            "honest ok",
+            "f silent ok",
+            "f liars ok",
+            "msgs/run",
+        ],
     );
     for &(k, tt) in &[(1usize, 0usize), (0, 1), (1, 1)] {
         let f = k + tt;
         for n in [4 * f, 4 * f + 1, 4 * f + 3] {
-            let paper = if n > 4 * f { "n > 4k+4t ✓" } else { "n ≤ 4k+4t ✗" };
+            let paper = if n > 4 * f {
+                "n > 4k+4t ✓"
+            } else {
+                "n ≤ 4k+4t ✗"
+            };
             if n <= 4 * f {
                 // The engine refuses: decoding the degree-2f product
                 // openings with f errors is information-theoretically
@@ -169,16 +192,42 @@ fn e1_thresholds_robust(samples: usize) {
                 // f players silent.
                 let mut behaviors = BTreeMap::new();
                 for p in 0..f {
-                    behaviors.insert(p, Behavior { silent: true, ..Behavior::default() });
+                    behaviors.insert(
+                        p,
+                        Behavior {
+                            silent: true,
+                            ..Behavior::default()
+                        },
+                    );
                 }
-                let out = run_cheap_talk(&spec, &inputs, &behaviors, &SchedulerKind::Random, seed, 8_000_000);
+                let out = run_cheap_talk(
+                    &spec,
+                    &inputs,
+                    &behaviors,
+                    &SchedulerKind::Random,
+                    seed,
+                    8_000_000,
+                );
                 silent_ok &= (f..n).all(|p| out.moves[p] == Some(1));
                 // f players lying in openings.
                 let mut behaviors = BTreeMap::new();
                 for p in 0..f {
-                    behaviors.insert(p, Behavior { lie_in_opens: true, ..Behavior::default() });
+                    behaviors.insert(
+                        p,
+                        Behavior {
+                            lie_in_opens: true,
+                            ..Behavior::default()
+                        },
+                    );
                 }
-                let out = run_cheap_talk(&spec, &inputs, &behaviors, &SchedulerKind::Random, seed, 8_000_000);
+                let out = run_cheap_talk(
+                    &spec,
+                    &inputs,
+                    &behaviors,
+                    &SchedulerKind::Random,
+                    seed,
+                    8_000_000,
+                );
                 liar_ok &= (f..n).all(|p| out.moves[p] == Some(1));
             }
             t.row(vec![
@@ -225,7 +274,14 @@ fn e1b_robustness_report(samples: usize) {
         for seed in 0..samples as u64 {
             let mut deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>> = BTreeMap::new();
             deviants.insert(2, Box::new(mediator_core::deviations::SilentProcess));
-            let out = run_mediator_game(&med, &inputs, deviants, &SchedulerKind::Random, seed, 200_000);
+            let out = run_mediator_game(
+                &med,
+                &inputs,
+                deviants,
+                &SchedulerKind::Random,
+                seed,
+                200_000,
+            );
             let mut actions: Vec<usize> = out.resolve_default(&vec![0; n + 1])[..n]
                 .iter()
                 .map(|&a| a as usize)
@@ -240,7 +296,13 @@ fn e1b_robustness_report(samples: usize) {
 
     let mut t = Table::new(
         "E1b — deviation battery on the robust cheap talk (BA game, deviator = player 2)",
-        &["deviation", "deviator gain", "honest harm (CT)", "honest harm (mediator game)", "note"],
+        &[
+            "deviation",
+            "deviator gain",
+            "honest harm (CT)",
+            "honest harm (mediator game)",
+            "note",
+        ],
     );
     for row in &report.rows {
         let (med_harm, note) = match row.name.as_str() {
@@ -249,7 +311,10 @@ fn e1b_robustness_report(samples: usize) {
                 "not moving breaks unanimity — in both games equally",
             ),
             "crash-mid" => ("≤ same".to_string(), "tolerated: f = 1 crash is corrected"),
-            "lie-opens" => ("n/a (no openings)".to_string(), "corrected by OEC: no gain, no harm"),
+            "lie-opens" => (
+                "n/a (no openings)".to_string(),
+                "corrected by OEC: no gain, no harm",
+            ),
             "lie-input" => ("0.0000".to_string(), "own input; unanimity keeps majority"),
             _ => (String::new(), ""),
         };
@@ -276,7 +341,17 @@ fn e1b_robustness_report(samples: usize) {
 fn e2_epsilon(samples: usize) {
     let mut t = Table::new(
         "E2 — Theorem 4.2 (ε cheap talk at n = 3f+1, majority mediator)",
-        &["k", "t", "n", "κ", "honest ok", "silent ok", "liar: abort/stall", "wrong accepted", "msgs/run"],
+        &[
+            "k",
+            "t",
+            "n",
+            "κ",
+            "honest ok",
+            "silent ok",
+            "liar: abort/stall",
+            "wrong accepted",
+            "msgs/run",
+        ],
     );
     for &(k, tt) in &[(0usize, 1usize), (1, 1)] {
         let f = k + tt;
@@ -296,7 +371,13 @@ fn e2_epsilon(samples: usize) {
             let out = run_with_deviant(
                 &spec,
                 &inputs,
-                Some((0, Behavior { silent: true, ..Behavior::default() })),
+                Some((
+                    0,
+                    Behavior {
+                        silent: true,
+                        ..Behavior::default()
+                    },
+                )),
                 &SchedulerKind::Random,
                 seed,
             );
@@ -304,7 +385,13 @@ fn e2_epsilon(samples: usize) {
             let out = run_with_deviant(
                 &spec,
                 &inputs,
-                Some((0, Behavior { lie_in_opens: true, ..Behavior::default() })),
+                Some((
+                    0,
+                    Behavior {
+                        lie_in_opens: true,
+                        ..Behavior::default()
+                    },
+                )),
                 &SchedulerKind::Random,
                 seed,
             );
@@ -350,7 +437,17 @@ fn e2_epsilon(samples: usize) {
 fn e3_punishment(samples: usize) {
     let mut t = Table::new(
         "E3 — Theorem 4.4 (punishment wills + cotermination, n > 3k+4t)",
-        &["k", "t", "n", "runs", "coterminated", "finish", "punish-all", "mixed", "msgs/run"],
+        &[
+            "k",
+            "t",
+            "n",
+            "runs",
+            "coterminated",
+            "finish",
+            "punish-all",
+            "mixed",
+            "msgs/run",
+        ],
     );
     for &(k, tt) in &[(1usize, 0usize), (1, 1)] {
         let n = (3 * k + 4 * tt + 1).max(4 * (k + tt) + 1); // engine robustness also needs n > 4f
@@ -362,12 +459,21 @@ fn e3_punishment(samples: usize) {
             let out = run_with_deviant(
                 &spec,
                 &inputs,
-                Some((1, Behavior { crash_after_sends: Some(40 + seed % 40), ..Behavior::default() })),
+                Some((
+                    1,
+                    Behavior {
+                        crash_after_sends: Some(40 + seed % 40),
+                        ..Behavior::default()
+                    },
+                )),
                 &SchedulerKind::Random,
                 seed,
             );
             msgs += out.messages_sent;
-            let honest: Vec<bool> = (0..n).filter(|&p| p != 1).map(|p| out.moves[p].is_some()).collect();
+            let honest: Vec<bool> = (0..n)
+                .filter(|&p| p != 1)
+                .map(|p| out.moves[p].is_some())
+                .collect();
             if honest.iter().all(|&b| b) {
                 finish += 1;
             } else if honest.iter().all(|&b| !b) {
@@ -453,7 +559,13 @@ fn e4_eps_punishment(samples: usize) {
             let out = run_with_deviant(
                 &spec,
                 &inputs,
-                Some((0, Behavior { crash_after_sends: Some(30), ..Behavior::default() })),
+                Some((
+                    0,
+                    Behavior {
+                        crash_after_sends: Some(30),
+                        ..Behavior::default()
+                    },
+                )),
                 &SchedulerKind::Random,
                 seed,
             );
@@ -502,7 +614,13 @@ fn e5_message_scaling() {
         ]);
     }
     let slope_n = loglog_slope(&pts_n);
-    t.row(vec!["n".into(), "slope".into(), "—".into(), "—".into(), f4(slope_n)]);
+    t.row(vec![
+        "n".into(),
+        "slope".into(),
+        "—".into(),
+        "—".into(),
+        f4(slope_n),
+    ]);
 
     // Sweep c (mul gates) at fixed n. Total messages are base + α·muls, so
     // linearity shows in the *marginal* cost per added multiplication, not
@@ -512,14 +630,8 @@ fn e5_message_scaling() {
     for &depth in &[1usize, 2, 4, 8, 16] {
         let circuit = catalog::work_circuit(n, 2, depth);
         let muls = circuit.mul_count();
-        let spec = CheapTalkSpec::theorem_4_1(
-            n,
-            1,
-            0,
-            circuit,
-            vec![vec![Fp::ZERO]; n],
-            vec![0; n],
-        );
+        let spec =
+            CheapTalkSpec::theorem_4_1(n, 1, 0, circuit, vec![vec![Fp::ZERO]; n], vec![0; n]);
         let inputs = ones_inputs(n);
         let out = run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, 5);
         pts_c.push((muls as f64, out.messages_sent as f64));
@@ -537,16 +649,16 @@ fn e5_message_scaling() {
         .windows(2)
         .map(|w| (w[1].1 - w[0].1) / (w[1].0 - w[0].0))
         .collect();
-    let spread = marginals
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = marginals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - marginals.iter().cloned().fold(f64::INFINITY, f64::min);
     t.row(vec![
         "c".into(),
         "marginal".into(),
         "msgs/mul".into(),
-        format!("{:?}", marginals.iter().map(|m| m.round()).collect::<Vec<_>>()),
+        format!(
+            "{:?}",
+            marginals.iter().map(|m| m.round()).collect::<Vec<_>>()
+        ),
         format!("spread {spread:.1}"),
     ]);
     print!("{t}");
@@ -564,24 +676,43 @@ fn e5_message_scaling() {
 fn e6_implementation(samples: usize) {
     let mut t = Table::new(
         "E6 — implementation distance over the scheduler battery",
-        &["game", "n", "kinds", "samples", "set distance", "weak distance"],
+        &[
+            "game",
+            "n",
+            "kinds",
+            "samples",
+            "set distance",
+            "weak distance",
+        ],
     );
     // Majority with scheduler-proof inputs: both sides are point masses.
     let n = 5;
     let kinds = SchedulerKind::battery(n);
     let spec = majority_spec_robust(n, 1, 0);
-    let med = MediatorGameSpec::standard(n, 1, 0, catalog::majority_circuit(n), vec![vec![Fp::ZERO]; n]);
+    let med = MediatorGameSpec::standard(
+        n,
+        1,
+        0,
+        catalog::majority_circuit(n),
+        vec![vec![Fp::ZERO]; n],
+    );
     let inputs = ones_inputs(n);
     let rep = compare_implementations(
         &kinds,
         samples,
         |kind, seed| {
             let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), kind, seed, 8_000_000);
-            out.resolve_default(&vec![0; n]).iter().map(|&a| a as usize).collect()
+            out.resolve_default(&vec![0; n])
+                .iter()
+                .map(|&a| a as usize)
+                .collect()
         },
         |kind, seed| {
             let out = run_mediator_game(&med, &inputs, BTreeMap::new(), kind, seed, 200_000);
-            out.resolve_default(&vec![0; n + 1])[..n].iter().map(|&a| a as usize).collect()
+            out.resolve_default(&vec![0; n + 1])[..n]
+                .iter()
+                .map(|&a| a as usize)
+                .collect()
         },
     );
     t.row(vec![
@@ -604,18 +735,25 @@ fn e6_implementation(samples: usize) {
         vec![vec![]; n],
         vec![0; n],
     );
-    let med = MediatorGameSpec::standard(n, 1, 0, catalog::counterexample_minfo(n), vec![vec![]; n]);
+    let med =
+        MediatorGameSpec::standard(n, 1, 0, catalog::counterexample_minfo(n), vec![vec![]; n]);
     let empty: Vec<Vec<Fp>> = vec![vec![]; n];
     let rep = compare_implementations(
         &kinds,
         samples,
         |kind, seed| {
             let out = run_cheap_talk(&spec, &empty, &BTreeMap::new(), kind, seed, 8_000_000);
-            out.resolve_default(&vec![0; n]).iter().map(|&a| a as usize).collect()
+            out.resolve_default(&vec![0; n])
+                .iter()
+                .map(|&a| a as usize)
+                .collect()
         },
         |kind, seed| {
             let out = run_mediator_game(&med, &empty, BTreeMap::new(), kind, seed, 200_000);
-            out.resolve_default(&vec![0; n + 1])[..n].iter().map(|&a| a as usize).collect()
+            out.resolve_default(&vec![0; n + 1])[..n]
+                .iter()
+                .map(|&a| a as usize)
+                .collect()
         },
     );
     t.row(vec![
@@ -646,7 +784,9 @@ fn e7_counterexample(samples: u64) {
         .map(|_| mediator_games::Strategy::pure(1, 3, library::BOTTOM))
         .collect();
     let margin = punishment::punishment_margin(&game, &rho, &vec![value; n], k);
-    println!("\nground truth: mediated value = {value}; ⊥ is a {k}-punishment with margin {margin:.2}");
+    println!(
+        "\nground truth: mediated value = {value}; ⊥ is a {k}-punishment with margin {margin:.2}"
+    );
 
     // Per-seed coalition utilities, so gains can be estimated *paired*
     // (common random numbers: the same coin sequence hits baseline and
@@ -723,10 +863,15 @@ fn e7_counterexample(samples: u64) {
     // modeled as the obvious one-shot profile (everyone plays the coin).
     let coop = solution::best_coalition_gain(
         &game,
-        &(0..n).map(|_| mediator_games::Strategy::pure(1, 3, 0)).collect::<Vec<_>>(),
+        &(0..n)
+            .map(|_| mediator_games::Strategy::pure(1, 3, 0))
+            .collect::<Vec<_>>(),
         k,
     );
-    println!("(game-layer sanity: best coalition gain over all-zeros one-shot play = {})", f4(coop));
+    println!(
+        "(game-layer sanity: best coalition gain over all-zeros one-shot play = {})",
+        f4(coop)
+    );
 }
 
 /// E8 — Lemma 6.8: scheduler-class counting and the exact-vs-weak
@@ -734,9 +879,25 @@ fn e7_counterexample(samples: u64) {
 fn e8_min_info() {
     let mut t = Table::new(
         "E8 — Lemma 6.8 minimally-informative mediator: scheduler classes and message costs",
-        &["r", "n", "log₂ classes", "min R", "msgs exact (2Rn)", "msgs weak (n)", "paper R bound (log₂)"],
+        &[
+            "r",
+            "n",
+            "log₂ classes",
+            "min R",
+            "msgs exact (2Rn)",
+            "msgs weak (n)",
+            "paper R bound (log₂)",
+        ],
     );
-    for &(r, n) in &[(1u64, 3u64), (1, 5), (2, 5), (4, 5), (8, 5), (16, 5), (4, 9)] {
+    for &(r, n) in &[
+        (1u64, 3u64),
+        (1, 5),
+        (2, 5),
+        (4, 5),
+        (8, 5),
+        (16, 5),
+        (4, 9),
+    ] {
         let row = &min_info::min_info_table(&[(r, n)])[0];
         t.row(vec![
             r.to_string(),
@@ -771,7 +932,10 @@ fn e9_egl() {
         t.row(vec![format!("{eps}"), msgs.to_string(), flat.to_string()]);
     }
     print!("{t}");
-    println!("fitted EGL exponent in 1/ε: {} (paper: 1)", f4(loglog_slope(&pts)));
+    println!(
+        "fitted EGL exponent in 1/ε: {} (paper: 1)",
+        f4(loglog_slope(&pts))
+    );
 }
 
 /// E10 — Propositions 6.1–6.3: players covertly signal the content-blind

@@ -145,11 +145,11 @@ impl AbaState {
                 let rs = self.rounds.entry(round).or_default();
                 rs.bval_recv[v as usize].insert(from);
                 let count = rs.bval_recv[v as usize].len();
-                if count >= t + 1 {
+                if count > t {
                     self.send_bval(round, v, &mut out);
                 }
                 let rs = self.rounds.entry(round).or_default();
-                if count >= 2 * t + 1 && !rs.bin_values[v as usize] {
+                if count > 2 * t && !rs.bin_values[v as usize] {
                     rs.bin_values[v as usize] = true;
                     if !rs.aux_sent {
                         rs.aux_sent = true;
@@ -164,13 +164,13 @@ impl AbaState {
             AbaMsg::Done { v } => {
                 self.done_recv[v as usize].insert(from);
                 let count = self.done_recv[v as usize].len();
-                if count >= self.t + 1 && !self.done_sent {
+                if count > self.t && !self.done_sent {
                     // Adopt and announce: at least one honest player decided v.
                     self.decided = Some(v);
                     self.done_sent = true;
                     out.push(Outgoing::all(AbaMsg::Done { v }));
                 }
-                if count >= 2 * self.t + 1 {
+                if count > 2 * self.t {
                     self.decided = Some(v);
                     self.halted = true;
                 }
@@ -399,7 +399,9 @@ mod tests {
         let (out2, d2) = s.on_message(1, AbaMsg::Done { v: false });
         // t+1 = 2: adopt and announce.
         assert_eq!(d2, Some(false));
-        assert!(out2.iter().any(|o| matches!(o.msg, AbaMsg::Done { v: false })));
+        assert!(out2
+            .iter()
+            .any(|o| matches!(o.msg, AbaMsg::Done { v: false })));
         let (_, _) = s.on_message(2, AbaMsg::Done { v: false });
         assert!(s.is_halted());
         assert_eq!(s.decided(), Some(false));

@@ -43,6 +43,10 @@ pub enum AcsMsg<V> {
     },
 }
 
+/// One step's result: outgoing messages plus the final common subset, if it
+/// is emitted now (exactly once per player), as a map `party → value`.
+pub type AcsStep<V> = (Vec<Outgoing<AcsMsg<V>>>, Option<BTreeMap<usize, V>>);
+
 /// One player's state in an agreement-on-common-subset execution.
 #[derive(Debug, Clone)]
 pub struct AcsState<V> {
@@ -96,11 +100,7 @@ impl<V: Clone + Ord> AcsState<V> {
 
     /// Processes a message; returns outgoing messages plus the final common
     /// subset (emitted exactly once) as a map `party → value`.
-    pub fn on_message(
-        &mut self,
-        from: usize,
-        msg: AcsMsg<V>,
-    ) -> (Vec<Outgoing<AcsMsg<V>>>, Option<BTreeMap<usize, V>>) {
+    pub fn on_message(&mut self, from: usize, msg: AcsMsg<V>) -> AcsStep<V> {
         let mut out = Vec::new();
         match msg {
             AcsMsg::Rbc { dealer, inner } => {
@@ -154,6 +154,15 @@ impl<V: Clone + Ord> AcsState<V> {
         }
     }
 
+    /// Whether this player has output its subset **and** every constituent
+    /// agreement instance has halted via its termination gadget — the point
+    /// at which it is safe to stop routing messages to this player without
+    /// endangering peers still below quorum (the `SansIo::is_done` rule for
+    /// [`AcsPeer`](crate::driver::AcsPeer)).
+    pub fn is_finished(&self) -> bool {
+        self.output_emitted && self.aba.iter().all(|a| a.is_halted())
+    }
+
     /// Output when every instance has decided and every member's value is
     /// delivered.
     fn try_output(&mut self) -> Option<BTreeMap<usize, V>> {
@@ -195,13 +204,12 @@ mod tests {
         seed: u64,
         behavior: Behavior<AcsMsg<u64>>,
     ) -> (Vec<Option<BTreeMap<usize, u64>>>, u64) {
-        let mut states: Vec<AcsState<u64>> =
-            (0..n).map(|i| AcsState::new(n, t, i, 7)).collect();
+        let mut states: Vec<AcsState<u64>> = (0..n).map(|i| AcsState::new(n, t, i, 7)).collect();
         let mut outputs: Vec<Option<BTreeMap<usize, u64>>> = vec![None; n];
         let mut net = Net::new(n, byz.to_vec(), seed, behavior);
-        for i in 0..n {
+        for (i, state) in states.iter_mut().enumerate() {
             if !byz.contains(&i) {
-                let batch = states[i].start(100 + i as u64);
+                let batch = state.start(100 + i as u64);
                 net.push_batch(i, batch);
             }
         }
@@ -236,7 +244,10 @@ mod tests {
             let (outputs, _) = run_acs(4, 1, &[2], seed, no_op());
             let first = outputs[0].clone().expect("output despite silent party");
             assert!(first.len() >= 3);
-            assert!(!first.contains_key(&2), "silent party cannot be in S (no RBC)");
+            assert!(
+                !first.contains_key(&2),
+                "silent party cannot be in S (no RBC)"
+            );
             for (i, o) in outputs.iter().enumerate() {
                 if i != 2 {
                     assert_eq!(o.as_ref(), Some(&first), "seed {seed} player {i}");

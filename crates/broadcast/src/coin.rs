@@ -68,7 +68,9 @@ impl LocalCoin {
     /// Creates a local coin seeded per player (each player must use a
     /// different seed, or it degenerates into the ideal coin).
     pub fn new(seed: u64) -> Self {
-        LocalCoin { rng: StdRng::seed_from_u64(seed) }
+        LocalCoin {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

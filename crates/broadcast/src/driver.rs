@@ -1,0 +1,229 @@
+//! [`SansIo`] drivers for the broadcast-layer state machines.
+//!
+//! Each peer bundles one player's state machine with the input it
+//! contributes at start, so the generic
+//! [`SansIoProcess`](mediator_sim::sansio::SansIoProcess) adapter (or the
+//! [`run_machines`](mediator_sim::sansio::run_machines) runner) can drive
+//! it inside a full `World` — under every scheduler, with traces, the
+//! starvation bound, and behaviour-closure failure injection.
+//!
+//! Termination discipline (`is_done`): a peer only reports done when its
+//! protocol's own rule says it is safe to stop participating — RBC after
+//! delivery (its Echo/Ready contribution is already on the wire, and Ready
+//! amplification carries any late peer over the line), ABA when the Bracha
+//! `2t+1`-Done gadget fires, ACS when the subset is output *and* every
+//! constituent agreement instance has halted (stopping earlier could strand
+//! peers below the `n − t` quorum of a still-running round).
+
+use crate::aba::{AbaMsg, AbaState};
+use crate::acs::{AcsMsg, AcsState};
+use crate::rbc::{RbcMsg, RbcState};
+use mediator_sim::sansio::{Outgoing, SansIo};
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+/// One player in one reliable-broadcast instance. The dealer carries the
+/// value to broadcast; everyone else is purely reactive.
+#[derive(Debug, Clone)]
+pub struct RbcPeer<V> {
+    state: RbcState<V>,
+    input: Option<V>,
+}
+
+impl<V: Clone + Ord> RbcPeer<V> {
+    /// Creates the peer for `me`; `value` must be `Some` iff `me == dealer`.
+    pub fn new(n: usize, t: usize, dealer: usize, me: usize, value: Option<V>) -> Self {
+        assert_eq!(
+            value.is_some(),
+            me == dealer,
+            "exactly the dealer supplies a value"
+        );
+        RbcPeer {
+            state: RbcState::new(n, t, dealer),
+            input: value,
+        }
+    }
+}
+
+impl<V: Clone + Ord> SansIo for RbcPeer<V> {
+    type Msg = RbcMsg<V>;
+    type Output = V;
+
+    fn on_start(&mut self, _rng: &mut StdRng) -> Vec<Outgoing<RbcMsg<V>>> {
+        match self.input.take() {
+            Some(v) => self.state.start(v),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: usize,
+        msg: RbcMsg<V>,
+        _rng: &mut StdRng,
+    ) -> (Vec<Outgoing<RbcMsg<V>>>, Option<V>) {
+        self.state.on_message(from, msg)
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.is_delivered()
+    }
+}
+
+/// One player in one binary-agreement instance, carrying its input vote.
+#[derive(Debug, Clone)]
+pub struct AbaPeer {
+    state: AbaState,
+    input: Option<bool>,
+}
+
+impl AbaPeer {
+    /// Creates the peer around a pre-built [`AbaState`] (the coin source is
+    /// the caller's choice) and the player's input vote.
+    pub fn new(state: AbaState, input: bool) -> Self {
+        AbaPeer {
+            state,
+            input: Some(input),
+        }
+    }
+}
+
+impl SansIo for AbaPeer {
+    type Msg = AbaMsg;
+    type Output = bool;
+
+    fn on_start(&mut self, _rng: &mut StdRng) -> Vec<Outgoing<AbaMsg>> {
+        match self.input.take() {
+            Some(v) => self.state.start(v),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: usize,
+        msg: AbaMsg,
+        _rng: &mut StdRng,
+    ) -> (Vec<Outgoing<AbaMsg>>, Option<bool>) {
+        self.state.on_message(from, msg)
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.is_halted()
+    }
+}
+
+/// One player in an agreement-on-common-subset execution, carrying the value
+/// it contributes.
+#[derive(Debug, Clone)]
+pub struct AcsPeer<V> {
+    state: AcsState<V>,
+    input: Option<V>,
+}
+
+impl<V: Clone + Ord> AcsPeer<V> {
+    /// Creates the peer for player `me` contributing `value`; all agreement
+    /// instances share the ideal coin seeded with `coin_seed`.
+    pub fn new(n: usize, t: usize, me: usize, coin_seed: u64, value: V) -> Self {
+        AcsPeer {
+            state: AcsState::new(n, t, me, coin_seed),
+            input: Some(value),
+        }
+    }
+}
+
+impl<V: Clone + Ord> SansIo for AcsPeer<V> {
+    type Msg = AcsMsg<V>;
+    type Output = BTreeMap<usize, V>;
+
+    fn on_start(&mut self, _rng: &mut StdRng) -> Vec<Outgoing<AcsMsg<V>>> {
+        match self.input.take() {
+            Some(v) => self.state.start(v),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: usize,
+        msg: AcsMsg<V>,
+        _rng: &mut StdRng,
+    ) -> (Vec<Outgoing<AcsMsg<V>>>, Option<BTreeMap<usize, V>>) {
+        self.state.on_message(from, msg)
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.is_finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin::IdealCoin;
+    use mediator_sim::sansio::run_machines;
+    use mediator_sim::{SchedulerKind, TerminationKind};
+
+    fn schedulers() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Random,
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+            SchedulerKind::TargetedDelay(vec![0]),
+        ]
+    }
+
+    #[test]
+    fn rbc_under_world_delivers_for_all_schedulers() {
+        for kind in schedulers() {
+            for seed in 0..4 {
+                let machines: Vec<RbcPeer<u64>> = (0..4)
+                    .map(|me| RbcPeer::new(4, 1, 0, me, (me == 0).then_some(42)))
+                    .collect();
+                let (outcome, outputs) =
+                    run_machines(machines, Vec::new(), kind.build().as_mut(), seed, 200_000);
+                assert_eq!(outcome.termination, TerminationKind::Quiescent, "{kind:?}");
+                for (i, o) in outputs.iter().enumerate() {
+                    assert_eq!(*o, Some(42), "player {i} under {kind:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aba_under_world_agrees_for_all_schedulers() {
+        for kind in schedulers() {
+            for seed in 0..4 {
+                let machines: Vec<AbaPeer> = (0..4)
+                    .map(|_| {
+                        AbaPeer::new(AbaState::new(4, 1, 0, Box::new(IdealCoin::new(9))), true)
+                    })
+                    .collect();
+                let (_, outputs) =
+                    run_machines(machines, Vec::new(), kind.build().as_mut(), seed, 500_000);
+                for (i, o) in outputs.iter().enumerate() {
+                    assert_eq!(*o, Some(true), "player {i} under {kind:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acs_under_world_outputs_common_subset() {
+        for kind in schedulers() {
+            for seed in 0..3 {
+                let machines: Vec<AcsPeer<u64>> = (0..4)
+                    .map(|me| AcsPeer::new(4, 1, me, 7, 100 + me as u64))
+                    .collect();
+                let (outcome, outputs) =
+                    run_machines(machines, Vec::new(), kind.build().as_mut(), seed, 1_000_000);
+                assert_eq!(outcome.termination, TerminationKind::Quiescent, "{kind:?}");
+                let first = outputs[0].clone().expect("output");
+                assert!(first.len() >= 3, "|S| >= n - t");
+                for o in &outputs {
+                    assert_eq!(o.as_ref(), Some(&first), "{kind:?} seed {seed}");
+                }
+            }
+        }
+    }
+}

@@ -1,32 +1,21 @@
 //! A deterministic lightweight test driver for the sans-IO state machines.
 //!
-//! Delivers queued messages one at a time in seeded-random order, routing
-//! deliveries to byzantine players through a [`Behavior`] closure instead of
-//! the honest handler. The full-fidelity simulation (schedulers, traces,
-//! wills) lives in `mediator-sim`; this harness exists so protocol crates
-//! can unit-test their state machines without the embedding layer.
+//! **Compatibility shim.** Delivers queued messages one at a time in
+//! seeded-random order, routing deliveries to byzantine players through a
+//! [`Behavior`] closure instead of the honest handler. This driver predates
+//! the shared sans-IO contract; new code should wrap its state machine in
+//! [`mediator_sim::sansio::SansIoProcess`] (or use the [`crate::driver`]
+//! peers with [`mediator_sim::sansio::run_machines`]) and run it under the
+//! full `World` with a real scheduler. `Net` remains for unit tests that
+//! want a minimal driver and for the driver-parity property suite that pins
+//! the two runtimes to each other.
 
-use crate::outgoing::{Dest, Outgoing};
+use crate::outgoing::Outgoing;
+use mediator_sim::sansio::route_batch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Byzantine behaviour: `(me, from, msg) -> messages to inject`.
-pub trait BehaviorFn<M>: Fn(usize, usize, &M) -> Vec<(usize, M)> {
-    /// Clones the behaviour into a fresh box (for reuse across seeds).
-    fn clone_box(&self) -> Behavior<M>;
-}
-
-impl<M, F> BehaviorFn<M> for F
-where
-    F: Fn(usize, usize, &M) -> Vec<(usize, M)> + Clone + 'static,
-{
-    fn clone_box(&self) -> Behavior<M> {
-        Box::new(self.clone())
-    }
-}
-
-/// Boxed byzantine behaviour.
-pub type Behavior<M> = Box<dyn BehaviorFn<M>>;
+pub use mediator_sim::sansio::{Behavior, BehaviorFn};
 
 /// Collects messages emitted by a handler during one delivery.
 #[derive(Debug)]
@@ -38,16 +27,8 @@ pub struct Sink<M> {
 impl<M: Clone> Sink<M> {
     /// Queues a batch of outgoing messages from `from`, expanding broadcasts.
     pub fn push_batch(&mut self, from: usize, batch: Vec<Outgoing<M>>) {
-        for o in batch {
-            match o.dest {
-                Dest::One(dst) => self.buf.push((from, dst, o.msg)),
-                Dest::All => {
-                    for dst in 0..self.n {
-                        self.buf.push((from, dst, o.msg.clone()));
-                    }
-                }
-            }
-        }
+        let buf = &mut self.buf;
+        route_batch(self.n, batch, |dst, msg| buf.push((from, dst, msg)));
     }
 
     /// Queues a single point-to-point message.
@@ -91,16 +72,8 @@ impl<M: Clone> Net<M> {
 
     /// Queues a batch from `from`, expanding broadcasts.
     pub fn push_batch(&mut self, from: usize, batch: Vec<Outgoing<M>>) {
-        for o in batch {
-            match o.dest {
-                Dest::One(dst) => self.queue.push((from, dst, o.msg)),
-                Dest::All => {
-                    for dst in 0..self.n {
-                        self.queue.push((from, dst, o.msg.clone()));
-                    }
-                }
-            }
-        }
+        let queue = &mut self.queue;
+        route_batch(self.n, batch, |dst, msg| queue.push((from, dst, msg)));
     }
 
     /// Drains the queue in seeded-random order. `handler(to, from, msg,
@@ -126,7 +99,10 @@ impl<M: Clone> Net<M> {
                     self.queue.push((to, dst, m));
                 }
             } else {
-                let mut sink = Sink { n: self.n, buf: Vec::new() };
+                let mut sink = Sink {
+                    n: self.n,
+                    buf: Vec::new(),
+                };
                 handler(to, from, msg, &mut sink);
                 self.queue.append(&mut sink.buf);
             }
@@ -162,8 +138,7 @@ mod tests {
     #[test]
     fn byzantine_player_intercepts() {
         // Player 1 is byzantine: echoes everything back to 0 doubled.
-        let behavior: Behavior<u32> =
-            Box::new(|_me, from, msg| vec![(from, msg * 2)]);
+        let behavior: Behavior<u32> = Box::new(|_me, from, msg| vec![(from, msg * 2)]);
         let mut seen = Vec::new();
         let mut net = Net::new(2, vec![1], 0, behavior);
         net.push(0, 1, 21);

@@ -20,12 +20,18 @@
 //!   players have delivered. This is what makes "wait for n−t inputs"
 //!   consistent across honest players in the input phase of the MPC.
 //!
-//! [`harness`] is a deterministic single-threaded driver used by this
-//! crate's tests and reused by the VSS/MPC crates' tests.
+//! All three machines are driveable two ways: [`driver`] wraps them as
+//! [`mediator_sim::sansio::SansIo`] peers so the full `mediator-sim` `World`
+//! (every scheduler, traces, failure injection) can run them, and
+//! [`harness`] keeps the original deterministic single-threaded `Net` driver
+//! as a compatibility shim for lightweight unit tests. The driver-parity
+//! property suite (`tests/driver_parity.rs`) pins the two runtimes to each
+//! other.
 
 pub mod aba;
 pub mod acs;
 pub mod coin;
+pub mod driver;
 pub mod harness;
 pub mod outgoing;
 pub mod rbc;
@@ -33,5 +39,6 @@ pub mod rbc;
 pub use aba::{AbaMsg, AbaState};
 pub use acs::{AcsMsg, AcsState};
 pub use coin::{CoinSource, IdealCoin, LocalCoin};
+pub use driver::{AbaPeer, AcsPeer, RbcPeer};
 pub use outgoing::{Dest, Outgoing};
 pub use rbc::{RbcMsg, RbcState};

@@ -1,61 +1,8 @@
 //! Outgoing-message plumbing shared by the state machines.
+//!
+//! The canonical definitions now live in [`mediator_sim::sansio`] — the
+//! shared sans-IO driving contract — so every runtime (the full `World` and
+//! the legacy [`Net`](crate::harness::Net) test driver) speaks the same
+//! shapes. This module re-exports them under their historical paths.
 
-use serde::{Deserialize, Serialize};
-
-/// Where an outgoing message goes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Dest {
-    /// Point-to-point to one process.
-    One(usize),
-    /// To every process, **including the sender** (a process "receiving" its
-    /// own broadcast keeps the state machines uniform; the embedding layer
-    /// may shortcut the self-copy).
-    All,
-}
-
-/// An outgoing message from a state machine.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Outgoing<M> {
-    /// Destination.
-    pub dest: Dest,
-    /// Payload.
-    pub msg: M,
-}
-
-impl<M> Outgoing<M> {
-    /// Convenience constructor for a broadcast.
-    pub fn all(msg: M) -> Self {
-        Outgoing { dest: Dest::All, msg }
-    }
-
-    /// Convenience constructor for a point-to-point message.
-    pub fn to(dst: usize, msg: M) -> Self {
-        Outgoing { dest: Dest::One(dst), msg }
-    }
-
-    /// Maps the payload, keeping the destination (used to wrap sub-protocol
-    /// messages with instance tags).
-    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Outgoing<N> {
-        Outgoing { dest: self.dest, msg: f(self.msg) }
-    }
-}
-
-/// Maps a whole batch of outgoing messages (instance-tag wrapping).
-pub fn map_batch<M, N>(batch: Vec<Outgoing<M>>, mut f: impl FnMut(M) -> N) -> Vec<Outgoing<N>> {
-    batch.into_iter().map(|o| o.map(&mut f)).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn map_preserves_destination() {
-        let o = Outgoing::to(3, 7u32).map(|v| v + 1);
-        assert_eq!(o.dest, Dest::One(3));
-        assert_eq!(o.msg, 8);
-        let b = map_batch(vec![Outgoing::all(1u8), Outgoing::to(0, 2u8)], |v| v as u16 * 10);
-        assert_eq!(b[0].msg, 10);
-        assert_eq!(b[1].msg, 20);
-    }
-}
+pub use mediator_sim::sansio::{map_batch, Dest, Outgoing};

@@ -102,11 +102,11 @@ impl<V: Clone + Ord> RbcState<V> {
             }
             RbcMsg::Ready(v) => {
                 let count = insert_vote(&mut self.readies, &v, from);
-                if count >= self.t + 1 && !self.ready_sent {
+                if count > self.t && !self.ready_sent {
                     self.ready_sent = true;
                     out.push(Outgoing::all(RbcMsg::Ready(v.clone())));
                 }
-                if count >= 2 * self.t + 1 && !self.delivered {
+                if count > 2 * self.t && !self.delivered {
                     self.delivered = true;
                     delivered = Some(v);
                 }
@@ -232,8 +232,7 @@ mod tests {
         let n = 4;
         let behavior: crate::harness::Behavior<RbcMsg<u64>> = Box::new(|_, _, _| Vec::new());
         for seed in 0..10 {
-            let mut states: Vec<RbcState<u64>> =
-                (0..n).map(|_| RbcState::new(n, 1, 3)).collect();
+            let mut states: Vec<RbcState<u64>> = (0..n).map(|_| RbcState::new(n, 1, 3)).collect();
             let mut delivered: Vec<Option<u64>> = vec![None; n];
             let mut net = Net::new(n, vec![3], seed, behavior.clone_box());
             // Dealer 3 equivocates:
@@ -249,7 +248,10 @@ mod tests {
             });
             let vals: Vec<u64> = delivered.iter().take(3).flatten().copied().collect();
             // All delivered values agree.
-            assert!(vals.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {vals:?}");
+            assert!(
+                vals.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: {vals:?}"
+            );
         }
     }
 

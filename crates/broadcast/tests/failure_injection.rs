@@ -1,13 +1,36 @@
 //! Failure injection for the agreement substrate: byzantine dealers,
 //! forged votes, and flooding — the attacks the `t < n/3` thresholds are
 //! priced against.
+//!
+//! These suites run under the full `mediator-sim` `World` through the
+//! shared sans-IO adapter, so every attack is exercised against real
+//! adversarial schedulers (not just the legacy harness's uniform-random
+//! delivery). Byzantine players are [`ByzantineProcess`]es: reactive
+//! behaviour closures plus, for equivocating dealers, a deviant kickoff.
 
-use mediator_bcast::harness::{Behavior, Net};
-use mediator_bcast::{AbaMsg, AbaState, AcsMsg, AcsState, CoinSource, IdealCoin, RbcMsg, RbcState};
-use std::collections::BTreeMap;
+use mediator_bcast::driver::{AbaPeer, AcsPeer, RbcPeer};
+use mediator_bcast::{AbaMsg, AbaState, AcsMsg, AcsState, IdealCoin, RbcMsg};
+use mediator_sim::sansio::{run_machines, Behavior, ByzantineProcess};
+use mediator_sim::SchedulerKind;
 
 fn no_op<M: 'static>() -> Behavior<M> {
     Box::new(|_, _, _| Vec::new())
+}
+
+/// The scheduler battery every attack runs against.
+fn schedulers() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Random,
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+        SchedulerKind::TargetedDelay(vec![1]),
+    ]
+}
+
+fn rbc_peers(n: usize, t: usize, dealer: usize, value: u64) -> Vec<RbcPeer<u64>> {
+    (0..n)
+        .map(|me| RbcPeer::new(n, t, dealer, me, (me == dealer).then_some(value)))
+        .collect()
 }
 
 #[test]
@@ -16,24 +39,30 @@ fn rbc_flooded_ready_for_fake_value_does_not_deliver() {
     // delivery needs 2t+1 = 3 distinct Ready senders, and honest players
     // never echo a value without the echo quorum: nobody delivers FAKE.
     let n = 4;
-    let mut states: Vec<RbcState<u64>> = (0..n).map(|_| RbcState::new(n, 1, 0)).collect();
-    let mut delivered: Vec<Option<u64>> = vec![None; n];
     let behavior: Behavior<RbcMsg<u64>> = Box::new(|me, _from, _msg| {
-        (0..4).filter(|&p| p != me).map(|p| (p, RbcMsg::Ready(666))).collect()
+        (0..4)
+            .filter(|&p| p != me)
+            .map(|p| (p, RbcMsg::Ready(666)))
+            .collect()
     });
-    let mut net = Net::new(n, vec![3], 9, behavior);
-    let batch = states[0].start(42);
-    net.push_batch(0, batch);
-    net.run(|to, from, msg, sink| {
-        let (out, d) = states[to].on_message(from, msg);
-        if let Some(v) = d {
-            delivered[to] = Some(v);
-        }
-        sink.push_batch(to, out);
-    });
-    for (i, d) in delivered.iter().enumerate() {
-        if i != 3 {
-            assert_eq!(*d, Some(42), "player {i} must deliver the real value");
+    for kind in schedulers() {
+        for seed in 0..4 {
+            let (_, delivered) = run_machines(
+                rbc_peers(n, 1, 0, 42),
+                vec![(3, behavior.clone_box().into())],
+                kind.build().as_mut(),
+                seed,
+                200_000,
+            );
+            for (i, d) in delivered.iter().enumerate() {
+                if i != 3 {
+                    assert_eq!(
+                        *d,
+                        Some(42),
+                        "player {i} must deliver the real value ({kind:?})"
+                    );
+                }
+            }
         }
     }
 }
@@ -45,28 +74,32 @@ fn rbc_byzantine_dealer_equivocation_never_splits_honest_players() {
     // value (agreement), possibly nothing.
     let n = 7;
     let t = 2;
-    for seed in 0..20 {
-        let mut states: Vec<RbcState<u64>> = (0..n).map(|_| RbcState::new(n, t, 6)).collect();
-        let mut delivered: Vec<Option<u64>> = vec![None; n];
-        let mut net = Net::new(n, vec![6], seed, no_op());
-        for p in 0..3 {
-            net.push(6, p, RbcMsg::Init(1));
+    for kind in schedulers() {
+        for seed in 0..8 {
+            // All players are receivers; the byzantine "dealer" (6) plays an
+            // equivocating kickoff instead of its honest machine (whose
+            // placeholder value is discarded with the machine).
+            let machines: Vec<RbcPeer<u64>> = (0..n)
+                .map(|me| RbcPeer::new(n, t, 6, me, (me == 6).then_some(0)))
+                .collect();
+            let kickoff: Vec<(usize, RbcMsg<u64>)> = (0..3)
+                .map(|p| (p, RbcMsg::Init(1)))
+                .chain((3..6).map(|p| (p, RbcMsg::Init(2))))
+                .collect();
+            let byz = ByzantineProcess::new(no_op()).with_kickoff(kickoff);
+            let (_, delivered) = run_machines(
+                machines,
+                vec![(6, byz)],
+                kind.build().as_mut(),
+                seed,
+                200_000,
+            );
+            let vals: Vec<u64> = delivered[..6].iter().flatten().copied().collect();
+            assert!(
+                vals.windows(2).all(|w| w[0] == w[1]),
+                "{kind:?} seed {seed}: honest players split: {delivered:?}"
+            );
         }
-        for p in 3..6 {
-            net.push(6, p, RbcMsg::Init(2));
-        }
-        net.run(|to, from, msg, sink| {
-            let (out, d) = states[to].on_message(from, msg);
-            if let Some(v) = d {
-                delivered[to] = Some(v);
-            }
-            sink.push_batch(to, out);
-        });
-        let vals: Vec<u64> = delivered[..6].iter().flatten().copied().collect();
-        assert!(
-            vals.windows(2).all(|w| w[0] == w[1]),
-            "seed {seed}: honest players split: {delivered:?}"
-        );
     }
 }
 
@@ -106,25 +139,24 @@ fn aba_byzantine_cannot_inject_a_value_no_honest_proposed() {
             .collect(),
         _ => Vec::new(),
     });
-    for seed in 0..10 {
-        let mut states: Vec<AbaState> = (0..n)
-            .map(|_| AbaState::new(n, t, 0, Box::new(IdealCoin::new(3)) as Box<dyn CoinSource>))
-            .collect();
-        let mut decisions: Vec<Option<bool>> = vec![None; n];
-        let mut net = Net::new(n, vec![5, 6], seed, behavior.clone_box());
-        for i in 0..5 {
-            let batch = states[i].start(true);
-            net.push_batch(i, batch);
-        }
-        net.run(|to, from, msg, sink| {
-            let (out, d) = states[to].on_message(from, msg);
-            if let Some(v) = d {
-                decisions[to] = Some(v);
+    for kind in schedulers() {
+        for seed in 0..4 {
+            let machines: Vec<AbaPeer> = (0..n)
+                .map(|_| AbaPeer::new(AbaState::new(n, t, 0, Box::new(IdealCoin::new(3))), true))
+                .collect();
+            let byz = vec![
+                (5, behavior.clone_box().into()),
+                (6, behavior.clone_box().into()),
+            ];
+            let (_, decisions) =
+                run_machines(machines, byz, kind.build().as_mut(), seed, 1_000_000);
+            for (i, d) in decisions.iter().enumerate().take(5) {
+                assert_eq!(
+                    *d,
+                    Some(true),
+                    "validity violated at player {i}, {kind:?} seed {seed}"
+                );
             }
-            sink.push_batch(to, out);
-        });
-        for (i, d) in decisions.iter().enumerate().take(5) {
-            assert_eq!(*d, Some(true), "validity violated at player {i}, seed {seed}");
         }
     }
 }
@@ -136,32 +168,53 @@ fn acs_byzantine_rbc_equivocator_is_either_consistent_or_excluded() {
     // included, every honest player holds the same value for it.
     let n = 4;
     let t = 1;
-    for seed in 0..15 {
-        let mut states: Vec<AcsState<u64>> = (0..n).map(|i| AcsState::new(n, t, i, 5)).collect();
-        let mut outputs: Vec<Option<BTreeMap<usize, u64>>> = vec![None; n];
-        let mut net = Net::new(n, vec![3], seed, no_op());
-        for i in 0..3 {
-            let batch = states[i].start(100 + i as u64);
-            net.push_batch(i, batch);
-        }
-        // Byzantine 3 equivocates in its RBC Init.
-        net.push(3, 0, AcsMsg::Rbc { dealer: 3, inner: RbcMsg::Init(7) });
-        net.push(3, 1, AcsMsg::Rbc { dealer: 3, inner: RbcMsg::Init(8) });
-        net.push(3, 2, AcsMsg::Rbc { dealer: 3, inner: RbcMsg::Init(7) });
-        net.run(|to, from, msg, sink| {
-            let (out, done) = states[to].on_message(from, msg);
-            if let Some(s) = done {
-                outputs[to] = Some(s);
+    for kind in schedulers() {
+        for seed in 0..6 {
+            let machines: Vec<AcsPeer<u64>> = (0..n)
+                .map(|me| AcsPeer::new(n, t, me, 5, 100 + me as u64))
+                .collect();
+            let kickoff = vec![
+                (
+                    0,
+                    AcsMsg::Rbc {
+                        dealer: 3,
+                        inner: RbcMsg::Init(7),
+                    },
+                ),
+                (
+                    1,
+                    AcsMsg::Rbc {
+                        dealer: 3,
+                        inner: RbcMsg::Init(8),
+                    },
+                ),
+                (
+                    2,
+                    AcsMsg::Rbc {
+                        dealer: 3,
+                        inner: RbcMsg::Init(7),
+                    },
+                ),
+            ];
+            let byz = ByzantineProcess::new(no_op()).with_kickoff(kickoff);
+            let (_, outputs) = run_machines(
+                machines,
+                vec![(3, byz)],
+                kind.build().as_mut(),
+                seed,
+                1_000_000,
+            );
+            let first = outputs[0].clone().expect("honest ACS output");
+            for (i, o) in outputs.iter().enumerate().take(3) {
+                assert_eq!(o.as_ref(), Some(&first), "player {i}, {kind:?} seed {seed}");
             }
-            sink.push_batch(to, out);
-        });
-        let first = outputs[0].clone().expect("honest ACS output");
-        for (i, o) in outputs.iter().enumerate().take(3) {
-            assert_eq!(o.as_ref(), Some(&first), "player {i}, seed {seed}");
-        }
-        assert!(first.len() >= n - t);
-        if let Some(v) = first.get(&3) {
-            assert!(*v == 7 || *v == 8, "agreed value is one of the dealer's claims");
+            assert!(first.len() >= n - t);
+            if let Some(v) = first.get(&3) {
+                assert!(
+                    *v == 7 || *v == 8,
+                    "agreed value is one of the dealer's claims"
+                );
+            }
         }
     }
 }
@@ -172,25 +225,33 @@ fn acs_two_silent_parties_at_exact_threshold() {
     // with |S| ≥ 5 and identical outputs.
     let n = 7;
     let t = 2;
-    for seed in 0..5 {
-        let mut states: Vec<AcsState<u64>> = (0..n).map(|i| AcsState::new(n, t, i, 1)).collect();
-        let mut outputs: Vec<Option<BTreeMap<usize, u64>>> = vec![None; n];
-        let mut net = Net::new(n, vec![5, 6], seed, no_op());
-        for i in 0..5 {
-            let batch = states[i].start(i as u64);
-            net.push_batch(i, batch);
-        }
-        net.run(|to, from, msg, sink| {
-            let (out, done) = states[to].on_message(from, msg);
-            if let Some(s) = done {
-                outputs[to] = Some(s);
+    for kind in [SchedulerKind::Random, SchedulerKind::Lifo] {
+        for seed in 0..3 {
+            let machines: Vec<AcsPeer<u64>> = (0..n)
+                .map(|me| AcsPeer::new(n, t, me, 1, me as u64))
+                .collect();
+            let byz = vec![(5, no_op().into()), (6, no_op().into())];
+            let (_, outputs) = run_machines(machines, byz, kind.build().as_mut(), seed, 2_000_000);
+            let first = outputs[0].clone().expect("output");
+            assert!(
+                first.len() >= 5,
+                "{kind:?} seed {seed}: |S| = {}",
+                first.len()
+            );
+            for (i, o) in outputs.iter().enumerate().take(5) {
+                assert_eq!(o.as_ref(), Some(&first), "player {i}, {kind:?} seed {seed}");
             }
-            sink.push_batch(to, out);
-        });
-        let first = outputs[0].clone().expect("output");
-        assert!(first.len() >= 5, "seed {seed}: |S| = {}", first.len());
-        for (i, o) in outputs.iter().enumerate().take(5) {
-            assert_eq!(o.as_ref(), Some(&first), "player {i}, seed {seed}");
         }
     }
+}
+
+/// ACS under `AcsState`'s raw interface still works for callers that have
+/// not adopted the peers (compatibility check for the embedding layer).
+#[test]
+fn acs_raw_state_machines_still_driveable() {
+    let n = 4;
+    let mut states: Vec<AcsState<u64>> = (0..n).map(|i| AcsState::new(n, 1, i, 5)).collect();
+    let batch = states[0].start(7);
+    assert!(!batch.is_empty(), "start emits the RBC dealing");
+    assert!(states[0].value_of(0).is_none());
 }

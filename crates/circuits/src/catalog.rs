@@ -64,11 +64,7 @@ pub fn counterexample_naive(n: usize) -> Circuit {
     let bbit = b.rand_bit();
     let abit = b.rand_bit();
     for i in 0..n {
-        let leak = if i % 2 == 1 {
-            b.xor(abit, bbit)
-        } else {
-            abit
-        };
+        let leak = if i % 2 == 1 { b.xor(abit, bbit) } else { abit };
         let two_leak = b.mul_const(leak, Fp::new(2));
         let out = b.add(two_leak, bbit);
         b.output(i, out);

@@ -83,17 +83,26 @@ impl Circuit {
 
     /// Number of multiplication gates (the dominant MPC cost).
     pub fn mul_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::Mul(_, _))).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Mul(_, _)))
+            .count()
     }
 
     /// Number of `Rand` gates.
     pub fn rand_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::Rand)).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Rand))
+            .count()
     }
 
     /// Number of `RandBit` gates.
     pub fn rand_bit_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::RandBit)).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::RandBit))
+            .count()
     }
 
     /// Multiplicative depth (longest chain of `Mul` gates).
@@ -132,7 +141,11 @@ impl Circuit {
         coins: &[Fp],
         coin_bits: &[bool],
     ) -> Evaluation {
-        assert_eq!(inputs.len(), self.num_players, "wrong number of input vectors");
+        assert_eq!(
+            inputs.len(),
+            self.num_players,
+            "wrong number of input vectors"
+        );
         for (p, iv) in inputs.iter().enumerate() {
             assert_eq!(
                 iv.len(),
@@ -141,7 +154,11 @@ impl Circuit {
             );
         }
         assert_eq!(coins.len(), self.rand_count(), "wrong number of coins");
-        assert_eq!(coin_bits.len(), self.rand_bit_count(), "wrong number of coin bits");
+        assert_eq!(
+            coin_bits.len(),
+            self.rand_bit_count(),
+            "wrong number of coin bits"
+        );
 
         let mut values = Vec::with_capacity(self.gates.len());
         let mut ci = 0usize;

@@ -1,6 +1,10 @@
 //! Cheap-talk games: the mediator replaced by asynchronous MPC.
 //!
-//! `CheapTalkPlayer` embeds the MPC engine into a `mediator-sim` process.
+//! `CheapTalkPlayer` embeds the MPC engine into a `mediator-sim` process by
+//! driving [`MpcDriver`] — the same [`mediator_sim::sansio::SansIo`] wrapper
+//! the protocol test suites run — through the shared `route_batch` fan-out,
+//! adding only the game-level machinery on top: deviations, wills, the
+//! cotermination barrier, and abort-to-default resolution.
 //! The four theorem parameterizations:
 //!
 //! | Theorem | `CtVariant` | threshold | extras |
@@ -21,10 +25,10 @@
 //! fires), never a harmful mix.
 
 use crate::deviations::Behavior;
-use mediator_bcast::Dest;
 use mediator_circuits::Circuit;
 use mediator_field::Fp;
-use mediator_mpc::{Mode, MpcConfig, MpcEngine, MpcEvent, MpcMsg};
+use mediator_mpc::{Mode, MpcConfig, MpcDriver, MpcEvent, MpcMsg};
+use mediator_sim::sansio::{route_batch, SansIo};
 use mediator_sim::{Action, Ctx, Outcome, Process, ProcessId, SchedulerKind, World};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -86,7 +90,9 @@ impl CheapTalkSpec {
     pub fn mpc_config(&self) -> MpcConfig {
         let f = self.f();
         match self.variant {
-            CtVariant::Robust => MpcConfig::robust(self.n, f, self.coin_seed, self.defaults.clone()),
+            CtVariant::Robust => {
+                MpcConfig::robust(self.n, f, self.coin_seed, self.defaults.clone())
+            }
             CtVariant::Epsilon { kappa } => MpcConfig {
                 n: self.n,
                 f,
@@ -181,7 +187,7 @@ pub struct CheapTalkPlayer {
     spec: CheapTalkSpec,
     me: usize,
     input: Vec<Fp>,
-    engine: Option<MpcEngine>,
+    engine: Option<MpcDriver>,
     behavior: Behavior,
     sends: u64,
     crashed: bool,
@@ -197,7 +203,12 @@ impl CheapTalkPlayer {
     }
 
     /// A player with deviations switched on.
-    pub fn with_behavior(spec: CheapTalkSpec, me: usize, input: Vec<Fp>, behavior: Behavior) -> Self {
+    pub fn with_behavior(
+        spec: CheapTalkSpec,
+        me: usize,
+        input: Vec<Fp>,
+        behavior: Behavior,
+    ) -> Self {
         CheapTalkPlayer {
             spec,
             me,
@@ -212,29 +223,27 @@ impl CheapTalkPlayer {
         }
     }
 
-    fn deliver_out(&mut self, batch: Vec<mediator_bcast::Outgoing<MpcMsg>>, ctx: &mut Ctx<CtMsg>) {
-        for o in batch {
-            // Opening/output lies: corrupt the values we emit.
-            let msg = if self.behavior.lie_in_opens {
-                match o.msg {
-                    MpcMsg::Open { id, value } => MpcMsg::Open { id, value: value + Fp::new(1_000_003) },
-                    MpcMsg::Output { idx, value } => {
-                        MpcMsg::Output { idx, value: value + Fp::new(1_000_003) }
-                    }
-                    other => other,
-                }
-            } else {
-                o.msg
-            };
-            match o.dest {
-                Dest::One(d) => self.send(d, CtMsg::Mpc(msg), ctx),
-                Dest::All => {
-                    for d in 0..self.spec.n {
-                        self.send(d, CtMsg::Mpc(msg.clone()), ctx);
-                    }
-                }
-            }
-        }
+    fn deliver_out(&mut self, batch: Vec<mediator_sim::Outgoing<MpcMsg>>, ctx: &mut Ctx<CtMsg>) {
+        // Opening/output lies: corrupt the values we emit.
+        let batch = if self.behavior.lie_in_opens {
+            mediator_sim::map_batch(batch, |msg| match msg {
+                MpcMsg::Open { id, value } => MpcMsg::Open {
+                    id,
+                    value: value + Fp::new(1_000_003),
+                },
+                MpcMsg::Output { idx, value } => MpcMsg::Output {
+                    idx,
+                    value: value + Fp::new(1_000_003),
+                },
+                other => other,
+            })
+        } else {
+            batch
+        };
+        // Broadcast fan-out goes through the shared sans-IO routing, with
+        // this player's deviation-aware send in the hot seat.
+        let n = self.spec.n;
+        route_batch(n, batch, |d, msg| self.send(d, CtMsg::Mpc(msg), ctx));
     }
 
     fn send(&mut self, dst: usize, msg: CtMsg, ctx: &mut Ctx<CtMsg>) {
@@ -311,9 +320,18 @@ impl Process<CtMsg> for CheapTalkPlayer {
             ctx.halt();
             return;
         }
-        let mut engine = MpcEngine::new(self.spec.mpc_config(), self.spec.circuit.clone(), self.me);
-        let input = self.behavior.input_override.clone().unwrap_or_else(|| self.input.clone());
-        let batch = engine.start(&input, ctx.rng());
+        let input = self
+            .behavior
+            .input_override
+            .clone()
+            .unwrap_or_else(|| self.input.clone());
+        let mut engine = MpcDriver::new(
+            self.spec.mpc_config(),
+            self.spec.circuit.clone(),
+            self.me,
+            input,
+        );
+        let batch = engine.on_start(ctx.std_rng());
         self.engine = Some(engine);
         self.deliver_out(batch, ctx);
     }
@@ -321,8 +339,10 @@ impl Process<CtMsg> for CheapTalkPlayer {
     fn on_message(&mut self, src: ProcessId, msg: CtMsg, ctx: &mut Ctx<CtMsg>) {
         match msg {
             CtMsg::Mpc(m) => {
-                let Some(engine) = self.engine.as_mut() else { return };
-                let (batch, ev) = engine.on_message(src, m);
+                let Some(engine) = self.engine.as_mut() else {
+                    return;
+                };
+                let (batch, ev) = engine.on_message(src, m, ctx.std_rng());
                 self.deliver_out(batch, ctx);
                 if let Some(ev) = ev {
                     self.handle_event(ev, ctx);
@@ -351,8 +371,12 @@ pub fn run_cheap_talk(
     let procs: Vec<Box<dyn Process<CtMsg>>> = (0..n)
         .map(|p| {
             let b = behaviors.get(&p).cloned().unwrap_or_default();
-            Box::new(CheapTalkPlayer::with_behavior(spec.clone(), p, inputs[p].clone(), b))
-                as Box<dyn Process<CtMsg>>
+            Box::new(CheapTalkPlayer::with_behavior(
+                spec.clone(),
+                p,
+                inputs[p].clone(),
+                b,
+            )) as Box<dyn Process<CtMsg>>
         })
         .collect();
     let mut world = World::new(procs, seed);
@@ -385,7 +409,10 @@ mod tests {
     fn honest_cheap_talk_computes_majority() {
         let n = 5; // k=1, t=0: n > 4 ✓
         let spec = majority_spec(n, 1, 0);
-        let inputs: Vec<Vec<Fp>> = [1u64, 0, 1, 1, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
+        let inputs: Vec<Vec<Fp>> = [1u64, 0, 1, 1, 0]
+            .iter()
+            .map(|&b| vec![Fp::new(b)])
+            .collect();
         let out = run_cheap_talk(
             &spec,
             &inputs,
@@ -406,7 +433,10 @@ mod tests {
         let mut behaviors = BTreeMap::new();
         behaviors.insert(
             3usize,
-            Behavior { silent: true, ..Behavior::default() },
+            Behavior {
+                silent: true,
+                ..Behavior::default()
+            },
         );
         let out = run_cheap_talk(
             &spec,
@@ -427,12 +457,17 @@ mod tests {
     fn opening_liar_is_corrected() {
         let n = 5;
         let spec = majority_spec(n, 1, 0);
-        let inputs: Vec<Vec<Fp>> =
-            [0u64, 0, 1, 0, 1].iter().map(|&b| vec![Fp::new(b)]).collect();
+        let inputs: Vec<Vec<Fp>> = [0u64, 0, 1, 0, 1]
+            .iter()
+            .map(|&b| vec![Fp::new(b)])
+            .collect();
         let mut behaviors = BTreeMap::new();
         behaviors.insert(
             2usize,
-            Behavior { lie_in_opens: true, ..Behavior::default() },
+            Behavior {
+                lie_in_opens: true,
+                ..Behavior::default()
+            },
         );
         let out = run_cheap_talk(
             &spec,
@@ -471,7 +506,10 @@ mod tests {
             let mut behaviors = BTreeMap::new();
             behaviors.insert(
                 1usize,
-                Behavior { crash_after_sends: Some(40), ..Behavior::default() },
+                Behavior {
+                    crash_after_sends: Some(40),
+                    ..Behavior::default()
+                },
             );
             let out = run_cheap_talk(
                 &spec,
@@ -487,7 +525,10 @@ mod tests {
                 .collect();
             let all = honest_moved.iter().all(|&b| b);
             let none = honest_moved.iter().all(|&b| !b);
-            assert!(all || none, "cotermination violated, seed {seed}: {honest_moved:?}");
+            assert!(
+                all || none,
+                "cotermination violated, seed {seed}: {honest_moved:?}"
+            );
             if none {
                 // Wills fire: everyone "plays" the punishment.
                 let resolved = out.resolve_ah(&vec![9; n]);
@@ -515,7 +556,13 @@ mod tests {
         );
         let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
         let mut behaviors = BTreeMap::new();
-        behaviors.insert(0usize, Behavior { refuse_to_move: true, ..Behavior::default() });
+        behaviors.insert(
+            0usize,
+            Behavior {
+                refuse_to_move: true,
+                ..Behavior::default()
+            },
+        );
         let out = run_cheap_talk(
             &spec,
             &inputs,
@@ -541,8 +588,7 @@ mod tests {
             vec![vec![Fp::ZERO]; n],
             vec![0; n],
         );
-        let inputs: Vec<Vec<Fp>> =
-            [1u64, 1, 1, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
+        let inputs: Vec<Vec<Fp>> = [1u64, 1, 1, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
         let out = run_cheap_talk(
             &spec,
             &inputs,
@@ -561,12 +607,17 @@ mod tests {
         // input); verify the machinery wires it through.
         let n = 5;
         let spec = majority_spec(n, 1, 0);
-        let inputs: Vec<Vec<Fp>> =
-            [1u64, 1, 0, 0, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
+        let inputs: Vec<Vec<Fp>> = [1u64, 1, 0, 0, 0]
+            .iter()
+            .map(|&b| vec![Fp::new(b)])
+            .collect();
         let mut behaviors = BTreeMap::new();
         behaviors.insert(
             2usize,
-            Behavior { input_override: Some(vec![Fp::ONE]), ..Behavior::default() },
+            Behavior {
+                input_override: Some(vec![Fp::ONE]),
+                ..Behavior::default()
+            },
         );
         let out = run_cheap_talk(
             &spec,

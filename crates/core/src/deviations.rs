@@ -40,19 +40,40 @@ impl Behavior {
     /// Named battery of deviations for robustness reports.
     pub fn battery() -> Vec<(&'static str, Behavior)> {
         vec![
-            ("silent", Behavior { silent: true, ..Default::default() }),
+            (
+                "silent",
+                Behavior {
+                    silent: true,
+                    ..Default::default()
+                },
+            ),
             (
                 "crash-mid",
-                Behavior { crash_after_sends: Some(60), ..Default::default() },
+                Behavior {
+                    crash_after_sends: Some(60),
+                    ..Default::default()
+                },
             ),
             (
                 "lie-input",
-                Behavior { input_override: Some(vec![Fp::ONE]), ..Default::default() },
+                Behavior {
+                    input_override: Some(vec![Fp::ONE]),
+                    ..Default::default()
+                },
             ),
-            ("lie-opens", Behavior { lie_in_opens: true, ..Default::default() }),
+            (
+                "lie-opens",
+                Behavior {
+                    lie_in_opens: true,
+                    ..Default::default()
+                },
+            ),
             (
                 "refuse-move",
-                Behavior { refuse_to_move: true, ..Default::default() },
+                Behavior {
+                    refuse_to_move: true,
+                    ..Default::default()
+                },
             ),
         ]
     }
@@ -114,7 +135,13 @@ impl CounterexampleColluder {
             ctx.halt();
         } else {
             // Cooperate: ack round 1, then play the announced action.
-            ctx.send(self.mediator(), MedMsg::Input { round: 1, value: self.input.clone() });
+            ctx.send(
+                self.mediator(),
+                MedMsg::Input {
+                    round: 1,
+                    value: self.input.clone(),
+                },
+            );
         }
     }
 }
@@ -122,7 +149,13 @@ impl CounterexampleColluder {
 impl Process<MedMsg> for CounterexampleColluder {
     fn on_start(&mut self, ctx: &mut Ctx<MedMsg>) {
         ctx.set_will(library::BOTTOM as Action);
-        ctx.send(self.mediator(), MedMsg::Input { round: 0, value: self.input.clone() });
+        ctx.send(
+            self.mediator(),
+            MedMsg::Input {
+                round: 0,
+                value: self.input.clone(),
+            },
+        );
     }
 
     fn on_message(&mut self, src: ProcessId, msg: MedMsg, ctx: &mut Ctx<MedMsg>) {
@@ -130,7 +163,12 @@ impl Process<MedMsg> for CounterexampleColluder {
             MedMsg::Round { round: 1, payload } if src == self.mediator() => {
                 let leak = payload.first().map(|v| v.as_u64()).unwrap_or(0);
                 self.my_leak = Some(leak);
-                ctx.send(self.partner, MedMsg::Gossip { payload: vec![Fp::new(leak)] });
+                ctx.send(
+                    self.partner,
+                    MedMsg::Gossip {
+                        payload: vec![Fp::new(leak)],
+                    },
+                );
                 self.decide(ctx);
             }
             MedMsg::Gossip { payload } if src == self.partner => {

@@ -34,7 +34,13 @@ pub struct GradualRelease {
 impl GradualRelease {
     /// Creates a participant for a `2m`-reveal exchange.
     pub fn new(total: u64) -> Self {
-        GradualRelease { total, seen: 0, acc: 0, abort_after: None, revealed: 0 }
+        GradualRelease {
+            total,
+            seen: 0,
+            acc: 0,
+            abort_after: None,
+            revealed: 0,
+        }
     }
 
     fn maybe_reveal(&mut self, ctx: &mut Ctx<u64>) {
@@ -84,11 +90,7 @@ impl Process<u64> for GradualRelease {
 /// Runs one exchange; returns `(coins, messages_sent)`. Coins are resolved
 /// with the AH semantics: an aborted party's executor plays the partial
 /// XOR from its will.
-pub fn run_gradual_release(
-    eps: f64,
-    abort_after: Option<u64>,
-    seed: u64,
-) -> (Vec<Action>, u64) {
+pub fn run_gradual_release(eps: f64, abort_after: Option<u64>, seed: u64) -> (Vec<Action>, u64) {
     let total = egl_message_count(eps);
     let mut a = GradualRelease::new(total);
     let b = GradualRelease::new(total);

@@ -26,9 +26,7 @@ where
 {
     kinds
         .iter()
-        .map(|kind| {
-            OutcomeDist::from_samples((0..samples as u64).map(|seed| run(kind, seed)))
-        })
+        .map(|kind| OutcomeDist::from_samples((0..samples as u64).map(|seed| run(kind, seed))))
         .collect()
 }
 
@@ -116,7 +114,10 @@ mod tests {
         };
         let rep = compare_implementations(&kinds, 20, ct, md);
         assert_eq!(rep.weak_distance, 0.0, "every CT distribution is matched");
-        assert!(rep.distance > 1.0, "the mediator's Fifo distribution is unmatched");
+        assert!(
+            rep.distance > 1.0,
+            "the mediator's Fifo distribution is unmatched"
+        );
     }
 
     #[test]
@@ -126,9 +127,7 @@ mod tests {
         let mk = |salt: u64| {
             move |_: &SchedulerKind, seed: u64| {
                 // SplitMix-ish hash → fair coin.
-                let mut z = seed
-                    .wrapping_add(salt)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed.wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 z ^= z >> 31;
                 vec![(z & 1) as usize]
             }

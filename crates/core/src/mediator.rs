@@ -81,7 +81,13 @@ pub struct MediatorGameSpec {
 
 impl MediatorGameSpec {
     /// A standard one-round mediator game.
-    pub fn standard(n: usize, k: usize, t: usize, circuit: Circuit, defaults: Vec<Vec<Fp>>) -> Self {
+    pub fn standard(
+        n: usize,
+        k: usize,
+        t: usize,
+        circuit: Circuit,
+        defaults: Vec<Vec<Fp>>,
+    ) -> Self {
         MediatorGameSpec {
             n,
             k,
@@ -196,8 +202,8 @@ impl CircuitMediator {
             // STOP.
             self.stopped = true;
             let actions = self.computed.as_ref().expect("computed");
-            for p in 0..self.n() {
-                ctx.send(p, MedMsg::Stop { action: actions[p] });
+            for (p, &action) in actions.iter().enumerate() {
+                ctx.send(p, MedMsg::Stop { action });
             }
             ctx.halt();
             return;
@@ -221,7 +227,11 @@ pub struct HonestMedPlayer {
 impl HonestMedPlayer {
     /// Creates a canonical honest player for a game with `n` players.
     pub fn new(n: usize, input: Vec<Fp>, will: Option<Action>) -> Self {
-        HonestMedPlayer { input, will, mediator: n }
+        HonestMedPlayer {
+            input,
+            will,
+            mediator: n,
+        }
     }
 }
 
@@ -230,7 +240,13 @@ impl Process<MedMsg> for HonestMedPlayer {
         if let Some(w) = self.will {
             ctx.set_will(w);
         }
-        ctx.send(self.mediator, MedMsg::Input { round: 0, value: self.input.clone() });
+        ctx.send(
+            self.mediator,
+            MedMsg::Input {
+                round: 0,
+                value: self.input.clone(),
+            },
+        );
     }
 
     fn on_message(&mut self, src: ProcessId, msg: MedMsg, ctx: &mut Ctx<MedMsg>) {
@@ -239,7 +255,13 @@ impl Process<MedMsg> for HonestMedPlayer {
         }
         match msg {
             MedMsg::Round { round, .. } => {
-                ctx.send(self.mediator, MedMsg::Input { round, value: self.input.clone() });
+                ctx.send(
+                    self.mediator,
+                    MedMsg::Input {
+                        round,
+                        value: self.input.clone(),
+                    },
+                );
             }
             MedMsg::Stop { action } => {
                 ctx.make_move(action);
@@ -336,7 +358,13 @@ mod tests {
     use mediator_circuits::catalog;
 
     fn majority_spec(n: usize) -> MediatorGameSpec {
-        MediatorGameSpec::standard(n, 1, 0, catalog::majority_circuit(n), vec![vec![Fp::ZERO]; n])
+        MediatorGameSpec::standard(
+            n,
+            1,
+            0,
+            catalog::majority_circuit(n),
+            vec![vec![Fp::ZERO]; n],
+        )
     }
 
     #[test]
@@ -387,13 +415,8 @@ mod tests {
     #[test]
     fn naive_split_mediator_sends_leak_then_stop() {
         let n = 4;
-        let mut spec = MediatorGameSpec::standard(
-            n,
-            1,
-            0,
-            catalog::counterexample_naive(n),
-            vec![vec![]; n],
-        );
+        let mut spec =
+            MediatorGameSpec::standard(n, 1, 0, catalog::counterexample_naive(n), vec![vec![]; n]);
         spec.naive_split = true;
         let inputs = vec![vec![]; n];
         let out = run_mediator_game(
@@ -429,8 +452,12 @@ mod tests {
         let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
         // Let the players' inputs through, then drop everything the
         // mediator sends (its STOP batch).
-        let out = run_mediator_game_relaxed(&spec, &inputs, BTreeMap::new(), n as u64 + 1, 3, 100_000);
-        assert!(out.trace.dropped_count() > 0, "mediator batch must be dropped");
+        let out =
+            run_mediator_game_relaxed(&spec, &inputs, BTreeMap::new(), n as u64 + 1, 3, 100_000);
+        assert!(
+            out.trace.dropped_count() > 0,
+            "mediator batch must be dropped"
+        );
         // Nobody moved; everyone's will fires — all-or-none, never a mix.
         for p in 0..n {
             assert_eq!(out.moves[p], None, "player {p} cannot move without STOP");

@@ -50,7 +50,10 @@ pub fn pattern_class(trace: &Trace) -> PatternClass {
             TraceEvent::Started { .. } => {}
         }
     }
-    PatternClass { events, undelivered: sent }
+    PatternClass {
+        events,
+        undelivered: sent,
+    }
 }
 
 /// Counts the distinct pattern classes among a set of traces — the
@@ -67,15 +70,15 @@ pub fn distinct_classes<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> usiz
 /// enough for table-grade `log₂ n!`.
 fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
-        676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
-        771.323_428_777_653_13,
-        -176.615_029_162_140_6,
-        12.507_343_278_686_905,
-        -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
-        1.505_632_735_149_311_6e-7,
+        0.9999999999998099,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.3234287776531,
+        -176.6150291621406,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984369578019572e-6,
+        1.5056327351493116e-7,
     ];
     if x < 0.5 {
         // Reflection.
@@ -307,9 +310,21 @@ mod tests {
     fn pattern_class_records_undelivered_messages() {
         use mediator_sim::{Trace, TraceEvent};
         let mut t = Trace::new();
-        t.push_event(TraceEvent::Sent { src: 0, dst: 1, k: 1 });
-        t.push_event(TraceEvent::Sent { src: 0, dst: 1, k: 2 });
-        t.push_event(TraceEvent::Delivered { src: 0, dst: 1, k: 1 });
+        t.push_event(TraceEvent::Sent {
+            src: 0,
+            dst: 1,
+            k: 1,
+        });
+        t.push_event(TraceEvent::Sent {
+            src: 0,
+            dst: 1,
+            k: 2,
+        });
+        t.push_event(TraceEvent::Delivered {
+            src: 0,
+            dst: 1,
+            k: 1,
+        });
         let class = pattern_class(&t);
         assert_eq!(class.undelivered.len(), 1);
         assert!(class.undelivered.contains(&(0, 1, 2)));

@@ -71,7 +71,11 @@ pub fn f4(v: f64) -> String {
 
 /// Formats a boolean as a check/cross.
 pub fn check(b: bool) -> String {
-    if b { "✓".into() } else { "✗".into() }
+    if b {
+        "✓".into()
+    } else {
+        "✗".into()
+    }
 }
 
 #[cfg(test)]

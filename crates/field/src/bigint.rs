@@ -333,14 +333,20 @@ mod tests {
 
     #[test]
     fn factorial_20_fits_u64() {
-        assert_eq!(BigUint::factorial(20), BigUint::from(2432902008176640000u64));
+        assert_eq!(
+            BigUint::factorial(20),
+            BigUint::from(2432902008176640000u64)
+        );
     }
 
     #[test]
     fn comparison_orders_by_magnitude() {
         assert!(BigUint::factorial(30) > BigUint::factorial(29));
         assert!(BigUint::from(0u64) < BigUint::one());
-        assert_eq!(BigUint::from(5u64).cmp(&BigUint::from(5u64)), Ordering::Equal);
+        assert_eq!(
+            BigUint::from(5u64).cmp(&BigUint::from(5u64)),
+            Ordering::Equal
+        );
     }
 
     #[test]
@@ -359,10 +365,7 @@ mod tests {
     #[test]
     fn mul_matches_factorial_identity() {
         // 10! * 11 = 11!
-        assert_eq!(
-            BigUint::factorial(10).mul_u64(11),
-            BigUint::factorial(11)
-        );
+        assert_eq!(BigUint::factorial(10).mul_u64(11), BigUint::factorial(11));
         assert_eq!(
             BigUint::factorial(10).mul(&BigUint::from(11u64)),
             BigUint::factorial(11)
@@ -413,7 +416,10 @@ mod tests {
         let big = u64::MAX;
         let a = BigUint::from(big).mul_u64(big);
         // (2^64-1)^2 = 2^128 - 2^65 + 1
-        let expect = BigUint::from(2u64).pow(128).sub(&BigUint::from(2u64).pow(65)).add(&BigUint::one());
+        let expect = BigUint::from(2u64)
+            .pow(128)
+            .sub(&BigUint::from(2u64).pow(65))
+            .add(&BigUint::one());
         assert_eq!(a, expect);
     }
 }

@@ -70,7 +70,7 @@ impl Fp {
         // Split into low 61 bits and high bits; since 2^61 ≡ 1 (mod p),
         // x = hi*2^61 + lo ≡ hi + lo.
         let lo = (x & (MODULUS as u128)) as u64;
-        let hi = (x >> 61) as u128;
+        let hi = x >> 61;
         let mut r = lo as u128 + hi;
         // One more fold covers the full u128 range.
         r = (r & MODULUS as u128) + (r >> 61);
@@ -192,6 +192,7 @@ impl Div for Fp {
     /// # Panics
     /// Panics if `rhs` is zero.
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // field division IS mul by inverse
     fn div(self, rhs: Fp) -> Fp {
         self * rhs.inv().expect("division by zero in GF(2^61-1)")
     }

@@ -147,7 +147,7 @@ impl Poly {
                 continue;
             }
             for (j, &dc) in divisor.coeffs.iter().enumerate() {
-                rem[k + j] = rem[k + j] - coef * dc;
+                rem[k + j] -= coef * dc;
             }
         }
         rem.truncate(dd - 1);
@@ -254,10 +254,7 @@ mod tests {
     #[test]
     fn eval_shares_uses_points_1_to_n() {
         let p = poly(&[5, 1]); // 5 + x
-        assert_eq!(
-            p.eval_shares(3),
-            vec![Fp::new(6), Fp::new(7), Fp::new(8)]
-        );
+        assert_eq!(p.eval_shares(3), vec![Fp::new(6), Fp::new(7), Fp::new(8)]);
     }
 
     #[test]
@@ -294,7 +291,9 @@ mod tests {
     fn interpolate_constant_term_is_secret() {
         let mut rng = StdRng::seed_from_u64(2);
         let p = Poly::random_with_secret(Fp::new(424242), 3, &mut rng);
-        let pts: Vec<(Fp, Fp)> = (1..=4u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect();
+        let pts: Vec<(Fp, Fp)> = (1..=4u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
         let q = Poly::interpolate(&pts);
         assert_eq!(q.eval(Fp::ZERO), Fp::new(424242));
     }
@@ -318,7 +317,7 @@ mod tests {
             let (q, r) = a.div_rem(&b);
             let back = &(&q * &b) + &r;
             assert_eq!(back, a);
-            assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+            assert!(r.degree().is_none_or(|d| d < b.degree().unwrap()));
         }
     }
 

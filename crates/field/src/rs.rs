@@ -27,7 +27,9 @@ impl fmt::Display for RsError {
             RsError::NotEnoughPoints { have, need } => {
                 write!(f, "not enough evaluation points: have {have}, need {need}")
             }
-            RsError::DecodingFailed => write!(f, "robust decoding failed (too many corrupted shares)"),
+            RsError::DecodingFailed => {
+                write!(f, "robust decoding failed (too many corrupted shares)")
+            }
         }
     }
 }
@@ -124,6 +126,7 @@ pub fn decode_robust(
 ///
 /// Solve for Q (deg ≤ deg+e) and monic E (deg = e) with Q(x_i) = y_i E(x_i).
 /// Unknowns: q_0..q_{deg+e}, e_0..e_{e-1}  (e_e = 1). Total deg+2e+1.
+#[allow(clippy::needless_range_loop)] // Vandermonde row construction is index-driven
 fn try_decode(points: &[(Fp, Fp)], deg: usize, e: usize) -> Option<(Poly, Vec<usize>)> {
     let n = points.len();
     let nq = deg + e + 1; // number of Q coefficients
@@ -178,6 +181,7 @@ fn try_decode(points: &[(Fp, Fp)], deg: usize, e: usize) -> Option<(Poly, Vec<us
 
 /// Gaussian elimination over Fp; returns one solution of the (possibly
 /// underdetermined) system, or `None` if inconsistent.
+#[allow(clippy::needless_range_loop)] // Gaussian elimination is index-driven
 fn solve_linear(m: &mut [Vec<Fp>], unknowns: usize) -> Option<Vec<Fp>> {
     let rows = m.len();
     let mut pivot_row = 0usize;
@@ -190,7 +194,7 @@ fn solve_linear(m: &mut [Vec<Fp>], unknowns: usize) -> Option<Vec<Fp>> {
         m.swap(pivot_row, r);
         let inv = m[pivot_row][col].inv().expect("pivot nonzero");
         for j in col..=unknowns {
-            m[pivot_row][j] = m[pivot_row][j] * inv;
+            m[pivot_row][j] *= inv;
         }
         for r2 in 0..rows {
             if r2 != pivot_row && !m[r2][col].is_zero() {
@@ -227,7 +231,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn share_points(p: &Poly, n: usize) -> Vec<(Fp, Fp)> {
-        (1..=n as u64).map(|i| (Fp::new(i), p.eval(Fp::new(i)))).collect()
+        (1..=n as u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect()
     }
 
     #[test]
@@ -313,8 +319,9 @@ mod tests {
         let n = deg + 2 * e; // 4 = 4f, one less than the 4f+1 needed
         let p1 = Poly::from_coeffs(vec![Fp::new(10), Fp::new(1), Fp::new(1)]);
         // p2 agrees with p1 on n - 2e = deg points and differs elsewhere:
-        let pts_shared: Vec<(Fp, Fp)> =
-            (1..=deg as u64).map(|i| (Fp::new(i), p1.eval(Fp::new(i)))).collect();
+        let pts_shared: Vec<(Fp, Fp)> = (1..=deg as u64)
+            .map(|i| (Fp::new(i), p1.eval(Fp::new(i))))
+            .collect();
         let mut pts2 = pts_shared.clone();
         pts2.push((Fp::new(100), Fp::new(999)));
         let p2 = Poly::interpolate(&pts2);
@@ -324,13 +331,20 @@ mod tests {
         let mut word = Vec::new();
         for i in 1..=n as u64 {
             let x = Fp::new(i);
-            let y = if i <= (deg + e) as u64 { p1.eval(x) } else { p2.eval(x) };
+            let y = if i <= (deg + e) as u64 {
+                p1.eval(x)
+            } else {
+                p2.eval(x)
+            };
             word.push((x, y));
         }
         // decode_robust refuses to run (NotEnoughPoints): the threshold is real.
         assert_eq!(
             decode_robust(&word, deg, e).unwrap_err(),
-            RsError::NotEnoughPoints { have: n, need: n + 1 }
+            RsError::NotEnoughPoints {
+                have: n,
+                need: n + 1
+            }
         );
         // And indeed both polynomials are within distance e of the word.
         let d1 = word.iter().filter(|&&(x, y)| p1.eval(x) != y).count();
@@ -345,7 +359,10 @@ mod tests {
         let mut pts = share_points(&p, 5);
         assert!(interpolate_exact(&pts, 2).is_ok());
         pts[4].1 += Fp::ONE;
-        assert_eq!(interpolate_exact(&pts, 2).unwrap_err(), RsError::DecodingFailed);
+        assert_eq!(
+            interpolate_exact(&pts, 2).unwrap_err(),
+            RsError::DecodingFailed
+        );
     }
 
     #[test]

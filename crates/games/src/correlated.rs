@@ -49,14 +49,16 @@ pub fn correlated_violation(
     for (profile, _) in mu.iter() {
         assert_eq!(profile.len(), n, "profile arity mismatch");
         for (i, &a) in profile.iter().enumerate() {
-            assert!(a < game.action_counts()[i], "action out of range in support");
+            assert!(
+                a < game.action_counts()[i],
+                "action out of range in support"
+            );
         }
     }
     for i in 0..n {
         for rec in 0..game.action_counts()[i] {
             // Posterior mass over others' profiles given recommendation rec.
-            let cond: Vec<(&Vec<ActionIx>, f64)> =
-                mu.iter().filter(|(p, _)| p[i] == rec).collect();
+            let cond: Vec<(&Vec<ActionIx>, f64)> = mu.iter().filter(|(p, _)| p[i] == rec).collect();
             let mass: f64 = cond.iter().map(|(_, w)| w).sum();
             if mass <= 0.0 {
                 continue; // recommendation never issued

@@ -90,9 +90,7 @@ pub fn l1_distance(a: &OutcomeDist, b: &OutcomeDist) -> f64 {
             keys.push(k);
         }
     }
-    keys.iter()
-        .map(|k| (a.prob(k) - b.prob(k)).abs())
-        .sum()
+    keys.iter().map(|k| (a.prob(k) - b.prob(k)).abs()).sum()
 }
 
 /// The Hausdorff-style distance between two *sets* of distributions under
@@ -112,7 +110,11 @@ pub fn set_distance(xs: &[OutcomeDist], ys: &[OutcomeDist]) -> f64 {
             .fold(0.0, f64::max)
     }
     if xs.is_empty() || ys.is_empty() {
-        return if xs.is_empty() && ys.is_empty() { 0.0 } else { f64::INFINITY };
+        return if xs.is_empty() && ys.is_empty() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     one_sided(xs, ys).max(one_sided(ys, xs))
 }
@@ -175,11 +177,19 @@ mod tests {
         let a = OutcomeDist::from_samples(vec![vec![0]]);
         let b = OutcomeDist::from_samples(vec![vec![1]]);
         // Same sets: zero.
-        assert_eq!(set_distance(&[a.clone(), b.clone()], &[b.clone(), a.clone()]), 0.0);
+        assert_eq!(
+            set_distance(&[a.clone(), b.clone()], &[b.clone(), a.clone()]),
+            0.0
+        );
         // One side missing b: distance 2 (b unmatched).
-        assert!((set_distance(&[a.clone(), b.clone()], &[a.clone()]) - 2.0).abs() < 1e-12);
+        assert!(
+            (set_distance(&[a.clone(), b.clone()], std::slice::from_ref(&a)) - 2.0).abs() < 1e-12
+        );
         // Weak distance is one-sided: {a} ⊆ {a,b} is fine.
-        assert_eq!(weak_set_distance(&[a.clone()], &[a.clone(), b.clone()]), 0.0);
+        assert_eq!(
+            weak_set_distance(std::slice::from_ref(&a), &[a.clone(), b.clone()]),
+            0.0
+        );
         assert!((weak_set_distance(&[a.clone(), b.clone()], &[a]) - 2.0).abs() < 1e-12);
     }
 
@@ -187,7 +197,7 @@ mod tests {
     fn empty_set_conventions() {
         let a = OutcomeDist::from_samples(vec![vec![0]]);
         assert_eq!(set_distance(&[], &[]), 0.0);
-        assert_eq!(set_distance(&[a.clone()], &[]), f64::INFINITY);
+        assert_eq!(set_distance(std::slice::from_ref(&a), &[]), f64::INFINITY);
         assert_eq!(weak_set_distance(&[], &[a]), 0.0);
     }
 

@@ -70,15 +70,25 @@ impl BayesianGame {
         type_dist: Vec<(Vec<TypeIx>, f64)>,
         utility: impl Fn(&[TypeIx], &[ActionIx]) -> Vec<f64> + Send + Sync + 'static,
     ) -> Self {
-        assert_eq!(type_counts.len(), action_counts.len(), "player count mismatch");
+        assert_eq!(
+            type_counts.len(),
+            action_counts.len(),
+            "player count mismatch"
+        );
         assert!(!type_dist.is_empty(), "type distribution must be non-empty");
         let total: f64 = type_dist.iter().map(|(_, p)| p).sum();
-        assert!((total - 1.0).abs() < 1e-9, "type distribution sums to {total}, not 1");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "type distribution sums to {total}, not 1"
+        );
         for (tp, p) in &type_dist {
             assert_eq!(tp.len(), type_counts.len(), "type profile length mismatch");
             assert!(*p >= 0.0, "negative probability");
             for (i, &t) in tp.iter().enumerate() {
-                assert!(t < type_counts[i], "type index {t} out of range for player {i}");
+                assert!(
+                    t < type_counts[i],
+                    "type index {t} out of range for player {i}"
+                );
             }
         }
         BayesianGame {
@@ -189,7 +199,7 @@ pub struct ProfileIter {
 
 impl ProfileIter {
     fn new(counts: Vec<usize>) -> Self {
-        let current = if counts.iter().any(|&c| c == 0) {
+        let current = if counts.contains(&0) {
             None
         } else {
             Some(vec![0; counts.len()])
@@ -254,7 +264,10 @@ mod tests {
     fn profile_iterator_enumerates_all() {
         let g = coin_game();
         let profiles: Vec<_> = g.action_profiles().collect();
-        assert_eq!(profiles, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        assert_eq!(
+            profiles,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
     }
 
     #[test]
@@ -299,32 +312,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "sums to")]
     fn bad_distribution_rejected() {
-        BayesianGame::new(
-            "bad",
-            vec![1],
-            vec![1],
-            vec![(vec![0], 0.5)],
-            |_, _| vec![0.0],
-        );
+        BayesianGame::new("bad", vec![1], vec![1], vec![(vec![0], 0.5)], |_, _| {
+            vec![0.0]
+        });
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_type_index_rejected() {
-        BayesianGame::new(
-            "bad",
-            vec![1],
-            vec![1],
-            vec![(vec![3], 1.0)],
-            |_, _| vec![0.0],
-        );
+        BayesianGame::new("bad", vec![1], vec![1], vec![(vec![3], 1.0)], |_, _| {
+            vec![0.0]
+        });
     }
 
     #[test]
     fn complete_info_constructor() {
-        let g = BayesianGame::complete_info("pd", vec![2, 2], |a| {
-            vec![a[0] as f64, a[1] as f64]
-        });
+        let g = BayesianGame::complete_info("pd", vec![2, 2], |a| vec![a[0] as f64, a[1] as f64]);
         assert_eq!(g.type_dist().len(), 1);
         assert_eq!(g.utilities(&[0, 0], &[1, 0]), vec![1.0, 0.0]);
     }

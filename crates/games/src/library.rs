@@ -42,7 +42,7 @@ pub fn counterexample_game(n: usize) -> (BayesianGame, OutcomeDist, usize) {
             let bots = a.iter().filter(|&&x| x == BOTTOM).count();
             let zeros = a.iter().filter(|&&x| x == 0).count();
             let ones = a.iter().filter(|&&x| x == 1).count();
-            let u = if bots >= k + 1 {
+            let u = if bots > k {
                 1.1
             } else if ones == 0 && zeros + bots == a.len() {
                 1.0
@@ -143,15 +143,14 @@ pub fn chicken_correlated() -> (BayesianGame, OutcomeDist) {
 
 /// The prisoner's dilemma and its defection equilibrium.
 pub fn prisoners_dilemma() -> (BayesianGame, StrategyProfile) {
-    let game = BayesianGame::complete_info("prisoners-dilemma", vec![2, 2], |a| {
-        match (a[0], a[1]) {
+    let game =
+        BayesianGame::complete_info("prisoners-dilemma", vec![2, 2], |a| match (a[0], a[1]) {
             (0, 0) => vec![3.0, 3.0],
             (0, 1) => vec![0.0, 4.0],
             (1, 0) => vec![4.0, 0.0],
             (1, 1) => vec![1.0, 1.0],
             _ => unreachable!(),
-        }
-    });
+        });
     let defect = vec![Strategy::pure(1, 2, 1), Strategy::pure(1, 2, 1)];
     (game, defect)
 }
@@ -160,7 +159,11 @@ pub fn prisoners_dilemma() -> (BayesianGame, StrategyProfile) {
 /// 1 if unanimous, 0 otherwise.
 pub fn coordination_game(n: usize, m: usize) -> BayesianGame {
     BayesianGame::complete_info(format!("coordination(n={n},m={m})"), vec![m; n], |a| {
-        let u = if a.iter().all(|&x| x == a[0]) { 1.0 } else { 0.0 };
+        let u = if a.iter().all(|&x| x == a[0]) {
+            1.0
+        } else {
+            0.0
+        };
         vec![u; a.len()]
     })
 }
@@ -174,10 +177,7 @@ pub fn free_rider_game(n: usize) -> (BayesianGame, StrategyProfile) {
     let game = BayesianGame::complete_info(format!("free-rider(n={n})"), vec![2; n], |a| {
         (0..a.len())
             .map(|i| {
-                let others_share = a
-                    .iter()
-                    .enumerate()
-                    .any(|(j, &x)| j != i && x == 0);
+                let others_share = a.iter().enumerate().any(|(j, &x)| j != i && x == 0);
                 let gain = if others_share { 1.0 } else { 0.0 };
                 let cost = if a[i] == 0 { 0.2 } else { 0.0 };
                 gain - cost

@@ -9,6 +9,7 @@
 //! Bland's rule is used for pivot selection, so the solver never cycles.
 //! Dimensions here are at most a few dozen, so no effort is spent on
 //! sparsity or numerical refinements beyond a fixed tolerance.
+#![allow(clippy::needless_range_loop)] // tableau code is index-driven throughout
 
 /// Solver tolerance for feasibility/optimality decisions.
 pub const EPS: f64 = 1e-9;
@@ -106,9 +107,7 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
 
     // Phase 2: original objective, artificial columns frozen at 0.
     let mut obj = vec![0.0; cols + 1];
-    for j in 0..n {
-        obj[j] = c[j];
-    }
+    obj[..n].copy_from_slice(&c[..n]);
     // Price out basic variables.
     for r in 0..m {
         let bj = basis[r];
@@ -136,13 +135,13 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
 }
 
 /// Runs simplex iterations (Bland's rule). Returns `false` on unboundedness.
-fn run_simplex(t: &mut [Vec<f64>], obj: &mut Vec<f64>, basis: &mut [usize], cols: usize) -> bool {
+fn run_simplex(t: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], cols: usize) -> bool {
     run_simplex_restricted(t, obj, basis, cols, cols)
 }
 
 fn run_simplex_restricted(
     t: &mut [Vec<f64>],
-    obj: &mut Vec<f64>,
+    obj: &mut [f64],
     basis: &mut [usize],
     cols: usize,
     allowed: usize,
@@ -160,9 +159,7 @@ fn run_simplex_restricted(
                 match best {
                     None => best = Some((r, ratio)),
                     Some((br, bratio)) => {
-                        if ratio < bratio - EPS
-                            || (ratio < bratio + EPS && basis[r] < basis[br])
-                        {
+                        if ratio < bratio - EPS || (ratio < bratio + EPS && basis[r] < basis[br]) {
                             best = Some((r, ratio));
                         }
                     }
@@ -178,7 +175,7 @@ fn run_simplex_restricted(
 
 fn pivot(
     t: &mut [Vec<f64>],
-    obj: &mut Vec<f64>,
+    obj: &mut [f64],
     basis: &mut [usize],
     r: usize,
     e: usize,

@@ -141,9 +141,7 @@ mod tests {
         // The §6.4 game: playing ⊥ (action 2) punishes coalitions of size ≤ k
         // against the target utility 1.5.
         let (game, _, k) = library::counterexample_game(4);
-        let rho: StrategyProfile = (0..game.n())
-            .map(|_| Strategy::pure(1, 3, 2))
-            .collect();
+        let rho: StrategyProfile = (0..game.n()).map(|_| Strategy::pure(1, 3, 2)).collect();
         let target = vec![1.5; game.n()];
         assert!(is_m_punishment(&game, &rho, &target, k));
         // Margin: deviators get 1.1 (≥ k+1 players play ⊥), so 0.4.
@@ -154,9 +152,7 @@ mod tests {
     #[test]
     fn punishment_fails_against_higher_target_set_too_low() {
         let (game, _, k) = library::counterexample_game(4);
-        let rho: StrategyProfile = (0..game.n())
-            .map(|_| Strategy::pure(1, 3, 2))
-            .collect();
+        let rho: StrategyProfile = (0..game.n()).map(|_| Strategy::pure(1, 3, 2)).collect();
         // If the equilibrium only guaranteed 1.0, ⊥ (which yields 1.1) is no
         // punishment at all.
         let target = vec![1.0; game.n()];
@@ -167,9 +163,7 @@ mod tests {
     #[test]
     fn zero_m_is_trivially_punishing() {
         let (game, _, _) = library::counterexample_game(4);
-        let rho: StrategyProfile = (0..game.n())
-            .map(|_| Strategy::pure(1, 3, 0))
-            .collect();
+        let rho: StrategyProfile = (0..game.n()).map(|_| Strategy::pure(1, 3, 0)).collect();
         assert!(is_m_punishment(&game, &rho, &[0.0; 4], 0));
     }
 

@@ -71,7 +71,9 @@ pub fn expected_utilities_with(
     cond: &[(Vec<TypeIx>, f64)],
 ) -> Vec<f64> {
     let m = payoff_matrix(game, profile, devs, &[], cond);
-    m.into_iter().next().expect("matrix has one row for empty searcher set")
+    m.into_iter()
+        .next()
+        .expect("matrix has one row for empty searcher set")
 }
 
 /// Expected per-player utilities under `profile` over the full prior.
@@ -109,12 +111,18 @@ pub fn payoff_matrix(
     let mut owner = vec![Owner::Profile; n];
     for (d, dev) in devs.iter().enumerate() {
         for &i in &dev.members {
-            assert!(matches!(owner[i], Owner::Profile), "overlapping deviations at player {i}");
+            assert!(
+                matches!(owner[i], Owner::Profile),
+                "overlapping deviations at player {i}"
+            );
             owner[i] = Owner::Dev(d);
         }
     }
     for &i in searchers {
-        assert!(matches!(owner[i], Owner::Profile), "searcher {i} overlaps a deviation");
+        assert!(
+            matches!(owner[i], Owner::Profile),
+            "searcher {i} overlaps a deviation"
+        );
         owner[i] = Owner::Searcher;
     }
 
@@ -387,8 +395,7 @@ pub fn kt_robustness_violation(
     let n = game.n();
     for adv in subsets_up_to(n, t) {
         for tau in enumerate_pure_deviations(game, &adv) {
-            if let Some(v) = resilience_violation_given(game, profile, Some(&tau), k, eps, strong)
-            {
+            if let Some(v) = resilience_violation_given(game, profile, Some(&tau), k, eps, strong) {
                 return Some(v);
             }
         }
@@ -518,14 +525,12 @@ mod tests {
 
     /// Prisoner's dilemma. Action 0 = cooperate, 1 = defect.
     fn pd() -> (BayesianGame, StrategyProfile) {
-        let g = BayesianGame::complete_info("pd", vec![2, 2], |a| {
-            match (a[0], a[1]) {
-                (0, 0) => vec![3.0, 3.0],
-                (0, 1) => vec![0.0, 4.0],
-                (1, 0) => vec![4.0, 0.0],
-                (1, 1) => vec![1.0, 1.0],
-                _ => unreachable!(),
-            }
+        let g = BayesianGame::complete_info("pd", vec![2, 2], |a| match (a[0], a[1]) {
+            (0, 0) => vec![3.0, 3.0],
+            (0, 1) => vec![0.0, 4.0],
+            (1, 0) => vec![4.0, 0.0],
+            (1, 1) => vec![1.0, 1.0],
+            _ => unreachable!(),
         });
         let defect = vec![Strategy::pure(1, 2, 1), Strategy::pure(1, 2, 1)];
         (g, defect)
@@ -590,14 +595,12 @@ mod tests {
         // Coalition {0,1} vs. bystander 2. Actions {0,1} each. The coalition's
         // pure joint deviations each help only one member; the 50/50 mix
         // helps both (the lp::max_min_margin test case embedded in a game).
-        let g = BayesianGame::complete_info("mix", vec![2, 2, 1], |a| {
-            match (a[0], a[1]) {
-                (0, 0) => vec![0.5, 0.5, 0.0],
-                (0, 1) => vec![2.0, 0.0, 0.0],
-                (1, 0) => vec![0.0, 2.0, 0.0],
-                (1, 1) => vec![0.5, 0.5, 0.0],
-                _ => unreachable!(),
-            }
+        let g = BayesianGame::complete_info("mix", vec![2, 2, 1], |a| match (a[0], a[1]) {
+            (0, 0) => vec![0.5, 0.5, 0.0],
+            (0, 1) => vec![2.0, 0.0, 0.0],
+            (1, 0) => vec![0.0, 2.0, 0.0],
+            (1, 1) => vec![0.5, 0.5, 0.0],
+            _ => unreachable!(),
         });
         let base = vec![
             Strategy::pure(1, 2, 0),
@@ -613,7 +616,11 @@ mod tests {
     fn immunity_detects_harm() {
         // Player 1 can burn player 0's payoff.
         let g = BayesianGame::complete_info("burn", vec![1, 2], |a| {
-            if a[1] == 0 { vec![1.0, 1.0] } else { vec![0.0, 1.0] }
+            if a[1] == 0 {
+                vec![1.0, 1.0]
+            } else {
+                vec![0.0, 1.0]
+            }
         });
         let prof = vec![Strategy::pure(1, 1, 0), Strategy::pure(1, 2, 0)];
         assert!(!is_t_immune(&g, &prof, 1, 0.0));

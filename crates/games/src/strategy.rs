@@ -91,10 +91,22 @@ pub type StrategyProfile = Vec<Strategy>;
 /// Panics on any mismatch — profiles are caller-constructed data and a
 /// dimension error is a programming bug.
 pub fn validate_profile(game: &BayesianGame, profile: &StrategyProfile) {
-    assert_eq!(profile.len(), game.n(), "profile has wrong number of players");
+    assert_eq!(
+        profile.len(),
+        game.n(),
+        "profile has wrong number of players"
+    );
     for (i, s) in profile.iter().enumerate() {
-        assert_eq!(s.num_types(), game.type_counts()[i], "player {i}: wrong type count");
-        assert_eq!(s.num_actions(), game.action_counts()[i], "player {i}: wrong action count");
+        assert_eq!(
+            s.num_types(),
+            game.type_counts()[i],
+            "player {i}: wrong type count"
+        );
+        assert_eq!(
+            s.num_actions(),
+            game.action_counts()[i],
+            "player {i}: wrong action count"
+        );
     }
 }
 

@@ -40,7 +40,14 @@ pub struct MpcConfig {
 impl MpcConfig {
     /// A robust-mode configuration (`n > 4f` enforced at engine start).
     pub fn robust(n: usize, f: usize, coin_seed: u64, defaults: Vec<Vec<Fp>>) -> Self {
-        MpcConfig { n, f, t: f, mode: Mode::Robust, coin_seed, defaults }
+        MpcConfig {
+            n,
+            f,
+            t: f,
+            mode: Mode::Robust,
+            coin_seed,
+            defaults,
+        }
     }
 
     /// An ε-mode configuration.
@@ -52,7 +59,14 @@ impl MpcConfig {
         coin_seed: u64,
         defaults: Vec<Vec<Fp>>,
     ) -> Self {
-        MpcConfig { n, f, t, mode: Mode::Epsilon { kappa }, coin_seed, defaults }
+        MpcConfig {
+            n,
+            f,
+            t,
+            mode: Mode::Epsilon { kappa },
+            coin_seed,
+            defaults,
+        }
     }
 
     /// Validates the resilience requirements.
@@ -76,7 +90,7 @@ impl MpcConfig {
             Mode::Epsilon { kappa } => {
                 assert!(kappa >= 1, "need at least one cut-and-choose check");
                 assert!(
-                    self.n >= self.f + 2 * self.t + 1,
+                    self.n > self.f + 2 * self.t,
                     "epsilon MPC needs n ≥ f+2t+1 for challenge decoding"
                 );
                 assert!(self.n > 3 * self.t, "agreement layer needs n > 3t");

@@ -145,7 +145,7 @@ impl MpcEngine {
         }
         let mask_budget = circuit.mul_count() + 2 * n * num_rb;
         let t_aba = match cfg.mode {
-            Mode::Robust => cfg.f.max(0),
+            Mode::Robust => cfg.f,
             Mode::Epsilon { .. } => cfg.t,
         };
         // ABA requires n > 3t; with f = 0 (degenerate no-adversary runs)
@@ -524,7 +524,10 @@ impl MpcEngine {
         }
         self.opens.insert(id, rec);
         if !self.tainted {
-            out.push(Outgoing::all(MpcMsg::Open { id, value: my_point }));
+            out.push(Outgoing::all(MpcMsg::Open {
+                id,
+                value: my_point,
+            }));
         }
         self.check_open_abort(id);
         id
@@ -553,7 +556,11 @@ impl MpcEngine {
         let x = Fp::new(self.me as u64 + 1);
         let z = a * b + r + x.pow(self.cfg.f as u64) * rp;
         let id = self.open_value(2 * self.cfg.f, z, out);
-        MulRun { open_id: id, r_share: r, result: None }
+        MulRun {
+            open_id: id,
+            r_share: r,
+            result: None,
+        }
     }
 
     fn poll_mul(&mut self, run: &mut MulRun) -> bool {
@@ -715,7 +722,11 @@ impl MpcEngine {
                         }
                     }
                 }
-                RbStage::FoldMul { mut mul, b_share, acc } => {
+                RbStage::FoldMul {
+                    mut mul,
+                    b_share,
+                    acc,
+                } => {
                     if !self.poll_mul(&mut mul) {
                         run.stage = RbStage::FoldMul { mul, b_share, acc };
                         return false;
@@ -793,7 +804,10 @@ mod tests {
             let (out, _ev) = engines[to].on_message(from, msg);
             sink.push_batch(to, out);
         });
-        (engines.iter().map(|e| e.status().clone()).collect(), net.delivered)
+        (
+            engines.iter().map(|e| e.status().clone()).collect(),
+            net.delivered,
+        )
     }
 
     fn no_op() -> Behavior<MpcMsg> {
@@ -830,7 +844,15 @@ mod tests {
         let m = b.mul(s, x2);
         b.output_all(m);
         let circuit = b.build();
-        let cfg = MpcConfig::robust(n, 1, 7, vec![vec![Fp::ZERO]; 3].into_iter().chain(vec![vec![], vec![]]).collect());
+        let cfg = MpcConfig::robust(
+            n,
+            1,
+            7,
+            vec![vec![Fp::ZERO]; 3]
+                .into_iter()
+                .chain(vec![vec![], vec![]])
+                .collect(),
+        );
         let inputs = vec![
             vec![Fp::new(3)],
             vec![Fp::new(4)],
@@ -856,14 +878,7 @@ mod tests {
             vec![Fp::ZERO],
             vec![Fp::ONE], // never dealt
         ];
-        let (statuses, _) = run_mpc(
-            cfg,
-            catalog::majority_circuit(n),
-            inputs,
-            &[4],
-            11,
-            no_op(),
-        );
+        let (statuses, _) = run_mpc(cfg, catalog::majority_circuit(n), inputs, &[4], 11, no_op());
         // Inputs counted: 1,1,1,0 + default 0 → majority 1 (3 of 5).
         for (i, s) in statuses.iter().enumerate() {
             if i != 4 {
@@ -922,7 +937,15 @@ mod tests {
         let behavior: Behavior<MpcMsg> = Box::new(|me, _from, msg| match msg {
             MpcMsg::Open { id, .. } => (0..5usize)
                 .filter(|&p| p != me)
-                .map(|p| (p, MpcMsg::Open { id: *id, value: Fp::new(999_999) }))
+                .map(|p| {
+                    (
+                        p,
+                        MpcMsg::Open {
+                            id: *id,
+                            value: Fp::new(999_999),
+                        },
+                    )
+                })
                 .collect(),
             _ => Vec::new(),
         });
@@ -987,13 +1010,28 @@ mod tests {
         let behavior: Behavior<MpcMsg> = Box::new(|me, _from, msg| match msg {
             MpcMsg::Open { id, .. } => (0..4usize)
                 .filter(|&p| p != me)
-                .map(|p| (p, MpcMsg::Open { id: *id, value: Fp::new(13_371_337) }))
+                .map(|p| {
+                    (
+                        p,
+                        MpcMsg::Open {
+                            id: *id,
+                            value: Fp::new(13_371_337),
+                        },
+                    )
+                })
                 .collect(),
             _ => Vec::new(),
         });
         for seed in 0..5 {
             let cfg = MpcConfig::epsilon(n, 1, 1, 2, 61 + seed, defaults.clone());
-            let (statuses, _) = run_mpc(cfg, circuit.clone(), inputs.clone(), &[3], seed, behavior.clone_box());
+            let (statuses, _) = run_mpc(
+                cfg,
+                circuit.clone(),
+                inputs.clone(),
+                &[3],
+                seed,
+                behavior.clone_box(),
+            );
             for (i, s) in statuses.iter().enumerate().take(3) {
                 match s {
                     MpcStatus::Done(v) => {
@@ -1013,7 +1051,10 @@ mod tests {
         let cfg = |seed| MpcConfig::robust(n, 1, seed, vec![vec![Fp::ZERO]; n]);
         let (_, d1) = run_mpc(cfg(1), mk(1), inputs.clone(), &[], 1, no_op());
         let (_, d2) = run_mpc(cfg(1), mk(6), inputs, &[], 1, no_op());
-        assert!(d2 > d1, "more multiplications must cost more messages: {d1} vs {d2}");
+        assert!(
+            d2 > d1,
+            "more multiplications must cost more messages: {d1} vs {d2}"
+        );
     }
 
     #[test]

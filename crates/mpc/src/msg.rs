@@ -52,9 +52,15 @@ mod tests {
 
     #[test]
     fn messages_are_cloneable_and_comparable() {
-        let m = MpcMsg::Open { id: 3, value: Fp::new(9) };
+        let m = MpcMsg::Open {
+            id: 3,
+            value: Fp::new(9),
+        };
         assert_eq!(m.clone(), m);
-        let o = MpcMsg::Output { idx: 1, value: Fp::new(2) };
+        let o = MpcMsg::Output {
+            idx: 1,
+            value: Fp::new(2),
+        };
         assert_ne!(format!("{m:?}"), format!("{o:?}"));
     }
 }

@@ -1,11 +1,20 @@
 //! Failure injection for the MPC engine: malformed dealings, forged
 //! outputs, and the exclusion machinery.
+//!
+//! Runs under the full `mediator-sim` `World` through [`MpcDriver`] and the
+//! shared sans-IO adapter, so every attack is exercised against real
+//! adversarial schedulers. Byzantine dealings that used to be pre-seeded
+//! into the legacy `Net` queue are now the byzantine player's kickoff
+//! batch. Assertions are stated against the asynchronous guarantee (the
+//! agreed core has ≥ n − f members, excluded inputs default), which holds
+//! under *every* legal schedule, not just uniform-random delivery.
 
-use mediator_bcast::harness::{Behavior, Net};
-use mediator_field::Fp;
-use mediator_mpc::{MpcConfig, MpcEngine, MpcMsg, MpcStatus};
-use mediator_vss::avss;
 use mediator_circuits::catalog;
+use mediator_field::Fp;
+use mediator_mpc::{MpcConfig, MpcDriver, MpcEvent, MpcMsg};
+use mediator_sim::sansio::{run_machines, Behavior, ByzantineProcess};
+use mediator_sim::SchedulerKind;
+use mediator_vss::avss;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -14,42 +23,27 @@ fn no_op() -> Behavior<MpcMsg> {
     Box::new(|_, _, _| Vec::new())
 }
 
-/// Drives n engines with optional pre-seeded byzantine messages.
-fn run_with_preseed(
-    cfg: MpcConfig,
-    circuit: mediator_circuits::Circuit,
-    inputs: Vec<Vec<Fp>>,
-    byz: &[usize],
-    preseed: Vec<(usize, usize, MpcMsg)>,
-    seed: u64,
-    behavior: Behavior<MpcMsg>,
-) -> Vec<MpcStatus> {
-    let n = cfg.n;
-    let circuit = Arc::new(circuit);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5151);
-    let mut engines: Vec<MpcEngine> = (0..n)
-        .map(|i| MpcEngine::new(cfg.clone(), circuit.clone(), i))
-        .collect();
-    let mut net = Net::new(n, byz.to_vec(), seed, behavior);
-    for i in 0..n {
-        if !byz.contains(&i) {
-            let batch = engines[i].start(&inputs[i], &mut rng);
-            net.push_batch(i, batch);
-        }
-    }
-    for (from, to, msg) in preseed {
-        net.push(from, to, msg);
-    }
-    net.run(|to, from, msg, sink| {
-        let (out, _ev) = engines[to].on_message(from, msg);
-        sink.push_batch(to, out);
-    });
-    engines.iter().map(|e| e.status().clone()).collect()
+fn schedulers() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::Random,
+        SchedulerKind::Lifo,
+        SchedulerKind::TargetedDelay(vec![1]),
+    ]
 }
 
-fn done_value(s: &MpcStatus) -> Fp {
-    match s {
-        MpcStatus::Done(v) => v[0],
+fn drivers(
+    cfg: &MpcConfig,
+    circuit: &Arc<mediator_circuits::Circuit>,
+    inputs: &[Vec<Fp>],
+) -> Vec<MpcDriver> {
+    (0..cfg.n)
+        .map(|me| MpcDriver::new(cfg.clone(), circuit.clone(), me, inputs[me].clone()))
+        .collect()
+}
+
+fn done_value(ev: &Option<MpcEvent>) -> Fp {
+    match ev {
+        Some(MpcEvent::Done(v)) => v[0],
         other => panic!("not done: {other:?}"),
     }
 }
@@ -58,64 +52,94 @@ fn done_value(s: &MpcStatus) -> Fp {
 fn wrong_arity_dealer_is_excluded_and_default_used() {
     // Byzantine dealer 4 hands out an AVSS sharing of the WRONG vector
     // length. Honest players complete the instance, notice the arity
-    // mismatch, vote it out, and use the default input 0.
+    // mismatch, vote it out, and use the default input 0. The core then
+    // contains every honest dealing that makes it in (≥ n − f members), so
+    // at least 3 of the four honest 1-inputs count: majority 1 under every
+    // scheduler.
     let n = 5;
     let f = 1;
     let cfg = MpcConfig::robust(n, f, 3, vec![vec![Fp::ZERO]; n]);
+    let circuit = Arc::new(catalog::majority_circuit(n));
     let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
-    // Craft a 1-coordinate dealing (the honest vector for the majority
-    // circuit is longer: input + masks + pad).
-    let mut rng = StdRng::seed_from_u64(1);
-    let rows = avss::deal(&[Fp::new(9)], n, f, &mut rng);
-    let preseed: Vec<(usize, usize, MpcMsg)> = rows
-        .into_iter()
-        .enumerate()
-        .map(|(i, inner)| (4usize, i, MpcMsg::Avss { dealer: 4, inner }))
-        .collect();
-    let statuses = run_with_preseed(
-        cfg,
-        catalog::majority_circuit(n),
-        inputs,
-        &[4],
-        preseed,
-        7,
-        no_op(),
-    );
-    // Inputs counted: 1,1,1,1 + default 0 → majority 1.
-    for (i, s) in statuses.iter().enumerate().take(4) {
-        assert_eq!(done_value(s), Fp::ONE, "player {i}");
+    for kind in schedulers() {
+        for seed in 0..2 {
+            // Craft a 1-coordinate dealing (the honest vector for the
+            // majority circuit is longer: input + masks + pad).
+            let mut rng = StdRng::seed_from_u64(1);
+            let rows = avss::deal(&[Fp::new(9)], n, f, &mut rng);
+            let kickoff: Vec<(usize, MpcMsg)> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, inner)| (i, MpcMsg::Avss { dealer: 4, inner }))
+                .collect();
+            let byz = ByzantineProcess::new(no_op()).with_kickoff(kickoff);
+            let (_, outputs) = run_machines(
+                drivers(&cfg, &circuit, &inputs),
+                vec![(4, byz)],
+                kind.build().as_mut(),
+                seed,
+                4_000_000,
+            );
+            for (i, ev) in outputs.iter().enumerate().take(4) {
+                assert_eq!(
+                    done_value(ev),
+                    Fp::ONE,
+                    "player {i} under {kind:?} seed {seed}"
+                );
+            }
+        }
     }
 }
 
 #[test]
 fn forged_private_outputs_are_corrected() {
     // Byzantine player 3 sends garbage Output points to player 0 for every
-    // output index. OEC at player 0 corrects a single bad point.
+    // output index. OEC at player 0 corrects a single bad point. Honest
+    // inputs are (0,0,1,_,1); with the byzantine defaulting to 0 and at
+    // most one further honest input excluded by the schedule, ones never
+    // exceed two of five: majority 0.
     let n = 5;
     let cfg = MpcConfig::robust(n, 1, 11, vec![vec![Fp::ZERO]; n]);
+    let circuit = Arc::new(catalog::majority_circuit(n));
     let inputs: Vec<Vec<Fp>> = (0..n).map(|i| vec![Fp::new((i >= 2) as u64)]).collect();
     let behavior: Behavior<MpcMsg> = Box::new(|_me, _from, msg| match msg {
         // Whenever byz sees any Output traffic, it forges more junk.
-        MpcMsg::Output { idx, .. } => vec![(0usize, MpcMsg::Output { idx: *idx, value: Fp::new(31337) })],
+        MpcMsg::Output { idx, .. } => {
+            vec![(
+                0usize,
+                MpcMsg::Output {
+                    idx: *idx,
+                    value: Fp::new(31337),
+                },
+            )]
+        }
         _ => Vec::new(),
     });
-    let statuses = run_with_preseed(
-        cfg,
-        catalog::majority_circuit(n),
-        inputs,
-        &[3],
-        vec![
-            (3, 0, MpcMsg::Output { idx: 0, value: Fp::new(31337) }),
-        ],
-        13,
-        behavior,
-    );
-    // Inputs: 0,0,1,_,1 + default 0 for byz → majority 0... inputs are
-    // (0,0,1,1,1) with player 3 byz → counted (0,0,1,default 0,1): 2 ones
-    // of 5 → majority 0.
-    for (i, s) in statuses.iter().enumerate() {
-        if i != 3 {
-            assert_eq!(done_value(s), Fp::ZERO, "player {i}");
+    for kind in schedulers() {
+        for seed in 0..2 {
+            let byz = ByzantineProcess::new(behavior.clone_box()).with_kickoff(vec![(
+                0,
+                MpcMsg::Output {
+                    idx: 0,
+                    value: Fp::new(31337),
+                },
+            )]);
+            let (_, outputs) = run_machines(
+                drivers(&cfg, &circuit, &inputs),
+                vec![(3, byz)],
+                kind.build().as_mut(),
+                seed,
+                4_000_000,
+            );
+            for (i, ev) in outputs.iter().enumerate() {
+                if i != 3 {
+                    assert_eq!(
+                        done_value(ev),
+                        Fp::ZERO,
+                        "player {i} under {kind:?} seed {seed}"
+                    );
+                }
+            }
         }
     }
 }
@@ -126,25 +150,34 @@ fn stale_open_ids_from_byzantine_are_harmless() {
     // created; honest engines buffer bounded junk and finish correctly.
     let n = 5;
     let cfg = MpcConfig::robust(n, 1, 17, vec![vec![Fp::ZERO]; n]);
+    let circuit = Arc::new(catalog::majority_circuit(n));
     let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
-    let preseed: Vec<(usize, usize, MpcMsg)> = (0..n)
-        .flat_map(|p| {
-            (1000u64..1005)
-                .map(move |id| (2usize, p, MpcMsg::Open { id, value: Fp::new(5) }))
-        })
-        .collect();
-    let statuses = run_with_preseed(
-        cfg,
-        catalog::majority_circuit(n),
-        inputs,
-        &[2],
-        preseed,
-        19,
-        no_op(),
-    );
-    for (i, s) in statuses.iter().enumerate() {
-        if i != 2 {
-            assert_eq!(done_value(s), Fp::ONE, "player {i}");
+    for kind in schedulers() {
+        let kickoff: Vec<(usize, MpcMsg)> = (0..n)
+            .flat_map(|p| {
+                (1000u64..1005).map(move |id| {
+                    (
+                        p,
+                        MpcMsg::Open {
+                            id,
+                            value: Fp::new(5),
+                        },
+                    )
+                })
+            })
+            .collect();
+        let byz = ByzantineProcess::new(no_op()).with_kickoff(kickoff);
+        let (_, outputs) = run_machines(
+            drivers(&cfg, &circuit, &inputs),
+            vec![(2, byz)],
+            kind.build().as_mut(),
+            19,
+            4_000_000,
+        );
+        for (i, ev) in outputs.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(done_value(ev), Fp::ONE, "player {i} under {kind:?}");
+            }
         }
     }
 }
@@ -158,22 +191,21 @@ fn randomness_contributions_of_excluded_players_do_not_matter() {
     let mut b = mediator_circuits::CircuitBuilder::new(n, &[0; 5]);
     let r = b.rand();
     b.output_all(r);
-    let circuit = b.build();
+    let circuit = Arc::new(b.build());
     for silent in [0usize, 4] {
         let cfg = MpcConfig::robust(n, 1, 23, vec![vec![]; n]);
-        let statuses = run_with_preseed(
-            cfg,
-            circuit.clone(),
-            vec![vec![]; n],
-            &[silent],
-            Vec::new(),
+        let inputs: Vec<Vec<Fp>> = vec![vec![]; n];
+        let (_, outputs) = run_machines(
+            drivers(&cfg, &circuit, &inputs),
+            vec![(silent, no_op().into())],
+            SchedulerKind::Random.build().as_mut(),
             29,
-            no_op(),
+            4_000_000,
         );
         let honest: Vec<usize> = (0..n).filter(|&p| p != silent).collect();
-        let v = done_value(&statuses[honest[0]]);
+        let v = done_value(&outputs[honest[0]]);
         for &p in &honest {
-            assert_eq!(done_value(&statuses[p]), v, "disagreement at {p}");
+            assert_eq!(done_value(&outputs[p]), v, "disagreement at {p}");
         }
     }
 }
@@ -184,30 +216,32 @@ fn epsilon_mode_wrong_arity_detect_dealer_is_excluded() {
     // The sum circuit has no multiplications: this isolates the exclusion
     // machinery from the ε-mode mul-opening liveness gap (a silent player
     // at n = 3f+1 stalls deg-2f openings — the documented BKR divergence;
-    // see DESIGN.md and engine::tests::epsilon_mode_liar_causes_abort...).
+    // see DESIGN.md). The core must be all three honest dealings (the fake
+    // one is voted out), so the sum is 3 under every scheduler.
     let n = 4;
     let cfg = MpcConfig::epsilon(n, 1, 1, 2, 31, vec![vec![Fp::ZERO]; n]);
+    let circuit = Arc::new(catalog::sum_circuit(n));
     let inputs: Vec<Vec<Fp>> = vec![vec![Fp::ONE]; n];
-    let mut rng = StdRng::seed_from_u64(3);
-    // 1-coordinate dealing where the honest vector is longer (sum circuit
-    // honest vectors are input + dummy pad = 2 coordinates).
-    let deals = deal_detectable(&[Fp::new(5)], n, 1, 2, &mut rng);
-    let preseed: Vec<(usize, usize, MpcMsg)> = deals
-        .into_iter()
-        .enumerate()
-        .map(|(i, inner)| (3usize, i, MpcMsg::Detect { dealer: 3, inner }))
-        .collect();
-    let statuses = run_with_preseed(
-        cfg,
-        catalog::sum_circuit(n),
-        inputs,
-        &[3],
-        preseed,
-        37,
-        no_op(),
-    );
-    // Sum of (1,1,1, default 0) = 3.
-    for (i, s) in statuses.iter().enumerate().take(3) {
-        assert_eq!(done_value(s), Fp::new(3), "player {i}");
+    for kind in schedulers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 1-coordinate dealing where the honest vector is longer (sum
+        // circuit honest vectors are input + dummy pad = 2 coordinates).
+        let deals = deal_detectable(&[Fp::new(5)], n, 1, 2, &mut rng);
+        let kickoff: Vec<(usize, MpcMsg)> = deals
+            .into_iter()
+            .enumerate()
+            .map(|(i, inner)| (i, MpcMsg::Detect { dealer: 3, inner }))
+            .collect();
+        let byz = ByzantineProcess::new(no_op()).with_kickoff(kickoff);
+        let (_, outputs) = run_machines(
+            drivers(&cfg, &circuit, &inputs),
+            vec![(3, byz)],
+            kind.build().as_mut(),
+            37,
+            4_000_000,
+        );
+        for (i, ev) in outputs.iter().enumerate().take(3) {
+            assert_eq!(done_value(ev), Fp::new(3), "player {i} under {kind:?}");
+        }
     }
 }

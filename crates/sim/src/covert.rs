@@ -111,7 +111,11 @@ pub struct CovertReceiver {
 impl CovertReceiver {
     /// Creates a receiver that posts `markers` self-markers and a fence.
     pub fn new(markers: u64) -> Self {
-        CovertReceiver { markers, counted: 0, decoded: None }
+        CovertReceiver {
+            markers,
+            counted: 0,
+            decoded: None,
+        }
     }
 }
 

@@ -21,6 +21,11 @@
 //!   paper's `(s,i,j,k)/(d,i,j,k)` message-pattern notation.
 //! * [`Scheduler`] implementations — fair random, FIFO, LIFO, targeted-delay
 //!   adversaries, and the relaxed scheduler wrapper.
+//! * [`sansio`] — the shared sans-IO driving contract ([`Outgoing`],
+//!   [`Dest`], [`SansIo`]) plus the generic [`SansIoProcess`] adapter and
+//!   [`run_machines`] runner that let any protocol state machine (reliable
+//!   broadcast, agreement, AVSS, the MPC engine) run under the full `World`
+//!   with every scheduler.
 //! * [`covert`] — the Proposition 6.1 covert channel: players signalling
 //!   values to the content-blind scheduler via counted self-messages.
 //!
@@ -49,11 +54,16 @@
 
 pub mod covert;
 pub mod process;
+pub mod sansio;
 pub mod scheduler;
 pub mod trace;
 pub mod world;
 
 pub use process::{Action, Ctx, Process, ProcessId};
+pub use sansio::{
+    map_batch, route_batch, run_machines, Behavior, BehaviorFn, ByzantineProcess, Dest, Outgoing,
+    RunOutputs, SansIo, SansIoProcess,
+};
 pub use scheduler::{
     FifoScheduler, LifoScheduler, PartitionScheduler, PendingView, RandomScheduler,
     RelaxedScheduler, SchedChoice, Scheduler, SchedulerKind, TargetedDelayScheduler,

@@ -102,6 +102,13 @@ impl<'a, M> Ctx<'a, M> {
         &mut *self.rng
     }
 
+    /// The same process-local generator, as its concrete type — the shape
+    /// the [`SansIo`](crate::sansio::SansIo) driving contract passes to
+    /// state machines.
+    pub fn std_rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
     pub(crate) fn finish(self) -> Effects<M> {
         Effects {
             outbox: self.outbox,

@@ -1,0 +1,506 @@
+//! The shared sans-IO driving contract.
+//!
+//! Every protocol substrate in this workspace — reliable broadcast, binary
+//! agreement, common subset, AVSS, the MPC engine — is written *sans IO*: a
+//! pure state machine that consumes `(from, msg)` events and returns batches
+//! of [`Outgoing`] messages. Historically each layer re-invented the glue
+//! that turns such a machine into something a runtime can drive: the
+//! broadcast crate had a private `Outgoing`/`Dest`/`Behavior` vocabulary and
+//! a seeded-random `Net` driver, and `mediator-core` hand-rolled the same
+//! wrapping again to embed the MPC engine into a [`Process`]. This module is
+//! the one shared home for that contract:
+//!
+//! * [`Dest`] / [`Outgoing`] / [`map_batch`] — the outgoing-message shapes
+//!   (re-exported by `mediator-bcast` for backward compatibility);
+//! * [`route_batch`] — the single implementation of broadcast expansion;
+//! * [`SansIo`] — the trait a driveable state machine implements;
+//! * [`SansIoProcess`] — the generic adapter that wraps any [`SansIo`]
+//!   machine as a [`Process`], so the full [`World`](crate::World) — all
+//!   schedulers, starvation bounds, traces, failure injection — can drive
+//!   the substrates that previously only ran under the toy `Net` driver;
+//! * [`Behavior`] / [`ByzantineProcess`] — byzantine players as processes,
+//!   mirroring the `Net` driver's behaviour-closure semantics;
+//! * [`run_machines`] — the convenience runner used by the protocol test
+//!   suites (honest machines + byzantine behaviours + a scheduler in, an
+//!   [`Outcome`] and per-player outputs out).
+//!
+//! See DESIGN.md §3 for the runtime-unification diagram.
+
+use crate::process::{Action, Ctx, Process, ProcessId};
+use crate::scheduler::Scheduler;
+use crate::world::{Outcome, World};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Where an outgoing message goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dest {
+    /// Point-to-point to one process.
+    One(usize),
+    /// To every process, **including the sender** (a process "receiving" its
+    /// own broadcast keeps the state machines uniform; the embedding layer
+    /// may shortcut the self-copy).
+    All,
+}
+
+/// An outgoing message from a sans-IO state machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outgoing<M> {
+    /// Destination.
+    pub dest: Dest,
+    /// Payload.
+    pub msg: M,
+}
+
+impl<M> Outgoing<M> {
+    /// Convenience constructor for a broadcast.
+    pub fn all(msg: M) -> Self {
+        Outgoing {
+            dest: Dest::All,
+            msg,
+        }
+    }
+
+    /// Convenience constructor for a point-to-point message.
+    pub fn to(dst: usize, msg: M) -> Self {
+        Outgoing {
+            dest: Dest::One(dst),
+            msg,
+        }
+    }
+
+    /// Maps the payload, keeping the destination (used to wrap sub-protocol
+    /// messages with instance tags).
+    pub fn map<N>(self, f: impl FnOnce(M) -> N) -> Outgoing<N> {
+        Outgoing {
+            dest: self.dest,
+            msg: f(self.msg),
+        }
+    }
+}
+
+/// Maps a whole batch of outgoing messages (instance-tag wrapping).
+pub fn map_batch<M, N>(batch: Vec<Outgoing<M>>, mut f: impl FnMut(M) -> N) -> Vec<Outgoing<N>> {
+    batch.into_iter().map(|o| o.map(&mut f)).collect()
+}
+
+/// Expands a batch into point-to-point sends: the one shared implementation
+/// of broadcast fan-out, used by the [`SansIoProcess`] adapter, the legacy
+/// `Net` compatibility driver, and the cheap-talk embedding alike.
+pub fn route_batch<M: Clone>(n: usize, batch: Vec<Outgoing<M>>, mut send: impl FnMut(usize, M)) {
+    for o in batch {
+        match o.dest {
+            Dest::One(dst) => send(dst, o.msg),
+            Dest::All => {
+                for dst in 0..n {
+                    send(dst, o.msg.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Byzantine behaviour: `(me, from, msg) -> messages to inject`.
+///
+/// The same shape the legacy `Net` driver used; under a [`World`] the
+/// behaviour runs inside a [`ByzantineProcess`].
+pub trait BehaviorFn<M>: Fn(usize, usize, &M) -> Vec<(usize, M)> {
+    /// Clones the behaviour into a fresh box (for reuse across seeds).
+    fn clone_box(&self) -> Behavior<M>;
+}
+
+impl<M, F> BehaviorFn<M> for F
+where
+    F: Fn(usize, usize, &M) -> Vec<(usize, M)> + Clone + 'static,
+{
+    fn clone_box(&self) -> Behavior<M> {
+        Box::new(self.clone())
+    }
+}
+
+/// Boxed byzantine behaviour.
+pub type Behavior<M> = Box<dyn BehaviorFn<M>>;
+
+/// A driveable sans-IO protocol state machine.
+///
+/// Implementations hold whatever start-time input the protocol needs (a
+/// dealer's value, an agreement vote, an MPC input vector) and surface the
+/// protocol's terminal result through [`SansIo::on_message`]'s second return
+/// slot. The `rng` handed in is the *process-local* deterministic generator
+/// of the embedding runtime, so a machine's randomness is reproducible under
+/// every scheduler.
+pub trait SansIo {
+    /// Wire message type.
+    type Msg: Clone;
+    /// Terminal (or notable intermediate) output type.
+    type Output;
+
+    /// Called exactly once when the runtime first schedules this player;
+    /// returns the kick-off batch (empty for purely reactive players).
+    fn on_start(&mut self, rng: &mut StdRng) -> Vec<Outgoing<Self::Msg>>;
+
+    /// Handles one delivered message; returns messages to send plus the
+    /// output if one is produced *now*.
+    fn on_message(
+        &mut self,
+        from: usize,
+        msg: Self::Msg,
+        rng: &mut StdRng,
+    ) -> (Vec<Outgoing<Self::Msg>>, Option<Self::Output>);
+
+    /// Whether the machine has finished participating. Once true, the
+    /// adapter halts the process: the runtime stops delivering to it.
+    ///
+    /// Implementations must only report `true` when the protocol's own
+    /// termination rule says it is safe to stop (e.g. ABA's `2t+1`-Done
+    /// gadget), otherwise early halting can strand peers below quorum.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Shared, cloneable per-player output store for a [`World`] run.
+///
+/// The [`World`] owns its processes, so output produced inside an adapter
+/// has to flow out through a shared handle; `World` is single-threaded, so
+/// an `Rc<RefCell<…>>` is exactly right.
+#[derive(Debug)]
+pub struct RunOutputs<T> {
+    slots: Rc<RefCell<Vec<Option<T>>>>,
+}
+
+impl<T> Clone for RunOutputs<T> {
+    fn clone(&self) -> Self {
+        RunOutputs {
+            slots: Rc::clone(&self.slots),
+        }
+    }
+}
+
+impl<T> RunOutputs<T> {
+    /// Creates an empty store with one slot per player.
+    pub fn new(n: usize) -> Self {
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || None);
+        RunOutputs {
+            slots: Rc::new(RefCell::new(v)),
+        }
+    }
+
+    /// Records player `i`'s output (later outputs overwrite earlier ones, so
+    /// the slot ends on the most recent — for terminal-event machines, the
+    /// terminal — output).
+    pub fn record(&self, i: usize, value: T) {
+        self.slots.borrow_mut()[i] = Some(value);
+    }
+
+    /// Extracts all outputs, consuming the store's current contents.
+    pub fn take(&self) -> Vec<Option<T>> {
+        std::mem::take(&mut *self.slots.borrow_mut())
+    }
+}
+
+impl<T: Clone> RunOutputs<T> {
+    /// Snapshots all outputs.
+    pub fn snapshot(&self) -> Vec<Option<T>> {
+        self.slots.borrow().clone()
+    }
+}
+
+/// Converts a machine output into the process's move in the underlying game
+/// (see [`SansIoProcess::with_move`]).
+pub type MoveMap<O> = Box<dyn Fn(&O) -> Action>;
+
+/// The generic adapter: wraps any [`SansIo`] machine as a [`Process`], so
+/// the full `World` — every scheduler, starvation bounds, traces, failure
+/// injection — can drive it.
+pub struct SansIoProcess<S: SansIo> {
+    machine: S,
+    n: usize,
+    outputs: RunOutputs<S::Output>,
+    to_action: Option<MoveMap<S::Output>>,
+}
+
+impl<S: SansIo> SansIoProcess<S> {
+    /// Wraps `machine` for a world of `n` players, reporting outputs into
+    /// `outputs`.
+    pub fn new(machine: S, n: usize, outputs: RunOutputs<S::Output>) -> Self {
+        SansIoProcess {
+            machine,
+            n,
+            outputs,
+            to_action: None,
+        }
+    }
+
+    /// Additionally converts each output into a game move via `f` (so a
+    /// substrate decision can double as the process's move in the underlying
+    /// game, e.g. for outcome-resolution experiments).
+    pub fn with_move(mut self, f: impl Fn(&S::Output) -> Action + 'static) -> Self {
+        self.to_action = Some(Box::new(f));
+        self
+    }
+
+    fn emit(&mut self, batch: Vec<Outgoing<S::Msg>>, ctx: &mut Ctx<S::Msg>) {
+        route_batch(self.n, batch, |dst, msg| ctx.send(dst, msg));
+    }
+}
+
+impl<S: SansIo> Process<S::Msg> for SansIoProcess<S> {
+    fn on_start(&mut self, ctx: &mut Ctx<S::Msg>) {
+        let batch = self.machine.on_start(ctx.std_rng());
+        self.emit(batch, ctx);
+        if self.machine.is_done() {
+            ctx.halt();
+        }
+    }
+
+    fn on_message(&mut self, src: ProcessId, msg: S::Msg, ctx: &mut Ctx<S::Msg>) {
+        let (batch, output) = self.machine.on_message(src, msg, ctx.std_rng());
+        self.emit(batch, ctx);
+        if let Some(out) = output {
+            if let Some(f) = &self.to_action {
+                ctx.make_move(f(&out));
+            }
+            self.outputs.record(ctx.me(), out);
+        }
+        if self.machine.is_done() {
+            ctx.halt();
+        }
+    }
+}
+
+/// A byzantine player as a process: every delivered message is fed to the
+/// behaviour closure and the returned messages are injected into the world.
+/// This reproduces the legacy `Net` driver's byzantine semantics under every
+/// scheduler, including self-addressed injections (which arrive back as
+/// fresh deliveries). An optional *kickoff* batch models actively deviant
+/// starts — an equivocating dealer, forged first votes — sent when the
+/// environment first schedules the player.
+pub struct ByzantineProcess<M> {
+    behavior: Behavior<M>,
+    kickoff: Vec<(usize, M)>,
+}
+
+impl<M> ByzantineProcess<M> {
+    /// Creates a byzantine process following `behavior`.
+    pub fn new(behavior: Behavior<M>) -> Self {
+        ByzantineProcess {
+            behavior,
+            kickoff: Vec::new(),
+        }
+    }
+
+    /// Messages this player injects at start (e.g. an equivocating dealing).
+    pub fn with_kickoff(mut self, kickoff: Vec<(usize, M)>) -> Self {
+        self.kickoff = kickoff;
+        self
+    }
+}
+
+impl<M> From<Behavior<M>> for ByzantineProcess<M> {
+    fn from(behavior: Behavior<M>) -> Self {
+        ByzantineProcess::new(behavior)
+    }
+}
+
+impl<M> Process<M> for ByzantineProcess<M> {
+    fn on_start(&mut self, ctx: &mut Ctx<M>) {
+        for (dst, m) in self.kickoff.drain(..) {
+            ctx.send(dst, m);
+        }
+    }
+
+    fn on_message(&mut self, src: ProcessId, msg: M, ctx: &mut Ctx<M>) {
+        for (dst, m) in (self.behavior)(ctx.me(), src, &msg) {
+            ctx.send(dst, m);
+        }
+    }
+}
+
+/// Default starvation bound for [`run_machines`]: adversarial schedulers
+/// (LIFO, targeted delay) stay technically fair — every message is delivered
+/// within this many steps — matching the paper's eventual-delivery model.
+/// The value matches the cheap-talk embedding layer's bound: LIFO can spin
+/// agreement rounds indefinitely on fresh traffic, and the bound is what
+/// converts that livelock into near-linear runs while leaving plenty of
+/// room for genuinely adversarial reordering.
+pub const DEFAULT_STARVATION_BOUND: u64 = 2_000;
+
+/// Runs one sans-IO machine per player under the given scheduler, replacing
+/// the machines of byzantine players with their behaviours.
+///
+/// `machines` supplies one machine per player id; entries for players listed
+/// in `byz` are ignored (the behaviour plays instead — pass a [`Behavior`]
+/// for a purely reactive adversary or a [`ByzantineProcess`] for one with a
+/// deviant kickoff). Returns the world [`Outcome`] plus each player's
+/// recorded output (`None` for byzantine players and players that never
+/// produced one).
+pub fn run_machines<S>(
+    machines: Vec<S>,
+    byz: Vec<(usize, ByzantineProcess<S::Msg>)>,
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+    max_steps: u64,
+) -> (Outcome, Vec<Option<S::Output>>)
+where
+    S: SansIo + 'static,
+    S::Msg: 'static,
+    S::Output: 'static,
+{
+    let n = machines.len();
+    let outputs: RunOutputs<S::Output> = RunOutputs::new(n);
+    let mut behaviors: Vec<Option<ByzantineProcess<S::Msg>>> = (0..n).map(|_| None).collect();
+    for (p, b) in byz {
+        assert!(p < n, "byzantine player {p} out of range");
+        behaviors[p] = Some(b);
+    }
+    let procs: Vec<Box<dyn Process<S::Msg>>> = machines
+        .into_iter()
+        .zip(behaviors)
+        .map(|(m, b)| match b {
+            Some(byzantine) => Box::new(byzantine) as Box<dyn Process<S::Msg>>,
+            None => Box::new(SansIoProcess::new(m, n, outputs.clone())),
+        })
+        .collect();
+    let mut world = World::new(procs, seed);
+    world.set_starvation_bound(DEFAULT_STARVATION_BOUND);
+    let outcome = world.run(scheduler, max_steps);
+    (outcome, outputs.take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FifoScheduler, LifoScheduler, RandomScheduler};
+    use crate::world::TerminationKind;
+
+    /// A toy sans-IO machine: the leader broadcasts a token; everyone
+    /// outputs the first token they see and is done.
+    struct Echo {
+        token: Option<u32>,
+        seen: Option<u32>,
+    }
+
+    impl SansIo for Echo {
+        type Msg = u32;
+        type Output = u32;
+
+        fn on_start(&mut self, _rng: &mut StdRng) -> Vec<Outgoing<u32>> {
+            match self.token.take() {
+                Some(t) => vec![Outgoing::all(t)],
+                None => Vec::new(),
+            }
+        }
+
+        fn on_message(
+            &mut self,
+            _from: usize,
+            msg: u32,
+            _rng: &mut StdRng,
+        ) -> (Vec<Outgoing<u32>>, Option<u32>) {
+            if self.seen.is_none() {
+                self.seen = Some(msg);
+                (Vec::new(), Some(msg))
+            } else {
+                (Vec::new(), None)
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.seen.is_some()
+        }
+    }
+
+    fn echo_machines(n: usize, leader: usize, token: u32) -> Vec<Echo> {
+        (0..n)
+            .map(|me| Echo {
+                token: (me == leader).then_some(token),
+                seen: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adapter_drives_machines_to_quiescence() {
+        for seed in 0..5 {
+            let (outcome, outputs) = run_machines(
+                echo_machines(4, 0, 99),
+                Vec::new(),
+                &mut RandomScheduler::new(),
+                seed,
+                100_000,
+            );
+            assert_eq!(outcome.termination, TerminationKind::Quiescent);
+            for o in &outputs {
+                assert_eq!(*o, Some(99));
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_parity_across_schedulers() {
+        let run = |sched: &mut dyn Scheduler| {
+            run_machines(echo_machines(3, 1, 7), Vec::new(), sched, 3, 100_000).1
+        };
+        assert_eq!(run(&mut RandomScheduler::new()), run(&mut FifoScheduler));
+        assert_eq!(run(&mut FifoScheduler), run(&mut LifoScheduler));
+    }
+
+    #[test]
+    fn byzantine_behavior_replaces_machine() {
+        // Player 1 is byzantine: it forwards a corrupted token to player 2.
+        let behavior: Behavior<u32> = Box::new(|_me, _from, msg| vec![(2, msg * 2)]);
+        let (_, outputs) = run_machines(
+            echo_machines(3, 0, 21),
+            vec![(1, behavior.into())],
+            &mut FifoScheduler,
+            0,
+            100_000,
+        );
+        assert_eq!(outputs[0], Some(21));
+        assert_eq!(outputs[1], None, "byzantine players record no output");
+        // Player 2 sees either the real token first or the corrupted relay,
+        // FIFO order: leader's broadcast (to 0,1,2) precedes the relay.
+        assert_eq!(outputs[2], Some(21));
+    }
+
+    #[test]
+    fn with_move_maps_outputs_to_game_moves() {
+        let n = 3;
+        let outputs = RunOutputs::new(n);
+        let procs: Vec<Box<dyn Process<u32>>> = echo_machines(n, 0, 6)
+            .into_iter()
+            .map(|m| {
+                Box::new(SansIoProcess::new(m, n, outputs.clone()).with_move(|&v| v as Action + 1))
+                    as Box<dyn Process<u32>>
+            })
+            .collect();
+        let mut world = World::new(procs, 5);
+        let outcome = world.run(&mut RandomScheduler::new(), 100_000);
+        assert_eq!(outcome.moves, vec![Some(7); n]);
+    }
+
+    #[test]
+    fn route_batch_expands_broadcasts() {
+        let mut sent = Vec::new();
+        route_batch(3, vec![Outgoing::all(1u8), Outgoing::to(2, 9u8)], |d, m| {
+            sent.push((d, m))
+        });
+        assert_eq!(sent, vec![(0, 1), (1, 1), (2, 1), (2, 9)]);
+    }
+
+    #[test]
+    fn map_preserves_destination() {
+        let o = Outgoing::to(3, 7u32).map(|v| v + 1);
+        assert_eq!(o.dest, Dest::One(3));
+        assert_eq!(o.msg, 8);
+        let b = map_batch(vec![Outgoing::all(1u8), Outgoing::to(0, 2u8)], |v| {
+            v as u16 * 10
+        });
+        assert_eq!(b[0].msg, 10);
+        assert_eq!(b[1].msg, 20);
+    }
+}

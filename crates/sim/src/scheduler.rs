@@ -98,7 +98,11 @@ impl SchedulerKind {
     /// A small battery of schedulers covering the qualitatively different
     /// environment behaviours, used by implementation-checking experiments.
     pub fn battery(n: usize) -> Vec<SchedulerKind> {
-        let mut v = vec![SchedulerKind::Random, SchedulerKind::Fifo, SchedulerKind::Lifo];
+        let mut v = vec![
+            SchedulerKind::Random,
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+        ];
         for p in 0..n.min(3) {
             v.push(SchedulerKind::TargetedDelay(vec![p]));
         }
@@ -126,7 +130,11 @@ impl PartitionScheduler {
     /// Creates a scheduler partitioning `group` from everyone else for
     /// `heal_after` steps.
     pub fn new(group: Vec<ProcessId>, heal_after: u64) -> Self {
-        PartitionScheduler { group, heal_after, steps: 0 }
+        PartitionScheduler {
+            group,
+            heal_after,
+            steps: 0,
+        }
     }
 
     fn crosses(&self, v: &PendingView) -> bool {
@@ -236,7 +244,7 @@ impl TargetedDelayScheduler {
     }
 
     fn involves_victim(&self, v: &PendingView) -> bool {
-        self.victims.contains(&v.dst) || v.src.map_or(false, |s| self.victims.contains(&s))
+        self.victims.contains(&v.dst) || v.src.is_some_and(|s| self.victims.contains(&s))
     }
 }
 
@@ -291,7 +299,7 @@ impl Scheduler for RelaxedScheduler {
             if let Some((i, _)) = pending
                 .iter()
                 .enumerate()
-                .find(|(_, v)| v.src.map_or(false, |s| self.drop_from.contains(&s)))
+                .find(|(_, v)| v.src.is_some_and(|s| self.drop_from.contains(&s)))
             {
                 return SchedChoice::Drop(i);
             }
@@ -311,22 +319,49 @@ mod tests {
 
     fn views() -> Vec<PendingView> {
         vec![
-            PendingView { src: None, dst: 0, k: 0, seq: 0, batch: 0, age: 5 },
-            PendingView { src: Some(1), dst: 2, k: 1, seq: 3, batch: 1, age: 2 },
-            PendingView { src: Some(2), dst: 1, k: 1, seq: 7, batch: 2, age: 0 },
+            PendingView {
+                src: None,
+                dst: 0,
+                k: 0,
+                seq: 0,
+                batch: 0,
+                age: 5,
+            },
+            PendingView {
+                src: Some(1),
+                dst: 2,
+                k: 1,
+                seq: 3,
+                batch: 1,
+                age: 2,
+            },
+            PendingView {
+                src: Some(2),
+                dst: 1,
+                k: 1,
+                seq: 7,
+                batch: 2,
+                age: 0,
+            },
         ]
     }
 
     #[test]
     fn fifo_picks_lowest_seq() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(FifoScheduler.next(&views(), &mut rng), SchedChoice::Deliver(0));
+        assert_eq!(
+            FifoScheduler.next(&views(), &mut rng),
+            SchedChoice::Deliver(0)
+        );
     }
 
     #[test]
     fn lifo_picks_highest_seq() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(LifoScheduler.next(&views(), &mut rng), SchedChoice::Deliver(2));
+        assert_eq!(
+            LifoScheduler.next(&views(), &mut rng),
+            SchedChoice::Deliver(2)
+        );
     }
 
     #[test]
@@ -372,8 +407,12 @@ mod tests {
         assert!(b.contains(&SchedulerKind::Random));
         assert!(b.contains(&SchedulerKind::Fifo));
         assert!(b.contains(&SchedulerKind::Lifo));
-        assert!(b.iter().any(|k| matches!(k, SchedulerKind::TargetedDelay(_))));
-        assert!(b.iter().any(|k| matches!(k, SchedulerKind::Partition { .. })));
+        assert!(b
+            .iter()
+            .any(|k| matches!(k, SchedulerKind::TargetedDelay(_))));
+        assert!(b
+            .iter()
+            .any(|k| matches!(k, SchedulerKind::Partition { .. })));
         for k in &b {
             let _ = k.build();
         }
@@ -384,8 +423,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = PartitionScheduler::new(vec![0, 1], 100);
         // Pending: one within-group (0→1), one cross (0→2).
-        let within = PendingView { src: Some(0), dst: 1, k: 1, seq: 0, batch: 0, age: 0 };
-        let cross = PendingView { src: Some(0), dst: 2, k: 1, seq: 1, batch: 0, age: 0 };
+        let within = PendingView {
+            src: Some(0),
+            dst: 1,
+            k: 1,
+            seq: 0,
+            batch: 0,
+            age: 0,
+        };
+        let cross = PendingView {
+            src: Some(0),
+            dst: 2,
+            k: 1,
+            seq: 1,
+            batch: 0,
+            age: 0,
+        };
         for _ in 0..50 {
             assert_eq!(
                 s.next(&[within, cross], &mut rng),

@@ -17,11 +17,23 @@ pub enum TraceEvent {
     /// Process `p` received its start signal.
     Started { p: ProcessId },
     /// The `k`-th message from `src` to `dst` was sent (paper: `(s,i,j,k)`).
-    Sent { src: ProcessId, dst: ProcessId, k: u64 },
+    Sent {
+        src: ProcessId,
+        dst: ProcessId,
+        k: u64,
+    },
     /// The `k`-th message from `src` to `dst` was delivered (paper: `(d,i,j,k)`).
-    Delivered { src: ProcessId, dst: ProcessId, k: u64 },
+    Delivered {
+        src: ProcessId,
+        dst: ProcessId,
+        k: u64,
+    },
     /// The `k`-th message from `src` to `dst` was dropped by a relaxed scheduler.
-    Dropped { src: ProcessId, dst: ProcessId, k: u64 },
+    Dropped {
+        src: ProcessId,
+        dst: ProcessId,
+        k: u64,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -109,10 +121,26 @@ mod tests {
     fn counting_and_rendering() {
         let mut t = Trace::new();
         t.push(TraceEvent::Started { p: 0 });
-        t.push(TraceEvent::Sent { src: 0, dst: 3, k: 1 });
-        t.push(TraceEvent::Sent { src: 1, dst: 0, k: 1 });
-        t.push(TraceEvent::Sent { src: 0, dst: 3, k: 2 });
-        t.push(TraceEvent::Delivered { src: 0, dst: 3, k: 2 });
+        t.push(TraceEvent::Sent {
+            src: 0,
+            dst: 3,
+            k: 1,
+        });
+        t.push(TraceEvent::Sent {
+            src: 1,
+            dst: 0,
+            k: 1,
+        });
+        t.push(TraceEvent::Sent {
+            src: 0,
+            dst: 3,
+            k: 2,
+        });
+        t.push(TraceEvent::Delivered {
+            src: 0,
+            dst: 3,
+            k: 2,
+        });
         assert_eq!(t.sent_count(), 3);
         assert_eq!(t.delivered_count(), 1);
         assert_eq!(t.dropped_count(), 0);

@@ -103,6 +103,8 @@ pub struct World<M> {
     trace: Trace,
     allow_drop: bool,
     starvation_bound: u64,
+    views_buf: Vec<PendingView>, // scratch reused across steps
+    ran: bool,
 }
 
 impl<M> World<M> {
@@ -110,7 +112,12 @@ impl<M> World<M> {
     pub fn new(procs: Vec<Box<dyn Process<M>>>, seed: u64) -> Self {
         let n = procs.len();
         let proc_rngs = (0..n)
-            .map(|i| StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64)))
+            .map(|i| {
+                StdRng::seed_from_u64(
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                )
+            })
             .collect();
         World {
             procs,
@@ -130,6 +137,8 @@ impl<M> World<M> {
             trace: Trace::new(),
             allow_drop: false,
             starvation_bound: u64::MAX,
+            views_buf: Vec::new(),
+            ran: false,
         }
     }
 
@@ -159,7 +168,19 @@ impl<M> World<M> {
 
     /// Runs to quiescence, deadlock, or the step budget; consumes the
     /// schedule produced by `scheduler`.
+    ///
+    /// A world runs once: the returned [`Outcome`] takes ownership of the
+    /// per-process results instead of cloning them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called a second time on the same world.
     pub fn run(&mut self, scheduler: &mut dyn Scheduler, max_steps: u64) -> Outcome {
+        assert!(
+            !self.ran,
+            "World::run called twice; build a fresh World per run"
+        );
+        self.ran = true;
         let n = self.procs.len();
         // Start signals for everyone (the paper: each player receives a
         // signal that the game has started when first scheduled).
@@ -202,9 +223,9 @@ impl<M> World<M> {
         };
 
         Outcome {
-            moves: self.moves.clone(),
-            wills: self.wills.clone(),
-            halted: self.halted.clone(),
+            moves: std::mem::take(&mut self.moves),
+            wills: std::mem::take(&mut self.wills),
+            halted: std::mem::take(&mut self.halted),
             messages_sent: self.sent,
             messages_delivered: self.delivered,
             steps: self.steps,
@@ -221,45 +242,58 @@ impl<M> World<M> {
         });
     }
 
-    fn views(&self) -> Vec<PendingView> {
-        self.pending
-            .iter()
-            .map(|p| match p {
-                Pending::Start(pid) => PendingView {
-                    src: None,
-                    dst: *pid,
-                    k: 0,
-                    seq: 0,
-                    batch: 0,
-                    age: self.steps,
-                },
-                Pending::Msg { src, dst, k, seq, batch, born, .. } => PendingView {
-                    src: Some(*src),
-                    dst: *dst,
-                    k: *k,
-                    seq: *seq,
-                    batch: *batch,
-                    age: self.steps - born,
-                },
-            })
-            .collect()
+    /// Refreshes the scheduler-visible view of the pending set into the
+    /// reused scratch buffer (no per-step allocation).
+    fn fill_views(&mut self) {
+        let steps = self.steps;
+        self.views_buf.clear();
+        self.views_buf.extend(self.pending.iter().map(|p| match p {
+            Pending::Start(pid) => PendingView {
+                src: None,
+                dst: *pid,
+                k: 0,
+                seq: 0,
+                batch: 0,
+                age: steps,
+            },
+            Pending::Msg {
+                src,
+                dst,
+                k,
+                seq,
+                batch,
+                born,
+                ..
+            } => PendingView {
+                src: Some(*src),
+                dst: *dst,
+                k: *k,
+                seq: *seq,
+                batch: *batch,
+                age: steps - born,
+            },
+        }));
     }
 
     fn pick(&mut self, scheduler: &mut dyn Scheduler) -> SchedChoice {
-        let views = self.views();
+        self.fill_views();
         // Starvation backstop: force-deliver over-age events.
-        if let Some((i, _)) = views
+        if let Some((i, _)) = self
+            .views_buf
             .iter()
             .enumerate()
             .find(|(_, v)| v.age > self.starvation_bound)
         {
             return SchedChoice::Deliver(i);
         }
-        let c = scheduler.next(&views, &mut self.sched_rng);
+        let c = scheduler.next(&self.views_buf, &mut self.sched_rng);
         let idx = match c {
             SchedChoice::Deliver(i) | SchedChoice::Drop(i) => i,
         };
-        assert!(idx < self.pending.len(), "scheduler returned out-of-range index");
+        assert!(
+            idx < self.pending.len(),
+            "scheduler returned out-of-range index"
+        );
         c
     }
 
@@ -267,7 +301,13 @@ impl<M> World<M> {
         let ev = self.pending.swap_remove(i);
         match ev {
             Pending::Start(pid) => self.start_if_needed(pid),
-            Pending::Msg { src, dst, payload, k, .. } => {
+            Pending::Msg {
+                src,
+                dst,
+                payload,
+                k,
+                ..
+            } => {
                 // The paper: a player gets its start signal when *first
                 // scheduled*, whether by an external signal or by a
                 // game-related message. Deliver the start before the message.
@@ -393,7 +433,12 @@ mod tests {
     fn chatter_world(n: usize, fanout: usize, quota: usize, seed: u64) -> World<u32> {
         let procs: Vec<Box<dyn Process<u32>>> = (0..n)
             .map(|_| {
-                Box::new(Chatter { n, fanout, quota, received: 0 }) as Box<dyn Process<u32>>
+                Box::new(Chatter {
+                    n,
+                    fanout,
+                    quota,
+                    received: 0,
+                }) as Box<dyn Process<u32>>
             })
             .collect();
         World::new(procs, seed)
@@ -566,7 +611,11 @@ mod tests {
         let mut w = World::new(procs, 5);
         w.set_starvation_bound(50);
         let out = w.run(&mut LifoScheduler, 100_000);
-        assert_eq!(out.moves[1], Some(42), "starved message must eventually arrive");
+        assert_eq!(
+            out.moves[1],
+            Some(42),
+            "starved message must eventually arrive"
+        );
     }
 
     #[test]

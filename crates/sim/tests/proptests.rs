@@ -2,8 +2,8 @@
 //! and trace well-formedness under arbitrary seeds and scheduler choices.
 
 use mediator_sim::{
-    Ctx, FifoScheduler, LifoScheduler, Process, ProcessId, RandomScheduler, Scheduler,
-    TraceEvent, World,
+    Ctx, FifoScheduler, LifoScheduler, Process, ProcessId, RandomScheduler, Scheduler, TraceEvent,
+    World,
 };
 use proptest::prelude::*;
 

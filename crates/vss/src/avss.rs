@@ -53,12 +53,8 @@ pub enum AvssDest {
 /// Dealer-side sharing: builds the per-player row messages.
 ///
 /// Returns one `Rows` message per player.
-pub fn deal<R: Rng + ?Sized>(
-    secrets: &[Fp],
-    n: usize,
-    f: usize,
-    rng: &mut R,
-) -> Vec<AvssMsg> {
+#[allow(clippy::needless_range_loop)] // symmetric matrix fill writes m[a][b] and m[b][a]
+pub fn deal<R: Rng + ?Sized>(secrets: &[Fp], n: usize, f: usize, rng: &mut R) -> Vec<AvssMsg> {
     // One symmetric bivariate polynomial per secret:
     // S(x,y) = Σ_{a≤b} c_{ab} (x^a y^b + x^b y^a excess handled below).
     // We store the full (f+1)×(f+1) symmetric coefficient matrix.
@@ -154,7 +150,10 @@ impl AvssState {
         let rows = self.confirmed_rows.as_ref()?;
         Some(
             rows.iter()
-                .map(|r| Share { index: self.me, value: r.eval(Fp::ZERO) })
+                .map(|r| Share {
+                    index: self.me,
+                    value: r.eval(Fp::ZERO),
+                })
                 .collect(),
         )
     }
@@ -171,8 +170,7 @@ impl AvssState {
             AvssMsg::Rows(rows) => {
                 if self.own_rows.is_none() && self.valid_rows(&rows) {
                     self.num_secrets = Some(rows.len());
-                    self.own_rows =
-                        Some(rows.into_iter().map(Poly::from_coeffs).collect());
+                    self.own_rows = Some(rows.into_iter().map(Poly::from_coeffs).collect());
                     self.send_echoes(&mut out);
                 }
                 let _ = from;
@@ -224,17 +222,14 @@ impl AvssState {
         }
         if self.confirmed_rows.is_some() && !self.ready_sent {
             // Direct READY once confirmed, or amplified READY at f+1 votes.
-            let amplify = self.ready_recv.len() >= self.f + 1;
+            let amplify = self.ready_recv.len() > self.f;
             let direct = true; // confirmation alone suffices to vote
             if direct || amplify {
                 self.ready_sent = true;
                 out.push((AvssDest::All, AvssMsg::Ready));
             }
         }
-        if self.confirmed_rows.is_some()
-            && self.ready_recv.len() >= 2 * self.f + 1
-            && !self.completed
-        {
+        if self.confirmed_rows.is_some() && self.ready_recv.len() > 2 * self.f && !self.completed {
             self.completed = true;
         }
     }
@@ -258,7 +253,7 @@ impl AvssState {
                         vals.len() == k && vals[c] == row.eval(Fp::new(j as u64 + 1))
                     })
                     .count();
-                if agree >= 2 * self.f + 1 {
+                if agree > 2 * self.f {
                     confirmed.push(row.clone());
                     continue;
                 }
@@ -354,7 +349,7 @@ mod tests {
                 .filter(|s| s.is_completed())
                 .map(|s| s.shares().unwrap()[c].point())
                 .collect();
-            assert!(pts.len() >= f + 1, "not enough completed players");
+            assert!(pts.len() > f, "not enough completed players");
             let p = rs::interpolate_exact(&pts, f).expect("shares must be f-consistent");
             assert_eq!(p.eval(Fp::ZERO), secret, "coordinate {c}");
         }
@@ -375,7 +370,10 @@ mod tests {
         let secrets = [Fp::new(5)];
         for seed in 0..3 {
             let states = run(5, 1, 0, &secrets, &[3], &[], seed);
-            assert!(states[3].is_completed(), "player 3 must recover, seed {seed}");
+            assert!(
+                states[3].is_completed(),
+                "player 3 must recover, seed {seed}"
+            );
             check_consistent_shares(&states, 1, &secrets);
         }
     }

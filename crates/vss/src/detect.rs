@@ -139,7 +139,7 @@ impl DetectState {
         seed: u64,
     ) -> Self {
         assert!(
-            n >= f + 2 * t + 1,
+            n > f + 2 * t,
             "detectable sharing needs n ≥ f+2t+1 (n={n}, f={f}, t={t})"
         );
         DetectState {
@@ -174,35 +174,30 @@ impl DetectState {
 
     /// Handles a message; returns broadcasts to send and the verdict when
     /// first reached.
-    pub fn on_message(
-        &mut self,
-        from: usize,
-        msg: DetectMsg,
-    ) -> (Vec<DetectMsg>, Option<Verdict>) {
+    pub fn on_message(&mut self, from: usize, msg: DetectMsg) -> (Vec<DetectMsg>, Option<Verdict>) {
         let mut out = Vec::new();
         let before = self.verdict;
         match msg {
             DetectMsg::Deal { shares, blinds } => {
-                if from == self.dealer
-                    && self.my_shares.is_none()
-                    && blinds.len() == self.kappa
-                {
+                if from == self.dealer && self.my_shares.is_none() && blinds.len() == self.kappa {
                     self.my_shares = Some(shares);
                     self.my_blinds = Some(blinds);
                     if !self.opened {
                         self.opened = true;
-                        out.push(DetectMsg::Open { points: self.my_open_points() });
+                        out.push(DetectMsg::Open {
+                            points: self.my_open_points(),
+                        });
                     }
                 }
             }
             DetectMsg::Open { points } => {
                 if points.len() == self.kappa {
-                    self.open_points.entry(from).or_insert_with(|| points.clone());
+                    self.open_points
+                        .entry(from)
+                        .or_insert_with(|| points.clone());
                     for (k, &p) in points.iter().enumerate() {
-                        if self.decoded[k].is_none() {
-                            if self.oec[k].add_share(from, p).is_some() {
-                                self.decoded[k] = self.oec[k].polynomial().cloned();
-                            }
+                        if self.decoded[k].is_none() && self.oec[k].add_share(from, p).is_some() {
+                            self.decoded[k] = self.oec[k].polynomial().cloned();
                         }
                     }
                     self.evaluate(&mut out);
@@ -239,7 +234,7 @@ impl DetectState {
             return;
         }
         // Dealer collectively bad: t+1 accusations (at least one honest).
-        if self.accusers.len() >= self.t + 1 {
+        if self.accusers.len() > self.t {
             self.verdict = Some(Verdict::DealerBad);
             return;
         }
@@ -258,9 +253,8 @@ impl DetectState {
         if self.decoded.iter().all(|d| d.is_some()) && self.my_shares.is_some() {
             let mine = self.my_open_points();
             let xi = Fp::new(self.me as u64 + 1);
-            let consistent = (0..self.kappa).all(|k| {
-                self.decoded[k].as_ref().expect("checked").eval(xi) == mine[k]
-            });
+            let consistent = (0..self.kappa)
+                .all(|k| self.decoded[k].as_ref().expect("checked").eval(xi) == mine[k]);
             if consistent {
                 self.verdict = Some(Verdict::Ok);
             } else {
@@ -284,6 +278,7 @@ mod tests {
 
     /// Drives one instance: `deals[i]` is what player i receives (allows
     /// corrupted deals); `liars` broadcast random open points.
+    #[allow(clippy::too_many_arguments)]
     fn run(
         n: usize,
         f: usize,

@@ -25,10 +25,12 @@
 
 pub mod avss;
 pub mod detect;
+pub mod driver;
 pub mod reconstruct;
 pub mod shamir;
 
 pub use avss::{AvssMsg, AvssState};
 pub use detect::{DetectMsg, DetectState, Verdict};
+pub use driver::AvssPeer;
 pub use reconstruct::OecState;
 pub use shamir::{share_secret, share_with_poly, Share};

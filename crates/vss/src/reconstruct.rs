@@ -77,7 +77,7 @@ impl OecState {
         for e in 0..=max_e {
             if let Ok((poly, bad)) = rs::decode_robust(&pts, self.deg, e) {
                 let agree = m - bad.len();
-                if agree >= self.deg + self.f + 1 {
+                if agree > self.deg + self.f {
                     let s = poly.eval(Fp::ZERO);
                     self.decoded = Some((poly, s));
                     return Some(s);
@@ -207,7 +207,10 @@ mod tests {
         let mut oec = OecState::new(1, 1);
         assert!(oec.add_share(0, shares[0].value).is_none());
         assert!(oec.add_share(0, shares[0].value).is_none());
-        assert!(oec.add_share(0, Fp::new(9)).is_none(), "second value ignored");
+        assert!(
+            oec.add_share(0, Fp::new(9)).is_none(),
+            "second value ignored"
+        );
         assert!(oec.add_share(1, shares[1].value).is_none());
         // deg + f + 1 = 3 distinct senders needed.
         assert_eq!(oec.add_share(2, shares[2].value), Some(Fp::new(3)));

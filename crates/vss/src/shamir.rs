@@ -116,7 +116,10 @@ mod tests {
         let sum: Vec<Share> = a
             .iter()
             .zip(&b)
-            .map(|(x, y)| Share { index: x.index, value: x.value + y.value })
+            .map(|(x, y)| Share {
+                index: x.index,
+                value: x.value + y.value,
+            })
             .collect();
         let pts: Vec<(Fp, Fp)> = sum.iter().map(Share::point).collect();
         let p = rs::interpolate_exact(&pts, 2).unwrap();

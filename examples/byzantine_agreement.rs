@@ -56,7 +56,13 @@ fn main() {
         vec![0; n],
     );
     let mut behaviors = BTreeMap::new();
-    behaviors.insert(3usize, Behavior { lie_in_opens: true, ..Behavior::default() });
+    behaviors.insert(
+        3usize,
+        Behavior {
+            lie_in_opens: true,
+            ..Behavior::default()
+        },
+    );
     let out = run_cheap_talk(
         &spec,
         &inputs,

@@ -48,7 +48,11 @@ fn main() {
         println!("  {profile:?}: {got:.3} vs {want:.3}");
         assert!((got - want).abs() < 0.05, "distribution off at {profile:?}");
     }
-    assert_eq!(empirical.prob(&[0, 0]), 0.0, "mutual Dare must never be recommended");
+    assert_eq!(
+        empirical.prob(&[0, 0]),
+        0.0,
+        "mutual Dare must never be recommended"
+    );
 
     // Expected utility of obedience.
     let us = library::dist_utilities(&game, &[0, 0], &reference);

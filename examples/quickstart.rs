@@ -42,7 +42,11 @@ fn main() {
     // Run the cheap-talk protocol under three qualitatively different
     // network schedulers — the outcome must not depend on the adversary's
     // choice of message timing.
-    for kind in [SchedulerKind::Random, SchedulerKind::Fifo, SchedulerKind::Lifo] {
+    for kind in [
+        SchedulerKind::Random,
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+    ] {
         let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), &kind, 42, 2_000_000);
         let moves = out.resolve_default(&vec![0; n]);
         println!(

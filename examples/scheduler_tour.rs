@@ -7,7 +7,9 @@
 //! ```
 
 use mediator_talk::circuits::catalog;
-use mediator_talk::core::mediator::{run_mediator_game, run_mediator_game_relaxed, MediatorGameSpec};
+use mediator_talk::core::mediator::{
+    run_mediator_game, run_mediator_game_relaxed, MediatorGameSpec,
+};
 use mediator_talk::core::min_info;
 use mediator_talk::field::Fp;
 use mediator_talk::sim::covert::{CovertDecoder, CovertSender};
@@ -56,7 +58,14 @@ fn main() {
     println!("\n— relaxed scheduler (§5) ———————————————————————————");
     let mut will_spec = spec.clone();
     will_spec.wills = Some(vec![9; n]);
-    let out = run_mediator_game_relaxed(&will_spec, &inputs, BTreeMap::new(), n as u64 + 1, 3, 100_000);
+    let out = run_mediator_game_relaxed(
+        &will_spec,
+        &inputs,
+        BTreeMap::new(),
+        n as u64 + 1,
+        3,
+        100_000,
+    );
     println!(
         "mediator STOP batch dropped: {} drops, termination {:?}",
         out.trace.dropped_count(),
@@ -77,7 +86,10 @@ fn main() {
     let mut decoder = CovertDecoder::new(secret_values.len());
     world.run(&mut decoder, 10_000);
     println!("players encoded {secret_values:?}");
-    println!("scheduler decoded {:?} — without reading a single payload", decoder.decoded());
+    println!(
+        "scheduler decoded {:?} — without reading a single payload",
+        decoder.decoded()
+    );
     assert_eq!(decoder.decoded(), &secret_values);
 
     println!("\nthis is why the paper treats deviators and the scheduler as one adversary");

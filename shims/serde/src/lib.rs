@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace has no crates.io access, so this
+//! crate keeps the `#[derive(Serialize, Deserialize)]` annotations on the
+//! protocol types compiling. The derive macros expand to nothing (see
+//! `serde_derive`); the marker traits below exist so code can also write
+//! `T: Serialize` bounds if it ever needs to. Swapping in the real serde is
+//! a one-line manifest change per crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// The traits share their names with the derive macros above — legal, since
+// macros and traits live in different namespaces, and exactly how the real
+// serde crate arranges its `derive` feature.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types
+/// so `T: Serialize` bounds compile.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types so `T: Deserialize` bounds compile (no `'de` lifetime — nothing
+/// here deserializes).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

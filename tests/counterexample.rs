@@ -24,8 +24,18 @@ fn run(n: usize, naive: bool, collude: bool, seed: u64) -> Vec<usize> {
         deviants.insert(0, Box::new(CounterexampleColluder::new(n, 1)));
         deviants.insert(1, Box::new(CounterexampleColluder::new(n, 0)));
     }
-    let out = run_mediator_game(&spec, &vec![vec![]; n], deviants, &SchedulerKind::Random, seed, 200_000);
-    out.resolve_ah(&vec![BOT; n + 1])[..n].iter().map(|&a| a as usize).collect()
+    let out = run_mediator_game(
+        &spec,
+        &vec![vec![]; n],
+        deviants,
+        &SchedulerKind::Random,
+        seed,
+        200_000,
+    );
+    out.resolve_ah(&vec![BOT; n + 1])[..n]
+        .iter()
+        .map(|&a| a as usize)
+        .collect()
 }
 
 #[test]
@@ -33,9 +43,11 @@ fn bottom_is_a_k_punishment_with_margin_0_4() {
     let (game, mediated, k) = library::counterexample_game(7);
     let value = library::dist_utilities(&game, &[0; 7], &mediated)[0];
     assert!((value - 1.5).abs() < 1e-12);
-    let rho: Vec<Strategy> = (0..7).map(|_| Strategy::pure(1, 3, library::BOTTOM)).collect();
-    assert!(punishment::is_m_punishment(&game, &rho, &vec![value; 7], k));
-    let margin = punishment::punishment_margin(&game, &rho, &vec![value; 7], k);
+    let rho: Vec<Strategy> = (0..7)
+        .map(|_| Strategy::pure(1, 3, library::BOTTOM))
+        .collect();
+    assert!(punishment::is_m_punishment(&game, &rho, &[value; 7], k));
+    let margin = punishment::punishment_margin(&game, &rho, &[value; 7], k);
     assert!((margin - 0.4).abs() < 1e-9);
 }
 

@@ -14,7 +14,11 @@ use std::collections::BTreeMap;
 #[test]
 fn majority_cheap_talk_implements_the_mediator_exactly_on_unanimous_inputs() {
     let n = 5;
-    let kinds = vec![SchedulerKind::Random, SchedulerKind::Fifo, SchedulerKind::Lifo];
+    let kinds = vec![
+        SchedulerKind::Random,
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+    ];
     let spec = CheapTalkSpec::theorem_4_1(
         n,
         1,
@@ -23,18 +27,30 @@ fn majority_cheap_talk_implements_the_mediator_exactly_on_unanimous_inputs() {
         vec![vec![Fp::ZERO]; n],
         vec![0; n],
     );
-    let med = MediatorGameSpec::standard(n, 1, 0, catalog::majority_circuit(n), vec![vec![Fp::ZERO]; n]);
+    let med = MediatorGameSpec::standard(
+        n,
+        1,
+        0,
+        catalog::majority_circuit(n),
+        vec![vec![Fp::ZERO]; n],
+    );
     let inputs = vec![vec![Fp::ONE]; n];
     let rep = compare_implementations(
         &kinds,
         8,
         |kind, seed| {
             let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), kind, seed, 20_000_000);
-            out.resolve_default(&vec![0; n]).iter().map(|&a| a as usize).collect()
+            out.resolve_default(&vec![0; n])
+                .iter()
+                .map(|&a| a as usize)
+                .collect()
         },
         |kind, seed| {
             let out = run_mediator_game(&med, &inputs, BTreeMap::new(), kind, seed, 200_000);
-            out.resolve_default(&vec![0; n + 1])[..n].iter().map(|&a| a as usize).collect()
+            out.resolve_default(&vec![0; n + 1])[..n]
+                .iter()
+                .map(|&a| a as usize)
+                .collect()
         },
     );
     // Unanimous inputs ⇒ both games are point masses on (1,...,1).
@@ -52,12 +68,32 @@ fn coin_mediator_distribution_is_a_fair_coin_in_both_games() {
 
     let samples = 40u64;
     let ct = OutcomeDist::from_samples((0..samples).map(|seed| {
-        let out = run_cheap_talk(&spec, &empty, &BTreeMap::new(), &SchedulerKind::Random, seed, 20_000_000);
-        out.resolve_default(&vec![0; n]).iter().map(|&a| a as usize).collect::<Vec<_>>()
+        let out = run_cheap_talk(
+            &spec,
+            &empty,
+            &BTreeMap::new(),
+            &SchedulerKind::Random,
+            seed,
+            20_000_000,
+        );
+        out.resolve_default(&vec![0; n])
+            .iter()
+            .map(|&a| a as usize)
+            .collect::<Vec<_>>()
     }));
     let md = OutcomeDist::from_samples((0..samples).map(|seed| {
-        let out = run_mediator_game(&med, &empty, BTreeMap::new(), &SchedulerKind::Random, seed, 200_000);
-        out.resolve_default(&vec![0; n + 1])[..n].iter().map(|&a| a as usize).collect::<Vec<_>>()
+        let out = run_mediator_game(
+            &med,
+            &empty,
+            BTreeMap::new(),
+            &SchedulerKind::Random,
+            seed,
+            200_000,
+        );
+        out.resolve_default(&vec![0; n + 1])[..n]
+            .iter()
+            .map(|&a| a as usize)
+            .collect::<Vec<_>>()
     }));
     // Support is exactly {all-0, all-1} on both sides.
     assert_eq!(ct.support_len(), 2, "cheap talk support: {ct:?}");
@@ -81,11 +117,35 @@ fn mediated_and_cheap_talk_message_counts_differ_by_orders_of_magnitude() {
         vec![vec![Fp::ZERO]; n],
         vec![0; n],
     );
-    let med = MediatorGameSpec::standard(n, 1, 0, catalog::majority_circuit(n), vec![vec![Fp::ZERO]; n]);
+    let med = MediatorGameSpec::standard(
+        n,
+        1,
+        0,
+        catalog::majority_circuit(n),
+        vec![vec![Fp::ZERO]; n],
+    );
     let inputs = vec![vec![Fp::ONE]; n];
-    let ct = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), &SchedulerKind::Random, 1, 20_000_000);
-    let md = run_mediator_game(&med, &inputs, BTreeMap::new(), &SchedulerKind::Random, 1, 200_000);
-    assert!(md.messages_sent <= 2 * (n as u64) + 2, "mediator game is O(n): {}", md.messages_sent);
+    let ct = run_cheap_talk(
+        &spec,
+        &inputs,
+        &BTreeMap::new(),
+        &SchedulerKind::Random,
+        1,
+        20_000_000,
+    );
+    let md = run_mediator_game(
+        &med,
+        &inputs,
+        BTreeMap::new(),
+        &SchedulerKind::Random,
+        1,
+        200_000,
+    );
+    assert!(
+        md.messages_sent <= 2 * (n as u64) + 2,
+        "mediator game is O(n): {}",
+        md.messages_sent
+    );
     assert!(
         ct.messages_sent > 10 * md.messages_sent,
         "cheap talk costs real messages: {} vs {}",

@@ -35,7 +35,9 @@ fn theorem_4_1_exact_threshold_accepted_and_below_rejected() {
             vec![0; 4 * f],
         );
         let res = std::panic::catch_unwind(|| {
-            spec_low.mpc_config().validate(spec_low.circuit.inputs_per_player())
+            spec_low
+                .mpc_config()
+                .validate(spec_low.circuit.inputs_per_player())
         });
         assert!(res.is_err(), "n = 4f must be rejected (f = {f})");
     }
@@ -54,9 +56,28 @@ fn theorem_4_1_tolerates_f_mixed_faults_at_threshold() {
         vec![0; n],
     );
     let mut behaviors = BTreeMap::new();
-    behaviors.insert(0usize, Behavior { silent: true, ..Behavior::default() });
-    behaviors.insert(1usize, Behavior { lie_in_opens: true, ..Behavior::default() });
-    let out = run_cheap_talk(&spec, &ones(n), &behaviors, &SchedulerKind::Random, 5, 20_000_000);
+    behaviors.insert(
+        0usize,
+        Behavior {
+            silent: true,
+            ..Behavior::default()
+        },
+    );
+    behaviors.insert(
+        1usize,
+        Behavior {
+            lie_in_opens: true,
+            ..Behavior::default()
+        },
+    );
+    let out = run_cheap_talk(
+        &spec,
+        &ones(n),
+        &behaviors,
+        &SchedulerKind::Random,
+        5,
+        20_000_000,
+    );
     for p in 2..n {
         assert_eq!(out.moves[p], Some(1), "player {p}");
     }
@@ -74,7 +95,14 @@ fn theorem_4_2_threshold_n_3f_plus_1_runs() {
         vec![vec![Fp::ZERO]; n],
         vec![0; n],
     );
-    let out = run_cheap_talk(&spec, &ones(n), &BTreeMap::new(), &SchedulerKind::Random, 9, 8_000_000);
+    let out = run_cheap_talk(
+        &spec,
+        &ones(n),
+        &BTreeMap::new(),
+        &SchedulerKind::Random,
+        9,
+        8_000_000,
+    );
     assert_eq!(out.resolve_default(&vec![0; n]), vec![1; n]);
 }
 
@@ -94,10 +122,23 @@ fn theorem_4_4_crash_cannot_split_honest_players() {
         let mut behaviors = BTreeMap::new();
         behaviors.insert(
             2usize,
-            Behavior { crash_after_sends: Some(25 + 10 * seed), ..Behavior::default() },
+            Behavior {
+                crash_after_sends: Some(25 + 10 * seed),
+                ..Behavior::default()
+            },
         );
-        let out = run_cheap_talk(&spec, &ones(n), &behaviors, &SchedulerKind::Random, seed, 8_000_000);
-        let honest: Vec<bool> = (0..n).filter(|&p| p != 2).map(|p| out.moves[p].is_some()).collect();
+        let out = run_cheap_talk(
+            &spec,
+            &ones(n),
+            &behaviors,
+            &SchedulerKind::Random,
+            seed,
+            8_000_000,
+        );
+        let honest: Vec<bool> = (0..n)
+            .filter(|&p| p != 2)
+            .map(|p| out.moves[p].is_some())
+            .collect();
         assert!(
             honest.iter().all(|&b| b) || honest.iter().all(|&b| !b),
             "cotermination violated at seed {seed}: {honest:?}"
@@ -119,7 +160,14 @@ fn theorem_4_5_runs_at_2k_3t_plus_1() {
         vec![5; n],
         vec![0; n],
     );
-    let out = run_cheap_talk(&spec, &ones(n), &BTreeMap::new(), &SchedulerKind::Random, 11, 8_000_000);
+    let out = run_cheap_talk(
+        &spec,
+        &ones(n),
+        &BTreeMap::new(),
+        &SchedulerKind::Random,
+        11,
+        8_000_000,
+    );
     let moves = out.resolve_default(&vec![0; n]);
     assert_eq!(moves, vec![1; n]);
 }
@@ -143,8 +191,14 @@ fn combined_adversary_deviator_plus_colluding_scheduler() {
     let inputs = ones(n);
     for (deviator, victim) in [(0usize, 1usize), (2, 3)] {
         for behavior in [
-            Behavior { silent: true, ..Behavior::default() },
-            Behavior { lie_in_opens: true, ..Behavior::default() },
+            Behavior {
+                silent: true,
+                ..Behavior::default()
+            },
+            Behavior {
+                lie_in_opens: true,
+                ..Behavior::default()
+            },
         ] {
             let mut behaviors = BTreeMap::new();
             behaviors.insert(deviator, behavior);
