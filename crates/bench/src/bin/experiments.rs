@@ -29,6 +29,23 @@ fn main() {
     let fast = args.iter().any(|a| a == "--fast");
     let samples = if fast { 20 } else { 60 };
 
+    if args.iter().any(|a| a == "--bench") {
+        // BENCH.json mode: time the tracked hot-path workloads and append a
+        // labelled entry to the performance trajectory (see DESIGN.md §5).
+        let label = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--label="))
+            .unwrap_or("dev")
+            .to_string();
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("BENCH.json")
+            .to_string();
+        bench_trajectory(&label, &out, fast);
+        return;
+    }
+
     println!("# mediator-talk experiment harness");
     println!("# paper: Implementing Mediators with Asynchronous Cheap Talk (PODC 2019)");
 
@@ -69,6 +86,112 @@ fn main() {
     if want("--e11") {
         e11_substrate_timings();
     }
+}
+
+/// `--bench` — the tracked BENCH.json trajectory: hot-path workloads timed
+/// as median ns/op with their message/step counters, appended under the
+/// given label. These are the numbers every perf PR must beat; see the
+/// "Performance" section of DESIGN.md for how to read them.
+fn bench_trajectory(label: &str, out: &str, fast: bool) {
+    use mediator_bcast::RbcPeer;
+    use mediator_bench::measure::{append_bench_json, median_ns_per_op, Metric};
+    use mediator_field::{rs, Poly};
+    use mediator_sim::sansio::run_machines;
+    use mediator_vss::{avss, OecState};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Many short samples: on a loaded machine the median of small batches
+    // rejects preemption spikes far better than few long batches.
+    let (wsamples, ksamples, kiters) = if fast { (11, 11, 20) } else { (31, 31, 50) };
+    let mut metrics = Vec::new();
+
+    // The World macro-bench: one full reliable-broadcast execution, n = 16,
+    // uniformly random scheduler, fixed seed — the event-plane hot loop.
+    let run_rbc = |kind: &SchedulerKind, seed: u64| {
+        let machines: Vec<RbcPeer<u64>> = (0..16)
+            .map(|me| RbcPeer::new(16, 5, 0, me, (me == 0).then_some(42)))
+            .collect();
+        run_machines(machines, Vec::new(), kind.build().as_mut(), seed, 2_000_000)
+    };
+    for kind in [SchedulerKind::Random, SchedulerKind::Lifo] {
+        let (outcome, _) = run_rbc(&kind, 7);
+        let name = format!("world_rbc_n16_{}", format!("{kind:?}").to_lowercase());
+        let ns = median_ns_per_op(wsamples, 1, || run_rbc(&kind, 7));
+        metrics.push(
+            Metric::new(name, ns)
+                .with("messages_sent", outcome.messages_sent)
+                .with("steps", outcome.steps),
+        );
+    }
+
+    // The algebra kernel: Berlekamp–Welch robust decoding at the Theorem 4.1
+    // working point (degree-2f product opening, f = 4 errors).
+    let mut rng = StdRng::seed_from_u64(5);
+    for (deg, e, n) in [(4usize, 4usize, 17usize), (2, 2, 9)] {
+        let p = Poly::random_with_secret(Fp::new(5), deg, &mut rng);
+        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        for pt in pts.iter_mut().take(e) {
+            pt.1 += Fp::new(99);
+        }
+        let ns = median_ns_per_op(ksamples, kiters, || {
+            rs::decode_robust(&pts, deg, e).expect("decodes")
+        });
+        metrics.push(Metric::new(format!("rs_decode_deg{deg}_e{e}_n{n}"), ns));
+    }
+
+    // Online error correction: the per-opening reconstruction loop (shares
+    // dribbling in, f of them corrupt).
+    let p = Poly::random_with_secret(Fp::new(77), 8, &mut rng);
+    let shares: Vec<Fp> = (1..=17u64).map(|i| p.eval(Fp::new(i))).collect();
+    let ns = median_ns_per_op(ksamples, kiters.min(10), || {
+        let mut oec = OecState::new(8, 4);
+        for (i, &v) in shares.iter().enumerate() {
+            let v = if i < 4 { v + Fp::new(13) } else { v };
+            if oec.add_share(i, v).is_some() {
+                break;
+            }
+        }
+        oec.secret().expect("reconstructs")
+    });
+    metrics.push(Metric::new("oec_reconstruct_deg8_f4_n17", ns));
+
+    // Exact interpolation over the share grid (the crash-path kernel).
+    let pts: Vec<(Fp, Fp)> = (1..=9u64)
+        .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+        .collect();
+    let ns = median_ns_per_op(ksamples, kiters, || Poly::interpolate(&pts));
+    metrics.push(Metric::new("poly_interpolate_n9", ns));
+
+    // AVSS dealing (vector of 8 secrets, n = 9, f = 2).
+    let ns = median_ns_per_op(ksamples, kiters.min(20), || {
+        let mut rng = StdRng::seed_from_u64(3);
+        let secrets: Vec<Fp> = (0..8).map(|_| Fp::random(&mut rng)).collect();
+        avss::deal(&secrets, 9, 2, &mut rng)
+    });
+    metrics.push(Metric::new("avss_deal_n9_f2_vec8", ns));
+
+    // End-to-end cheap talk (Theorem 4.1 majority, n = 5): everything at
+    // once — event plane, engine, kernels.
+    let spec = majority_spec_robust(5, 1, 0);
+    let inputs = ones_inputs(5);
+    let ct = run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, 1);
+    let ns = median_ns_per_op(wsamples.min(15), 1, || {
+        run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, 1)
+    });
+    metrics.push(
+        Metric::new("cheap_talk_majority_n5_random", ns)
+            .with("messages_sent", ct.messages_sent)
+            .with("steps", ct.steps),
+    );
+
+    for m in &metrics {
+        println!("{:<34} {:>12} ns/op", m.name, m.ns_per_op);
+    }
+    append_bench_json(std::path::Path::new(out), label, &metrics).expect("write BENCH.json");
+    println!("appended entry '{label}' to {out}");
 }
 
 /// E11 — quick wall-clock substrate measurements (the Criterion benches in

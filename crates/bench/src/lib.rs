@@ -4,6 +4,8 @@
 //! DESIGN.md §4); this crate hosts the workload builders and measurement
 //! helpers those experiments share with the Criterion benches.
 
+pub mod measure;
+
 use mediator_circuits::catalog;
 use mediator_core::deviations::Behavior;
 use mediator_core::{run_cheap_talk, CheapTalkSpec};

@@ -191,6 +191,30 @@ mod tests {
     }
 
     #[test]
+    fn rbc_broadcasts_shared_payloads_without_deep_copies() {
+        use crate::outgoing::Payload;
+        // A Vec<Fp>-sized value: instantiating V = Payload<…> makes every
+        // Echo/Ready broadcast a refcount bump instead of a vector clone.
+        let value: Payload<Vec<u64>> = Payload::new((0..256).collect());
+        for seed in 0..3 {
+            let machines: Vec<RbcPeer<Payload<Vec<u64>>>> = (0..4)
+                .map(|me| RbcPeer::new(4, 1, 0, me, (me == 0).then(|| value.clone())))
+                .collect();
+            let (outcome, outputs) = run_machines(
+                machines,
+                Vec::new(),
+                SchedulerKind::Random.build().as_mut(),
+                seed,
+                200_000,
+            );
+            assert_eq!(outcome.termination, TerminationKind::Quiescent);
+            for o in outputs.iter() {
+                assert_eq!(o.as_ref(), Some(&value), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
     fn aba_under_world_agrees_for_all_schedulers() {
         for kind in schedulers() {
             for seed in 0..4 {

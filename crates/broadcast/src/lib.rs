@@ -40,5 +40,5 @@ pub use aba::{AbaMsg, AbaState};
 pub use acs::{AcsMsg, AcsState};
 pub use coin::{CoinSource, IdealCoin, LocalCoin};
 pub use driver::{AbaPeer, AcsPeer, RbcPeer};
-pub use outgoing::{Dest, Outgoing};
+pub use outgoing::{Dest, Outgoing, Payload};
 pub use rbc::{RbcMsg, RbcState};

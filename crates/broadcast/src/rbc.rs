@@ -14,7 +14,6 @@
 
 use crate::outgoing::Outgoing;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// Reliable-broadcast wire messages.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,8 +40,33 @@ pub struct RbcState<V> {
     ready_sent: bool,
     delivered: bool,
     /// Echo senders per value (values collapse via Ord).
-    echoes: Vec<(V, BTreeSet<usize>)>,
-    readies: Vec<(V, BTreeSet<usize>)>,
+    echoes: Vec<(V, VoterSet)>,
+    readies: Vec<(V, VoterSet)>,
+}
+
+/// A dense bitset of voter ids with a maintained count: vote recording is
+/// one word-OR instead of a `BTreeSet` node allocation — this sits on the
+/// per-delivery hot path of every broadcast instance in the system.
+#[derive(Debug, Clone, Default)]
+struct VoterSet {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl VoterSet {
+    /// Records voter `i`; returns the number of distinct voters so far.
+    fn insert(&mut self, i: usize) -> usize {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (i % 64);
+        if self.words[w] & bit == 0 {
+            self.words[w] |= bit;
+            self.count += 1;
+        }
+        self.count
+    }
 }
 
 impl<V: Clone + Ord> RbcState<V> {
@@ -127,12 +151,11 @@ impl<V: Clone + Ord> RbcState<V> {
 }
 
 /// Records a vote; returns the number of distinct voters for this value.
-fn insert_vote<V: Clone + Ord>(votes: &mut Vec<(V, BTreeSet<usize>)>, v: &V, from: usize) -> usize {
+fn insert_vote<V: Clone + Ord>(votes: &mut Vec<(V, VoterSet)>, v: &V, from: usize) -> usize {
     if let Some((_, set)) = votes.iter_mut().find(|(val, _)| val == v) {
-        set.insert(from);
-        set.len()
+        set.insert(from)
     } else {
-        let mut set = BTreeSet::new();
+        let mut set = VoterSet::default();
         set.insert(from);
         votes.push((v.clone(), set));
         1

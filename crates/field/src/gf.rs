@@ -37,9 +37,16 @@ impl Fp {
     pub const ONE: Fp = Fp(1);
 
     /// Creates a field element, reducing `v` modulo `p`.
+    ///
+    /// Uses the same Mersenne fold as the multiplication path (`2^61 ≡ 1`,
+    /// so high bits fold onto low bits) instead of a hardware division —
+    /// `Fp::new` sits on share-grid loops (`x = 1..n`) all over the
+    /// decoding kernel.
     #[inline]
     pub fn new(v: u64) -> Self {
-        Fp(v % MODULUS)
+        let r = (v & MODULUS) + (v >> 61);
+        // r ≤ (2^61 - 1) + 7: one conditional subtraction canonicalises.
+        Fp(if r >= MODULUS { r - MODULUS } else { r })
     }
 
     /// Creates a field element from a signed integer (negative values wrap).
@@ -81,6 +88,43 @@ impl Fp {
         r
     }
 
+    /// Fused `a·b − c·d` with a **single** Mersenne reduction.
+    ///
+    /// The row updates of Gaussian elimination (`pivot·mᵢⱼ − factor·pᵢⱼ`)
+    /// are exactly this shape; fusing halves the reduction work on the
+    /// decode kernel's innermost loop. `c·d` is subtracted by multiplying
+    /// with the additive complement: both products are < 2¹²², so their
+    /// sum fits a `u128` with room to spare.
+    #[inline]
+    pub fn mul_sub(a: Fp, b: Fp, c: Fp, d: Fp) -> Fp {
+        // MODULUS − d.0 ≡ −d, and equals MODULUS when d = 0 — harmless,
+        // since c·MODULUS ≡ 0.
+        let t = a.0 as u128 * b.0 as u128 + c.0 as u128 * (MODULUS - d.0) as u128;
+        Fp(Fp::reduce128(t))
+    }
+
+    /// Inner product `Σ aᵢ·bᵢ` with deferred reduction: products accumulate
+    /// in a `u128` and fold only every 32 terms, so a length-`n` dot costs
+    /// `n` multiplications and `⌈n/32⌉ + 1` reductions. Back-substitution
+    /// and Horner-free evaluation sums are this shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn dot(xs: &[Fp], ys: &[Fp]) -> Fp {
+        assert_eq!(xs.len(), ys.len(), "dot-product length mismatch");
+        let mut acc: u128 = 0;
+        for (chunk_x, chunk_y) in xs.chunks(32).zip(ys.chunks(32)) {
+            for (&x, &y) in chunk_x.iter().zip(chunk_y) {
+                // Each term < 2¹²²; 32 of them < 2¹²⁷.
+                acc += x.0 as u128 * y.0 as u128;
+            }
+            // Partial fold keeps the accumulator small for the next chunk.
+            acc = (acc & ((1u128 << 61) - 1)) + (acc >> 61);
+        }
+        Fp(Fp::reduce128(acc))
+    }
+
     /// Raises `self` to the power `e` by square-and-multiply.
     pub fn pow(self, mut e: u64) -> Self {
         let mut base = self;
@@ -97,13 +141,74 @@ impl Fp {
 
     /// Returns the multiplicative inverse, or `None` for zero.
     ///
-    /// Uses Fermat's little theorem (`a^(p-2)`), which is constant-time-ish
-    /// and has no edge cases besides zero.
+    /// Uses Fermat's little theorem (`a^(p-2)`) via a fixed addition chain
+    /// exploiting the Mersenne exponent structure: `p − 2 = 2⁶¹ − 3` has
+    /// binary form `1⁵⁹01`, so `a^(2^k − 1)` ladders (doubling the run of
+    /// ones with one multiply per rung) reach it in ~70 multiplications
+    /// instead of the ~120 of plain square-and-multiply. Constant-time-ish
+    /// and no edge cases besides zero.
     pub fn inv(self) -> Option<Self> {
         if self.is_zero() {
-            None
-        } else {
-            Some(self.pow(MODULUS - 2))
+            return None;
+        }
+        // e_k := a^(2^k − 1), built by e_{j+k} = e_j^(2^k) · e_k.
+        let sq = |x: Fp, times: u32| {
+            let mut r = x;
+            for _ in 0..times {
+                r *= r;
+            }
+            r
+        };
+        let a = self;
+        let e2 = sq(a, 1) * a; // a^3
+        let e4 = sq(e2, 2) * e2;
+        let e8 = sq(e4, 4) * e4;
+        let e16 = sq(e8, 8) * e8;
+        let e32 = sq(e16, 16) * e16;
+        let e48 = sq(e32, 16) * e16;
+        let e56 = sq(e48, 8) * e8;
+        let e58 = sq(e56, 2) * e2;
+        let e59 = sq(e58, 1) * a;
+        // p − 2 = (2^59 − 1)·4 + 1.
+        Some(sq(e59, 2) * a)
+    }
+
+    /// Inverts a whole slice with Montgomery's trick: one field inversion
+    /// plus `3(n-1)` multiplications, instead of one `p-2` exponentiation
+    /// per element. Zeros map to zero (they have no inverse); nonzero
+    /// entries satisfy `batch_inv(xs)[i] == xs[i].inv().unwrap()`.
+    ///
+    /// This is the workhorse behind the barycentric interpolation weights
+    /// and the Gaussian-elimination pivots in [`crate::rs`].
+    pub fn batch_inv(xs: &[Fp]) -> Vec<Fp> {
+        let mut out = vec![Fp::ONE; xs.len()];
+        Fp::batch_inv_into(xs, &mut out);
+        out
+    }
+
+    /// In-place variant of [`Fp::batch_inv`] writing into a caller-owned
+    /// buffer (must be the same length as `xs`); lets hot loops reuse the
+    /// allocation.
+    pub fn batch_inv_into(xs: &[Fp], out: &mut [Fp]) {
+        assert_eq!(xs.len(), out.len(), "batch_inv buffer length mismatch");
+        // Prefix products of the nonzero entries; zeros are skipped so one
+        // bad share cannot poison the whole batch.
+        let mut acc = Fp::ONE;
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o = acc;
+            if !x.is_zero() {
+                acc *= x;
+            }
+        }
+        // acc is a product of nonzero elements (or ONE), hence invertible.
+        let mut inv = acc.inv().unwrap_or(Fp::ONE);
+        for (o, &x) in out.iter_mut().zip(xs).rev() {
+            if x.is_zero() {
+                *o = Fp::ZERO;
+            } else {
+                *o *= inv;
+                inv *= x;
+            }
         }
     }
 
@@ -349,6 +454,73 @@ mod tests {
             assert_eq!(a, b);
             assert!(a.as_u64() < MODULUS);
         }
+    }
+
+    #[test]
+    fn mul_sub_matches_separate_ops() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let (a, b, c, d) = (
+                Fp::random(&mut rng),
+                Fp::random(&mut rng),
+                Fp::random(&mut rng),
+                Fp::random(&mut rng),
+            );
+            assert_eq!(Fp::mul_sub(a, b, c, d), a * b - c * d);
+        }
+        assert_eq!(Fp::mul_sub(Fp::ONE, Fp::ONE, Fp::ZERO, Fp::ZERO), Fp::ONE);
+        let big = Fp::new(MODULUS - 1);
+        assert_eq!(Fp::mul_sub(big, big, big, big), Fp::ZERO);
+    }
+
+    #[test]
+    fn dot_matches_naive_sum() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for len in [0usize, 1, 31, 32, 33, 100] {
+            let xs: Vec<Fp> = (0..len).map(|_| Fp::random(&mut rng)).collect();
+            let ys: Vec<Fp> = (0..len).map(|_| Fp::random(&mut rng)).collect();
+            let naive: Fp = xs.iter().zip(&ys).map(|(&x, &y)| x * y).sum();
+            assert_eq!(Fp::dot(&xs, &ys), naive, "len {len}");
+        }
+    }
+
+    #[test]
+    fn new_fold_matches_division_on_edges() {
+        for v in [
+            0u64,
+            1,
+            MODULUS - 1,
+            MODULUS,
+            MODULUS + 1,
+            2 * MODULUS,
+            2 * MODULUS + 3,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(Fp::new(v).as_u64(), v % MODULUS, "v={v}");
+        }
+    }
+
+    #[test]
+    fn batch_inv_matches_scalar_inv() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs: Vec<Fp> = (0..50).map(|_| Fp::random_nonzero(&mut rng)).collect();
+        let invs = Fp::batch_inv(&xs);
+        for (x, i) in xs.iter().zip(&invs) {
+            assert_eq!(*i, x.inv().unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_inv_skips_zeros() {
+        let xs = [Fp::new(2), Fp::ZERO, Fp::new(3), Fp::ZERO];
+        let invs = Fp::batch_inv(&xs);
+        assert_eq!(invs[0], Fp::new(2).inv().unwrap());
+        assert_eq!(invs[1], Fp::ZERO);
+        assert_eq!(invs[2], Fp::new(3).inv().unwrap());
+        assert_eq!(invs[3], Fp::ZERO);
+        assert!(Fp::batch_inv(&[]).is_empty());
+        assert_eq!(Fp::batch_inv(&[Fp::ZERO]), vec![Fp::ZERO]);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Barycentric Lagrange machinery for the **share grid** `x = 1..=n`.
+//!
+//! Every sharing in this workspace evaluates polynomials at the fixed
+//! points `x_i = i + 1` (player `i`'s share), so interpolation almost never
+//! sees arbitrary field elements — it sees small-integer grid indices. That
+//! structure pays twice:
+//!
+//! * the barycentric denominators `d_i = ∏_{j≠i}(x_i − x_j)` are products
+//!   of small integers, and for the *full* grid they collapse to the
+//!   factorial formula `d_i = (−1)^{n−1−i} · i! · (n−1−i)!` — cached here
+//!   per `n`, computed once per process instead of once per reconstruction;
+//! * all inversions (one per weight) batch into a single field inversion
+//!   via Montgomery's trick ([`Fp::batch_inv`]).
+//!
+//! [`interpolate_indices`] combines the weights with one master-polynomial
+//! synthetic division per point: O(n²) multiplications and exactly one
+//! field inversion for a full interpolation — the seed implementation
+//! rebuilt each Lagrange basis polynomial from scratch (O(n³)) and paid an
+//! exponentiation-inversion per point.
+
+use crate::gf::Fp;
+use crate::poly::Poly;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cached full-grid weights: `n` → `[1/d_i]` for the grid `x = 1..=n`.
+fn full_grid_cache() -> &'static Mutex<BTreeMap<usize, Arc<Vec<Fp>>>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<usize, Arc<Vec<Fp>>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Inverted barycentric denominators for the **full** grid `x = 1..=n`,
+/// cached per `n`: `weights[i] = 1 / ∏_{j≠i}(x_i − x_j)` with
+/// `x_i = i + 1`.
+pub fn full_grid_weights(n: usize) -> Arc<Vec<Fp>> {
+    if let Some(w) = full_grid_cache().lock().expect("weights cache").get(&n) {
+        return Arc::clone(w);
+    }
+    // d_i = (−1)^{n−1−i} · i! · (n−1−i)!  (0-indexed i, x_i = i+1).
+    let mut fact = vec![Fp::ONE; n.max(1)];
+    for i in 1..n {
+        fact[i] = fact[i - 1] * Fp::new(i as u64);
+    }
+    let denoms: Vec<Fp> = (0..n)
+        .map(|i| {
+            let d = fact[i] * fact[n - 1 - i];
+            if (n - 1 - i) % 2 == 1 {
+                -d
+            } else {
+                d
+            }
+        })
+        .collect();
+    let weights = Arc::new(Fp::batch_inv(&denoms));
+    full_grid_cache()
+        .lock()
+        .expect("weights cache")
+        .insert(n, Arc::clone(&weights));
+    weights
+}
+
+/// Inverted barycentric denominators for an arbitrary subset of the grid:
+/// `weights[i] = 1 / ∏_{j≠i}(x_i − x_j)` with `x_i = idxs[i] + 1`.
+/// Contiguous-from-zero index sets hit the per-`n` cache.
+///
+/// # Panics
+///
+/// Panics if two indices coincide (duplicate share points).
+pub fn lagrange_weights(idxs: &[usize]) -> Arc<Vec<Fp>> {
+    let contiguous = idxs.iter().enumerate().all(|(i, &idx)| idx == i);
+    if contiguous {
+        return full_grid_weights(idxs.len());
+    }
+    let denoms: Vec<Fp> = idxs
+        .iter()
+        .enumerate()
+        .map(|(a, &i)| {
+            let mut d = Fp::ONE;
+            for (b, &j) in idxs.iter().enumerate() {
+                if b != a {
+                    // A duplicated index zeroes the product, which the
+                    // distinctness assertion below then rejects.
+                    d *= Fp::from_i64(i as i64 - j as i64);
+                }
+            }
+            d
+        })
+        .collect();
+    assert!(
+        denoms.iter().all(|d| !d.is_zero()),
+        "interpolation points must be distinct"
+    );
+    Arc::new(Fp::batch_inv(&denoms))
+}
+
+/// Interpolates the unique polynomial of degree `< idxs.len()` through the
+/// share points `(idxs[i] + 1, ys[i])`, in coefficient form.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or two indices coincide.
+pub fn interpolate_indices(idxs: &[usize], ys: &[Fp]) -> Poly {
+    assert_eq!(idxs.len(), ys.len(), "one y per share index");
+    let n = idxs.len();
+    if n == 0 {
+        return Poly::zero();
+    }
+    let weights = lagrange_weights(idxs);
+    let x_of = |i: usize| Fp::new(idxs[i] as u64 + 1);
+    let master = Poly::master_coeffs(n, x_of);
+    Poly::interpolate_with_master(&master, x_of, |i| ys[i], &weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_grid_weights_match_direct_products() {
+        for n in 1..10usize {
+            let w = full_grid_weights(n);
+            for i in 0..n {
+                let mut d = Fp::ONE;
+                for j in 0..n {
+                    if j != i {
+                        d *= Fp::from_i64(i as i64 - j as i64);
+                    }
+                }
+                assert_eq!(w[i], d.inv().unwrap(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_weights_match_direct_products() {
+        let idxs = [0usize, 2, 5, 6, 9];
+        let w = lagrange_weights(&idxs);
+        for (a, &i) in idxs.iter().enumerate() {
+            let mut d = Fp::ONE;
+            for &j in &idxs {
+                if j != i {
+                    d *= Fp::from_i64(i as i64 - j as i64);
+                }
+            }
+            assert_eq!(w[a], d.inv().unwrap());
+        }
+    }
+
+    #[test]
+    fn interpolate_indices_matches_generic_interpolation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for deg in 0..8usize {
+            let p = Poly::random_with_secret(Fp::new(99), deg, &mut rng);
+            // Non-contiguous subset of the grid.
+            let idxs: Vec<usize> = (0..=deg).map(|i| i * 2 + 1).collect();
+            let ys: Vec<Fp> = idxs
+                .iter()
+                .map(|&i| p.eval(Fp::new(i as u64 + 1)))
+                .collect();
+            let q = interpolate_indices(&idxs, &ys);
+            assert_eq!(p, q, "deg {deg}");
+            // Contiguous prefix (cached path).
+            let idxs: Vec<usize> = (0..=deg).collect();
+            let ys: Vec<Fp> = idxs
+                .iter()
+                .map(|&i| p.eval(Fp::new(i as u64 + 1)))
+                .collect();
+            assert_eq!(interpolate_indices(&idxs, &ys), p, "deg {deg} contiguous");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_indices_rejected() {
+        let _ = lagrange_weights(&[1, 3, 1]);
+    }
+
+    #[test]
+    fn empty_interpolation_is_zero() {
+        assert!(interpolate_indices(&[], &[]).is_zero());
+    }
+}

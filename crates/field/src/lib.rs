@@ -9,9 +9,14 @@
 //!   is two adds and a compare; products fit in `u128`).
 //! * [`Poly`] — dense univariate polynomials with evaluation, interpolation,
 //!   Euclidean division and GCD.
+//! * [`grid`] — barycentric Lagrange weights for the fixed share grid
+//!   `x = 1..=n` (cached per `n`, batch-inverted): the fast interpolation
+//!   path every reconstruction in the sharing layer runs on.
 //! * [`rs`] — Reed–Solomon encoding and **Berlekamp–Welch robust decoding**,
 //!   the exact primitive whose `n ≥ deg + 2e + 1` requirement produces the
-//!   paper's `n > 4(k+t)` threshold (Theorem 4.1).
+//!   paper's `n > 4(k+t)` threshold (Theorem 4.1). The decoder solves its
+//!   linear systems in a flat reused scratch matrix with batch-inverted
+//!   pivots (see the module docs).
 //! * [`BigUint`] — a minimal arbitrary-precision unsigned integer, used only
 //!   by the Lemma 6.8 scheduler-class counting (factorials like `(4rn)!`).
 //!
@@ -26,10 +31,11 @@
 
 pub mod bigint;
 pub mod gf;
+pub mod grid;
 pub mod poly;
 pub mod rs;
 
 pub use bigint::BigUint;
 pub use gf::Fp;
 pub use poly::Poly;
-pub use rs::{decode_robust, encode, interpolate_exact, RsError};
+pub use rs::{decode_robust, decode_robust_indices, encode, interpolate_exact, RsError};

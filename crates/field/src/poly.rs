@@ -95,28 +95,90 @@ impl Poly {
 
     /// Lagrange interpolation through `(x_i, y_i)` pairs with distinct `x_i`.
     ///
+    /// O(n²) multiplications and a *single* field inversion: the master
+    /// polynomial `M(x) = ∏(x − x_i)` is built once, each Lagrange basis
+    /// falls out of it by synthetic division, the denominators are `M'`
+    /// evaluations, and their inverses batch via Montgomery's trick. (The
+    /// seed rebuilt every basis from its linear factors — O(n³) — and paid
+    /// one exponentiation-inversion per point.) For share-grid points,
+    /// [`crate::grid::interpolate_indices`] is faster still: its weights
+    /// are cached.
+    ///
     /// # Panics
     ///
     /// Panics if two `x_i` coincide.
     pub fn interpolate(points: &[(Fp, Fp)]) -> Self {
-        let mut acc = Poly::zero();
-        for (i, &(xi, yi)) in points.iter().enumerate() {
-            // Build the Lagrange basis polynomial L_i with L_i(xi)=1.
-            let mut basis = Poly::constant(Fp::ONE);
-            let mut denom = Fp::ONE;
-            for (j, &(xj, _)) in points.iter().enumerate() {
-                if i == j {
-                    continue;
-                }
-                assert!(xi != xj, "interpolation points must be distinct");
-                // basis *= (x - xj)
-                basis = &basis * &Poly::from_coeffs(vec![-xj, Fp::ONE]);
-                denom *= xi - xj;
-            }
-            let scale = yi * denom.inv().expect("distinct points imply nonzero denom");
-            acc = &acc + &basis.scale(scale);
+        let n = points.len();
+        if n == 0 {
+            return Poly::zero();
         }
-        acc
+        let master = Poly::master_coeffs(n, |i| points[i].0);
+        // Denominators d_i = ∏_{j≠i}(x_i − x_j) = M'(x_i); a duplicated
+        // point is a double root of M, making its derivative vanish there.
+        let deriv = Poly::from_coeffs(
+            (0..n)
+                .map(|j| Fp::new(j as u64 + 1) * master[j + 1])
+                .collect(),
+        );
+        let denoms: Vec<Fp> = points.iter().map(|&(x, _)| deriv.eval(x)).collect();
+        assert!(
+            denoms.iter().all(|d| !d.is_zero()),
+            "interpolation points must be distinct"
+        );
+        let weights = Fp::batch_inv(&denoms);
+        Poly::interpolate_with_master(&master, |i| points[i].0, |i| points[i].1, &weights)
+    }
+
+    /// The master polynomial `M(x) = ∏ (x − x_i)` over `n` points given by
+    /// `x_of`, low-to-high coefficients (shared by [`Poly::interpolate`]
+    /// and the grid kernel).
+    pub(crate) fn master_coeffs(n: usize, x_of: impl Fn(usize) -> Fp) -> Vec<Fp> {
+        let mut master = vec![Fp::ZERO; n + 1];
+        master[0] = Fp::ONE;
+        for k in 0..n {
+            let xi = x_of(k);
+            master[k + 1] = master[k];
+            for j in (1..=k).rev() {
+                master[j] = master[j - 1] - xi * master[j];
+            }
+            master[0] = -(xi * master[0]);
+        }
+        master
+    }
+
+    /// The shared interpolation core: given the master polynomial over the
+    /// points and the inverted barycentric denominators (`weights`),
+    /// accumulates `Σ (y_i · w_i) · M(x)/(x − x_i)` with one synthetic
+    /// division per point. Both [`Poly::interpolate`] (derivative-based
+    /// weights) and [`crate::grid::interpolate_indices`] (cached grid
+    /// weights) bottom out here.
+    pub(crate) fn interpolate_with_master(
+        master: &[Fp],
+        x_of: impl Fn(usize) -> Fp,
+        y_of: impl Fn(usize) -> Fp,
+        weights: &[Fp],
+    ) -> Poly {
+        let n = weights.len();
+        debug_assert_eq!(master.len(), n + 1);
+        let mut acc = vec![Fp::ZERO; n];
+        let mut basis = vec![Fp::ZERO; n];
+        for (i, &w) in weights.iter().enumerate() {
+            let scale = y_of(i) * w;
+            if scale.is_zero() {
+                continue;
+            }
+            let xi = x_of(i);
+            let mut carry = master[n];
+            for j in (0..n).rev() {
+                basis[j] = carry;
+                carry = master[j] + xi * carry;
+            }
+            debug_assert!(carry.is_zero(), "x_i must be a root of the master poly");
+            for (a, &b) in acc.iter_mut().zip(basis.iter()) {
+                *a += b * scale;
+            }
+        }
+        Poly::from_coeffs(acc)
     }
 
     /// Multiplies every coefficient by `s`.
@@ -136,7 +198,14 @@ impl Poly {
         if self.coeffs.len() < dd {
             return (Poly::zero(), self.clone());
         }
-        let lead_inv = divisor.coeffs[dd - 1].inv().expect("leading coeff nonzero");
+        // Monic divisors (the common case: Berlekamp–Welch error locators)
+        // skip the leading-coefficient inversion entirely.
+        let lead = divisor.coeffs[dd - 1];
+        let lead_inv = if lead == Fp::ONE {
+            Fp::ONE
+        } else {
+            lead.inv().expect("leading coeff nonzero")
+        };
         let mut rem = self.coeffs.clone();
         let qlen = rem.len() - dd + 1;
         let mut quot = vec![Fp::ZERO; qlen];

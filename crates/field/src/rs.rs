@@ -6,8 +6,17 @@
 //! cheap-talk protocol of Theorem 4.1 the output wire is shared at degree
 //! `2(k+t)` and up to `k+t` shares may lie, which is exactly where
 //! `n > 4(k+t)` comes from.
+//!
+//! Performance: one decode may attempt several error-locator degrees `e`,
+//! and each attempt solves an `n × (deg+2e+2)` linear system. The solver
+//! works in a **flat row-major scratch matrix** allocated once per decode
+//! and refilled per attempt (the seed allocated a fresh `Vec<Vec<Fp>>`
+//! per attempt), runs forward elimination with cross-multiplied row
+//! updates — no per-pivot inversion — and back-substitutes with all pivot
+//! inverses obtained in a *single* batched inversion ([`Fp::batch_inv`]).
 
 use crate::gf::Fp;
+use crate::grid;
 use crate::poly::Poly;
 use std::fmt;
 
@@ -70,6 +79,40 @@ pub fn interpolate_exact(points: &[(Fp, Fp)], deg: usize) -> Result<Poly, RsErro
     Ok(p)
 }
 
+/// Share-grid variant of [`interpolate_exact`]: point `i` is
+/// `(idxs[i] + 1, ys[i])`. Hits the cached barycentric weights of
+/// [`grid`], which is what every reconstruction in the sharing layer
+/// actually interpolates over.
+///
+/// # Errors
+///
+/// As [`interpolate_exact`].
+///
+/// # Panics
+///
+/// Panics if `idxs` and `ys` have different lengths, or if the first
+/// `deg + 1` indices contain a duplicate (later entries are consistency
+/// witnesses, checked as ordinary evaluation points).
+pub fn interpolate_exact_indices(idxs: &[usize], ys: &[Fp], deg: usize) -> Result<Poly, RsError> {
+    assert_eq!(idxs.len(), ys.len(), "one y per share index");
+    if idxs.len() < deg + 1 {
+        return Err(RsError::NotEnoughPoints {
+            have: idxs.len(),
+            need: deg + 1,
+        });
+    }
+    let p = grid::interpolate_indices(&idxs[..deg + 1], &ys[..deg + 1]);
+    if p.degree().map_or(0, |d| d) > deg {
+        return Err(RsError::DecodingFailed);
+    }
+    for (&i, &y) in idxs[deg + 1..].iter().zip(&ys[deg + 1..]) {
+        if p.eval(Fp::new(i as u64 + 1)) != y {
+            return Err(RsError::DecodingFailed);
+        }
+    }
+    Ok(p)
+}
+
 /// Berlekamp–Welch robust decoding.
 ///
 /// Given `n` claimed evaluations `(x_i, y_i)` of a degree-≤`deg` polynomial
@@ -111,8 +154,10 @@ pub fn decode_robust(
     // first is fine: the Berlekamp–Welch system with slack still recovers the
     // codeword when fewer errors occurred, because E(x) picks up spurious
     // roots that cancel in Q/E. We verify the result against the error bound.
+    // The whole workspace is allocated once and reused across attempts.
+    let mut scratch = DecodeScratch::for_attempt(deg, max_errors);
     for e in (0..=max_errors).rev() {
-        if let Some(result) = try_decode(points, deg, e) {
+        if let Some(result) = try_decode(&mut scratch, points, deg, e) {
             let (p, bad) = result;
             if bad.len() <= max_errors {
                 return Ok((p, bad));
@@ -122,12 +167,94 @@ pub fn decode_robust(
     Err(RsError::DecodingFailed)
 }
 
+/// Reusable buffers for one [`decode_robust`] call: the flat row-major
+/// system matrix plus every intermediate vector an attempt needs, so a
+/// failed attempt costs no allocations at all and a successful one
+/// allocates only its returned polynomial and bad-index list.
+struct DecodeScratch {
+    /// Row-major linear system (`unknowns × (unknowns + 1)` cells used).
+    matrix: Vec<Fp>,
+    /// Solution vector of the linear system.
+    sol: Vec<Fp>,
+    /// Pivot positions of the current elimination.
+    pivots: Vec<(u32, u32)>,
+    /// Pivot values / batched inverses.
+    pivot_vals: Vec<Fp>,
+    pivot_invs: Vec<Fp>,
+    /// Long-division state: remainder (dividend) and quotient.
+    rem: Vec<Fp>,
+    quot: Vec<Fp>,
+}
+
+impl DecodeScratch {
+    fn for_attempt(deg: usize, max_errors: usize) -> Self {
+        let max_unknowns = deg + 2 * max_errors + 1;
+        DecodeScratch {
+            matrix: vec![Fp::ZERO; max_unknowns * (max_unknowns + 1)],
+            sol: Vec::with_capacity(max_unknowns),
+            pivots: Vec::with_capacity(max_unknowns),
+            pivot_vals: Vec::with_capacity(max_unknowns),
+            pivot_invs: Vec::with_capacity(max_unknowns),
+            rem: Vec::with_capacity(max_unknowns),
+            quot: Vec::with_capacity(deg + 1),
+        }
+    }
+}
+
+/// Share-grid variant of [`decode_robust`]: point `i` is
+/// `(idxs[i] + 1, ys[i])`, and the returned bad-share positions index into
+/// `idxs`. The exact-interpolation fast path (`max_errors == 0`) runs on
+/// the cached grid weights.
+///
+/// # Errors
+///
+/// As [`decode_robust`].
+///
+/// # Panics
+///
+/// Panics if `idxs` and `ys` have different lengths.
+pub fn decode_robust_indices(
+    idxs: &[usize],
+    ys: &[Fp],
+    deg: usize,
+    max_errors: usize,
+) -> Result<(Poly, Vec<usize>), RsError> {
+    assert_eq!(idxs.len(), ys.len(), "one y per share index");
+    let n = idxs.len();
+    let need = deg + 2 * max_errors + 1;
+    if n < need {
+        return Err(RsError::NotEnoughPoints { have: n, need });
+    }
+    if max_errors == 0 {
+        return interpolate_exact_indices(idxs, ys, deg).map(|p| (p, Vec::new()));
+    }
+    let points: Vec<(Fp, Fp)> = idxs
+        .iter()
+        .zip(ys)
+        .map(|(&i, &y)| (Fp::new(i as u64 + 1), y))
+        .collect();
+    decode_robust(&points, deg, max_errors)
+}
+
 /// One Berlekamp–Welch attempt with exactly-`e` error-locator degree.
 ///
 /// Solve for Q (deg ≤ deg+e) and monic E (deg = e) with Q(x_i) = y_i E(x_i).
 /// Unknowns: q_0..q_{deg+e}, e_0..e_{e-1}  (e_e = 1). Total deg+2e+1.
-#[allow(clippy::needless_range_loop)] // Vandermonde row construction is index-driven
-fn try_decode(points: &[(Fp, Fp)], deg: usize, e: usize) -> Option<(Poly, Vec<usize>)> {
+/// `scratch` provides the system's backing store (row-major, reused across
+/// attempts; only the leading `unknowns * (unknowns + 1)` cells are used).
+///
+/// The system is built from the **first `unknowns` points** only (a square
+/// system). That loses nothing: with at most `e` errors among any
+/// `deg + 2e + 1` points, every nonzero Berlekamp–Welch solution yields
+/// the same `Q/E` — the unique codeword — and the subsequent global
+/// verification (over *all* points) rejects anything else, exactly as it
+/// rejected spurious full-system solutions.
+fn try_decode(
+    ws: &mut DecodeScratch,
+    points: &[(Fp, Fp)],
+    deg: usize,
+    e: usize,
+) -> Option<(Poly, Vec<usize>)> {
     let n = points.len();
     let nq = deg + e + 1; // number of Q coefficients
     let unknowns = nq + e;
@@ -135,93 +262,159 @@ fn try_decode(points: &[(Fp, Fp)], deg: usize, e: usize) -> Option<(Poly, Vec<us
         return None;
     }
 
-    // Build the linear system: for each i,
+    // Build the linear system: for each of the first `unknowns` points,
     //   sum_j q_j x_i^j - y_i sum_{j<e} e_j x_i^j = y_i x_i^e
-    let mut m = vec![vec![Fp::ZERO; unknowns + 1]; n];
-    for (i, &(x, y)) in points.iter().enumerate() {
+    let rows = unknowns;
+    let stride = unknowns + 1;
+    let m = &mut ws.matrix[..rows * stride];
+    for (i, &(x, y)) in points.iter().take(rows).enumerate() {
+        let row = &mut m[i * stride..(i + 1) * stride];
         let mut xp = Fp::ONE;
-        for j in 0..nq {
-            m[i][j] = xp;
+        for cell in row.iter_mut().take(nq) {
+            *cell = xp;
             xp *= x;
         }
-        let mut xp = Fp::ONE;
+        // Reuse the power table just written: row[j] = x^j for j < nq, and
+        // e < nq always, so the E-columns and the rhs need no new powers.
         for j in 0..e {
-            m[i][nq + j] = -(y * xp);
-            xp *= x;
+            row[nq + j] = -(y * row[j]);
         }
-        // rhs: y * x^e
-        m[i][unknowns] = y * x.pow(e as u64);
+        row[unknowns] = y * row[e];
     }
 
-    let sol = solve_linear(&mut m, unknowns)?;
+    if !solve_linear_into(ws, rows, stride, unknowns) {
+        return None;
+    }
 
-    let q = Poly::from_coeffs(sol[..nq].to_vec());
-    let mut ecoeffs = sol[nq..].to_vec();
-    ecoeffs.push(Fp::ONE); // monic
-    let epoly = Poly::from_coeffs(ecoeffs);
-    if epoly.is_zero() {
-        return None;
+    // Q / E by monic long division, in the reused buffers: Q has the first
+    // nq solution cells, E the remaining e plus a forced leading ONE.
+    // deg Q ≤ deg + e and deg E = e, so the quotient has deg + 1 cells.
+    ws.rem.clear();
+    ws.rem.extend_from_slice(&ws.sol[..nq]);
+    let qlen = deg + 1;
+    ws.quot.clear();
+    ws.quot.resize(qlen, Fp::ZERO);
+    for k in (0..qlen).rev() {
+        // Divisor = [sol[nq..nq+e] | ONE]; its leading coefficient is ONE,
+        // so the quotient coefficient is the current remainder head.
+        let coef = ws.rem[k + e];
+        ws.quot[k] = coef;
+        if coef.is_zero() {
+            continue;
+        }
+        for j in 0..e {
+            let d = ws.sol[nq + j];
+            ws.rem[k + j] -= coef * d;
+        }
+        // The leading ONE cancels the head exactly.
+        ws.rem[k + e] = Fp::ZERO;
     }
-    let (p, rem) = q.div_rem(&epoly);
-    if !rem.is_zero() {
-        return None;
+    if ws.rem[..e].iter().any(|c| !c.is_zero()) {
+        return None; // E does not divide Q
     }
-    if p.degree().map_or(0, |d| d) > deg {
-        return None;
-    }
+    // deg(quot) ≤ deg by construction, matching the degree bound.
+
     // Identify corrupted indices and verify consistency everywhere else.
+    let quot = &ws.quot;
     let mut bad = Vec::new();
     for (i, &(x, y)) in points.iter().enumerate() {
-        if p.eval(x) != y {
+        let mut acc = Fp::ZERO;
+        for &c in quot.iter().rev() {
+            acc = acc * x + c;
+        }
+        if acc != y {
             bad.push(i);
         }
     }
-    Some((p, bad))
+    Some((Poly::from_coeffs(ws.quot.clone()), bad))
 }
 
-/// Gaussian elimination over Fp; returns one solution of the (possibly
-/// underdetermined) system, or `None` if inconsistent.
-#[allow(clippy::needless_range_loop)] // Gaussian elimination is index-driven
-fn solve_linear(m: &mut [Vec<Fp>], unknowns: usize) -> Option<Vec<Fp>> {
-    let rows = m.len();
+/// Gaussian elimination over Fp on the workspace's flat row-major matrix
+/// (`rows` rows of `stride` cells, `unknowns` coefficient columns plus the
+/// rhs). On success, `ws.sol` holds one solution of the (possibly
+/// underdetermined) system with free variables at zero; returns `false`
+/// if the system is inconsistent.
+///
+/// Forward elimination uses cross-multiplied row updates
+/// (`row' = pivot·row − factor·pivot_row`) so no pivot is inverted during
+/// the sweep; back-substitution then inverts all pivots in one batched
+/// inversion. Every intermediate lives in the workspace — zero
+/// allocations.
+fn solve_linear_into(ws: &mut DecodeScratch, rows: usize, stride: usize, unknowns: usize) -> bool {
+    let DecodeScratch {
+        matrix,
+        sol,
+        pivots,
+        pivot_vals,
+        pivot_invs,
+        ..
+    } = ws;
+    let m = &mut matrix[..rows * stride];
+    pivots.clear();
     let mut pivot_row = 0usize;
-    let mut pivot_cols = Vec::new();
     for col in 0..unknowns {
         // Find a pivot.
-        let Some(r) = (pivot_row..rows).find(|&r| !m[r][col].is_zero()) else {
+        let Some(r) = (pivot_row..rows).find(|&r| !m[r * stride + col].is_zero()) else {
             continue;
         };
-        m.swap(pivot_row, r);
-        let inv = m[pivot_row][col].inv().expect("pivot nonzero");
-        for j in col..=unknowns {
-            m[pivot_row][j] *= inv;
+        if r != pivot_row {
+            // Swap the remaining (col..) segments of the two rows.
+            let (a, b) = m.split_at_mut(r * stride);
+            a[pivot_row * stride + col..pivot_row * stride + stride]
+                .swap_with_slice(&mut b[col..stride]);
         }
-        for r2 in 0..rows {
-            if r2 != pivot_row && !m[r2][col].is_zero() {
-                let factor = m[r2][col];
-                for j in col..=unknowns {
-                    m[r2][j] = m[r2][j] - factor * m[pivot_row][j];
-                }
+        let piv_at = pivot_row * stride;
+        for r2 in pivot_row + 1..rows {
+            let row_at = r2 * stride;
+            let factor = m[row_at + col];
+            if factor.is_zero() {
+                continue;
+            }
+            let piv = m[piv_at + col];
+            m[row_at + col] = Fp::ZERO;
+            // Cross-multiplied update, one fused reduction per cell.
+            let (head, tail) = m.split_at_mut(row_at);
+            let pivot_row_cells = &head[piv_at + col + 1..piv_at + stride];
+            let target_cells = &mut tail[col + 1..stride];
+            for (t, &p) in target_cells.iter_mut().zip(pivot_row_cells) {
+                *t = Fp::mul_sub(piv, *t, factor, p);
             }
         }
-        pivot_cols.push((pivot_row, col));
+        pivots.push((pivot_row as u32, col as u32));
         pivot_row += 1;
         if pivot_row == rows {
             break;
         }
     }
-    // Check consistency of the remaining rows.
+    // Rows below the last pivot have all-zero coefficients; a nonzero rhs
+    // there means the system is inconsistent.
     for r in pivot_row..rows {
-        if m[r][..unknowns].iter().all(|c| c.is_zero()) && !m[r][unknowns].is_zero() {
-            return None;
+        debug_assert!(m[r * stride..r * stride + unknowns]
+            .iter()
+            .all(|c| c.is_zero()));
+        if !m[r * stride + unknowns].is_zero() {
+            return false;
         }
     }
-    // Free variables get zero.
-    let mut sol = vec![Fp::ZERO; unknowns];
-    for &(r, c) in &pivot_cols {
-        sol[c] = m[r][unknowns];
+    // Back-substitution, free variables at zero, all pivots inverted at once.
+    pivot_vals.clear();
+    pivot_vals.extend(
+        pivots
+            .iter()
+            .map(|&(r, c)| m[r as usize * stride + c as usize]),
+    );
+    pivot_invs.clear();
+    pivot_invs.resize(pivot_vals.len(), Fp::ZERO);
+    Fp::batch_inv_into(pivot_vals, pivot_invs);
+    sol.clear();
+    sol.resize(unknowns, Fp::ZERO);
+    for (&(r, c), &inv) in pivots.iter().zip(pivot_invs.iter()).rev() {
+        let (r, c) = (r as usize, c as usize);
+        let row = &m[r * stride..(r + 1) * stride];
+        let acc = row[unknowns] - Fp::dot(&row[c + 1..unknowns], &sol[c + 1..unknowns]);
+        sol[c] = acc * inv;
     }
-    Some(sol)
+    true
 }
 
 #[cfg(test)]
@@ -271,6 +464,41 @@ mod tests {
                 assert_eq!(bad, expect_bad, "deg={deg} e={e}");
             }
         }
+    }
+
+    #[test]
+    fn decode_robust_indices_matches_point_form() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let deg = 3;
+        let e = 2;
+        let p = Poly::random_with_secret(Fp::new(41), deg, &mut rng);
+        // A non-contiguous subset of the share grid, as OEC sees it.
+        let idxs: Vec<usize> = vec![0, 1, 3, 4, 6, 7, 8, 10, 11, 12];
+        let mut ys: Vec<Fp> = idxs
+            .iter()
+            .map(|&i| p.eval(Fp::new(i as u64 + 1)))
+            .collect();
+        ys[2] += Fp::new(5);
+        ys[7] += Fp::new(9);
+        let pts: Vec<(Fp, Fp)> = idxs
+            .iter()
+            .zip(&ys)
+            .map(|(&i, &y)| (Fp::new(i as u64 + 1), y))
+            .collect();
+        let a = decode_robust_indices(&idxs, &ys, deg, e).unwrap();
+        let b = decode_robust(&pts, deg, e).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.0, p);
+        // And the exact path with no corruption.
+        let clean: Vec<Fp> = idxs
+            .iter()
+            .map(|&i| p.eval(Fp::new(i as u64 + 1)))
+            .collect();
+        assert_eq!(
+            interpolate_exact_indices(&idxs, &clean, deg).unwrap(),
+            p,
+            "grid exact path"
+        );
     }
 
     #[test]
@@ -361,6 +589,13 @@ mod tests {
         pts[4].1 += Fp::ONE;
         assert_eq!(
             interpolate_exact(&pts, 2).unwrap_err(),
+            RsError::DecodingFailed
+        );
+        // The grid path fails identically.
+        let idxs: Vec<usize> = (0..5).collect();
+        let ys: Vec<Fp> = pts.iter().map(|&(_, y)| y).collect();
+        assert_eq!(
+            interpolate_exact_indices(&idxs, &ys, 2).unwrap_err(),
             RsError::DecodingFailed
         );
     }

@@ -47,6 +47,21 @@ proptest! {
         prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
     }
 
+    /// Montgomery's trick agrees with Fermat inversion on every nonzero
+    /// entry, for arbitrary mixes of zero and nonzero inputs.
+    #[test]
+    fn batch_inv_matches_scalar_inv(xs in proptest::collection::vec(any::<u64>(), 0..40)) {
+        let xs: Vec<Fp> = xs.into_iter().map(Fp::new).collect();
+        let invs = Fp::batch_inv(&xs);
+        prop_assert_eq!(invs.len(), xs.len());
+        for (x, got) in xs.iter().zip(&invs) {
+            match x.inv() {
+                Some(inv) => prop_assert_eq!(*got, inv),
+                None => prop_assert_eq!(*got, Fp::ZERO),
+            }
+        }
+    }
+
     #[test]
     fn poly_add_is_pointwise(p in arb_poly(6), q in arb_poly(6), x in arb_fp()) {
         let sum = &p + &q;

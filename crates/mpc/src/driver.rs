@@ -25,8 +25,15 @@ pub struct MpcDriver {
 }
 
 impl MpcDriver {
-    /// Creates the driver for player `me` contributing `inputs`.
-    pub fn new(cfg: MpcConfig, circuit: Arc<Circuit>, me: usize, inputs: Vec<Fp>) -> Self {
+    /// Creates the driver for player `me` contributing `inputs`. The
+    /// configuration is shared — pass an `Arc<MpcConfig>` so the `n`
+    /// drivers of one execution share a single allocation.
+    pub fn new(
+        cfg: impl Into<Arc<MpcConfig>>,
+        circuit: Arc<Circuit>,
+        me: usize,
+        inputs: Vec<Fp>,
+    ) -> Self {
         MpcDriver {
             engine: MpcEngine::new(cfg, circuit, me),
             inputs: Some(inputs),
@@ -79,8 +86,10 @@ mod tests {
 
     fn drivers(cfg: &MpcConfig, circuit: Circuit, inputs: &[Vec<Fp>]) -> Vec<MpcDriver> {
         let circuit = Arc::new(circuit);
+        // One shared config allocation for all n drivers.
+        let cfg = Arc::new(cfg.clone());
         (0..cfg.n)
-            .map(|me| MpcDriver::new(cfg.clone(), circuit.clone(), me, inputs[me].clone()))
+            .map(|me| MpcDriver::new(Arc::clone(&cfg), circuit.clone(), me, inputs[me].clone()))
             .collect()
     }
 

@@ -79,7 +79,7 @@ enum PendingGate {
 /// One player's engine for one MPC execution. See the crate docs for the
 /// protocol description.
 pub struct MpcEngine {
-    cfg: MpcConfig,
+    cfg: Arc<MpcConfig>,
     circuit: Arc<Circuit>,
     me: usize,
     // Per-circuit derived counts.
@@ -117,13 +117,17 @@ pub struct MpcEngine {
 }
 
 impl MpcEngine {
-    /// Creates an engine for player `me`.
+    /// Creates an engine for player `me`. The configuration is shared:
+    /// pass an `Arc<MpcConfig>` (or a plain `MpcConfig`, converted for
+    /// you) so the n engines of one execution bump a refcount instead of
+    /// deep-cloning the defaults table per player.
     ///
     /// # Panics
     ///
     /// Panics if the configuration violates its mode's thresholds
     /// (see [`MpcConfig::validate`]).
-    pub fn new(cfg: MpcConfig, circuit: Arc<Circuit>, me: usize) -> Self {
+    pub fn new(cfg: impl Into<Arc<MpcConfig>>, circuit: Arc<Circuit>, me: usize) -> Self {
+        let cfg: Arc<MpcConfig> = cfg.into();
         cfg.validate(circuit.inputs_per_player());
         let n = cfg.n;
         assert_eq!(n, circuit.num_players(), "config/circuit player mismatch");
@@ -581,7 +585,10 @@ impl MpcEngine {
         if !self.started_eval || self.status != MpcStatus::Running {
             return;
         }
-        let gates = self.circuit.gates().to_vec();
+        // Clone the circuit handle (refcount bump), not the gate list: this
+        // runs once per delivered message.
+        let circuit = Arc::clone(&self.circuit);
+        let gates = circuit.gates();
         while self.pc < gates.len() {
             if self.status != MpcStatus::Running {
                 return;
@@ -667,20 +674,25 @@ impl MpcEngine {
     /// For each core contributor (in sorted order): verify the contributed
     /// value is a bit by opening `b·(b−1)`, then XOR-fold the valid bits.
     fn run_randbit(&mut self, run: &mut RandBitRun, out: &mut Vec<Outgoing<MpcMsg>>) -> bool {
-        let core = self.core.clone().expect("core fixed");
+        // Address the core by index instead of cloning the member list on
+        // every call (this runs once per delivered message while a RandBit
+        // gate is pending).
+        let core_len = self.core.as_ref().expect("core fixed").len();
         loop {
             if self.status != MpcStatus::Running {
                 return false;
             }
-            match run.stage.clone() {
+            // Take the stage by value (leaving the cheap `Idle`) rather
+            // than cloning it on every poll.
+            match std::mem::replace(&mut run.stage, RbStage::Idle) {
                 RbStage::Idle => {
-                    if run.pos >= core.len() {
+                    if run.pos >= core_len {
                         // Fold finished; an (impossible in practice) empty
                         // valid set degrades to the constant 0.
                         run.result = Some(run.acc.unwrap_or(Fp::ZERO));
                         return true;
                     }
-                    let d = core[run.pos];
+                    let d = self.core.as_ref().expect("core fixed")[run.pos];
                     let b = match &self.dealer_shares[d] {
                         Some(shares) => shares[self.rb_coord(d, run.ordinal)],
                         None => Fp::ZERO,
@@ -789,9 +801,10 @@ mod tests {
     ) -> (Vec<MpcStatus>, u64) {
         let n = cfg.n;
         let circuit = Arc::new(circuit);
+        let cfg = Arc::new(cfg); // shared by all n engines
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
         let mut engines: Vec<MpcEngine> = (0..n)
-            .map(|i| MpcEngine::new(cfg.clone(), circuit.clone(), i))
+            .map(|i| MpcEngine::new(Arc::clone(&cfg), circuit.clone(), i))
             .collect();
         let mut net = Net::new(n, byz.to_vec(), seed, behavior);
         for i in 0..n {

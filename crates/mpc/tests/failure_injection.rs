@@ -36,8 +36,10 @@ fn drivers(
     circuit: &Arc<mediator_circuits::Circuit>,
     inputs: &[Vec<Fp>],
 ) -> Vec<MpcDriver> {
+    // One shared config allocation for all n drivers.
+    let cfg = Arc::new(cfg.clone());
     (0..cfg.n)
-        .map(|me| MpcDriver::new(cfg.clone(), circuit.clone(), me, inputs[me].clone()))
+        .map(|me| MpcDriver::new(Arc::clone(&cfg), circuit.clone(), me, inputs[me].clone()))
         .collect()
 }
 

@@ -74,7 +74,7 @@ impl CovertDecoder {
 }
 
 impl Scheduler for CovertDecoder {
-    fn next(&mut self, pending: &[PendingView], rng: &mut StdRng) -> SchedChoice {
+    fn next(&mut self, pending: &[PendingView], _now: u64, rng: &mut StdRng) -> SchedChoice {
         // Prefer self-messages so the count finishes early; otherwise random.
         if let Some((i, v)) = pending
             .iter()
@@ -166,7 +166,7 @@ impl CovertSignaller {
 }
 
 impl Scheduler for CovertSignaller {
-    fn next(&mut self, pending: &[PendingView], rng: &mut StdRng) -> SchedChoice {
+    fn next(&mut self, pending: &[PendingView], _now: u64, rng: &mut StdRng) -> SchedChoice {
         // Deliver start signals first.
         if let Some((i, _)) = pending.iter().enumerate().find(|(_, v)| v.src.is_none()) {
             return SchedChoice::Deliver(i);

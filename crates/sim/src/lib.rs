@@ -62,11 +62,11 @@ pub mod world;
 pub use process::{Action, Ctx, Process, ProcessId};
 pub use sansio::{
     map_batch, route_batch, run_machines, Behavior, BehaviorFn, ByzantineProcess, Dest, Outgoing,
-    RunOutputs, SansIo, SansIoProcess,
+    Payload, RunOutputs, SansIo, SansIoProcess,
 };
 pub use scheduler::{
     FifoScheduler, LifoScheduler, PartitionScheduler, PendingView, RandomScheduler,
     RelaxedScheduler, SchedChoice, Scheduler, SchedulerKind, TargetedDelayScheduler,
 };
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceMode};
 pub use world::{Outcome, TerminationKind, World};

@@ -43,11 +43,20 @@ pub struct Ctx<'a, M> {
 }
 
 impl<'a, M> Ctx<'a, M> {
-    pub(crate) fn new(me: ProcessId, step: u64, rng: &'a mut StdRng) -> Self {
+    /// `outbox` is a recycled buffer from the embedding world (must be
+    /// empty): activations are frequent and the buffer's capacity is the
+    /// point — one growth curve per run instead of one per activation.
+    pub(crate) fn new(
+        me: ProcessId,
+        step: u64,
+        rng: &'a mut StdRng,
+        outbox: Vec<(ProcessId, M)>,
+    ) -> Self {
+        debug_assert!(outbox.is_empty());
         Ctx {
             me,
             step,
-            outbox: Vec::new(),
+            outbox,
             made_move: None,
             will: None,
             halted: false,
@@ -135,7 +144,7 @@ mod tests {
     #[test]
     fn ctx_collects_sends_in_order() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut ctx: Ctx<&str> = Ctx::new(3, 9, &mut rng);
+        let mut ctx: Ctx<&str> = Ctx::new(3, 9, &mut rng, Vec::new());
         ctx.send(1, "a");
         ctx.send(2, "b");
         assert_eq!(ctx.me(), 3);
@@ -148,7 +157,7 @@ mod tests {
     #[test]
     fn first_move_wins() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut ctx: Ctx<()> = Ctx::new(0, 0, &mut rng);
+        let mut ctx: Ctx<()> = Ctx::new(0, 0, &mut rng, Vec::new());
         ctx.make_move(5);
         ctx.make_move(9);
         assert_eq!(ctx.finish().made_move, Some(5));
@@ -157,12 +166,12 @@ mod tests {
     #[test]
     fn will_can_be_overwritten_and_cleared() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut ctx: Ctx<()> = Ctx::new(0, 0, &mut rng);
+        let mut ctx: Ctx<()> = Ctx::new(0, 0, &mut rng, Vec::new());
         ctx.set_will(7);
         ctx.set_will(8);
         assert_eq!(ctx.finish().will, Some((8, false)));
 
-        let mut ctx: Ctx<()> = Ctx::new(0, 0, &mut rng);
+        let mut ctx: Ctx<()> = Ctx::new(0, 0, &mut rng, Vec::new());
         ctx.set_will(7);
         ctx.clear_will();
         assert_eq!(ctx.finish().will, Some((0, true)));

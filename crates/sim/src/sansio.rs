@@ -33,6 +33,88 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// A shared message payload: `Arc` with value semantics.
+///
+/// [`route_batch`] expands a [`Dest::All`] batch by *cloning* the message
+/// once per destination — for a `Vec<Fp>`-bearing payload that used to be
+/// `n` deep copies per broadcast. Wrapping the heavy part of a message in
+/// `Payload` turns each of those clones into a refcount bump; the receiving
+/// state machine reads through [`Deref`] or takes ownership with
+/// [`Payload::into_inner`] (free when it holds the last reference, e.g.
+/// point-to-point messages). Comparisons forward to the payload value with
+/// a pointer-equality fast path, so wire types keep deriving
+/// `PartialEq`/`Ord` and broadcast copies compare equal in O(1). The
+/// comparison impls require `T: Eq`/`T: Ord` (not merely the partial
+/// forms): reflexivity is what makes the pointer fast path sound, and
+/// every wire payload is an `Eq` type anyway.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Payload<T>(Arc<T>);
+
+impl<T> Payload<T> {
+    /// Wraps a value for shared fan-out.
+    pub fn new(value: T) -> Self {
+        Payload(Arc::new(value))
+    }
+
+    /// Takes the value back out: free if this is the last reference
+    /// (point-to-point delivery), one clone otherwise.
+    pub fn into_inner(self) -> T
+    where
+        T: Clone,
+    {
+        Arc::try_unwrap(self.0).unwrap_or_else(|arc| (*arc).clone())
+    }
+}
+
+impl<T> Clone for Payload<T> {
+    fn clone(&self) -> Self {
+        Payload(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::ops::Deref for Payload<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> From<T> for Payload<T> {
+    fn from(value: T) -> Self {
+        Payload::new(value)
+    }
+}
+
+impl<T: Eq> PartialEq for Payload<T> {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl<T: Eq> Eq for Payload<T> {}
+
+impl<T: Ord> PartialOrd for Payload<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Ord> Ord for Payload<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        self.0.cmp(&other.0)
+    }
+}
+
+impl<T: std::hash::Hash> std::hash::Hash for Payload<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
 
 /// Where an outgoing message goes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

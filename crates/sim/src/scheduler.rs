@@ -9,13 +9,21 @@
 //! force-delivered. Relaxed schedulers (allowed only in mediator games, §5)
 //! may instead [`SchedChoice::Drop`] events, subject to the all-or-none
 //! batch rule, which the `World` enforces by dropping whole batches.
+//!
+//! Performance note: every field of a [`PendingView`] is fixed at the
+//! moment the event is queued, so the `World` maintains the view array
+//! *incrementally* (push on send, `swap_remove` on dispatch) instead of
+//! rebuilding it each step. An event's age is therefore derived — the view
+//! stores its birth step and [`Scheduler::next`] receives the current step
+//! counter (`now`); call [`PendingView::age`] to recover it.
 
 use crate::process::ProcessId;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Environment-visible metadata of one pending event.
+/// Environment-visible metadata of one pending event. All fields are
+/// immutable for the lifetime of the event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PendingView {
     /// `None` for a start signal, `Some(src)` for a message.
@@ -28,8 +36,16 @@ pub struct PendingView {
     pub seq: u64,
     /// Batch id: events emitted in the same activation share it.
     pub batch: u64,
-    /// Steps this event has been pending.
-    pub age: u64,
+    /// Step at which the event entered the pending set (0 for start
+    /// signals: the game "begins" before the first step).
+    pub born: u64,
+}
+
+impl PendingView {
+    /// Steps this event has been pending as of step `now`.
+    pub fn age(&self, now: u64) -> u64 {
+        now.saturating_sub(self.born)
+    }
 }
 
 /// A scheduler's decision for one step.
@@ -45,10 +61,11 @@ pub enum SchedChoice {
 /// An environment strategy: selects the next pending event.
 ///
 /// Implementations must return an index `< pending.len()`; `pending` is
-/// never empty when `next` is called.
+/// never empty when `next` is called. `now` is the world's step counter
+/// (so age-sensitive policies can compute [`PendingView::age`]).
 pub trait Scheduler {
     /// Chooses the next event to dispatch or drop.
-    fn next(&mut self, pending: &[PendingView], rng: &mut StdRng) -> SchedChoice;
+    fn next(&mut self, pending: &[PendingView], now: u64, rng: &mut StdRng) -> SchedChoice;
 
     /// A human-readable name for reports.
     fn name(&self) -> &'static str {
@@ -146,7 +163,7 @@ impl PartitionScheduler {
 }
 
 impl Scheduler for PartitionScheduler {
-    fn next(&mut self, pending: &[PendingView], rng: &mut StdRng) -> SchedChoice {
+    fn next(&mut self, pending: &[PendingView], _now: u64, rng: &mut StdRng) -> SchedChoice {
         self.steps += 1;
         if self.steps > self.heal_after {
             return SchedChoice::Deliver(rng.gen_range(0..pending.len()));
@@ -182,7 +199,7 @@ impl RandomScheduler {
 }
 
 impl Scheduler for RandomScheduler {
-    fn next(&mut self, pending: &[PendingView], rng: &mut StdRng) -> SchedChoice {
+    fn next(&mut self, pending: &[PendingView], _now: u64, rng: &mut StdRng) -> SchedChoice {
         SchedChoice::Deliver(rng.gen_range(0..pending.len()))
     }
     fn name(&self) -> &'static str {
@@ -195,7 +212,7 @@ impl Scheduler for RandomScheduler {
 pub struct FifoScheduler;
 
 impl Scheduler for FifoScheduler {
-    fn next(&mut self, pending: &[PendingView], _rng: &mut StdRng) -> SchedChoice {
+    fn next(&mut self, pending: &[PendingView], _now: u64, _rng: &mut StdRng) -> SchedChoice {
         let i = pending
             .iter()
             .enumerate()
@@ -214,7 +231,7 @@ impl Scheduler for FifoScheduler {
 pub struct LifoScheduler;
 
 impl Scheduler for LifoScheduler {
-    fn next(&mut self, pending: &[PendingView], _rng: &mut StdRng) -> SchedChoice {
+    fn next(&mut self, pending: &[PendingView], _now: u64, _rng: &mut StdRng) -> SchedChoice {
         let i = pending
             .iter()
             .enumerate()
@@ -249,7 +266,7 @@ impl TargetedDelayScheduler {
 }
 
 impl Scheduler for TargetedDelayScheduler {
-    fn next(&mut self, pending: &[PendingView], rng: &mut StdRng) -> SchedChoice {
+    fn next(&mut self, pending: &[PendingView], _now: u64, rng: &mut StdRng) -> SchedChoice {
         let non_victim: Vec<usize> = pending
             .iter()
             .enumerate()
@@ -294,7 +311,7 @@ impl RelaxedScheduler {
 }
 
 impl Scheduler for RelaxedScheduler {
-    fn next(&mut self, pending: &[PendingView], rng: &mut StdRng) -> SchedChoice {
+    fn next(&mut self, pending: &[PendingView], _now: u64, rng: &mut StdRng) -> SchedChoice {
         if self.delivered >= self.drop_after {
             if let Some((i, _)) = pending
                 .iter()
@@ -325,7 +342,7 @@ mod tests {
                 k: 0,
                 seq: 0,
                 batch: 0,
-                age: 5,
+                born: 0,
             },
             PendingView {
                 src: Some(1),
@@ -333,7 +350,7 @@ mod tests {
                 k: 1,
                 seq: 3,
                 batch: 1,
-                age: 2,
+                born: 3,
             },
             PendingView {
                 src: Some(2),
@@ -341,16 +358,26 @@ mod tests {
                 k: 1,
                 seq: 7,
                 batch: 2,
-                age: 0,
+                born: 5,
             },
         ]
+    }
+
+    #[test]
+    fn age_is_derived_from_birth_step() {
+        let v = views();
+        assert_eq!(v[0].age(5), 5);
+        assert_eq!(v[1].age(5), 2);
+        assert_eq!(v[2].age(5), 0);
+        // `now` never runs behind `born`, but saturation keeps it total.
+        assert_eq!(v[2].age(0), 0);
     }
 
     #[test]
     fn fifo_picks_lowest_seq() {
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(
-            FifoScheduler.next(&views(), &mut rng),
+            FifoScheduler.next(&views(), 5, &mut rng),
             SchedChoice::Deliver(0)
         );
     }
@@ -359,7 +386,7 @@ mod tests {
     fn lifo_picks_highest_seq() {
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(
-            LifoScheduler.next(&views(), &mut rng),
+            LifoScheduler.next(&views(), 5, &mut rng),
             SchedChoice::Deliver(2)
         );
     }
@@ -370,7 +397,7 @@ mod tests {
         let mut r2 = StdRng::seed_from_u64(5);
         let mut s = RandomScheduler::new();
         for _ in 0..20 {
-            assert_eq!(s.next(&views(), &mut r1), s.next(&views(), &mut r2));
+            assert_eq!(s.next(&views(), 0, &mut r1), s.next(&views(), 0, &mut r2));
         }
     }
 
@@ -381,7 +408,7 @@ mod tests {
         for _ in 0..20 {
             // Events 1 (dst=2) and 2 (src=2) involve the victim; only event 0
             // is selectable.
-            assert_eq!(s.next(&views(), &mut rng), SchedChoice::Deliver(0));
+            assert_eq!(s.next(&views(), 0, &mut rng), SchedChoice::Deliver(0));
         }
     }
 
@@ -389,7 +416,7 @@ mod tests {
     fn targeted_delay_falls_back_when_only_victim_events_remain() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = TargetedDelayScheduler::new(vec![0, 1, 2]);
-        let c = s.next(&views(), &mut rng);
+        let c = s.next(&views(), 0, &mut rng);
         assert!(matches!(c, SchedChoice::Deliver(_)));
     }
 
@@ -398,7 +425,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = RelaxedScheduler::new(vec![1], 0);
         // Event 1 has src=1: must be dropped.
-        assert_eq!(s.next(&views(), &mut rng), SchedChoice::Drop(1));
+        assert_eq!(s.next(&views(), 0, &mut rng), SchedChoice::Drop(1));
     }
 
     #[test]
@@ -429,7 +456,7 @@ mod tests {
             k: 1,
             seq: 0,
             batch: 0,
-            age: 0,
+            born: 0,
         };
         let cross = PendingView {
             src: Some(0),
@@ -437,22 +464,22 @@ mod tests {
             k: 1,
             seq: 1,
             batch: 0,
-            age: 0,
+            born: 0,
         };
         for _ in 0..50 {
             assert_eq!(
-                s.next(&[within, cross], &mut rng),
+                s.next(&[within, cross], 0, &mut rng),
                 SchedChoice::Deliver(0),
                 "cross-partition message must wait"
             );
         }
         // Only cross traffic pending: the scheduler must not deadlock the
         // model — it falls back to delivering it.
-        let c = s.next(&[cross], &mut rng);
+        let c = s.next(&[cross], 0, &mut rng);
         assert_eq!(c, SchedChoice::Deliver(0));
         // After healing, anything goes.
         let mut s = PartitionScheduler::new(vec![0, 1], 0);
-        let got = s.next(&[within, cross], &mut rng);
+        let got = s.next(&[within, cross], 0, &mut rng);
         assert!(matches!(got, SchedChoice::Deliver(_)));
     }
 }

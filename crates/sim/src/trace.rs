@@ -6,6 +6,16 @@
 //! this crate see exactly this information, and [`Trace`] records it for the
 //! whole run so that experiments can count messages and reconstruct
 //! scheduler-equivalence classes.
+//!
+//! Long benchmark runs dispatch millions of events; storing every one is
+//! pure overhead when only the counters matter. [`TraceMode`] therefore
+//! lets a [`World`](crate::World) bound the recording: [`TraceMode::Full`]
+//! (the default — every event, what the trace-equality suites compare),
+//! [`TraceMode::Ring`] (the last `cap` events in a ring buffer — enough
+//! context to debug a failure near the end of a long run), and
+//! [`TraceMode::Off`] (counters only). The event counters are maintained
+//! incrementally in every mode, so [`Trace::sent_count`] and friends are
+//! exact — and O(1) — regardless of how much of the event stream is kept.
 
 use crate::process::ProcessId;
 use serde::{Deserialize, Serialize};
@@ -47,58 +57,130 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// The full message pattern of a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// How much of the event stream a [`Trace`] retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TraceMode {
+    /// Record every event (the default; required by pattern-equality tests).
+    #[default]
+    Full,
+    /// Keep only the most recent `cap` events (ring buffer).
+    Ring(usize),
+    /// Keep no events; counters stay exact.
+    Off,
+}
+
+/// The message pattern of a run: retained events plus exact counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    mode: TraceMode,
+    /// Ring write cursor: index of the *oldest* retained event once the
+    /// buffer has wrapped (always 0 in [`TraceMode::Full`]).
+    head: usize,
+    started: u64,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty full-recording trace.
     pub fn new() -> Self {
-        Trace::default()
+        Trace::with_mode(TraceMode::Full)
+    }
+
+    /// Creates an empty trace with the given retention mode.
+    pub fn with_mode(mode: TraceMode) -> Self {
+        Trace {
+            events: Vec::new(),
+            mode,
+            head: 0,
+            started: 0,
+            sent: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The retention mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
     }
 
     pub(crate) fn push(&mut self, e: TraceEvent) {
-        self.events.push(e);
+        match e {
+            TraceEvent::Started { .. } => self.started += 1,
+            TraceEvent::Sent { .. } => self.sent += 1,
+            TraceEvent::Delivered { .. } => self.delivered += 1,
+            TraceEvent::Dropped { .. } => self.dropped += 1,
+        }
+        match self.mode {
+            TraceMode::Full => self.events.push(e),
+            TraceMode::Off => {}
+            TraceMode::Ring(cap) => {
+                if cap == 0 {
+                    return;
+                }
+                if self.events.len() < cap {
+                    self.events.push(e);
+                } else {
+                    self.events[self.head] = e;
+                    self.head = (self.head + 1) % cap;
+                }
+            }
+        }
     }
 
     /// Appends an event. Traces are plain data; building them by hand is
     /// useful for testing pattern-classification tooling.
     pub fn push_event(&mut self, e: TraceEvent) {
-        self.events.push(e);
+        self.push(e);
     }
 
-    /// All events, in dispatch order.
+    /// The retained events. In [`TraceMode::Full`] this is the complete
+    /// pattern in dispatch order; in [`TraceMode::Ring`] use
+    /// [`Trace::recent`] instead (this slice is in storage, not
+    /// chronological, order once the ring has wrapped).
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
-    /// Number of messages sent.
+    /// The retained events in chronological order (all of them in
+    /// [`TraceMode::Full`], the trailing window in [`TraceMode::Ring`]).
+    pub fn recent(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (older, newer) = self.events.split_at(self.head.min(self.events.len()));
+        newer.iter().chain(older.iter())
+    }
+
+    /// Number of messages sent (exact in every mode).
     pub fn sent_count(&self) -> u64 {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Sent { .. }))
-            .count() as u64
+        self.sent
     }
 
-    /// Number of messages delivered.
+    /// Number of messages delivered (exact in every mode).
     pub fn delivered_count(&self) -> u64 {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Delivered { .. }))
-            .count() as u64
+        self.delivered
     }
 
-    /// Number of messages dropped by a relaxed scheduler.
+    /// Number of messages dropped by a relaxed scheduler (exact in every
+    /// mode).
     pub fn dropped_count(&self) -> u64 {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Dropped { .. }))
-            .count() as u64
+        self.dropped
     }
 
-    /// Messages sent by a specific process.
+    /// Number of start signals delivered (exact in every mode).
+    pub fn started_count(&self) -> u64 {
+        self.started
+    }
+
+    /// Messages sent by a specific process, counted over the *retained*
+    /// events (the full pattern in [`TraceMode::Full`]).
     pub fn sent_by(&self, p: ProcessId) -> u64 {
         self.events
             .iter()
@@ -106,9 +188,10 @@ impl Trace {
             .count() as u64
     }
 
-    /// Renders the pattern in the paper's tuple notation.
+    /// Renders the retained pattern in the paper's tuple notation
+    /// (chronological order).
     pub fn to_pattern_string(&self) -> String {
-        let parts: Vec<String> = self.events.iter().map(|e| e.to_string()).collect();
+        let parts: Vec<String> = self.recent().map(|e| e.to_string()).collect();
         parts.join(", ")
     }
 }
@@ -150,5 +233,47 @@ mod tests {
             t.to_pattern_string(),
             "(start,0), (s,0,3,1), (s,1,0,1), (s,0,3,2), (d,0,3,2)"
         );
+    }
+
+    #[test]
+    fn ring_mode_keeps_trailing_window_and_exact_counters() {
+        let mut t = Trace::with_mode(TraceMode::Ring(3));
+        for k in 1..=7u64 {
+            t.push(TraceEvent::Sent { src: 0, dst: 1, k });
+        }
+        assert_eq!(t.sent_count(), 7, "counters stay exact");
+        let ks: Vec<u64> = t
+            .recent()
+            .map(|e| match e {
+                TraceEvent::Sent { k, .. } => *k,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ks, vec![5, 6, 7], "last `cap` events, in order");
+    }
+
+    #[test]
+    fn off_mode_records_nothing_but_counts_everything() {
+        let mut t = Trace::with_mode(TraceMode::Off);
+        t.push(TraceEvent::Started { p: 2 });
+        t.push(TraceEvent::Dropped {
+            src: 1,
+            dst: 2,
+            k: 1,
+        });
+        assert!(t.events().is_empty());
+        assert_eq!(t.started_count(), 1);
+        assert_eq!(t.dropped_count(), 1);
+        assert_eq!(t.to_pattern_string(), "");
+    }
+
+    #[test]
+    fn full_mode_recent_matches_events() {
+        let mut t = Trace::new();
+        for k in 1..=4u64 {
+            t.push(TraceEvent::Sent { src: 0, dst: 1, k });
+        }
+        let via_recent: Vec<TraceEvent> = t.recent().copied().collect();
+        assert_eq!(via_recent.as_slice(), t.events());
     }
 }

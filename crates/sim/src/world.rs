@@ -1,8 +1,40 @@
-//! The deterministic event loop.
+//! The deterministic event loop, built on an **indexed event plane**.
+//!
+//! The seed implementation kept one flat `Vec<Pending<M>>` and, on *every*
+//! step, rebuilt the scheduler-visible [`PendingView`] array and re-scanned
+//! the whole pending set for events addressed to halted processes — O(P)
+//! work per step, O(steps·P) per run. The event plane replaces that with
+//! three parallel dense arrays maintained *incrementally*:
+//!
+//! * `views:  Vec<PendingView>` — the scheduler-visible index, pushed on
+//!   send and `swap_remove`d on dispatch/drop. Handed to schedulers as a
+//!   slice with **exactly** the element order the seed implementation
+//!   produced, so every scheduler makes byte-for-byte the same choices
+//!   (the trace-golden suites pin this).
+//! * `stores: Vec<Stored<M>>` — the payloads, in lockstep with `views`:
+//!   the pop addressed by a scheduler index is one O(1) `swap_remove`
+//!   keyed by the event's stable position, never a shifting `Vec::remove`.
+//!
+//! Two invariants make the per-step purge unnecessary:
+//!
+//! 1. when a process halts, its pending events are removed *at that
+//!    moment* (one order-preserving compaction per halt, not per step);
+//! 2. a message sent to an already-halted process is counted and traced as
+//!    sent but never enters the plane (the seed queued it and purged it
+//!    before the next pick — observationally identical).
+//!
+//! The starvation backstop costs one comparison per step: the cached
+//! `watchdog_deadline` is a lower bound on the first step at which *any*
+//! pending event can be over-age (removals only raise the true deadline,
+//! and birth steps are nondecreasing, so a push can only set it when the
+//! plane was idle). Steps before the deadline skip the watchdog entirely;
+//! at the deadline one scan recomputes the exact minimum birth step and
+//! either force-delivers the first over-age index — exactly the pick the
+//! seed's per-step linear scan made — or pushes the deadline forward.
 
 use crate::process::{Action, Ctx, Process, ProcessId};
 use crate::scheduler::{PendingView, SchedChoice, Scheduler};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceEvent, TraceMode};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -65,19 +97,38 @@ impl Outcome {
             .map(|(i, (m, w))| m.or(*w).unwrap_or(fallback[i]))
             .collect()
     }
+
+    /// A stable FNV-1a fingerprint of the run: the full message pattern
+    /// (Lemma 6.8 notation) plus moves, wills, halted flags, counters and
+    /// termination. Any change to the scheduler-visible semantics flips
+    /// it — this is what the trace-golden suites pin across refactors, so
+    /// the summary format is single-sourced here.
+    pub fn fingerprint(&self) -> u64 {
+        let summary = format!(
+            "{}|{:?}|{:?}|{:?}|{}|{}|{}|{:?}",
+            self.trace.to_pattern_string(),
+            self.moves,
+            self.wills,
+            self.halted,
+            self.messages_sent,
+            self.messages_delivered,
+            self.steps,
+            self.termination,
+        );
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in summary.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
-enum Pending<M> {
-    Start(ProcessId),
-    Msg {
-        src: ProcessId,
-        dst: ProcessId,
-        payload: M,
-        k: u64,
-        seq: u64,
-        batch: u64,
-        born: u64,
-    },
+/// Payload storage for one pending event (the metadata lives in the
+/// parallel [`PendingView`]).
+enum Stored<M> {
+    Start,
+    Msg(M),
 }
 
 /// A deterministic asynchronous world: processes plus in-flight events.
@@ -87,7 +138,12 @@ enum Pending<M> {
 /// identical traces.
 pub struct World<M> {
     procs: Vec<Box<dyn Process<M>>>,
-    pending: Vec<Pending<M>>,
+    // The indexed event plane (see the module docs): two dense arrays in
+    // lockstep plus the cached starvation-watchdog deadline.
+    views: Vec<PendingView>,
+    stores: Vec<Stored<M>>,
+    watchdog_deadline: u64, // earliest step any event can be over-age
+    outbox_pool: Vec<(ProcessId, M)>, // recycled activation outbox
     started: Vec<bool>,
     halted: Vec<bool>,
     moves: Vec<Option<Action>>,
@@ -103,7 +159,6 @@ pub struct World<M> {
     trace: Trace,
     allow_drop: bool,
     starvation_bound: u64,
-    views_buf: Vec<PendingView>, // scratch reused across steps
     ran: bool,
 }
 
@@ -121,7 +176,10 @@ impl<M> World<M> {
             .collect();
         World {
             procs,
-            pending: Vec::new(),
+            views: Vec::new(),
+            stores: Vec::new(),
+            watchdog_deadline: u64::MAX,
+            outbox_pool: Vec::new(),
             started: vec![false; n],
             halted: vec![false; n],
             moves: vec![None; n],
@@ -137,7 +195,6 @@ impl<M> World<M> {
             trace: Trace::new(),
             allow_drop: false,
             starvation_bound: u64::MAX,
-            views_buf: Vec::new(),
             ran: false,
         }
     }
@@ -151,8 +208,22 @@ impl<M> World<M> {
 
     /// Force-delivers any event pending longer than `bound` steps, keeping
     /// adversarial schedulers technically fair (eventual delivery).
+    ///
+    /// Must be configured before [`World::run`].
     pub fn set_starvation_bound(&mut self, bound: u64) -> &mut Self {
         self.starvation_bound = bound;
+        self
+    }
+
+    /// Selects how much of the event stream the [`Trace`] retains
+    /// (full / ring-buffered / counters-only — see [`TraceMode`]). Long
+    /// benchmark runs use [`TraceMode::Off`] to keep memory flat; the
+    /// default records everything.
+    ///
+    /// Must be configured before [`World::run`].
+    pub fn set_trace_mode(&mut self, mode: TraceMode) -> &mut Self {
+        debug_assert!(!self.ran, "trace mode must be set before run()");
+        self.trace = Trace::with_mode(mode);
         self
     }
 
@@ -185,15 +256,25 @@ impl<M> World<M> {
         // Start signals for everyone (the paper: each player receives a
         // signal that the game has started when first scheduled).
         for p in 0..n {
-            self.pending.push(Pending::Start(p));
+            self.push_event(
+                PendingView {
+                    src: None,
+                    dst: p,
+                    k: 0,
+                    seq: 0,
+                    batch: 0,
+                    born: 0,
+                },
+                Stored::Start,
+            );
         }
 
         let termination = loop {
-            // Purge events to halted processes: they are dead weight and the
-            // paper's halted players neither receive nor react.
-            self.purge_halted();
-
-            if self.pending.is_empty() {
+            // Plane invariant (replaces the seed's per-step purge): no event
+            // addressed to a halted process is ever pending — halting
+            // compacts the plane, and later sends to halted processes are
+            // counted but never enqueued.
+            if self.views.is_empty() {
                 let all_done = self.halted.iter().all(|&h| h);
                 break if all_done {
                     TerminationKind::Quiescent
@@ -234,80 +315,78 @@ impl<M> World<M> {
         }
     }
 
-    fn purge_halted(&mut self) {
-        let halted = &self.halted;
-        self.pending.retain(|p| match p {
-            Pending::Start(p) => !halted[*p],
-            Pending::Msg { dst, .. } => !halted[*dst],
-        });
+    /// Queues one event on the plane.
+    fn push_event(&mut self, view: PendingView, store: Stored<M>) {
+        self.views.push(view);
+        self.stores.push(store);
+        // Birth steps are nondecreasing, so a push can tighten the cached
+        // watchdog deadline only when the plane had gone idle (deadline
+        // reset to MAX); one branch in the common case.
+        if self.starvation_bound != u64::MAX && self.watchdog_deadline == u64::MAX {
+            self.watchdog_deadline = view
+                .born
+                .saturating_add(self.starvation_bound)
+                .saturating_add(1);
+        }
     }
 
-    /// Refreshes the scheduler-visible view of the pending set into the
-    /// reused scratch buffer (no per-step allocation).
-    fn fill_views(&mut self) {
+    /// Removes the event at dense index `i`, returning its view + payload.
+    fn pop_event(&mut self, i: usize) -> (PendingView, Stored<M>) {
+        let view = self.views.swap_remove(i);
+        let store = self.stores.swap_remove(i);
+        (view, store)
+    }
+
+    /// The starvation backstop: one comparison per step in the common case
+    /// (`steps < watchdog_deadline`). At the deadline, one pass over the
+    /// plane finds the first over-age dense index (the same pick the
+    /// seed's per-step linear scan made) — or, if the cached lower bound
+    /// was stale (the oldest event has since been dispatched), the exact
+    /// minimum birth step, which becomes the new deadline.
+    fn overdue_index(&mut self) -> Option<usize> {
+        if self.steps < self.watchdog_deadline {
+            return None;
+        }
+        let bound = self.starvation_bound;
         let steps = self.steps;
-        self.views_buf.clear();
-        self.views_buf.extend(self.pending.iter().map(|p| match p {
-            Pending::Start(pid) => PendingView {
-                src: None,
-                dst: *pid,
-                k: 0,
-                seq: 0,
-                batch: 0,
-                age: steps,
-            },
-            Pending::Msg {
-                src,
-                dst,
-                k,
-                seq,
-                batch,
-                born,
-                ..
-            } => PendingView {
-                src: Some(*src),
-                dst: *dst,
-                k: *k,
-                seq: *seq,
-                batch: *batch,
-                age: steps - born,
-            },
-        }));
+        let mut min_born = u64::MAX;
+        for (i, v) in self.views.iter().enumerate() {
+            // Over-age ⇔ age > bound ⇔ born + bound < steps.
+            if v.born.saturating_add(bound) < steps {
+                return Some(i);
+            }
+            min_born = min_born.min(v.born);
+        }
+        // Nothing over-age: cache the exact next deadline. The run loop
+        // guarantees a non-empty plane here, but an empty one degrades to
+        // "idle" (deadline MAX, re-armed by the next push).
+        self.watchdog_deadline = min_born.saturating_add(bound).saturating_add(1);
+        None
     }
 
     fn pick(&mut self, scheduler: &mut dyn Scheduler) -> SchedChoice {
-        self.fill_views();
         // Starvation backstop: force-deliver over-age events.
-        if let Some((i, _)) = self
-            .views_buf
-            .iter()
-            .enumerate()
-            .find(|(_, v)| v.age > self.starvation_bound)
-        {
+        if let Some(i) = self.overdue_index() {
             return SchedChoice::Deliver(i);
         }
-        let c = scheduler.next(&self.views_buf, &mut self.sched_rng);
+        let c = scheduler.next(&self.views, self.steps, &mut self.sched_rng);
         let idx = match c {
             SchedChoice::Deliver(i) | SchedChoice::Drop(i) => i,
         };
         assert!(
-            idx < self.pending.len(),
+            idx < self.views.len(),
             "scheduler returned out-of-range index"
         );
         c
     }
 
     fn dispatch(&mut self, i: usize) {
-        let ev = self.pending.swap_remove(i);
-        match ev {
-            Pending::Start(pid) => self.start_if_needed(pid),
-            Pending::Msg {
-                src,
-                dst,
-                payload,
-                k,
-                ..
-            } => {
+        let (view, store) = self.pop_event(i);
+        match store {
+            Stored::Start => self.start_if_needed(view.dst),
+            Stored::Msg(payload) => {
+                let src = view.src.expect("message event has a source");
+                let dst = view.dst;
                 // The paper: a player gets its start signal when *first
                 // scheduled*, whether by an external signal or by a
                 // game-related message. Deliver the start before the message.
@@ -315,9 +394,14 @@ impl<M> World<M> {
                 if self.halted[dst] {
                     return; // halted during on_start; message discarded
                 }
-                self.trace.push(TraceEvent::Delivered { src, dst, k });
+                self.trace.push(TraceEvent::Delivered {
+                    src,
+                    dst,
+                    k: view.k,
+                });
                 self.delivered += 1;
-                let mut ctx = Ctx::new(dst, self.steps, &mut self.proc_rngs[dst]);
+                let buf = std::mem::take(&mut self.outbox_pool);
+                let mut ctx = Ctx::new(dst, self.steps, &mut self.proc_rngs[dst], buf);
                 self.procs[dst].on_message(src, payload, &mut ctx);
                 let effects = ctx.finish();
                 self.apply_effects(dst, effects);
@@ -331,34 +415,45 @@ impl<M> World<M> {
         }
         self.started[pid] = true;
         self.trace.push(TraceEvent::Started { p: pid });
-        let mut ctx = Ctx::new(pid, self.steps, &mut self.proc_rngs[pid]);
+        let buf = std::mem::take(&mut self.outbox_pool);
+        let mut ctx = Ctx::new(pid, self.steps, &mut self.proc_rngs[pid], buf);
         self.procs[pid].on_start(&mut ctx);
         let effects = ctx.finish();
         self.apply_effects(pid, effects);
     }
 
-    fn apply_effects(&mut self, pid: ProcessId, effects: crate::process::Effects<M>) {
+    fn apply_effects(&mut self, pid: ProcessId, mut effects: crate::process::Effects<M>) {
         let n = self.procs.len();
         let batch = self.next_batch;
         self.next_batch += 1;
-        for (dst, payload) in effects.outbox {
+        for (dst, payload) in effects.outbox.drain(..) {
             assert!(dst < n, "send to unknown process {dst}");
             let slot = pid * n + dst;
             self.pair_seq[slot] += 1;
             let k = self.pair_seq[slot];
             self.trace.push(TraceEvent::Sent { src: pid, dst, k });
             self.sent += 1;
-            self.pending.push(Pending::Msg {
-                src: pid,
-                dst,
-                payload,
-                k,
-                seq: self.next_seq,
-                batch,
-                born: self.steps,
-            });
+            let seq = self.next_seq;
             self.next_seq += 1;
+            // A send to a halted process is observable (Sent event, counter)
+            // but dead on arrival: the seed queued it and purged it before
+            // the next scheduler pick, so it never entered any view.
+            if !self.halted[dst] {
+                self.push_event(
+                    PendingView {
+                        src: Some(pid),
+                        dst,
+                        k,
+                        seq,
+                        batch,
+                        born: self.steps,
+                    },
+                    Stored::Msg(payload),
+                );
+            }
         }
+        // Recycle the drained activation outbox (capacity is the point).
+        self.outbox_pool = effects.outbox;
         if let Some(a) = effects.made_move {
             if self.moves[pid].is_none() {
                 self.moves[pid] = Some(a);
@@ -369,27 +464,49 @@ impl<M> World<M> {
             Some((a, false)) => self.wills[pid] = Some(a),
             None => {}
         }
-        if effects.halted {
+        if effects.halted && !self.halted[pid] {
             self.halted[pid] = true;
+            self.purge_for(pid);
         }
     }
 
-    fn drop_batch(&mut self, i: usize) {
-        let batch = match &self.pending[i] {
-            Pending::Start(_) => {
-                // Start signals cannot be dropped: the game always starts.
-                self.dispatch(i);
-                return;
-            }
-            Pending::Msg { batch, .. } => *batch,
-        };
-        let mut j = 0;
-        while j < self.pending.len() {
-            let matches = matches!(&self.pending[j], Pending::Msg { batch: b, .. } if *b == batch);
-            if matches {
-                if let Pending::Msg { src, dst, k, .. } = self.pending.swap_remove(j) {
-                    self.trace.push(TraceEvent::Dropped { src, dst, k });
+    /// Removes every pending event addressed to `pid` (its start signal
+    /// included), preserving the relative order of everything kept — the
+    /// same order the seed's per-step `retain` produced. One pass per halt
+    /// instead of one per step.
+    fn purge_for(&mut self, pid: ProcessId) {
+        let len = self.views.len();
+        let mut w = 0;
+        for r in 0..len {
+            if self.views[r].dst != pid {
+                if w != r {
+                    self.views.swap(w, r);
+                    self.stores.swap(w, r);
                 }
+                w += 1;
+            }
+        }
+        self.views.truncate(w);
+        self.stores.truncate(w);
+    }
+
+    fn drop_batch(&mut self, i: usize) {
+        if self.views[i].src.is_none() {
+            // Start signals cannot be dropped: the game always starts.
+            self.dispatch(i);
+            return;
+        }
+        let batch = self.views[i].batch;
+        let mut j = 0;
+        while j < self.views.len() {
+            let v = &self.views[j];
+            if v.src.is_some() && v.batch == batch {
+                let (view, _) = self.pop_event(j);
+                self.trace.push(TraceEvent::Dropped {
+                    src: view.src.expect("checked"),
+                    dst: view.dst,
+                    k: view.k,
+                });
             } else {
                 j += 1;
             }
@@ -643,6 +760,35 @@ mod tests {
     }
 
     #[test]
+    fn sends_to_already_halted_processes_count_but_never_enqueue() {
+        // Player 1 halts immediately; player 0's later burst to it is traced
+        // as sent (the environment sees the sends) but nothing is pending,
+        // so the run is quiescent with zero deliveries to 1.
+        struct LateSender;
+        impl Process<u32> for LateSender {
+            fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+                if ctx.me() == 1 {
+                    ctx.halt();
+                } else {
+                    ctx.send(0, 7); // self-nudge to get a second activation
+                }
+            }
+            fn on_message(&mut self, _src: ProcessId, _m: u32, ctx: &mut Ctx<u32>) {
+                ctx.send(1, 1);
+                ctx.send(1, 2);
+                ctx.halt();
+            }
+        }
+        let procs: Vec<Box<dyn Process<u32>>> = vec![Box::new(LateSender), Box::new(LateSender)];
+        let mut w = World::new(procs, 4);
+        let out = w.run(&mut FifoScheduler, 10_000);
+        assert_eq!(out.termination, TerminationKind::Quiescent);
+        assert_eq!(out.messages_sent, 3, "self-nudge + two dead-on-arrival");
+        assert_eq!(out.messages_delivered, 1, "only the self-nudge");
+        assert_eq!(out.trace.sent_by(0), 3);
+    }
+
+    #[test]
     fn per_pair_sequence_numbers_count_up() {
         struct Burst;
         impl Process<u32> for Burst {
@@ -669,5 +815,381 @@ mod tests {
             })
             .collect();
         assert_eq!(ks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn trace_modes_agree_on_counters() {
+        let full = {
+            let mut w = chatter_world(4, 2, 3, 9);
+            w.run(&mut RandomScheduler::new(), 100_000)
+        };
+        let off = {
+            let mut w = chatter_world(4, 2, 3, 9);
+            w.set_trace_mode(TraceMode::Off);
+            w.run(&mut RandomScheduler::new(), 100_000)
+        };
+        let ring = {
+            let mut w = chatter_world(4, 2, 3, 9);
+            w.set_trace_mode(TraceMode::Ring(8));
+            w.run(&mut RandomScheduler::new(), 100_000)
+        };
+        // Identical runs (same seed, same scheduler choices): counters and
+        // outcomes agree; only event retention differs.
+        assert_eq!(full.moves, off.moves);
+        assert_eq!(full.moves, ring.moves);
+        assert_eq!(full.messages_sent, off.messages_sent);
+        assert_eq!(full.trace.sent_count(), off.trace.sent_count());
+        assert_eq!(full.trace.delivered_count(), ring.trace.delivered_count());
+        assert!(off.trace.events().is_empty());
+        assert_eq!(ring.trace.recent().count(), 8);
+        // The ring window is the tail of the full pattern.
+        let full_tail: Vec<TraceEvent> =
+            full.trace.events()[full.trace.events().len() - 8..].to_vec();
+        let ring_window: Vec<TraceEvent> = ring.trace.recent().copied().collect();
+        assert_eq!(full_tail, ring_window);
+    }
+}
+
+/// Differential suite: the indexed event plane versus an executable
+/// re-implementation of the seed's flat-vector loop ("spec world"). Both
+/// drive the same process types with the same RNG derivations; every trace
+/// and outcome must match across the scheduler battery — the in-crate
+/// counterpart of the protocol-level golden suites in `mediator-bcast` and
+/// `mediator-vss`.
+#[cfg(test)]
+mod spec_parity {
+    use super::*;
+    use crate::scheduler::{RelaxedScheduler, SchedulerKind};
+
+    /// The seed implementation, verbatim semantics: flat pending vector,
+    /// per-step halted purge, per-step view rebuild, swap_remove dispatch.
+    struct SpecWorld<M> {
+        procs: Vec<Box<dyn Process<M>>>,
+        pending: Vec<(PendingView, Stored<M>)>,
+        started: Vec<bool>,
+        halted: Vec<bool>,
+        moves: Vec<Option<Action>>,
+        wills: Vec<Option<Action>>,
+        proc_rngs: Vec<StdRng>,
+        sched_rng: StdRng,
+        pair_seq: Vec<u64>,
+        next_seq: u64,
+        next_batch: u64,
+        steps: u64,
+        sent: u64,
+        delivered: u64,
+        trace: Trace,
+        allow_drop: bool,
+        starvation_bound: u64,
+    }
+
+    impl<M> SpecWorld<M> {
+        fn new(procs: Vec<Box<dyn Process<M>>>, seed: u64) -> Self {
+            let n = procs.len();
+            let proc_rngs = (0..n)
+                .map(|i| {
+                    StdRng::seed_from_u64(
+                        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(i as u64),
+                    )
+                })
+                .collect();
+            SpecWorld {
+                procs,
+                pending: Vec::new(),
+                started: vec![false; n],
+                halted: vec![false; n],
+                moves: vec![None; n],
+                wills: vec![None; n],
+                proc_rngs,
+                sched_rng: StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
+                pair_seq: vec![0; n * n],
+                next_seq: 0,
+                next_batch: 0,
+                steps: 0,
+                sent: 0,
+                delivered: 0,
+                trace: Trace::new(),
+                allow_drop: false,
+                starvation_bound: u64::MAX,
+            }
+        }
+
+        fn run(&mut self, scheduler: &mut dyn Scheduler, max_steps: u64) -> Outcome {
+            let n = self.procs.len();
+            for p in 0..n {
+                self.pending.push((
+                    PendingView {
+                        src: None,
+                        dst: p,
+                        k: 0,
+                        seq: 0,
+                        batch: 0,
+                        born: 0,
+                    },
+                    Stored::Start,
+                ));
+            }
+            let termination = loop {
+                let halted = &self.halted;
+                self.pending.retain(|(v, _)| !halted[v.dst]);
+                if self.pending.is_empty() {
+                    break if self.halted.iter().all(|&h| h) {
+                        TerminationKind::Quiescent
+                    } else {
+                        TerminationKind::Deadlock
+                    };
+                }
+                if self.steps >= max_steps {
+                    break TerminationKind::BudgetExhausted;
+                }
+                // Per-step view rebuild, as the seed did.
+                let views: Vec<PendingView> = self.pending.iter().map(|(v, _)| *v).collect();
+                let choice = if let Some((i, _)) = views
+                    .iter()
+                    .enumerate()
+                    .find(|(_, v)| v.age(self.steps) > self.starvation_bound)
+                {
+                    SchedChoice::Deliver(i)
+                } else {
+                    scheduler.next(&views, self.steps, &mut self.sched_rng)
+                };
+                match choice {
+                    SchedChoice::Deliver(i) => self.dispatch(i),
+                    SchedChoice::Drop(i) => {
+                        if self.allow_drop {
+                            self.drop_batch(i);
+                        } else {
+                            self.dispatch(i);
+                        }
+                    }
+                }
+                self.steps += 1;
+            };
+            Outcome {
+                moves: std::mem::take(&mut self.moves),
+                wills: std::mem::take(&mut self.wills),
+                halted: std::mem::take(&mut self.halted),
+                messages_sent: self.sent,
+                messages_delivered: self.delivered,
+                steps: self.steps,
+                termination,
+                trace: std::mem::take(&mut self.trace),
+            }
+        }
+
+        fn dispatch(&mut self, i: usize) {
+            let (view, store) = self.pending.swap_remove(i);
+            match store {
+                Stored::Start => self.start_if_needed(view.dst),
+                Stored::Msg(payload) => {
+                    let src = view.src.expect("msg");
+                    let dst = view.dst;
+                    self.start_if_needed(dst);
+                    if self.halted[dst] {
+                        return;
+                    }
+                    self.trace.push(TraceEvent::Delivered {
+                        src,
+                        dst,
+                        k: view.k,
+                    });
+                    self.delivered += 1;
+                    let mut ctx = Ctx::new(dst, self.steps, &mut self.proc_rngs[dst], Vec::new());
+                    self.procs[dst].on_message(src, payload, &mut ctx);
+                    let effects = ctx.finish();
+                    self.apply_effects(dst, effects);
+                }
+            }
+        }
+
+        fn start_if_needed(&mut self, pid: ProcessId) {
+            if self.started[pid] {
+                return;
+            }
+            self.started[pid] = true;
+            self.trace.push(TraceEvent::Started { p: pid });
+            let mut ctx = Ctx::new(pid, self.steps, &mut self.proc_rngs[pid], Vec::new());
+            self.procs[pid].on_start(&mut ctx);
+            let effects = ctx.finish();
+            self.apply_effects(pid, effects);
+        }
+
+        fn apply_effects(&mut self, pid: ProcessId, effects: crate::process::Effects<M>) {
+            let n = self.procs.len();
+            let batch = self.next_batch;
+            self.next_batch += 1;
+            for (dst, payload) in effects.outbox {
+                let slot = pid * n + dst;
+                self.pair_seq[slot] += 1;
+                let k = self.pair_seq[slot];
+                self.trace.push(TraceEvent::Sent { src: pid, dst, k });
+                self.sent += 1;
+                self.pending.push((
+                    PendingView {
+                        src: Some(pid),
+                        dst,
+                        k,
+                        seq: self.next_seq,
+                        batch,
+                        born: self.steps,
+                    },
+                    Stored::Msg(payload),
+                ));
+                self.next_seq += 1;
+            }
+            if let Some(a) = effects.made_move {
+                if self.moves[pid].is_none() {
+                    self.moves[pid] = Some(a);
+                }
+            }
+            match effects.will {
+                Some((_, true)) => self.wills[pid] = None,
+                Some((a, false)) => self.wills[pid] = Some(a),
+                None => {}
+            }
+            if effects.halted {
+                self.halted[pid] = true;
+            }
+        }
+
+        fn drop_batch(&mut self, i: usize) {
+            if self.pending[i].0.src.is_none() {
+                self.dispatch(i);
+                return;
+            }
+            let batch = self.pending[i].0.batch;
+            let mut j = 0;
+            while j < self.pending.len() {
+                let v = self.pending[j].0;
+                if let Some(src) = v.src.filter(|_| v.batch == batch) {
+                    self.pending.swap_remove(j);
+                    self.trace.push(TraceEvent::Dropped {
+                        src,
+                        dst: v.dst,
+                        k: v.k,
+                    });
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// A process mix exercising every plane transition: fan-out sends,
+    /// mid-run halts (purges), self-messages (LIFO starvation), batched
+    /// sends (drop candidates).
+    struct Mixer {
+        n: usize,
+        received: usize,
+    }
+
+    impl Process<u32> for Mixer {
+        fn on_start(&mut self, ctx: &mut Ctx<u32>) {
+            for d in 0..self.n {
+                if d != ctx.me() {
+                    ctx.send(d, 1);
+                }
+            }
+            if ctx.me() == 0 {
+                ctx.send(0, 0); // self-feeder
+            }
+            ctx.set_will(ctx.me() as Action);
+        }
+        fn on_message(&mut self, src: ProcessId, m: u32, ctx: &mut Ctx<u32>) {
+            self.received += 1;
+            if src == ctx.me() && m < 40 {
+                ctx.send(ctx.me(), m + 1);
+            }
+            if self.received == self.n {
+                ctx.make_move(self.received as Action);
+                ctx.halt();
+            } else if self.received < 3 {
+                ctx.send(src, 1); // echo once or twice
+            }
+        }
+    }
+
+    fn mixers(n: usize) -> Vec<Box<dyn Process<u32>>> {
+        (0..n)
+            .map(|_| Box::new(Mixer { n, received: 0 }) as Box<dyn Process<u32>>)
+            .collect()
+    }
+
+    fn assert_same_run(
+        kind: &SchedulerKind,
+        seed: u64,
+        bound: u64,
+        drops: bool,
+        mk: impl Fn() -> Vec<Box<dyn Process<u32>>>,
+    ) {
+        let plane = {
+            let mut w = World::new(mk(), seed);
+            w.set_starvation_bound(bound);
+            if drops {
+                w.allow_drops();
+            }
+            w.run(kind.build().as_mut(), 50_000)
+        };
+        let spec = {
+            let mut w = SpecWorld::new(mk(), seed);
+            w.starvation_bound = bound;
+            w.allow_drop = drops;
+            w.run(kind.build().as_mut(), 50_000)
+        };
+        let label = format!("{kind:?} seed {seed} bound {bound} drops {drops}");
+        assert_eq!(plane.trace.events(), spec.trace.events(), "trace: {label}");
+        assert_eq!(plane.moves, spec.moves, "moves: {label}");
+        assert_eq!(plane.wills, spec.wills, "wills: {label}");
+        assert_eq!(plane.halted, spec.halted, "halted: {label}");
+        assert_eq!(plane.messages_sent, spec.messages_sent, "sent: {label}");
+        assert_eq!(
+            plane.messages_delivered, spec.messages_delivered,
+            "delivered: {label}"
+        );
+        assert_eq!(plane.steps, spec.steps, "steps: {label}");
+        assert_eq!(plane.termination, spec.termination, "termination: {label}");
+    }
+
+    #[test]
+    fn plane_matches_spec_across_battery_and_seeds() {
+        for kind in SchedulerKind::battery(5) {
+            for seed in 0..32 {
+                assert_same_run(&kind, seed, u64::MAX, false, || mixers(5));
+            }
+        }
+    }
+
+    #[test]
+    fn plane_matches_spec_with_starvation_bound() {
+        // A tight bound forces the backstop path (first-over-age pick).
+        for kind in [SchedulerKind::Lifo, SchedulerKind::Random] {
+            for seed in 0..32 {
+                assert_same_run(&kind, seed, 10, false, || mixers(4));
+            }
+        }
+    }
+
+    #[test]
+    fn plane_matches_spec_under_relaxed_drops() {
+        for seed in 0..32 {
+            let plane = {
+                let mut w = World::new(mixers(4), seed);
+                w.allow_drops();
+                w.run(&mut RelaxedScheduler::new(vec![0], 6), 50_000)
+            };
+            let spec = {
+                let mut w = SpecWorld::new(mixers(4), seed);
+                w.allow_drop = true;
+                w.run(&mut RelaxedScheduler::new(vec![0], 6), 50_000)
+            };
+            assert_eq!(plane.trace.events(), spec.trace.events(), "seed {seed}");
+            assert_eq!(plane.termination, spec.termination, "seed {seed}");
+            assert_eq!(
+                plane.trace.dropped_count(),
+                spec.trace.dropped_count(),
+                "seed {seed}"
+            );
+        }
     }
 }

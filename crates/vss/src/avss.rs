@@ -21,6 +21,7 @@
 use crate::reconstruct::OecState;
 use crate::shamir::Share;
 use mediator_field::{Fp, Poly};
+use mediator_sim::sansio::Payload;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -29,8 +30,9 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AvssMsg {
     /// Dealer → player: the player's row polynomial coefficients, one
-    /// coefficient vector per secret.
-    Rows(Vec<Vec<Fp>>),
+    /// coefficient vector per secret. [`Payload`]-shared so re-routing or
+    /// buffering a dealing never deep-copies the coefficient matrix.
+    Rows(Payload<Vec<Vec<Fp>>>),
     /// Player `i` → player `j`: the evaluations `f_i(x_j)`, one per secret.
     Echo(Vec<Fp>),
     /// Bracha-style completion vote.
@@ -92,7 +94,7 @@ pub fn deal<R: Rng + ?Sized>(secrets: &[Fp], n: usize, f: usize, rng: &mut R) ->
                         .collect()
                 })
                 .collect();
-            AvssMsg::Rows(rows)
+            AvssMsg::Rows(Payload::new(rows))
         })
         .collect()
 }
@@ -170,7 +172,14 @@ impl AvssState {
             AvssMsg::Rows(rows) => {
                 if self.own_rows.is_none() && self.valid_rows(&rows) {
                     self.num_secrets = Some(rows.len());
-                    self.own_rows = Some(rows.into_iter().map(Poly::from_coeffs).collect());
+                    // Point-to-point dealing: this is normally the last
+                    // reference, so taking ownership is copy-free.
+                    self.own_rows = Some(
+                        rows.into_inner()
+                            .into_iter()
+                            .map(Poly::from_coeffs)
+                            .collect(),
+                    );
                     self.send_echoes(&mut out);
                 }
                 let _ = from;
@@ -309,12 +318,12 @@ mod tests {
                 continue;
             }
             let msg = if corrupt_rows.contains(&i) {
-                AvssMsg::Rows(
+                AvssMsg::Rows(Payload::new(
                     secrets
                         .iter()
                         .map(|_| vec![Fp::random(&mut rng); f + 1])
                         .collect(),
-                )
+                ))
             } else {
                 msg
             };

@@ -26,6 +26,7 @@
 
 use crate::reconstruct::OecState;
 use mediator_field::{Fp, Poly};
+use mediator_sim::sansio::Payload;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -41,9 +42,11 @@ pub enum DetectMsg {
         blinds: Vec<Fp>,
     },
     /// Player broadcast: `h_k(x_i)` for every check (sent once, after Deal).
+    /// The point vector is [`Payload`]-shared: the n-way broadcast fan-out
+    /// bumps a refcount per recipient instead of copying the vector.
     Open {
         /// The opened points, one per check.
-        points: Vec<Fp>,
+        points: Payload<Vec<Fp>>,
     },
     /// Accusation broadcast: my dealt share disagrees with the decoded `h`.
     Accuse,
@@ -117,7 +120,7 @@ pub struct DetectState {
     oec: Vec<OecState>,
     decoded: Vec<Option<Poly>>,
     accusers: BTreeSet<usize>,
-    open_points: BTreeMap<usize, Vec<Fp>>,
+    open_points: BTreeMap<usize, Payload<Vec<Fp>>>,
     verdict: Option<Verdict>,
     accused_self: bool,
 }
@@ -185,7 +188,7 @@ impl DetectState {
                     if !self.opened {
                         self.opened = true;
                         out.push(DetectMsg::Open {
-                            points: self.my_open_points(),
+                            points: Payload::new(self.my_open_points()),
                         });
                     }
                 }
@@ -310,7 +313,9 @@ mod tests {
                 let m = if liars.contains(&to) {
                     match m {
                         DetectMsg::Open { points } => DetectMsg::Open {
-                            points: points.iter().map(|_| Fp::random(&mut rng)).collect(),
+                            points: Payload::new(
+                                points.iter().map(|_| Fp::random(&mut rng)).collect(),
+                            ),
                         },
                         other => other,
                     }

@@ -66,16 +66,30 @@ impl OecState {
         if m < self.deg + self.f + 1 {
             return None;
         }
-        let pts: Vec<(Fp, Fp)> = self
-            .points
-            .iter()
-            .map(|(&i, &v)| (Fp::new(i as u64 + 1), v))
-            .collect();
+        // The share points are grid indices: the exact path (e = 0) runs on
+        // the cached-weight grid kernel; the error-correcting attempts
+        // share one point vector, built lazily — the common clean-shares
+        // case accepts at e = 0 without ever materialising it.
+        let idxs: Vec<usize> = self.points.keys().copied().collect();
+        let ys: Vec<Fp> = self.points.values().copied().collect();
+        let mut pts: Vec<(Fp, Fp)> = Vec::new();
         // Try error counts small to large; accept iff the candidate agrees
         // with ≥ deg + f + 1 received points.
         let max_e = ((m.saturating_sub(self.deg + 1)) / 2).min(self.f);
         for e in 0..=max_e {
-            if let Ok((poly, bad)) = rs::decode_robust(&pts, self.deg, e) {
+            let attempt = if e == 0 {
+                rs::interpolate_exact_indices(&idxs, &ys, self.deg).map(|p| (p, Vec::new()))
+            } else {
+                if pts.is_empty() {
+                    pts = idxs
+                        .iter()
+                        .zip(&ys)
+                        .map(|(&i, &y)| (Fp::new(i as u64 + 1), y))
+                        .collect();
+                }
+                rs::decode_robust(&pts, self.deg, e)
+            };
+            if let Ok((poly, bad)) = attempt {
                 let agree = m - bad.len();
                 if agree > self.deg + self.f {
                     let s = poly.eval(Fp::ZERO);

@@ -1,0 +1,77 @@
+//! Golden trace-equality suite for AVSS worlds: pins the `World` event
+//! plane to the seed semantics (the sharing-layer companion of
+//! `crates/broadcast/tests/trace_golden.rs` — see there for the rationale
+//! and the regeneration workflow).
+
+use mediator_field::Fp;
+use mediator_sim::sansio::run_machines;
+use mediator_sim::{Outcome, SchedulerKind};
+use mediator_vss::AvssPeer;
+
+/// The single-sourced run fingerprint (see [`Outcome::fingerprint`]).
+fn outcome_hash(out: &Outcome) -> u64 {
+    out.fingerprint()
+}
+
+const SEEDS: u64 = 32;
+
+fn run_avss(kind: &SchedulerKind, seed: u64) -> Outcome {
+    let secrets = vec![Fp::new(17), Fp::new(99)];
+    let machines: Vec<AvssPeer> = (0..5)
+        .map(|me| AvssPeer::new(5, 1, 0, me, (me == 0).then(|| secrets.clone())))
+        .collect();
+    run_machines(machines, Vec::new(), kind.build().as_mut(), seed, 500_000).0
+}
+
+fn battery_hash() -> Vec<(String, u64)> {
+    SchedulerKind::battery(5)
+        .iter()
+        .map(|kind| {
+            let mut h = 0u64;
+            for seed in 0..SEEDS {
+                h = h
+                    .rotate_left(1)
+                    .wrapping_add(outcome_hash(&run_avss(kind, seed)));
+            }
+            (format!("{kind:?}"), h)
+        })
+        .collect()
+}
+
+/// Golden values captured from the pre-event-plane-refactor seed (PR 1).
+const GOLDEN_AVSS: &[(&str, u64)] = &[
+    ("Random", 0x21c80abd94c695c3),
+    ("Fifo", 0x61f43a251e0bc5db),
+    ("Lifo", 0x148dd729c21d962d),
+    ("TargetedDelay([0])", 0x8f73534fd856240a),
+    ("TargetedDelay([1])", 0x67fa6a152b6eb5f4),
+    ("TargetedDelay([2])", 0x9b2eb877bad60bae),
+    (
+        "Partition { group: [0, 1], heal_after: 200 }",
+        0xbb0f534959856f1f,
+    ),
+];
+
+#[test]
+fn avss_traces_match_seed_event_plane() {
+    let got = battery_hash();
+    assert_eq!(GOLDEN_AVSS.len(), got.len(), "battery size changed");
+    for ((gk, gh), (k, h)) in GOLDEN_AVSS.iter().zip(&got) {
+        assert_eq!(gk, k, "scheduler battery order changed");
+        assert_eq!(
+            *gh, *h,
+            "avss/{k}: message pattern diverged from the seed event plane"
+        );
+    }
+}
+
+/// Regeneration helper: prints the table to paste above.
+#[test]
+#[ignore = "golden-value regeneration helper"]
+fn print_golden_table() {
+    println!("const GOLDEN_AVSS: &[(&str, u64)] = &[");
+    for (k, h) in battery_hash() {
+        println!("    (\"{k}\", {h:#018x}),");
+    }
+    println!("];");
+}

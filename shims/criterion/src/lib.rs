@@ -3,11 +3,17 @@
 //! Provides the subset of the criterion API the bench targets use —
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
 //! [`Bencher::iter`]/[`Bencher::iter_batched`], [`criterion_group!`],
-//! [`criterion_main!`] — backed by a plain wall-clock loop: warm up briefly,
-//! time a sample of iterations, print mean ns/iter. No statistics, plots, or
-//! regression tracking; the numbers are indicative, which is all an offline
-//! container can honestly offer. The printed format is one line per
-//! benchmark: `name ... <mean> ns/iter (<iters> iters)`.
+//! [`criterion_main!`] — backed by a plain wall-clock loop: warm up
+//! briefly, time each iteration, report the **median** ns/iter (robust to
+//! scheduler noise, unlike the mean). No plots or regression tracking; the
+//! numbers are indicative, which is all an offline container can honestly
+//! offer. The printed format is one line per benchmark:
+//! `name ... <median> ns/iter (median of <iters> iters)`.
+//!
+//! Machine-readable output: set `CRITERION_SHIM_JSON=<path>` and every
+//! benchmark appends one JSON line `{"name": …, "median_ns": …,
+//! "iters": …}` to that file — the shape the BENCH.json tooling and CI
+//! artifacts consume.
 
 use std::time::{Duration, Instant};
 
@@ -27,7 +33,13 @@ pub struct Bencher {
     iters_done: u64,
     elapsed: Duration,
     target: Duration,
+    /// Per-iteration samples in ns (capped; enough for a stable median).
+    samples: Vec<u64>,
 }
+
+/// Cap on retained per-iteration samples; past it, timing still accrues
+/// into the totals but the median rests on the first window.
+const MAX_SAMPLES: usize = 65_536;
 
 impl Bencher {
     fn new(target: Duration) -> Self {
@@ -35,7 +47,26 @@ impl Bencher {
             iters_done: 0,
             elapsed: Duration::ZERO,
             target,
+            samples: Vec::new(),
         }
+    }
+
+    fn record(&mut self, took: Duration) {
+        self.elapsed += took;
+        self.iters_done += 1;
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples
+                .push(took.as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    fn median_ns(&mut self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mid = self.samples.len() / 2;
+        let (_, m, _) = self.samples.select_nth_unstable(mid);
+        Some(*m)
     }
 
     /// Times repeated calls of `routine` until the sampling budget is spent.
@@ -45,8 +76,7 @@ impl Bencher {
         loop {
             let start = Instant::now();
             let _ = std::hint::black_box(routine());
-            self.elapsed += start.elapsed();
-            self.iters_done += 1;
+            self.record(start.elapsed());
             if self.elapsed >= self.target || self.iters_done >= 1_000_000 {
                 break;
             }
@@ -68,8 +98,7 @@ impl Bencher {
             let input = setup();
             let start = Instant::now();
             let _ = std::hint::black_box(routine(input));
-            self.elapsed += start.elapsed();
-            self.iters_done += 1;
+            self.record(start.elapsed());
             if self.elapsed >= self.target || self.iters_done >= 1_000_000 {
                 break;
             }
@@ -154,13 +183,41 @@ impl Criterion {
     fn run_one<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) {
         let mut b = Bencher::new(self.per_bench);
         f(&mut b);
-        if b.iters_done == 0 {
+        let Some(median) = b.median_ns() else {
             println!("{name} ... no iterations run");
             return;
+        };
+        println!(
+            "{name} ... {median} ns/iter (median of {} iters)",
+            b.iters_done
+        );
+        if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+            if let Err(e) = append_json_line(&path, name, median, b.iters_done) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            }
         }
-        let per_iter = b.elapsed.as_nanos() / u128::from(b.iters_done);
-        println!("{name} ... {per_iter} ns/iter ({} iters)", b.iters_done);
     }
+}
+
+/// Appends one machine-readable result line to `path` (JSON lines format).
+fn append_json_line(path: &str, name: &str, median_ns: u64, iters: u64) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(
+        f,
+        "{{\"name\": \"{escaped}\", \"median_ns\": {median_ns}, \"iters\": {iters}}}"
+    )
 }
 
 /// Re-export so benches can `use criterion::black_box`.
