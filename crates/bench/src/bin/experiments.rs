@@ -10,11 +10,12 @@ use mediator_bench::*;
 use mediator_circuits::catalog;
 use mediator_core::deviations::{Behavior, CounterexampleColluder};
 use mediator_core::egl;
-use mediator_core::implement::compare_implementations;
+use mediator_core::implement::compare_run_sets;
 use mediator_core::mediator::{run_mediator_game, MedMsg, MediatorGameSpec};
 use mediator_core::min_info;
 use mediator_core::report::{check, f4, Table};
-use mediator_core::{run_cheap_talk, CheapTalkSpec};
+use mediator_core::scenario::Scenario;
+use mediator_core::CheapTalkSpec;
 use mediator_field::Fp;
 use mediator_games::library;
 use mediator_games::punishment;
@@ -187,6 +188,22 @@ fn bench_trajectory(label: &str, out: &str, fast: bool) {
             .with("steps", ct.steps),
     );
 
+    // The Scenario batch runner: the same workload as a 64-seed sweep,
+    // sequential versus fanned across the worker pool — the number the
+    // multi-threaded `run_batch` plan has to justify.
+    let plan = plan_for(&spec, &inputs);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let bsamples = if fast { 3 } else { 7 };
+    let ns_1t = median_ns_per_op(bsamples, 1, || {
+        plan.seeds(0..64).threads(1).run_batch().len()
+    });
+    metrics.push(Metric::new("batch_cheap_talk_n5_64seeds_1t", ns_1t).with("threads", 1));
+    let ns_mt = median_ns_per_op(bsamples, 1, || plan.seeds(0..64).run_batch().len());
+    metrics
+        .push(Metric::new("batch_cheap_talk_n5_64seeds_mt", ns_mt).with("threads", workers as u64));
+
     for m in &metrics {
         println!("{:<34} {:>12} ns/op", m.name, m.ns_per_op);
     }
@@ -284,11 +301,16 @@ fn e1_thresholds_robust(samples: usize) {
             } else {
                 "n ≤ 4k+4t ✗"
             };
-            if n <= 4 * f {
-                // The engine refuses: decoding the degree-2f product
-                // openings with f errors is information-theoretically
-                // impossible below 4f+1 (see vss::reconstruct tests for the
-                // explicit ambiguity witness).
+            // The builder validates the Theorem 4.1 threshold at build
+            // time; below 4f+1 decoding the degree-2f product openings
+            // with f errors is information-theoretically impossible
+            // anyway (see vss::reconstruct for the ambiguity witness).
+            let built = Scenario::cheap_talk(catalog::majority_circuit(n))
+                .players(n)
+                .tolerance(k, tt)
+                .inputs(ones_inputs(n))
+                .build();
+            let Ok(plan) = built else {
                 t.row(vec![
                     k.to_string(),
                     tt.to_string(),
@@ -301,58 +323,37 @@ fn e1_thresholds_robust(samples: usize) {
                     "—".into(),
                 ]);
                 continue;
-            }
-            let spec = majority_spec_robust(n, k, tt);
-            let inputs = ones_inputs(n);
-            let mut honest_ok = true;
-            let mut silent_ok = true;
-            let mut liar_ok = true;
-            let mut msgs = 0u64;
-            for seed in 0..samples as u64 {
-                let out = run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, seed);
-                msgs += out.messages_sent;
-                honest_ok &= out.resolve_default(&vec![0; n]) == vec![1; n];
-                // f players silent.
-                let mut behaviors = BTreeMap::new();
-                for p in 0..f {
-                    behaviors.insert(
-                        p,
-                        Behavior {
-                            silent: true,
-                            ..Behavior::default()
-                        },
-                    );
+            };
+            // Three seed-sweep batches: honest, f players silent, f
+            // players lying in openings.
+            let deviant_plan = |b: Behavior| {
+                let mut p = plan.clone();
+                for player in 0..f {
+                    p = p.with_deviant(player, b.clone());
                 }
-                let out = run_cheap_talk(
-                    &spec,
-                    &inputs,
-                    &behaviors,
-                    &SchedulerKind::Random,
-                    seed,
-                    8_000_000,
-                );
-                silent_ok &= (f..n).all(|p| out.moves[p] == Some(1));
-                // f players lying in openings.
-                let mut behaviors = BTreeMap::new();
-                for p in 0..f {
-                    behaviors.insert(
-                        p,
-                        Behavior {
-                            lie_in_opens: true,
-                            ..Behavior::default()
-                        },
-                    );
-                }
-                let out = run_cheap_talk(
-                    &spec,
-                    &inputs,
-                    &behaviors,
-                    &SchedulerKind::Random,
-                    seed,
-                    8_000_000,
-                );
-                liar_ok &= (f..n).all(|p| out.moves[p] == Some(1));
-            }
+                p
+            };
+            let honest = plan.seeds(0..samples as u64).run_batch();
+            let honest_ok = honest
+                .outcomes()
+                .all(|out| out.resolve_default(&vec![0; n]) == vec![1; n]);
+            let msgs: u64 = honest.outcomes().map(|o| o.messages_sent).sum();
+            let silent_ok = deviant_plan(Behavior {
+                silent: true,
+                ..Behavior::default()
+            })
+            .seeds(0..samples as u64)
+            .run_batch()
+            .outcomes()
+            .all(|out| (f..n).all(|p| out.moves[p] == Some(1)));
+            let liar_ok = deviant_plan(Behavior {
+                lie_in_opens: true,
+                ..Behavior::default()
+            })
+            .seeds(0..samples as u64)
+            .run_batch()
+            .outcomes()
+            .all(|out| (f..n).all(|p| out.moves[p] == Some(1)));
             t.row(vec![
                 k.to_string(),
                 tt.to_string(),
@@ -480,44 +481,45 @@ fn e2_epsilon(samples: usize) {
         let f = k + tt;
         let n = 3 * f + 1;
         let kappa = 3;
-        let spec = majority_spec_epsilon(n, k, tt, kappa);
-        let inputs = ones_inputs(n);
-        let mut honest_ok = true;
-        let mut silent_ok = true;
+        let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+            .players(n)
+            .tolerance(k, tt)
+            .epsilon(kappa)
+            .inputs(ones_inputs(n))
+            .build()
+            .expect("n = 3f+1 > 3k+3t");
+        let honest = plan.seeds(0..samples as u64).run_batch();
+        let honest_ok = honest
+            .outcomes()
+            .all(|out| out.resolve_default(&vec![0; n]) == vec![1; n]);
+        let msgs: u64 = honest.outcomes().map(|o| o.messages_sent).sum();
+        let silent_ok = plan
+            .clone()
+            .with_deviant(
+                0,
+                Behavior {
+                    silent: true,
+                    ..Behavior::default()
+                },
+            )
+            .seeds(0..samples as u64)
+            .run_batch()
+            .outcomes()
+            .all(|out| (1..n).all(|p| out.moves[p] == Some(1)));
+        let liar = plan
+            .clone()
+            .with_deviant(
+                0,
+                Behavior {
+                    lie_in_opens: true,
+                    ..Behavior::default()
+                },
+            )
+            .seeds(0..samples as u64)
+            .run_batch();
         let mut aborts = 0usize;
         let mut wrong = 0usize;
-        let mut msgs = 0u64;
-        for seed in 0..samples as u64 {
-            let out = run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, seed);
-            msgs += out.messages_sent;
-            honest_ok &= out.resolve_default(&vec![0; n]) == vec![1; n];
-            let out = run_with_deviant(
-                &spec,
-                &inputs,
-                Some((
-                    0,
-                    Behavior {
-                        silent: true,
-                        ..Behavior::default()
-                    },
-                )),
-                &SchedulerKind::Random,
-                seed,
-            );
-            silent_ok &= (1..n).all(|p| out.moves[p] == Some(1));
-            let out = run_with_deviant(
-                &spec,
-                &inputs,
-                Some((
-                    0,
-                    Behavior {
-                        lie_in_opens: true,
-                        ..Behavior::default()
-                    },
-                )),
-                &SchedulerKind::Random,
-                seed,
-            );
+        for out in liar.outcomes() {
             // Every honest player either stalls/aborts to default (0) or
             // moves the true value; accepting a *wrong* value is the ε-event.
             for p in 1..n {
@@ -574,24 +576,28 @@ fn e3_punishment(samples: usize) {
     );
     for &(k, tt) in &[(1usize, 0usize), (1, 1)] {
         let n = (3 * k + 4 * tt + 1).max(4 * (k + tt) + 1); // engine robustness also needs n > 4f
-        let spec = majority_spec_punish(n, k, tt);
-        let inputs = ones_inputs(n);
+        let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+            .players(n)
+            .tolerance(k, tt)
+            .wills(vec![3; n]) // punishment action, out of the game's range on purpose
+            .inputs(ones_inputs(n))
+            .build()
+            .expect("n > 3k+4t by construction");
         let (mut finish, mut punish, mut mixed) = (0usize, 0usize, 0usize);
         let mut msgs = 0u64;
+        // The crash point varies with the seed, so this stays a per-seed
+        // sweep of the plan rather than one fixed-deviant batch.
         for seed in 0..samples as u64 {
-            let out = run_with_deviant(
-                &spec,
-                &inputs,
-                Some((
+            let out = plan
+                .clone()
+                .with_deviant(
                     1,
                     Behavior {
                         crash_after_sends: Some(40 + seed % 40),
                         ..Behavior::default()
                     },
-                )),
-                &SchedulerKind::Random,
-                seed,
-            );
+                )
+                .run_with(&SchedulerKind::Random, seed);
             msgs += out.messages_sent;
             let honest: Vec<bool> = (0..n)
                 .filter(|&p| p != 1)
@@ -625,27 +631,18 @@ fn e3_punishment(samples: usize) {
 /// canonical game uniformly and the punishment wills fire.
 fn e3b_relaxed_deadlock(samples: usize) {
     let n = 5;
-    let mut spec = MediatorGameSpec::standard(
-        n,
-        1,
-        0,
-        catalog::majority_circuit(n),
-        vec![vec![Fp::ZERO]; n],
-    );
-    spec.wills = Some(vec![9; n]);
-    let inputs = ones_inputs(n);
+    let plan = Scenario::mediator(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .wills(vec![9; n])
+        .inputs(ones_inputs(n))
+        .build()
+        .expect("n − k − t ≥ 1");
     let mut all_punished = 0usize;
     let mut all_finished = 0usize;
     let mut mixed = 0usize;
     for seed in 0..samples as u64 {
-        let out = mediator_core::mediator::run_mediator_game_relaxed(
-            &spec,
-            &inputs,
-            BTreeMap::new(),
-            n as u64 + 1 + seed % 3,
-            seed,
-            200_000,
-        );
+        let out = plan.run_relaxed(n as u64 + 1 + seed % 3, seed);
         let moved: Vec<bool> = (0..n).map(|p| out.moves[p].is_some()).collect();
         if moved.iter().all(|&b| b) {
             all_finished += 1;
@@ -670,31 +667,35 @@ fn e4_eps_punishment(samples: usize) {
     );
     for &(k, tt) in &[(0usize, 1usize), (1, 1)] {
         let n = 2 * k + 3 * tt + 1;
-        let spec = majority_spec_eps_punish(n, k, tt, 3);
-        let inputs = ones_inputs(n);
-        let mut honest_ok = true;
-        let mut cotermination = true;
-        let mut msgs = 0u64;
-        for seed in 0..samples as u64 {
-            let out = run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, seed);
-            msgs += out.messages_sent;
-            honest_ok &= out.moves[..n].iter().all(|m| m == &Some(1));
-            let out = run_with_deviant(
-                &spec,
-                &inputs,
-                Some((
-                    0,
-                    Behavior {
-                        crash_after_sends: Some(30),
-                        ..Behavior::default()
-                    },
-                )),
-                &SchedulerKind::Random,
-                seed,
-            );
-            let honest: Vec<bool> = (1..n).map(|p| out.moves[p].is_some()).collect();
-            cotermination &= honest.iter().all(|&b| b) || honest.iter().all(|&b| !b);
-        }
+        let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+            .players(n)
+            .tolerance(k, tt)
+            .epsilon(3)
+            .wills(vec![3; n])
+            .inputs(ones_inputs(n))
+            .build()
+            .expect("n = 2k+3t+1 > 2k+3t");
+        let honest = plan.seeds(0..samples as u64).run_batch();
+        let honest_ok = honest
+            .outcomes()
+            .all(|out| out.moves[..n].iter().all(|m| m == &Some(1)));
+        let msgs: u64 = honest.outcomes().map(|o| o.messages_sent).sum();
+        let cotermination = plan
+            .clone()
+            .with_deviant(
+                0,
+                Behavior {
+                    crash_after_sends: Some(30),
+                    ..Behavior::default()
+                },
+            )
+            .seeds(0..samples as u64)
+            .run_batch()
+            .outcomes()
+            .all(|out| {
+                let honest: Vec<bool> = (1..n).map(|p| out.moves[p].is_some()).collect();
+                honest.iter().all(|&b| b) || honest.iter().all(|&b| !b)
+            });
         t.row(vec![
             k.to_string(),
             tt.to_string(),
@@ -809,84 +810,48 @@ fn e6_implementation(samples: usize) {
         ],
     );
     // Majority with scheduler-proof inputs: both sides are point masses.
+    // One RunSet per side per game — the battery × seed grids run on the
+    // worker pool and arrive with their per-kind distributions built in.
     let n = 5;
     let kinds = SchedulerKind::battery(n);
-    let spec = majority_spec_robust(n, 1, 0);
-    let med = MediatorGameSpec::standard(
-        n,
-        1,
-        0,
-        catalog::majority_circuit(n),
-        vec![vec![Fp::ZERO]; n],
-    );
-    let inputs = ones_inputs(n);
-    let rep = compare_implementations(
-        &kinds,
-        samples,
-        |kind, seed| {
-            let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), kind, seed, 8_000_000);
-            out.resolve_default(&vec![0; n])
-                .iter()
-                .map(|&a| a as usize)
-                .collect()
-        },
-        |kind, seed| {
-            let out = run_mediator_game(&med, &inputs, BTreeMap::new(), kind, seed, 200_000);
-            out.resolve_default(&vec![0; n + 1])[..n]
-                .iter()
-                .map(|&a| a as usize)
-                .collect()
-        },
-    );
-    t.row(vec![
-        "majority (unanimous)".into(),
-        n.to_string(),
-        rep.kinds.to_string(),
-        rep.samples.to_string(),
-        f4(rep.distance),
-        f4(rep.weak_distance),
-    ]);
-
-    // The coin game (§6.4 minimally-informative mediator): uniform over
-    // all-0/all-1 on both sides.
-    let n = 5;
-    let spec = CheapTalkSpec::theorem_4_1(
-        n,
-        1,
-        0,
-        catalog::counterexample_minfo(n),
-        vec![vec![]; n],
-        vec![0; n],
-    );
-    let med =
-        MediatorGameSpec::standard(n, 1, 0, catalog::counterexample_minfo(n), vec![vec![]; n]);
-    let empty: Vec<Vec<Fp>> = vec![vec![]; n];
-    let rep = compare_implementations(
-        &kinds,
-        samples,
-        |kind, seed| {
-            let out = run_cheap_talk(&spec, &empty, &BTreeMap::new(), kind, seed, 8_000_000);
-            out.resolve_default(&vec![0; n])
-                .iter()
-                .map(|&a| a as usize)
-                .collect()
-        },
-        |kind, seed| {
-            let out = run_mediator_game(&med, &empty, BTreeMap::new(), kind, seed, 200_000);
-            out.resolve_default(&vec![0; n + 1])[..n]
-                .iter()
-                .map(|&a| a as usize)
-                .collect()
-        },
-    );
-    t.row(vec![
-        "coin (min-info §6.4)".into(),
-        n.to_string(),
-        rep.kinds.to_string(),
-        rep.samples.to_string(),
-        f4(rep.distance),
-        f4(rep.weak_distance),
-    ]);
+    for (label, circuit) in [
+        ("majority (unanimous)", catalog::majority_circuit(n)),
+        ("coin (min-info §6.4)", catalog::counterexample_minfo(n)),
+    ] {
+        let ct_builder = Scenario::cheap_talk(circuit.clone())
+            .players(n)
+            .tolerance(1, 0);
+        let md_builder = Scenario::mediator(circuit).players(n).tolerance(1, 0);
+        let (ct_builder, md_builder) = if label.starts_with("majority") {
+            (
+                ct_builder.inputs(ones_inputs(n)),
+                md_builder.inputs(ones_inputs(n)),
+            )
+        } else {
+            (ct_builder, md_builder) // the coin circuit takes no inputs
+        };
+        let ct = ct_builder
+            .build()
+            .expect("5 > 4")
+            .battery(kinds.clone())
+            .seeds(0..samples as u64)
+            .run_batch();
+        let md = md_builder
+            .build()
+            .expect("n − k − t ≥ 1")
+            .battery(kinds.clone())
+            .seeds(0..samples as u64)
+            .run_batch();
+        let rep = compare_run_sets(&ct, &md);
+        t.row(vec![
+            label.into(),
+            n.to_string(),
+            rep.kinds.to_string(),
+            rep.samples.to_string(),
+            f4(rep.distance),
+            f4(rep.weak_distance),
+        ]);
+    }
     print!("{t}");
     println!("(sampling noise at {samples} samples/kind is ≈ {:.3}; distances below that are statistical zeros)",
         2.0 / (samples as f64).sqrt());
@@ -920,26 +885,28 @@ fn e7_counterexample(samples: u64) {
         } else {
             catalog::counterexample_minfo(n)
         };
-        let mut spec = MediatorGameSpec::standard(n, k, 0, circuit, vec![vec![]; n]);
-        spec.naive_split = naive;
-        spec.wills = Some(vec![library::BOTTOM as u64; n]);
-        (0..samples)
-            .map(|seed| {
-                let mut deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>> = BTreeMap::new();
-                if collude {
-                    deviants.insert(0, Box::new(CounterexampleColluder::new(n, 1)));
-                    deviants.insert(1, Box::new(CounterexampleColluder::new(n, 0)));
-                }
-                let out = run_mediator_game(
-                    &spec,
-                    &vec![vec![]; n],
-                    deviants,
-                    &SchedulerKind::Random,
-                    seed,
-                    200_000,
-                );
-                let resolved = out.resolve_ah(&vec![library::BOTTOM as u64; n + 1]);
-                let actions: Vec<usize> = resolved[..n].iter().map(|&a| a as usize).collect();
+        let mut builder = Scenario::mediator(circuit)
+            .players(n)
+            .tolerance(k, 0)
+            .wills(vec![library::BOTTOM as u64; n])
+            .resolve_defaults(vec![library::BOTTOM as u64; n]);
+        if naive {
+            builder = builder.naive_split();
+        }
+        if collude {
+            builder = builder
+                .deviant(0, move || Box::new(CounterexampleColluder::new(n, 1)))
+                .deviant(1, move || Box::new(CounterexampleColluder::new(n, 0)));
+        }
+        let set = builder
+            .build()
+            .expect("n − k ≥ 1")
+            .seeds(0..samples)
+            .run_batch();
+        // AH resolution with mass-⊥ fallback comes built into the set.
+        set.outcomes()
+            .map(|out| {
+                let actions = set.profile(out);
                 game.utilities(&vec![0; n], &actions)[0]
             })
             .collect()
@@ -1084,26 +1051,31 @@ fn e10_scheduler_collusion(samples: usize) {
     assert_eq!(decoder.decoded(), &values);
 
     // Scheduler-proofness: expected moves of the robust protocol are
-    // identical across scheduler kinds.
+    // identical across scheduler kinds — one battery × seed batch, grouped
+    // per kind.
     let n = 5;
-    let spec = majority_spec_robust(n, 1, 0);
-    let inputs = ones_inputs(n);
+    let set = Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(ones_inputs(n))
+        .build()
+        .expect("5 > 4")
+        .battery(SchedulerKind::battery(n))
+        .seeds(0..samples as u64)
+        .run_batch();
     let mut t = Table::new(
         "E10 — outcome by scheduler kind (robust cheap talk, unanimous inputs)",
         &["scheduler", "runs", "all played majority", "deadlocks"],
     );
-    for kind in SchedulerKind::battery(n) {
-        let mut ok = 0usize;
-        let mut deadlocks = 0usize;
-        for seed in 0..samples as u64 {
-            let out = run_with_deviant(&spec, &inputs, None, &kind, seed);
-            if out.termination == TerminationKind::Deadlock {
-                deadlocks += 1;
-            }
-            if out.resolve_default(&vec![0; n]) == vec![1; n] {
-                ok += 1;
-            }
-        }
+    for (kind, runs) in set.by_kind() {
+        let ok = runs
+            .iter()
+            .filter(|r| r.outcome.resolve_default(&vec![0; n]) == vec![1; n])
+            .count();
+        let deadlocks = runs
+            .iter()
+            .filter(|r| r.outcome.termination == TerminationKind::Deadlock)
+            .count();
         t.row(vec![
             format!("{kind:?}"),
             samples.to_string(),

@@ -8,10 +8,10 @@ pub mod measure;
 
 use mediator_circuits::catalog;
 use mediator_core::deviations::Behavior;
-use mediator_core::{run_cheap_talk, CheapTalkSpec};
+use mediator_core::scenario::CheapTalkPlan;
+use mediator_core::CheapTalkSpec;
 use mediator_field::Fp;
 use mediator_sim::{Outcome, SchedulerKind};
-use std::collections::BTreeMap;
 
 /// Builds the Theorem 4.1 majority workload.
 pub fn majority_spec_robust(n: usize, k: usize, t: usize) -> CheapTalkSpec {
@@ -75,6 +75,12 @@ pub fn ones_inputs(n: usize) -> Vec<Vec<Fp>> {
     vec![vec![Fp::ONE]; n]
 }
 
+/// Builds the Scenario plan for a spec + inputs (step budget 8M, the
+/// harness default).
+pub fn plan_for(spec: &CheapTalkSpec, inputs: &[Vec<Fp>]) -> CheapTalkPlan {
+    CheapTalkPlan::from_spec(spec.clone(), inputs.to_vec())
+}
+
 /// Runs one cheap-talk execution with a single deviant behaviour.
 pub fn run_with_deviant(
     spec: &CheapTalkSpec,
@@ -83,11 +89,11 @@ pub fn run_with_deviant(
     kind: &SchedulerKind,
     seed: u64,
 ) -> Outcome {
-    let mut behaviors = BTreeMap::new();
+    let mut plan = plan_for(spec, inputs);
     if let Some((p, b)) = deviant {
-        behaviors.insert(p, b);
+        plan = plan.with_deviant(p, b);
     }
-    run_cheap_talk(spec, inputs, &behaviors, kind, seed, 8_000_000)
+    plan.run_with(kind, seed)
 }
 
 /// Least-squares slope of `log y` against `log x` — the fitted scaling

@@ -29,7 +29,7 @@ use mediator_circuits::Circuit;
 use mediator_field::Fp;
 use mediator_mpc::{Mode, MpcConfig, MpcDriver, MpcEvent, MpcMsg};
 use mediator_sim::sansio::{route_batch, SansIo};
-use mediator_sim::{Action, Ctx, Outcome, Process, ProcessId, SchedulerKind, World};
+use mediator_sim::{Action, Ctx, Outcome, Process, ProcessId, SchedulerKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -55,7 +55,7 @@ pub enum CtMsg {
 }
 
 /// Specification of a cheap-talk execution.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct CheapTalkSpec {
     /// Number of players.
     pub n: usize,
@@ -358,6 +358,14 @@ impl Process<CtMsg> for CheapTalkPlayer {
 
 /// Runs one cheap-talk game with optional deviant behaviours per player.
 /// Returns the sim outcome; message counts and traces ride along.
+///
+/// Thin, source-compatible wrapper over the builder surface: equivalent to
+/// [`CheapTalkPlan`](crate::scenario::CheapTalkPlan) with the default
+/// starvation bound
+/// ([`DEFAULT_CHEAP_TALK_STARVATION_BOUND`](crate::scenario::DEFAULT_CHEAP_TALK_STARVATION_BOUND)).
+/// New code should start from [`Scenario::cheap_talk`](crate::scenario::Scenario::cheap_talk),
+/// which also validates the theorem thresholds at build time; the parity
+/// suite pins this wrapper byte-for-byte against the builder path.
 pub fn run_cheap_talk(
     spec: &CheapTalkSpec,
     inputs: &[Vec<Fp>],
@@ -366,27 +374,10 @@ pub fn run_cheap_talk(
     seed: u64,
     max_steps: u64,
 ) -> Outcome {
-    let n = spec.n;
-    assert_eq!(inputs.len(), n);
-    let procs: Vec<Box<dyn Process<CtMsg>>> = (0..n)
-        .map(|p| {
-            let b = behaviors.get(&p).cloned().unwrap_or_default();
-            Box::new(CheapTalkPlayer::with_behavior(
-                spec.clone(),
-                p,
-                inputs[p].clone(),
-                b,
-            )) as Box<dyn Process<CtMsg>>
-        })
-        .collect();
-    let mut world = World::new(procs, seed);
-    // The fairness backstop: adversarial schedulers (LIFO in particular)
-    // may starve a prerequisite message behind a torrent of fresh protocol
-    // traffic; force-delivering after 2000 steps keeps runs near-linear
-    // while leaving plenty of room for genuinely adversarial reordering.
-    world.set_starvation_bound(2_000);
-    let mut sched = kind.build();
-    world.run(sched.as_mut(), max_steps)
+    crate::scenario::CheapTalkPlan::from_spec(spec.clone(), inputs.to_vec())
+        .with_behaviors(behaviors.clone())
+        .max_steps(max_steps)
+        .run_with(kind, seed)
 }
 
 #[cfg(test)]

@@ -257,49 +257,21 @@ pub fn cheap_talk_robustness_report(
     deviator: usize,
     samples: usize,
 ) -> RobustnessReport {
-    use mediator_sim::SchedulerKind;
     let n = spec.n;
-    let resolve = |out: &mediator_sim::Outcome| -> Vec<usize> {
-        let moves = if spec.punishment.is_some() {
-            out.resolve_ah(&spec.default_actions)
-        } else {
-            out.resolve_default(&spec.default_actions)
-        };
-        moves[..n].iter().map(|&a| a as usize).collect()
+    // One validated plan; the baseline and every battery deviation are
+    // seed-sweep batches of it (fanned across worker threads by run_batch).
+    let plan = crate::scenario::CheapTalkPlan::from_spec(spec.clone(), inputs.to_vec());
+    let runs_for = |plan: crate::scenario::CheapTalkPlan| -> Vec<(Vec<usize>, Vec<usize>)> {
+        let set = plan.seeds(0..samples as u64).run_batch();
+        set.outcomes()
+            .map(|out| (types.to_vec(), set.profile(out)))
+            .collect()
     };
-    // Baseline.
-    let base_runs: Vec<(Vec<usize>, Vec<usize>)> = (0..samples as u64)
-        .map(|seed| {
-            let out = crate::cheap_talk::run_cheap_talk(
-                spec,
-                inputs,
-                &std::collections::BTreeMap::new(),
-                &SchedulerKind::Random,
-                seed,
-                8_000_000,
-            );
-            (types.to_vec(), resolve(&out))
-        })
-        .collect();
-    let base_u = empirical_utilities(game, &base_runs);
+    let base_u = empirical_utilities(game, &runs_for(plan.clone()));
 
     let mut report = RobustnessReport::default();
     for (name, behavior) in Behavior::battery() {
-        let dev_runs: Vec<(Vec<usize>, Vec<usize>)> = (0..samples as u64)
-            .map(|seed| {
-                let mut behaviors = std::collections::BTreeMap::new();
-                behaviors.insert(deviator, behavior.clone());
-                let out = crate::cheap_talk::run_cheap_talk(
-                    spec,
-                    inputs,
-                    &behaviors,
-                    &SchedulerKind::Random,
-                    seed,
-                    8_000_000,
-                );
-                (types.to_vec(), resolve(&out))
-            })
-            .collect();
+        let dev_runs = runs_for(plan.clone().with_deviant(deviator, behavior));
         let dev_u = empirical_utilities(game, &dev_runs);
         let honest_worst = (0..n)
             .filter(|&p| p != deviator)

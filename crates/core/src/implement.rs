@@ -9,6 +9,7 @@
 //! distribution from seeded samples. The distances reported are therefore
 //! statistical estimates — EXPERIMENTS.md records sample counts alongside.
 
+use crate::scenario::RunSet;
 use mediator_games::dist::{set_distance, weak_set_distance, OutcomeDist};
 use mediator_sim::SchedulerKind;
 
@@ -54,6 +55,39 @@ impl ImplementationReport {
     /// ε-implementation.
     pub fn weakly_eps_implements(&self, eps: f64) -> bool {
         self.weak_distance <= eps
+    }
+}
+
+/// Compares two batch [`RunSet`]s — typically a cheap-talk game against
+/// its mediator game over the same scheduler battery, as produced by the
+/// [`Scenario`](crate::scenario::Scenario) builders' `run_batch`. The
+/// per-kind [`OutcomeDist`]s come built-in with the sets, so this is pure
+/// distance arithmetic.
+///
+/// # Panics
+///
+/// Panics if the two sets were not run over the same battery, or with
+/// different sample counts per kind (the reported `samples` — and the
+/// sampling-noise floor readers derive from it — would be wrong for one
+/// side).
+pub fn compare_run_sets(ct: &RunSet, md: &RunSet) -> ImplementationReport {
+    assert_eq!(
+        ct.kinds(),
+        md.kinds(),
+        "run sets must share the scheduler battery"
+    );
+    assert_eq!(
+        ct.seeds_per_kind(),
+        md.seeds_per_kind(),
+        "run sets must sample the same number of seeds per kind"
+    );
+    let c = ct.distributions();
+    let m = md.distributions();
+    ImplementationReport {
+        distance: set_distance(&c, &m),
+        weak_distance: weak_set_distance(&c, &m),
+        kinds: ct.kinds().len(),
+        samples: ct.seeds_per_kind(),
     }
 }
 
@@ -118,6 +152,28 @@ mod tests {
             rep.distance > 1.0,
             "the mediator's Fifo distribution is unmatched"
         );
+    }
+
+    #[test]
+    fn run_set_comparison_of_identical_batches_is_zero() {
+        use crate::scenario::Scenario;
+        use mediator_circuits::catalog;
+        use mediator_field::Fp;
+        let n = 5;
+        let kinds = vec![SchedulerKind::Random, SchedulerKind::Fifo];
+        let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+            .players(n)
+            .tolerance(1, 0)
+            .inputs(vec![vec![Fp::ONE]; n])
+            .build()
+            .expect("5 > 4");
+        let a = plan.battery(kinds.clone()).seeds(0..2).run_batch();
+        let b = plan.battery(kinds).seeds(0..2).run_batch();
+        let rep = compare_run_sets(&a, &b);
+        assert_eq!(rep.distance, 0.0);
+        assert_eq!(rep.weak_distance, 0.0);
+        assert_eq!(rep.kinds, 2);
+        assert_eq!(rep.samples, 2);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   scheduler-equivalence-class counting (`(2rn)(4rn)(4rn)!/(r!)^{2n}`),
 //!   the least round count `R` with `(Rn)! ≥ classes`, and the
 //!   `2^{O(N log N)}`-vs-`O(n)` message-cost table.
+//! * [`scenario`] — the **Scenario API**: the builder-first experiment
+//!   surface (`Scenario::cheap_talk(…)` / `Scenario::mediator(…)`) with
+//!   build-time theorem-threshold validation, the multi-threaded
+//!   `(scheduler × seed)` batch runner ([`RunSet`]), and steppable
+//!   [`Session`](mediator_sim::Session)s. The free functions above are
+//!   thin wrappers over it.
 //! * [`implement`] — empirical **implementation checking**: outcome
 //!   distributions under scheduler batteries, compared with the paper's
 //!   set-distance (both directions for implementation, one direction for
@@ -37,7 +43,12 @@ pub mod implement;
 pub mod mediator;
 pub mod min_info;
 pub mod report;
+pub mod scenario;
 
 pub use cheap_talk::{run_cheap_talk, CheapTalkPlayer, CheapTalkSpec, CtMsg, CtVariant};
 pub use deviations::{Behavior, RobustnessReport};
 pub use mediator::{run_mediator_game, MedMsg, MediatorGameSpec};
+pub use scenario::{
+    Batch, CheapTalkPlan, MediatorPlan, Resolve, RunRecord, RunSet, Scenario, ScenarioError,
+    Theorem,
+};

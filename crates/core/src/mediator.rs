@@ -57,7 +57,7 @@ pub enum MedMsg {
 }
 
 /// Specification of a mediator game execution.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct MediatorGameSpec {
     /// Number of players (the mediator is process `n`).
     pub n: usize,
@@ -297,6 +297,14 @@ impl Process<MedMsg> for CircuitMediator {
 /// everyone else plays the honest canonical strategy with `inputs[p]`.
 /// Returns the sim outcome (resolve moves with the spec's wills or the
 /// game's default moves at the caller).
+///
+/// Thin, source-compatible wrapper over the builder surface
+/// ([`Scenario::mediator`](crate::scenario::Scenario::mediator)), running
+/// with the default starvation bound
+/// ([`DEFAULT_MEDIATOR_STARVATION_BOUND`](crate::scenario::DEFAULT_MEDIATOR_STARVATION_BOUND)
+/// — see that constant for why mediator games default looser than cheap
+/// talk); builder callers can override it with `.starvation_bound(…)`.
+/// The parity suite pins this wrapper byte-for-byte against the builder.
 pub fn run_mediator_game(
     spec: &MediatorGameSpec,
     inputs: &[Vec<Fp>],
@@ -305,10 +313,9 @@ pub fn run_mediator_game(
     seed: u64,
     max_steps: u64,
 ) -> Outcome {
-    let mut world = build_world(spec, inputs, deviants, seed);
-    world.set_starvation_bound(10_000);
-    let mut sched = kind.build();
-    world.run(sched.as_mut(), max_steps)
+    crate::scenario::MediatorPlan::from_spec(spec.clone(), inputs.to_vec())
+        .max_steps(max_steps)
+        .run_with_deviants(deviants, kind, seed)
 }
 
 /// Runs one mediator game under a **relaxed scheduler** (§5): messages from
@@ -316,6 +323,9 @@ pub fn run_mediator_game(
 /// of Lemma 6.10) after `drop_after` deliveries. This is the deadlock
 /// machinery of Propositions 6.9/6.11: with the mediator's STOP batch
 /// withheld, no honest player can move, and the wills (punishments) fire.
+///
+/// Thin wrapper over
+/// [`MediatorPlan::run_relaxed`](crate::scenario::MediatorPlan::run_relaxed).
 pub fn run_mediator_game_relaxed(
     spec: &MediatorGameSpec,
     inputs: &[Vec<Fp>],
@@ -324,14 +334,12 @@ pub fn run_mediator_game_relaxed(
     seed: u64,
     max_steps: u64,
 ) -> Outcome {
-    let mediator = spec.n;
-    let mut world = build_world(spec, inputs, deviants, seed);
-    world.allow_drops();
-    let mut sched = mediator_sim::RelaxedScheduler::new(vec![mediator], drop_after);
-    world.run(&mut sched, max_steps)
+    crate::scenario::MediatorPlan::from_spec(spec.clone(), inputs.to_vec())
+        .max_steps(max_steps)
+        .run_relaxed_with_deviants(deviants, drop_after, seed)
 }
 
-fn build_world(
+pub(crate) fn build_world(
     spec: &MediatorGameSpec,
     inputs: &[Vec<Fp>],
     mut deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>>,

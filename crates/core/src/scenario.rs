@@ -1,0 +1,1620 @@
+//! The Scenario API: the builder-first experiment surface of the crate.
+//!
+//! The paper's claims are statements about *distributions of outcomes over
+//! scheduler batteries and seeds*, yet the historical entry points were
+//! positional free functions — every caller hand-rolled its own seed loop,
+//! scheduler loop, and aggregation. This module is the one validated,
+//! batch-native surface they all go through now (the free functions
+//! [`run_cheap_talk`](crate::cheap_talk::run_cheap_talk) and
+//! [`run_mediator_game`](crate::mediator::run_mediator_game) survive as
+//! thin wrappers, pinned by parity tests):
+//!
+//! * **[`Scenario`] builders** — `Scenario::cheap_talk(circuit)` /
+//!   `Scenario::mediator(circuit)` with fluent `.players(n)`,
+//!   `.tolerance(k, t)`, `.input(i, …)`, `.deviant(i, …)`, `.wills(…)`,
+//!   `.starvation_bound(…)`, `.scheduler(…)` steps. `build()` selects the
+//!   theorem regime from the configured machinery and **validates the
+//!   threshold** (`n > 4k+4t` for Theorem 4.1, …), returning a typed
+//!   [`ScenarioError`] instead of a downstream panic.
+//! * **Batch execution plans** — `.battery(SchedulerKind::battery(n))
+//!   .seeds(0..4000).run_batch()` fans the `(scheduler, seed)` grid across
+//!   `std::thread` workers and returns a [`RunSet`] with built-in
+//!   [`OutcomeDist`] aggregation per scheduler kind.
+//! * **Steppable sessions** — `.session()` opens the identical run as a
+//!   [`Session`]: `step()` one event at a time, inspect `pending()`,
+//!   `inject(…)` external messages, `finish()` into the ordinary
+//!   [`Outcome`]. This is the seam a future async/network backend attaches
+//!   to.
+//!
+//! # Example
+//!
+//! ```
+//! use mediator_core::scenario::Scenario;
+//! use mediator_circuits::catalog;
+//! use mediator_field::Fp;
+//! use mediator_sim::SchedulerKind;
+//!
+//! let n = 5;
+//! // Unanimous votes: the majority is scheduler-proof, so every battery
+//! // member's outcome distribution is the same point mass.
+//! let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+//!     .players(n)
+//!     .tolerance(1, 0) // Theorem 4.1: n = 5 > 4k+4t = 4 ✓
+//!     .inputs(vec![vec![Fp::ONE]; n])
+//!     .build()
+//!     .expect("threshold satisfied");
+//! let set = plan
+//!     .battery(SchedulerKind::battery(n))
+//!     .seeds(0..4)
+//!     .run_batch();
+//! for dist in set.distributions() {
+//!     assert!((dist.prob(&[1; 5]) - 1.0).abs() < 1e-12);
+//! }
+//! ```
+
+use crate::cheap_talk::{CheapTalkPlayer, CheapTalkSpec, CtMsg, CtVariant};
+use crate::deviations::Behavior;
+use crate::mediator::{build_world as build_mediator_world, MedMsg, MediatorGameSpec};
+use mediator_circuits::Circuit;
+use mediator_field::Fp;
+use mediator_games::dist::OutcomeDist;
+use mediator_sim::{Action, Outcome, Process, RelaxedScheduler, SchedulerKind, Session, World};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default starvation bound for cheap-talk executions (inherited from the
+/// shared sans-IO runner): adversarial schedulers — LIFO in particular —
+/// can starve a prerequisite message behind a torrent of fresh protocol
+/// traffic (a cheap-talk run moves thousands of messages), and
+/// force-delivering after this many steps converts that livelock into
+/// near-linear runs while leaving plenty of room for genuinely adversarial
+/// reordering.
+pub const DEFAULT_CHEAP_TALK_STARVATION_BOUND: u64 = mediator_sim::sansio::DEFAULT_STARVATION_BOUND;
+
+/// Default starvation bound for mediator games. Deliberately **five times
+/// looser** than the cheap-talk bound: a canonical mediator game moves only
+/// O(n) messages, so there is no livelock to pace away — the backstop
+/// exists purely as the model's eventual-delivery guarantee. Keeping it
+/// loose lets the adversarial battery members (targeted delay, partitions)
+/// withhold traffic for as long as their design intends instead of having
+/// the watchdog neuter them after 2 000 steps.
+pub const DEFAULT_MEDIATOR_STARVATION_BOUND: u64 = 10_000;
+
+fn default_batch_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The four cheap-talk theorem regimes and their resilience thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Theorem {
+    /// Theorem 4.1 — fully robust cheap talk: `n > 4k + 4t`.
+    Robust41,
+    /// Theorem 4.2 — ε cheap talk (detect-and-abort): `n > 3k + 3t`.
+    Epsilon42,
+    /// Theorem 4.4 — punishment wills + cotermination barrier:
+    /// `n > 3k + 4t`.
+    Punishment44,
+    /// Theorem 4.5 — ε + punishment: `n > 2k + 3t`.
+    EpsilonPunishment45,
+}
+
+impl Theorem {
+    /// The strict lower bound `B(k, t)`: the regime requires `n > B`.
+    pub fn lower_bound(self, k: usize, t: usize) -> usize {
+        match self {
+            Theorem::Robust41 => 4 * k + 4 * t,
+            Theorem::Epsilon42 => 3 * k + 3 * t,
+            Theorem::Punishment44 => 3 * k + 4 * t,
+            Theorem::EpsilonPunishment45 => 2 * k + 3 * t,
+        }
+    }
+
+    /// Whether `(n, k, t)` satisfies the theorem's threshold.
+    pub fn admits(self, n: usize, k: usize, t: usize) -> bool {
+        n > self.lower_bound(k, t)
+    }
+
+    /// The threshold inequality, as the paper writes it.
+    pub fn bound(self) -> &'static str {
+        match self {
+            Theorem::Robust41 => "n > 4k + 4t",
+            Theorem::Epsilon42 => "n > 3k + 3t",
+            Theorem::Punishment44 => "n > 3k + 4t",
+            Theorem::EpsilonPunishment45 => "n > 2k + 3t",
+        }
+    }
+
+    /// The theorem's number in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Theorem::Robust41 => "4.1",
+            Theorem::Epsilon42 => "4.2",
+            Theorem::Punishment44 => "4.4",
+            Theorem::EpsilonPunishment45 => "4.5",
+        }
+    }
+}
+
+impl fmt::Display for Theorem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Theorem {} ({})", self.name(), self.bound())
+    }
+}
+
+/// A rejected scenario: the typed build-time diagnosis that replaces the
+/// downstream panics of the positional API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// `(n, k, t)` violates the selected theorem's resilience threshold.
+    Threshold {
+        /// The theorem regime the builder selected.
+        theorem: Theorem,
+        /// Configured player count.
+        n: usize,
+        /// Configured rational-coalition bound.
+        k: usize,
+        /// Configured malicious bound.
+        t: usize,
+    },
+    /// `.players(…)` was never called (or was zero).
+    NoPlayers,
+    /// The mediator must be able to proceed from `n − k − t ≥ 1` inputs.
+    ToleranceTooLarge {
+        /// Configured player count.
+        n: usize,
+        /// Configured rational-coalition bound.
+        k: usize,
+        /// Configured malicious bound.
+        t: usize,
+    },
+    /// A per-player argument referenced a player id `≥ n`.
+    PlayerOutOfRange {
+        /// Which builder step misfired.
+        what: &'static str,
+        /// The offending player id.
+        player: usize,
+        /// Configured player count.
+        n: usize,
+    },
+    /// A vector argument had the wrong length.
+    ArityMismatch {
+        /// Which builder step misfired.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+}
+
+impl ScenarioError {
+    /// For [`ScenarioError::Threshold`]: the least `n` the regime admits.
+    pub fn required_n(&self) -> Option<usize> {
+        match self {
+            ScenarioError::Threshold { theorem, k, t, .. } => Some(theorem.lower_bound(*k, *t) + 1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Threshold { theorem, n, k, t } => write!(
+                f,
+                "{theorem} rejects n = {n} with k = {k}, t = {t}: need n ≥ {}",
+                theorem.lower_bound(*k, *t) + 1
+            ),
+            ScenarioError::NoPlayers => write!(f, "scenario has no players: call .players(n)"),
+            ScenarioError::ToleranceTooLarge { n, k, t } => write!(
+                f,
+                "mediator game needs n − k − t ≥ 1 inputs to proceed: n = {n}, k = {k}, t = {t}"
+            ),
+            ScenarioError::PlayerOutOfRange { what, player, n } => {
+                write!(f, "{what}: player {player} out of range (n = {n})")
+            }
+            ScenarioError::ArityMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected length {expected}, got {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Entry point of the builder surface.
+pub struct Scenario;
+
+impl Scenario {
+    /// Starts a cheap-talk scenario over `circuit` (the mediator being
+    /// simulated). Configure with the fluent steps, then [`CheapTalk::build`].
+    pub fn cheap_talk(circuit: Circuit) -> CheapTalk {
+        CheapTalk {
+            circuit,
+            n: None,
+            k: 0,
+            t: 0,
+            kappa: None,
+            punishment: None,
+            inputs_all: None,
+            inputs_one: Vec::new(),
+            behaviors: Vec::new(),
+            defaults: None,
+            default_actions: None,
+            coin_seed: 0x5EED,
+            starvation_bound: DEFAULT_CHEAP_TALK_STARVATION_BOUND,
+            scheduler: SchedulerKind::Random,
+            seed: 0,
+            max_steps: 8_000_000,
+        }
+    }
+
+    /// Starts a mediator-game scenario over `circuit` (the trusted
+    /// mediator's strategy). Configure, then [`MediatorGame::build`].
+    pub fn mediator(circuit: Circuit) -> MediatorGame {
+        MediatorGame {
+            circuit,
+            n: None,
+            k: 0,
+            t: 0,
+            naive_split: false,
+            extra_rounds: 0,
+            wills: None,
+            inputs_all: None,
+            inputs_one: Vec::new(),
+            deviants: Vec::new(),
+            defaults: None,
+            resolve_defaults: None,
+            starvation_bound: DEFAULT_MEDIATOR_STARVATION_BOUND,
+            scheduler: SchedulerKind::Random,
+            seed: 0,
+            max_steps: 200_000,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cheap talk
+// ---------------------------------------------------------------------------
+
+/// Builder for a cheap-talk scenario (Theorems 4.1/4.2/4.4/4.5).
+///
+/// The theorem regime is selected by the machinery you configure — the same
+/// four combinations the paper proves:
+///
+/// | ε ([`CheapTalk::epsilon`]) | wills ([`CheapTalk::wills`]) | regime |
+/// |---|---|---|
+/// | no  | no  | [`Theorem::Robust41`] |
+/// | yes | no  | [`Theorem::Epsilon42`] |
+/// | no  | yes | [`Theorem::Punishment44`] (cotermination barrier on) |
+/// | yes | yes | [`Theorem::EpsilonPunishment45`] |
+#[derive(Clone)]
+pub struct CheapTalk {
+    circuit: Circuit,
+    n: Option<usize>,
+    k: usize,
+    t: usize,
+    kappa: Option<usize>,
+    punishment: Option<Vec<Action>>,
+    inputs_all: Option<Vec<Vec<Fp>>>,
+    inputs_one: Vec<(usize, Vec<Fp>)>,
+    behaviors: Vec<(usize, Behavior)>,
+    defaults: Option<Vec<Vec<Fp>>>,
+    default_actions: Option<Vec<Action>>,
+    coin_seed: u64,
+    starvation_bound: u64,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_steps: u64,
+}
+
+impl CheapTalk {
+    /// Sets the number of players.
+    pub fn players(mut self, n: usize) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// Sets the tolerance pair: `k` rational deviators, `t` malicious
+    /// players. The theorem threshold over `(n, k, t)` is validated by
+    /// [`CheapTalk::build`].
+    pub fn tolerance(mut self, k: usize, t: usize) -> Self {
+        self.k = k;
+        self.t = t;
+        self
+    }
+
+    /// Selects the fully robust engine (the default): Theorem 4.1, or 4.4
+    /// once wills are configured.
+    pub fn robust(mut self) -> Self {
+        self.kappa = None;
+        self
+    }
+
+    /// Selects the ε engine with `kappa` cut-and-choose checks per dealer:
+    /// Theorem 4.2, or 4.5 once wills are configured.
+    pub fn epsilon(mut self, kappa: usize) -> Self {
+        self.kappa = Some(kappa);
+        self
+    }
+
+    /// Configures punishment wills (one action per player) and the
+    /// cotermination barrier: Theorem 4.4, or 4.5 under the ε engine.
+    pub fn wills(mut self, punishment: Vec<Action>) -> Self {
+        self.punishment = Some(punishment);
+        self
+    }
+
+    /// Sets player `i`'s private input (players not set fall back to the
+    /// default inputs).
+    pub fn input(mut self, i: usize, input: Vec<Fp>) -> Self {
+        self.inputs_one.push((i, input));
+        self
+    }
+
+    /// Sets every player's private input at once.
+    pub fn inputs(mut self, inputs: Vec<Vec<Fp>>) -> Self {
+        self.inputs_all = Some(inputs);
+        self
+    }
+
+    /// Makes player `i` play the given parameterized deviation instead of
+    /// the honest strategy.
+    pub fn deviant(mut self, i: usize, behavior: Behavior) -> Self {
+        self.behaviors.push((i, behavior));
+        self
+    }
+
+    /// Overrides the default circuit inputs used for excluded players
+    /// (zeroes of the circuit's per-player arity if not set).
+    pub fn default_inputs(mut self, defaults: Vec<Vec<Fp>>) -> Self {
+        self.defaults = Some(defaults);
+        self
+    }
+
+    /// Overrides the default moves `M_i` played on abort without wills
+    /// (all-zero if not set).
+    pub fn default_actions(mut self, actions: Vec<Action>) -> Self {
+        self.default_actions = Some(actions);
+        self
+    }
+
+    /// Overrides the shared setup seed (ABA coins, detection challenges).
+    pub fn coin_seed(mut self, seed: u64) -> Self {
+        self.coin_seed = seed;
+        self
+    }
+
+    /// Overrides the starvation bound
+    /// ([`DEFAULT_CHEAP_TALK_STARVATION_BOUND`] if not set).
+    pub fn starvation_bound(mut self, bound: u64) -> Self {
+        self.starvation_bound = bound;
+        self
+    }
+
+    /// Sets the scheduler used by single runs and sessions (batches carry
+    /// their own battery). Defaults to [`SchedulerKind::Random`].
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Sets the seed used by single runs and sessions. Defaults to 0.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the step budget (livelock guard). Defaults to 8 000 000.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// The theorem regime the configured machinery selects.
+    pub fn selected_theorem(&self) -> Theorem {
+        match (self.kappa.is_some(), self.punishment.is_some()) {
+            (false, false) => Theorem::Robust41,
+            (true, false) => Theorem::Epsilon42,
+            (false, true) => Theorem::Punishment44,
+            (true, true) => Theorem::EpsilonPunishment45,
+        }
+    }
+
+    /// Validates the scenario — the theorem threshold first — and produces
+    /// the executable [`CheapTalkPlan`].
+    pub fn build(self) -> Result<CheapTalkPlan, ScenarioError> {
+        let n = self.n.filter(|&n| n > 0).ok_or(ScenarioError::NoPlayers)?;
+        if self.circuit.num_players() != n {
+            return Err(ScenarioError::ArityMismatch {
+                what: "circuit players",
+                expected: n,
+                got: self.circuit.num_players(),
+            });
+        }
+        let theorem = self.selected_theorem();
+        if !theorem.admits(n, self.k, self.t) {
+            return Err(ScenarioError::Threshold {
+                theorem,
+                n,
+                k: self.k,
+                t: self.t,
+            });
+        }
+        let arity = self.circuit.inputs_per_player().to_vec();
+        let defaults = match self.defaults {
+            Some(d) => {
+                if d.len() != n {
+                    return Err(ScenarioError::ArityMismatch {
+                        what: "default inputs",
+                        expected: n,
+                        got: d.len(),
+                    });
+                }
+                d
+            }
+            None => arity.iter().map(|&a| vec![Fp::ZERO; a]).collect(),
+        };
+        let default_actions = match self.default_actions {
+            Some(a) if a.len() != n => {
+                return Err(ScenarioError::ArityMismatch {
+                    what: "default actions",
+                    expected: n,
+                    got: a.len(),
+                });
+            }
+            Some(a) => a,
+            None => vec![0; n],
+        };
+        if let Some(p) = &self.punishment {
+            if p.len() != n {
+                return Err(ScenarioError::ArityMismatch {
+                    what: "wills",
+                    expected: n,
+                    got: p.len(),
+                });
+            }
+        }
+        let mut inputs = match self.inputs_all {
+            Some(i) => {
+                if i.len() != n {
+                    return Err(ScenarioError::ArityMismatch {
+                        what: "inputs",
+                        expected: n,
+                        got: i.len(),
+                    });
+                }
+                i
+            }
+            None => defaults.clone(),
+        };
+        for (p, input) in self.inputs_one {
+            if p >= n {
+                return Err(ScenarioError::PlayerOutOfRange {
+                    what: "input",
+                    player: p,
+                    n,
+                });
+            }
+            inputs[p] = input;
+        }
+        for (p, input) in inputs.iter().enumerate() {
+            if input.len() != arity[p] {
+                return Err(ScenarioError::ArityMismatch {
+                    what: "player input arity",
+                    expected: arity[p],
+                    got: input.len(),
+                });
+            }
+        }
+        let mut behaviors = BTreeMap::new();
+        for (p, b) in self.behaviors {
+            if p >= n {
+                return Err(ScenarioError::PlayerOutOfRange {
+                    what: "deviant",
+                    player: p,
+                    n,
+                });
+            }
+            behaviors.insert(p, b);
+        }
+        let barrier = self.punishment.is_some();
+        let spec = CheapTalkSpec {
+            n,
+            k: self.k,
+            t: self.t,
+            variant: match self.kappa {
+                None => CtVariant::Robust,
+                Some(kappa) => CtVariant::Epsilon { kappa },
+            },
+            circuit: Arc::new(self.circuit),
+            coin_seed: self.coin_seed,
+            defaults,
+            punishment: self.punishment,
+            default_actions,
+            barrier,
+        };
+        Ok(CheapTalkPlan {
+            spec,
+            inputs,
+            behaviors,
+            scheduler: self.scheduler,
+            seed: self.seed,
+            max_steps: self.max_steps,
+            starvation_bound: self.starvation_bound,
+        })
+    }
+}
+
+/// A validated, executable cheap-talk scenario.
+///
+/// Cloneable and `Sync`: one plan fans out across however many runs,
+/// sessions, and worker threads the experiment needs.
+#[derive(Debug, Clone)]
+pub struct CheapTalkPlan {
+    spec: CheapTalkSpec,
+    inputs: Vec<Vec<Fp>>,
+    behaviors: BTreeMap<usize, Behavior>,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_steps: u64,
+    starvation_bound: u64,
+}
+
+impl CheapTalkPlan {
+    /// Adopts a pre-validated [`CheapTalkSpec`] (the escape hatch the
+    /// source-compatible free-function wrappers go through — **no theorem
+    /// threshold check happens here**; use [`Scenario::cheap_talk`] for the
+    /// validated path).
+    pub fn from_spec(spec: CheapTalkSpec, inputs: Vec<Vec<Fp>>) -> Self {
+        assert_eq!(inputs.len(), spec.n);
+        CheapTalkPlan {
+            spec,
+            inputs,
+            behaviors: BTreeMap::new(),
+            scheduler: SchedulerKind::Random,
+            seed: 0,
+            max_steps: 8_000_000,
+            starvation_bound: DEFAULT_CHEAP_TALK_STARVATION_BOUND,
+        }
+    }
+
+    /// The validated spec.
+    pub fn spec(&self) -> &CheapTalkSpec {
+        &self.spec
+    }
+
+    /// The resolved per-player inputs.
+    pub fn inputs(&self) -> &[Vec<Fp>] {
+        &self.inputs
+    }
+
+    /// Replaces the whole deviation map.
+    pub fn with_behaviors(mut self, behaviors: BTreeMap<usize, Behavior>) -> Self {
+        self.behaviors = behaviors;
+        self
+    }
+
+    /// Adds (or replaces) one player's deviation.
+    pub fn with_deviant(mut self, p: usize, behavior: Behavior) -> Self {
+        assert!(p < self.spec.n, "deviant {p} out of range");
+        self.behaviors.insert(p, behavior);
+        self
+    }
+
+    /// Overrides the single-run scheduler.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Overrides the single-run seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Overrides the starvation bound.
+    pub fn starvation_bound(mut self, bound: u64) -> Self {
+        self.starvation_bound = bound;
+        self
+    }
+
+    fn build_world(&self, seed: u64) -> World<CtMsg> {
+        let n = self.spec.n;
+        let procs: Vec<Box<dyn Process<CtMsg>>> = (0..n)
+            .map(|p| {
+                let b = self.behaviors.get(&p).cloned().unwrap_or_default();
+                Box::new(CheapTalkPlayer::with_behavior(
+                    self.spec.clone(),
+                    p,
+                    self.inputs[p].clone(),
+                    b,
+                )) as Box<dyn Process<CtMsg>>
+            })
+            .collect();
+        let mut world = World::new(procs, seed);
+        world.set_starvation_bound(self.starvation_bound);
+        world
+    }
+
+    /// Runs once with the configured scheduler and seed.
+    pub fn run(&self) -> Outcome {
+        self.run_with(&self.scheduler, self.seed)
+    }
+
+    /// Runs once with an explicit scheduler kind and seed.
+    pub fn run_with(&self, kind: &SchedulerKind, seed: u64) -> Outcome {
+        let mut world = self.build_world(seed);
+        let mut sched = kind.build();
+        world.run(sched.as_mut(), self.max_steps)
+    }
+
+    /// Opens the configured run as a steppable [`Session`].
+    pub fn session(&self) -> Session<CtMsg> {
+        self.session_with(&self.scheduler, self.seed)
+    }
+
+    /// Opens a steppable [`Session`] with an explicit scheduler and seed.
+    pub fn session_with(&self, kind: &SchedulerKind, seed: u64) -> Session<CtMsg> {
+        Session::new(self.build_world(seed), kind.build(), self.max_steps)
+    }
+
+    /// Starts a batch over the given scheduler battery (seeds default to
+    /// the plan's single seed until [`Batch::seeds`] widens them).
+    pub fn battery(&self, kinds: Vec<SchedulerKind>) -> Batch<CheapTalkPlan> {
+        Batch::new(self.clone()).battery(kinds)
+    }
+
+    /// Starts a batch over the given seeds (scheduler battery defaults to
+    /// the plan's single scheduler until [`Batch::battery`] widens it).
+    pub fn seeds(&self, seeds: impl IntoIterator<Item = u64>) -> Batch<CheapTalkPlan> {
+        Batch::new(self.clone()).seeds(seeds)
+    }
+}
+
+impl BatchRun for CheapTalkPlan {
+    fn run_one(&self, kind: &SchedulerKind, seed: u64) -> Outcome {
+        self.run_with(kind, seed)
+    }
+
+    fn players(&self) -> usize {
+        self.spec.n
+    }
+
+    fn default_scheduler(&self) -> SchedulerKind {
+        self.scheduler.clone()
+    }
+
+    fn default_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn resolve_mode(&self) -> Resolve {
+        // The paper's two infinite-play semantics: wills (Aumann–Hart)
+        // when the spec carries a punishment, default moves otherwise.
+        if self.spec.punishment.is_some() {
+            Resolve::Ah(self.spec.default_actions.clone())
+        } else {
+            Resolve::Default(self.spec.default_actions.clone())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mediator games
+// ---------------------------------------------------------------------------
+
+/// A deviant-process factory: batches need a fresh process per run, so
+/// deviants are registered as closures rather than boxed instances.
+pub type DeviantFactory = Arc<dyn Fn() -> Box<dyn Process<MedMsg>> + Send + Sync>;
+
+/// Builder for a mediator-game scenario (the canonical form of §2,
+/// including the §6.4 naive two-round shape).
+#[derive(Clone)]
+pub struct MediatorGame {
+    circuit: Circuit,
+    n: Option<usize>,
+    k: usize,
+    t: usize,
+    naive_split: bool,
+    extra_rounds: u64,
+    wills: Option<Vec<Action>>,
+    inputs_all: Option<Vec<Vec<Fp>>>,
+    inputs_one: Vec<(usize, Vec<Fp>)>,
+    deviants: Vec<(usize, DeviantFactory)>,
+    defaults: Option<Vec<Vec<Fp>>>,
+    resolve_defaults: Option<Vec<Action>>,
+    starvation_bound: u64,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_steps: u64,
+}
+
+impl MediatorGame {
+    /// Sets the number of players (the mediator is process `n` on top).
+    pub fn players(mut self, n: usize) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// Sets the tolerance pair `(k, t)`; the mediator waits for
+    /// `n − k − t` complete inputs before computing.
+    pub fn tolerance(mut self, k: usize, t: usize) -> Self {
+        self.k = k;
+        self.t = t;
+        self
+    }
+
+    /// Selects the §6.4 naive two-round shape: a private leak round that
+    /// waits for *all* `n` acks before the STOP.
+    pub fn naive_split(mut self) -> Self {
+        self.naive_split = true;
+        self
+    }
+
+    /// Inserts content-free rounds before STOP (Lemma 6.8 experiments).
+    pub fn extra_rounds(mut self, rounds: u64) -> Self {
+        self.extra_rounds = rounds;
+        self
+    }
+
+    /// Configures the Aumann–Hart wills each honest player leaves at start.
+    pub fn wills(mut self, wills: Vec<Action>) -> Self {
+        self.wills = Some(wills);
+        self
+    }
+
+    /// Sets player `i`'s private input.
+    pub fn input(mut self, i: usize, input: Vec<Fp>) -> Self {
+        self.inputs_one.push((i, input));
+        self
+    }
+
+    /// Sets every player's private input at once.
+    pub fn inputs(mut self, inputs: Vec<Vec<Fp>>) -> Self {
+        self.inputs_all = Some(inputs);
+        self
+    }
+
+    /// Replaces player `i` with a deviant process. The factory is invoked
+    /// once per run, so batches get a fresh process each time.
+    pub fn deviant(
+        mut self,
+        i: usize,
+        factory: impl Fn() -> Box<dyn Process<MedMsg>> + Send + Sync + 'static,
+    ) -> Self {
+        self.deviants.push((i, Arc::new(factory)));
+        self
+    }
+
+    /// Overrides the default inputs for players whose input never arrives
+    /// (zeroes of the circuit's per-player arity if not set).
+    pub fn default_inputs(mut self, defaults: Vec<Vec<Fp>>) -> Self {
+        self.defaults = Some(defaults);
+        self
+    }
+
+    /// Sets the fallback actions (one per player) used when a [`RunSet`]
+    /// resolves outcomes of players that never moved and left no will.
+    /// Defaults to all-zero.
+    pub fn resolve_defaults(mut self, actions: Vec<Action>) -> Self {
+        self.resolve_defaults = Some(actions);
+        self
+    }
+
+    /// Overrides the starvation bound
+    /// ([`DEFAULT_MEDIATOR_STARVATION_BOUND`] if not set; see that constant
+    /// for why mediator games default looser than cheap talk).
+    pub fn starvation_bound(mut self, bound: u64) -> Self {
+        self.starvation_bound = bound;
+        self
+    }
+
+    /// Sets the scheduler used by single runs and sessions.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Sets the seed used by single runs and sessions.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the step budget. Defaults to 200 000 (mediator games are
+    /// O(n)-message affairs).
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Validates the scenario and produces the executable [`MediatorPlan`].
+    pub fn build(self) -> Result<MediatorPlan, ScenarioError> {
+        let n = self.n.filter(|&n| n > 0).ok_or(ScenarioError::NoPlayers)?;
+        if self.circuit.num_players() != n {
+            return Err(ScenarioError::ArityMismatch {
+                what: "circuit players",
+                expected: n,
+                got: self.circuit.num_players(),
+            });
+        }
+        if self.k + self.t >= n {
+            return Err(ScenarioError::ToleranceTooLarge {
+                n,
+                k: self.k,
+                t: self.t,
+            });
+        }
+        let arity = self.circuit.inputs_per_player().to_vec();
+        let defaults = match self.defaults {
+            Some(d) => {
+                if d.len() != n {
+                    return Err(ScenarioError::ArityMismatch {
+                        what: "default inputs",
+                        expected: n,
+                        got: d.len(),
+                    });
+                }
+                d
+            }
+            None => arity.iter().map(|&a| vec![Fp::ZERO; a]).collect(),
+        };
+        if let Some(w) = &self.wills {
+            if w.len() != n {
+                return Err(ScenarioError::ArityMismatch {
+                    what: "wills",
+                    expected: n,
+                    got: w.len(),
+                });
+            }
+        }
+        let resolve_defaults = match self.resolve_defaults {
+            Some(a) if a.len() != n => {
+                return Err(ScenarioError::ArityMismatch {
+                    what: "resolve defaults",
+                    expected: n,
+                    got: a.len(),
+                });
+            }
+            Some(a) => a,
+            None => vec![0; n],
+        };
+        let mut inputs = match self.inputs_all {
+            Some(i) => {
+                if i.len() != n {
+                    return Err(ScenarioError::ArityMismatch {
+                        what: "inputs",
+                        expected: n,
+                        got: i.len(),
+                    });
+                }
+                i
+            }
+            None => defaults.clone(),
+        };
+        for (p, input) in self.inputs_one {
+            if p >= n {
+                return Err(ScenarioError::PlayerOutOfRange {
+                    what: "input",
+                    player: p,
+                    n,
+                });
+            }
+            inputs[p] = input;
+        }
+        // The mediator accepts an input iff its arity matches the player's
+        // default (mediator.rs `on_message`): reject the mismatch here
+        // instead of letting the input be silently ignored downstream.
+        for (p, input) in inputs.iter().enumerate() {
+            if input.len() != defaults[p].len() {
+                return Err(ScenarioError::ArityMismatch {
+                    what: "player input arity",
+                    expected: defaults[p].len(),
+                    got: input.len(),
+                });
+            }
+        }
+        for (p, f) in &self.deviants {
+            let _ = f;
+            if *p >= n {
+                return Err(ScenarioError::PlayerOutOfRange {
+                    what: "deviant",
+                    player: *p,
+                    n,
+                });
+            }
+        }
+        let spec = MediatorGameSpec {
+            n,
+            k: self.k,
+            t: self.t,
+            circuit: Arc::new(self.circuit),
+            defaults,
+            naive_split: self.naive_split,
+            extra_rounds: self.extra_rounds,
+            wills: self.wills,
+        };
+        Ok(MediatorPlan {
+            spec,
+            inputs,
+            deviants: self.deviants,
+            resolve_defaults,
+            starvation_bound: self.starvation_bound,
+            scheduler: self.scheduler,
+            seed: self.seed,
+            max_steps: self.max_steps,
+        })
+    }
+}
+
+/// A validated, executable mediator-game scenario.
+#[derive(Clone)]
+pub struct MediatorPlan {
+    spec: MediatorGameSpec,
+    inputs: Vec<Vec<Fp>>,
+    deviants: Vec<(usize, DeviantFactory)>,
+    resolve_defaults: Vec<Action>,
+    starvation_bound: u64,
+    scheduler: SchedulerKind,
+    seed: u64,
+    max_steps: u64,
+}
+
+impl fmt::Debug for MediatorPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MediatorPlan")
+            .field("spec", &self.spec)
+            .field("inputs", &self.inputs)
+            .field(
+                "deviants",
+                &self.deviants.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+            )
+            .field("resolve_defaults", &self.resolve_defaults)
+            .field("starvation_bound", &self.starvation_bound)
+            .field("scheduler", &self.scheduler)
+            .field("seed", &self.seed)
+            .field("max_steps", &self.max_steps)
+            .finish()
+    }
+}
+
+impl MediatorPlan {
+    /// Adopts a pre-validated [`MediatorGameSpec`] (the escape hatch the
+    /// source-compatible free-function wrappers go through; no validation).
+    pub fn from_spec(spec: MediatorGameSpec, inputs: Vec<Vec<Fp>>) -> Self {
+        assert_eq!(inputs.len(), spec.n);
+        let resolve_defaults = vec![0; spec.n];
+        MediatorPlan {
+            spec,
+            inputs,
+            deviants: Vec::new(),
+            resolve_defaults,
+            starvation_bound: DEFAULT_MEDIATOR_STARVATION_BOUND,
+            scheduler: SchedulerKind::Random,
+            seed: 0,
+            max_steps: 200_000,
+        }
+    }
+
+    /// The validated spec.
+    pub fn spec(&self) -> &MediatorGameSpec {
+        &self.spec
+    }
+
+    /// Adds a deviant factory (see [`MediatorGame::deviant`]).
+    pub fn with_deviant(
+        mut self,
+        i: usize,
+        factory: impl Fn() -> Box<dyn Process<MedMsg>> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(i < self.spec.n, "deviant {i} out of range");
+        self.deviants.push((i, Arc::new(factory)));
+        self
+    }
+
+    /// Overrides the step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Overrides the starvation bound.
+    pub fn starvation_bound(mut self, bound: u64) -> Self {
+        self.starvation_bound = bound;
+        self
+    }
+
+    /// Overrides the single-run scheduler.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Overrides the single-run seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn make_deviants(&self) -> BTreeMap<usize, Box<dyn Process<MedMsg>>> {
+        self.deviants.iter().map(|(p, f)| (*p, f())).collect()
+    }
+
+    /// Runs once with the configured scheduler and seed.
+    pub fn run(&self) -> Outcome {
+        self.run_with(&self.scheduler, self.seed)
+    }
+
+    /// Runs once with an explicit scheduler kind and seed.
+    pub fn run_with(&self, kind: &SchedulerKind, seed: u64) -> Outcome {
+        self.run_with_deviants(self.make_deviants(), kind, seed)
+    }
+
+    /// Runs once with explicit (non-factory) deviant processes — the path
+    /// the by-value [`run_mediator_game`](crate::mediator::run_mediator_game)
+    /// wrapper takes.
+    pub fn run_with_deviants(
+        &self,
+        deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>>,
+        kind: &SchedulerKind,
+        seed: u64,
+    ) -> Outcome {
+        let mut world = build_mediator_world(&self.spec, &self.inputs, deviants, seed);
+        world.set_starvation_bound(self.starvation_bound);
+        let mut sched = kind.build();
+        world.run(sched.as_mut(), self.max_steps)
+    }
+
+    /// Runs once under a **relaxed scheduler** (§5): the mediator's
+    /// messages are dropped — whole batches at a time, the all-or-none rule
+    /// of Lemma 6.10 — after `drop_after` deliveries. No starvation bound
+    /// applies: force-delivering withheld messages would contradict the
+    /// blackout a relaxed environment is allowed to impose.
+    pub fn run_relaxed(&self, drop_after: u64, seed: u64) -> Outcome {
+        self.run_relaxed_with_deviants(self.make_deviants(), drop_after, seed)
+    }
+
+    /// The explicit-deviants variant of [`MediatorPlan::run_relaxed`].
+    pub fn run_relaxed_with_deviants(
+        &self,
+        deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>>,
+        drop_after: u64,
+        seed: u64,
+    ) -> Outcome {
+        let mediator = self.spec.n;
+        let mut world = build_mediator_world(&self.spec, &self.inputs, deviants, seed);
+        world.allow_drops();
+        let mut sched = RelaxedScheduler::new(vec![mediator], drop_after);
+        world.run(&mut sched, self.max_steps)
+    }
+
+    /// Opens the configured run as a steppable [`Session`].
+    pub fn session(&self) -> Session<MedMsg> {
+        self.session_with(&self.scheduler, self.seed)
+    }
+
+    /// Opens a steppable [`Session`] with an explicit scheduler and seed.
+    pub fn session_with(&self, kind: &SchedulerKind, seed: u64) -> Session<MedMsg> {
+        let mut world = build_mediator_world(&self.spec, &self.inputs, self.make_deviants(), seed);
+        world.set_starvation_bound(self.starvation_bound);
+        Session::new(world, kind.build(), self.max_steps)
+    }
+
+    /// Starts a batch over the given scheduler battery.
+    pub fn battery(&self, kinds: Vec<SchedulerKind>) -> Batch<MediatorPlan> {
+        Batch::new(self.clone()).battery(kinds)
+    }
+
+    /// Starts a batch over the given seeds.
+    pub fn seeds(&self, seeds: impl IntoIterator<Item = u64>) -> Batch<MediatorPlan> {
+        Batch::new(self.clone()).seeds(seeds)
+    }
+}
+
+impl BatchRun for MediatorPlan {
+    fn run_one(&self, kind: &SchedulerKind, seed: u64) -> Outcome {
+        self.run_with(kind, seed)
+    }
+
+    fn players(&self) -> usize {
+        self.spec.n
+    }
+
+    fn default_scheduler(&self) -> SchedulerKind {
+        self.scheduler.clone()
+    }
+
+    fn default_seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn resolve_mode(&self) -> Resolve {
+        // The world has n+1 processes (the mediator never moves): pad the
+        // per-player fallbacks with a zero for it.
+        let mut fallback = self.resolve_defaults.clone();
+        fallback.push(0);
+        if self.spec.wills.is_some() {
+            Resolve::Ah(fallback)
+        } else {
+            Resolve::Default(fallback)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batches and run sets
+// ---------------------------------------------------------------------------
+
+/// A plan that can execute one `(scheduler, seed)` cell of a batch grid.
+/// Implemented by [`CheapTalkPlan`] and [`MediatorPlan`].
+pub trait BatchRun: Clone + Sync {
+    /// Runs one cell.
+    fn run_one(&self, kind: &SchedulerKind, seed: u64) -> Outcome;
+    /// Number of game players (mediator excluded).
+    fn players(&self) -> usize;
+    /// The plan's configured single-run scheduler.
+    fn default_scheduler(&self) -> SchedulerKind;
+    /// The plan's configured single-run seed.
+    fn default_seed(&self) -> u64;
+    /// How the resulting [`RunSet`] resolves infinite play.
+    fn resolve_mode(&self) -> Resolve;
+}
+
+/// A batch execution plan: a scheduler battery × a seed range, fanned
+/// across worker threads by [`Batch::run_batch`].
+pub struct Batch<P> {
+    plan: P,
+    kinds: Option<Vec<SchedulerKind>>,
+    seeds: Option<Vec<u64>>,
+    threads: Option<usize>,
+}
+
+impl<P: BatchRun> Batch<P> {
+    fn new(plan: P) -> Self {
+        Batch {
+            plan,
+            kinds: None,
+            seeds: None,
+            threads: None,
+        }
+    }
+
+    /// Sets the scheduler battery (defaults to the plan's single
+    /// scheduler).
+    pub fn battery(mut self, kinds: Vec<SchedulerKind>) -> Self {
+        self.kinds = Some(kinds);
+        self
+    }
+
+    /// Sets the seeds (defaults to the plan's single seed).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = Some(seeds.into_iter().collect());
+        self
+    }
+
+    /// Caps the worker threads (defaults to the machine's available
+    /// parallelism; `1` forces a fully sequential batch).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Runs the whole grid and aggregates into a [`RunSet`].
+    ///
+    /// Each cell is an independent deterministic world, so the set is
+    /// byte-identical whatever the thread count — the parity suite pins
+    /// `threads(1)` against the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an explicitly empty battery or seed list: a zero-cell
+    /// grid would silently aggregate nothing (every distribution missing),
+    /// which always indicates a mis-computed experiment range.
+    pub fn run_batch(self) -> RunSet {
+        let kinds = self
+            .kinds
+            .unwrap_or_else(|| vec![self.plan.default_scheduler()]);
+        let seeds = self.seeds.unwrap_or_else(|| vec![self.plan.default_seed()]);
+        assert!(!kinds.is_empty(), "run_batch: empty scheduler battery");
+        assert!(!seeds.is_empty(), "run_batch: empty seed list");
+        let threads = self.threads.unwrap_or_else(default_batch_threads);
+        let jobs: Vec<(SchedulerKind, u64)> = kinds
+            .iter()
+            .flat_map(|k| seeds.iter().map(move |&s| (k.clone(), s)))
+            .collect();
+        let outcomes = run_grid(&jobs, threads, |kind, seed| self.plan.run_one(kind, seed));
+        let runs = jobs
+            .into_iter()
+            .zip(outcomes)
+            .map(|((kind, seed), outcome)| RunRecord {
+                kind,
+                seed,
+                outcome,
+            })
+            .collect();
+        RunSet {
+            runs,
+            kinds,
+            seeds_per_kind: seeds.len(),
+            players: self.plan.players(),
+            resolve: self.plan.resolve_mode(),
+        }
+    }
+}
+
+/// Executes every job, in job order, across `threads` workers.
+fn run_grid<F>(jobs: &[(SchedulerKind, u64)], threads: usize, run: F) -> Vec<Outcome>
+where
+    F: Fn(&SchedulerKind, u64) -> Outcome + Sync,
+{
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads == 1 {
+        return jobs.iter().map(|(k, s)| run(k, *s)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Outcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (kind, seed) = &jobs[i];
+                let outcome = run(kind, *seed);
+                *slots[i].lock().expect("batch slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("batch slot poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+/// How a [`RunSet`] resolves players that never moved (the paper's two
+/// infinite-play semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolve {
+    /// Default-move approach: `M_i` fires.
+    Default(Vec<Action>),
+    /// Aumann–Hart approach: the will fires, then the fallback.
+    Ah(Vec<Action>),
+}
+
+impl Resolve {
+    /// Resolves one outcome into the first `players` action indices.
+    pub fn profile(&self, outcome: &Outcome, players: usize) -> Vec<usize> {
+        let resolved = match self {
+            Resolve::Default(d) => outcome.resolve_default(d),
+            Resolve::Ah(f) => outcome.resolve_ah(f),
+        };
+        resolved[..players].iter().map(|&a| a as usize).collect()
+    }
+}
+
+/// One cell of a batch grid: which scheduler, which seed, what happened.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Scheduler family of this run.
+    pub kind: SchedulerKind,
+    /// Master seed of this run.
+    pub seed: u64,
+    /// The run's outcome.
+    pub outcome: Outcome,
+}
+
+/// The aggregated result of [`Batch::run_batch`]: every outcome of the
+/// `(scheduler, seed)` grid, in kind-major, seed-minor order, with
+/// built-in [`OutcomeDist`] estimation per scheduler kind.
+#[derive(Debug, Clone)]
+pub struct RunSet {
+    runs: Vec<RunRecord>,
+    kinds: Vec<SchedulerKind>,
+    seeds_per_kind: usize,
+    players: usize,
+    resolve: Resolve,
+}
+
+impl RunSet {
+    /// All runs, kind-major then seed order.
+    pub fn runs(&self) -> &[RunRecord] {
+        &self.runs
+    }
+
+    /// Total number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` when no runs were executed.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The scheduler battery, in distribution order.
+    pub fn kinds(&self) -> &[SchedulerKind] {
+        &self.kinds
+    }
+
+    /// Seeds sampled per scheduler kind.
+    pub fn seeds_per_kind(&self) -> usize {
+        self.seeds_per_kind
+    }
+
+    /// Number of game players in each resolved profile.
+    pub fn players(&self) -> usize {
+        self.players
+    }
+
+    /// Resolves one outcome with the set's infinite-play semantics.
+    pub fn profile(&self, outcome: &Outcome) -> Vec<usize> {
+        self.resolve.profile(outcome, self.players)
+    }
+
+    /// Iterates `(kind, runs-of-that-kind)` groups.
+    pub fn by_kind(&self) -> impl Iterator<Item = (&SchedulerKind, &[RunRecord])> {
+        self.kinds
+            .iter()
+            .zip(self.runs.chunks(self.seeds_per_kind.max(1)))
+    }
+
+    /// The estimated outcome distribution of each scheduler kind, in
+    /// [`RunSet::kinds`] order — the objects §2's implementation
+    /// definitions quantify over.
+    pub fn distributions(&self) -> Vec<OutcomeDist> {
+        self.by_kind()
+            .map(|(_, chunk)| {
+                OutcomeDist::from_samples(chunk.iter().map(|r| self.profile(&r.outcome)))
+            })
+            .collect()
+    }
+
+    /// The pooled distribution over every run of the set.
+    pub fn pooled(&self) -> OutcomeDist {
+        OutcomeDist::from_samples(self.runs.iter().map(|r| self.profile(&r.outcome)))
+    }
+
+    /// Iterates every outcome.
+    pub fn outcomes(&self) -> impl Iterator<Item = &Outcome> {
+        self.runs.iter().map(|r| &r.outcome)
+    }
+
+    /// Mean messages sent per run.
+    pub fn mean_messages(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .map(|r| r.outcome.messages_sent as f64)
+            .sum::<f64>()
+            / self.runs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mediator_circuits::catalog;
+    use mediator_sim::TerminationKind;
+
+    fn majority_plan(n: usize) -> CheapTalkPlan {
+        Scenario::cheap_talk(catalog::majority_circuit(n))
+            .players(n)
+            .tolerance(1, 0)
+            .inputs(vec![vec![Fp::ONE]; n])
+            .build()
+            .expect("n = 5 > 4")
+    }
+
+    #[test]
+    fn threshold_validation_is_typed() {
+        let err = Scenario::cheap_talk(catalog::majority_circuit(4))
+            .players(4)
+            .tolerance(1, 0)
+            .build()
+            .expect_err("n = 4 = 4k+4t violates Theorem 4.1");
+        assert_eq!(
+            err,
+            ScenarioError::Threshold {
+                theorem: Theorem::Robust41,
+                n: 4,
+                k: 1,
+                t: 0
+            }
+        );
+        assert_eq!(err.required_n(), Some(5));
+        // The same (n, k, t) is fine under the ε regime (n > 3).
+        assert!(Scenario::cheap_talk(catalog::majority_circuit(4))
+            .players(4)
+            .tolerance(1, 0)
+            .epsilon(2)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn theorem_selection_follows_machinery() {
+        let b = Scenario::cheap_talk(catalog::majority_circuit(6)).players(6);
+        assert_eq!(b.clone().selected_theorem(), Theorem::Robust41);
+        assert_eq!(b.clone().epsilon(2).selected_theorem(), Theorem::Epsilon42);
+        assert_eq!(
+            b.clone().wills(vec![5; 6]).selected_theorem(),
+            Theorem::Punishment44
+        );
+        assert_eq!(
+            b.epsilon(2).wills(vec![5; 6]).selected_theorem(),
+            Theorem::EpsilonPunishment45
+        );
+    }
+
+    #[test]
+    fn default_inputs_derive_from_circuit_arity() {
+        let plan = majority_plan(5);
+        assert_eq!(plan.inputs().len(), 5);
+        let no_input = Scenario::cheap_talk(catalog::counterexample_minfo(5))
+            .players(5)
+            .tolerance(1, 0)
+            .build()
+            .expect("threshold fine");
+        assert!(no_input.inputs().iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let err = Scenario::cheap_talk(catalog::majority_circuit(5))
+            .players(5)
+            .tolerance(1, 0)
+            .input(0, vec![Fp::ONE, Fp::ONE])
+            .build()
+            .expect_err("two inputs for a one-input player");
+        assert!(matches!(
+            err,
+            ScenarioError::ArityMismatch {
+                what: "player input arity",
+                expected: 1,
+                got: 2
+            }
+        ));
+        let err = Scenario::cheap_talk(catalog::majority_circuit(5))
+            .players(5)
+            .tolerance(1, 0)
+            .deviant(7, Behavior::default())
+            .build()
+            .expect_err("deviant out of range");
+        assert!(matches!(
+            err,
+            ScenarioError::PlayerOutOfRange {
+                what: "deviant",
+                player: 7,
+                n: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let plan = majority_plan(5);
+        let sequential = plan.seeds(0..4).threads(1).run_batch();
+        let parallel = plan.seeds(0..4).threads(4).run_batch();
+        assert_eq!(sequential.len(), parallel.len());
+        for (a, b) in sequential.runs().iter().zip(parallel.runs()) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.outcome.fingerprint(), b.outcome.fingerprint());
+        }
+    }
+
+    #[test]
+    fn run_set_aggregates_distributions() {
+        let plan = majority_plan(5);
+        let set = plan
+            .battery(vec![SchedulerKind::Random, SchedulerKind::Fifo])
+            .seeds(0..3)
+            .run_batch();
+        assert_eq!(set.len(), 6);
+        assert_eq!(set.seeds_per_kind(), 3);
+        let dists = set.distributions();
+        assert_eq!(dists.len(), 2);
+        for d in &dists {
+            assert!((d.prob(&[1; 5]) - 1.0).abs() < 1e-12, "unanimous majority");
+        }
+        assert!((set.pooled().prob(&[1; 5]) - 1.0).abs() < 1e-12);
+        assert!(set.mean_messages() > 0.0);
+    }
+
+    #[test]
+    fn session_is_steppable_and_matches_run() {
+        let plan = majority_plan(5);
+        let closed = plan.run_with(&SchedulerKind::Fifo, 3);
+        let mut session = plan.session_with(&SchedulerKind::Fifo, 3);
+        assert_eq!(session.pending().len(), 5, "five start signals");
+        let mut stepped = 0u64;
+        while !session.step().is_done() {
+            stepped += 1;
+        }
+        assert_eq!(stepped, closed.steps);
+        let open = session.finish();
+        assert_eq!(open.fingerprint(), closed.fingerprint());
+    }
+
+    #[test]
+    fn mediator_plan_runs_and_resolves() {
+        let n = 5;
+        let plan = Scenario::mediator(catalog::majority_circuit(n))
+            .players(n)
+            .tolerance(1, 0)
+            .inputs(vec![vec![Fp::ONE]; n])
+            .build()
+            .expect("tolerance fine");
+        let out = plan.run_with(&SchedulerKind::Random, 7);
+        assert_eq!(out.termination, TerminationKind::Quiescent);
+        let set = plan.seeds(0..3).threads(2).run_batch();
+        assert!((set.pooled().prob(&[1; 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mediator_from_spec_batches_resolve_without_panicking() {
+        // The from_spec escape hatch must leave a usable resolver: the
+        // mediator world has n+1 processes and the mediator never moves.
+        let n = 4;
+        let spec = MediatorGameSpec::standard(
+            n,
+            1,
+            0,
+            catalog::majority_circuit(n),
+            vec![vec![Fp::ZERO]; n],
+        );
+        let plan = MediatorPlan::from_spec(spec, vec![vec![Fp::ONE]; n]);
+        let set = plan.seeds(0..2).threads(1).run_batch();
+        assert!((set.pooled().prob(&[1; 4]) - 1.0).abs() < 1e-12);
+        assert_eq!(set.distributions().len(), 1);
+    }
+
+    #[test]
+    fn mediator_input_arity_is_validated() {
+        let err = Scenario::mediator(catalog::majority_circuit(5))
+            .players(5)
+            .tolerance(1, 0)
+            .input(0, vec![Fp::ONE, Fp::ONE])
+            .build()
+            .expect_err("two inputs for a one-input player");
+        assert!(matches!(
+            err,
+            ScenarioError::ArityMismatch {
+                what: "player input arity",
+                expected: 1,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn mediator_tolerance_is_validated() {
+        let err = Scenario::mediator(catalog::majority_circuit(4))
+            .players(4)
+            .tolerance(2, 2)
+            .build()
+            .expect_err("k + t = n leaves no quorum");
+        assert_eq!(err, ScenarioError::ToleranceTooLarge { n: 4, k: 2, t: 2 });
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests: the `Scenario` builder accepts exactly the `(n, k, t)`
+//! triples satisfying each theorem's resilience bound — 4.1: `n > 4k+4t`,
+//! 4.2: `n > 3k+3t`, 4.4: `n > 3k+4t`, 4.5: `n > 2k+3t` — and returns the
+//! typed [`ScenarioError::Threshold`] (never a panic) otherwise.
+
+use mediator_circuits::catalog;
+use mediator_core::scenario::{Scenario, ScenarioError, Theorem};
+use proptest::prelude::*;
+
+/// Builds a majority-circuit cheap-talk scenario in the given regime and
+/// returns the builder verdict.
+fn try_build(theorem: Theorem, n: usize, k: usize, t: usize) -> Result<(), ScenarioError> {
+    let mut builder = Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(k, t);
+    builder = match theorem {
+        Theorem::Robust41 => builder,
+        Theorem::Epsilon42 => builder.epsilon(2),
+        Theorem::Punishment44 => builder.wills(vec![5; n]),
+        Theorem::EpsilonPunishment45 => builder.epsilon(2).wills(vec![5; n]),
+    };
+    assert_eq!(builder.selected_theorem(), theorem);
+    builder.build().map(|_| ())
+}
+
+/// The oracle each proptest checks the builder against.
+fn bound_of(theorem: Theorem, k: usize, t: usize) -> usize {
+    match theorem {
+        Theorem::Robust41 => 4 * k + 4 * t,
+        Theorem::Epsilon42 => 3 * k + 3 * t,
+        Theorem::Punishment44 => 3 * k + 4 * t,
+        Theorem::EpsilonPunishment45 => 2 * k + 3 * t,
+    }
+}
+
+fn assert_exact_threshold(theorem: Theorem, n: usize, k: usize, t: usize) {
+    let verdict = try_build(theorem, n, k, t);
+    if n > bound_of(theorem, k, t) {
+        assert!(
+            verdict.is_ok(),
+            "{theorem} must accept n = {n}, k = {k}, t = {t}: {verdict:?}"
+        );
+    } else {
+        match verdict {
+            Err(ScenarioError::Threshold {
+                theorem: reported,
+                n: rn,
+                k: rk,
+                t: rt,
+            }) => {
+                assert_eq!((reported, rn, rk, rt), (theorem, n, k, t));
+            }
+            other => panic!("{theorem} must reject n = {n}, k = {k}, t = {t}: {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn theorem_4_1_accepts_exactly_n_above_4k_4t(n in 1usize..28, k in 0usize..4, t in 0usize..4) {
+        assert_exact_threshold(Theorem::Robust41, n, k, t);
+    }
+
+    #[test]
+    fn theorem_4_2_accepts_exactly_n_above_3k_3t(n in 1usize..28, k in 0usize..4, t in 0usize..4) {
+        assert_exact_threshold(Theorem::Epsilon42, n, k, t);
+    }
+
+    #[test]
+    fn theorem_4_4_accepts_exactly_n_above_3k_4t(n in 1usize..28, k in 0usize..4, t in 0usize..4) {
+        assert_exact_threshold(Theorem::Punishment44, n, k, t);
+    }
+
+    #[test]
+    fn theorem_4_5_accepts_exactly_n_above_2k_3t(n in 1usize..28, k in 0usize..4, t in 0usize..4) {
+        assert_exact_threshold(Theorem::EpsilonPunishment45, n, k, t);
+    }
+
+    #[test]
+    fn rejections_carry_the_least_admissible_n(k in 0usize..5, t in 0usize..5) {
+        // At exactly the bound the builder rejects and reports the fix.
+        for theorem in [
+            Theorem::Robust41,
+            Theorem::Epsilon42,
+            Theorem::Punishment44,
+            Theorem::EpsilonPunishment45,
+        ] {
+            let bound = bound_of(theorem, k, t);
+            if bound == 0 {
+                continue; // k = t = 0: every n ≥ 1 is admissible
+            }
+            let err = try_build(theorem, bound, k, t).expect_err("n = bound violates n > bound");
+            prop_assert_eq!(err.required_n(), Some(bound + 1));
+            // One more player satisfies the theorem.
+            prop_assert!(try_build(theorem, bound + 1, k, t).is_ok());
+        }
+    }
+}

@@ -26,6 +26,10 @@
 //!   [`run_machines`] runner that let any protocol state machine (reliable
 //!   broadcast, agreement, AVSS, the MPC engine) run under the full `World`
 //!   with every scheduler.
+//! * [`Session`] — a steppable, non-consuming handle over a running
+//!   [`World`]: `step` one event at a time, inspect the pending plane,
+//!   `inject` external messages (the seam an async/network backend attaches
+//!   to), `finish` into the ordinary [`Outcome`].
 //! * [`covert`] — the Proposition 6.1 covert channel: players signalling
 //!   values to the content-blind scheduler via counted self-messages.
 //!
@@ -56,17 +60,19 @@ pub mod covert;
 pub mod process;
 pub mod sansio;
 pub mod scheduler;
+pub mod session;
 pub mod trace;
 pub mod world;
 
 pub use process::{Action, Ctx, Process, ProcessId};
 pub use sansio::{
-    map_batch, route_batch, run_machines, Behavior, BehaviorFn, ByzantineProcess, Dest, Outgoing,
-    Payload, RunOutputs, SansIo, SansIoProcess,
+    map_batch, route_batch, run_machines, Behavior, BehaviorFn, ByzantineProcess, Dest, Machines,
+    Outgoing, Payload, RunOutputs, SansIo, SansIoProcess,
 };
 pub use scheduler::{
     FifoScheduler, LifoScheduler, PartitionScheduler, PendingView, RandomScheduler,
     RelaxedScheduler, SchedChoice, Scheduler, SchedulerKind, TargetedDelayScheduler,
 };
+pub use session::{Session, SessionStatus};
 pub use trace::{Trace, TraceEvent, TraceMode};
 pub use world::{Outcome, TerminationKind, World};

@@ -28,6 +28,7 @@
 
 use crate::process::{Action, Ctx, Process, ProcessId};
 use crate::scheduler::Scheduler;
+use crate::session::Session;
 use crate::world::{Outcome, World};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -411,15 +412,104 @@ impl<M> Process<M> for ByzantineProcess<M> {
 /// room for genuinely adversarial reordering.
 pub const DEFAULT_STARVATION_BOUND: u64 = 2_000;
 
+/// Builder over a set of sans-IO machines: the scenario-style entry the
+/// protocol test suites and benches drive their substrates through.
+///
+/// One machine per player id; [`Machines::byzantine`] replaces a player's
+/// machine with a behaviour (pass a [`Behavior`] for a purely reactive
+/// adversary or a [`ByzantineProcess`] for one with a deviant kickoff).
+/// [`Machines::run`] is the closed loop; [`Machines::session`] opens the
+/// same run as a steppable [`Session`].
+pub struct Machines<S: SansIo> {
+    machines: Vec<S>,
+    behaviors: Vec<Option<ByzantineProcess<S::Msg>>>,
+    starvation_bound: u64,
+}
+
+impl<S> Machines<S>
+where
+    S: SansIo + 'static,
+    S::Msg: 'static,
+    S::Output: 'static,
+{
+    /// Starts a run over one machine per player. The starvation bound
+    /// defaults to [`DEFAULT_STARVATION_BOUND`].
+    pub fn new(machines: Vec<S>) -> Self {
+        let n = machines.len();
+        Machines {
+            machines,
+            behaviors: (0..n).map(|_| None).collect(),
+            starvation_bound: DEFAULT_STARVATION_BOUND,
+        }
+    }
+
+    /// Replaces player `p`'s machine with a byzantine behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a player.
+    pub fn byzantine(mut self, p: usize, b: impl Into<ByzantineProcess<S::Msg>>) -> Self {
+        assert!(p < self.machines.len(), "byzantine player {p} out of range");
+        self.behaviors[p] = Some(b.into());
+        self
+    }
+
+    /// Overrides the starvation bound (the fairness backstop force-delivers
+    /// any event pending longer than this many steps).
+    pub fn starvation_bound(mut self, bound: u64) -> Self {
+        self.starvation_bound = bound;
+        self
+    }
+
+    fn into_world(self, seed: u64) -> (World<S::Msg>, RunOutputs<S::Output>) {
+        let n = self.machines.len();
+        let outputs: RunOutputs<S::Output> = RunOutputs::new(n);
+        let procs: Vec<Box<dyn Process<S::Msg>>> = self
+            .machines
+            .into_iter()
+            .zip(self.behaviors)
+            .map(|(m, b)| match b {
+                Some(byzantine) => Box::new(byzantine) as Box<dyn Process<S::Msg>>,
+                None => Box::new(SansIoProcess::new(m, n, outputs.clone())),
+            })
+            .collect();
+        let mut world = World::new(procs, seed);
+        world.set_starvation_bound(self.starvation_bound);
+        (world, outputs)
+    }
+
+    /// Runs to completion, returning the world [`Outcome`] plus each
+    /// player's recorded output (`None` for byzantine players and players
+    /// that never produced one).
+    pub fn run(
+        self,
+        scheduler: &mut dyn Scheduler,
+        seed: u64,
+        max_steps: u64,
+    ) -> (Outcome, Vec<Option<S::Output>>) {
+        let (mut world, outputs) = self.into_world(seed);
+        let outcome = world.run(scheduler, max_steps);
+        (outcome, outputs.take())
+    }
+
+    /// Opens the same run as a steppable [`Session`]. Outputs accumulate in
+    /// the returned [`RunOutputs`] store as the session is stepped.
+    pub fn session(
+        self,
+        scheduler: Box<dyn Scheduler>,
+        seed: u64,
+        max_steps: u64,
+    ) -> (Session<S::Msg>, RunOutputs<S::Output>) {
+        let (world, outputs) = self.into_world(seed);
+        (Session::new(world, scheduler, max_steps), outputs)
+    }
+}
+
 /// Runs one sans-IO machine per player under the given scheduler, replacing
 /// the machines of byzantine players with their behaviours.
 ///
-/// `machines` supplies one machine per player id; entries for players listed
-/// in `byz` are ignored (the behaviour plays instead — pass a [`Behavior`]
-/// for a purely reactive adversary or a [`ByzantineProcess`] for one with a
-/// deviant kickoff). Returns the world [`Outcome`] plus each player's
-/// recorded output (`None` for byzantine players and players that never
-/// produced one).
+/// Thin wrapper over [`Machines`] (kept source-compatible for the protocol
+/// test suites); see the builder for the steppable variant.
 pub fn run_machines<S>(
     machines: Vec<S>,
     byz: Vec<(usize, ByzantineProcess<S::Msg>)>,
@@ -432,25 +522,11 @@ where
     S::Msg: 'static,
     S::Output: 'static,
 {
-    let n = machines.len();
-    let outputs: RunOutputs<S::Output> = RunOutputs::new(n);
-    let mut behaviors: Vec<Option<ByzantineProcess<S::Msg>>> = (0..n).map(|_| None).collect();
+    let mut run = Machines::new(machines);
     for (p, b) in byz {
-        assert!(p < n, "byzantine player {p} out of range");
-        behaviors[p] = Some(b);
+        run = run.byzantine(p, b);
     }
-    let procs: Vec<Box<dyn Process<S::Msg>>> = machines
-        .into_iter()
-        .zip(behaviors)
-        .map(|(m, b)| match b {
-            Some(byzantine) => Box::new(byzantine) as Box<dyn Process<S::Msg>>,
-            None => Box::new(SansIoProcess::new(m, n, outputs.clone())),
-        })
-        .collect();
-    let mut world = World::new(procs, seed);
-    world.set_starvation_bound(DEFAULT_STARVATION_BOUND);
-    let outcome = world.run(scheduler, max_steps);
-    (outcome, outputs.take())
+    run.run(scheduler, seed, max_steps)
 }
 
 #[cfg(test)]

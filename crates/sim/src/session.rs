@@ -1,0 +1,266 @@
+//! A steppable handle over a running [`World`].
+//!
+//! [`World::run`] is a closed loop: processes in, [`Outcome`] out. A
+//! [`Session`] opens that loop without changing its semantics — the same
+//! `start → pick → dispatch` core executes, but the caller decides *when*
+//! each step happens and may look at (or add to) the pending plane between
+//! steps. Driving a session to completion and calling [`Session::finish`]
+//! produces byte-for-byte the `Outcome` the closed loop would have
+//! produced for the same `(processes, scheduler, seed)` triple; the
+//! parity suites pin this.
+//!
+//! The session is the seam a future async/network backend attaches to:
+//! a transport thread calls [`Session::inject`] as packets arrive and
+//! [`Session::step`] as its event loop turns, with the scheduler reduced
+//! to a policy over locally-pending events.
+
+use crate::process::{Action, ProcessId};
+use crate::scheduler::{PendingView, Scheduler};
+use crate::world::{Outcome, TerminationKind, World};
+
+/// What one [`Session::step`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// An event was dispatched (or dropped); the run continues.
+    Running,
+    /// The run has terminated; further `step` calls return the same status.
+    Done(TerminationKind),
+}
+
+impl SessionStatus {
+    /// `true` once the run has terminated.
+    pub fn is_done(&self) -> bool {
+        matches!(self, SessionStatus::Done(_))
+    }
+}
+
+/// A non-consuming driver over a [`World`]: `step` one event at a time,
+/// inspect `pending`, `inject` external messages, then `finish` into the
+/// ordinary [`Outcome`].
+pub struct Session<M> {
+    world: World<M>,
+    scheduler: Box<dyn Scheduler>,
+    max_steps: u64,
+    done: Option<TerminationKind>,
+}
+
+impl<M> Session<M> {
+    /// Opens a session: queues the start signals and hands control to the
+    /// caller. `max_steps` is the same livelock guard [`World::run`] takes.
+    pub fn new(mut world: World<M>, scheduler: Box<dyn Scheduler>, max_steps: u64) -> Self {
+        world.start();
+        Session {
+            world,
+            scheduler,
+            max_steps,
+            done: None,
+        }
+    }
+
+    /// Dispatches one event (the scheduler's pick, or the starvation
+    /// backstop's). Returns [`SessionStatus::Done`] once the run has
+    /// terminated; calling `step` again after that is a no-op.
+    pub fn step(&mut self) -> SessionStatus {
+        if let Some(t) = self.done {
+            return SessionStatus::Done(t);
+        }
+        match self
+            .world
+            .step_once(self.scheduler.as_mut(), self.max_steps)
+        {
+            Some(t) => {
+                self.done = Some(t);
+                SessionStatus::Done(t)
+            }
+            None => SessionStatus::Running,
+        }
+    }
+
+    /// Steps up to `n` events, stopping early on termination.
+    pub fn step_n(&mut self, n: u64) -> SessionStatus {
+        for _ in 0..n {
+            if let SessionStatus::Done(t) = self.step() {
+                return SessionStatus::Done(t);
+            }
+        }
+        if let Some(t) = self.done {
+            SessionStatus::Done(t)
+        } else {
+            SessionStatus::Running
+        }
+    }
+
+    /// Steps until the run terminates.
+    pub fn run_to_completion(&mut self) -> TerminationKind {
+        loop {
+            if let SessionStatus::Done(t) = self.step() {
+                return t;
+            }
+        }
+    }
+
+    /// The scheduler-visible pending events, in plane order.
+    pub fn pending(&self) -> &[PendingView] {
+        self.world.pending()
+    }
+
+    /// Events dispatched so far.
+    pub fn steps(&self) -> u64 {
+        self.world.steps()
+    }
+
+    /// Moves made so far (indexed by process id).
+    pub fn moves(&self) -> &[Option<Action>] {
+        self.world.moves()
+    }
+
+    /// The termination, once reached.
+    pub fn termination(&self) -> Option<TerminationKind> {
+        self.done
+    }
+
+    /// Injects an external message from `src` to `dst` (see
+    /// [`World::inject`]). If the session had already quiesced or
+    /// deadlocked, the injection re-opens it — the next [`Session::step`]
+    /// re-evaluates termination against the refreshed plane. A
+    /// [`TerminationKind::BudgetExhausted`] verdict is final: the step
+    /// budget does not replenish.
+    pub fn inject(&mut self, src: ProcessId, dst: ProcessId, msg: M) {
+        self.world.inject(src, dst, msg);
+        if matches!(
+            self.done,
+            Some(TerminationKind::Quiescent) | Some(TerminationKind::Deadlock)
+        ) {
+            self.done = None;
+        }
+    }
+
+    /// Read access to the underlying world.
+    pub fn world(&self) -> &World<M> {
+        &self.world
+    }
+
+    /// Drives the remaining steps (if any) and returns the run's
+    /// [`Outcome`] — exactly what [`World::run`] would have returned.
+    pub fn finish(mut self) -> Outcome {
+        let t = self.run_to_completion();
+        self.world.take_outcome(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Ctx, Process};
+    use crate::scheduler::{FifoScheduler, RandomScheduler, SchedulerKind};
+
+    /// Echoes the first message it receives as its move.
+    struct Echoer {
+        n: usize,
+        leader: bool,
+    }
+
+    impl Process<u64> for Echoer {
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            if self.leader {
+                for d in 0..self.n {
+                    ctx.send(d, 40 + d as u64);
+                }
+            }
+        }
+        fn on_message(&mut self, _src: usize, msg: u64, ctx: &mut Ctx<u64>) {
+            ctx.make_move(msg);
+            ctx.halt();
+        }
+    }
+
+    fn echo_world(n: usize, seed: u64) -> World<u64> {
+        let procs: Vec<Box<dyn Process<u64>>> = (0..n)
+            .map(|p| Box::new(Echoer { n, leader: p == 0 }) as Box<dyn Process<u64>>)
+            .collect();
+        World::new(procs, seed)
+    }
+
+    #[test]
+    fn stepped_session_matches_closed_loop_run() {
+        for kind in [
+            SchedulerKind::Random,
+            SchedulerKind::Fifo,
+            SchedulerKind::Lifo,
+        ] {
+            let closed = {
+                let mut w = echo_world(4, 9);
+                w.run(kind.build().as_mut(), 10_000)
+            };
+            let mut session = Session::new(echo_world(4, 9), kind.build(), 10_000);
+            let mut steps = 0u64;
+            while !session.step().is_done() {
+                steps += 1;
+            }
+            assert_eq!(steps, closed.steps, "{kind:?}");
+            let open = session.finish();
+            assert_eq!(open.fingerprint(), closed.fingerprint(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn pending_is_visible_between_steps() {
+        let mut session = Session::new(echo_world(3, 1), Box::new(FifoScheduler), 10_000);
+        // Before any step: one start signal per process.
+        assert_eq!(session.pending().len(), 3);
+        assert!(session.pending().iter().all(|v| v.src.is_none()));
+        // FIFO dispatches process 0's start first: its broadcast lands.
+        session.step();
+        assert_eq!(
+            session
+                .pending()
+                .iter()
+                .filter(|v| v.src == Some(0))
+                .count(),
+            3
+        );
+        assert_eq!(session.run_to_completion(), TerminationKind::Quiescent);
+        assert_eq!(session.moves(), &[Some(40), Some(41), Some(42)]);
+    }
+
+    #[test]
+    fn inject_reopens_a_deadlocked_session() {
+        /// Waits forever for a message; moves on receipt.
+        struct Waiter;
+        impl Process<u64> for Waiter {
+            fn on_start(&mut self, _ctx: &mut Ctx<u64>) {}
+            fn on_message(&mut self, _src: usize, msg: u64, ctx: &mut Ctx<u64>) {
+                ctx.make_move(msg);
+                ctx.halt();
+            }
+        }
+        let procs: Vec<Box<dyn Process<u64>>> = vec![Box::new(Waiter), Box::new(Waiter)];
+        let mut session = Session::new(
+            World::new(procs, 3),
+            Box::new(RandomScheduler::new()),
+            10_000,
+        );
+        assert_eq!(
+            session.run_to_completion(),
+            TerminationKind::Deadlock,
+            "nobody ever sends"
+        );
+        // The external world delivers: the session comes back to life.
+        session.inject(0, 1, 77);
+        assert_eq!(session.step(), SessionStatus::Running);
+        assert_eq!(session.moves()[1], Some(77));
+        let out = session.finish();
+        assert_eq!(out.moves[1], Some(77));
+        assert_eq!(out.messages_sent, 1);
+    }
+
+    #[test]
+    fn step_n_stops_at_termination() {
+        let mut session = Session::new(echo_world(2, 5), Box::new(FifoScheduler), 10_000);
+        let status = session.step_n(1_000);
+        assert!(status.is_done());
+        assert_eq!(session.termination(), Some(TerminationKind::Quiescent));
+        // Further steps are no-ops with the same verdict.
+        assert_eq!(session.step(), status);
+    }
+}

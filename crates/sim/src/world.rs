@@ -241,20 +241,40 @@ impl<M> World<M> {
     /// schedule produced by `scheduler`.
     ///
     /// A world runs once: the returned [`Outcome`] takes ownership of the
-    /// per-process results instead of cloning them.
+    /// per-process results instead of cloning them. For incremental driving
+    /// (step-by-step inspection, external message injection) use
+    /// [`World::start`] / [`World::step_once`] / [`World::take_outcome`] —
+    /// or the [`Session`](crate::session::Session) handle that packages
+    /// them.
     ///
     /// # Panics
     ///
-    /// Panics if called a second time on the same world.
+    /// Panics if called a second time on the same world (or after
+    /// [`World::start`]).
     pub fn run(&mut self, scheduler: &mut dyn Scheduler, max_steps: u64) -> Outcome {
         assert!(
             !self.ran,
             "World::run called twice; build a fresh World per run"
         );
+        self.start();
+        let termination = loop {
+            if let Some(t) = self.step_once(scheduler, max_steps) {
+                break t;
+            }
+        };
+        self.take_outcome(termination)
+    }
+
+    /// Queues the start signals (the paper: each player receives a signal
+    /// that the game has started when first scheduled) and marks the world
+    /// as running. Idempotent; called implicitly by [`World::run`] and by
+    /// [`Session::new`](crate::session::Session::new).
+    pub fn start(&mut self) {
+        if self.ran {
+            return;
+        }
         self.ran = true;
         let n = self.procs.len();
-        // Start signals for everyone (the paper: each player receives a
-        // signal that the game has started when first scheduled).
         for p in 0..n {
             self.push_event(
                 PendingView {
@@ -268,41 +288,59 @@ impl<M> World<M> {
                 Stored::Start,
             );
         }
+    }
 
-        let termination = loop {
-            // Plane invariant (replaces the seed's per-step purge): no event
-            // addressed to a halted process is ever pending — halting
-            // compacts the plane, and later sends to halted processes are
-            // counted but never enqueued.
-            if self.views.is_empty() {
-                let all_done = self.halted.iter().all(|&h| h);
-                break if all_done {
-                    TerminationKind::Quiescent
+    /// Executes one scheduler step: termination check, pick, dispatch.
+    ///
+    /// Returns `None` while the run continues, `Some(kind)` the moment it
+    /// terminates (the event plane is drained, or `max_steps` is reached).
+    /// This is the steppable core `run` loops over — a driver calling it
+    /// directly sees exactly the run `run` would have produced, one event
+    /// at a time. Call [`World::start`] first.
+    pub fn step_once(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> Option<TerminationKind> {
+        debug_assert!(self.ran, "call World::start() before step_once()");
+        // Plane invariant (replaces the seed's per-step purge): no event
+        // addressed to a halted process is ever pending — halting
+        // compacts the plane, and later sends to halted processes are
+        // counted but never enqueued.
+        if self.views.is_empty() {
+            let all_done = self.halted.iter().all(|&h| h);
+            return Some(if all_done {
+                TerminationKind::Quiescent
+            } else {
+                TerminationKind::Deadlock
+            });
+        }
+        if self.steps >= max_steps {
+            return Some(TerminationKind::BudgetExhausted);
+        }
+
+        let choice = self.pick(scheduler);
+        match choice {
+            SchedChoice::Deliver(i) => self.dispatch(i),
+            SchedChoice::Drop(i) => {
+                if self.allow_drop {
+                    self.drop_batch(i);
                 } else {
-                    TerminationKind::Deadlock
-                };
-            }
-            if self.steps >= max_steps {
-                break TerminationKind::BudgetExhausted;
-            }
-
-            let choice = self.pick(scheduler);
-            match choice {
-                SchedChoice::Deliver(i) => self.dispatch(i),
-                SchedChoice::Drop(i) => {
-                    if self.allow_drop {
-                        self.drop_batch(i);
-                    } else {
-                        // Ordinary games: dropping is not available; deliver
-                        // instead so a buggy scheduler cannot violate the
-                        // model.
-                        self.dispatch(i);
-                    }
+                    // Ordinary games: dropping is not available; deliver
+                    // instead so a buggy scheduler cannot violate the
+                    // model.
+                    self.dispatch(i);
                 }
             }
-            self.steps += 1;
-        };
+        }
+        self.steps += 1;
+        None
+    }
 
+    /// Takes the run's results out of the world. Intended for steppable
+    /// drivers that reached a termination via [`World::step_once`];
+    /// [`World::run`] calls it internally. The world is spent afterwards.
+    pub fn take_outcome(&mut self, termination: TerminationKind) -> Outcome {
         Outcome {
             moves: std::mem::take(&mut self.moves),
             wills: std::mem::take(&mut self.wills),
@@ -312,6 +350,70 @@ impl<M> World<M> {
             steps: self.steps,
             termination,
             trace: std::mem::take(&mut self.trace),
+        }
+    }
+
+    /// The scheduler-visible pending events, in plane order (the same slice
+    /// handed to [`Scheduler::next`]).
+    pub fn pending(&self) -> &[PendingView] {
+        &self.views
+    }
+
+    /// The global step counter (events dispatched so far).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The moves made so far (indexed by process id).
+    pub fn moves(&self) -> &[Option<Action>] {
+        &self.moves
+    }
+
+    /// Injects a message from `src` to `dst` as if `src` had sent it in an
+    /// activation of its own — the seam an external (network/async) backend
+    /// attaches to. The event is traced, counted, and sequenced exactly
+    /// like an internal send ([`World::enqueue_send`] is the one shared
+    /// implementation); it forms a one-message batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a process of this world.
+    pub fn inject(&mut self, src: ProcessId, dst: ProcessId, msg: M) {
+        assert!(src < self.procs.len(), "inject from unknown process {src}");
+        let batch = self.next_batch;
+        self.next_batch += 1;
+        self.enqueue_send(src, dst, msg, batch);
+    }
+
+    /// The one send-sequencing protocol: per-pair `k`, global `seq`, Sent
+    /// trace event, counter — shared by activation outboxes
+    /// (`apply_effects`) and external injection (`inject`) so the two can
+    /// never drift apart.
+    fn enqueue_send(&mut self, src: ProcessId, dst: ProcessId, payload: M, batch: u64) {
+        let n = self.procs.len();
+        assert!(dst < n, "send to unknown process {dst}");
+        let slot = src * n + dst;
+        self.pair_seq[slot] += 1;
+        let k = self.pair_seq[slot];
+        self.trace.push(TraceEvent::Sent { src, dst, k });
+        self.sent += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // A send to a halted process is observable (Sent event, counter)
+        // but dead on arrival: the seed queued it and purged it before
+        // the next scheduler pick, so it never entered any view.
+        if !self.halted[dst] {
+            self.push_event(
+                PendingView {
+                    src: Some(src),
+                    dst,
+                    k,
+                    seq,
+                    batch,
+                    born: self.steps,
+                },
+                Stored::Msg(payload),
+            );
         }
     }
 
@@ -423,34 +525,10 @@ impl<M> World<M> {
     }
 
     fn apply_effects(&mut self, pid: ProcessId, mut effects: crate::process::Effects<M>) {
-        let n = self.procs.len();
         let batch = self.next_batch;
         self.next_batch += 1;
         for (dst, payload) in effects.outbox.drain(..) {
-            assert!(dst < n, "send to unknown process {dst}");
-            let slot = pid * n + dst;
-            self.pair_seq[slot] += 1;
-            let k = self.pair_seq[slot];
-            self.trace.push(TraceEvent::Sent { src: pid, dst, k });
-            self.sent += 1;
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            // A send to a halted process is observable (Sent event, counter)
-            // but dead on arrival: the seed queued it and purged it before
-            // the next scheduler pick, so it never entered any view.
-            if !self.halted[dst] {
-                self.push_event(
-                    PendingView {
-                        src: Some(pid),
-                        dst,
-                        k,
-                        seq,
-                        batch,
-                        born: self.steps,
-                    },
-                    Stored::Msg(payload),
-                );
-            }
+            self.enqueue_send(pid, dst, payload, batch);
         }
         // Recycle the drained activation outbox (capacity is the point).
         self.outbox_pool = effects.outbox;

@@ -6,13 +6,7 @@
 //! cargo run --example byzantine_agreement
 //! ```
 
-use mediator_talk::circuits::catalog;
-use mediator_talk::core::deviations::Behavior;
-use mediator_talk::core::{run_cheap_talk, run_mediator_game, CheapTalkSpec, MediatorGameSpec};
-use mediator_talk::field::Fp;
-use mediator_talk::games::library;
-use mediator_talk::sim::SchedulerKind;
-use std::collections::BTreeMap;
+use mediator_talk::prelude::*;
 
 fn main() {
     let n = 5;
@@ -25,21 +19,15 @@ fn main() {
     println!("inputs: {inputs_bits:?}");
 
     // --- With the trusted mediator ---
-    let med_spec = MediatorGameSpec::standard(
-        n,
-        k,
-        t,
-        catalog::majority_circuit(n),
-        vec![vec![Fp::ZERO]; n],
-    );
-    let out = run_mediator_game(
-        &med_spec,
-        &inputs,
-        BTreeMap::new(),
-        &SchedulerKind::Random,
-        1,
-        100_000,
-    );
+    let med = Scenario::mediator(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(k, t)
+        .inputs(inputs.clone())
+        .seed(1)
+        .max_steps(100_000)
+        .build()
+        .expect("n − k − t ≥ 1");
+    let out = med.run();
     println!(
         "mediator game: moves {:?} with only {} messages",
         &out.moves[..n],
@@ -47,30 +35,22 @@ fn main() {
     );
 
     // --- Without the mediator: cheap talk, one player actively lying ---
-    let spec = CheapTalkSpec::theorem_4_1(
-        n,
-        k,
-        t,
-        catalog::majority_circuit(n),
-        vec![vec![Fp::ZERO]; n],
-        vec![0; n],
-    );
-    let mut behaviors = BTreeMap::new();
-    behaviors.insert(
-        3usize,
-        Behavior {
-            lie_in_opens: true,
-            ..Behavior::default()
-        },
-    );
-    let out = run_cheap_talk(
-        &spec,
-        &inputs,
-        &behaviors,
-        &SchedulerKind::Random,
-        7,
-        4_000_000,
-    );
+    let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(k, t)
+        .inputs(inputs)
+        .deviant(
+            3,
+            Behavior {
+                lie_in_opens: true,
+                ..Behavior::default()
+            },
+        )
+        .seed(7)
+        .max_steps(4_000_000)
+        .build()
+        .expect("n = 5 > 4k+4t = 4");
+    let out = plan.run();
     let moves = out.resolve_default(&vec![0; n]);
     println!(
         "cheap talk with a lying player 3: moves {moves:?} using {} messages",

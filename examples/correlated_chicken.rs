@@ -4,43 +4,34 @@
 //! `(C,D)`/`(D,C)` a quarter each — and privately tells each player only
 //! its own action. Obeying is an equilibrium worth 5.25 to each player,
 //! strictly better than the symmetric mixed Nash (≈ 4.67); no uncorrelated
-//! play achieves it. This example runs the mediator game and verifies the
-//! recommendation distribution and the obedience incentives.
+//! play achieves it. This example runs the mediator game as a 4000-seed
+//! batch (one `run_batch` call — the seed loop and the distribution
+//! aggregation live in the `RunSet`) and verifies the recommendation
+//! distribution and the obedience incentives.
 //!
 //! ```sh
-//! cargo run --example correlated_chicken
+//! cargo run --release --example correlated_chicken
 //! ```
 
-use mediator_talk::circuits::catalog;
-use mediator_talk::core::{run_mediator_game, MediatorGameSpec};
-use mediator_talk::games::dist::OutcomeDist;
-use mediator_talk::games::library;
-use mediator_talk::sim::SchedulerKind;
-use std::collections::BTreeMap;
+use mediator_talk::prelude::*;
 
 fn main() {
     let (game, reference) = library::chicken_correlated();
     println!("game: {} (0 = Dare, 1 = Chicken)", game.name());
 
-    let spec = MediatorGameSpec::standard(2, 0, 0, catalog::chicken_mediator(), vec![vec![]; 2]);
-
-    // Sample the mediated play.
-    let samples = 4000;
-    let mut outcomes = Vec::with_capacity(samples);
-    for seed in 0..samples as u64 {
-        let out = run_mediator_game(
-            &spec,
-            &[vec![], vec![]],
-            BTreeMap::new(),
-            &SchedulerKind::Random,
-            seed,
-            100_000,
-        );
-        let a0 = out.moves[0].expect("player 0 moves") as usize;
-        let a1 = out.moves[1].expect("player 1 moves") as usize;
-        outcomes.push(vec![a0, a1]);
-    }
-    let empirical = OutcomeDist::from_samples(outcomes);
+    // Sample the mediated play: 4000 seeds, fanned across worker threads.
+    let set = Scenario::mediator(catalog::chicken_mediator())
+        .players(2)
+        .build()
+        .expect("no tolerance requested")
+        .seeds(0..4000)
+        .run_batch();
+    let empirical = set.pooled();
+    println!(
+        "sampled {} runs, mean {:.1} messages each",
+        set.len(),
+        set.mean_messages()
+    );
 
     println!("recommendation distribution (empirical vs designed):");
     for (profile, want) in [(vec![1, 1], 0.5), (vec![0, 1], 0.25), (vec![1, 0], 0.25)] {

@@ -9,16 +9,15 @@
 //! minimally-informative mediator (Lemma 6.8) sends only the action, and
 //! the same pair can no longer profit.
 //!
+//! Each variant is one `run_batch` seed sweep: the colluders are
+//! registered as deviant *factories*, so every seed gets a fresh pair.
+//!
 //! ```sh
-//! cargo run --example punishment_wills
+//! cargo run --release --example punishment_wills
 //! ```
 
-use mediator_talk::circuits::catalog;
 use mediator_talk::core::deviations::CounterexampleColluder;
-use mediator_talk::core::{run_mediator_game, MedMsg, MediatorGameSpec};
-use mediator_talk::games::library;
-use mediator_talk::sim::{Process, SchedulerKind};
-use std::collections::BTreeMap;
+use mediator_talk::prelude::*;
 
 fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
@@ -31,29 +30,30 @@ fn run_variant(n: usize, naive: bool, collude: bool, samples: u64) -> (f64, f64)
     } else {
         catalog::counterexample_minfo(n)
     };
-    let mut spec = MediatorGameSpec::standard(n, k, 0, circuit, vec![vec![]; n]);
-    spec.naive_split = naive;
-    spec.wills = Some(vec![library::BOTTOM as u64; n]); // ⊥ in every will
-    let mut coalition_u = Vec::new();
-    let mut honest_u = Vec::new();
-    for seed in 0..samples {
-        let mut deviants: BTreeMap<usize, Box<dyn Process<MedMsg>>> = BTreeMap::new();
-        if collude {
-            // Players 0 and 1 have odd index difference: their leaks XOR
-            // to b in the naive game.
-            deviants.insert(0, Box::new(CounterexampleColluder::new(n, 1)));
-            deviants.insert(1, Box::new(CounterexampleColluder::new(n, 0)));
-        }
-        let out = run_mediator_game(
-            &spec,
-            &vec![vec![]; n],
-            deviants,
-            &SchedulerKind::Random,
-            seed,
-            200_000,
-        );
-        let resolved = out.resolve_ah(&vec![library::BOTTOM as u64; n + 1]);
-        let actions: Vec<usize> = resolved[..n].iter().map(|&a| a as usize).collect();
+    let mut builder = Scenario::mediator(circuit)
+        .players(n)
+        .tolerance(k, 0)
+        .wills(vec![library::BOTTOM as u64; n]) // ⊥ in every will
+        .resolve_defaults(vec![library::BOTTOM as u64; n]);
+    if naive {
+        builder = builder.naive_split();
+    }
+    if collude {
+        // Players 0 and 1 have odd index difference: their leaks XOR
+        // to b in the naive game.
+        builder = builder
+            .deviant(0, move || Box::new(CounterexampleColluder::new(n, 1)))
+            .deviant(1, move || Box::new(CounterexampleColluder::new(n, 0)));
+    }
+    let set = builder
+        .build()
+        .expect("n − k ≥ 1")
+        .seeds(0..samples)
+        .run_batch();
+    let (mut coalition_u, mut honest_u) = (Vec::new(), Vec::new());
+    for out in set.outcomes() {
+        // AH resolution with the ⊥ fallback is the set's built-in resolver.
+        let actions = set.profile(out);
         let us = game.utilities(&vec![0; n], &actions);
         coalition_u.push((us[0] + us[1]) / 2.0);
         honest_u.push(us[n - 1]);

@@ -1,15 +1,11 @@
 //! Quickstart: implement a majority-vote mediator with asynchronous cheap
-//! talk (Theorem 4.1, `n > 4k + 4t`).
+//! talk (Theorem 4.1, `n > 4k + 4t`), on the Scenario API.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use mediator_talk::circuits::catalog;
-use mediator_talk::core::{run_cheap_talk, CheapTalkSpec};
-use mediator_talk::field::Fp;
-use mediator_talk::sim::SchedulerKind;
-use std::collections::BTreeMap;
+use mediator_talk::prelude::*;
 
 fn main() {
     let n = 5;
@@ -26,18 +22,27 @@ fn main() {
         circuit.depth()
     );
 
-    let spec = CheapTalkSpec::theorem_4_1(
-        n,
-        k,
-        t,
-        circuit,
-        vec![vec![Fp::ZERO]; n], // default input for players that never show
-        vec![0; n],              // default moves
+    let votes = [1u64, 0, 1, 1, 0];
+    println!("player votes: {votes:?} (majority = 1)");
+
+    // The builder validates the Theorem 4.1 threshold at build time — ask
+    // for k = 1 with only four players and you get a typed error instead
+    // of a panic deep inside the MPC engine.
+    let rejected = Scenario::cheap_talk(catalog::majority_circuit(4))
+        .players(4)
+        .tolerance(k, t)
+        .build();
+    println!(
+        "n = 4 is rejected up front: {}",
+        rejected.expect_err("4 = 4k+4t is below the threshold")
     );
 
-    let votes = [1u64, 0, 1, 1, 0];
-    let inputs: Vec<Vec<Fp>> = votes.iter().map(|&b| vec![Fp::new(b)]).collect();
-    println!("player votes: {votes:?} (majority = 1)");
+    let plan = Scenario::cheap_talk(circuit)
+        .players(n)
+        .tolerance(k, t)
+        .inputs(votes.iter().map(|&b| vec![Fp::new(b)]).collect())
+        .build()
+        .expect("n = 5 > 4k+4t = 4");
 
     // Run the cheap-talk protocol under three qualitatively different
     // network schedulers — the outcome must not depend on the adversary's
@@ -47,13 +52,37 @@ fn main() {
         SchedulerKind::Fifo,
         SchedulerKind::Lifo,
     ] {
-        let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), &kind, 42, 2_000_000);
+        let out = plan.run_with(&kind, 42);
         let moves = out.resolve_default(&vec![0; n]);
         println!(
             "{kind:?}: all players moved {moves:?} using {} messages",
             out.messages_sent
         );
         assert_eq!(moves, vec![1; n]);
+    }
+
+    // And the batch-native form: the full scheduler battery × 16 seeds in
+    // one call, fanned across worker threads, aggregated per kind. With a
+    // 3–2 vote the asynchronous model *allows* the scheduler to decide
+    // which single input arrives too late to count (that is the point of
+    // the batteries) — but agreement must hold in every single run.
+    let set = plan
+        .battery(SchedulerKind::battery(n))
+        .seeds(0..16)
+        .run_batch();
+    println!(
+        "batch: {} runs across {} scheduler kinds; P(all play 1) per kind:",
+        set.len(),
+        set.kinds().len()
+    );
+    for (kind, dist) in set.kinds().iter().zip(set.distributions()) {
+        println!("  {kind:?}: {:.2}", dist.prob(&vec![1; n]));
+        for (profile, _) in dist.iter() {
+            assert!(
+                profile.iter().all(|&a| a == profile[0]),
+                "agreement must hold in every run ({kind:?}: {profile:?})"
+            );
+        }
     }
     println!("majority mediator implemented with cheap talk — no trusted party involved");
 }

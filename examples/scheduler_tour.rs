@@ -1,50 +1,47 @@
 //! A tour of the asynchronous environment model (§2, §5, §6.1):
-//! scheduler families, the covert channels between players and the
-//! content-blind environment, and message-pattern equivalence classes.
+//! scheduler families, the steppable `Session` (watching the environment
+//! pick events one at a time), relaxed schedulers, and the covert channel
+//! between players and the content-blind environment.
 //!
 //! ```sh
 //! cargo run --example scheduler_tour
 //! ```
 
-use mediator_talk::circuits::catalog;
-use mediator_talk::core::mediator::{
-    run_mediator_game, run_mediator_game_relaxed, MediatorGameSpec,
-};
 use mediator_talk::core::min_info;
-use mediator_talk::field::Fp;
+use mediator_talk::prelude::*;
 use mediator_talk::sim::covert::{CovertDecoder, CovertSender};
-use mediator_talk::sim::{Process, SchedulerKind, World};
-use std::collections::BTreeMap;
+use mediator_talk::sim::{Process, World};
 
 fn main() {
     let n = 4;
-    let spec = MediatorGameSpec::standard(
-        n,
-        1,
-        0,
-        catalog::majority_circuit(n),
-        vec![vec![Fp::ZERO]; n],
-    );
-    let inputs = vec![vec![Fp::ONE]; n];
+    let plan = Scenario::mediator(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; n])
+        .max_steps(100_000)
+        .build()
+        .expect("n − k − t ≥ 1");
 
     // 1. The same game under every scheduler family: same outcome, very
-    //    different message patterns.
+    //    different message patterns. One battery batch, one seed per kind.
     println!("— scheduler battery ————————————————————————————————");
-    let mut traces = Vec::new();
-    for kind in SchedulerKind::battery(n) {
-        let out = run_mediator_game(&spec, &inputs, BTreeMap::new(), &kind, 7, 100_000);
+    let set = plan
+        .battery(SchedulerKind::battery(n))
+        .seeds([7])
+        .run_batch();
+    for r in set.runs() {
         println!(
-            "{kind:?}: moves {:?}, {} msgs, {} steps",
-            &out.moves[..n],
-            out.messages_sent,
-            out.steps
+            "{:?}: moves {:?}, {} msgs, {} steps",
+            r.kind,
+            &r.outcome.moves[..n],
+            r.outcome.messages_sent,
+            r.outcome.steps
         );
-        traces.push(out.trace);
     }
-    let classes = min_info::distinct_classes(traces.iter());
+    let classes = min_info::distinct_classes(set.outcomes().map(|o| &o.trace));
     println!(
         "→ {} scheduler families induced {} distinct message-pattern classes",
-        SchedulerKind::battery(n).len(),
+        set.kinds().len(),
         classes
     );
     println!(
@@ -52,20 +49,51 @@ fn main() {
         min_info::log2_scheduler_classes(1, n as u64)
     );
 
-    // 2. A relaxed scheduler (mediator games only) may withhold messages —
+    // 2. The same run, opened up: a steppable Session. The environment's
+    //    event plane is visible between steps — this is the seam an async
+    //    network backend plugs into (deliveries become `inject` calls).
+    println!("\n— steppable session ————————————————————————————————");
+    let mut session = plan.session_with(&SchedulerKind::Fifo, 7);
+    println!(
+        "opened: {} start signals pending, 0 steps taken",
+        session.pending().len()
+    );
+    while session.steps() < 6 && !session.step().is_done() {}
+    let in_flight: Vec<String> = session
+        .pending()
+        .iter()
+        .map(|v| match v.src {
+            None => format!("start→{}", v.dst),
+            Some(s) => format!("{s}→{}", v.dst),
+        })
+        .collect();
+    println!(
+        "after {} steps the plane holds {} events: [{}]",
+        session.steps(),
+        session.pending().len(),
+        in_flight.join(", ")
+    );
+    let out = session.finish();
+    println!(
+        "finish() drains the rest: moves {:?} in {} steps ({:?})",
+        &out.moves[..n],
+        out.steps,
+        out.termination
+    );
+
+    // 3. A relaxed scheduler (mediator games only) may withhold messages —
     //    in whole batches. Dropping the mediator's STOP batch deadlocks the
     //    game; the Aumann–Hart wills take over.
     println!("\n— relaxed scheduler (§5) ———————————————————————————");
-    let mut will_spec = spec.clone();
-    will_spec.wills = Some(vec![9; n]);
-    let out = run_mediator_game_relaxed(
-        &will_spec,
-        &inputs,
-        BTreeMap::new(),
-        n as u64 + 1,
-        3,
-        100_000,
-    );
+    let will_plan = Scenario::mediator(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; n])
+        .wills(vec![9; n])
+        .max_steps(100_000)
+        .build()
+        .expect("n − k − t ≥ 1");
+    let out = will_plan.run_relaxed(n as u64 + 1, 3);
     println!(
         "mediator STOP batch dropped: {} drops, termination {:?}",
         out.trace.dropped_count(),
@@ -74,7 +102,7 @@ fn main() {
     let resolved = out.resolve_ah(&vec![0; n + 1]);
     println!("wills fired uniformly: {:?}", &resolved[..n]);
 
-    // 3. The covert channel of Proposition 6.1: the environment cannot read
+    // 4. The covert channel of Proposition 6.1: the environment cannot read
     //    messages, yet players can tell it things by counting.
     println!("\n— covert channel (Prop 6.1) ————————————————————————");
     let secret_values = [2u64, 5, 0, 3];

@@ -20,25 +20,32 @@
 //!
 //! # Quickstart
 //!
+//! Experiments go through the [`prelude`]'s **Scenario API**: a validated
+//! builder (`Scenario::cheap_talk(…)`, `Scenario::mediator(…)`), a
+//! seed-sweep batch runner (`.battery(…).seeds(…).run_batch()` →
+//! [`RunSet`](crate::prelude::RunSet)), and a steppable
+//! [`Session`](crate::prelude::Session).
+//!
 //! ```
-//! use mediator_talk::core::{run_cheap_talk, CheapTalkSpec};
-//! use mediator_talk::circuits::catalog;
-//! use mediator_talk::field::Fp;
-//! use mediator_talk::sim::SchedulerKind;
-//! use std::collections::BTreeMap;
+//! use mediator_talk::prelude::*;
 //!
 //! // Five players implement a majority-vote mediator with cheap talk,
-//! // tolerating one rational deviator (n > 4k+4t with k=1, t=0).
+//! // tolerating one rational deviator (Theorem 4.1: n = 5 > 4k+4t = 4 —
+//! // the builder rejects anything below the threshold with a typed error).
 //! let n = 5;
-//! let spec = CheapTalkSpec::theorem_4_1(
-//!     n, 1, 0,
-//!     catalog::majority_circuit(n),
-//!     vec![vec![Fp::ZERO]; n],
-//!     vec![0; n],
-//! );
-//! let inputs: Vec<Vec<Fp>> = [1u64, 0, 1, 1, 0].iter().map(|&b| vec![Fp::new(b)]).collect();
-//! let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), &SchedulerKind::Random, 7, 2_000_000);
+//! let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+//!     .players(n)
+//!     .tolerance(1, 0)
+//!     .inputs([1u64, 0, 1, 1, 0].iter().map(|&b| vec![Fp::new(b)]).collect())
+//!     .build()
+//!     .expect("threshold satisfied");
+//! let out = plan.run_with(&SchedulerKind::Random, 7);
 //! assert_eq!(out.resolve_default(&vec![0; n]), vec![1; n]);
+//!
+//! // The same plan fans out to a scheduler battery × seed grid, with
+//! // outcome distributions aggregated per scheduler kind:
+//! let set = plan.battery(SchedulerKind::battery(n)).seeds(0..8).run_batch();
+//! assert_eq!(set.len(), SchedulerKind::battery(n).len() * 8);
 //! ```
 
 pub use mediator_bcast as bcast;
@@ -49,3 +56,22 @@ pub use mediator_games as games;
 pub use mediator_mpc as mpc;
 pub use mediator_sim as sim;
 pub use mediator_vss as vss;
+
+/// The batteries-included import surface: the Scenario builders, their
+/// plans/run sets, the steppable session, and the vocabulary types they
+/// speak (circuits catalog, field elements, scheduler kinds, outcomes).
+pub mod prelude {
+    pub use mediator_circuits::{catalog, Circuit};
+    pub use mediator_core::deviations::Behavior;
+    pub use mediator_core::implement::{compare_run_sets, ImplementationReport};
+    pub use mediator_core::scenario::{
+        Batch, CheapTalkPlan, DeviantFactory, MediatorPlan, Resolve, RunRecord, RunSet, Scenario,
+        ScenarioError, Theorem, DEFAULT_CHEAP_TALK_STARVATION_BOUND,
+        DEFAULT_MEDIATOR_STARVATION_BOUND,
+    };
+    pub use mediator_core::{CheapTalkSpec, CtVariant, MediatorGameSpec};
+    pub use mediator_field::Fp;
+    pub use mediator_games::dist::OutcomeDist;
+    pub use mediator_games::library;
+    pub use mediator_sim::{Outcome, SchedulerKind, Session, SessionStatus, TerminationKind};
+}

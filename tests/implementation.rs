@@ -3,11 +3,11 @@
 //! battery (§2's definition, estimated).
 
 use mediator_talk::circuits::catalog;
-use mediator_talk::core::implement::compare_implementations;
 use mediator_talk::core::mediator::{run_mediator_game, MediatorGameSpec};
 use mediator_talk::core::{run_cheap_talk, CheapTalkSpec};
 use mediator_talk::field::Fp;
 use mediator_talk::games::dist::OutcomeDist;
+use mediator_talk::prelude::{compare_run_sets, Scenario};
 use mediator_talk::sim::SchedulerKind;
 use std::collections::BTreeMap;
 
@@ -19,43 +19,32 @@ fn majority_cheap_talk_implements_the_mediator_exactly_on_unanimous_inputs() {
         SchedulerKind::Fifo,
         SchedulerKind::Lifo,
     ];
-    let spec = CheapTalkSpec::theorem_4_1(
-        n,
-        1,
-        0,
-        catalog::majority_circuit(n),
-        vec![vec![Fp::ZERO]; n],
-        vec![0; n],
-    );
-    let med = MediatorGameSpec::standard(
-        n,
-        1,
-        0,
-        catalog::majority_circuit(n),
-        vec![vec![Fp::ZERO]; n],
-    );
     let inputs = vec![vec![Fp::ONE]; n];
-    let rep = compare_implementations(
-        &kinds,
-        8,
-        |kind, seed| {
-            let out = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), kind, seed, 20_000_000);
-            out.resolve_default(&vec![0; n])
-                .iter()
-                .map(|&a| a as usize)
-                .collect()
-        },
-        |kind, seed| {
-            let out = run_mediator_game(&med, &inputs, BTreeMap::new(), kind, seed, 200_000);
-            out.resolve_default(&vec![0; n + 1])[..n]
-                .iter()
-                .map(|&a| a as usize)
-                .collect()
-        },
-    );
+    let ct = Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(inputs.clone())
+        .max_steps(20_000_000)
+        .build()
+        .expect("5 > 4")
+        .battery(kinds.clone())
+        .seeds(0..8)
+        .run_batch();
+    let md = Scenario::mediator(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(inputs)
+        .build()
+        .expect("n − k − t ≥ 1")
+        .battery(kinds)
+        .seeds(0..8)
+        .run_batch();
+    let rep = compare_run_sets(&ct, &md);
     // Unanimous inputs ⇒ both games are point masses on (1,...,1).
     assert_eq!(rep.distance, 0.0, "exact implementation on this input");
     assert!(rep.eps_implements(0.0));
+    assert_eq!(rep.kinds, 3);
+    assert_eq!(rep.samples, 8);
 }
 
 #[test]

@@ -1,0 +1,266 @@
+//! Parity suite: the deprecated free-function wrappers and the `Scenario`
+//! builder produce **byte-identical** `Outcome`s for fixed
+//! `(scheduler, seed)` pairs across the battery — pinned through
+//! `Outcome::fingerprint()`, which hashes the full message pattern, moves,
+//! wills, halted flags, counters and termination.
+//!
+//! Also pins: session-vs-closed-loop parity, batch-vs-individual parity,
+//! and thread-count invariance of `run_batch`.
+
+use mediator_talk::core::deviations::SilentProcess;
+use mediator_talk::core::mediator::{run_mediator_game, run_mediator_game_relaxed};
+use mediator_talk::core::run_cheap_talk;
+use mediator_talk::prelude::*;
+use mediator_talk::sim::Process;
+use std::collections::BTreeMap;
+
+const N: usize = 5;
+const SEEDS: std::ops::Range<u64> = 0..3;
+
+fn ct_plan(behaviors: &[(usize, Behavior)]) -> CheapTalkPlan {
+    let mut b = Scenario::cheap_talk(catalog::majority_circuit(N))
+        .players(N)
+        .tolerance(1, 0)
+        .inputs(
+            [1u64, 0, 1, 1, 0]
+                .iter()
+                .map(|&v| vec![Fp::new(v)])
+                .collect(),
+        )
+        .max_steps(2_000_000);
+    for (p, beh) in behaviors {
+        b = b.deviant(*p, beh.clone());
+    }
+    b.build().expect("5 > 4")
+}
+
+fn legacy_spec() -> CheapTalkSpec {
+    CheapTalkSpec::theorem_4_1(
+        N,
+        1,
+        0,
+        catalog::majority_circuit(N),
+        vec![vec![Fp::ZERO]; N],
+        vec![0; N],
+    )
+}
+
+#[test]
+fn cheap_talk_wrapper_matches_builder_across_battery() {
+    let spec = legacy_spec();
+    let inputs: Vec<Vec<Fp>> = [1u64, 0, 1, 1, 0]
+        .iter()
+        .map(|&v| vec![Fp::new(v)])
+        .collect();
+    let plan = ct_plan(&[]);
+    for kind in SchedulerKind::battery(N) {
+        for seed in SEEDS {
+            let legacy = run_cheap_talk(&spec, &inputs, &BTreeMap::new(), &kind, seed, 2_000_000);
+            let built = plan.run_with(&kind, seed);
+            assert_eq!(
+                legacy.fingerprint(),
+                built.fingerprint(),
+                "{kind:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cheap_talk_wrapper_matches_builder_with_deviants() {
+    let spec = legacy_spec();
+    let inputs: Vec<Vec<Fp>> = [1u64, 0, 1, 1, 0]
+        .iter()
+        .map(|&v| vec![Fp::new(v)])
+        .collect();
+    let deviation = Behavior {
+        lie_in_opens: true,
+        ..Behavior::default()
+    };
+    let mut behaviors = BTreeMap::new();
+    behaviors.insert(2usize, deviation.clone());
+    let plan = ct_plan(&[(2, deviation)]);
+    for kind in [SchedulerKind::Random, SchedulerKind::Lifo] {
+        for seed in SEEDS {
+            let legacy = run_cheap_talk(&spec, &inputs, &behaviors, &kind, seed, 2_000_000);
+            let built = plan.run_with(&kind, seed);
+            assert_eq!(
+                legacy.fingerprint(),
+                built.fingerprint(),
+                "{kind:?} seed {seed}"
+            );
+        }
+    }
+}
+
+fn med_plan() -> MediatorPlan {
+    Scenario::mediator(catalog::majority_circuit(N))
+        .players(N)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; N])
+        .max_steps(100_000)
+        .build()
+        .expect("n − k − t ≥ 1")
+}
+
+fn med_spec() -> MediatorGameSpec {
+    MediatorGameSpec::standard(
+        N,
+        1,
+        0,
+        catalog::majority_circuit(N),
+        vec![vec![Fp::ZERO]; N],
+    )
+}
+
+#[test]
+fn mediator_wrapper_matches_builder_across_battery() {
+    let spec = med_spec();
+    let inputs = vec![vec![Fp::ONE]; N];
+    let plan = med_plan();
+    for kind in SchedulerKind::battery(N) {
+        for seed in SEEDS {
+            let legacy = run_mediator_game(&spec, &inputs, BTreeMap::new(), &kind, seed, 100_000);
+            let built = plan.run_with(&kind, seed);
+            assert_eq!(
+                legacy.fingerprint(),
+                built.fingerprint(),
+                "{kind:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mediator_wrapper_matches_builder_with_deviant_process() {
+    let spec = med_spec();
+    let inputs = vec![vec![Fp::ONE]; N];
+    let plan = med_plan().with_deviant(2, || Box::new(SilentProcess));
+    for seed in SEEDS {
+        let mut deviants: BTreeMap<usize, Box<dyn Process<mediator_talk::core::MedMsg>>> =
+            BTreeMap::new();
+        deviants.insert(2, Box::new(SilentProcess));
+        let legacy = run_mediator_game(
+            &spec,
+            &inputs,
+            deviants,
+            &SchedulerKind::Random,
+            seed,
+            100_000,
+        );
+        let built = plan.run_with(&SchedulerKind::Random, seed);
+        assert_eq!(legacy.fingerprint(), built.fingerprint(), "seed {seed}");
+    }
+}
+
+#[test]
+fn relaxed_wrapper_matches_builder() {
+    let mut spec = med_spec();
+    spec.wills = Some(vec![7; N]);
+    let inputs = vec![vec![Fp::ONE]; N];
+    let plan = Scenario::mediator(catalog::majority_circuit(N))
+        .players(N)
+        .tolerance(1, 0)
+        .inputs(inputs.clone())
+        .wills(vec![7; N])
+        .max_steps(100_000)
+        .build()
+        .expect("n − k − t ≥ 1");
+    for seed in SEEDS {
+        let drop_after = N as u64 + 1;
+        let legacy =
+            run_mediator_game_relaxed(&spec, &inputs, BTreeMap::new(), drop_after, seed, 100_000);
+        let built = plan.run_relaxed(drop_after, seed);
+        assert_eq!(legacy.fingerprint(), built.fingerprint(), "seed {seed}");
+    }
+}
+
+#[test]
+fn session_matches_closed_loop_for_both_game_kinds() {
+    let plan = ct_plan(&[]);
+    for kind in [SchedulerKind::Random, SchedulerKind::Fifo] {
+        let closed = plan.run_with(&kind, 1);
+        let open = plan.session_with(&kind, 1).finish();
+        assert_eq!(
+            open.fingerprint(),
+            closed.fingerprint(),
+            "cheap talk {kind:?}"
+        );
+    }
+    let plan = med_plan();
+    for kind in [SchedulerKind::Random, SchedulerKind::Lifo] {
+        let closed = plan.run_with(&kind, 1);
+        let open = plan.session_with(&kind, 1).finish();
+        assert_eq!(
+            open.fingerprint(),
+            closed.fingerprint(),
+            "mediator {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn batch_matches_individual_runs_and_is_thread_invariant() {
+    let plan = ct_plan(&[]);
+    let kinds = vec![SchedulerKind::Random, SchedulerKind::Lifo];
+    let sequential = plan
+        .battery(kinds.clone())
+        .seeds(SEEDS)
+        .threads(1)
+        .run_batch();
+    let parallel = plan
+        .battery(kinds.clone())
+        .seeds(SEEDS)
+        .threads(4)
+        .run_batch();
+    assert_eq!(sequential.len(), kinds.len() * SEEDS.count());
+    for (s, p) in sequential.runs().iter().zip(parallel.runs()) {
+        assert_eq!(s.kind, p.kind);
+        assert_eq!(s.seed, p.seed);
+        assert_eq!(
+            s.outcome.fingerprint(),
+            p.outcome.fingerprint(),
+            "{:?} seed {}",
+            s.kind,
+            s.seed
+        );
+        let individual = plan.run_with(&s.kind, s.seed);
+        assert_eq!(
+            s.outcome.fingerprint(),
+            individual.fingerprint(),
+            "batch cell must equal a lone run ({:?} seed {})",
+            s.kind,
+            s.seed
+        );
+    }
+}
+
+#[test]
+fn run_machines_wrapper_matches_machines_builder() {
+    use mediator_talk::bcast::RbcPeer;
+    use mediator_talk::sim::{run_machines, Machines};
+    let mk = || -> Vec<RbcPeer<u64>> {
+        (0..4)
+            .map(|me| RbcPeer::new(4, 1, 0, me, (me == 0).then_some(42)))
+            .collect()
+    };
+    for seed in SEEDS {
+        let (legacy, legacy_out) = run_machines(
+            mk(),
+            Vec::new(),
+            SchedulerKind::Random.build().as_mut(),
+            seed,
+            100_000,
+        );
+        let (built, built_out) =
+            Machines::new(mk()).run(SchedulerKind::Random.build().as_mut(), seed, 100_000);
+        assert_eq!(legacy.fingerprint(), built.fingerprint(), "seed {seed}");
+        assert_eq!(legacy_out, built_out);
+        // And the steppable variant drains to the same outcome.
+        let (session, outputs) =
+            Machines::new(mk()).session(SchedulerKind::Random.build(), seed, 100_000);
+        let stepped = session.finish();
+        assert_eq!(legacy.fingerprint(), stepped.fingerprint(), "seed {seed}");
+        assert_eq!(outputs.take(), legacy_out);
+    }
+}
