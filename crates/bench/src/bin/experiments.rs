@@ -47,6 +47,19 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--conformance") {
+        // CONFORMANCE.json mode: run the ε-resilience conformance battery
+        // (reduced in --fast) and write the reports as a JSON artifact.
+        // Exits nonzero if any verdict contradicts the paper's claims.
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("CONFORMANCE.json")
+            .to_string();
+        conformance_battery(&out, fast);
+        return;
+    }
+
     println!("# mediator-talk experiment harness");
     println!("# paper: Implementing Mediators with Asynchronous Cheap Talk (PODC 2019)");
 
@@ -190,7 +203,11 @@ fn bench_trajectory(label: &str, out: &str, fast: bool) {
 
     // The Scenario batch runner: the same workload as a 64-seed sweep,
     // sequential versus fanned across the worker pool — the number the
-    // multi-threaded `run_batch` plan has to justify.
+    // multi-threaded `run_batch` plan has to justify. On a single-core
+    // host the mt run would be the 1t run under another name, so the
+    // metric is *skipped* there (recording it would pollute the
+    // trajectory with an indistinguishable duplicate); multi-core hosts
+    // record the worker count alongside the timing.
     let plan = plan_for(&spec, &inputs);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -200,15 +217,151 @@ fn bench_trajectory(label: &str, out: &str, fast: bool) {
         plan.seeds(0..64).threads(1).run_batch().len()
     });
     metrics.push(Metric::new("batch_cheap_talk_n5_64seeds_1t", ns_1t).with("threads", 1));
-    let ns_mt = median_ns_per_op(bsamples, 1, || plan.seeds(0..64).run_batch().len());
-    metrics
-        .push(Metric::new("batch_cheap_talk_n5_64seeds_mt", ns_mt).with("threads", workers as u64));
+    if workers > 1 {
+        let ns_mt = median_ns_per_op(bsamples, 1, || plan.seeds(0..64).run_batch().len());
+        metrics.push(
+            Metric::new("batch_cheap_talk_n5_64seeds_mt", ns_mt).with("threads", workers as u64),
+        );
+    } else {
+        println!(
+            "batch_cheap_talk_n5_64seeds_mt   skipped: single-core host \
+             (available_parallelism = 1, the mt run would duplicate the 1t metric)"
+        );
+    }
 
     for m in &metrics {
         println!("{:<34} {:>12} ns/op", m.name, m.ns_per_op);
     }
     append_bench_json(std::path::Path::new(out), label, &metrics).expect("write BENCH.json");
     println!("appended entry '{label}' to {out}");
+}
+
+/// `--conformance` — the statistical ε-resilience conformance battery:
+/// the Theorem 4.1 cheap talk at a paper-valid working point (must be
+/// resilient), the §6.4 naive mediator below the 4.1 bound (the harness
+/// must *find* the profitable deviation), and the minimally-informative
+/// fix (resilient again). Writes all three reports to `out` as JSON and
+/// panics — failing CI — on any unexpected verdict.
+fn conformance_battery(out: &str, fast: bool) {
+    use mediator_core::adversary::Conformance;
+
+    let seeds = if fast { 16 } else { 48 };
+    let ct_seeds = if fast { 3 } else { 6 };
+    println!(
+        "# conformance battery ({seeds} seeds/kind on mediator games, \
+         {ct_seeds} on cheap talk) → {out}"
+    );
+    let mut entries: Vec<(&str, mediator_core::adversary::ConformanceReport)> = Vec::new();
+
+    // Theorem 4.1 working point: n = 5 > 4k + 4t.
+    let n = 5;
+    let game = library::byzantine_agreement_game(n);
+    let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(ones_inputs(n))
+        .build()
+        .expect("5 > 4");
+    let report = plan.conformance(
+        &game,
+        &vec![1usize; n],
+        &Conformance::new(0.05, 1, 0)
+            .battery(if fast {
+                vec![SchedulerKind::Random]
+            } else {
+                vec![
+                    SchedulerKind::Random,
+                    SchedulerKind::Fifo,
+                    SchedulerKind::Lifo,
+                ]
+            })
+            .seeds(ct_seeds),
+    );
+    assert!(
+        report.is_resilient(),
+        "Theorem 4.1 cheap talk must be resilient: {:?}",
+        report.verdict
+    );
+    entries.push(("cheap_talk_thm41_n5", report));
+
+    // §6.4: naive mediator at n = 7, k = 2 (n ≤ 4k — below the 4.1 bound).
+    let n = 7;
+    let (game, _, k) = library::counterexample_game(n);
+    let bot = library::BOTTOM as u64;
+    let cfg = Conformance::new(0.01, k, 0)
+        .battery(vec![SchedulerKind::Random])
+        .seeds(seeds)
+        .coalitions(vec![vec![0], vec![0, 1]])
+        .deadlock_action(bot);
+    let naive = Scenario::mediator(catalog::counterexample_naive(n))
+        .players(n)
+        .tolerance(k, 0)
+        .naive_split()
+        .wills(vec![bot; n])
+        .resolve_defaults(vec![bot; n])
+        .build()
+        .expect("n − k ≥ 1");
+    let report = naive.conformance(&game, &vec![0; n], &cfg);
+    let witness = report
+        .witness()
+        .expect("the naive mediator's profitable deviation must be found")
+        .clone();
+    assert_eq!(witness.strategy, "deadlock-if-bit=0");
+    entries.push(("naive_mediator_sec6_4", report));
+
+    let fixed = Scenario::mediator(catalog::counterexample_minfo(n))
+        .players(n)
+        .tolerance(k, 0)
+        .wills(vec![bot; n])
+        .resolve_defaults(vec![bot; n])
+        .build()
+        .expect("n − k ≥ 1");
+    let report = fixed.conformance(&game, &vec![0; n], &cfg);
+    assert!(
+        report.is_resilient(),
+        "min-info mediator must be resilient: {:?}",
+        report.verdict
+    );
+    entries.push(("min_info_mediator_sec6_4", report));
+
+    let mut t = Table::new(
+        "Conformance verdicts",
+        &["scenario", "cells", "verdict", "max gain"],
+    );
+    for (name, rep) in &entries {
+        let verdict = if rep.is_resilient() {
+            "ε-k-resilient".to_string()
+        } else {
+            format!(
+                "VIOLATED ({})",
+                rep.witness().expect("non-resilient").strategy
+            )
+        };
+        t.row(vec![
+            name.to_string(),
+            rep.cells.len().to_string(),
+            verdict,
+            f4(rep.max_gain()),
+        ]);
+    }
+    print!("{t}");
+    println!("witness: {witness}");
+
+    let mut json = String::from("{\n  \"entries\": [\n");
+    for (i, (name, rep)) in entries.iter().enumerate() {
+        let body: String = rep
+            .to_json()
+            .lines()
+            .map(|l| format!("      {l}\n"))
+            .collect();
+        json.push_str(&format!(
+            "    {{ \"name\": \"{name}\",\n      \"report\":\n{body}    }}{}\n",
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out, json).expect("write conformance JSON");
+    println!("wrote {out}");
 }
 
 /// E11 — quick wall-clock substrate measurements (the Criterion benches in

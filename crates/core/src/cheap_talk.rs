@@ -24,12 +24,13 @@
 //! done so — so either all honest players move, or none do (and every will
 //! fires), never a harmful mix.
 
+use crate::adversary::TacticState;
 use crate::deviations::Behavior;
 use mediator_circuits::Circuit;
 use mediator_field::Fp;
 use mediator_mpc::{Mode, MpcConfig, MpcDriver, MpcEvent, MpcMsg};
 use mediator_sim::sansio::{route_batch, SansIo};
-use mediator_sim::{Action, Ctx, Outcome, Process, ProcessId, SchedulerKind};
+use mediator_sim::{Action, Ctx, Outcome, Process, ProcessId, SchedulerKind, TamperVerdict};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -189,6 +190,8 @@ pub struct CheapTalkPlayer {
     input: Vec<Fp>,
     engine: Option<MpcDriver>,
     behavior: Behavior,
+    tactics: TacticState,
+    held: Vec<(ProcessId, CtMsg)>,
     sends: u64,
     crashed: bool,
     action: Option<Action>,
@@ -209,12 +212,26 @@ impl CheapTalkPlayer {
         input: Vec<Fp>,
         behavior: Behavior,
     ) -> Self {
+        // The legacy `lie_in_opens` flag compiles onto the same corruption
+        // primitive the DSL uses — one corruption scheme, not two.
+        let mut schedule = behavior.tactics.clone();
+        if behavior.lie_in_opens {
+            schedule.push(crate::adversary::Scheduled {
+                window: crate::adversary::Window::all(),
+                primitive: crate::adversary::Primitive::CorruptOpens {
+                    offset: crate::adversary::OPEN_LIE_OFFSET,
+                },
+            });
+        }
+        let tactics = TacticState::new(schedule);
         CheapTalkPlayer {
             spec,
             me,
             input,
             engine: None,
             behavior,
+            tactics,
+            held: Vec::new(),
             sends: 0,
             crashed: false,
             action: None,
@@ -224,24 +241,10 @@ impl CheapTalkPlayer {
     }
 
     fn deliver_out(&mut self, batch: Vec<mediator_sim::Outgoing<MpcMsg>>, ctx: &mut Ctx<CtMsg>) {
-        // Opening/output lies: corrupt the values we emit.
-        let batch = if self.behavior.lie_in_opens {
-            mediator_sim::map_batch(batch, |msg| match msg {
-                MpcMsg::Open { id, value } => MpcMsg::Open {
-                    id,
-                    value: value + Fp::new(1_000_003),
-                },
-                MpcMsg::Output { idx, value } => MpcMsg::Output {
-                    idx,
-                    value: value + Fp::new(1_000_003),
-                },
-                other => other,
-            })
-        } else {
-            batch
-        };
         // Broadcast fan-out goes through the shared sans-IO routing, with
-        // this player's deviation-aware send in the hot seat.
+        // this player's deviation-aware send in the hot seat (opening
+        // lies, like every message-level deviation, live in the compiled
+        // tactic schedule the send path consults).
         let n = self.spec.n;
         route_batch(n, batch, |d, msg| self.send(d, CtMsg::Mpc(msg), ctx));
     }
@@ -257,7 +260,32 @@ impl CheapTalkPlayer {
             }
         }
         self.sends += 1;
-        ctx.send(dst, msg);
+        if self.tactics.is_empty() {
+            ctx.send(dst, msg);
+            return;
+        }
+        match self.tactics.apply(dst, msg) {
+            TamperVerdict::Deliver(m) => ctx.send(dst, m),
+            TamperVerdict::Drop => {}
+            TamperVerdict::Hold(m) => self.held.push((dst, m)),
+        }
+    }
+
+    /// Releases delay-held messages once their tactic's release point has
+    /// passed (consulted at the start of every activation).
+    ///
+    /// Deliberately NOT the generic [`mediator_sim::Tamper`] wrapper: a
+    /// player whose `crash_after_sends` fired must stay silent — held
+    /// messages included — and only this state machine knows about the
+    /// crash. The wrapper flushes unconditionally, which is right for the
+    /// processes it wraps but wrong here.
+    fn flush_held(&mut self, ctx: &mut Ctx<CtMsg>) {
+        if self.held.is_empty() || self.crashed || !self.tactics.should_flush() {
+            return;
+        }
+        for (dst, msg) in std::mem::take(&mut self.held) {
+            ctx.send(dst, msg);
+        }
     }
 
     fn handle_event(&mut self, ev: MpcEvent, ctx: &mut Ctx<CtMsg>) {
@@ -337,6 +365,7 @@ impl Process<CtMsg> for CheapTalkPlayer {
     }
 
     fn on_message(&mut self, src: ProcessId, msg: CtMsg, ctx: &mut Ctx<CtMsg>) {
+        self.flush_held(ctx);
         match msg {
             CtMsg::Mpc(m) => {
                 let Some(engine) = self.engine.as_mut() else {

@@ -2,19 +2,27 @@
 //!
 //! Solution concepts over *extended* games quantify over all strategies —
 //! an infinite space. The paper's lower-bound companion exhibits specific
-//! attacks; experiments here do the analogous thing: a battery of
+//! attacks; experiments here do the analogous thing: batteries of
 //! parameterized deviations applied to the honest machinery, measuring the
 //! utility consequences for deviators (resilience) and bystanders
 //! (immunity). [`Behavior`] deviations plug into
-//! [`CheapTalkPlayer`](crate::cheap_talk::CheapTalkPlayer); the §6.4
-//! colluders are mediator-game processes.
+//! [`CheapTalkPlayer`](crate::cheap_talk::CheapTalkPlayer); they are built
+//! by the [`adversary`](crate::adversary) plane's combinator DSL
+//! ([`Deviation`](crate::adversary::Deviation)), which also generates the
+//! coalition-strategy batteries the conformance harness sweeps. The §6.4
+//! colluders are mediator-game processes
+//! ([`GossipColluder`](crate::adversary::GossipColluder) in general;
+//! [`CounterexampleColluder`] is the paper's specific point in that space).
 
+use crate::adversary::{CollusionRule, Deviation, GossipColluder, Scheduled};
 use crate::mediator::MedMsg;
 use mediator_field::Fp;
 use mediator_games::{library, BayesianGame};
 use mediator_sim::{Action, Ctx, Process, ProcessId};
 
-/// Parameterized deviations applied to the honest cheap-talk player.
+/// Parameterized deviations applied to the honest cheap-talk player:
+/// player-level switches plus the message-level tactic schedule compiled
+/// from the [`adversary`](crate::adversary) DSL.
 #[derive(Debug, Clone, Default)]
 pub struct Behavior {
     /// Never participate at all (crash at start).
@@ -29,6 +37,9 @@ pub struct Behavior {
     pub refuse_to_move: bool,
     /// Write this will instead of the honest one.
     pub will_override: Option<Action>,
+    /// Message-level tactics (drop/delay/equivocate/silence/abort windows),
+    /// applied in the player's send path.
+    pub tactics: Vec<Scheduled>,
 }
 
 impl Behavior {
@@ -37,45 +48,28 @@ impl Behavior {
         Behavior::default()
     }
 
-    /// Named battery of deviations for robustness reports.
+    /// The classic named battery of single-player deviations, built from
+    /// the combinator DSL (the conformance harness sweeps the larger
+    /// [`generated_battery`](crate::adversary::generated_battery), which
+    /// extends this list with windowed message-level strategies).
     pub fn battery() -> Vec<(&'static str, Behavior)> {
-        vec![
-            (
-                "silent",
-                Behavior {
-                    silent: true,
-                    ..Default::default()
-                },
-            ),
-            (
-                "crash-mid",
-                Behavior {
-                    crash_after_sends: Some(60),
-                    ..Default::default()
-                },
-            ),
+        let named = [
+            ("silent", Deviation::named("silent").silent()),
+            ("crash-mid", Deviation::named("crash-mid").crash_after(60)),
             (
                 "lie-input",
-                Behavior {
-                    input_override: Some(vec![Fp::ONE]),
-                    ..Default::default()
-                },
+                Deviation::named("lie-input").lie_about_input(vec![Fp::ONE]),
             ),
-            (
-                "lie-opens",
-                Behavior {
-                    lie_in_opens: true,
-                    ..Default::default()
-                },
-            ),
+            ("lie-opens", Deviation::named("lie-opens").lie_in_opens()),
             (
                 "refuse-move",
-                Behavior {
-                    refuse_to_move: true,
-                    ..Default::default()
-                },
+                Deviation::named("refuse-move").refuse_to_move(),
             ),
-        ]
+        ];
+        named
+            .into_iter()
+            .map(|(name, d)| (name, d.build().1))
+            .collect()
     }
 }
 
@@ -93,94 +87,41 @@ impl<M> Process<M> for SilentProcess {
 /// parity who XOR their round-1 leaks to learn `b` early, then deadlock the
 /// naive mediator when `b = 0` (preferring the 1.1 punishment payoff to the
 /// 1.0 all-zeros payoff) and cooperate when `b = 1` (payoff 2).
+///
+/// One specific point of the generalized coalition space: a
+/// [`GossipColluder`] pair under
+/// `CollusionRule::DeadlockOnBit { trigger: 0, will: ⊥ }`. The conformance
+/// harness *generates* this strategy (among others) rather than requiring
+/// it to be hand-built.
 pub struct CounterexampleColluder {
-    n: usize,
-    partner: ProcessId,
-    my_leak: Option<u64>,
-    partner_leak: Option<u64>,
-    input: Vec<Fp>,
-    acked: bool,
+    inner: GossipColluder,
 }
 
 impl CounterexampleColluder {
     /// Creates a colluder whose gossip partner is `partner`.
     pub fn new(n: usize, partner: ProcessId) -> Self {
+        let bottom = library::BOTTOM as Action;
         CounterexampleColluder {
-            n,
-            partner,
-            my_leak: None,
-            partner_leak: None,
-            input: Vec::new(),
-            acked: false,
-        }
-    }
-
-    fn mediator(&self) -> ProcessId {
-        self.n
-    }
-
-    fn decide(&mut self, ctx: &mut Ctx<MedMsg>) {
-        let (Some(a), Some(b)) = (self.my_leak, self.partner_leak) else {
-            return;
-        };
-        if self.acked {
-            return;
-        }
-        self.acked = true;
-        let bit = a ^ b; // opposite parity: leak_i XOR leak_j = b
-        if bit == 0 {
-            // Deadlock the naive mediator: never ack. Play ⊥ via the will,
-            // pocket the 1.1 punishment payoff.
-            ctx.set_will(library::BOTTOM as Action);
-            ctx.halt();
-        } else {
-            // Cooperate: ack round 1, then play the announced action.
-            ctx.send(
-                self.mediator(),
-                MedMsg::Input {
-                    round: 1,
-                    value: self.input.clone(),
+            inner: GossipColluder::new(
+                n,
+                [partner],
+                CollusionRule::DeadlockOnBit {
+                    trigger: 0,
+                    will: bottom,
                 },
-            );
+                bottom,
+            ),
         }
     }
 }
 
 impl Process<MedMsg> for CounterexampleColluder {
     fn on_start(&mut self, ctx: &mut Ctx<MedMsg>) {
-        ctx.set_will(library::BOTTOM as Action);
-        ctx.send(
-            self.mediator(),
-            MedMsg::Input {
-                round: 0,
-                value: self.input.clone(),
-            },
-        );
+        self.inner.on_start(ctx);
     }
 
     fn on_message(&mut self, src: ProcessId, msg: MedMsg, ctx: &mut Ctx<MedMsg>) {
-        match msg {
-            MedMsg::Round { round: 1, payload } if src == self.mediator() => {
-                let leak = payload.first().map(|v| v.as_u64()).unwrap_or(0);
-                self.my_leak = Some(leak);
-                ctx.send(
-                    self.partner,
-                    MedMsg::Gossip {
-                        payload: vec![Fp::new(leak)],
-                    },
-                );
-                self.decide(ctx);
-            }
-            MedMsg::Gossip { payload } if src == self.partner => {
-                self.partner_leak = payload.first().map(|v| v.as_u64());
-                self.decide(ctx);
-            }
-            MedMsg::Stop { action } if src == self.mediator() => {
-                ctx.make_move(action);
-                ctx.halt();
-            }
-            _ => {}
-        }
+        self.inner.on_message(src, msg, ctx);
     }
 }
 
@@ -294,6 +235,33 @@ pub fn cheap_talk_robustness_report(
     report
 }
 
+/// Per-player expected utilities of a batch [`RunSet`](crate::scenario::RunSet)
+/// under `game` with the fixed `types` draw, as confidence intervals at
+/// critical value `z` — the interval-carrying replacement for feeding
+/// [`empirical_utilities`] point estimates into ε comparisons.
+pub fn run_set_utilities_ci(
+    set: &crate::scenario::RunSet,
+    game: &BayesianGame,
+    types: &[usize],
+    z: f64,
+) -> Vec<mediator_games::ConfidenceInterval> {
+    mediator_games::stats::utilities_ci(game, &run_set_samples(set, types), z)
+}
+
+/// Materializes a [`RunSet`](crate::scenario::RunSet) into the
+/// `(types, actions)` sample pairs the `mediator-games` statistics layer
+/// consumes, in grid (kind-major, seed-minor) order — the one
+/// RunSet→samples bridge both the conformance harness and
+/// [`run_set_utilities_ci`] go through.
+pub fn run_set_samples(
+    set: &crate::scenario::RunSet,
+    types: &[usize],
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    set.outcomes()
+        .map(|out| (types.to_vec(), set.profile(out)))
+        .collect()
+}
+
 /// Mean per-player utilities over `(types, actions)` samples.
 pub fn empirical_utilities(game: &BayesianGame, runs: &[(Vec<usize>, Vec<usize>)]) -> Vec<f64> {
     assert!(!runs.is_empty());
@@ -348,6 +316,30 @@ mod tests {
         // honest inputs the majority is unchanged: no gain, no harm.
         let li = report.rows.iter().find(|r| r.name == "lie-input").unwrap();
         assert!(li.gain().abs() <= 1e-9 && li.harm() <= 1e-9);
+    }
+
+    #[test]
+    fn run_set_utilities_carry_intervals() {
+        // A mediator-game batch with unanimous votes: every run pays 1 to
+        // everyone in the BA game, so the intervals are exact points.
+        let n = 4;
+        let game = mediator_games::library::byzantine_agreement_game(n);
+        let set = crate::scenario::Scenario::mediator(catalog::majority_circuit(n))
+            .players(n)
+            .tolerance(1, 0)
+            .inputs(vec![vec![Fp::ONE]; n])
+            .build()
+            .expect("n − k − t ≥ 1")
+            .seeds(0..3)
+            .run_batch();
+        let cis = run_set_utilities_ci(&set, &game, &vec![1; n], 1.96);
+        assert_eq!(cis.len(), n);
+        for ci in &cis {
+            assert!((ci.mean - 1.0).abs() < 1e-12);
+            assert_eq!(ci.samples, 3);
+            assert!(ci.hi - ci.lo < 1e-12);
+        }
+        assert_eq!(run_set_samples(&set, &vec![1; n]).len(), set.len());
     }
 
     #[test]

@@ -32,10 +32,18 @@
 //! * [`deviations`] — the deviation library (silence, crashes, input lies,
 //!   opening lies, §6.4 deadlock collusion) and robustness reports
 //!   (empirical ε-(k,t)-robustness over the battery).
+//! * [`adversary`] — the **adversary plane**: message-level deviation
+//!   primitives (drop, delay-until-phase, equivocate, selective silence,
+//!   abort-at-round) composed per-phase and per-coalition by a combinator
+//!   DSL, generalized §6.4 gossip colluders, and the **conformance
+//!   harness** that sweeps generated coalition strategies × scheduler
+//!   battery × seeds and renders an ε-k-resilience verdict with confidence
+//!   intervals — or a concrete witnessing deviation.
 //! * [`egl`] — the Even–Goldreich–Lempel `O(1/ε)`-messages baseline the
 //!   paper compares against in §1.
 //! * [`report`] — plain-text/markdown tables for the experiment harness.
 
+pub mod adversary;
 pub mod cheap_talk;
 pub mod deviations;
 pub mod egl;
@@ -45,6 +53,9 @@ pub mod min_info;
 pub mod report;
 pub mod scenario;
 
+pub use adversary::{
+    Conformance, ConformanceReport, ConformanceVerdict, Deviation, DeviationWitness,
+};
 pub use cheap_talk::{run_cheap_talk, CheapTalkPlayer, CheapTalkSpec, CtMsg, CtVariant};
 pub use deviations::{Behavior, RobustnessReport};
 pub use mediator::{run_mediator_game, MedMsg, MediatorGameSpec};

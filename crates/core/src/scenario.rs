@@ -683,6 +683,23 @@ impl CheapTalkPlan {
     pub fn seeds(&self, seeds: impl IntoIterator<Item = u64>) -> Batch<CheapTalkPlan> {
         Batch::new(self.clone()).seeds(seeds)
     }
+
+    /// Runs the equilibrium conformance harness over this plan: every
+    /// coalition of size ≤ `cfg.k` plays every generated adversary-plane
+    /// strategy across the scheduler battery × seed grid, utilities are
+    /// accounted with confidence intervals against the honest baseline
+    /// under `game`/`types`, and the report's verdict states whether the
+    /// plan is ε-k-resilient within the statistical bound — or exhibits a
+    /// concrete witnessing deviation. See
+    /// [`adversary`](crate::adversary) for the strategy grammar.
+    pub fn conformance(
+        &self,
+        game: &mediator_games::BayesianGame,
+        types: &[usize],
+        cfg: &crate::adversary::Conformance,
+    ) -> crate::adversary::ConformanceReport {
+        crate::adversary::cheap_talk_conformance(self, game, types, cfg)
+    }
 }
 
 impl BatchRun for CheapTalkPlan {
@@ -1015,6 +1032,11 @@ impl MediatorPlan {
         &self.spec
     }
 
+    /// The resolved per-player inputs.
+    pub fn inputs(&self) -> &[Vec<Fp>] {
+        &self.inputs
+    }
+
     /// Adds a deviant factory (see [`MediatorGame::deviant`]).
     pub fn with_deviant(
         mut self,
@@ -1123,6 +1145,22 @@ impl MediatorPlan {
     pub fn seeds(&self, seeds: impl IntoIterator<Item = u64>) -> Batch<MediatorPlan> {
         Batch::new(self.clone()).seeds(seeds)
     }
+
+    /// Runs the equilibrium conformance harness over this mediator game:
+    /// every coalition of size ≤ `cfg.k` is wired as a gossip clique under
+    /// every generated collusion rule (plus message-level tamper
+    /// strategies), and the report's verdict states ε-k-resilience within
+    /// the statistical bound or a concrete witnessing deviation — the
+    /// generated form of the §6.4 counterexample. See
+    /// [`adversary`](crate::adversary).
+    pub fn conformance(
+        &self,
+        game: &mediator_games::BayesianGame,
+        types: &[usize],
+        cfg: &crate::adversary::Conformance,
+    ) -> crate::adversary::ConformanceReport {
+        crate::adversary::mediator_conformance(self, game, types, cfg)
+    }
 }
 
 impl BatchRun for MediatorPlan {
@@ -1172,6 +1210,16 @@ pub trait BatchRun: Clone + Sync {
     fn default_seed(&self) -> u64;
     /// How the resulting [`RunSet`] resolves infinite play.
     fn resolve_mode(&self) -> Resolve;
+
+    /// Starts a batch over this plan (the generic entry the conformance
+    /// harness uses; the concrete plans also expose `.battery(…)` /
+    /// `.seeds(…)` shortcuts).
+    fn batch(&self) -> Batch<Self>
+    where
+        Self: Sized,
+    {
+        Batch::new(self.clone())
+    }
 }
 
 /// A batch execution plan: a scheduler battery × a seed range, fanned

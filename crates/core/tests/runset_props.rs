@@ -1,0 +1,116 @@
+//! Property-based invariants of the batch-aggregation pipeline:
+//! `OutcomeDist` sample accounting, the `RunSet::pooled == merge(by_kind)`
+//! law, and `compare_run_sets` metric axioms (zero on self, symmetry).
+//!
+//! These are the laws every conformance verdict and implementation
+//! distance silently relies on; mediator games keep each generated case
+//! cheap enough for a 64-case sweep.
+
+use mediator_circuits::catalog;
+use mediator_core::implement::compare_run_sets;
+use mediator_core::scenario::{RunSet, Scenario};
+use mediator_field::Fp;
+use mediator_games::dist::{l1_distance, OutcomeDist};
+use mediator_sim::SchedulerKind;
+use proptest::prelude::*;
+
+/// A small mediator-game run set: n players with arbitrary vote bits, a
+/// battery drawn from the cheap families, and a couple of seeds per kind.
+fn run_set(n: usize, bits: &[u64], kinds: usize, seeds: u64) -> RunSet {
+    let battery: Vec<SchedulerKind> = [
+        SchedulerKind::Random,
+        SchedulerKind::Fifo,
+        SchedulerKind::Lifo,
+    ]
+    .into_iter()
+    .take(kinds.max(1))
+    .collect();
+    Scenario::mediator(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(bits.iter().map(|&b| vec![Fp::new(b)]).collect())
+        .build()
+        .expect("n − k − t ≥ 1")
+        .battery(battery)
+        .seeds(0..seeds)
+        .run_batch()
+}
+
+proptest! {
+    #[test]
+    fn outcome_dist_counts_sum_to_runs(
+        samples in proptest::collection::vec(0usize..4, 1..40),
+    ) {
+        // from_samples normalizes by the sample count: total mass is 1 and
+        // every profile's mass times the count is its integer frequency.
+        let n = samples.len();
+        let d = OutcomeDist::from_samples(samples.iter().map(|&s| vec![s]));
+        prop_assert!((d.total() - 1.0).abs() < 1e-9);
+        let mut recovered = 0usize;
+        for (profile, p) in d.iter() {
+            let count = (p * n as f64).round() as usize;
+            prop_assert!((p * n as f64 - count as f64).abs() < 1e-9);
+            let expected = samples.iter().filter(|&&s| vec![s] == *profile).count();
+            prop_assert_eq!(count, expected);
+            recovered += count;
+        }
+        prop_assert_eq!(recovered, n, "counts sum to runs");
+    }
+
+    #[test]
+    fn pooled_equals_merge_of_by_kind(
+        bits in proptest::collection::vec(0u64..2, 3..6),
+        kinds in 1usize..4,
+        seeds in 1u64..4,
+    ) {
+        let n = bits.len();
+        let set = run_set(n, &bits, kinds, seeds);
+        prop_assert_eq!(set.len(), kinds.max(1) * seeds as usize);
+        let dists = set.distributions();
+        prop_assert_eq!(dists.len(), set.kinds().len());
+        for d in &dists {
+            prop_assert!((d.total() - 1.0).abs() < 1e-9, "proper distribution");
+        }
+        // The pooled distribution is exactly the sample-count-weighted
+        // mixture of the per-kind distributions.
+        let merged = OutcomeDist::merge(
+            dists.iter().map(|d| (d, set.seeds_per_kind() as f64)),
+        );
+        prop_assert!(
+            l1_distance(&set.pooled(), &merged) < 1e-9,
+            "pooled != merge(by_kind)"
+        );
+        // by_kind chunks tile the full run list in order.
+        let total: usize = set.by_kind().map(|(_, chunk)| chunk.len()).sum();
+        prop_assert_eq!(total, set.len());
+    }
+
+    #[test]
+    fn compare_run_sets_is_zero_on_self_and_symmetric(
+        bits_a in proptest::collection::vec(0u64..2, 4..6),
+        seeds in 1u64..4,
+        flip in 0usize..4,
+    ) {
+        let n = bits_a.len();
+        let mut bits_b = bits_a.clone();
+        bits_b[flip % n] = 1 - bits_b[flip % n];
+        let a = run_set(n, &bits_a, 2, seeds);
+        let b = run_set(n, &bits_b, 2, seeds);
+
+        // Zero on self (and the weak direction with it).
+        let self_rep = compare_run_sets(&a, &a);
+        prop_assert_eq!(self_rep.distance, 0.0);
+        prop_assert_eq!(self_rep.weak_distance, 0.0);
+
+        // Symmetry of the set distance; the weak direction is one-sided
+        // and bounded by the symmetric distance.
+        let ab = compare_run_sets(&a, &b);
+        let ba = compare_run_sets(&b, &a);
+        prop_assert!((ab.distance - ba.distance).abs() < 1e-12);
+        prop_assert!(ab.weak_distance <= ab.distance + 1e-12);
+        prop_assert!(ba.weak_distance <= ba.distance + 1e-12);
+        // Both directions agree on the metadata they compared.
+        prop_assert_eq!(ab.kinds, 2);
+        prop_assert_eq!(ab.samples, seeds as usize);
+    }
+}

@@ -70,6 +70,34 @@ impl OutcomeDist {
     pub fn support_len(&self) -> usize {
         self.probs.len()
     }
+
+    /// The weighted mixture of several distributions. Weights are
+    /// normalized by their sum, so passing per-group sample counts yields
+    /// exactly the pooled empirical distribution of the union — the law
+    /// `RunSet::pooled == merge(by_kind, seeds_per_kind)` the aggregation
+    /// property suite pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total weight is not positive.
+    pub fn merge<'a, I>(parts: I) -> OutcomeDist
+    where
+        I: IntoIterator<Item = (&'a OutcomeDist, f64)>,
+    {
+        let mut out = OutcomeDist::new();
+        let mut total = 0.0;
+        for (dist, w) in parts {
+            total += w;
+            for (profile, p) in dist.iter() {
+                out.add(profile.clone(), p * w);
+            }
+        }
+        assert!(total > 0.0, "merge needs positive total weight");
+        for p in out.probs.values_mut() {
+            *p /= total;
+        }
+        out
+    }
 }
 
 impl FromIterator<(Vec<ActionIx>, f64)> for OutcomeDist {
@@ -199,6 +227,24 @@ mod tests {
         assert_eq!(set_distance(&[], &[]), 0.0);
         assert_eq!(set_distance(std::slice::from_ref(&a), &[]), f64::INFINITY);
         assert_eq!(weak_set_distance(&[], &[a]), 0.0);
+    }
+
+    #[test]
+    fn merge_weights_by_sample_counts() {
+        // 3 samples of [0] and 1 sample of [1], split across two groups.
+        let a = OutcomeDist::from_samples(vec![vec![0], vec![0]]);
+        let b = OutcomeDist::from_samples(vec![vec![0], vec![1]]);
+        let m = OutcomeDist::merge([(&a, 2.0), (&b, 2.0)]);
+        assert!((m.prob(&[0]) - 0.75).abs() < 1e-12);
+        assert!((m.prob(&[1]) - 0.25).abs() < 1e-12);
+        assert!((m.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn merge_rejects_zero_weight() {
+        let a = OutcomeDist::from_samples(vec![vec![0]]);
+        let _ = OutcomeDist::merge([(&a, 0.0)]);
     }
 
     #[test]

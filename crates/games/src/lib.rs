@@ -21,6 +21,8 @@
 //!   including the §6.4 counterexample.
 //! * [`dist`] — the L1 distance on outcome distributions used by the
 //!   ε-implementation definition (§2).
+//! * [`stats`] — confidence intervals (normal, Wilson, bootstrap) for the
+//!   empirical utility accounting the conformance harness builds on.
 //!
 //! # Example
 //!
@@ -42,8 +44,10 @@ pub mod library;
 pub mod lp;
 pub mod punishment;
 pub mod solution;
+pub mod stats;
 pub mod strategy;
 
 pub use dist::{l1_distance, OutcomeDist};
 pub use game::{ActionIx, BayesianGame, TypeIx};
+pub use stats::ConfidenceInterval;
 pub use strategy::{CoalitionDeviation, Strategy, StrategyProfile};

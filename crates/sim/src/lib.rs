@@ -64,7 +64,7 @@ pub mod session;
 pub mod trace;
 pub mod world;
 
-pub use process::{Action, Ctx, Process, ProcessId};
+pub use process::{Action, Ctx, OutgoingTamper, Process, ProcessId, Tamper, TamperVerdict};
 pub use sansio::{
     map_batch, route_batch, run_machines, Behavior, BehaviorFn, ByzantineProcess, Dest, Machines,
     Outgoing, Payload, RunOutputs, SansIo, SansIoProcess,

@@ -62,6 +62,10 @@ pub use mediator_vss as vss;
 /// speak (circuits catalog, field elements, scheduler kinds, outcomes).
 pub mod prelude {
     pub use mediator_circuits::{catalog, Circuit};
+    pub use mediator_core::adversary::{
+        Conformance, ConformanceReport, ConformanceVerdict, Deviation, DeviationWitness,
+        GossipColluder,
+    };
     pub use mediator_core::deviations::Behavior;
     pub use mediator_core::implement::{compare_run_sets, ImplementationReport};
     pub use mediator_core::scenario::{

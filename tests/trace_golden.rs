@@ -1,0 +1,204 @@
+//! Golden trace-equality suite for the **top-level sessions**: cheap-talk
+//! games (Theorem 4.1 robust and Theorem 4.4 wills+barrier) and mediator
+//! games (standard and §6.4 naive), pinning the scheduler-visible message
+//! pattern of every battery member across 32 seeds.
+//!
+//! The protocol substrates have had this safety net since PR 2
+//! (`crates/broadcast/tests/trace_golden.rs`,
+//! `crates/vss/tests/trace_golden.rs`); the game-level worlds — the ones
+//! the conformance harness and every experiment actually run — did not.
+//! Any change to the event plane, the MPC engine's send order, the player
+//! state machines, or the mediator's round structure shows up here as a
+//! fingerprint divergence.
+//!
+//! Regeneration (after an *intentional* trace change): run the ignored
+//! `print_golden_tables` test and paste its output over the constants:
+//!
+//! ```sh
+//! cargo test --release --test trace_golden -- --ignored --nocapture
+//! ```
+
+use mediator_talk::prelude::*;
+
+const SEEDS: u64 = 32;
+
+fn cheap_talk_41_plan() -> CheapTalkPlan {
+    let n = 5;
+    Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; n])
+        .build()
+        .expect("5 > 4")
+}
+
+fn cheap_talk_44_plan() -> CheapTalkPlan {
+    let n = 6;
+    Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .wills(vec![5; n])
+        .inputs(vec![vec![Fp::ONE]; n])
+        .build()
+        .expect("6 > 3k + 4t = 3")
+}
+
+fn mediator_standard_plan() -> MediatorPlan {
+    let n = 5;
+    Scenario::mediator(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; n])
+        .build()
+        .expect("n − k − t ≥ 1")
+}
+
+fn mediator_naive_plan() -> MediatorPlan {
+    let n = 7;
+    Scenario::mediator(catalog::counterexample_naive(n))
+        .players(n)
+        .tolerance(2, 0)
+        .naive_split()
+        .wills(vec![2; n])
+        .build()
+        .expect("n − k − t ≥ 1")
+}
+
+/// Battery × seed fingerprint table for one runnable plan.
+fn battery_hash(n: usize, run: impl Fn(&SchedulerKind, u64) -> Outcome) -> Vec<(String, u64)> {
+    SchedulerKind::battery(n)
+        .iter()
+        .map(|kind| {
+            let mut h = 0u64;
+            for seed in 0..SEEDS {
+                h = h.rotate_left(1).wrapping_add(run(kind, seed).fingerprint());
+            }
+            (format!("{kind:?}"), h)
+        })
+        .collect()
+}
+
+fn assert_matches(name: &str, golden: &[(&str, u64)], got: &[(String, u64)]) {
+    assert_eq!(golden.len(), got.len(), "{name}: battery size changed");
+    for ((gk, gh), (k, h)) in golden.iter().zip(got) {
+        assert_eq!(gk, k, "{name}: scheduler battery order changed");
+        assert_eq!(
+            *gh, *h,
+            "{name}/{k}: message pattern diverged from the pinned session trace"
+        );
+    }
+}
+
+/// Golden values captured from the PR 4 runtime (the PR 2/3 event plane:
+/// top-level sessions were bit-identical across those PRs, verified by the
+/// scenario parity suite).
+const GOLDEN_CHEAP_TALK_41: &[(&str, u64)] = &[
+    ("Random", 0x82554591d43c259e),
+    ("Fifo", 0x4a1608d290c8f2ab),
+    ("Lifo", 0xd3d2ba16d6e87356),
+    ("TargetedDelay([0])", 0xdae4089873c905ee),
+    ("TargetedDelay([1])", 0x086d9d1bb055471a),
+    ("TargetedDelay([2])", 0x7b455adb9477411e),
+    (
+        "Partition { group: [0, 1], heal_after: 200 }",
+        0x3f75cc60265ba896,
+    ),
+];
+
+const GOLDEN_CHEAP_TALK_44: &[(&str, u64)] = &[
+    ("Random", 0x90cafd0a4d8d5e3d),
+    ("Fifo", 0x1761672cc08e58ca),
+    ("Lifo", 0xdd4d452fdcb2a84b),
+    ("TargetedDelay([0])", 0xe5ca71dd9014fd33),
+    ("TargetedDelay([1])", 0x827dd43e2676bf82),
+    ("TargetedDelay([2])", 0x162cdca87c6f444e),
+    (
+        "Partition { group: [0, 1, 2], heal_after: 200 }",
+        0x944a16d20ca3e588,
+    ),
+];
+
+const GOLDEN_MEDIATOR_STANDARD: &[(&str, u64)] = &[
+    ("Random", 0xd516401252bcda23),
+    ("Fifo", 0xe32fce76a4d031c9),
+    ("Lifo", 0x984f3b85666eb3f2),
+    ("TargetedDelay([0])", 0xeb84befe3ad21745),
+    ("TargetedDelay([1])", 0xecdd65ebd28f9f77),
+    ("TargetedDelay([2])", 0xdbf0a57e40645c36),
+    (
+        "Partition { group: [0, 1], heal_after: 200 }",
+        0xb5018dfa19910f54,
+    ),
+];
+
+const GOLDEN_MEDIATOR_NAIVE: &[(&str, u64)] = &[
+    ("Random", 0xa3288448aa7171dd),
+    ("Fifo", 0x388bbd2e218a876d),
+    ("Lifo", 0x16022a1cfbc4f993),
+    ("TargetedDelay([0])", 0xac7a417ae8661e54),
+    ("TargetedDelay([1])", 0xd506b90bc6ef0d1b),
+    ("TargetedDelay([2])", 0xb5f54da54dcfae4a),
+    (
+        "Partition { group: [0, 1, 2], heal_after: 200 }",
+        0xc1f5d789dcaaa8f8,
+    ),
+];
+
+#[test]
+fn cheap_talk_41_traces_match_pinned_sessions() {
+    let plan = cheap_talk_41_plan();
+    let got = battery_hash(5, |kind, seed| plan.run_with(kind, seed));
+    assert_matches("cheap_talk_41", GOLDEN_CHEAP_TALK_41, &got);
+}
+
+#[test]
+fn cheap_talk_44_traces_match_pinned_sessions() {
+    let plan = cheap_talk_44_plan();
+    let got = battery_hash(6, |kind, seed| plan.run_with(kind, seed));
+    assert_matches("cheap_talk_44", GOLDEN_CHEAP_TALK_44, &got);
+}
+
+#[test]
+fn mediator_standard_traces_match_pinned_sessions() {
+    let plan = mediator_standard_plan();
+    let got = battery_hash(5, |kind, seed| plan.run_with(kind, seed));
+    assert_matches("mediator_standard", GOLDEN_MEDIATOR_STANDARD, &got);
+}
+
+#[test]
+fn mediator_naive_traces_match_pinned_sessions() {
+    let plan = mediator_naive_plan();
+    let got = battery_hash(7, |kind, seed| plan.run_with(kind, seed));
+    assert_matches("mediator_naive", GOLDEN_MEDIATOR_NAIVE, &got);
+}
+
+/// Regeneration helper: prints the tables to paste above.
+#[test]
+#[ignore = "golden-value regeneration helper"]
+fn print_golden_tables() {
+    let tables: Vec<(&str, Vec<(String, u64)>)> = vec![
+        ("GOLDEN_CHEAP_TALK_41", {
+            let plan = cheap_talk_41_plan();
+            battery_hash(5, |kind, seed| plan.run_with(kind, seed))
+        }),
+        ("GOLDEN_CHEAP_TALK_44", {
+            let plan = cheap_talk_44_plan();
+            battery_hash(6, |kind, seed| plan.run_with(kind, seed))
+        }),
+        ("GOLDEN_MEDIATOR_STANDARD", {
+            let plan = mediator_standard_plan();
+            battery_hash(5, |kind, seed| plan.run_with(kind, seed))
+        }),
+        ("GOLDEN_MEDIATOR_NAIVE", {
+            let plan = mediator_naive_plan();
+            battery_hash(7, |kind, seed| plan.run_with(kind, seed))
+        }),
+    ];
+    for (name, got) in tables {
+        println!("const {name}: &[(&str, u64)] = &[");
+        for (k, h) in got {
+            println!("    (\"{k}\", {h:#018x}),");
+        }
+        println!("];");
+    }
+}
