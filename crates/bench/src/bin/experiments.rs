@@ -229,6 +229,61 @@ fn bench_trajectory(label: &str, out: &str, fast: bool) {
         );
     }
 
+    // The transport plane (DESIGN.md §9): one full cheap-talk execution
+    // over real TCP loopback sockets — service, five relay connections
+    // (one per player), every protocol message framed, shipped, echoed,
+    // and re-injected. The price of the kernel, measured.
+    use mediator_core::cheap_talk::CtMsg;
+    use mediator_net::{Client, MemTransport, NetPlan, Service};
+    let nsamples = if fast { 3 } else { 5 };
+    let net_out = plan
+        .run_over_tcp(&SchedulerKind::Random, 1)
+        .expect("tcp loopback run");
+    let ns = median_ns_per_op(nsamples, 1, || {
+        plan.run_over_tcp(&SchedulerKind::Random, 1)
+            .expect("tcp loopback run")
+            .steps
+    });
+    metrics.push(
+        Metric::new("net_cheap_talk_n5_tcp_loopback", ns)
+            .with("messages_sent", net_out.messages_sent)
+            .with("steps", net_out.steps),
+    );
+
+    // The multi-session service: 64 concurrent cheap-talk sessions
+    // multiplexed over the in-memory transport, one pump worker thread
+    // per session, one relay connection per session claiming all five
+    // players — ~128k frames through the full framing stack.
+    let svc_samples = if fast { 2 } else { 3 };
+    let sessions = 64u64;
+    let ns = median_ns_per_op(svc_samples, 1, || {
+        let hub = MemTransport::new();
+        let service = Service::start(Box::new(hub.listener()));
+        let relays: Vec<_> = (0..sessions)
+            .map(|sid| {
+                let mut client = Client::<CtMsg>::mem(&hub);
+                std::thread::spawn(move || {
+                    for p in 0..5 {
+                        client.attach(sid, p).expect("attach");
+                    }
+                    client.relay().expect("relay")
+                })
+            })
+            .collect();
+        let results = service.run_many(
+            &plan,
+            (0..sessions).map(|sid| (sid, SchedulerKind::Random, sid)),
+        );
+        for (sid, result) in results {
+            result.unwrap_or_else(|e| panic!("session {sid}: {e}"));
+        }
+        for relay in relays {
+            relay.join().expect("relay thread");
+        }
+        service.shutdown();
+    });
+    metrics.push(Metric::new("service_64sessions", ns).with("sessions", sessions));
+
     for m in &metrics {
         println!("{:<34} {:>12} ns/op", m.name, m.ns_per_op);
     }

@@ -25,7 +25,7 @@ pub fn sum_circuit(n: usize) -> Circuit {
 }
 
 /// The correlated-equilibrium mediator for chicken
-/// ([`mediator_games::library::chicken_correlated`] payoffs — but this crate
+/// (`mediator_games::library::chicken_correlated` payoffs — but this crate
 /// is independent of the games crate; the distribution is documented here).
 ///
 /// Draws two fair bits `(b1, b2)`; the joint recommendation is

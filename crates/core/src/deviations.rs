@@ -8,10 +8,10 @@
 //! (immunity). [`Behavior`] deviations plug into
 //! [`CheapTalkPlayer`](crate::cheap_talk::CheapTalkPlayer); they are built
 //! by the [`adversary`](crate::adversary) plane's combinator DSL
-//! ([`Deviation`](crate::adversary::Deviation)), which also generates the
+//! ([`Deviation`]), which also generates the
 //! coalition-strategy batteries the conformance harness sweeps. The §6.4
 //! colluders are mediator-game processes
-//! ([`GossipColluder`](crate::adversary::GossipColluder) in general;
+//! ([`GossipColluder`] in general;
 //! [`CounterexampleColluder`] is the paper's specific point in that space).
 
 use crate::adversary::{CollusionRule, Deviation, GossipColluder, Scheduled};

@@ -61,5 +61,5 @@ pub use deviations::{Behavior, RobustnessReport};
 pub use mediator::{run_mediator_game, MedMsg, MediatorGameSpec};
 pub use scenario::{
     Batch, CheapTalkPlan, MediatorPlan, Resolve, RunRecord, RunSet, Scenario, ScenarioError,
-    Theorem,
+    SessionPlan, Theorem,
 };

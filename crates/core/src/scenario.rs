@@ -1197,6 +1197,53 @@ impl BatchRun for MediatorPlan {
 // Batches and run sets
 // ---------------------------------------------------------------------------
 
+/// A plan that can open any `(scheduler, seed)` cell as a steppable
+/// [`Session`] — the seam the transport plane attaches to. Implemented by
+/// [`CheapTalkPlan`] and [`MediatorPlan`].
+///
+/// The `mediator-net` service runtime is generic over this trait: it calls
+/// [`SessionPlan::open_session`] once per hosted game (inside the pump's
+/// worker thread, because [`Process`]es need not be `Send` — the same rule
+/// the batch runner follows) and uses [`SessionPlan::processes`] as the
+/// number of `(session-id, player-id)` routes a networked run must attach
+/// before pumping begins.
+pub trait SessionPlan: Clone + Send + Sync + 'static {
+    /// The message type the plan's processes exchange.
+    type Msg: Send + 'static;
+
+    /// Opens the `(kind, seed)` cell as a steppable [`Session`].
+    fn open_session(&self, kind: &SchedulerKind, seed: u64) -> Session<Self::Msg>;
+
+    /// Number of processes in the opened world — the game players plus,
+    /// for mediator games, the mediator itself.
+    fn processes(&self) -> usize;
+}
+
+impl SessionPlan for CheapTalkPlan {
+    type Msg = CtMsg;
+
+    fn open_session(&self, kind: &SchedulerKind, seed: u64) -> Session<CtMsg> {
+        self.session_with(kind, seed)
+    }
+
+    fn processes(&self) -> usize {
+        self.spec.n
+    }
+}
+
+impl SessionPlan for MediatorPlan {
+    type Msg = MedMsg;
+
+    fn open_session(&self, kind: &SchedulerKind, seed: u64) -> Session<MedMsg> {
+        self.session_with(kind, seed)
+    }
+
+    fn processes(&self) -> usize {
+        // The mediator is process `n` on top of the n players.
+        self.spec.n + 1
+    }
+}
+
 /// A plan that can execute one `(scheduler, seed)` cell of a batch grid.
 /// Implemented by [`CheapTalkPlan`] and [`MediatorPlan`].
 pub trait BatchRun: Clone + Sync {

@@ -1,0 +1,79 @@
+//! The client side of the transport plane: attach, relay, collect.
+//!
+//! A networked player endpoint is deliberately thin: the player's *state
+//! machine* lives in the service-hosted [`Session`] (the sans-IO core
+//! never moved), so the client's job is the **network leg** — every
+//! message addressed to its players arrives as a `Msg` frame and is
+//! relayed back to complete delivery. The interval between the service
+//! shipping a frame and the relay returning it *is* the message's time in
+//! transit; with one connection per player, the interleaving of those
+//! round trips across connections is the delivery order the hosted run
+//! observes.
+//!
+//! [`Session`]: mediator_sim::Session
+
+use crate::frame::{Frame, NetError, OutcomeSummary, SessionId};
+use crate::transport::{ConnPair, FrameRx, FrameTx, MemTransport, TcpTransport};
+use crate::wire::Wire;
+use std::net::SocketAddr;
+
+/// A framed client connection to a [`Service`](crate::Service).
+pub struct Client<M> {
+    tx: Box<dyn FrameTx<M>>,
+    rx: Box<dyn FrameRx<M>>,
+}
+
+impl<M: Wire + 'static> Client<M> {
+    /// Wraps an established connection.
+    pub fn from_pair((tx, rx): ConnPair<M>) -> Self {
+        Client { tx, rx }
+    }
+
+    /// Dials a TCP service.
+    pub fn tcp(addr: SocketAddr) -> Result<Self, NetError> {
+        Ok(Client::from_pair(TcpTransport::connect(addr)?))
+    }
+
+    /// Connects through an in-memory hub.
+    pub fn mem(hub: &MemTransport) -> Self {
+        Client::from_pair(hub.connect())
+    }
+
+    /// Claims `(session, player)`: every message the hosted session sends
+    /// to `player` will be routed to this connection. One connection may
+    /// attach several players (of the same session) before relaying.
+    ///
+    /// Fire-and-forget: the service answers only on failure, and the
+    /// `Reject` surfaces as [`NetError::Rejected`] from [`Client::relay`].
+    pub fn attach(&mut self, session: SessionId, player: usize) -> Result<(), NetError> {
+        self.tx.send(&Frame::Attach { session, player })
+    }
+
+    /// The relay loop: echoes every `Msg` frame back to the service
+    /// (completing each message's network leg) until the service announces
+    /// the session's end, then returns the outcome summary.
+    pub fn relay(mut self) -> Result<OutcomeSummary, NetError> {
+        loop {
+            match self.rx.recv()? {
+                frame @ Frame::Msg { .. } => self.tx.send(&frame)?,
+                Frame::Outcome { summary, .. } => return Ok(summary),
+                Frame::Reject { session, reason } => {
+                    return Err(NetError::Rejected { session, reason })
+                }
+                Frame::Abort { session } => return Err(NetError::Aborted { session }),
+                // `Attach` never travels service → client; tolerate it.
+                Frame::Attach { .. } => {}
+            }
+        }
+    }
+
+    /// Receives one frame (for hand-rolled clients and tests).
+    pub fn recv(&mut self) -> Result<Frame<M>, NetError> {
+        self.rx.recv()
+    }
+
+    /// Sends one frame (for hand-rolled clients and tests).
+    pub fn send(&mut self, frame: &Frame<M>) -> Result<(), NetError> {
+        self.tx.send(frame)
+    }
+}

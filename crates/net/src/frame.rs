@@ -1,0 +1,373 @@
+//! Frames: the unit the transport plane moves.
+//!
+//! A frame travels length-prefixed on the byte stream:
+//!
+//! ```text
+//! ┌───────────────┬─────────────┬──────────┬─────────────────────────┐
+//! │ len: u32 LE   │ version: u8 │ kind: u8 │ payload (kind-specific) │
+//! └───────────────┴─────────────┴──────────┴─────────────────────────┘
+//!                 └──────────────── len bytes ──────────────────────┘
+//! ```
+//!
+//! `len` counts the body (version byte included, itself excluded) and is
+//! capped at [`MAX_FRAME_LEN`]; a larger announcement is rejected before
+//! any read is attempted ([`CodecError::LengthOverrun`]). The version byte
+//! is checked before the kind tag, so a decoder never misparses a frame
+//! from a future format. Kind tags and payload layouts are tabulated in
+//! DESIGN.md §9.
+
+use crate::wire::{CodecError, Reader, Wire, WIRE_VERSION};
+use mediator_sim::{Outcome, TerminationKind};
+use std::fmt;
+
+/// Routing identifier of one hosted session.
+pub type SessionId = u64;
+
+/// A frame body cannot exceed 16 MiB. Protocol messages are a few KiB at
+/// the largest (AVSS coefficient rows); anything bigger is a corrupted or
+/// hostile length prefix and is rejected without allocating.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// One unit of transport-plane traffic, generic over the protocol message
+/// type `M` (cheap-talk or mediator-game messages).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame<M> {
+    /// Client → service: claim `(session, player)`. A connection may
+    /// attach any number of players (one relay per player or one relay
+    /// for all of them — both are delivery orders the model allows).
+    Attach {
+        /// The session being joined.
+        session: SessionId,
+        /// The world process this connection will relay for.
+        player: usize,
+    },
+    /// A protocol message in flight. Service → client: the message left
+    /// `src`'s outbox and is now on the network leg toward `dst`.
+    /// Client → service: the network leg completed; deliver to `dst`.
+    Msg {
+        /// The session the message belongs to.
+        session: SessionId,
+        /// Sending process.
+        src: usize,
+        /// Addressed process.
+        dst: usize,
+        /// The protocol payload.
+        msg: M,
+    },
+    /// Service → clients: the hosted session terminated; here is the
+    /// result. Sent once per attached connection.
+    Outcome {
+        /// The finished session.
+        session: SessionId,
+        /// The run's result, minus the trace.
+        summary: OutcomeSummary,
+    },
+    /// Service → client: a frame was refused (the connection stays up).
+    Reject {
+        /// The session the refused frame named.
+        session: SessionId,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+    /// Service → clients: the hosted session failed (attach timeout, a
+    /// vanished relay, idle timeout) and will never produce an outcome —
+    /// relays should stop waiting.
+    Abort {
+        /// The failed session.
+        session: SessionId,
+    },
+}
+
+/// Why the service refused a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// No session with that id is hosted (or it already finished).
+    UnknownSession,
+    /// Another connection already relays for that player.
+    PlayerTaken,
+    /// The player id is outside the session's world.
+    PlayerOutOfRange,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::UnknownSession => write!(f, "unknown session"),
+            RejectReason::PlayerTaken => write!(f, "player already attached"),
+            RejectReason::PlayerOutOfRange => write!(f, "player out of range"),
+        }
+    }
+}
+
+/// Everything in an [`Outcome`] except the trace: what the service
+/// announces to attached clients when a session terminates. (The trace
+/// stays server-side — it can be arbitrarily large, and the networked
+/// trace is one delivery order among many anyway; see DESIGN.md §9.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcomeSummary {
+    /// How the run ended.
+    pub termination: TerminationKind,
+    /// The move each process made, if any.
+    pub moves: Vec<Option<u64>>,
+    /// The will each process left, if any.
+    pub wills: Vec<Option<u64>>,
+    /// Which processes halted.
+    pub halted: Vec<bool>,
+    /// Messages sent during the run.
+    pub messages_sent: u64,
+    /// Messages delivered during the run.
+    pub messages_delivered: u64,
+    /// Events dispatched.
+    pub steps: u64,
+}
+
+impl From<&Outcome> for OutcomeSummary {
+    fn from(out: &Outcome) -> Self {
+        OutcomeSummary {
+            termination: out.termination,
+            moves: out.moves.clone(),
+            wills: out.wills.clone(),
+            halted: out.halted.clone(),
+            messages_sent: out.messages_sent,
+            messages_delivered: out.messages_delivered,
+            steps: out.steps,
+        }
+    }
+}
+
+impl Wire for OutcomeSummary {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.termination.encode(out);
+        self.moves.encode(out);
+        self.wills.encode(out);
+        self.halted.encode(out);
+        self.messages_sent.encode(out);
+        self.messages_delivered.encode(out);
+        self.steps.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(OutcomeSummary {
+            termination: Wire::decode(r)?,
+            moves: Wire::decode(r)?,
+            wills: Wire::decode(r)?,
+            halted: Wire::decode(r)?,
+            messages_sent: Wire::decode(r)?,
+            messages_delivered: Wire::decode(r)?,
+            steps: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for RejectReason {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            RejectReason::UnknownSession => 0,
+            RejectReason::PlayerTaken => 1,
+            RejectReason::PlayerOutOfRange => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(RejectReason::UnknownSession),
+            1 => Ok(RejectReason::PlayerTaken),
+            2 => Ok(RejectReason::PlayerOutOfRange),
+            tag => Err(CodecError::UnknownTag {
+                what: "RejectReason",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<M: Wire> Frame<M> {
+    /// Encodes the frame *body* (version byte + kind + payload) — the
+    /// length prefix is the transport's job (`write_frame`).
+    pub fn encode_body(&self, out: &mut Vec<u8>) {
+        out.push(WIRE_VERSION);
+        match self {
+            Frame::Attach { session, player } => {
+                out.push(0);
+                session.encode(out);
+                player.encode(out);
+            }
+            Frame::Msg {
+                session,
+                src,
+                dst,
+                msg,
+            } => {
+                out.push(1);
+                session.encode(out);
+                src.encode(out);
+                dst.encode(out);
+                msg.encode(out);
+            }
+            Frame::Outcome { session, summary } => {
+                out.push(2);
+                session.encode(out);
+                summary.encode(out);
+            }
+            Frame::Reject { session, reason } => {
+                out.push(3);
+                session.encode(out);
+                reason.encode(out);
+            }
+            Frame::Abort { session } => {
+                out.push(4);
+                session.encode(out);
+            }
+        }
+    }
+
+    /// Decodes one frame body (as framed by `read_frame`): checks the
+    /// version byte, then the kind tag, and insists the body is fully
+    /// consumed.
+    pub fn decode_body(body: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(body);
+        let version = r.u8()?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::UnknownVersion(version));
+        }
+        let frame = match r.u8()? {
+            0 => Frame::Attach {
+                session: Wire::decode(&mut r)?,
+                player: Wire::decode(&mut r)?,
+            },
+            1 => Frame::Msg {
+                session: Wire::decode(&mut r)?,
+                src: Wire::decode(&mut r)?,
+                dst: Wire::decode(&mut r)?,
+                msg: Wire::decode(&mut r)?,
+            },
+            2 => Frame::Outcome {
+                session: Wire::decode(&mut r)?,
+                summary: Wire::decode(&mut r)?,
+            },
+            3 => Frame::Reject {
+                session: Wire::decode(&mut r)?,
+                reason: Wire::decode(&mut r)?,
+            },
+            4 => Frame::Abort {
+                session: Wire::decode(&mut r)?,
+            },
+            tag => return Err(CodecError::UnknownTag { what: "Frame", tag }),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Every way the transport plane can fail, as one typed error. `PartialEq`
+/// so tests can assert exact failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The byte stream carried something the codec rejects.
+    Codec(CodecError),
+    /// The peer closed the stream at a frame boundary (orderly shutdown).
+    Closed,
+    /// The stream ended mid-frame: the connection dropped while a frame
+    /// was in transit.
+    Disconnected,
+    /// An underlying I/O failure.
+    Io(std::io::ErrorKind),
+    /// The service refused a frame this endpoint sent.
+    Rejected {
+        /// The session named in the refused frame.
+        session: SessionId,
+        /// The service's reason.
+        reason: RejectReason,
+    },
+    /// A relay connection vanished while its player still had traffic in
+    /// flight — the networked run can no longer make progress.
+    PeerVanished {
+        /// The stalled session.
+        session: SessionId,
+        /// The player whose relay is gone.
+        player: usize,
+    },
+    /// The session pump waited longer than the configured idle timeout
+    /// for in-flight frames that never returned.
+    IdleTimeout {
+        /// The stalled session.
+        session: SessionId,
+        /// Frames shipped but never returned.
+        in_flight: u64,
+    },
+    /// Not every player attached within the configured window.
+    AttachTimeout {
+        /// The session that never filled up.
+        session: SessionId,
+        /// Players attached when the window closed.
+        attached: usize,
+        /// Players the session's world needs.
+        expected: usize,
+    },
+    /// The service announced that the hosted session failed and will
+    /// never produce an outcome.
+    Aborted {
+        /// The failed session.
+        session: SessionId,
+    },
+    /// `Service::host` refused the id: a session with it is still live
+    /// (re-registering would orphan the running pump's routing).
+    SessionIdTaken {
+        /// The contested id.
+        session: SessionId,
+    },
+    /// The service (or its pump) went away before producing an outcome.
+    ServiceGone,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Codec(e) => write!(f, "codec: {e}"),
+            NetError::Closed => write!(f, "peer closed the stream"),
+            NetError::Disconnected => write!(f, "connection dropped mid-frame"),
+            NetError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+            NetError::Rejected { session, reason } => {
+                write!(
+                    f,
+                    "service rejected a frame for session {session}: {reason}"
+                )
+            }
+            NetError::PeerVanished { session, player } => write!(
+                f,
+                "relay for session {session} player {player} vanished with traffic in flight"
+            ),
+            NetError::IdleTimeout { session, in_flight } => write!(
+                f,
+                "session {session} idle-timed out with {in_flight} frames in flight"
+            ),
+            NetError::AttachTimeout {
+                session,
+                attached,
+                expected,
+            } => write!(
+                f,
+                "session {session}: only {attached}/{expected} players attached in time"
+            ),
+            NetError::Aborted { session } => {
+                write!(f, "service aborted session {session} without an outcome")
+            }
+            NetError::SessionIdTaken { session } => {
+                write!(f, "session id {session} is already hosted and still live")
+            }
+            NetError::ServiceGone => write!(f, "service went away before the outcome"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> Self {
+        NetError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.kind())
+    }
+}

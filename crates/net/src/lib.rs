@@ -1,0 +1,80 @@
+//! The transport plane: the paper's asynchronous message-passing model
+//! carried over real byte streams.
+//!
+//! Everything below PR 5 ran the protocols inside the in-process `World`
+//! loop; this crate attaches the promised network backend to the
+//! [`Session`](mediator_sim::Session) seam without moving a single state
+//! machine:
+//!
+//! * [`wire`] — the versioned wire codec: length-prefixed frames, a
+//!   compact hand-rolled binary encoding (varints + tag bytes; the build
+//!   container has no serde derive to lean on), typed [`CodecError`]s for
+//!   every malformed input.
+//! * [`frame`] — the frame vocabulary (`Attach` / `Msg` / `Outcome` /
+//!   `Reject` / `Abort`) and the one [`NetError`] every failure maps to.
+//! * [`transport`] — two interchangeable backends under the same framing
+//!   code: in-memory duplex pipes ([`MemTransport`]) and TCP loopback
+//!   ([`TcpTransport`], always port 0 — sandbox/CI-safe).
+//! * [`service`] — the multi-session [`Service`] runtime: accepts
+//!   connections, routes frames by `(session-id, player-id)`, pumps
+//!   session outboxes onto the wire and injects arrivals back, detects
+//!   quiescence, surfaces outcomes ([`Service::run_many`] drives N
+//!   sessions concurrently).
+//! * [`client`] — the thin relay endpoint ([`Client`]): the network leg
+//!   of every message addressed to its players.
+//! * [`plan`] — [`NetPlan`]: `.serve(…)` / `.connect_tcp(…)` /
+//!   `.run_over_tcp(…)` entries on every scenario plan, mirroring
+//!   `.session()`.
+//!
+//! **The network is an adversarial scheduler.** A networked run delivers
+//! messages in whatever order the wire returns them — which is precisely a
+//! §2 scheduler choice, so Theorem 4.1's guarantee transfers as *outcome-
+//! kind* agreement with in-process runs, not byte-identical traces. See
+//! the `service` module docs and DESIGN.md §9 for the argument, and the
+//! parity suite (`tests/parity.rs`) for the pin.
+//!
+//! # Example: a cheap-talk game over TCP loopback
+//!
+//! ```
+//! use mediator_circuits::catalog;
+//! use mediator_core::scenario::Scenario;
+//! use mediator_field::Fp;
+//! use mediator_net::NetPlan;
+//! use mediator_sim::{SchedulerKind, TerminationKind};
+//!
+//! let n = 5;
+//! let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+//!     .players(n)
+//!     .tolerance(1, 0)
+//!     .inputs(vec![vec![Fp::ONE]; n])
+//!     .build()
+//!     .expect("n = 5 > 4k+4t = 4");
+//! // Real sockets: a service on an ephemeral loopback port, one relay
+//! // connection per player, ~2k protocol messages over the wire.
+//! let out = plan
+//!     .run_over_tcp(&SchedulerKind::Fifo, 7)
+//!     .expect("networked run completes");
+//! assert_eq!(out.termination, TerminationKind::Quiescent);
+//! assert_eq!(out.resolve_default(&vec![0; n]), vec![1; n]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod plan;
+pub mod service;
+pub mod transport;
+pub mod wire;
+
+pub use client::Client;
+pub use frame::{Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN};
+pub use plan::NetPlan;
+pub use service::{
+    run_over_mem, run_over_tcp, DeliveryOrder, Service, ServiceConfig, SessionHandle,
+};
+pub use transport::{
+    duplex, pipe, ConnPair, FrameRx, FrameTx, FramedRx, FramedTx, Listener, MemTransport,
+    PipeReader, PipeWriter, TcpTransport,
+};
+pub use wire::{CodecError, Wire, WIRE_VERSION};

@@ -1,0 +1,64 @@
+//! Scenario-plan entry points into the transport plane.
+//!
+//! [`NetPlan`] gives every [`SessionPlan`] (that is, [`CheapTalkPlan`] and
+//! [`MediatorPlan`]) networked mirrors of its `.session()` entry:
+//! `.serve(…)` hosts the plan on a running [`Service`], `.connect_tcp(…)`
+//! / `.connect_mem(…)` build a typed [`Client`] for it, and
+//! `.run_over_tcp(…)` / `.run_over_mem(…)` do the whole loopback round
+//! trip in one call.
+//!
+//! [`CheapTalkPlan`]: mediator_core::scenario::CheapTalkPlan
+//! [`MediatorPlan`]: mediator_core::scenario::MediatorPlan
+
+use crate::client::Client;
+use crate::frame::{NetError, SessionId};
+use crate::service::{self, Service, ServiceConfig, SessionHandle};
+use crate::transport::MemTransport;
+use crate::wire::Wire;
+use mediator_core::scenario::SessionPlan;
+use mediator_sim::{Outcome, SchedulerKind};
+use std::net::SocketAddr;
+
+/// Networked entries on a scenario plan, mirroring `.session()`.
+pub trait NetPlan: SessionPlan
+where
+    Self::Msg: Wire,
+{
+    /// Hosts this plan's `(kind, seed)` cell on `service` under `id` — the
+    /// networked `.session_with(kind, seed)`. The returned handle yields
+    /// the outcome once every player's relay has attached and the pump has
+    /// driven the run over the wire.
+    fn serve(
+        &self,
+        service: &Service<Self::Msg>,
+        id: SessionId,
+        kind: SchedulerKind,
+        seed: u64,
+    ) -> SessionHandle {
+        service.host_plan(id, self, kind, seed)
+    }
+
+    /// Dials a TCP service hosting this plan, with the client typed to the
+    /// plan's message codec.
+    fn connect_tcp(&self, addr: SocketAddr) -> Result<Client<Self::Msg>, NetError> {
+        Client::tcp(addr)
+    }
+
+    /// Connects to an in-memory hub, typed to the plan's message codec.
+    fn connect_mem(&self, hub: &MemTransport) -> Client<Self::Msg> {
+        Client::mem(hub)
+    }
+
+    /// One-call loopback run over TCP (ephemeral port): service, one relay
+    /// connection per world process, outcome.
+    fn run_over_tcp(&self, kind: &SchedulerKind, seed: u64) -> Result<Outcome, NetError> {
+        service::run_over_tcp(self, kind, seed, ServiceConfig::default())
+    }
+
+    /// One-call loopback run over the in-memory transport.
+    fn run_over_mem(&self, kind: &SchedulerKind, seed: u64) -> Result<Outcome, NetError> {
+        service::run_over_mem(self, kind, seed, ServiceConfig::default())
+    }
+}
+
+impl<P: SessionPlan> NetPlan for P where P::Msg: Wire {}

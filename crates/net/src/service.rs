@@ -1,0 +1,752 @@
+//! The multi-session service runtime over the [`Session`] seam.
+//!
+//! A [`Service`] accepts connections on a [`Listener`], routes frames by
+//! `(session-id, player-id)`, and hosts any number of concurrent
+//! [`Session`]s, each driven by its own pump thread:
+//!
+//! ```text
+//!             ┌────────────────────── Service ──────────────────────┐
+//!   accept ──▶│ reader threads ──frames──▶ per-session inbox        │
+//!             │                                    │                │
+//!             │   pump (one thread per session):   ▼                │
+//!             │     drain_outbox ──▶ ship Msg frames to relays      │
+//!             │     inbound Msg  ──▶ inject + step (deliver)        │
+//!             │     plane empty ∧ nothing in flight ──▶ finish()    │
+//!             └─────────────────────────────────────────────────────┘
+//! ```
+//!
+//! **The network is the scheduler.** In-process, a scheduler picks which
+//! pending event is delivered next. Networked, every sent message is
+//! drained off the plane, shipped to the relay connection attached for its
+//! destination, and re-injected when the wire hands it back — so delivery
+//! order is whatever order the network returns frames in (TCP interleaving
+//! across connections, thread scheduling, or the service's own
+//! [`DeliveryOrder::Shuffled`] buffer). That is *exactly* an adversarial
+//! scheduler in the paper's §2 model: a message-pattern-visible adversary
+//! choosing delivery order, constrained to eventual delivery. The paper's
+//! theorems therefore transfer: a networked run yields the same outcome
+//! *kinds* as the in-process runs — not the same byte-identical trace,
+//! which no theorem promises (see DESIGN.md §9 and the parity suite).
+//!
+//! Quiescence detection is the pump's half of the bargain: the session has
+//! terminated only when the local plane is drained **and** no shipped
+//! frame is still on the wire (`in_flight == 0`) **and** the delivery
+//! buffer is empty. Only then is the [`Session`]'s own termination verdict
+//! (quiescent / deadlocked / budget-exhausted) trustworthy.
+
+use crate::client::Client;
+use crate::frame::{Frame, NetError, OutcomeSummary, RejectReason, SessionId};
+use crate::transport::{ConnPair, FrameRx, FrameTx, Listener, MemTransport, TcpTransport};
+use crate::wire::Wire;
+use mediator_core::scenario::SessionPlan;
+use mediator_sim::SchedulerKind;
+use mediator_sim::{Envelope, Outcome, Session, SessionStatus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How a session pump turns frame arrivals into deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOrder {
+    /// Deliver in arrival order (the network's own interleaving — already
+    /// a nondeterministic schedule across connections).
+    Arrival,
+    /// Hold up to `depth` arrived frames and release them in seeded-random
+    /// order — the paper's adversarial scheduler made literal, layered on
+    /// top of whatever reordering the transport itself produced. Always
+    /// live: the buffer force-drains whenever nothing is left in flight.
+    Shuffled {
+        /// RNG seed (XORed with the session id, so concurrent sessions
+        /// shuffle independently).
+        seed: u64,
+        /// Maximum frames held back at once.
+        depth: usize,
+    },
+}
+
+/// Tunables for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// How long a pump waits for in-flight frames before declaring the
+    /// network dead ([`NetError::IdleTimeout`]).
+    pub idle_timeout: Duration,
+    /// How long a hosted session waits for all players to attach.
+    pub attach_timeout: Duration,
+    /// How long a reader waits for a not-yet-hosted session named by an
+    /// `Attach` before rejecting (smooths the host/connect race).
+    pub attach_grace: Duration,
+    /// The pump's delivery policy.
+    pub delivery: DeliveryOrder,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            idle_timeout: Duration::from_secs(30),
+            attach_timeout: Duration::from_secs(30),
+            attach_grace: Duration::from_secs(5),
+            delivery: DeliveryOrder::Arrival,
+        }
+    }
+}
+
+/// What reader threads feed a session pump.
+enum Inbound<M> {
+    /// A relay attached for `player`.
+    Attached { player: usize },
+    /// A frame arrived for `dst`. `returned` is true iff it came in on
+    /// the connection attached as `dst`'s relay — only such a frame
+    /// completes a shipped frame's network leg; anything else is an
+    /// improvised (byzantine-network) injection that must not touch the
+    /// in-flight accounting, or quiescence could be forged.
+    Msg {
+        src: usize,
+        dst: usize,
+        msg: M,
+        returned: bool,
+    },
+    /// The relay for `player` disconnected.
+    PeerGone { player: usize },
+}
+
+type Route<M> = Arc<Mutex<Box<dyn FrameTx<M>>>>;
+
+/// Per-hosted-session routing state, shared between the reader threads
+/// (which fill it) and the pump (which ships through it).
+struct SessionEntry<M> {
+    inbox: Sender<Inbound<M>>,
+    routes: Mutex<HashMap<usize, Route<M>>>,
+    expected: usize,
+}
+
+struct Shared<M> {
+    sessions: Mutex<HashMap<SessionId, Arc<SessionEntry<M>>>>,
+    cfg: ServiceConfig,
+}
+
+impl<M> Shared<M> {
+    fn lookup(&self, id: SessionId) -> Option<Arc<SessionEntry<M>>> {
+        self.sessions
+            .lock()
+            .expect("sessions poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Looks a session up, waiting out the host/connect race for up to
+    /// `attach_grace`.
+    fn lookup_wait(&self, id: SessionId) -> Option<Arc<SessionEntry<M>>> {
+        let deadline = Instant::now() + self.cfg.attach_grace;
+        loop {
+            if let Some(entry) = self.lookup(id) {
+                return Some(entry);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// A ticket for a hosted session's result.
+pub struct SessionHandle {
+    id: SessionId,
+    rx: Receiver<Result<Outcome, NetError>>,
+}
+
+impl SessionHandle {
+    /// The hosted session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Blocks until the pump finishes and yields the networked
+    /// [`Outcome`] (or the transport failure that ended the run).
+    pub fn outcome(self) -> Result<Outcome, NetError> {
+        self.rx.recv().unwrap_or(Err(NetError::ServiceGone))
+    }
+}
+
+/// A networked multi-session runtime: one accept loop, one reader thread
+/// per connection, one pump thread per hosted session.
+pub struct Service<M: Wire + Send + 'static> {
+    shared: Arc<Shared<M>>,
+    accept: Option<JoinHandle<()>>,
+    closer: Box<dyn Fn() + Send + Sync>,
+}
+
+impl<M: Wire + Send + 'static> Service<M> {
+    /// Starts a service over `listener` with default tunables.
+    pub fn start(listener: Box<dyn Listener<M>>) -> Self {
+        Self::with_config(listener, ServiceConfig::default())
+    }
+
+    /// Starts a service with explicit tunables.
+    pub fn with_config(mut listener: Box<dyn Listener<M>>, cfg: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            sessions: Mutex::new(HashMap::new()),
+            cfg,
+        });
+        let closer = listener.closer();
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || {
+            while let Ok((tx, rx)) = listener.accept() {
+                let shared = Arc::clone(&accept_shared);
+                thread::spawn(move || reader_loop(shared, tx, rx));
+            }
+        });
+        Service {
+            shared,
+            accept: Some(accept),
+            closer,
+        }
+    }
+
+    /// Hosts a session under `id`. The session is opened by `open` *inside*
+    /// the pump's worker thread (processes need not be `Send` — the same
+    /// rule the batch runner follows), which is why the world size
+    /// (`processes`) travels separately: routing must know how many players
+    /// have to attach before the pump starts. Returns immediately; the
+    /// pump waits for all `processes` relays, runs the networked game, and
+    /// delivers the result through the [`SessionHandle`].
+    pub fn host(
+        &self,
+        id: SessionId,
+        processes: usize,
+        open: impl FnOnce() -> Session<M> + Send + 'static,
+    ) -> SessionHandle {
+        let (inbox_tx, inbox_rx) = mpsc::channel();
+        let entry = Arc::new(SessionEntry {
+            inbox: inbox_tx,
+            routes: Mutex::new(HashMap::new()),
+            expected: processes,
+        });
+        let (result_tx, result_rx) = mpsc::channel();
+        {
+            let mut sessions = self.shared.sessions.lock().expect("sessions poisoned");
+            // Refuse to clobber a live session: re-registering an id would
+            // orphan the running pump's routes, and that pump's eventual
+            // unregister would then kill the newcomer's routing.
+            if sessions.contains_key(&id) {
+                let _ = result_tx.send(Err(NetError::SessionIdTaken { session: id }));
+                return SessionHandle { id, rx: result_rx };
+            }
+            sessions.insert(id, Arc::clone(&entry));
+        }
+        let shared = Arc::clone(&self.shared);
+        thread::spawn(move || {
+            let cfg = shared.cfg.clone();
+            let result = pump(id, open().with_session_id(id), &entry, inbox_rx, &cfg);
+            // Unregister first: frames for a finished session are dead.
+            // Guarded by identity (belt to the duplicate-id braces above):
+            // only this pump's own entry may be removed.
+            {
+                let mut sessions = shared.sessions.lock().expect("sessions poisoned");
+                if sessions
+                    .get(&id)
+                    .map(|e| Arc::ptr_eq(e, &entry))
+                    .unwrap_or(false)
+                {
+                    sessions.remove(&id);
+                }
+            }
+            match &result {
+                Ok(outcome) => {
+                    broadcast(
+                        &entry,
+                        &Frame::Outcome {
+                            session: id,
+                            summary: OutcomeSummary::from(outcome),
+                        },
+                    );
+                }
+                // A failed session will never yield an outcome: tell the
+                // relays so none of them blocks forever.
+                Err(_) => broadcast(&entry, &Frame::Abort { session: id }),
+            }
+            let _ = result_tx.send(result);
+        });
+        SessionHandle { id, rx: result_rx }
+    }
+
+    /// Hosts one `(scheduler, seed)` cell of `plan` under `id` — the
+    /// networked mirror of `plan.session_with(kind, seed)`.
+    pub fn host_plan<P>(
+        &self,
+        id: SessionId,
+        plan: &P,
+        kind: SchedulerKind,
+        seed: u64,
+    ) -> SessionHandle
+    where
+        P: SessionPlan<Msg = M>,
+    {
+        let plan = plan.clone();
+        self.host(id, plan.processes(), move || plan.open_session(&kind, seed))
+    }
+
+    /// The batch entry: hosts every `(id, scheduler, seed)` cell of `plan`
+    /// concurrently — one pump worker thread per session, all live at once,
+    /// frames multiplexed by `(session-id, player-id)` — and blocks until
+    /// every session has an outcome. All cells are registered before this
+    /// call blocks, so relay clients may attach at any point (including
+    /// before the call, thanks to the attach grace window).
+    pub fn run_many<P>(
+        &self,
+        plan: &P,
+        cells: impl IntoIterator<Item = (SessionId, SchedulerKind, u64)>,
+    ) -> Vec<(SessionId, Result<Outcome, NetError>)>
+    where
+        P: SessionPlan<Msg = M>,
+    {
+        let handles: Vec<SessionHandle> = cells
+            .into_iter()
+            .map(|(id, kind, seed)| self.host_plan(id, plan, kind, seed))
+            .collect();
+        handles.into_iter().map(|h| (h.id(), h.outcome())).collect()
+    }
+
+    /// Stops accepting connections. Hosted sessions already pumping run to
+    /// their outcomes; reader threads exit as their connections close.
+    pub fn shutdown(mut self) {
+        self.close_accept();
+    }
+
+    fn close_accept(&mut self) {
+        (self.closer)();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M: Wire + Send + 'static> Drop for Service<M> {
+    fn drop(&mut self) {
+        self.close_accept();
+    }
+}
+
+/// One connection's read loop: routes `Attach`/`Msg` frames into session
+/// entries; on any stream error (orderly close, mid-frame drop, garbage
+/// bytes) the connection is abandoned and its routes are torn down.
+fn reader_loop<M: Wire + Send + 'static>(
+    shared: Arc<Shared<M>>,
+    tx: Box<dyn FrameTx<M>>,
+    mut rx: Box<dyn FrameRx<M>>,
+) {
+    let tx: Route<M> = Arc::new(Mutex::new(tx));
+    let mut claimed: Vec<(SessionId, usize)> = Vec::new();
+    loop {
+        match rx.recv() {
+            Ok(Frame::Attach { session, player }) => {
+                let reason = match shared.lookup_wait(session) {
+                    None => Some(RejectReason::UnknownSession),
+                    Some(entry) if player >= entry.expected => Some(RejectReason::PlayerOutOfRange),
+                    Some(entry) => {
+                        let mut routes = entry.routes.lock().expect("routes poisoned");
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            routes.entry(player)
+                        {
+                            slot.insert(Arc::clone(&tx));
+                            drop(routes);
+                            claimed.push((session, player));
+                            let _ = entry.inbox.send(Inbound::Attached { player });
+                            None
+                        } else {
+                            Some(RejectReason::PlayerTaken)
+                        }
+                    }
+                };
+                if let Some(reason) = reason {
+                    let _ = tx
+                        .lock()
+                        .expect("route poisoned")
+                        .send(&Frame::Reject { session, reason });
+                }
+            }
+            Ok(Frame::Msg {
+                session,
+                src,
+                dst,
+                msg,
+            }) => {
+                // A frame for an unknown session is a late echo for a run
+                // that already finished: dead, by design.
+                if let Some(entry) = shared.lookup(session) {
+                    // Range-check the addressing before it reaches the
+                    // pump: `World::inject` panics on unknown process
+                    // ids, and a hostile-but-well-formed frame must
+                    // never panic a hosted session. (In-range forged
+                    // frames stay deliverable on purpose — a byzantine
+                    // network is an experiment, not a crash.)
+                    if src >= entry.expected || dst >= entry.expected {
+                        let _ = tx.lock().expect("route poisoned").send(&Frame::Reject {
+                            session,
+                            reason: RejectReason::PlayerOutOfRange,
+                        });
+                    } else {
+                        // Only `dst`'s own relay can complete a shipped
+                        // frame's network leg (see `Inbound::Msg`).
+                        let returned = entry
+                            .routes
+                            .lock()
+                            .expect("routes poisoned")
+                            .get(&dst)
+                            .map(|r| Arc::ptr_eq(r, &tx))
+                            .unwrap_or(false);
+                        let _ = entry.inbox.send(Inbound::Msg {
+                            src,
+                            dst,
+                            msg,
+                            returned,
+                        });
+                    }
+                }
+            }
+            // `Outcome`/`Reject` only travel service → client.
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    for (sid, player) in claimed {
+        if let Some(entry) = shared.lookup(sid) {
+            let mut routes = entry.routes.lock().expect("routes poisoned");
+            let mine = routes
+                .get(&player)
+                .map(|r| Arc::ptr_eq(r, &tx))
+                .unwrap_or(false);
+            if mine {
+                routes.remove(&player);
+                drop(routes);
+                let _ = entry.inbox.send(Inbound::PeerGone { player });
+            }
+        }
+    }
+}
+
+fn ship<M: Wire>(
+    entry: &SessionEntry<M>,
+    sid: SessionId,
+    env: Envelope<M>,
+) -> Result<(), NetError> {
+    let dst = env.dst;
+    let route = entry
+        .routes
+        .lock()
+        .expect("routes poisoned")
+        .get(&dst)
+        .cloned()
+        .ok_or(NetError::PeerVanished {
+            session: sid,
+            player: dst,
+        })?;
+    let frame = Frame::Msg {
+        session: sid,
+        src: env.src,
+        dst,
+        msg: env.msg,
+    };
+    let sent = route.lock().expect("route poisoned").send(&frame);
+    sent.map_err(|_| NetError::PeerVanished {
+        session: sid,
+        player: dst,
+    })
+}
+
+/// Sends `frame` once per distinct connection attached to the session (a
+/// relay may serve several players of one session over one conn).
+fn broadcast<M: Wire>(entry: &SessionEntry<M>, frame: &Frame<M>) {
+    let routes: Vec<Route<M>> = entry
+        .routes
+        .lock()
+        .expect("routes poisoned")
+        .values()
+        .cloned()
+        .collect();
+    let mut announced: Vec<*const Mutex<Box<dyn FrameTx<M>>>> = Vec::new();
+    for route in routes {
+        let ptr = Arc::as_ptr(&route);
+        if announced.contains(&ptr) {
+            continue;
+        }
+        announced.push(ptr);
+        let _ = route.lock().expect("route poisoned").send(frame);
+    }
+}
+
+/// The pump's wire-side bookkeeping: the delivery buffer, the shipped-but-
+/// not-returned counts (total and per destination, kept in lockstep), and
+/// the vanished-relay ledger. One `absorb` is the single place an inbound
+/// event touches the accounting — the non-blocking and blocking receive
+/// arms of the pump both call it, so they cannot drift apart.
+struct FlightState<M> {
+    held: Vec<Envelope<M>>,
+    in_flight: u64,
+    in_flight_by: Vec<u64>,
+    gone: Vec<usize>,
+}
+
+impl<M> FlightState<M> {
+    fn new(expected: usize) -> Self {
+        FlightState {
+            held: Vec::new(),
+            in_flight: 0,
+            in_flight_by: vec![0; expected],
+            gone: Vec::new(),
+        }
+    }
+
+    fn shipped(&mut self, dst: usize) {
+        if let Some(slot) = self.in_flight_by.get_mut(dst) {
+            *slot += 1;
+            self.in_flight += 1;
+        }
+    }
+
+    fn absorb(&mut self, inbound: Inbound<M>) {
+        match inbound {
+            Inbound::Msg {
+                src,
+                dst,
+                msg,
+                returned,
+            } => {
+                // Decrement only for a frame that (a) came back on dst's
+                // own relay connection and (b) has a shipped frame to
+                // account against — an improvised frame (forged, or a
+                // stray client) is delivered but cannot fake quiescence.
+                if returned {
+                    if let Some(slot) = self.in_flight_by.get_mut(dst) {
+                        if *slot > 0 {
+                            *slot -= 1;
+                            self.in_flight -= 1;
+                        }
+                    }
+                }
+                self.held.push(Envelope { src, dst, msg });
+            }
+            Inbound::Attached { player } => self.gone.retain(|&p| p != player),
+            Inbound::PeerGone { player } => self.gone.push(player),
+        }
+    }
+
+    /// A vanished relay whose player still owes shipped frames, if any.
+    fn fatal_gone(&self) -> Option<usize> {
+        self.gone
+            .iter()
+            .copied()
+            .find(|&p| self.in_flight_by.get(p).copied().unwrap_or(0) > 0)
+    }
+}
+
+/// The per-session engine: barrier on attaches, then the
+/// ship / deliver / quiesce loop described in the module docs.
+fn pump<M: Wire + Send>(
+    sid: SessionId,
+    mut session: Session<M>,
+    entry: &SessionEntry<M>,
+    inbox: Receiver<Inbound<M>>,
+    cfg: &ServiceConfig,
+) -> Result<Outcome, NetError> {
+    let expected = entry.expected;
+    let mut flight: FlightState<M> = FlightState::new(expected);
+    let (depth, mut rng) = match cfg.delivery {
+        DeliveryOrder::Arrival => (0usize, None),
+        DeliveryOrder::Shuffled { seed, depth } => (depth, Some(StdRng::seed_from_u64(seed ^ sid))),
+    };
+
+    // Attach barrier: every world process needs a relay before the first
+    // message leaves the plane.
+    let mut attached = vec![false; expected];
+    let mut nattached = 0usize;
+    let deadline = Instant::now() + cfg.attach_timeout;
+    while nattached < expected {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(NetError::AttachTimeout {
+                session: sid,
+                attached: nattached,
+                expected,
+            });
+        }
+        match inbox.recv_timeout(left) {
+            Ok(Inbound::Attached { player }) => {
+                if !attached[player] {
+                    attached[player] = true;
+                    nattached += 1;
+                }
+            }
+            Ok(Inbound::PeerGone { player }) => {
+                if attached[player] {
+                    attached[player] = false;
+                    nattached -= 1;
+                }
+            }
+            // Nothing has been shipped yet, so any early frame is a peer
+            // improvising; hold it — it will be delivered in order.
+            Ok(msg @ Inbound::Msg { .. }) => flight.absorb(msg),
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(NetError::AttachTimeout {
+                    session: sid,
+                    attached: nattached,
+                    expected,
+                });
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err(NetError::ServiceGone),
+        }
+    }
+
+    loop {
+        // 1. Ship every freshly-sent message onto its network leg.
+        for env in session.drain_outbox() {
+            flight.shipped(env.dst);
+            ship(entry, sid, env)?;
+        }
+        // 2. Dispatch local events (start signals stay on the plane).
+        if !session.pending().is_empty() {
+            if session.step().is_done() {
+                // Mid-run Done can only be the budget guard: termination
+                // with events pending is BudgetExhausted by construction.
+                return Ok(session.finish());
+            }
+            continue;
+        }
+        // 3. Absorb everything the network has already handed back.
+        loop {
+            match inbox.try_recv() {
+                Ok(inbound) => flight.absorb(inbound),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return Err(NetError::ServiceGone),
+            }
+        }
+        // 4. Deliver one held frame — immediately under Arrival order,
+        //    through the shuffle buffer otherwise (force-drained once
+        //    nothing is left in flight, so the policy is always live).
+        if !flight.held.is_empty() && (flight.held.len() > depth || flight.in_flight == 0) {
+            let i = match &mut rng {
+                Some(r) => r.gen_range(0..flight.held.len()),
+                None => 0,
+            };
+            let env = flight.held.remove(i);
+            if session.inject(env.src, env.dst, env.msg).progressed() && session.step().is_done() {
+                return Ok(session.finish()); // budget guard mid-delivery
+            }
+            continue;
+        }
+        // 5. Quiescence: plane drained, buffer empty, wire empty — the
+        //    session's own verdict is now trustworthy.
+        if flight.in_flight == 0 {
+            debug_assert!(flight.held.is_empty());
+            return match session.step() {
+                SessionStatus::Done(_) => Ok(session.finish()),
+                SessionStatus::Running => unreachable!("empty plane must terminate"),
+            };
+        }
+        // 6. Traffic is in flight. A vanished relay is fatal only if its
+        //    player still owes us frames (otherwise a replacement may yet
+        //    attach, and sends to it will fail loudly at `ship`).
+        if let Some(player) = flight.fatal_gone() {
+            return Err(NetError::PeerVanished {
+                session: sid,
+                player,
+            });
+        }
+        // 7. Block for the network.
+        match inbox.recv_timeout(cfg.idle_timeout) {
+            Ok(inbound) => flight.absorb(inbound),
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(NetError::IdleTimeout {
+                    session: sid,
+                    in_flight: flight.in_flight,
+                });
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err(NetError::ServiceGone),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One-call loopback runs
+// ---------------------------------------------------------------------------
+
+/// Runs `plan`'s `(kind, seed)` cell end-to-end over the in-memory
+/// transport: a fresh single-session service, one relay client per world
+/// process, outcome back on the caller's thread.
+pub fn run_over_mem<P>(
+    plan: &P,
+    kind: &SchedulerKind,
+    seed: u64,
+    cfg: ServiceConfig,
+) -> Result<Outcome, NetError>
+where
+    P: SessionPlan,
+    P::Msg: Wire,
+{
+    let hub = MemTransport::new();
+    let service = Service::with_config(Box::new(hub.listener()), cfg);
+    run_session_with(plan, kind, seed, &service, || Ok(hub.connect()))
+}
+
+/// Runs `plan`'s `(kind, seed)` cell end-to-end over TCP loopback
+/// (ephemeral port): real sockets, one relay connection per world process.
+pub fn run_over_tcp<P>(
+    plan: &P,
+    kind: &SchedulerKind,
+    seed: u64,
+    cfg: ServiceConfig,
+) -> Result<Outcome, NetError>
+where
+    P: SessionPlan,
+    P::Msg: Wire,
+{
+    let transport = TcpTransport::bind_loopback()?;
+    let addr = transport.addr();
+    let service = Service::with_config(Box::new(transport), cfg);
+    run_session_with(plan, kind, seed, &service, move || {
+        TcpTransport::connect(addr)
+    })
+}
+
+fn run_session_with<P, F>(
+    plan: &P,
+    kind: &SchedulerKind,
+    seed: u64,
+    service: &Service<P::Msg>,
+    connect: F,
+) -> Result<Outcome, NetError>
+where
+    P: SessionPlan,
+    P::Msg: Wire,
+    F: Fn() -> Result<ConnPair<P::Msg>, NetError> + Send + Sync,
+{
+    const SID: SessionId = 1;
+    let handle = service.host_plan(SID, plan, kind.clone(), seed);
+    let outcome = thread::scope(|scope| {
+        let relays: Vec<_> = (0..plan.processes())
+            .map(|player| {
+                let connect = &connect;
+                scope.spawn(move || -> Result<OutcomeSummary, NetError> {
+                    let mut client = Client::from_pair(connect()?);
+                    client.attach(SID, player)?;
+                    client.relay()
+                })
+            })
+            .collect();
+        let outcome = handle.outcome();
+        for relay in relays {
+            // Relay results only matter when the hosted run itself failed
+            // (they then carry the transport-side reason).
+            let relay_result = relay.join().expect("relay panicked");
+            if outcome.is_err() {
+                relay_result?;
+            }
+        }
+        outcome
+    });
+    outcome
+}

@@ -1,0 +1,437 @@
+//! Transport backends: real byte streams under the frame codec.
+//!
+//! Both backends speak the *same* framing code over `std::io::Read`/
+//! `Write`, so every codec property (length cap, version check, typed
+//! truncation errors) holds identically on each:
+//!
+//! * **In-memory duplex pipes** ([`MemTransport`]) — a [`pipe`] is a
+//!   `Mutex<VecDeque<u8>>` + condvar with hangup-aware ends; a connection
+//!   is two pipes crossed. Used by tests and the multi-session benches:
+//!   the full service stack runs, minus the kernel.
+//! * **TCP loopback** ([`TcpTransport`]) — `std::net` sockets with
+//!   thread-per-connection I/O pumps. Binds port 0 (ephemeral) so suites
+//!   are sandbox/CI-safe; `TCP_NODELAY` is set because protocol frames
+//!   are small and latency-bound.
+//!
+//! The seam the service consumes is the pair of object-safe halves
+//! [`FrameTx`]/[`FrameRx`] plus [`Listener`]; a backend is anything that
+//! can produce them.
+
+use crate::frame::{Frame, NetError, MAX_FRAME_LEN};
+use crate::wire::{CodecError, Wire};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The sending half of a framed connection.
+pub trait FrameTx<M>: Send {
+    /// Writes one frame (length prefix + body) to the stream.
+    fn send(&mut self, frame: &Frame<M>) -> Result<(), NetError>;
+}
+
+/// The receiving half of a framed connection.
+pub trait FrameRx<M>: Send {
+    /// Blocks for the next frame. [`NetError::Closed`] means the peer
+    /// shut down cleanly at a frame boundary; [`NetError::Disconnected`]
+    /// means the stream died mid-frame.
+    fn recv(&mut self) -> Result<Frame<M>, NetError>;
+}
+
+/// A connection, split into its two independently-owned halves.
+pub type ConnPair<M> = (Box<dyn FrameTx<M>>, Box<dyn FrameRx<M>>);
+
+/// A backend that accepts inbound connections for a service.
+pub trait Listener<M>: Send {
+    /// Blocks for the next connection. [`NetError::Closed`] once the
+    /// listener has been shut down via its [`Listener::closer`].
+    fn accept(&mut self) -> Result<ConnPair<M>, NetError>;
+
+    /// A handle that permanently unblocks a concurrent `accept`
+    /// (idempotent; callable from any thread).
+    fn closer(&self) -> Box<dyn Fn() + Send + Sync>;
+}
+
+// ---------------------------------------------------------------------------
+// Framing over any byte stream
+// ---------------------------------------------------------------------------
+
+/// Frame writer over any byte sink.
+pub struct FramedTx<W> {
+    sink: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> FramedTx<W> {
+    /// Wraps a byte sink.
+    pub fn new(sink: W) -> Self {
+        FramedTx {
+            sink,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<W: Write + Send, M: Wire> FrameTx<M> for FramedTx<W> {
+    fn send(&mut self, frame: &Frame<M>) -> Result<(), NetError> {
+        self.buf.clear();
+        frame.encode_body(&mut self.buf);
+        debug_assert!(self.buf.len() <= MAX_FRAME_LEN as usize);
+        let len = (self.buf.len() as u32).to_le_bytes();
+        self.sink.write_all(&len)?;
+        self.sink.write_all(&self.buf)?;
+        self.sink.flush()?;
+        Ok(())
+    }
+}
+
+/// Frame reader over any byte source.
+pub struct FramedRx<R> {
+    source: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FramedRx<R> {
+    /// Wraps a byte source.
+    pub fn new(source: R) -> Self {
+        FramedRx {
+            source,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads exactly `n` bytes into the scratch buffer. `eof_ok`
+    /// distinguishes a clean close (frame boundary) from a mid-frame drop.
+    fn read_exact_n(&mut self, n: usize, eof_ok: bool) -> Result<(), NetError> {
+        self.buf.clear();
+        self.buf.resize(n, 0);
+        let mut filled = 0;
+        while filled < n {
+            match self.source.read(&mut self.buf[filled..]) {
+                Ok(0) => {
+                    return Err(if eof_ok && filled == 0 {
+                        NetError::Closed
+                    } else {
+                        NetError::Disconnected
+                    });
+                }
+                Ok(k) => filled += k,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // A peer that vanished abruptly (process death, RST)
+                // surfaces as reset/aborted — the same "dropped mid-
+                // stream" condition as a silent EOF.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::BrokenPipe
+                            | std::io::ErrorKind::UnexpectedEof
+                    ) =>
+                {
+                    return Err(if eof_ok && filled == 0 {
+                        NetError::Closed
+                    } else {
+                        NetError::Disconnected
+                    });
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read + Send, M: Wire> FrameRx<M> for FramedRx<R> {
+    fn recv(&mut self) -> Result<Frame<M>, NetError> {
+        self.read_exact_n(4, true)?;
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME_LEN {
+            // Reject before reading (let alone allocating) the announced
+            // body: an oversized prefix is corruption or hostility.
+            return Err(CodecError::LengthOverrun {
+                announced: u64::from(len),
+                remaining: MAX_FRAME_LEN as usize,
+            }
+            .into());
+        }
+        self.read_exact_n(len as usize, false)?;
+        Ok(Frame::decode_body(&self.buf)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory byte pipes
+// ---------------------------------------------------------------------------
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    tx_alive: bool,
+    rx_alive: bool,
+}
+
+type PipeShared = Arc<(Mutex<PipeState>, Condvar)>;
+
+/// The writing end of an in-memory byte pipe.
+pub struct PipeWriter(PipeShared);
+
+/// The reading end of an in-memory byte pipe.
+pub struct PipeReader(PipeShared);
+
+/// A unidirectional in-memory byte pipe. Writes never block (the buffer
+/// is unbounded); reads block until bytes or hangup. Dropping the writer
+/// EOFs the reader; dropping the reader makes writes fail with
+/// `BrokenPipe` — the same observable semantics a socket pair gives the
+/// framing layer.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let shared: PipeShared = Arc::new((
+        Mutex::new(PipeState {
+            buf: VecDeque::new(),
+            tx_alive: true,
+            rx_alive: true,
+        }),
+        Condvar::new(),
+    ));
+    (PipeWriter(Arc::clone(&shared)), PipeReader(shared))
+}
+
+/// A bidirectional in-memory connection: two pipes crossed. Returns the
+/// two endpoints, each a `(writer, reader)` pair.
+#[allow(clippy::type_complexity)]
+pub fn duplex() -> ((PipeWriter, PipeReader), (PipeWriter, PipeReader)) {
+    let (a_tx, b_rx) = pipe();
+    let (b_tx, a_rx) = pipe();
+    ((a_tx, a_rx), (b_tx, b_rx))
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        let (lock, cvar) = &*self.0;
+        let mut state = lock.lock().expect("pipe poisoned");
+        if !state.rx_alive {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "pipe reader dropped",
+            ));
+        }
+        state.buf.extend(data);
+        cvar.notify_all();
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.0;
+        if let Ok(mut state) = lock.lock() {
+            state.tx_alive = false;
+            cvar.notify_all();
+        }
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let (lock, cvar) = &*self.0;
+        let mut state = lock.lock().expect("pipe poisoned");
+        while state.buf.is_empty() && state.tx_alive {
+            state = cvar.wait(state).expect("pipe poisoned");
+        }
+        if state.buf.is_empty() {
+            return Ok(0); // hangup: EOF
+        }
+        let n = out.len().min(state.buf.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = state.buf.pop_front().expect("checked non-empty");
+        }
+        Ok(n)
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.0;
+        if let Ok(mut state) = lock.lock() {
+            state.rx_alive = false;
+            cvar.notify_all();
+        }
+    }
+}
+
+/// The in-memory transport: a connection hub whose `connect` side hands
+/// out client endpoints and whose [`Listener`] side accepts the matching
+/// server endpoints. The whole service stack — framing included — runs
+/// exactly as over TCP, minus the kernel.
+pub struct MemTransport {
+    inner: Arc<(Mutex<HubState>, Condvar)>,
+}
+
+struct HubState {
+    queue: VecDeque<(PipeWriter, PipeReader)>,
+    open: bool,
+}
+
+impl Default for MemTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemTransport {
+    /// A fresh hub.
+    pub fn new() -> Self {
+        MemTransport {
+            inner: Arc::new((
+                Mutex::new(HubState {
+                    queue: VecDeque::new(),
+                    open: true,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Connects, returning the raw byte-level endpoint (tests use this to
+    /// write malformed bytes straight at the service). Connecting to a
+    /// closed hub fails fast the way TCP refuses a dead port: the server
+    /// halves are dropped on the spot, so the endpoint's first read sees
+    /// EOF ([`NetError::Closed`] through the framing) instead of blocking
+    /// forever on a queue nobody will ever accept from.
+    pub fn connect_raw(&self) -> (PipeWriter, PipeReader) {
+        let (client, server) = duplex();
+        let (lock, cvar) = &*self.inner;
+        let mut hub = lock.lock().expect("hub poisoned");
+        if hub.open {
+            hub.queue.push_back(server);
+            cvar.notify_all();
+        }
+        client
+    }
+
+    /// Connects, returning framed halves for protocol use.
+    pub fn connect<M: Wire + 'static>(&self) -> ConnPair<M> {
+        let (tx, rx) = self.connect_raw();
+        (Box::new(FramedTx::new(tx)), Box::new(FramedRx::new(rx)))
+    }
+
+    /// The accepting side (hand it to `Service::start`).
+    pub fn listener(&self) -> MemListener {
+        MemListener {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// The [`Listener`] over a [`MemTransport`] hub.
+pub struct MemListener {
+    inner: Arc<(Mutex<HubState>, Condvar)>,
+}
+
+impl<M: Wire + 'static> Listener<M> for MemListener {
+    fn accept(&mut self) -> Result<ConnPair<M>, NetError> {
+        let (lock, cvar) = &*self.inner;
+        let mut hub = lock.lock().expect("hub poisoned");
+        loop {
+            if let Some((tx, rx)) = hub.queue.pop_front() {
+                return Ok((Box::new(FramedTx::new(tx)), Box::new(FramedRx::new(rx))));
+            }
+            if !hub.open {
+                return Err(NetError::Closed);
+            }
+            hub = cvar.wait(hub).expect("hub poisoned");
+        }
+    }
+
+    fn closer(&self) -> Box<dyn Fn() + Send + Sync> {
+        let inner = Arc::clone(&self.inner);
+        Box::new(move || {
+            let (lock, cvar) = &*inner;
+            if let Ok(mut hub) = lock.lock() {
+                hub.open = false;
+                // Endpoints queued but never accepted would leave their
+                // connectors blocked forever: drop them so the peers see
+                // EOF immediately.
+                hub.queue.clear();
+                cvar.notify_all();
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP loopback
+// ---------------------------------------------------------------------------
+
+/// The TCP transport: binds an ephemeral loopback port (`127.0.0.1:0` —
+/// never a fixed number, so parallel test runs and sandboxed CI cannot
+/// collide) and accepts thread-per-connection framed streams.
+pub struct TcpTransport {
+    listener: TcpListener,
+    addr: SocketAddr,
+    closing: Arc<AtomicBool>,
+}
+
+impl TcpTransport {
+    /// Binds `127.0.0.1:0`.
+    pub fn bind_loopback() -> Result<Self, NetError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        Ok(TcpTransport {
+            listener,
+            addr,
+            closing: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address clients dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Dials `addr`, returning framed halves (the stream is split with
+    /// `try_clone`; `TCP_NODELAY` is set on both).
+    pub fn connect<M: Wire + 'static>(addr: SocketAddr) -> Result<ConnPair<M>, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok((
+            Box::new(FramedTx::new(stream)),
+            Box::new(FramedRx::new(reader)),
+        ))
+    }
+}
+
+impl<M: Wire + 'static> Listener<M> for TcpTransport {
+    fn accept(&mut self) -> Result<ConnPair<M>, NetError> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.closing.load(Ordering::SeqCst) {
+                return Err(NetError::Closed);
+            }
+            stream.set_nodelay(true)?;
+            let reader = match stream.try_clone() {
+                Ok(r) => r,
+                Err(_) => continue, // peer vanished between accept and split
+            };
+            return Ok((
+                Box::new(FramedTx::new(stream)),
+                Box::new(FramedRx::new(reader)),
+            ));
+        }
+    }
+
+    fn closer(&self) -> Box<dyn Fn() + Send + Sync> {
+        let closing = Arc::clone(&self.closing);
+        let addr = self.addr;
+        Box::new(move || {
+            closing.store(true, Ordering::SeqCst);
+            // A blocking accept only returns when a connection arrives:
+            // dial ourselves once to deliver the shutdown flag.
+            let _ = TcpStream::connect(addr);
+        })
+    }
+}

@@ -1,0 +1,345 @@
+//! Codec conformance: fuzz-style round-trip properties over the protocol
+//! message enums, plus the malformed-input edge cases — truncated frames,
+//! unknown version bytes, oversized length prefixes, unknown tags, and
+//! mid-stream connection drops — each surfacing a *typed* error (never a
+//! panic) on **both** transport backends, which share the framing code by
+//! construction.
+
+use mediator_bcast::AbaMsg;
+use mediator_core::cheap_talk::CtMsg;
+use mediator_core::MedMsg;
+use mediator_field::Fp;
+use mediator_mpc::MpcMsg;
+use mediator_net::{
+    CodecError, Frame, FrameRx as _, FramedRx, MemTransport, NetError, OutcomeSummary,
+    TcpTransport, Wire, MAX_FRAME_LEN, WIRE_VERSION,
+};
+use mediator_sim::{Payload, TerminationKind};
+use mediator_vss::{AvssMsg, DetectMsg};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// Random message generators (the shim has no prop_oneof; hand-rolled)
+// ---------------------------------------------------------------------------
+
+fn arb_fp(rng: &mut StdRng) -> Fp {
+    Fp::new(rng.gen())
+}
+
+fn fp_vec(rng: &mut StdRng, max: usize) -> Vec<Fp> {
+    let len = rng.gen_range(0..=max);
+    (0..len).map(|_| arb_fp(rng)).collect()
+}
+
+fn arb_aba(rng: &mut StdRng) -> AbaMsg {
+    match rng.gen_range(0..3) {
+        0 => AbaMsg::BVal {
+            round: rng.gen_range(0..1000u64),
+            v: rng.gen(),
+        },
+        1 => AbaMsg::Aux {
+            round: rng.gen_range(0..1000u64),
+            v: rng.gen(),
+        },
+        _ => AbaMsg::Done { v: rng.gen() },
+    }
+}
+
+fn arb_avss(rng: &mut StdRng) -> AvssMsg {
+    match rng.gen_range(0..3) {
+        0 => {
+            let rows = rng.gen_range(0..4usize);
+            AvssMsg::Rows(Payload::new(
+                (0..rows).map(|_| fp_vec(rng, 5)).collect::<Vec<_>>(),
+            ))
+        }
+        1 => AvssMsg::Echo(fp_vec(rng, 6)),
+        _ => AvssMsg::Ready,
+    }
+}
+
+fn arb_detect(rng: &mut StdRng) -> DetectMsg {
+    match rng.gen_range(0..3) {
+        0 => DetectMsg::Deal {
+            shares: fp_vec(rng, 5),
+            blinds: fp_vec(rng, 5),
+        },
+        1 => DetectMsg::Open {
+            points: Payload::new(fp_vec(rng, 6)),
+        },
+        _ => DetectMsg::Accuse,
+    }
+}
+
+fn arb_mpc(rng: &mut StdRng) -> MpcMsg {
+    match rng.gen_range(0..5) {
+        0 => MpcMsg::Avss {
+            dealer: rng.gen_range(0..32usize),
+            inner: arb_avss(rng),
+        },
+        1 => MpcMsg::Detect {
+            dealer: rng.gen_range(0..32usize),
+            inner: arb_detect(rng),
+        },
+        2 => MpcMsg::Core {
+            dealer: rng.gen_range(0..32usize),
+            inner: arb_aba(rng),
+        },
+        3 => MpcMsg::Open {
+            id: rng.gen(),
+            value: arb_fp(rng),
+        },
+        _ => MpcMsg::Output {
+            idx: rng.gen_range(0..64usize),
+            value: arb_fp(rng),
+        },
+    }
+}
+
+fn arb_ct(rng: &mut StdRng) -> CtMsg {
+    if rng.gen_range(0..8u32) == 0 {
+        CtMsg::Finished
+    } else {
+        CtMsg::Mpc(arb_mpc(rng))
+    }
+}
+
+fn arb_med(rng: &mut StdRng) -> MedMsg {
+    match rng.gen_range(0..4) {
+        0 => MedMsg::Input {
+            round: rng.gen_range(0..100u64),
+            value: fp_vec(rng, 4),
+        },
+        1 => MedMsg::Round {
+            round: rng.gen_range(0..100u64),
+            payload: fp_vec(rng, 4),
+        },
+        2 => MedMsg::Stop { action: rng.gen() },
+        _ => MedMsg::Gossip {
+            payload: fp_vec(rng, 4),
+        },
+    }
+}
+
+/// Wraps a generator function as a shim `Strategy`.
+struct Gen<T>(fn(&mut StdRng) -> T);
+
+impl<T> Strategy for Gen<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) {
+    let bytes = value.to_bytes();
+    let back = T::from_bytes(&bytes).expect("round trip decodes");
+    assert_eq!(&back, value);
+}
+
+proptest! {
+    #[test]
+    fn ct_msg_round_trips(msg in Gen(arb_ct)) {
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn med_msg_round_trips(msg in Gen(arb_med)) {
+        roundtrip(&msg);
+    }
+
+    #[test]
+    fn frames_round_trip(msg in Gen(arb_ct), session in 0u64..1000, src in 0usize..16, dst in 0usize..16) {
+        let frames = [
+            Frame::Attach { session, player: src },
+            Frame::Msg { session, src, dst, msg },
+            Frame::Outcome {
+                session,
+                summary: OutcomeSummary {
+                    termination: TerminationKind::Quiescent,
+                    moves: vec![Some(1), None, Some(3)],
+                    wills: vec![None, Some(9), None],
+                    halted: vec![true, false, true],
+                    messages_sent: 17,
+                    messages_delivered: 12,
+                    steps: 40,
+                },
+            },
+            Frame::Abort { session },
+        ];
+        for frame in frames {
+            let mut body = Vec::new();
+            frame.encode_body(&mut body);
+            let back = Frame::<CtMsg>::decode_body(&body).expect("frame decodes");
+            prop_assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error_not_panic(msg in Gen(arb_ct)) {
+        // Every strict prefix of a valid encoding must decode to a typed
+        // error — truncation can never panic or succeed (no encoding of a
+        // CtMsg is a prefix of another: tags and lengths come first).
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(CtMsg::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame-level edge cases over BOTH transport backends
+// ---------------------------------------------------------------------------
+
+/// Runs `spray` against a fresh framed connection on each backend and
+/// asserts the receiving side surfaces `expect`.
+fn assert_both_backends(spray: fn(&mut dyn std::io::Write), expect: &NetError) {
+    // In-memory pipe.
+    let (mut raw_tx, raw_rx) = mediator_net::pipe();
+    spray(&mut raw_tx);
+    drop(raw_tx);
+    let mut rx: FramedRx<_> = FramedRx::new(raw_rx);
+    let got: Result<Frame<CtMsg>, NetError> = rx.recv();
+    assert_eq!(got.unwrap_err(), *expect, "mem backend");
+
+    // TCP loopback (ephemeral port: sandbox/CI-safe).
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind 127.0.0.1:0");
+    let addr = listener.local_addr().expect("local addr");
+    let client = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        spray(&mut stream);
+        // Drop: closes the socket, ending the stream where the spray ended.
+    });
+    let (stream, _) = listener.accept().expect("accept");
+    let mut rx: FramedRx<_> = FramedRx::new(stream);
+    let got: Result<Frame<CtMsg>, NetError> = rx.recv();
+    assert_eq!(got.unwrap_err(), *expect, "tcp backend");
+    client.join().expect("client thread");
+}
+
+#[test]
+fn truncated_frame_is_a_typed_error_on_both_backends() {
+    // A frame announcing 100 body bytes, stream dropped after 3.
+    assert_both_backends(
+        |w| {
+            w.write_all(&100u32.to_le_bytes()).unwrap();
+            w.write_all(&[WIRE_VERSION, 1, 7]).unwrap();
+        },
+        &NetError::Disconnected,
+    );
+}
+
+#[test]
+fn mid_prefix_drop_is_a_typed_error_on_both_backends() {
+    // The stream dies inside the 4-byte length prefix itself.
+    assert_both_backends(
+        |w| {
+            w.write_all(&[9u8, 0]).unwrap();
+        },
+        &NetError::Disconnected,
+    );
+}
+
+#[test]
+fn clean_close_at_frame_boundary_is_closed_on_both_backends() {
+    assert_both_backends(|_| {}, &NetError::Closed);
+}
+
+#[test]
+fn unknown_version_byte_is_a_typed_error_on_both_backends() {
+    assert_both_backends(
+        |w| {
+            let body = [99u8, 1]; // version 99
+            w.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+            w.write_all(&body).unwrap();
+        },
+        &NetError::Codec(CodecError::UnknownVersion(99)),
+    );
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_reading_on_both_backends() {
+    assert_both_backends(
+        |w| {
+            w.write_all(&(MAX_FRAME_LEN + 1).to_le_bytes()).unwrap();
+            // No body at all: the announcement alone must be refused.
+        },
+        &NetError::Codec(CodecError::LengthOverrun {
+            announced: u64::from(MAX_FRAME_LEN) + 1,
+            remaining: MAX_FRAME_LEN as usize,
+        }),
+    );
+}
+
+#[test]
+fn unknown_frame_tag_is_a_typed_error_on_both_backends() {
+    assert_both_backends(
+        |w| {
+            let body = [WIRE_VERSION, 200u8];
+            w.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+            w.write_all(&body).unwrap();
+        },
+        &NetError::Codec(CodecError::UnknownTag {
+            what: "Frame",
+            tag: 200,
+        }),
+    );
+}
+
+#[test]
+fn trailing_garbage_inside_a_frame_is_a_typed_error_on_both_backends() {
+    assert_both_backends(
+        |w| {
+            let mut body = Vec::new();
+            Frame::<CtMsg>::Abort { session: 3 }.encode_body(&mut body);
+            body.push(0xAB); // one byte the decoder must refuse to ignore
+            w.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+            w.write_all(&body).unwrap();
+        },
+        &NetError::Codec(CodecError::TrailingBytes { extra: 1 }),
+    );
+}
+
+#[test]
+fn connecting_to_a_closed_mem_hub_fails_fast() {
+    // TCP refuses a dead port; the mem hub must not park the connector on
+    // a queue nobody will ever accept from.
+    let hub = MemTransport::new();
+    let listener = hub.listener();
+    mediator_net::Listener::<CtMsg>::closer(&listener)();
+    let (_tx, mut rx) = hub.connect::<CtMsg>();
+    assert_eq!(rx.recv().unwrap_err(), NetError::Closed);
+}
+
+#[test]
+fn frames_survive_both_backends_intact() {
+    // A positive control for the shared framing: one frame each way over
+    // the in-memory hub and over a real socket pair.
+    let frame = Frame::Msg {
+        session: 9,
+        src: 1,
+        dst: 4,
+        msg: CtMsg::Finished,
+    };
+
+    let hub = MemTransport::new();
+    let mut listener = hub.listener();
+    let (mut client_tx, _client_rx) = hub.connect::<CtMsg>();
+    client_tx.send(&frame).expect("send over mem");
+    let (_srv_tx, mut srv_rx) =
+        mediator_net::Listener::<CtMsg>::accept(&mut listener).expect("accept mem");
+    assert_eq!(srv_rx.recv().expect("frame over mem"), frame);
+
+    let mut transport = TcpTransport::bind_loopback().expect("bind");
+    let addr = transport.addr();
+    let sent = frame.clone();
+    let client = std::thread::spawn(move || {
+        let (mut tx, _rx) = TcpTransport::connect::<CtMsg>(addr).expect("connect");
+        tx.send(&sent).expect("send over tcp");
+    });
+    let (_tx, mut rx) = mediator_net::Listener::<CtMsg>::accept(&mut transport).expect("accept");
+    assert_eq!(rx.recv().expect("frame over tcp"), frame);
+    client.join().expect("client thread");
+}

@@ -1,0 +1,407 @@
+//! Session-vs-network parity, and the service runtime's failure modes.
+//!
+//! **What parity means here.** The network backend delivers messages in
+//! whatever order the wire returns them; that is a *delivery order* in the
+//! paper's adversary-scheduler sense, not the same schedule the in-process
+//! scheduler drew. Theorem 4.1 promises the protocol implements the
+//! mediator under **every** scheduler, so the right assertion is
+//! **outcome-kind agreement** — same termination kind, same resolved
+//! action profile — never byte-identical traces (which differ by design:
+//! the wire hop re-sequences every message). DESIGN.md §9 spells out the
+//! distinction; these tests pin it.
+
+use mediator_circuits::catalog;
+use mediator_core::cheap_talk::CtMsg;
+use mediator_core::scenario::{CheapTalkPlan, MediatorPlan, Scenario, SessionPlan};
+use mediator_field::Fp;
+use mediator_net::{
+    run_over_mem, Client, DeliveryOrder, Frame, MemTransport, NetError, NetPlan, RejectReason,
+    Service, ServiceConfig,
+};
+use mediator_sim::{Outcome, SchedulerKind, TerminationKind};
+use std::time::Duration;
+
+fn majority_plan(n: usize) -> CheapTalkPlan {
+    Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; n])
+        .build()
+        .expect("n = 5 > 4k+4t = 4")
+}
+
+fn mediator_plan(n: usize) -> MediatorPlan {
+    Scenario::mediator(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; n])
+        .build()
+        .expect("tolerance fine")
+}
+
+/// Outcome-kind agreement: termination kind and resolved profile.
+fn assert_outcome_parity(local: &Outcome, networked: &Outcome, players: usize, label: &str) {
+    assert_eq!(
+        networked.termination, local.termination,
+        "{label}: termination kind"
+    );
+    let defaults = vec![0; local.moves.len()];
+    assert_eq!(
+        networked.resolve_default(&defaults)[..players],
+        local.resolve_default(&defaults)[..players],
+        "{label}: resolved action profile"
+    );
+}
+
+#[test]
+fn cheap_talk_over_mem_matches_in_process_outcome_kinds() {
+    let n = 5;
+    let plan = majority_plan(n);
+    for seed in 0..3 {
+        let local = plan.run_with(&SchedulerKind::Random, seed);
+        assert_eq!(local.termination, TerminationKind::Quiescent);
+        let networked = plan
+            .run_over_mem(&SchedulerKind::Random, seed)
+            .expect("networked run completes");
+        assert_outcome_parity(&local, &networked, n, &format!("mem seed {seed}"));
+        // The networked run moved every protocol message over the wire.
+        assert!(networked.messages_sent >= local.messages_sent);
+    }
+}
+
+#[test]
+fn cheap_talk_over_tcp_matches_in_process_outcome_kinds() {
+    let n = 5;
+    let plan = majority_plan(n);
+    for seed in [0u64, 9] {
+        let local = plan.run_with(&SchedulerKind::Fifo, seed);
+        let networked = plan
+            .run_over_tcp(&SchedulerKind::Fifo, seed)
+            .expect("tcp loopback run completes");
+        assert_outcome_parity(&local, &networked, n, &format!("tcp seed {seed}"));
+    }
+}
+
+#[test]
+fn shuffled_delivery_is_just_another_scheduler() {
+    // The service's own reorder buffer on top of the transport's raced
+    // arrivals: still a valid delivery order, still the same outcome.
+    let n = 5;
+    let plan = majority_plan(n);
+    let local = plan.run_with(&SchedulerKind::Random, 4);
+    let cfg = ServiceConfig {
+        delivery: DeliveryOrder::Shuffled {
+            seed: 0xC0FFEE,
+            depth: 8,
+        },
+        ..ServiceConfig::default()
+    };
+    let networked = run_over_mem(&plan, &SchedulerKind::Random, 4, cfg).expect("shuffled run");
+    assert_outcome_parity(&local, &networked, n, "shuffled");
+}
+
+#[test]
+fn mediator_game_over_mem_matches_in_process_outcome_kinds() {
+    // The mediator itself (process n) gets a relay too: its STOP batch
+    // travels the wire like any player message.
+    let n = 5;
+    let plan = mediator_plan(n);
+    for seed in 0..3 {
+        let local = plan.run_with(&SchedulerKind::Random, seed);
+        let networked = plan
+            .run_over_mem(&SchedulerKind::Random, seed)
+            .expect("networked mediator game completes");
+        assert_outcome_parity(&local, &networked, n, &format!("mediator seed {seed}"));
+    }
+}
+
+#[test]
+fn budget_exhaustion_travels_the_wire() {
+    // A starved step budget terminates the networked run with the same
+    // kind the in-process run reports.
+    let plan = majority_plan(5).max_steps(40);
+    let local = plan.run_with(&SchedulerKind::Fifo, 1);
+    assert_eq!(local.termination, TerminationKind::BudgetExhausted);
+    let networked = plan
+        .run_over_mem(&SchedulerKind::Fifo, 1)
+        .expect("networked run still yields an outcome");
+    assert_eq!(networked.termination, TerminationKind::BudgetExhausted);
+}
+
+#[test]
+fn run_many_drives_concurrent_sessions_to_the_same_profile() {
+    let n = 5;
+    let sessions = 8u64;
+    let plan = majority_plan(n);
+    let hub = MemTransport::new();
+    let service = Service::start(Box::new(hub.listener()));
+
+    // Relays connect first; the attach grace window absorbs the race with
+    // run_many's host loop.
+    let relays: Vec<_> = (0..sessions)
+        .flat_map(|sid| (0..n).map(move |player| (sid, player)))
+        .map(|(sid, player)| {
+            let mut client = Client::<CtMsg>::mem(&hub);
+            std::thread::spawn(move || {
+                client.attach(sid, player).expect("attach");
+                client.relay().expect("relay")
+            })
+        })
+        .collect();
+
+    let results = service.run_many(
+        &plan,
+        (0..sessions).map(|sid| (sid, SchedulerKind::Random, sid)),
+    );
+    assert_eq!(results.len(), sessions as usize);
+    let local = plan.run_with(&SchedulerKind::Random, 0);
+    for (sid, result) in results {
+        let outcome = result.unwrap_or_else(|e| panic!("session {sid}: {e}"));
+        assert_outcome_parity(&local, &outcome, n, &format!("session {sid}"));
+    }
+    for relay in relays {
+        let summary = relay.join().expect("relay thread");
+        assert_eq!(summary.termination, TerminationKind::Quiescent);
+        assert_eq!(&summary.moves[..n], &vec![Some(1); n][..]);
+    }
+    service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Failure modes: every stall has a typed owner
+// ---------------------------------------------------------------------------
+
+fn quick_cfg() -> ServiceConfig {
+    ServiceConfig {
+        idle_timeout: Duration::from_secs(5),
+        attach_timeout: Duration::from_millis(400),
+        attach_grace: Duration::from_millis(100),
+        delivery: DeliveryOrder::Arrival,
+    }
+}
+
+#[test]
+fn attaching_to_an_unknown_session_is_rejected() {
+    let hub = MemTransport::new();
+    let service = Service::<mediator_core::cheap_talk::CtMsg>::with_config(
+        Box::new(hub.listener()),
+        quick_cfg(),
+    );
+    let mut client = Client::<CtMsg>::mem(&hub);
+    client.attach(404, 0).expect("send attach");
+    assert_eq!(
+        client.relay(),
+        Err(NetError::Rejected {
+            session: 404,
+            reason: RejectReason::UnknownSession
+        })
+    );
+    service.shutdown();
+}
+
+#[test]
+fn double_attach_and_out_of_range_are_rejected() {
+    let plan = majority_plan(5);
+    let hub = MemTransport::new();
+    let service = Service::with_config(Box::new(hub.listener()), quick_cfg());
+    let handle = plan.serve(&service, 7, SchedulerKind::Fifo, 0);
+
+    let mut first = plan.connect_mem(&hub);
+    first.attach(7, 0).expect("attach");
+    let mut second = plan.connect_mem(&hub);
+    second.attach(7, 0).expect("attach");
+    assert_eq!(
+        second.relay(),
+        Err(NetError::Rejected {
+            session: 7,
+            reason: RejectReason::PlayerTaken
+        })
+    );
+    let mut ninth = plan.connect_mem(&hub);
+    ninth.attach(7, 9).expect("attach");
+    assert_eq!(
+        ninth.relay(),
+        Err(NetError::Rejected {
+            session: 7,
+            reason: RejectReason::PlayerOutOfRange
+        })
+    );
+
+    // Only one of five players ever attached: the pump gives up with a
+    // typed attach timeout, and the attached relay is told via Abort.
+    assert_eq!(
+        handle.outcome().expect_err("attach barrier must time out"),
+        NetError::AttachTimeout {
+            session: 7,
+            attached: 1,
+            expected: 5
+        }
+    );
+    assert_eq!(first.relay(), Err(NetError::Aborted { session: 7 }));
+    service.shutdown();
+}
+
+#[test]
+fn improvised_in_range_frames_cannot_fake_quiescence() {
+    // A connection that never attached sends well-formed, in-range Msg
+    // frames mid-run (honest mediator-game players ignore gossip, so the
+    // injections are observationally inert). Before per-route `returned`
+    // gating, each forged frame consumed a shipped frame's in-flight
+    // slot and could terminate the run early with a forged-quiescent
+    // outcome; now the accounting only trusts dst's own relay.
+    let n = 5;
+    let plan = mediator_plan(n);
+    let hub = MemTransport::new();
+    let service = Service::start(Box::new(hub.listener()));
+    let handle = plan.serve(&service, 21, SchedulerKind::Random, 1);
+
+    let relays: Vec<_> = (0..plan.processes())
+        .map(|player| {
+            let mut client = plan.connect_mem(&hub);
+            std::thread::spawn(move || {
+                client.attach(21, player).expect("attach");
+                client.relay()
+            })
+        })
+        .collect();
+    let mut attacker = plan.connect_mem(&hub);
+    for _ in 0..32 {
+        attacker
+            .send(&Frame::Msg {
+                session: 21,
+                src: 1,
+                dst: 3,
+                msg: mediator_core::MedMsg::Gossip { payload: vec![] },
+            })
+            .expect("forged frame accepted onto the wire");
+    }
+    drop(attacker);
+
+    let outcome = handle.outcome().expect("run completes despite forgeries");
+    let local = plan.run_with(&SchedulerKind::Random, 1);
+    assert_outcome_parity(&local, &outcome, n, "forged gossip");
+    for relay in relays {
+        assert!(relay.join().expect("relay thread").is_ok());
+    }
+    service.shutdown();
+}
+
+#[test]
+fn forged_out_of_range_msg_is_rejected_not_a_panic() {
+    // A hostile-but-well-formed Msg frame naming a process outside the
+    // session's world must bounce at the routing layer — reaching
+    // World::inject would panic the pump and hang every relay.
+    let plan = majority_plan(5);
+    let hub = MemTransport::new();
+    let service = Service::with_config(Box::new(hub.listener()), quick_cfg());
+    let handle = plan.serve(&service, 5, SchedulerKind::Fifo, 0);
+
+    let mut attacker = plan.connect_mem(&hub);
+    attacker
+        .send(&Frame::Msg {
+            session: 5,
+            src: 999,
+            dst: 0,
+            msg: CtMsg::Finished,
+        })
+        .expect("send forged frame");
+    assert_eq!(
+        attacker.relay(),
+        Err(NetError::Rejected {
+            session: 5,
+            reason: RejectReason::PlayerOutOfRange
+        })
+    );
+    // The pump survived the forgery: it fails for the mundane reason
+    // (nobody attached), not by panicking into ServiceGone.
+    assert_eq!(
+        handle.outcome().expect_err("no players ever attached"),
+        NetError::AttachTimeout {
+            session: 5,
+            attached: 0,
+            expected: 5
+        }
+    );
+    service.shutdown();
+}
+
+#[test]
+fn duplicate_session_id_is_refused_without_clobbering_the_live_one() {
+    let plan = majority_plan(5);
+    let hub = MemTransport::new();
+    let service = Service::with_config(Box::new(hub.listener()), quick_cfg());
+    let first = plan.serve(&service, 11, SchedulerKind::Fifo, 0);
+    let second = plan.serve(&service, 11, SchedulerKind::Fifo, 1);
+    assert_eq!(
+        second.outcome().expect_err("id is taken"),
+        NetError::SessionIdTaken { session: 11 }
+    );
+    // The live session's routing was not clobbered: it still accepts an
+    // attach and then fails for its own mundane reason (barrier timeout),
+    // not ServiceGone.
+    let mut relay = plan.connect_mem(&hub);
+    relay.attach(11, 0).expect("attach to the live session");
+    assert_eq!(
+        first.outcome().expect_err("only one of five attached"),
+        NetError::AttachTimeout {
+            session: 11,
+            attached: 1,
+            expected: 5
+        }
+    );
+    assert_eq!(relay.relay(), Err(NetError::Aborted { session: 11 }));
+    service.shutdown();
+}
+
+#[test]
+fn vanishing_relay_with_traffic_in_flight_is_fatal_and_typed() {
+    let plan = majority_plan(5);
+    let hub = MemTransport::new();
+    let service = Service::with_config(
+        Box::new(hub.listener()),
+        ServiceConfig {
+            idle_timeout: Duration::from_secs(20),
+            ..quick_cfg()
+        },
+    );
+    let handle = plan.serve(&service, 3, SchedulerKind::Random, 2);
+
+    // Players 1..5 relay faithfully.
+    let relays: Vec<_> = (1..5)
+        .map(|player| {
+            let mut client = plan.connect_mem(&hub);
+            std::thread::spawn(move || {
+                client.attach(3, player).expect("attach");
+                client.relay()
+            })
+        })
+        .collect();
+    // Player 0's relay swallows one message and dies: that frame is in
+    // flight forever, so the pump must fail with the precise culprit.
+    let mut defector = plan.connect_mem(&hub);
+    defector.attach(3, 0).expect("attach");
+    loop {
+        match defector.recv().expect("a frame for player 0") {
+            Frame::Msg { .. } => break, // swallowed; now vanish
+            _ => continue,
+        }
+    }
+    drop(defector);
+
+    assert_eq!(
+        handle
+            .outcome()
+            .expect_err("a vanished relay must be fatal"),
+        NetError::PeerVanished {
+            session: 3,
+            player: 0
+        }
+    );
+    for relay in relays {
+        assert_eq!(
+            relay.join().expect("relay thread"),
+            Err(NetError::Aborted { session: 3 })
+        );
+    }
+    service.shutdown();
+}

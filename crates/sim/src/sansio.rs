@@ -15,7 +15,7 @@
 //! * [`route_batch`] — the single implementation of broadcast expansion;
 //! * [`SansIo`] — the trait a driveable state machine implements;
 //! * [`SansIoProcess`] — the generic adapter that wraps any [`SansIo`]
-//!   machine as a [`Process`], so the full [`World`](crate::World) — all
+//!   machine as a [`Process`], so the full [`World`] — all
 //!   schedulers, starvation bounds, traces, failure injection — can drive
 //!   the substrates that previously only ran under the toy `Net` driver;
 //! * [`Behavior`] / [`ByzantineProcess`] — byzantine players as processes,
@@ -42,7 +42,7 @@ use std::sync::Arc;
 /// once per destination — for a `Vec<Fp>`-bearing payload that used to be
 /// `n` deep copies per broadcast. Wrapping the heavy part of a message in
 /// `Payload` turns each of those clones into a refcount bump; the receiving
-/// state machine reads through [`Deref`] or takes ownership with
+/// state machine reads through `Deref` or takes ownership with
 /// [`Payload::into_inner`] (free when it holds the last reference, e.g.
 /// point-to-point messages). Comparisons forward to the payload value with
 /// a pointer-equality fast path, so wire types keep deriving

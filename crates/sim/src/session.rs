@@ -9,14 +9,18 @@
 //! produced for the same `(processes, scheduler, seed)` triple; the
 //! parity suites pin this.
 //!
-//! The session is the seam a future async/network backend attaches to:
-//! a transport thread calls [`Session::inject`] as packets arrive and
-//! [`Session::step`] as its event loop turns, with the scheduler reduced
-//! to a policy over locally-pending events.
+//! The session is the seam a network backend attaches to (see the
+//! `mediator-net` crate's `Service`): a transport pump calls
+//! [`Session::drain_outbox`] to carry freshly-sent messages onto real I/O,
+//! [`Session::inject`] as frames arrive, and [`Session::step`] as its
+//! event loop turns, with the scheduler reduced to a policy over
+//! locally-pending events.
+
+#![warn(missing_docs)]
 
 use crate::process::{Action, ProcessId};
 use crate::scheduler::{PendingView, Scheduler};
-use crate::world::{Outcome, TerminationKind, World};
+use crate::world::{Envelope, Outcome, TerminationKind, World};
 
 /// What one [`Session::step`] observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,14 +38,46 @@ impl SessionStatus {
     }
 }
 
+/// What [`Session::inject`] did with the message — the indicator a
+/// transport pump branches on: an injection that entered the plane
+/// ([`Injected::progressed`]) warrants an immediate [`Session::step`] to
+/// deliver it, while a no-op must *not* be stepped (stepping an empty
+/// plane would record a premature termination).
+#[must_use = "the pump must distinguish progress from no-ops (see Injected::progressed)"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injected {
+    /// The run was live; the message joined the pending plane.
+    Absorbed,
+    /// The run had quiesced or deadlocked; this injection re-opened it —
+    /// the next [`Session::step`] re-evaluates termination against the
+    /// refreshed plane.
+    Reopened,
+    /// The destination has already halted: the send is counted and traced
+    /// (the environment saw it), but nothing entered the plane, and a
+    /// terminated session stays terminated.
+    DeadOnArrival,
+    /// The step budget is exhausted. [`TerminationKind::BudgetExhausted`]
+    /// is final — the budget does not replenish, so the message can never
+    /// be delivered.
+    Spent,
+}
+
+impl Injected {
+    /// `true` when the message entered the plane (the run can progress).
+    pub fn progressed(self) -> bool {
+        matches!(self, Injected::Absorbed | Injected::Reopened)
+    }
+}
+
 /// A non-consuming driver over a [`World`]: `step` one event at a time,
-/// inspect `pending`, `inject` external messages, then `finish` into the
-/// ordinary [`Outcome`].
+/// inspect `pending`, `inject` external messages, drain the outbox onto a
+/// transport, then `finish` into the ordinary [`Outcome`].
 pub struct Session<M> {
     world: World<M>,
     scheduler: Box<dyn Scheduler>,
     max_steps: u64,
     done: Option<TerminationKind>,
+    id: Option<u64>,
 }
 
 impl<M> Session<M> {
@@ -54,7 +90,20 @@ impl<M> Session<M> {
             scheduler,
             max_steps,
             done: None,
+            id: None,
         }
+    }
+
+    /// Tags the session with the stable identifier a multi-session service
+    /// routes frames by (`(session-id, player-id)` addressing).
+    pub fn with_session_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// The routing identifier, if one was assigned.
+    pub fn session_id(&self) -> Option<u64> {
+        self.id
     }
 
     /// Dispatches one event (the scheduler's pick, or the starvation
@@ -120,19 +169,36 @@ impl<M> Session<M> {
     }
 
     /// Injects an external message from `src` to `dst` (see
-    /// [`World::inject`]). If the session had already quiesced or
-    /// deadlocked, the injection re-opens it — the next [`Session::step`]
+    /// [`World::inject`]) and reports what happened as a typed
+    /// [`Injected`] indicator. If the session had quiesced or deadlocked
+    /// and the message actually entered the plane, the injection re-opens
+    /// the run ([`Injected::Reopened`]) — the next [`Session::step`]
     /// re-evaluates termination against the refreshed plane. A
-    /// [`TerminationKind::BudgetExhausted`] verdict is final: the step
-    /// budget does not replenish.
-    pub fn inject(&mut self, src: ProcessId, dst: ProcessId, msg: M) {
-        self.world.inject(src, dst, msg);
-        if matches!(
-            self.done,
-            Some(TerminationKind::Quiescent) | Some(TerminationKind::Deadlock)
-        ) {
-            self.done = None;
+    /// [`TerminationKind::BudgetExhausted`] verdict is final
+    /// ([`Injected::Spent`]): the step budget does not replenish.
+    pub fn inject(&mut self, src: ProcessId, dst: ProcessId, msg: M) -> Injected {
+        let entered = self.world.inject(src, dst, msg);
+        match self.done {
+            Some(TerminationKind::BudgetExhausted) => Injected::Spent,
+            _ if !entered => Injected::DeadOnArrival,
+            Some(TerminationKind::Quiescent) | Some(TerminationKind::Deadlock) => {
+                self.done = None;
+                Injected::Reopened
+            }
+            None => Injected::Absorbed,
         }
+    }
+
+    /// Removes every in-flight *message* from the pending plane (start
+    /// signals stay put), returning the envelopes in plane order — the
+    /// non-consuming outbox drain a transport pump calls between steps:
+    /// drained messages travel over real I/O and re-enter the run at
+    /// arrival via [`Session::inject`]. See [`World::drain_messages`] for
+    /// the re-sequencing semantics (the wire hop makes each message a
+    /// fresh one-message batch, so the networked trace is one more
+    /// delivery order in the adversary-scheduler sense).
+    pub fn drain_outbox(&mut self) -> Vec<Envelope<M>> {
+        self.world.drain_messages()
     }
 
     /// Read access to the underlying world.
@@ -245,13 +311,108 @@ mod tests {
             TerminationKind::Deadlock,
             "nobody ever sends"
         );
-        // The external world delivers: the session comes back to life.
-        session.inject(0, 1, 77);
+        // The external world delivers: the session comes back to life, and
+        // the injection says so in its type.
+        assert_eq!(session.inject(0, 1, 77), Injected::Reopened);
         assert_eq!(session.step(), SessionStatus::Running);
         assert_eq!(session.moves()[1], Some(77));
         let out = session.finish();
         assert_eq!(out.moves[1], Some(77));
         assert_eq!(out.messages_sent, 1);
+    }
+
+    #[test]
+    fn inject_indicator_distinguishes_every_case() {
+        struct Waiter;
+        impl Process<u64> for Waiter {
+            fn on_start(&mut self, _ctx: &mut Ctx<u64>) {}
+            fn on_message(&mut self, _src: usize, msg: u64, ctx: &mut Ctx<u64>) {
+                ctx.make_move(msg);
+                ctx.halt();
+            }
+        }
+        let procs: Vec<Box<dyn Process<u64>>> =
+            vec![Box::new(Waiter), Box::new(Waiter), Box::new(Waiter)];
+        let mut session = Session::new(World::new(procs, 1), Box::new(FifoScheduler), 10_000);
+        // Live run: an injection is plain absorption.
+        assert_eq!(session.inject(0, 1, 5), Injected::Absorbed);
+        assert_eq!(
+            session.run_to_completion(),
+            TerminationKind::Deadlock,
+            "players 0 and 2 still wait"
+        );
+        // Player 1 halted on its move: dead on arrival, session stays done.
+        assert_eq!(session.inject(0, 1, 6), Injected::DeadOnArrival);
+        assert_eq!(
+            session.step(),
+            SessionStatus::Done(TerminationKind::Deadlock)
+        );
+        // Player 2 is live: the same injection re-opens the run.
+        assert_eq!(session.inject(0, 2, 7), Injected::Reopened);
+        assert_eq!(session.step(), SessionStatus::Running);
+        assert_eq!(session.moves()[2], Some(7));
+    }
+
+    #[test]
+    fn inject_into_exhausted_budget_is_spent() {
+        /// Ping-pongs forever.
+        struct PingPong;
+        impl Process<u64> for PingPong {
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.send(1 - ctx.me(), 0);
+            }
+            fn on_message(&mut self, src: usize, m: u64, ctx: &mut Ctx<u64>) {
+                ctx.send(src, m + 1);
+            }
+        }
+        let procs: Vec<Box<dyn Process<u64>>> = vec![Box::new(PingPong), Box::new(PingPong)];
+        let mut session = Session::new(World::new(procs, 2), Box::new(FifoScheduler), 50);
+        assert_eq!(
+            session.run_to_completion(),
+            TerminationKind::BudgetExhausted
+        );
+        assert_eq!(session.inject(0, 1, 9), Injected::Spent);
+        assert_eq!(
+            session.step(),
+            SessionStatus::Done(TerminationKind::BudgetExhausted),
+            "the verdict is final"
+        );
+    }
+
+    #[test]
+    fn drain_outbox_extracts_messages_but_not_start_signals() {
+        let mut session = Session::new(echo_world(3, 4), Box::new(FifoScheduler), 10_000);
+        // Nothing sent yet: only the three start signals are pending.
+        assert!(session.drain_outbox().is_empty());
+        assert_eq!(session.pending().len(), 3);
+        // The leader's start broadcasts to everyone; drain it off the plane.
+        session.step();
+        let drained = session.drain_outbox();
+        assert_eq!(drained.len(), 3);
+        for (d, env) in drained.iter().enumerate() {
+            assert_eq!((env.src, env.dst, env.msg), (0, d, 40 + d as u64));
+        }
+        // The two remaining start signals survived the drain, in order.
+        assert_eq!(session.pending().len(), 2);
+        assert!(session.pending().iter().all(|v| v.src.is_none()));
+        // Re-delivering the drained messages by hand completes the run with
+        // the same moves the in-process schedule produces.
+        for env in drained {
+            assert_eq!(
+                session.inject(env.src, env.dst, env.msg),
+                Injected::Absorbed
+            );
+        }
+        assert_eq!(session.run_to_completion(), TerminationKind::Quiescent);
+        assert_eq!(session.moves(), &[Some(40), Some(41), Some(42)]);
+    }
+
+    #[test]
+    fn session_id_plumbs_through() {
+        let session = Session::new(echo_world(2, 0), Box::new(FifoScheduler), 100);
+        assert_eq!(session.session_id(), None);
+        let session = session.with_session_id(77);
+        assert_eq!(session.session_id(), Some(77));
     }
 
     #[test]

@@ -131,6 +131,21 @@ enum Stored<M> {
     Msg(M),
 }
 
+/// One in-flight message extracted from the pending plane by
+/// [`World::drain_messages`]: the addressing a transport needs, with the
+/// plane metadata (batch, per-pair `k`, global seq) stripped — a drained
+/// message re-enters the run as a fresh one-message batch via
+/// [`World::inject`], so the old sequencing would be stale anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// The sending process.
+    pub src: ProcessId,
+    /// The addressed process.
+    pub dst: ProcessId,
+    /// The payload.
+    pub msg: M,
+}
+
 /// A deterministic asynchronous world: processes plus in-flight events.
 ///
 /// Determinism: one master seed derives one RNG per process and one for the
@@ -372,17 +387,54 @@ impl<M> World<M> {
     /// Injects a message from `src` to `dst` as if `src` had sent it in an
     /// activation of its own — the seam an external (network/async) backend
     /// attaches to. The event is traced, counted, and sequenced exactly
-    /// like an internal send ([`World::enqueue_send`] is the one shared
+    /// like an internal send (`World::enqueue_send` is the one shared
     /// implementation); it forms a one-message batch.
+    ///
+    /// Returns `true` if the message entered the pending plane, `false` if
+    /// `dst` had already halted (the send is counted and traced, but it is
+    /// dead on arrival — the same rule internal sends follow).
     ///
     /// # Panics
     ///
     /// Panics if `src` or `dst` is not a process of this world.
-    pub fn inject(&mut self, src: ProcessId, dst: ProcessId, msg: M) {
+    pub fn inject(&mut self, src: ProcessId, dst: ProcessId, msg: M) -> bool {
         assert!(src < self.procs.len(), "inject from unknown process {src}");
         let batch = self.next_batch;
         self.next_batch += 1;
+        let planned = !self.halted[dst];
         self.enqueue_send(src, dst, msg, batch);
+        planned
+    }
+
+    /// Removes every *message* event from the pending plane (start signals
+    /// stay put), returning the drained envelopes in plane order and
+    /// preserving the relative order of what remains.
+    ///
+    /// This is the outbox of a networked run: a transport backend drains
+    /// the messages the processes just sent, carries them over real I/O,
+    /// and re-delivers each one later via [`World::inject`]. The drained
+    /// events' plane metadata (batch, per-pair `k`, seq) is dropped — the
+    /// wire hop re-sequences each message as a fresh one-message batch, so
+    /// a networked trace differs from the in-process trace of the same
+    /// seed in exactly the way a different scheduler's would.
+    pub fn drain_messages(&mut self) -> Vec<Envelope<M>> {
+        let views = std::mem::take(&mut self.views);
+        let stores = std::mem::take(&mut self.stores);
+        let mut drained = Vec::new();
+        for (view, store) in views.into_iter().zip(stores) {
+            match store {
+                Stored::Start => {
+                    self.views.push(view);
+                    self.stores.push(Stored::Start);
+                }
+                Stored::Msg(msg) => drained.push(Envelope {
+                    src: view.src.expect("message event has a source"),
+                    dst: view.dst,
+                    msg,
+                }),
+            }
+        }
+        drained
     }
 
     /// The one send-sequencing protocol: per-pair `k`, global `seq`, Sent

@@ -146,7 +146,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use std::ops::{Range, RangeInclusive};
 
-    /// A size specification for [`vec`]: a fixed size or a range of sizes.
+    /// A size specification for [`vec()`]: a fixed size or a range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -181,7 +181,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -16,7 +16,10 @@
 //! * [`mpc`] — the robust (`n > 4f`) and ε (`n > 3f`) MPC engines;
 //! * [`core`] — mediator games, the four cheap-talk transforms
 //!   (Theorems 4.1/4.2/4.4/4.5), Lemma 6.8, the deviation library and the
-//!   experiment machinery.
+//!   experiment machinery;
+//! * [`net`] — the transport plane: versioned wire codec, in-memory and
+//!   TCP-loopback transports, and the networked multi-session `Service`
+//!   runtime over the `Session` seam (DESIGN.md §9).
 //!
 //! # Quickstart
 //!
@@ -54,6 +57,7 @@ pub use mediator_core as core;
 pub use mediator_field as field;
 pub use mediator_games as games;
 pub use mediator_mpc as mpc;
+pub use mediator_net as net;
 pub use mediator_sim as sim;
 pub use mediator_vss as vss;
 
@@ -70,12 +74,16 @@ pub mod prelude {
     pub use mediator_core::implement::{compare_run_sets, ImplementationReport};
     pub use mediator_core::scenario::{
         Batch, CheapTalkPlan, DeviantFactory, MediatorPlan, Resolve, RunRecord, RunSet, Scenario,
-        ScenarioError, Theorem, DEFAULT_CHEAP_TALK_STARVATION_BOUND,
+        ScenarioError, SessionPlan, Theorem, DEFAULT_CHEAP_TALK_STARVATION_BOUND,
         DEFAULT_MEDIATOR_STARVATION_BOUND,
     };
     pub use mediator_core::{CheapTalkSpec, CtVariant, MediatorGameSpec};
     pub use mediator_field::Fp;
     pub use mediator_games::dist::OutcomeDist;
     pub use mediator_games::library;
+    pub use mediator_net::{
+        Client, DeliveryOrder, MemTransport, NetError, NetPlan, OutcomeSummary, Service,
+        ServiceConfig, SessionHandle, TcpTransport,
+    };
     pub use mediator_sim::{Outcome, SchedulerKind, Session, SessionStatus, TerminationKind};
 }
