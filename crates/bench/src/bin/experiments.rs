@@ -43,7 +43,10 @@ fn main() {
             .find_map(|a| a.strip_prefix("--out="))
             .unwrap_or("BENCH.json")
             .to_string();
-        bench_trajectory(&label, &out, fast);
+        // `--net` restricts the run to the transport-plane workloads (the
+        // reactor's tracked set) — what the CI bench-smoke job exercises.
+        let net_only = args.iter().any(|a| a == "--net");
+        bench_trajectory(&label, &out, fast, net_only);
         return;
     }
 
@@ -105,8 +108,10 @@ fn main() {
 /// `--bench` — the tracked BENCH.json trajectory: hot-path workloads timed
 /// as median ns/op with their message/step counters, appended under the
 /// given label. These are the numbers every perf PR must beat; see the
-/// "Performance" section of DESIGN.md for how to read them.
-fn bench_trajectory(label: &str, out: &str, fast: bool) {
+/// "Performance" section of DESIGN.md for how to read them. With
+/// `net_only` the run is restricted to the transport-plane set (the CI
+/// bench-smoke's `--bench --net` invocation).
+fn bench_trajectory(label: &str, out: &str, fast: bool, net_only: bool) {
     use mediator_bcast::RbcPeer;
     use mediator_bench::measure::{append_bench_json, median_ns_per_op, Metric};
     use mediator_field::{rs, Poly};
@@ -120,113 +125,119 @@ fn bench_trajectory(label: &str, out: &str, fast: bool) {
     let (wsamples, ksamples, kiters) = if fast { (11, 11, 20) } else { (31, 31, 50) };
     let mut metrics = Vec::new();
 
-    // The World macro-bench: one full reliable-broadcast execution, n = 16,
-    // uniformly random scheduler, fixed seed — the event-plane hot loop.
-    let run_rbc = |kind: &SchedulerKind, seed: u64| {
-        let machines: Vec<RbcPeer<u64>> = (0..16)
-            .map(|me| RbcPeer::new(16, 5, 0, me, (me == 0).then_some(42)))
-            .collect();
-        run_machines(machines, Vec::new(), kind.build().as_mut(), seed, 2_000_000)
-    };
-    for kind in [SchedulerKind::Random, SchedulerKind::Lifo] {
-        let (outcome, _) = run_rbc(&kind, 7);
-        let name = format!("world_rbc_n16_{}", format!("{kind:?}").to_lowercase());
-        let ns = median_ns_per_op(wsamples, 1, || run_rbc(&kind, 7));
-        metrics.push(
-            Metric::new(name, ns)
-                .with("messages_sent", outcome.messages_sent)
-                .with("steps", outcome.steps),
-        );
-    }
-
-    // The algebra kernel: Berlekamp–Welch robust decoding at the Theorem 4.1
-    // working point (degree-2f product opening, f = 4 errors).
-    let mut rng = StdRng::seed_from_u64(5);
-    for (deg, e, n) in [(4usize, 4usize, 17usize), (2, 2, 9)] {
-        let p = Poly::random_with_secret(Fp::new(5), deg, &mut rng);
-        let mut pts: Vec<(Fp, Fp)> = (1..=n as u64)
-            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
-            .collect();
-        for pt in pts.iter_mut().take(e) {
-            pt.1 += Fp::new(99);
-        }
-        let ns = median_ns_per_op(ksamples, kiters, || {
-            rs::decode_robust(&pts, deg, e).expect("decodes")
-        });
-        metrics.push(Metric::new(format!("rs_decode_deg{deg}_e{e}_n{n}"), ns));
-    }
-
-    // Online error correction: the per-opening reconstruction loop (shares
-    // dribbling in, f of them corrupt).
-    let p = Poly::random_with_secret(Fp::new(77), 8, &mut rng);
-    let shares: Vec<Fp> = (1..=17u64).map(|i| p.eval(Fp::new(i))).collect();
-    let ns = median_ns_per_op(ksamples, kiters.min(10), || {
-        let mut oec = OecState::new(8, 4);
-        for (i, &v) in shares.iter().enumerate() {
-            let v = if i < 4 { v + Fp::new(13) } else { v };
-            if oec.add_share(i, v).is_some() {
-                break;
-            }
-        }
-        oec.secret().expect("reconstructs")
-    });
-    metrics.push(Metric::new("oec_reconstruct_deg8_f4_n17", ns));
-
-    // Exact interpolation over the share grid (the crash-path kernel).
-    let pts: Vec<(Fp, Fp)> = (1..=9u64)
-        .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
-        .collect();
-    let ns = median_ns_per_op(ksamples, kiters, || Poly::interpolate(&pts));
-    metrics.push(Metric::new("poly_interpolate_n9", ns));
-
-    // AVSS dealing (vector of 8 secrets, n = 9, f = 2).
-    let ns = median_ns_per_op(ksamples, kiters.min(20), || {
-        let mut rng = StdRng::seed_from_u64(3);
-        let secrets: Vec<Fp> = (0..8).map(|_| Fp::random(&mut rng)).collect();
-        avss::deal(&secrets, 9, 2, &mut rng)
-    });
-    metrics.push(Metric::new("avss_deal_n9_f2_vec8", ns));
-
-    // End-to-end cheap talk (Theorem 4.1 majority, n = 5): everything at
-    // once — event plane, engine, kernels.
     let spec = majority_spec_robust(5, 1, 0);
     let inputs = ones_inputs(5);
-    let ct = run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, 1);
-    let ns = median_ns_per_op(wsamples.min(15), 1, || {
-        run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, 1)
-    });
-    metrics.push(
-        Metric::new("cheap_talk_majority_n5_random", ns)
-            .with("messages_sent", ct.messages_sent)
-            .with("steps", ct.steps),
-    );
-
-    // The Scenario batch runner: the same workload as a 64-seed sweep,
-    // sequential versus fanned across the worker pool — the number the
-    // multi-threaded `run_batch` plan has to justify. On a single-core
-    // host the mt run would be the 1t run under another name, so the
-    // metric is *skipped* there (recording it would pollute the
-    // trajectory with an indistinguishable duplicate); multi-core hosts
-    // record the worker count alongside the timing.
     let plan = plan_for(&spec, &inputs);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let bsamples = if fast { 3 } else { 7 };
-    let ns_1t = median_ns_per_op(bsamples, 1, || {
-        plan.seeds(0..64).threads(1).run_batch().len()
-    });
-    metrics.push(Metric::new("batch_cheap_talk_n5_64seeds_1t", ns_1t).with("threads", 1));
-    if workers > 1 {
-        let ns_mt = median_ns_per_op(bsamples, 1, || plan.seeds(0..64).run_batch().len());
+
+    if !net_only {
+        // The World macro-bench: one full reliable-broadcast execution,
+        // n = 16, uniformly random scheduler, fixed seed — the event-plane
+        // hot loop.
+        let run_rbc = |kind: &SchedulerKind, seed: u64| {
+            let machines: Vec<RbcPeer<u64>> = (0..16)
+                .map(|me| RbcPeer::new(16, 5, 0, me, (me == 0).then_some(42)))
+                .collect();
+            run_machines(machines, Vec::new(), kind.build().as_mut(), seed, 2_000_000)
+        };
+        for kind in [SchedulerKind::Random, SchedulerKind::Lifo] {
+            let (outcome, _) = run_rbc(&kind, 7);
+            let name = format!("world_rbc_n16_{}", format!("{kind:?}").to_lowercase());
+            let ns = median_ns_per_op(wsamples, 1, || run_rbc(&kind, 7));
+            metrics.push(
+                Metric::new(name, ns)
+                    .with("messages_sent", outcome.messages_sent)
+                    .with("steps", outcome.steps),
+            );
+        }
+
+        // The algebra kernel: Berlekamp–Welch robust decoding at the
+        // Theorem 4.1 working point (degree-2f product opening, f = 4
+        // errors).
+        let mut rng = StdRng::seed_from_u64(5);
+        for (deg, e, n) in [(4usize, 4usize, 17usize), (2, 2, 9)] {
+            let p = Poly::random_with_secret(Fp::new(5), deg, &mut rng);
+            let mut pts: Vec<(Fp, Fp)> = (1..=n as u64)
+                .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+                .collect();
+            for pt in pts.iter_mut().take(e) {
+                pt.1 += Fp::new(99);
+            }
+            let ns = median_ns_per_op(ksamples, kiters, || {
+                rs::decode_robust(&pts, deg, e).expect("decodes")
+            });
+            metrics.push(Metric::new(format!("rs_decode_deg{deg}_e{e}_n{n}"), ns));
+        }
+
+        // Online error correction: the per-opening reconstruction loop
+        // (shares dribbling in, f of them corrupt).
+        let p = Poly::random_with_secret(Fp::new(77), 8, &mut rng);
+        let shares: Vec<Fp> = (1..=17u64).map(|i| p.eval(Fp::new(i))).collect();
+        let ns = median_ns_per_op(ksamples, kiters.min(10), || {
+            let mut oec = OecState::new(8, 4);
+            for (i, &v) in shares.iter().enumerate() {
+                let v = if i < 4 { v + Fp::new(13) } else { v };
+                if oec.add_share(i, v).is_some() {
+                    break;
+                }
+            }
+            oec.secret().expect("reconstructs")
+        });
+        metrics.push(Metric::new("oec_reconstruct_deg8_f4_n17", ns));
+
+        // Exact interpolation over the share grid (the crash-path kernel).
+        let pts: Vec<(Fp, Fp)> = (1..=9u64)
+            .map(|i| (Fp::new(i), p.eval(Fp::new(i))))
+            .collect();
+        let ns = median_ns_per_op(ksamples, kiters, || Poly::interpolate(&pts));
+        metrics.push(Metric::new("poly_interpolate_n9", ns));
+
+        // AVSS dealing (vector of 8 secrets, n = 9, f = 2).
+        let ns = median_ns_per_op(ksamples, kiters.min(20), || {
+            let mut rng = StdRng::seed_from_u64(3);
+            let secrets: Vec<Fp> = (0..8).map(|_| Fp::random(&mut rng)).collect();
+            avss::deal(&secrets, 9, 2, &mut rng)
+        });
+        metrics.push(Metric::new("avss_deal_n9_f2_vec8", ns));
+
+        // End-to-end cheap talk (Theorem 4.1 majority, n = 5): everything
+        // at once — event plane, engine, kernels.
+        let ct = run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, 1);
+        let ns = median_ns_per_op(wsamples.min(15), 1, || {
+            run_with_deviant(&spec, &inputs, None, &SchedulerKind::Random, 1)
+        });
         metrics.push(
-            Metric::new("batch_cheap_talk_n5_64seeds_mt", ns_mt).with("threads", workers as u64),
+            Metric::new("cheap_talk_majority_n5_random", ns)
+                .with("messages_sent", ct.messages_sent)
+                .with("steps", ct.steps),
         );
-    } else {
-        println!(
-            "batch_cheap_talk_n5_64seeds_mt   skipped: single-core host \
-             (available_parallelism = 1, the mt run would duplicate the 1t metric)"
-        );
+
+        // The Scenario batch runner: the same workload as a 64-seed sweep,
+        // sequential versus fanned across the worker pool — the number the
+        // multi-threaded `run_batch` plan has to justify. On a single-core
+        // host the mt run would be the 1t run under another name, so the
+        // metric is *skipped* there (recording it would pollute the
+        // trajectory with an indistinguishable duplicate); multi-core
+        // hosts record the worker count alongside the timing.
+        let bsamples = if fast { 3 } else { 7 };
+        let ns_1t = median_ns_per_op(bsamples, 1, || {
+            plan.seeds(0..64).threads(1).run_batch().len()
+        });
+        metrics.push(Metric::new("batch_cheap_talk_n5_64seeds_1t", ns_1t).with("threads", 1));
+        if workers > 1 {
+            let ns_mt = median_ns_per_op(bsamples, 1, || plan.seeds(0..64).run_batch().len());
+            metrics.push(
+                Metric::new("batch_cheap_talk_n5_64seeds_mt", ns_mt)
+                    .with("threads", workers as u64),
+            );
+        } else {
+            println!(
+                "batch_cheap_talk_n5_64seeds_mt   skipped: single-core host \
+                 (available_parallelism = 1, the mt run would duplicate the 1t metric)"
+            );
+        }
     }
 
     // The transport plane (DESIGN.md §9): one full cheap-talk execution
@@ -234,7 +245,7 @@ fn bench_trajectory(label: &str, out: &str, fast: bool) {
     // (one per player), every protocol message framed, shipped, echoed,
     // and re-injected. The price of the kernel, measured.
     use mediator_core::cheap_talk::CtMsg;
-    use mediator_net::{Client, MemTransport, NetPlan, Service};
+    use mediator_net::{bulk_relay, Client, MemTransport, NetPlan, Service};
     let nsamples = if fast { 3 } else { 5 };
     let net_out = plan
         .run_over_tcp(&SchedulerKind::Random, 1)
@@ -250,10 +261,13 @@ fn bench_trajectory(label: &str, out: &str, fast: bool) {
             .with("steps", net_out.steps),
     );
 
-    // The multi-session service: 64 concurrent cheap-talk sessions
-    // multiplexed over the in-memory transport, one pump worker thread
-    // per session, one relay connection per session claiming all five
-    // players — ~128k frames through the full framing stack.
+    // The multi-session service at the PR 5 shape: 64 concurrent
+    // cheap-talk sessions over the in-memory transport, one relay
+    // connection (and client thread) per session claiming all five
+    // players — ~128k frames through the full framing stack. The workload
+    // is kept byte-for-byte comparable with the seed entry; what changed
+    // underneath is the engine (one reactor thread instead of a pump
+    // thread + reader thread per session/connection).
     let svc_samples = if fast { 2 } else { 3 };
     let sessions = 64u64;
     let ns = median_ns_per_op(svc_samples, 1, || {
@@ -282,7 +296,55 @@ fn bench_trajectory(label: &str, out: &str, fast: bool) {
         }
         service.shutdown();
     });
-    metrics.push(Metric::new("service_64sessions", ns).with("sessions", sessions));
+    metrics.push(
+        Metric::new("service_64sessions", ns)
+            .with("sessions", sessions)
+            .with("hw_threads", workers as u64),
+    );
+
+    // The reactor at scale: `sessions` concurrent cheap-talk runs, ALL of
+    // them on the single reactor thread, with ONE bulk-relay connection
+    // (and one client thread) carrying every player of every session —
+    // the whole benchmark is two OS threads of service+client work, so it
+    // measures one core driving thousands of interleaved sessions rather
+    // than the kernel's thread scheduler.
+    let mut svc_scale = |sessions: u64, name: &str, samples: usize| {
+        let ns = median_ns_per_op(samples, 1, || {
+            let hub = MemTransport::new();
+            let service = Service::start(Box::new(hub.listener()));
+            let handles: Vec<_> = (0..sessions)
+                .map(|sid| service.host_plan(sid, &plan, SchedulerKind::Random, sid))
+                .collect();
+            let attaches: Vec<(u64, usize)> = (0..sessions)
+                .flat_map(|sid| (0..5usize).map(move |p| (sid, p)))
+                .collect();
+            let (tx, rx) = hub.connect_raw();
+            let relay = std::thread::spawn(move || {
+                bulk_relay(rx, tx, &attaches, sessions as usize).expect("bulk relay")
+            });
+            for handle in handles {
+                let sid = handle.id();
+                handle
+                    .outcome()
+                    .unwrap_or_else(|e| panic!("session {sid}: {e}"));
+            }
+            assert_eq!(relay.join().expect("relay thread").len(), sessions as usize);
+            service.shutdown();
+        });
+        metrics.push(
+            Metric::new(name, ns)
+                .with("sessions", sessions)
+                .with("service_threads", 2)
+                .with("relay_conns", 1)
+                .with("hw_threads", workers as u64),
+        );
+    };
+    svc_scale(1024, "service_1024sessions", if fast { 1 } else { 2 });
+    if !fast {
+        svc_scale(4096, "service_4096sessions_mem", 1);
+    } else {
+        println!("service_4096sessions_mem         skipped: --fast (full mode only)");
+    }
 
     for m in &metrics {
         println!("{:<34} {:>12} ns/op", m.name, m.ns_per_op);

@@ -12,9 +12,10 @@
 //!
 //! [`Session`]: mediator_sim::Session
 
-use crate::frame::{Frame, NetError, OutcomeSummary, SessionId};
+use crate::frame::{Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN};
 use crate::transport::{ConnPair, FrameRx, FrameTx, MemTransport, TcpTransport};
-use crate::wire::Wire;
+use crate::wire::{CodecError, Reader, Wire, WIRE_VERSION};
+use std::io::{Read, Write};
 use std::net::SocketAddr;
 
 /// A framed client connection to a [`Service`](crate::Service).
@@ -75,5 +76,126 @@ impl<M: Wire + 'static> Client<M> {
     /// Sends one frame (for hand-rolled clients and tests).
     pub fn send(&mut self, frame: &Frame<M>) -> Result<(), NetError> {
         self.tx.send(frame)
+    }
+}
+
+/// A multi-session relay over one raw byte stream, blind to the message
+/// type: attaches every `(session, player)` in `attaches`, then echoes
+/// `Msg` frames **without decoding them** — the length prefix and body
+/// bytes bounce back verbatim, which is the relay's "content-blind
+/// network leg" role made literal (only the service reads protocol
+/// messages; the network never needs to). Returns once `expected`
+/// sessions have announced outcomes.
+///
+/// This is the client the multi-thousand-session benches run: one
+/// connection, one thread, relaying for every player of every session, so
+/// client-side thread count stays O(1) while the service hosts thousands
+/// of concurrent sessions.
+pub fn bulk_relay<R: Read, W: Write>(
+    mut rx: R,
+    mut tx: W,
+    attaches: &[(SessionId, usize)],
+    expected: usize,
+) -> Result<Vec<(SessionId, OutcomeSummary)>, NetError> {
+    // Hand-encoded Attach frames: body = version, tag 0, session, player.
+    let mut wbuf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    for &(session, player) in attaches {
+        let start = wbuf.len();
+        wbuf.extend_from_slice(&[0u8; 4]);
+        wbuf.push(WIRE_VERSION);
+        wbuf.push(0);
+        session.encode(&mut wbuf);
+        player.encode(&mut wbuf);
+        let len = (wbuf.len() - start - 4) as u32;
+        wbuf[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    }
+    tx.write_all(&wbuf)?;
+    tx.flush()?;
+    wbuf.clear();
+
+    let mut outcomes: Vec<(SessionId, OutcomeSummary)> = Vec::with_capacity(expected);
+    let mut rbuf: Vec<u8> = Vec::with_capacity(256 * 1024);
+    let mut chunk = vec![0u8; 256 * 1024];
+    loop {
+        let n = loop {
+            match rx.read(&mut chunk) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        };
+        if n == 0 {
+            return Err(if rbuf.is_empty() {
+                NetError::Closed
+            } else {
+                NetError::Disconnected
+            });
+        }
+        rbuf.extend_from_slice(&chunk[..n]);
+
+        // Parse every complete frame; echo `Msg` bodies untouched.
+        let mut off = 0usize;
+        while rbuf.len() - off >= 4 {
+            let len = u32::from_le_bytes([rbuf[off], rbuf[off + 1], rbuf[off + 2], rbuf[off + 3]]);
+            if len > MAX_FRAME_LEN {
+                return Err(CodecError::LengthOverrun {
+                    announced: u64::from(len),
+                    remaining: MAX_FRAME_LEN as usize,
+                }
+                .into());
+            }
+            let total = 4 + len as usize;
+            if rbuf.len() - off < total {
+                break;
+            }
+            let body = &rbuf[off + 4..off + total];
+            if body.len() < 2 {
+                return Err(CodecError::Truncated.into());
+            }
+            if body[0] != WIRE_VERSION {
+                return Err(CodecError::UnknownVersion(body[0]).into());
+            }
+            match body[1] {
+                // The network leg: bounce the frame back, bytes and all.
+                1 => wbuf.extend_from_slice(&rbuf[off..off + total]),
+                2 => {
+                    let mut r = Reader::new(&body[2..]);
+                    let session = u64::decode(&mut r)?;
+                    let summary = OutcomeSummary::decode(&mut r)?;
+                    r.finish()?;
+                    outcomes.push((session, summary));
+                }
+                3 => {
+                    let mut r = Reader::new(&body[2..]);
+                    let session = u64::decode(&mut r)?;
+                    let reason = RejectReason::decode(&mut r)?;
+                    r.finish()?;
+                    return Err(NetError::Rejected { session, reason });
+                }
+                4 => {
+                    let mut r = Reader::new(&body[2..]);
+                    let session = u64::decode(&mut r)?;
+                    r.finish()?;
+                    return Err(NetError::Aborted { session });
+                }
+                0 => {} // `Attach` never travels service → client; tolerate it.
+                tag => return Err(CodecError::UnknownTag { what: "Frame", tag }.into()),
+            }
+            off += total;
+        }
+        if off > 0 {
+            rbuf.copy_within(off.., 0);
+            rbuf.truncate(rbuf.len() - off);
+        }
+        if !wbuf.is_empty() {
+            // One write + flush per read burst: echo batching is most of
+            // the bulk relay's syscall win over per-frame clients.
+            tx.write_all(&wbuf)?;
+            tx.flush()?;
+            wbuf.clear();
+        }
+        if outcomes.len() >= expected {
+            return Ok(outcomes);
+        }
     }
 }

@@ -15,11 +15,16 @@
 //! * [`transport`] — two interchangeable backends under the same framing
 //!   code: in-memory duplex pipes ([`MemTransport`]) and TCP loopback
 //!   ([`TcpTransport`], always port 0 — sandbox/CI-safe).
-//! * [`service`] — the multi-session [`Service`] runtime: accepts
-//!   connections, routes frames by `(session-id, player-id)`, pumps
-//!   session outboxes onto the wire and injects arrivals back, detects
-//!   quiescence, surfaces outcomes ([`Service::run_many`] drives N
-//!   sessions concurrently).
+//! * [`readiness`] — the reactor's event plumbing: a hand-rolled
+//!   `poll(2)` wrapper (no `mio` in the container), a [`Waker`] bridging
+//!   fd- and notify-based sources, and the [`NbListener`] accept seam.
+//! * [`service`] — the multi-session [`Service`] runtime: **one reactor
+//!   thread** accepts connections, routes frames by `(session-id,
+//!   player-id)`, drives every hosted session as a state machine over
+//!   per-connection read/write buffers, detects quiescence, surfaces
+//!   outcomes ([`Service::run_many`] drives thousands of sessions
+//!   concurrently on one core; `Service::host_threaded` keeps the PR 5
+//!   thread-per-session engine for differential testing).
 //! * [`client`] — the thin relay endpoint ([`Client`]): the network leg
 //!   of every message addressed to its players.
 //! * [`plan`] — [`NetPlan`]: `.serve(…)` / `.connect_tcp(…)` /
@@ -63,18 +68,21 @@
 pub mod client;
 pub mod frame;
 pub mod plan;
+mod reactor;
+pub mod readiness;
 pub mod service;
 pub mod transport;
 pub mod wire;
 
-pub use client::Client;
+pub use client::{bulk_relay, Client};
 pub use frame::{Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN};
 pub use plan::NetPlan;
+pub use readiness::{ConnIo, NbListener, Poller, TryRead, TryWrite, Waker, ACCEPT_TOKEN};
 pub use service::{
     run_over_mem, run_over_tcp, DeliveryOrder, Service, ServiceConfig, SessionHandle,
 };
 pub use transport::{
-    duplex, pipe, ConnPair, FrameRx, FrameTx, FramedRx, FramedTx, Listener, MemTransport,
-    PipeReader, PipeWriter, TcpTransport,
+    duplex, pipe, ConnPair, FrameRx, FrameTx, FramedRx, FramedTx, MemTransport, PipeReader,
+    PipeWriter, TcpTransport,
 };
 pub use wire::{CodecError, Wire, WIRE_VERSION};

@@ -1,18 +1,19 @@
 //! The multi-session service runtime over the [`Session`] seam.
 //!
-//! A [`Service`] accepts connections on a [`Listener`], routes frames by
-//! `(session-id, player-id)`, and hosts any number of concurrent
-//! [`Session`]s, each driven by its own pump thread:
+//! A [`Service`] accepts connections on an [`NbListener`] and hosts any
+//! number of concurrent [`Session`]s — all of it driven by **one reactor
+//! thread** (see the `reactor` module):
 //!
 //! ```text
-//!             ┌────────────────────── Service ──────────────────────┐
-//!   accept ──▶│ reader threads ──frames──▶ per-session inbox        │
-//!             │                                    │                │
-//!             │   pump (one thread per session):   ▼                │
-//!             │     drain_outbox ──▶ ship Msg frames to relays      │
-//!             │     inbound Msg  ──▶ inject + step (deliver)        │
-//!             │     plane empty ∧ nothing in flight ──▶ finish()    │
-//!             └─────────────────────────────────────────────────────┘
+//!             ┌────────────────────── Service ─────────────────────────┐
+//!   accept ──▶│            one reactor thread (readiness loop):        │
+//!             │  conn read buffers ──frames──▶ per-session event queue │
+//!             │                                       │                │
+//!             │  session state machines:              ▼                │
+//!             │    drain_outbox ──▶ conn write buffers (flushed when   │
+//!             │    inbound Msg  ──▶ inject + step      writable)       │
+//!             │    plane empty ∧ nothing in flight ──▶ finish()        │
+//!             └────────────────────────────────────────────────────────┘
 //! ```
 //!
 //! **The network is the scheduler.** In-process, a scheduler picks which
@@ -20,7 +21,7 @@
 //! drained off the plane, shipped to the relay connection attached for its
 //! destination, and re-injected when the wire hands it back — so delivery
 //! order is whatever order the network returns frames in (TCP interleaving
-//! across connections, thread scheduling, or the service's own
+//! across connections, the reactor's dispatch order, or the service's own
 //! [`DeliveryOrder::Shuffled`] buffer). That is *exactly* an adversarial
 //! scheduler in the paper's §2 model: a message-pattern-visible adversary
 //! choosing delivery order, constrained to eventual delivery. The paper's
@@ -33,17 +34,25 @@
 //! frame is still on the wire (`in_flight == 0`) **and** the delivery
 //! buffer is empty. Only then is the [`Session`]'s own termination verdict
 //! (quiescent / deadlocked / budget-exhausted) trustworthy.
+//!
+//! [`Service::host`] drives the session on the reactor; the PR 5
+//! thread-per-session engine survives as [`Service::host_threaded`], kept
+//! deliberately so the differential suite can run the same plans through
+//! both drivers and pin outcome-kind and failure-owner agreement.
 
 use crate::client::Client;
-use crate::frame::{Frame, NetError, OutcomeSummary, RejectReason, SessionId};
-use crate::transport::{ConnPair, FrameRx, FrameTx, Listener, MemTransport, TcpTransport};
+use crate::frame::{Frame, NetError, OutcomeSummary, SessionId};
+use crate::reactor::{Command, ConnOut, Reactor, CMD_TOKEN};
+use crate::readiness::{NbListener, Poller, Waker};
+use crate::transport::{ConnPair, MemTransport, TcpTransport};
 use crate::wire::Wire;
 use mediator_core::scenario::SessionPlan;
 use mediator_sim::SchedulerKind;
 use mediator_sim::{Envelope, Outcome, Session, SessionStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -76,8 +85,9 @@ pub struct ServiceConfig {
     pub idle_timeout: Duration,
     /// How long a hosted session waits for all players to attach.
     pub attach_timeout: Duration,
-    /// How long a reader waits for a not-yet-hosted session named by an
-    /// `Attach` before rejecting (smooths the host/connect race).
+    /// How long an `Attach` naming a not-yet-hosted session is parked
+    /// before rejecting (smooths the host/connect race; wakeup-driven,
+    /// so a host arriving mid-grace attaches immediately).
     pub attach_grace: Duration,
     /// The pump's delivery policy.
     pub delivery: DeliveryOrder,
@@ -94,8 +104,8 @@ impl Default for ServiceConfig {
     }
 }
 
-/// What reader threads feed a session pump.
-enum Inbound<M> {
+/// What the reactor feeds a session driver.
+pub(crate) enum Inbound<M> {
     /// A relay attached for `player`.
     Attached { player: usize },
     /// A frame arrived for `dst`. `returned` is true iff it came in on
@@ -113,43 +123,37 @@ enum Inbound<M> {
     PeerGone { player: usize },
 }
 
-type Route<M> = Arc<Mutex<Box<dyn FrameTx<M>>>>;
-
-/// Per-hosted-session routing state, shared between the reader threads
-/// (which fill it) and the pump (which ships through it).
-struct SessionEntry<M> {
-    inbox: Sender<Inbound<M>>,
-    routes: Mutex<HashMap<usize, Route<M>>>,
-    expected: usize,
+/// What drives a hosted session: the reactor's state machine, or a
+/// dedicated pump thread (the PR 5 engine, kept for differential runs).
+pub(crate) enum Driver<M> {
+    Threaded(Sender<Inbound<M>>),
+    Reactor,
 }
 
-struct Shared<M> {
-    sessions: Mutex<HashMap<SessionId, Arc<SessionEntry<M>>>>,
-    cfg: ServiceConfig,
+/// Per-hosted-session routing state, shared between the reactor (which
+/// fills it as relays attach) and whatever drives the session (which
+/// ships through it).
+pub(crate) struct SessionEntry<M> {
+    pub(crate) driver: Driver<M>,
+    pub(crate) routes: Mutex<HashMap<usize, Arc<ConnOut>>>,
+    pub(crate) expected: usize,
+}
+
+pub(crate) struct Shared<M> {
+    pub(crate) sessions: Mutex<HashMap<SessionId, Arc<SessionEntry<M>>>>,
+    pub(crate) cfg: ServiceConfig,
+    /// Threaded pumps still running (the reactor drains only once this
+    /// hits zero *and* their final frames are flushed).
+    pub(crate) live_pumps: AtomicUsize,
 }
 
 impl<M> Shared<M> {
-    fn lookup(&self, id: SessionId) -> Option<Arc<SessionEntry<M>>> {
+    pub(crate) fn lookup(&self, id: SessionId) -> Option<Arc<SessionEntry<M>>> {
         self.sessions
             .lock()
             .expect("sessions poisoned")
             .get(&id)
             .cloned()
-    }
-
-    /// Looks a session up, waiting out the host/connect race for up to
-    /// `attach_grace`.
-    fn lookup_wait(&self, id: SessionId) -> Option<Arc<SessionEntry<M>>> {
-        let deadline = Instant::now() + self.cfg.attach_grace;
-        loop {
-            if let Some(entry) = self.lookup(id) {
-                return Some(entry);
-            }
-            if Instant::now() >= deadline {
-                return None;
-            }
-            thread::sleep(Duration::from_millis(5));
-        }
     }
 }
 
@@ -165,86 +169,121 @@ impl SessionHandle {
         self.id
     }
 
-    /// Blocks until the pump finishes and yields the networked
+    /// Blocks until the session finishes and yields the networked
     /// [`Outcome`] (or the transport failure that ended the run).
     pub fn outcome(self) -> Result<Outcome, NetError> {
         self.rx.recv().unwrap_or(Err(NetError::ServiceGone))
     }
 }
 
-/// A networked multi-session runtime: one accept loop, one reader thread
-/// per connection, one pump thread per hosted session.
+/// A networked multi-session runtime: one reactor thread servicing every
+/// connection and every hosted session (thousands of concurrent sessions
+/// on one core — see the `service_*` BENCH entries).
 pub struct Service<M: Wire + Send + 'static> {
     shared: Arc<Shared<M>>,
-    accept: Option<JoinHandle<()>>,
-    closer: Box<dyn Fn() + Send + Sync>,
+    commands: Arc<Mutex<VecDeque<Command<M>>>>,
+    waker: Arc<Waker>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl<M: Wire + Send + 'static> Service<M> {
     /// Starts a service over `listener` with default tunables.
-    pub fn start(listener: Box<dyn Listener<M>>) -> Self {
+    pub fn start(listener: Box<dyn NbListener>) -> Self {
         Self::with_config(listener, ServiceConfig::default())
     }
 
     /// Starts a service with explicit tunables.
-    pub fn with_config(mut listener: Box<dyn Listener<M>>, cfg: ServiceConfig) -> Self {
+    pub fn with_config(listener: Box<dyn NbListener>, cfg: ServiceConfig) -> Self {
         let shared = Arc::new(Shared {
             sessions: Mutex::new(HashMap::new()),
             cfg,
+            live_pumps: AtomicUsize::new(0),
         });
-        let closer = listener.closer();
-        let accept_shared = Arc::clone(&shared);
-        let accept = thread::spawn(move || {
-            while let Ok((tx, rx)) = listener.accept() {
-                let shared = Arc::clone(&accept_shared);
-                thread::spawn(move || reader_loop(shared, tx, rx));
-            }
-        });
+        let commands: Arc<Mutex<VecDeque<Command<M>>>> = Arc::new(Mutex::new(VecDeque::new()));
+        let poller = Poller::new().expect("reactor poller");
+        let waker = poller.waker();
+        // The `Reactor` is built *inside* the thread: hosted `Session`s
+        // (and the processes within) are created and consumed there, so
+        // they never cross a thread boundary and need not be `Send`.
+        let reactor_shared = Arc::clone(&shared);
+        let reactor_commands = Arc::clone(&commands);
+        let handle = thread::Builder::new()
+            .name("mediator-reactor".into())
+            .spawn(move || Reactor::new(reactor_shared, listener, poller, reactor_commands).run())
+            .expect("spawn reactor");
         Service {
             shared,
-            accept: Some(accept),
-            closer,
+            commands,
+            waker,
+            reactor: Some(handle),
         }
     }
 
-    /// Hosts a session under `id`. The session is opened by `open` *inside*
-    /// the pump's worker thread (processes need not be `Send` — the same
-    /// rule the batch runner follows), which is why the world size
-    /// (`processes`) travels separately: routing must know how many players
-    /// have to attach before the pump starts. Returns immediately; the
-    /// pump waits for all `processes` relays, runs the networked game, and
-    /// delivers the result through the [`SessionHandle`].
+    /// Hosts a session under `id`, driven by the reactor's event loop (no
+    /// dedicated thread). `open` runs *on the reactor thread* (processes
+    /// need not be `Send` — the same rule the batch runner follows), which
+    /// is why the world size (`processes`) travels separately: routing
+    /// must know how many players have to attach before the run starts.
+    /// Returns immediately; the session waits for all `processes` relays,
+    /// runs the networked game, and delivers the result through the
+    /// [`SessionHandle`].
     pub fn host(
         &self,
         id: SessionId,
         processes: usize,
         open: impl FnOnce() -> Session<M> + Send + 'static,
     ) -> SessionHandle {
-        let (inbox_tx, inbox_rx) = mpsc::channel();
+        let (result_tx, result_rx) = mpsc::channel();
         let entry = Arc::new(SessionEntry {
-            inbox: inbox_tx,
+            driver: Driver::Reactor,
             routes: Mutex::new(HashMap::new()),
             expected: processes,
         });
-        let (result_tx, result_rx) = mpsc::channel();
-        {
-            let mut sessions = self.shared.sessions.lock().expect("sessions poisoned");
-            // Refuse to clobber a live session: re-registering an id would
-            // orphan the running pump's routes, and that pump's eventual
-            // unregister would then kill the newcomer's routing.
-            if sessions.contains_key(&id) {
-                let _ = result_tx.send(Err(NetError::SessionIdTaken { session: id }));
-                return SessionHandle { id, rx: result_rx };
-            }
-            sessions.insert(id, Arc::clone(&entry));
+        if !self.register(id, &entry, &result_tx) {
+            return SessionHandle { id, rx: result_rx };
         }
+        self.commands
+            .lock()
+            .expect("commands poisoned")
+            .push_back(Command::Host {
+                id,
+                entry,
+                open: Box::new(open),
+                result: result_tx,
+            });
+        self.waker.wake(CMD_TOKEN);
+        SessionHandle { id, rx: result_rx }
+    }
+
+    /// Hosts a session on a dedicated pump thread — the PR 5 engine,
+    /// kept so the differential suite can pin reactor/threaded agreement
+    /// on outcome kinds and failure owners. Same contract as
+    /// [`Service::host`].
+    pub fn host_threaded(
+        &self,
+        id: SessionId,
+        processes: usize,
+        open: impl FnOnce() -> Session<M> + Send + 'static,
+    ) -> SessionHandle {
+        let (result_tx, result_rx) = mpsc::channel();
+        let (inbox_tx, inbox_rx) = mpsc::channel();
+        let entry = Arc::new(SessionEntry {
+            driver: Driver::Threaded(inbox_tx),
+            routes: Mutex::new(HashMap::new()),
+            expected: processes,
+        });
+        if !self.register(id, &entry, &result_tx) {
+            return SessionHandle { id, rx: result_rx };
+        }
+        self.shared.live_pumps.fetch_add(1, Ordering::AcqRel);
         let shared = Arc::clone(&self.shared);
+        let waker = Arc::clone(&self.waker);
         thread::spawn(move || {
             let cfg = shared.cfg.clone();
             let result = pump(id, open().with_session_id(id), &entry, inbox_rx, &cfg);
             // Unregister first: frames for a finished session are dead.
-            // Guarded by identity (belt to the duplicate-id braces above):
-            // only this pump's own entry may be removed.
+            // Guarded by identity (belt to the duplicate-id braces in
+            // `register`): only this pump's own entry may be removed.
             {
                 let mut sessions = shared.sessions.lock().expect("sessions poisoned");
                 if sessions
@@ -270,8 +309,32 @@ impl<M: Wire + Send + 'static> Service<M> {
                 Err(_) => broadcast(&entry, &Frame::Abort { session: id }),
             }
             let _ = result_tx.send(result);
+            // The decrement is last: the reactor must not drain while
+            // this pump's final frames are still unqueued.
+            shared.live_pumps.fetch_sub(1, Ordering::AcqRel);
+            waker.wake(CMD_TOKEN);
         });
+        // Wake the reactor so attaches parked for this id resolve now.
+        self.waker.wake(CMD_TOKEN);
         SessionHandle { id, rx: result_rx }
+    }
+
+    /// Registers `entry` under `id`, refusing to clobber a live session
+    /// (re-registering an id would orphan the running driver's routes).
+    /// Wakes the reactor so parked attaches for `id` resolve immediately.
+    fn register(
+        &self,
+        id: SessionId,
+        entry: &Arc<SessionEntry<M>>,
+        result_tx: &Sender<Result<Outcome, NetError>>,
+    ) -> bool {
+        let mut sessions = self.shared.sessions.lock().expect("sessions poisoned");
+        if sessions.contains_key(&id) {
+            let _ = result_tx.send(Err(NetError::SessionIdTaken { session: id }));
+            return false;
+        }
+        sessions.insert(id, Arc::clone(entry));
+        true
     }
 
     /// Hosts one `(scheduler, seed)` cell of `plan` under `id` — the
@@ -291,11 +354,11 @@ impl<M: Wire + Send + 'static> Service<M> {
     }
 
     /// The batch entry: hosts every `(id, scheduler, seed)` cell of `plan`
-    /// concurrently — one pump worker thread per session, all live at once,
-    /// frames multiplexed by `(session-id, player-id)` — and blocks until
-    /// every session has an outcome. All cells are registered before this
-    /// call blocks, so relay clients may attach at any point (including
-    /// before the call, thanks to the attach grace window).
+    /// concurrently — all sessions live at once on the reactor, frames
+    /// multiplexed by `(session-id, player-id)` — and blocks until every
+    /// session has an outcome. All cells are registered before this call
+    /// blocks, so relay clients may attach at any point (including before
+    /// the call, thanks to the attach grace window).
     pub fn run_many<P>(
         &self,
         plan: &P,
@@ -311,125 +374,35 @@ impl<M: Wire + Send + 'static> Service<M> {
         handles.into_iter().map(|h| (h.id(), h.outcome())).collect()
     }
 
-    /// Stops accepting connections. Hosted sessions already pumping run to
-    /// their outcomes; reader threads exit as their connections close.
+    /// Stops accepting connections and waits for the reactor to drain:
+    /// hosted sessions run to their outcomes and final frames are flushed
+    /// before this returns.
     pub fn shutdown(mut self) {
-        self.close_accept();
+        self.stop();
     }
 
-    fn close_accept(&mut self) {
-        (self.closer)();
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+    fn stop(&mut self) {
+        if let Some(handle) = self.reactor.take() {
+            self.commands
+                .lock()
+                .expect("commands poisoned")
+                .push_back(Command::Drain);
+            self.waker.wake(CMD_TOKEN);
+            let _ = handle.join();
         }
     }
 }
 
 impl<M: Wire + Send + 'static> Drop for Service<M> {
     fn drop(&mut self) {
-        self.close_accept();
+        self.stop();
     }
 }
 
-/// One connection's read loop: routes `Attach`/`Msg` frames into session
-/// entries; on any stream error (orderly close, mid-frame drop, garbage
-/// bytes) the connection is abandoned and its routes are torn down.
-fn reader_loop<M: Wire + Send + 'static>(
-    shared: Arc<Shared<M>>,
-    tx: Box<dyn FrameTx<M>>,
-    mut rx: Box<dyn FrameRx<M>>,
-) {
-    let tx: Route<M> = Arc::new(Mutex::new(tx));
-    let mut claimed: Vec<(SessionId, usize)> = Vec::new();
-    loop {
-        match rx.recv() {
-            Ok(Frame::Attach { session, player }) => {
-                let reason = match shared.lookup_wait(session) {
-                    None => Some(RejectReason::UnknownSession),
-                    Some(entry) if player >= entry.expected => Some(RejectReason::PlayerOutOfRange),
-                    Some(entry) => {
-                        let mut routes = entry.routes.lock().expect("routes poisoned");
-                        if let std::collections::hash_map::Entry::Vacant(slot) =
-                            routes.entry(player)
-                        {
-                            slot.insert(Arc::clone(&tx));
-                            drop(routes);
-                            claimed.push((session, player));
-                            let _ = entry.inbox.send(Inbound::Attached { player });
-                            None
-                        } else {
-                            Some(RejectReason::PlayerTaken)
-                        }
-                    }
-                };
-                if let Some(reason) = reason {
-                    let _ = tx
-                        .lock()
-                        .expect("route poisoned")
-                        .send(&Frame::Reject { session, reason });
-                }
-            }
-            Ok(Frame::Msg {
-                session,
-                src,
-                dst,
-                msg,
-            }) => {
-                // A frame for an unknown session is a late echo for a run
-                // that already finished: dead, by design.
-                if let Some(entry) = shared.lookup(session) {
-                    // Range-check the addressing before it reaches the
-                    // pump: `World::inject` panics on unknown process
-                    // ids, and a hostile-but-well-formed frame must
-                    // never panic a hosted session. (In-range forged
-                    // frames stay deliverable on purpose — a byzantine
-                    // network is an experiment, not a crash.)
-                    if src >= entry.expected || dst >= entry.expected {
-                        let _ = tx.lock().expect("route poisoned").send(&Frame::Reject {
-                            session,
-                            reason: RejectReason::PlayerOutOfRange,
-                        });
-                    } else {
-                        // Only `dst`'s own relay can complete a shipped
-                        // frame's network leg (see `Inbound::Msg`).
-                        let returned = entry
-                            .routes
-                            .lock()
-                            .expect("routes poisoned")
-                            .get(&dst)
-                            .map(|r| Arc::ptr_eq(r, &tx))
-                            .unwrap_or(false);
-                        let _ = entry.inbox.send(Inbound::Msg {
-                            src,
-                            dst,
-                            msg,
-                            returned,
-                        });
-                    }
-                }
-            }
-            // `Outcome`/`Reject` only travel service → client.
-            Ok(_) => {}
-            Err(_) => break,
-        }
-    }
-    for (sid, player) in claimed {
-        if let Some(entry) = shared.lookup(sid) {
-            let mut routes = entry.routes.lock().expect("routes poisoned");
-            let mine = routes
-                .get(&player)
-                .map(|r| Arc::ptr_eq(r, &tx))
-                .unwrap_or(false);
-            if mine {
-                routes.remove(&player);
-                drop(routes);
-                let _ = entry.inbox.send(Inbound::PeerGone { player });
-            }
-        }
-    }
-}
-
-fn ship<M: Wire>(
+/// Ships one drained envelope to its destination's relay. A missing route
+/// or a dead connection is [`NetError::PeerVanished`] — the typed owner
+/// the failure-mode suites assert on.
+pub(crate) fn ship<M: Wire>(
     entry: &SessionEntry<M>,
     sid: SessionId,
     env: Envelope<M>,
@@ -451,48 +424,49 @@ fn ship<M: Wire>(
         dst,
         msg: env.msg,
     };
-    let sent = route.lock().expect("route poisoned").send(&frame);
-    sent.map_err(|_| NetError::PeerVanished {
-        session: sid,
-        player: dst,
-    })
+    route
+        .send_frame(&frame)
+        .map_err(|_| NetError::PeerVanished {
+            session: sid,
+            player: dst,
+        })
 }
 
 /// Sends `frame` once per distinct connection attached to the session (a
 /// relay may serve several players of one session over one conn).
-fn broadcast<M: Wire>(entry: &SessionEntry<M>, frame: &Frame<M>) {
-    let routes: Vec<Route<M>> = entry
+pub(crate) fn broadcast<M: Wire>(entry: &SessionEntry<M>, frame: &Frame<M>) {
+    let routes: Vec<Arc<ConnOut>> = entry
         .routes
         .lock()
         .expect("routes poisoned")
         .values()
         .cloned()
         .collect();
-    let mut announced: Vec<*const Mutex<Box<dyn FrameTx<M>>>> = Vec::new();
+    let mut announced: Vec<*const ConnOut> = Vec::new();
     for route in routes {
         let ptr = Arc::as_ptr(&route);
         if announced.contains(&ptr) {
             continue;
         }
         announced.push(ptr);
-        let _ = route.lock().expect("route poisoned").send(frame);
+        let _ = route.send_frame(frame);
     }
 }
 
 /// The pump's wire-side bookkeeping: the delivery buffer, the shipped-but-
 /// not-returned counts (total and per destination, kept in lockstep), and
 /// the vanished-relay ledger. One `absorb` is the single place an inbound
-/// event touches the accounting — the non-blocking and blocking receive
-/// arms of the pump both call it, so they cannot drift apart.
-struct FlightState<M> {
-    held: Vec<Envelope<M>>,
-    in_flight: u64,
-    in_flight_by: Vec<u64>,
-    gone: Vec<usize>,
+/// event touches the accounting — the reactor state machine and the
+/// threaded pump both call it, so they cannot drift apart.
+pub(crate) struct FlightState<M> {
+    pub(crate) held: Vec<Envelope<M>>,
+    pub(crate) in_flight: u64,
+    pub(crate) in_flight_by: Vec<u64>,
+    pub(crate) gone: Vec<usize>,
 }
 
 impl<M> FlightState<M> {
-    fn new(expected: usize) -> Self {
+    pub(crate) fn new(expected: usize) -> Self {
         FlightState {
             held: Vec::new(),
             in_flight: 0,
@@ -501,14 +475,14 @@ impl<M> FlightState<M> {
         }
     }
 
-    fn shipped(&mut self, dst: usize) {
+    pub(crate) fn shipped(&mut self, dst: usize) {
         if let Some(slot) = self.in_flight_by.get_mut(dst) {
             *slot += 1;
             self.in_flight += 1;
         }
     }
 
-    fn absorb(&mut self, inbound: Inbound<M>) {
+    pub(crate) fn absorb(&mut self, inbound: Inbound<M>) {
         match inbound {
             Inbound::Msg {
                 src,
@@ -536,7 +510,7 @@ impl<M> FlightState<M> {
     }
 
     /// A vanished relay whose player still owes shipped frames, if any.
-    fn fatal_gone(&self) -> Option<usize> {
+    pub(crate) fn fatal_gone(&self) -> Option<usize> {
         self.gone
             .iter()
             .copied()
@@ -544,8 +518,10 @@ impl<M> FlightState<M> {
     }
 }
 
-/// The per-session engine: barrier on attaches, then the
-/// ship / deliver / quiesce loop described in the module docs.
+/// The thread-per-session engine ([`Service::host_threaded`]): barrier on
+/// attaches, then the ship / deliver / quiesce loop described in the
+/// module docs. The reactor's `SessionSm` mirrors this arm for arm — the
+/// differential suite pins the correspondence.
 fn pump<M: Wire + Send>(
     sid: SessionId,
     mut session: Session<M>,

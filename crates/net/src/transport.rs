@@ -8,21 +8,23 @@
 //!   `Mutex<VecDeque<u8>>` + condvar with hangup-aware ends; a connection
 //!   is two pipes crossed. Used by tests and the multi-session benches:
 //!   the full service stack runs, minus the kernel.
-//! * **TCP loopback** ([`TcpTransport`]) — `std::net` sockets with
-//!   thread-per-connection I/O pumps. Binds port 0 (ephemeral) so suites
-//!   are sandbox/CI-safe; `TCP_NODELAY` is set because protocol frames
-//!   are small and latency-bound.
+//! * **TCP loopback** ([`TcpTransport`]) — `std::net` sockets. Binds
+//!   port 0 (ephemeral) so suites are sandbox/CI-safe; `TCP_NODELAY` is
+//!   set because protocol frames are small and latency-bound.
 //!
-//! The seam the service consumes is the pair of object-safe halves
-//! [`FrameTx`]/[`FrameRx`] plus [`Listener`]; a backend is anything that
-//! can produce them.
+//! Two seams come out of here. Clients use the blocking framed halves
+//! [`FrameTx`]/[`FrameRx`]. The service side is readiness-based: both
+//! backends implement [`NbListener`], handing the reactor raw
+//! non-blocking [`ConnIo`] endpoints — TCP via `poll(2)` on the socket
+//! fd, memory pipes via a watcher hook ([`PipeReader::watch`]) that
+//! wakes the reactor when bytes or a hangup arrive.
 
 use crate::frame::{Frame, NetError, MAX_FRAME_LEN};
+use crate::readiness::{ConnIo, NbListener, TryRead, Waker, ACCEPT_TOKEN};
 use crate::wire::{CodecError, Wire};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// The sending half of a framed connection.
@@ -41,17 +43,6 @@ pub trait FrameRx<M>: Send {
 
 /// A connection, split into its two independently-owned halves.
 pub type ConnPair<M> = (Box<dyn FrameTx<M>>, Box<dyn FrameRx<M>>);
-
-/// A backend that accepts inbound connections for a service.
-pub trait Listener<M>: Send {
-    /// Blocks for the next connection. [`NetError::Closed`] once the
-    /// listener has been shut down via its [`Listener::closer`].
-    fn accept(&mut self) -> Result<ConnPair<M>, NetError>;
-
-    /// A handle that permanently unblocks a concurrent `accept`
-    /// (idempotent; callable from any thread).
-    fn closer(&self) -> Box<dyn Fn() + Send + Sync>;
-}
 
 // ---------------------------------------------------------------------------
 // Framing over any byte stream
@@ -169,9 +160,30 @@ struct PipeState {
     buf: VecDeque<u8>,
     tx_alive: bool,
     rx_alive: bool,
+    /// Readiness hook for the reactor: woken when bytes arrive *or* the
+    /// writer hangs up, so a half-closed pipe surfaces as a readable EOF
+    /// (→ `PeerVanished`) instead of an eternal `WouldBlock` spin.
+    watcher: Option<(Arc<Waker>, usize)>,
 }
 
 type PipeShared = Arc<(Mutex<PipeState>, Condvar)>;
+
+/// Copies up to `out.len()` bytes out of the deque in at most two
+/// `copy_from_slice` calls (the deque's two contiguous halves) — the
+/// per-byte `pop_front` loop this replaces dominated mem-transport
+/// profiles at thousands of sessions.
+fn drain_into(buf: &mut VecDeque<u8>, out: &mut [u8]) -> usize {
+    let n = out.len().min(buf.len());
+    let (front, back) = buf.as_slices();
+    if n <= front.len() {
+        out[..n].copy_from_slice(&front[..n]);
+    } else {
+        out[..front.len()].copy_from_slice(front);
+        out[front.len()..n].copy_from_slice(&back[..n - front.len()]);
+    }
+    buf.drain(..n);
+    n
+}
 
 /// The writing end of an in-memory byte pipe.
 pub struct PipeWriter(PipeShared);
@@ -190,6 +202,7 @@ pub fn pipe() -> (PipeWriter, PipeReader) {
             buf: VecDeque::new(),
             tx_alive: true,
             rx_alive: true,
+            watcher: None,
         }),
         Condvar::new(),
     ));
@@ -208,15 +221,24 @@ pub fn duplex() -> ((PipeWriter, PipeReader), (PipeWriter, PipeReader)) {
 impl Write for PipeWriter {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
         let (lock, cvar) = &*self.0;
-        let mut state = lock.lock().expect("pipe poisoned");
-        if !state.rx_alive {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::BrokenPipe,
-                "pipe reader dropped",
-            ));
+        let watcher;
+        {
+            let mut state = lock.lock().expect("pipe poisoned");
+            if !state.rx_alive {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "pipe reader dropped",
+                ));
+            }
+            state.buf.extend(data);
+            cvar.notify_all();
+            watcher = state.watcher.clone();
         }
-        state.buf.extend(data);
-        cvar.notify_all();
+        // Wake outside the pipe lock: the waker takes its own lock, and
+        // holding both invites ordering trouble for no benefit.
+        if let Some((waker, token)) = watcher {
+            waker.wake(token);
+        }
         Ok(data.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -227,9 +249,17 @@ impl Write for PipeWriter {
 impl Drop for PipeWriter {
     fn drop(&mut self) {
         let (lock, cvar) = &*self.0;
-        if let Ok(mut state) = lock.lock() {
+        let watcher = if let Ok(mut state) = lock.lock() {
             state.tx_alive = false;
             cvar.notify_all();
+            state.watcher.clone()
+        } else {
+            None
+        };
+        // Hangup is a readable event: the reader's next try_read reports
+        // Eof, which the reactor maps to PeerVanished.
+        if let Some((waker, token)) = watcher {
+            waker.wake(token);
         }
     }
 }
@@ -244,11 +274,44 @@ impl Read for PipeReader {
         if state.buf.is_empty() {
             return Ok(0); // hangup: EOF
         }
-        let n = out.len().min(state.buf.len());
-        for slot in out.iter_mut().take(n) {
-            *slot = state.buf.pop_front().expect("checked non-empty");
+        Ok(drain_into(&mut state.buf, out))
+    }
+}
+
+impl PipeReader {
+    /// Hooks readiness delivery: `waker` is signalled with `token`
+    /// whenever bytes arrive or the writer hangs up. Fires immediately
+    /// if either condition already holds, so registration cannot lose a
+    /// wakeup that raced the connect.
+    pub fn watch(&self, waker: Arc<Waker>, token: usize) {
+        let (lock, _) = &*self.0;
+        let fire = {
+            let mut state = lock.lock().expect("pipe poisoned");
+            let fire = !state.buf.is_empty() || !state.tx_alive;
+            state.watcher = Some((waker.clone(), token));
+            fire
+        };
+        if fire {
+            waker.wake(token);
         }
-        Ok(n)
+    }
+
+    /// Non-blocking read. The half-closed distinction matters: an empty
+    /// pipe whose writer is alive is [`TryRead::WouldBlock`] (readiness
+    /// will signal), an empty pipe whose writer is gone is
+    /// [`TryRead::Eof`] (nothing will ever signal again).
+    pub fn try_read(&mut self, out: &mut [u8]) -> TryRead {
+        let (lock, _) = &*self.0;
+        let mut state = lock.lock().expect("pipe poisoned");
+        if state.buf.is_empty() {
+            if state.tx_alive {
+                TryRead::WouldBlock
+            } else {
+                TryRead::Eof
+            }
+        } else {
+            TryRead::Data(drain_into(&mut state.buf, out))
+        }
     }
 }
 
@@ -263,9 +326,9 @@ impl Drop for PipeReader {
 }
 
 /// The in-memory transport: a connection hub whose `connect` side hands
-/// out client endpoints and whose [`Listener`] side accepts the matching
-/// server endpoints. The whole service stack — framing included — runs
-/// exactly as over TCP, minus the kernel.
+/// out client endpoints and whose [`NbListener`] side accepts the
+/// matching server endpoints. The whole service stack — framing included
+/// — runs exactly as over TCP, minus the kernel.
 pub struct MemTransport {
     inner: Arc<(Mutex<HubState>, Condvar)>,
 }
@@ -273,6 +336,8 @@ pub struct MemTransport {
 struct HubState {
     queue: VecDeque<(PipeWriter, PipeReader)>,
     open: bool,
+    /// Accept-readiness hook: woken with [`ACCEPT_TOKEN`] on each dial.
+    watcher: Option<Arc<Waker>>,
 }
 
 impl Default for MemTransport {
@@ -289,6 +354,7 @@ impl MemTransport {
                 Mutex::new(HubState {
                     queue: VecDeque::new(),
                     open: true,
+                    watcher: None,
                 }),
                 Condvar::new(),
             )),
@@ -304,10 +370,19 @@ impl MemTransport {
     pub fn connect_raw(&self) -> (PipeWriter, PipeReader) {
         let (client, server) = duplex();
         let (lock, cvar) = &*self.inner;
-        let mut hub = lock.lock().expect("hub poisoned");
-        if hub.open {
-            hub.queue.push_back(server);
-            cvar.notify_all();
+        let watcher;
+        {
+            let mut hub = lock.lock().expect("hub poisoned");
+            if hub.open {
+                hub.queue.push_back(server);
+                cvar.notify_all();
+                watcher = hub.watcher.clone();
+            } else {
+                watcher = None;
+            }
+        }
+        if let Some(waker) = watcher {
+            waker.wake(ACCEPT_TOKEN);
         }
         client
     }
@@ -326,39 +401,47 @@ impl MemTransport {
     }
 }
 
-/// The [`Listener`] over a [`MemTransport`] hub.
+/// The [`NbListener`] over a [`MemTransport`] hub.
 pub struct MemListener {
     inner: Arc<(Mutex<HubState>, Condvar)>,
 }
 
-impl<M: Wire + 'static> Listener<M> for MemListener {
-    fn accept(&mut self) -> Result<ConnPair<M>, NetError> {
-        let (lock, cvar) = &*self.inner;
+impl NbListener for MemListener {
+    fn register(&mut self, waker: &Arc<Waker>) -> Option<i32> {
+        let (lock, _) = &*self.inner;
+        let backlog = {
+            let mut hub = lock.lock().expect("hub poisoned");
+            hub.watcher = Some(Arc::clone(waker));
+            !hub.queue.is_empty()
+        };
+        if backlog {
+            // Dials that landed before registration must not be lost.
+            waker.wake(ACCEPT_TOKEN);
+        }
+        None
+    }
+
+    fn try_accept(&mut self) -> Result<Option<ConnIo>, NetError> {
+        let (lock, _) = &*self.inner;
         let mut hub = lock.lock().expect("hub poisoned");
-        loop {
-            if let Some((tx, rx)) = hub.queue.pop_front() {
-                return Ok((Box::new(FramedTx::new(tx)), Box::new(FramedRx::new(rx))));
-            }
-            if !hub.open {
-                return Err(NetError::Closed);
-            }
-            hub = cvar.wait(hub).expect("hub poisoned");
+        match hub.queue.pop_front() {
+            Some((tx, rx)) => Ok(Some(ConnIo::Mem { rx, tx })),
+            None if hub.open => Ok(None),
+            None => Err(NetError::Closed),
         }
     }
 
-    fn closer(&self) -> Box<dyn Fn() + Send + Sync> {
-        let inner = Arc::clone(&self.inner);
-        Box::new(move || {
-            let (lock, cvar) = &*inner;
-            if let Ok(mut hub) = lock.lock() {
-                hub.open = false;
-                // Endpoints queued but never accepted would leave their
-                // connectors blocked forever: drop them so the peers see
-                // EOF immediately.
-                hub.queue.clear();
-                cvar.notify_all();
-            }
-        })
+    fn close(&mut self) {
+        let (lock, cvar) = &*self.inner;
+        if let Ok(mut hub) = lock.lock() {
+            hub.open = false;
+            // Endpoints queued but never accepted would leave their
+            // connectors blocked forever: drop them so the peers see
+            // EOF immediately.
+            hub.queue.clear();
+            hub.watcher = None;
+            cvar.notify_all();
+        }
     }
 }
 
@@ -368,11 +451,11 @@ impl<M: Wire + 'static> Listener<M> for MemListener {
 
 /// The TCP transport: binds an ephemeral loopback port (`127.0.0.1:0` —
 /// never a fixed number, so parallel test runs and sandboxed CI cannot
-/// collide) and accepts thread-per-connection framed streams.
+/// collide). The accept side is non-blocking: the reactor polls the
+/// listener fd and drains the backlog when it signals.
 pub struct TcpTransport {
     listener: TcpListener,
     addr: SocketAddr,
-    closing: Arc<AtomicBool>,
 }
 
 impl TcpTransport {
@@ -380,11 +463,7 @@ impl TcpTransport {
     pub fn bind_loopback() -> Result<Self, NetError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        Ok(TcpTransport {
-            listener,
-            addr,
-            closing: Arc::new(AtomicBool::new(false)),
-        })
+        Ok(TcpTransport { listener, addr })
     }
 
     /// The bound address clients dial.
@@ -405,33 +484,16 @@ impl TcpTransport {
     }
 }
 
-impl<M: Wire + 'static> Listener<M> for TcpTransport {
-    fn accept(&mut self) -> Result<ConnPair<M>, NetError> {
-        loop {
-            let (stream, _) = self.listener.accept()?;
-            if self.closing.load(Ordering::SeqCst) {
-                return Err(NetError::Closed);
-            }
-            stream.set_nodelay(true)?;
-            let reader = match stream.try_clone() {
-                Ok(r) => r,
-                Err(_) => continue, // peer vanished between accept and split
-            };
-            return Ok((
-                Box::new(FramedTx::new(stream)),
-                Box::new(FramedRx::new(reader)),
-            ));
-        }
+impl NbListener for TcpTransport {
+    fn register(&mut self, waker: &Arc<Waker>) -> Option<i32> {
+        self.listener.register(waker)
     }
 
-    fn closer(&self) -> Box<dyn Fn() + Send + Sync> {
-        let closing = Arc::clone(&self.closing);
-        let addr = self.addr;
-        Box::new(move || {
-            closing.store(true, Ordering::SeqCst);
-            // A blocking accept only returns when a connection arrives:
-            // dial ourselves once to deliver the shutdown flag.
-            let _ = TcpStream::connect(addr);
-        })
+    fn try_accept(&mut self) -> Result<Option<ConnIo>, NetError> {
+        self.listener.try_accept()
+    }
+
+    fn close(&mut self) {
+        self.listener.close();
     }
 }

@@ -307,8 +307,8 @@ fn connecting_to_a_closed_mem_hub_fails_fast() {
     // TCP refuses a dead port; the mem hub must not park the connector on
     // a queue nobody will ever accept from.
     let hub = MemTransport::new();
-    let listener = hub.listener();
-    mediator_net::Listener::<CtMsg>::closer(&listener)();
+    let mut listener = hub.listener();
+    mediator_net::NbListener::close(&mut listener);
     let (_tx, mut rx) = hub.connect::<CtMsg>();
     assert_eq!(rx.recv().unwrap_err(), NetError::Closed);
 }
@@ -328,8 +328,7 @@ fn frames_survive_both_backends_intact() {
     let mut listener = hub.listener();
     let (mut client_tx, _client_rx) = hub.connect::<CtMsg>();
     client_tx.send(&frame).expect("send over mem");
-    let (_srv_tx, mut srv_rx) =
-        mediator_net::Listener::<CtMsg>::accept(&mut listener).expect("accept mem");
+    let (_srv_tx, mut srv_rx) = accept_framed::<CtMsg>(&mut listener);
     assert_eq!(srv_rx.recv().expect("frame over mem"), frame);
 
     let mut transport = TcpTransport::bind_loopback().expect("bind");
@@ -339,7 +338,28 @@ fn frames_survive_both_backends_intact() {
         let (mut tx, _rx) = TcpTransport::connect::<CtMsg>(addr).expect("connect");
         tx.send(&sent).expect("send over tcp");
     });
-    let (_tx, mut rx) = mediator_net::Listener::<CtMsg>::accept(&mut transport).expect("accept");
+    let (_tx, mut rx) = accept_framed::<CtMsg>(&mut transport);
     assert_eq!(rx.recv().expect("frame over tcp"), frame);
     client.join().expect("client thread");
+}
+
+/// Spin-waits one connection out of a non-blocking listener and hands it
+/// back as blocking framed halves (test convenience only — the service's
+/// reactor consumes the readiness-based form).
+fn accept_framed<M: mediator_net::Wire + 'static>(
+    listener: &mut dyn mediator_net::NbListener,
+) -> mediator_net::ConnPair<M> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match listener.try_accept().expect("listener open") {
+            Some(io) => return io.into_framed().expect("framed"),
+            None => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "no connection arrived"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+    }
 }

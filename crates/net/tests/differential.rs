@@ -1,0 +1,381 @@
+//! Differential suite: the reactor driver against the PR 5 threaded
+//! engine, which survives as [`Service::host_threaded`] precisely so this
+//! file can exist.
+//!
+//! Both drivers execute the same ship → step → deliver → quiesce pump
+//! contract; what differs is everything around it (blocking receives vs
+//! readiness events, `recv_timeout` vs timer heap, reader threads vs
+//! buffered incremental parsing). The suite pins the observable contract:
+//! **outcome-kind agreement** with in-process runs and with each other,
+//! and **identical typed failure owners** (`AttachTimeout`,
+//! `PeerVanished`, `Rejected`) on both the in-memory and TCP transports.
+//! A slow-loris test closes the file: a peer dribbling one byte at a time
+//! must stall nobody but itself.
+
+use mediator_circuits::catalog;
+use mediator_core::cheap_talk::CtMsg;
+use mediator_core::scenario::{CheapTalkPlan, Scenario, SessionPlan};
+use mediator_field::Fp;
+use mediator_net::{
+    Client, DeliveryOrder, Frame, MemTransport, NetError, NetPlan, RejectReason, Service,
+    ServiceConfig, SessionHandle, TcpTransport, Wire, WIRE_VERSION,
+};
+use mediator_sim::{Outcome, SchedulerKind, TerminationKind};
+use std::time::Duration;
+
+fn majority_plan(n: usize) -> CheapTalkPlan {
+    Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; n])
+        .build()
+        .expect("n = 5 > 4k+4t = 4")
+}
+
+#[derive(Clone, Copy, Debug)]
+enum DriverKind {
+    Reactor,
+    Threaded,
+}
+
+const BOTH: [DriverKind; 2] = [DriverKind::Reactor, DriverKind::Threaded];
+
+/// Hosts one plan cell through the chosen driver — the only line where
+/// the two paths diverge; everything asserted afterwards must not.
+fn host_with(
+    service: &Service<CtMsg>,
+    driver: DriverKind,
+    id: u64,
+    plan: &CheapTalkPlan,
+    kind: SchedulerKind,
+    seed: u64,
+) -> SessionHandle {
+    let plan = plan.clone();
+    let open = move || plan.open_session(&kind, seed);
+    match driver {
+        DriverKind::Reactor => service.host(id, 5, open),
+        DriverKind::Threaded => service.host_threaded(id, 5, open),
+    }
+}
+
+fn assert_outcome_parity(local: &Outcome, networked: &Outcome, players: usize, label: &str) {
+    assert_eq!(
+        networked.termination, local.termination,
+        "{label}: termination kind"
+    );
+    let defaults = vec![0; local.moves.len()];
+    assert_eq!(
+        networked.resolve_default(&defaults)[..players],
+        local.resolve_default(&defaults)[..players],
+        "{label}: resolved action profile"
+    );
+}
+
+fn quick_cfg() -> ServiceConfig {
+    ServiceConfig {
+        idle_timeout: Duration::from_secs(5),
+        attach_timeout: Duration::from_millis(400),
+        attach_grace: Duration::from_millis(100),
+        delivery: DeliveryOrder::Arrival,
+    }
+}
+
+#[test]
+fn drivers_agree_with_in_process_outcomes_over_mem() {
+    let n = 5;
+    let plan = majority_plan(n);
+    let hub = MemTransport::new();
+    let service = Service::start(Box::new(hub.listener()));
+
+    // Interleave both drivers on the same service, same seeds: sessions
+    // 0..3 on the reactor, 100..103 on pump threads, all live at once.
+    let mut handles = Vec::new();
+    for seed in 0..3u64 {
+        handles.push((
+            seed,
+            host_with(
+                &service,
+                DriverKind::Reactor,
+                seed,
+                &plan,
+                SchedulerKind::Random,
+                seed,
+            ),
+        ));
+        handles.push((
+            seed,
+            host_with(
+                &service,
+                DriverKind::Threaded,
+                100 + seed,
+                &plan,
+                SchedulerKind::Random,
+                seed,
+            ),
+        ));
+    }
+    let relays: Vec<_> = handles
+        .iter()
+        .flat_map(|(_, h)| (0..n).map(move |player| (h.id(), player)))
+        .map(|(sid, player)| {
+            let mut client = Client::<CtMsg>::mem(&hub);
+            std::thread::spawn(move || {
+                client.attach(sid, player).expect("attach");
+                client.relay().expect("relay")
+            })
+        })
+        .collect();
+
+    for (seed, handle) in handles {
+        let label = format!("session {} (seed {seed})", handle.id());
+        let local = plan.run_with(&SchedulerKind::Random, seed);
+        let outcome = handle.outcome().expect("networked run completes");
+        assert_outcome_parity(&local, &outcome, n, &label);
+    }
+    for relay in relays {
+        let summary = relay.join().expect("relay thread");
+        assert_eq!(summary.termination, TerminationKind::Quiescent);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn drivers_agree_with_in_process_outcomes_over_tcp() {
+    let n = 5;
+    let plan = majority_plan(n);
+    let transport = TcpTransport::bind_loopback().expect("bind");
+    let addr = transport.addr();
+    let service = Service::start(Box::new(transport));
+
+    let reactor = host_with(
+        &service,
+        DriverKind::Reactor,
+        1,
+        &plan,
+        SchedulerKind::Fifo,
+        0,
+    );
+    let threaded = host_with(
+        &service,
+        DriverKind::Threaded,
+        2,
+        &plan,
+        SchedulerKind::Fifo,
+        0,
+    );
+    let relays: Vec<_> = [1u64, 2]
+        .into_iter()
+        .flat_map(|sid| (0..n).map(move |player| (sid, player)))
+        .map(|(sid, player)| {
+            std::thread::spawn(move || {
+                let mut client = Client::<CtMsg>::tcp(addr).expect("connect");
+                client.attach(sid, player).expect("attach");
+                client.relay().expect("relay")
+            })
+        })
+        .collect();
+
+    let local = plan.run_with(&SchedulerKind::Fifo, 0);
+    for (label, handle) in [("reactor/tcp", reactor), ("threaded/tcp", threaded)] {
+        let outcome = handle.outcome().expect("networked run completes");
+        assert_outcome_parity(&local, &outcome, n, label);
+    }
+    for relay in relays {
+        relay.join().expect("relay thread");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn attach_timeout_owner_is_identical_across_drivers() {
+    let plan = majority_plan(5);
+    for driver in BOTH {
+        let hub = MemTransport::new();
+        let service = Service::with_config(Box::new(hub.listener()), quick_cfg());
+        let handle = host_with(&service, driver, 8, &plan, SchedulerKind::Fifo, 0);
+
+        // Exactly one of five players attaches: the barrier must fail
+        // with the same typed owner under either driver, and the attached
+        // relay must learn via Abort, not a hang.
+        let mut lone = plan.connect_mem(&hub);
+        lone.attach(8, 2).expect("attach");
+        assert_eq!(
+            handle.outcome().expect_err("attach barrier must time out"),
+            NetError::AttachTimeout {
+                session: 8,
+                attached: 1,
+                expected: 5
+            },
+            "{driver:?}"
+        );
+        assert_eq!(
+            lone.relay(),
+            Err(NetError::Aborted { session: 8 }),
+            "{driver:?}"
+        );
+        service.shutdown();
+    }
+}
+
+#[test]
+fn vanishing_relay_owner_is_identical_across_drivers() {
+    let plan = majority_plan(5);
+    for driver in BOTH {
+        let hub = MemTransport::new();
+        let service = Service::with_config(
+            Box::new(hub.listener()),
+            ServiceConfig {
+                idle_timeout: Duration::from_secs(20),
+                ..quick_cfg()
+            },
+        );
+        let handle = host_with(&service, driver, 3, &plan, SchedulerKind::Random, 2);
+
+        let relays: Vec<_> = (1..5)
+            .map(|player| {
+                let mut client = plan.connect_mem(&hub);
+                std::thread::spawn(move || {
+                    client.attach(3, player).expect("attach");
+                    client.relay()
+                })
+            })
+            .collect();
+        // Player 0's relay swallows one message and dies: that frame is
+        // in flight forever, so the driver must name the culprit.
+        let mut defector = plan.connect_mem(&hub);
+        defector.attach(3, 0).expect("attach");
+        loop {
+            match defector.recv().expect("a frame for player 0") {
+                Frame::Msg { .. } => break,
+                _ => continue,
+            }
+        }
+        drop(defector);
+
+        assert_eq!(
+            handle.outcome().expect_err("a vanished relay is fatal"),
+            NetError::PeerVanished {
+                session: 3,
+                player: 0
+            },
+            "{driver:?}"
+        );
+        for relay in relays {
+            assert_eq!(
+                relay.join().expect("relay thread"),
+                Err(NetError::Aborted { session: 3 }),
+                "{driver:?}"
+            );
+        }
+        service.shutdown();
+    }
+}
+
+#[test]
+fn slow_loris_partial_frames_stall_nobody() {
+    // A peer dribbling an Attach frame one byte at a time across the
+    // whole run: with per-connection incremental parsing the partial
+    // frame just sits in that connection's read buffer. Before the
+    // reactor, a reader *thread* blocked mid-frame was harmless but a
+    // slot wasted; in a shared event loop this test is load-bearing —
+    // one stalled peer must not stall the loop.
+    let n = 5;
+    let plan = majority_plan(n);
+    let transport = TcpTransport::bind_loopback().expect("bind");
+    let addr = transport.addr();
+    let service = Service::with_config(Box::new(transport), quick_cfg());
+    let handle = plan.serve(&service, 1, SchedulerKind::Fifo, 0);
+
+    // The loris: a well-formed Attach for an unknown session, trickled.
+    let loris = std::thread::spawn(move || {
+        use std::io::{Read, Write};
+        let mut sock = std::net::TcpStream::connect(addr).expect("loris connect");
+        let mut body = vec![WIRE_VERSION, 0u8];
+        999u64.encode(&mut body);
+        7usize.encode(&mut body);
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        for byte in frame {
+            sock.write_all(&[byte]).expect("dribble");
+            sock.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The frame finally parsed: session 999 was never hosted, so
+        // after the grace window the service answers with a typed Reject
+        // on this same connection.
+        let mut len = [0u8; 4];
+        sock.read_exact(&mut len).expect("reject frame length");
+        let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+        sock.read_exact(&mut body).expect("reject frame body");
+        assert_eq!(body[0], WIRE_VERSION);
+        assert_eq!(body[1], 3, "tag must be Reject");
+    });
+
+    // Meanwhile the healthy session proceeds at full speed.
+    let relays: Vec<_> = (0..n)
+        .map(|player| {
+            std::thread::spawn(move || {
+                let mut client = Client::<CtMsg>::tcp(addr).expect("connect");
+                client.attach(1, player).expect("attach");
+                client.relay().expect("relay")
+            })
+        })
+        .collect();
+    let outcome = handle
+        .outcome()
+        .expect("healthy session unaffected by the loris");
+    assert_eq!(outcome.termination, TerminationKind::Quiescent);
+    for relay in relays {
+        relay.join().expect("relay thread");
+    }
+    loris.join().expect("loris thread");
+    service.shutdown();
+}
+
+#[test]
+fn rejection_reasons_are_identical_across_drivers() {
+    let plan = majority_plan(5);
+    for driver in BOTH {
+        let hub = MemTransport::new();
+        let service = Service::with_config(Box::new(hub.listener()), quick_cfg());
+        let handle = host_with(&service, driver, 7, &plan, SchedulerKind::Fifo, 0);
+
+        let mut first = plan.connect_mem(&hub);
+        first.attach(7, 0).expect("attach");
+        let mut second = plan.connect_mem(&hub);
+        second.attach(7, 0).expect("attach");
+        assert_eq!(
+            second.relay(),
+            Err(NetError::Rejected {
+                session: 7,
+                reason: RejectReason::PlayerTaken
+            }),
+            "{driver:?}"
+        );
+        let mut ninth = plan.connect_mem(&hub);
+        ninth.attach(7, 9).expect("attach");
+        assert_eq!(
+            ninth.relay(),
+            Err(NetError::Rejected {
+                session: 7,
+                reason: RejectReason::PlayerOutOfRange
+            }),
+            "{driver:?}"
+        );
+        assert_eq!(
+            handle.outcome().expect_err("barrier times out"),
+            NetError::AttachTimeout {
+                session: 7,
+                attached: 1,
+                expected: 5
+            },
+            "{driver:?}"
+        );
+        assert_eq!(
+            first.relay(),
+            Err(NetError::Aborted { session: 7 }),
+            "{driver:?}"
+        );
+        service.shutdown();
+    }
+}

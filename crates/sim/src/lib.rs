@@ -73,6 +73,6 @@ pub use scheduler::{
     FifoScheduler, LifoScheduler, PartitionScheduler, PendingView, RandomScheduler,
     RelaxedScheduler, SchedChoice, Scheduler, SchedulerKind, TargetedDelayScheduler,
 };
-pub use session::{Injected, Session, SessionStatus};
+pub use session::{Injected, Session, SessionStatus, SessionWants};
 pub use trace::{Trace, TraceEvent, TraceMode};
 pub use world::{Envelope, Outcome, TerminationKind, World};

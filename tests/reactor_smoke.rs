@@ -1,0 +1,77 @@
+//! Tier-1 smoke for the reactor service: 128 concurrent sessions on the
+//! in-memory transport, every one of them driven by the single reactor
+//! thread, with one `bulk_relay` connection carrying every player of
+//! every session. Small enough for a debug-build test run; the release
+//! benches (`service_1024sessions`, `service_4096sessions_mem`) scale
+//! the same shape to thousands.
+
+use mediator_talk::net::{bulk_relay, MemTransport, Service};
+use mediator_talk::sim::{Ctx, Process, SchedulerKind, Session, TerminationKind, World};
+
+/// A three-process echo clique: the leader opens with one message per
+/// process; everyone answers the first message with a move and halts.
+struct Echoer {
+    n: usize,
+    leader: bool,
+}
+
+impl Process<u64> for Echoer {
+    fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+        if self.leader {
+            for d in 0..self.n {
+                ctx.send(d, 40 + d as u64);
+            }
+        }
+    }
+    fn on_message(&mut self, _src: usize, msg: u64, ctx: &mut Ctx<u64>) {
+        ctx.make_move(msg);
+        ctx.halt();
+    }
+}
+
+fn echo_session(n: usize, seed: u64) -> Session<u64> {
+    let procs: Vec<Box<dyn Process<u64>>> = (0..n)
+        .map(|p| Box::new(Echoer { n, leader: p == 0 }) as Box<dyn Process<u64>>)
+        .collect();
+    Session::new(World::new(procs, seed), SchedulerKind::Fifo.build(), 10_000)
+}
+
+#[test]
+fn reactor_hosts_128_sessions_on_one_thread() {
+    const SESSIONS: u64 = 128;
+    const N: usize = 3;
+
+    let hub = MemTransport::new();
+    let service = Service::<u64>::start(Box::new(hub.listener()));
+    let handles: Vec<_> = (0..SESSIONS)
+        .map(|sid| service.host(sid, N, move || echo_session(N, sid)))
+        .collect();
+
+    // One connection, one client thread, relaying for all 384 players.
+    let attaches: Vec<_> = (0..SESSIONS)
+        .flat_map(|sid| (0..N).map(move |player| (sid, player)))
+        .collect();
+    let (tx, rx) = hub.connect_raw();
+    let relay = std::thread::spawn(move || {
+        bulk_relay(rx, tx, &attaches, SESSIONS as usize).expect("bulk relay")
+    });
+
+    for handle in handles {
+        let sid = handle.id();
+        let outcome = handle
+            .outcome()
+            .unwrap_or_else(|e| panic!("session {sid}: {e}"));
+        assert_eq!(outcome.termination, TerminationKind::Quiescent);
+        assert_eq!(
+            outcome.moves,
+            (0..N).map(|d| Some(40 + d as u64)).collect::<Vec<_>>(),
+            "session {sid}: echoed moves"
+        );
+    }
+    let summaries = relay.join().expect("relay thread");
+    assert_eq!(summaries.len(), SESSIONS as usize);
+    assert!(summaries
+        .iter()
+        .all(|(_, s)| s.termination == TerminationKind::Quiescent));
+    service.shutdown();
+}
