@@ -50,6 +50,20 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--tamper") {
+        // TAMPER.json mode: the Byzantine-relay smoke battery — each wire
+        // tactic must succeed against plain frames and die with the typed
+        // AuthFailure verdict against authenticated ones (DESIGN.md §10).
+        // Exits nonzero if any cell misbehaves.
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("TAMPER.json")
+            .to_string();
+        tamper_battery(&out);
+        return;
+    }
+
     if args.iter().any(|a| a == "--conformance") {
         // CONFORMANCE.json mode: run the ε-resilience conformance battery
         // (reduced in --fast) and write the reports as a JSON artifact.
@@ -245,21 +259,38 @@ fn bench_trajectory(label: &str, out: &str, fast: bool, net_only: bool) {
     // (one per player), every protocol message framed, shipped, echoed,
     // and re-injected. The price of the kernel, measured.
     use mediator_core::cheap_talk::CtMsg;
-    use mediator_net::{bulk_relay, Client, MemTransport, NetPlan, Service};
+    use mediator_net::{
+        bulk_relay, run_over_tcp, AuthKey, Client, MemTransport, Service, ServiceConfig,
+    };
     let nsamples = if fast { 3 } else { 5 };
-    let net_out = plan
-        .run_over_tcp(&SchedulerKind::Random, 1)
-        .expect("tcp loopback run");
-    let ns = median_ns_per_op(nsamples, 1, || {
-        plan.run_over_tcp(&SchedulerKind::Random, 1)
-            .expect("tcp loopback run")
-            .steps
-    });
-    metrics.push(
-        Metric::new("net_cheap_talk_n5_tcp_loopback", ns)
-            .with("messages_sent", net_out.messages_sent)
-            .with("steps", net_out.steps),
-    );
+    // Paired with/without authenticated frames: the `_auth` twin seals a
+    // SipHash-2-4 MAC onto every shipped Msg and verifies every returned
+    // one, so the delta between the two entries *is* the MAC overhead on
+    // the wire path (two PRF passes per protocol message).
+    for auth in [false, true] {
+        let cfg = if auth {
+            ServiceConfig::default().with_auth(AuthKey::from_seed(0xbe9c))
+        } else {
+            ServiceConfig::default()
+        };
+        let name = if auth {
+            "net_cheap_talk_n5_tcp_loopback_auth"
+        } else {
+            "net_cheap_talk_n5_tcp_loopback"
+        };
+        let net_out =
+            run_over_tcp(&plan, &SchedulerKind::Random, 1, cfg.clone()).expect("tcp loopback run");
+        let ns = median_ns_per_op(nsamples, 1, || {
+            run_over_tcp(&plan, &SchedulerKind::Random, 1, cfg.clone())
+                .expect("tcp loopback run")
+                .steps
+        });
+        metrics.push(
+            Metric::new(name, ns)
+                .with("messages_sent", net_out.messages_sent)
+                .with("steps", net_out.steps),
+        );
+    }
 
     // The multi-session service at the PR 5 shape: 64 concurrent
     // cheap-talk sessions over the in-memory transport, one relay
@@ -270,37 +301,51 @@ fn bench_trajectory(label: &str, out: &str, fast: bool, net_only: bool) {
     // thread + reader thread per session/connection).
     let svc_samples = if fast { 2 } else { 3 };
     let sessions = 64u64;
-    let ns = median_ns_per_op(svc_samples, 1, || {
-        let hub = MemTransport::new();
-        let service = Service::start(Box::new(hub.listener()));
-        let relays: Vec<_> = (0..sessions)
-            .map(|sid| {
-                let mut client = Client::<CtMsg>::mem(&hub);
-                std::thread::spawn(move || {
-                    for p in 0..5 {
-                        client.attach(sid, p).expect("attach");
-                    }
-                    client.relay().expect("relay")
+    // Paired with/without auth, same workload byte-for-byte apart from the
+    // v2 Msg layout (seq varint + 8-byte MAC trailer per frame).
+    for auth in [false, true] {
+        let cfg = if auth {
+            ServiceConfig::default().with_auth(AuthKey::from_seed(0xbe9c))
+        } else {
+            ServiceConfig::default()
+        };
+        let name = if auth {
+            "service_64sessions_auth"
+        } else {
+            "service_64sessions"
+        };
+        let ns = median_ns_per_op(svc_samples, 1, || {
+            let hub = MemTransport::new();
+            let service = Service::with_config(Box::new(hub.listener()), cfg.clone());
+            let relays: Vec<_> = (0..sessions)
+                .map(|sid| {
+                    let mut client = Client::<CtMsg>::mem(&hub);
+                    std::thread::spawn(move || {
+                        for p in 0..5 {
+                            client.attach(sid, p).expect("attach");
+                        }
+                        client.relay().expect("relay")
+                    })
                 })
-            })
-            .collect();
-        let results = service.run_many(
-            &plan,
-            (0..sessions).map(|sid| (sid, SchedulerKind::Random, sid)),
+                .collect();
+            let results = service.run_many(
+                &plan,
+                (0..sessions).map(|sid| (sid, SchedulerKind::Random, sid)),
+            );
+            for (sid, result) in results {
+                result.unwrap_or_else(|e| panic!("session {sid}: {e}"));
+            }
+            for relay in relays {
+                relay.join().expect("relay thread");
+            }
+            service.shutdown();
+        });
+        metrics.push(
+            Metric::new(name, ns)
+                .with("sessions", sessions)
+                .with("hw_threads", workers as u64),
         );
-        for (sid, result) in results {
-            result.unwrap_or_else(|e| panic!("session {sid}: {e}"));
-        }
-        for relay in relays {
-            relay.join().expect("relay thread");
-        }
-        service.shutdown();
-    });
-    metrics.push(
-        Metric::new("service_64sessions", ns)
-            .with("sessions", sessions)
-            .with("hw_threads", workers as u64),
-    );
+    }
 
     // The reactor at scale: `sessions` concurrent cheap-talk runs, ALL of
     // them on the single reactor thread, with ONE bulk-relay connection
@@ -351,6 +396,192 @@ fn bench_trajectory(label: &str, out: &str, fast: bool, net_only: bool) {
     }
     append_bench_json(std::path::Path::new(out), label, &metrics).expect("write BENCH.json");
     println!("appended entry '{label}' to {out}");
+}
+
+/// `--tamper` — the Byzantine-relay smoke battery (DESIGN.md §10): each
+/// wire tactic runs paired, once against a plain service (the attack must
+/// *succeed* — the cheap-talk outcome diverges from the honest baseline)
+/// and once against an authenticated one (the attack must *die* — typed
+/// `AuthFailure`, honest neighbor session unaffected). Writes the verdict
+/// rows to `out` as JSON and panics — failing CI — on any wrong cell.
+fn tamper_battery(out: &str) {
+    use mediator_core::adversary::{Window, OPEN_LIE_OFFSET};
+    use mediator_net::tamper::{
+        run_tampered_pair, DriverMode, TamperPlan, TamperedPair, TransportKind, WireTactic,
+        TARGET_SID,
+    };
+    use mediator_net::{AuthKey, DeliveryOrder, NetError, ServiceConfig, TamperKind};
+    use std::time::Duration;
+
+    let n = 5;
+    let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(ones_inputs(n))
+        .build()
+        .expect("n = 5 > 4k+4t = 4");
+    let baseline = plan.run_with(&SchedulerKind::Fifo, 0);
+    let base_profile = baseline.resolve_default(&vec![0; n]);
+    let cfg = |auth: bool| {
+        let base = ServiceConfig {
+            idle_timeout: Duration::from_millis(1500),
+            attach_timeout: Duration::from_secs(10),
+            attach_grace: Duration::from_millis(100),
+            delivery: DeliveryOrder::Arrival,
+            auth: None,
+        };
+        if auth {
+            base.with_auth(AuthKey::from_seed(0xfeed))
+        } else {
+            base
+        }
+    };
+
+    // (name, transport, driver, plan): one cell per tactic, transports and
+    // drivers spread across the battery so the smoke run touches mem + TCP
+    // and both engines.
+    let cells: Vec<(&str, TransportKind, DriverMode, TamperPlan)> = vec![
+        (
+            "rewrite",
+            TransportKind::Mem,
+            DriverMode::Reactor,
+            TamperPlan::against(TARGET_SID).tactic(
+                Window::all(),
+                WireTactic::Rewrite {
+                    offset: OPEN_LIE_OFFSET,
+                },
+            ),
+        ),
+        (
+            "redirect",
+            TransportKind::Tcp,
+            DriverMode::Threaded,
+            TamperPlan::against(TARGET_SID).tactic(Window::all(), WireTactic::Redirect),
+        ),
+        (
+            "replay-splice",
+            TransportKind::Mem,
+            DriverMode::Threaded,
+            TamperPlan::against(TARGET_SID)
+                .tactic(Window::between(0, 10), WireTactic::Replay)
+                .tactic(Window::between(10, 20), WireTactic::Drop),
+        ),
+        (
+            "truncate",
+            TransportKind::Tcp,
+            DriverMode::Reactor,
+            TamperPlan::against(TARGET_SID)
+                .tactic(Window::between(5, 6), WireTactic::Truncate { cut: 4 }),
+        ),
+        (
+            "drop",
+            TransportKind::Mem,
+            DriverMode::Reactor,
+            TamperPlan::against(TARGET_SID).tactic(Window::between(5, 15), WireTactic::Drop),
+        ),
+    ];
+
+    // How each plain-channel attack is expected to land, and which typed
+    // verdict the authenticated run must produce. Drop is the documented
+    // limitation: undetectable by MACs, owned by IdleTimeout in both modes.
+    let describe = |pair: &TamperedPair| -> String {
+        match &pair.target {
+            Ok(o) if o.resolve_default(&vec![0; n]) != base_profile => {
+                format!("silent corruption ({:?}, wrong profile)", o.termination)
+            }
+            Ok(o) => format!("{:?} (baseline profile)", o.termination),
+            Err(e) => format!("{e:?}"),
+        }
+    };
+    let mut rows: Vec<(String, String, String, bool, bool)> = Vec::new();
+    let mut all_ok = true;
+    for (name, transport, driver, tp) in &cells {
+        let plain = run_tampered_pair(
+            &plan,
+            *transport,
+            *driver,
+            cfg(false),
+            tp.clone(),
+            SchedulerKind::Fifo,
+            0,
+        );
+        let authed = run_tampered_pair(
+            &plan,
+            *transport,
+            *driver,
+            cfg(true),
+            tp.clone(),
+            SchedulerKind::Fifo,
+            0,
+        );
+        let attack_succeeded = match &plain.target {
+            Ok(o) => o.resolve_default(&vec![0; n]) != base_profile,
+            Err(_) => true,
+        };
+        let (detected, honest_ok) = match (*name, &authed.target) {
+            ("drop", Err(NetError::IdleTimeout { .. })) => (true, authed.honest.is_ok()),
+            (_, Err(NetError::AuthFailure { session, kind, .. })) => {
+                let expect = match *name {
+                    "rewrite" | "redirect" => TamperKind::BadMac,
+                    "replay-splice" => TamperKind::Replayed,
+                    "truncate" => TamperKind::Truncated,
+                    _ => unreachable!("drop handled above"),
+                };
+                (
+                    *session == TARGET_SID && *kind == expect,
+                    authed.honest.is_ok(),
+                )
+            }
+            _ => (false, authed.honest.is_ok()),
+        };
+        let pass = attack_succeeded && detected && honest_ok;
+        all_ok &= pass;
+        rows.push((
+            format!("{name} ({transport:?}/{driver:?})"),
+            describe(&plain),
+            describe(&authed),
+            honest_ok,
+            pass,
+        ));
+    }
+
+    let mut t = Table::new(
+        "Byzantine-relay battery: attack succeeds plain / dies authenticated",
+        &[
+            "tactic (cell)",
+            "plain channel",
+            "authenticated",
+            "honest ok",
+            "pass",
+        ],
+    );
+    for (name, plain, authed, honest, pass) in &rows {
+        t.row(vec![
+            name.clone(),
+            plain.clone(),
+            authed.clone(),
+            check(*honest),
+            check(*pass),
+        ]);
+    }
+    print!("{t}");
+
+    let mut json = String::from("{\n  \"entries\": [\n");
+    for (i, (name, plain, authed, honest, pass)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"cell\": \"{name}\", \"plain\": \"{plain}\", \
+             \"authenticated\": \"{authed}\", \"honest_unaffected\": {honest}, \
+             \"pass\": {pass} }}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out, json).expect("write tamper JSON");
+    println!("wrote {out}");
+    assert!(
+        all_ok,
+        "tamper battery: at least one cell misbehaved (see table)"
+    );
 }
 
 /// `--conformance` — the statistical ε-resilience conformance battery:

@@ -14,7 +14,7 @@
 
 use crate::frame::{Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN};
 use crate::transport::{ConnPair, FrameRx, FrameTx, MemTransport, TcpTransport};
-use crate::wire::{CodecError, Reader, Wire, WIRE_VERSION};
+use crate::wire::{CodecError, Reader, Wire, WIRE_VERSION, WIRE_VERSION_AUTH};
 use std::io::{Read, Write};
 use std::net::SocketAddr;
 
@@ -152,7 +152,9 @@ pub fn bulk_relay<R: Read, W: Write>(
             if body.len() < 2 {
                 return Err(CodecError::Truncated.into());
             }
-            if body[0] != WIRE_VERSION {
+            // Both layouts keep the kind tag at byte 1: the relay stays
+            // content-blind whether or not frames carry MAC trailers.
+            if body[0] != WIRE_VERSION && body[0] != WIRE_VERSION_AUTH {
                 return Err(CodecError::UnknownVersion(body[0]).into());
             }
             match body[1] {

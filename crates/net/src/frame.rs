@@ -16,7 +16,8 @@
 //! from a future format. Kind tags and payload layouts are tabulated in
 //! DESIGN.md §9.
 
-use crate::wire::{CodecError, Reader, Wire, WIRE_VERSION};
+use crate::auth::{AuthKey, AuthTag, TamperKind};
+use crate::wire::{CodecError, Reader, Wire, WIRE_VERSION, WIRE_VERSION_AUTH};
 use mediator_sim::{Outcome, TerminationKind};
 use std::fmt;
 
@@ -53,6 +54,11 @@ pub enum Frame<M> {
         dst: usize,
         /// The protocol payload.
         msg: M,
+        /// The authentication trailer, present iff the frame travels
+        /// under [`WIRE_VERSION_AUTH`]. Relays echo it verbatim (the
+        /// decode → re-encode round trip is byte-identical); only the
+        /// service can mint or verify it.
+        auth: Option<AuthTag>,
     },
     /// Service → clients: the hosted session terminated; here is the
     /// result. Sent once per attached connection.
@@ -87,6 +93,11 @@ pub enum RejectReason {
     PlayerTaken,
     /// The player id is outside the session's world.
     PlayerOutOfRange,
+    /// The frame failed authentication (bad MAC, stripped trailer,
+    /// replayed sequence number, or truncated trailer). Sent to the
+    /// offending connection before the session aborts, so a tampering
+    /// relay learns it was caught, with a typed reason.
+    TamperDetected,
 }
 
 impl fmt::Display for RejectReason {
@@ -95,6 +106,7 @@ impl fmt::Display for RejectReason {
             RejectReason::UnknownSession => write!(f, "unknown session"),
             RejectReason::PlayerTaken => write!(f, "player already attached"),
             RejectReason::PlayerOutOfRange => write!(f, "player out of range"),
+            RejectReason::TamperDetected => write!(f, "frame failed authentication"),
         }
     }
 }
@@ -164,6 +176,7 @@ impl Wire for RejectReason {
             RejectReason::UnknownSession => 0,
             RejectReason::PlayerTaken => 1,
             RejectReason::PlayerOutOfRange => 2,
+            RejectReason::TamperDetected => 3,
         });
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
@@ -171,6 +184,7 @@ impl Wire for RejectReason {
             0 => Ok(RejectReason::UnknownSession),
             1 => Ok(RejectReason::PlayerTaken),
             2 => Ok(RejectReason::PlayerOutOfRange),
+            3 => Ok(RejectReason::TamperDetected),
             tag => Err(CodecError::UnknownTag {
                 what: "RejectReason",
                 tag,
@@ -181,8 +195,37 @@ impl Wire for RejectReason {
 
 impl<M: Wire> Frame<M> {
     /// Encodes the frame *body* (version byte + kind + payload) — the
-    /// length prefix is the transport's job (`write_frame`).
+    /// length prefix is the transport's job (`write_frame`). A `Msg`
+    /// carrying an [`AuthTag`] encodes under [`WIRE_VERSION_AUTH`]:
+    ///
+    /// ```text
+    /// [2][kind=1][session][src][dst][seq][msg][mac: 8 raw bytes]
+    /// ```
+    ///
+    /// so the layout is a strict extension of version 1 (kind stays at
+    /// byte 1, session at byte 2 — content-blind relays parse both the
+    /// same way) and a decode → re-encode round trip is byte-identical,
+    /// which is what lets typed relays echo authenticated frames without
+    /// holding any key.
     pub fn encode_body(&self, out: &mut Vec<u8>) {
+        if let Frame::Msg {
+            session,
+            src,
+            dst,
+            msg,
+            auth: Some(tag),
+        } = self
+        {
+            out.push(WIRE_VERSION_AUTH);
+            out.push(1);
+            session.encode(out);
+            src.encode(out);
+            dst.encode(out);
+            tag.seq.encode(out);
+            msg.encode(out);
+            out.extend_from_slice(&tag.mac);
+            return;
+        }
         out.push(WIRE_VERSION);
         match self {
             Frame::Attach { session, player } => {
@@ -195,6 +238,7 @@ impl<M: Wire> Frame<M> {
                 src,
                 dst,
                 msg,
+                auth: _,
             } => {
                 out.push(1);
                 session.encode(out);
@@ -225,6 +269,27 @@ impl<M: Wire> Frame<M> {
     pub fn decode_body(body: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(body);
         let version = r.u8()?;
+        if version == WIRE_VERSION_AUTH {
+            // Authenticated layout: only `Msg` frames travel under it.
+            match r.u8()? {
+                1 => {}
+                tag => return Err(CodecError::UnknownTag { what: "Frame", tag }),
+            }
+            let session = Wire::decode(&mut r)?;
+            let src = Wire::decode(&mut r)?;
+            let dst = Wire::decode(&mut r)?;
+            let seq = Wire::decode(&mut r)?;
+            let msg = Wire::decode(&mut r)?;
+            let mac: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+            r.finish()?;
+            return Ok(Frame::Msg {
+                session,
+                src,
+                dst,
+                msg,
+                auth: Some(AuthTag { seq, mac }),
+            });
+        }
         if version != WIRE_VERSION {
             return Err(CodecError::UnknownVersion(version));
         }
@@ -238,6 +303,7 @@ impl<M: Wire> Frame<M> {
                 src: Wire::decode(&mut r)?,
                 dst: Wire::decode(&mut r)?,
                 msg: Wire::decode(&mut r)?,
+                auth: None,
             },
             2 => Frame::Outcome {
                 session: Wire::decode(&mut r)?,
@@ -255,6 +321,46 @@ impl<M: Wire> Frame<M> {
         r.finish()?;
         Ok(frame)
     }
+
+    /// Seals a `Msg` frame under `key`: encodes the authenticated body,
+    /// MACs everything up to the trailer, and patches the tag in place.
+    /// The frame must already carry an [`AuthTag`] (the ship path assigns
+    /// the sequence number); no-op for any other frame.
+    pub fn seal(&mut self, key: &AuthKey) {
+        let Frame::Msg {
+            session, src, dst, ..
+        } = self
+        else {
+            return;
+        };
+        let (session, src, dst) = (*session, *src, *dst);
+        let mut body = Vec::with_capacity(64);
+        self.encode_body(&mut body);
+        if body.first() != Some(&WIRE_VERSION_AUTH) {
+            return; // no trailer to seal
+        }
+        let mac = key.msg_mac(session, src, dst, &body[..body.len() - 8]);
+        if let Frame::Msg {
+            auth: Some(tag), ..
+        } = self
+        {
+            tag.mac = mac;
+        }
+    }
+}
+
+/// Extracts the session id from an authenticated `Msg` body without fully
+/// decoding it — the scoping probe for damaged frames. A truncated
+/// authenticated frame usually still has its intact header (version, kind,
+/// session come first), so the reactor can abort *that session* with a
+/// typed [`NetError::AuthFailure`] instead of killing the connection and
+/// every honest session multiplexed on it.
+pub fn peek_auth_session(body: &[u8]) -> Option<SessionId> {
+    if body.len() < 3 || body[0] != WIRE_VERSION_AUTH || body[1] != 1 {
+        return None;
+    }
+    let mut r = Reader::new(&body[2..]);
+    r.varint().ok()
 }
 
 /// Every way the transport plane can fail, as one typed error. `PartialEq`
@@ -276,6 +382,20 @@ pub enum NetError {
         session: SessionId,
         /// The service's reason.
         reason: RejectReason,
+    },
+    /// An authenticated session detected relay tampering: a frame failed
+    /// its MAC check, arrived with the trailer stripped, replayed a
+    /// consumed sequence number, or was cut short. The session aborts
+    /// with this typed verdict; other sessions on the same connection
+    /// are unaffected (the tamper is session-scoped, not connection-
+    /// fatal — graceful degradation under a Byzantine relay).
+    AuthFailure {
+        /// The session whose channel was tampered with.
+        session: SessionId,
+        /// The reactor-assigned id of the offending connection.
+        conn: u64,
+        /// What the authentication layer caught.
+        kind: TamperKind,
     },
     /// A relay connection vanished while its player still had traffic in
     /// flight — the networked run can no longer make progress.
@@ -331,6 +451,14 @@ impl fmt::Display for NetError {
                     "service rejected a frame for session {session}: {reason}"
                 )
             }
+            NetError::AuthFailure {
+                session,
+                conn,
+                kind,
+            } => write!(
+                f,
+                "session {session}: tampering detected on connection {conn}: {kind}"
+            ),
             NetError::PeerVanished { session, player } => write!(
                 f,
                 "relay for session {session} player {player} vanished with traffic in flight"

@@ -27,6 +27,16 @@
 //!   thread-per-session engine for differential testing).
 //! * [`client`] — the thin relay endpoint ([`Client`]): the network leg
 //!   of every message addressed to its players.
+//! * [`auth`] — authenticated frames: per-pair keyed MACs (hand-rolled
+//!   SipHash-2-4) sealing every shipped `Msg` under [`WIRE_VERSION_AUTH`],
+//!   with sequence numbers for replay protection and downgrade rejection.
+//!   Enable via [`ServiceConfig::auth`]; tampering surfaces as the typed
+//!   [`NetError::AuthFailure`] and aborts only the tampered session.
+//! * [`tamper`] — the Byzantine-relay battery: [`tamper_relay`] mirrors
+//!   the content-blind `bulk_relay` but applies wire-level tactics
+//!   (rewrite / replay / redirect / truncate / reorder / drop / delay /
+//!   strip) over frame-counter windows — the adversary plane's combinator
+//!   style pointed at the transport (DESIGN.md §10).
 //! * [`plan`] — [`NetPlan`]: `.serve(…)` / `.connect_tcp(…)` /
 //!   `.run_over_tcp(…)` entries on every scenario plan, mirroring
 //!   `.session()`.
@@ -65,24 +75,30 @@
 
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod client;
 pub mod frame;
 pub mod plan;
 mod reactor;
 pub mod readiness;
 pub mod service;
+pub mod tamper;
 pub mod transport;
 pub mod wire;
 
+pub use auth::{siphash24, AuthKey, AuthTag, AuthVerdict, TamperKind};
 pub use client::{bulk_relay, Client};
-pub use frame::{Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN};
+pub use frame::{
+    peek_auth_session, Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN,
+};
 pub use plan::NetPlan;
 pub use readiness::{ConnIo, NbListener, Poller, TryRead, TryWrite, Waker, ACCEPT_TOKEN};
 pub use service::{
     run_over_mem, run_over_tcp, DeliveryOrder, Service, ServiceConfig, SessionHandle,
 };
+pub use tamper::{tamper_relay, DriverMode, TamperPlan, TamperReport, TransportKind, WireTactic};
 pub use transport::{
     duplex, pipe, ConnPair, FrameRx, FrameTx, FramedRx, FramedTx, MemTransport, PipeReader,
     PipeWriter, TcpTransport,
 };
-pub use wire::{CodecError, Wire, WIRE_VERSION};
+pub use wire::{CodecError, Wire, WIRE_VERSION, WIRE_VERSION_AUTH};

@@ -24,11 +24,14 @@
 //! (the loop's dispatch order) choosing which session advances next,
 //! constrained only by eventual delivery. See DESIGN.md §9.
 
-use crate::frame::{Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN};
+use crate::auth::TamperKind;
+use crate::frame::{
+    peek_auth_session, Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN,
+};
 use crate::readiness::{
     ConnIo, Event, Interest, NbListener, Poller, TryRead, TryWrite, Waker, ACCEPT_TOKEN,
 };
-use crate::service::{broadcast, DeliveryOrder};
+use crate::service::{broadcast, DeliveryOrder, ServiceConfig};
 use crate::service::{ship, Driver, FlightState, Inbound, SessionEntry, Shared};
 use crate::wire::Wire;
 use mediator_sim::{Outcome, Session, SessionStatus};
@@ -161,10 +164,10 @@ impl<M: Wire + Send> SessionSm<M> {
         session: Session<M>,
         entry: Arc<SessionEntry<M>>,
         result: Sender<Result<Outcome, NetError>>,
-        delivery: DeliveryOrder,
+        cfg: &ServiceConfig,
     ) -> Self {
         let expected = entry.expected;
-        let (depth, rng) = match delivery {
+        let (depth, rng) = match cfg.delivery {
             DeliveryOrder::Arrival => (0usize, None),
             DeliveryOrder::Shuffled { seed, depth } => {
                 (depth, Some(StdRng::seed_from_u64(seed ^ sid)))
@@ -174,7 +177,7 @@ impl<M: Wire + Send> SessionSm<M> {
             sid,
             entry,
             session: Some(session),
-            flight: FlightState::new(expected),
+            flight: FlightState::new(expected, cfg.auth),
             depth,
             rng,
             phase: SmPhase::Attaching {
@@ -225,8 +228,15 @@ impl<M: Wire + Send> SessionSm<M> {
                     // Nothing has been shipped yet, so any early frame is
                     // a peer improvising; hold it — it will be delivered
                     // in order.
-                    ev @ Inbound::Msg { .. } => self.flight.absorb(ev),
+                    ev @ (Inbound::Msg { .. } | Inbound::Tampered { .. }) => self.flight.absorb(ev),
                 }
+            }
+            if let Some((conn, kind)) = self.flight.violation {
+                return Some(Err(NetError::AuthFailure {
+                    session: self.sid,
+                    conn,
+                    kind,
+                }));
             }
             if *nattached != expected {
                 return None;
@@ -234,11 +244,19 @@ impl<M: Wire + Send> SessionSm<M> {
             self.phase = SmPhase::Running;
         }
         loop {
+            // 0. A tampering verdict (parse-layer event or replay
+            //    detection) aborts the session with its typed owner.
+            if let Some((conn, kind)) = self.flight.violation {
+                return Some(Err(NetError::AuthFailure {
+                    session: self.sid,
+                    conn,
+                    kind,
+                }));
+            }
             let session = self.session.as_mut().expect("session present until finish");
             // 1. Ship every freshly-sent message onto its network leg.
             for env in session.drain_outbox() {
-                self.flight.shipped(env.dst);
-                if let Err(e) = ship(&self.entry, self.sid, env) {
+                if let Err(e) = ship(&self.entry, self.sid, env, &mut self.flight) {
                     return Some(Err(e));
                 }
             }
@@ -253,6 +271,13 @@ impl<M: Wire + Send> SessionSm<M> {
             // 3. Absorb everything the network has already handed back.
             while let Some(ev) = self.queue.pop_front() {
                 self.flight.absorb(ev);
+            }
+            if let Some((conn, kind)) = self.flight.violation {
+                return Some(Err(NetError::AuthFailure {
+                    session: self.sid,
+                    conn,
+                    kind,
+                }));
             }
             // 4. Deliver one held frame — immediately under Arrival order,
             //    through the shuffle buffer otherwise (force-drained once
@@ -299,6 +324,9 @@ impl<M: Wire + Send> SessionSm<M> {
 // ---------------------------------------------------------------------------
 
 struct Conn {
+    /// Stable reactor-assigned id (slots are recycled; ids are not) —
+    /// names the culprit connection in [`NetError::AuthFailure`].
+    id: u64,
     io: ConnIo,
     fd: Option<i32>,
     out: Arc<ConnOut>,
@@ -376,6 +404,7 @@ pub(crate) struct Reactor<M: Wire + Send + 'static> {
     draining: bool,
     drain_deadline: Option<Instant>,
     scratch: Vec<u8>,
+    next_conn_id: u64,
 }
 
 impl<M: Wire + Send + 'static> Reactor<M> {
@@ -401,6 +430,7 @@ impl<M: Wire + Send + 'static> Reactor<M> {
             draining: false,
             drain_deadline: None,
             scratch: vec![0u8; 64 * 1024],
+            next_conn_id: 0,
         }
     }
 
@@ -514,8 +544,7 @@ impl<M: Wire + Send + 'static> Reactor<M> {
                     result,
                 }) => {
                     let session = open().with_session_id(id);
-                    let mut sm =
-                        SessionSm::new(id, session, entry, result, self.shared.cfg.delivery);
+                    let mut sm = SessionSm::new(id, session, entry, result, &self.shared.cfg);
                     if let Some(evs) = self.staged.remove(&id) {
                         sm.queue.extend(evs);
                     }
@@ -764,7 +793,10 @@ impl<M: Wire + Send + 'static> Reactor<M> {
             });
         let fd = io.register(&self.waker, read_token(slot));
         let out = Arc::new(ConnOut::new(Arc::clone(&self.waker), write_token(slot)));
+        let id = self.next_conn_id;
+        self.next_conn_id += 1;
         self.conns[slot] = Some(Conn {
+            id,
             io,
             fd,
             out,
@@ -815,11 +847,38 @@ impl<M: Wire + Send + 'static> Reactor<M> {
             if conn.rbuf.len() - off < total {
                 break;
             }
-            match Frame::<M>::decode_body(&conn.rbuf[off + 4..off + total]) {
-                Ok(frame) => self.process_frame(&mut conn, slot, frame, runnable),
+            let body = &conn.rbuf[off + 4..off + total];
+            match Frame::<M>::decode_body(body) {
+                Ok(frame) => match self.vet_frame(&frame, body) {
+                    None => self.process_frame(&mut conn, slot, frame, runnable),
+                    Some(kind) => {
+                        let session = match &frame {
+                            Frame::Msg { session, .. } => *session,
+                            _ => unreachable!("only Msg frames are vetted"),
+                        };
+                        self.tampered(&conn, session, kind, runnable);
+                    }
+                },
                 Err(_) => {
-                    dead = true;
-                    break;
+                    // Undecodable bytes. On an authenticated service a
+                    // damaged frame that still names its session aborts
+                    // that session alone (the relay is Byzantine, but
+                    // its other sessions stay live); structurally
+                    // anonymous garbage still kills the connection.
+                    match self
+                        .shared
+                        .cfg
+                        .auth
+                        .and_then(|_| peek_auth_session(&conn.rbuf[off + 4..off + total]))
+                    {
+                        Some(session) => {
+                            self.tampered(&conn, session, TamperKind::Truncated, runnable)
+                        }
+                        None => {
+                            dead = true;
+                            break;
+                        }
+                    }
                 }
             }
             off += total;
@@ -832,6 +891,70 @@ impl<M: Wire + Send + 'static> Reactor<M> {
             self.kill_conn(slot, conn, runnable);
         } else {
             self.conns[slot] = Some(conn);
+        }
+    }
+
+    /// Authenticates a decoded frame against the service key, if one is
+    /// configured. `None` = pass; `Some(kind)` = a violation to scope to
+    /// the frame's session. Only `Msg` frames carry MACs: control frames
+    /// either originate here (`Outcome`/`Reject`/`Abort` are ignored
+    /// inbound) or precede any routing (`Attach` — a forged attach can
+    /// only lose the race to the honest relay and collect a `Reject`).
+    fn vet_frame(&self, frame: &Frame<M>, body: &[u8]) -> Option<TamperKind> {
+        let key = self.shared.cfg.auth.as_ref()?;
+        let Frame::Msg {
+            session,
+            src,
+            dst,
+            auth,
+            ..
+        } = frame
+        else {
+            return None;
+        };
+        match auth {
+            Some(tag) => {
+                let prefix = &body[..body.len() - 8];
+                if key
+                    .verify_msg(*session, *src, *dst, prefix, tag.mac)
+                    .is_authentic()
+                {
+                    None
+                } else {
+                    Some(TamperKind::BadMac)
+                }
+            }
+            // Downgrade rejection: an authenticated service refuses
+            // version-1 `Msg` frames — stripping the MAC is a tamper.
+            None => Some(TamperKind::Downgrade),
+        }
+    }
+
+    /// A tampering verdict for `session` on `conn`: tell the offending
+    /// connection (typed `Reject`), then hand the violation to whatever
+    /// drives the session, which aborts it with [`NetError::AuthFailure`].
+    /// The connection itself survives — its other sessions are unharmed.
+    fn tampered(
+        &mut self,
+        conn: &Conn,
+        session: SessionId,
+        kind: TamperKind,
+        runnable: &mut HashSet<SessionId>,
+    ) {
+        let _ = conn.out.send_frame::<M>(&Frame::Reject {
+            session,
+            reason: RejectReason::TamperDetected,
+        });
+        if let Some(entry) = self.shared.lookup(session) {
+            self.deliver(
+                &entry,
+                session,
+                Inbound::Tampered {
+                    conn: conn.id,
+                    kind,
+                },
+                runnable,
+            );
         }
     }
 
@@ -877,6 +1000,7 @@ impl<M: Wire + Send + 'static> Reactor<M> {
                 src,
                 dst,
                 msg,
+                auth,
             } => {
                 // A frame for an unknown session is a late echo for a run
                 // that already finished: dead, by design.
@@ -906,6 +1030,8 @@ impl<M: Wire + Send + 'static> Reactor<M> {
                                 dst,
                                 msg,
                                 returned,
+                                seq: auth.map(|tag| tag.seq),
+                                conn: conn.id,
                             },
                             runnable,
                         );

@@ -40,6 +40,7 @@
 //! deliberately so the differential suite can run the same plans through
 //! both drivers and pin outcome-kind and failure-owner agreement.
 
+use crate::auth::{AuthKey, AuthTag, TamperKind};
 use crate::client::Client;
 use crate::frame::{Frame, NetError, OutcomeSummary, SessionId};
 use crate::reactor::{Command, ConnOut, Reactor, CMD_TOKEN};
@@ -51,7 +52,7 @@ use mediator_sim::SchedulerKind;
 use mediator_sim::{Envelope, Outcome, Session, SessionStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
@@ -91,6 +92,13 @@ pub struct ServiceConfig {
     pub attach_grace: Duration,
     /// The pump's delivery policy.
     pub delivery: DeliveryOrder,
+    /// When set, every shipped `Msg` frame is sealed with a per-pair MAC
+    /// under this master key and verified on return (see the `auth`
+    /// module): tampered, replayed, stripped, or truncated frames abort
+    /// the affected session with [`NetError::AuthFailure`] instead of
+    /// corrupting the run. `None` (the default) trusts relays, as the
+    /// plane did before authenticated frames existed.
+    pub auth: Option<AuthKey>,
 }
 
 impl Default for ServiceConfig {
@@ -100,7 +108,16 @@ impl Default for ServiceConfig {
             attach_timeout: Duration::from_secs(30),
             attach_grace: Duration::from_secs(5),
             delivery: DeliveryOrder::Arrival,
+            auth: None,
         }
+    }
+}
+
+impl ServiceConfig {
+    /// This config with authenticated frames enabled under `key`.
+    pub fn with_auth(mut self, key: AuthKey) -> Self {
+        self.auth = Some(key);
+        self
     }
 }
 
@@ -118,9 +135,21 @@ pub(crate) enum Inbound<M> {
         dst: usize,
         msg: M,
         returned: bool,
+        /// The authenticated sequence number, when the frame carried a
+        /// verified MAC. The in-flight accounting checks it off against
+        /// the outstanding set: a consumed number is a replay.
+        seq: Option<u64>,
+        /// Reactor-assigned id of the connection the frame arrived on
+        /// (names the culprit in [`NetError::AuthFailure`]).
+        conn: u64,
     },
     /// The relay for `player` disconnected.
     PeerGone { player: usize },
+    /// The parse layer caught tampering on an authenticated frame for
+    /// this session (bad MAC, stripped trailer, or truncated body). The
+    /// driver turns it into [`NetError::AuthFailure`] — session-fatal,
+    /// connection-preserving.
+    Tampered { conn: u64, kind: TamperKind },
 }
 
 /// What drives a hosted session: the reactor's state machine, or a
@@ -399,15 +428,19 @@ impl<M: Wire + Send + 'static> Drop for Service<M> {
     }
 }
 
-/// Ships one drained envelope to its destination's relay. A missing route
+/// Ships one drained envelope to its destination's relay, recording it in
+/// the flight accounting and — under an authenticated config — assigning
+/// a fresh sequence number and sealing the frame's MAC. A missing route
 /// or a dead connection is [`NetError::PeerVanished`] — the typed owner
 /// the failure-mode suites assert on.
 pub(crate) fn ship<M: Wire>(
     entry: &SessionEntry<M>,
     sid: SessionId,
     env: Envelope<M>,
+    flight: &mut FlightState<M>,
 ) -> Result<(), NetError> {
     let dst = env.dst;
+    flight.shipped(dst);
     let route = entry
         .routes
         .lock()
@@ -418,12 +451,22 @@ pub(crate) fn ship<M: Wire>(
             session: sid,
             player: dst,
         })?;
-    let frame = Frame::Msg {
+    let auth = flight.auth.as_mut().map(|a| {
+        let seq = a.next_seq;
+        a.next_seq += 1;
+        a.outstanding.insert(seq);
+        AuthTag { seq, mac: [0; 8] }
+    });
+    let mut frame = Frame::Msg {
         session: sid,
         src: env.src,
         dst,
         msg: env.msg,
+        auth,
     };
+    if let Some(a) = &flight.auth {
+        frame.seal(&a.key);
+    }
     route
         .send_frame(&frame)
         .map_err(|_| NetError::PeerVanished {
@@ -463,15 +506,36 @@ pub(crate) struct FlightState<M> {
     pub(crate) in_flight: u64,
     pub(crate) in_flight_by: Vec<u64>,
     pub(crate) gone: Vec<usize>,
+    /// Authenticated-channel state, present iff the config carries a key.
+    pub(crate) auth: Option<AuthState>,
+    /// First tampering violation observed (parse-layer `Tampered` events
+    /// and replay detection both land here); the driver turns it into
+    /// [`NetError::AuthFailure`] at its next check.
+    pub(crate) violation: Option<(u64, TamperKind)>,
+}
+
+/// Per-session sequencing state for authenticated frames: the next ship
+/// sequence number, the numbers still on the wire, and the master key the
+/// MACs derive from.
+pub(crate) struct AuthState {
+    pub(crate) key: AuthKey,
+    pub(crate) next_seq: u64,
+    pub(crate) outstanding: HashSet<u64>,
 }
 
 impl<M> FlightState<M> {
-    pub(crate) fn new(expected: usize) -> Self {
+    pub(crate) fn new(expected: usize, auth: Option<AuthKey>) -> Self {
         FlightState {
             held: Vec::new(),
             in_flight: 0,
             in_flight_by: vec![0; expected],
             gone: Vec::new(),
+            auth: auth.map(|key| AuthState {
+                key,
+                next_seq: 0,
+                outstanding: HashSet::new(),
+            }),
+            violation: None,
         }
     }
 
@@ -482,6 +546,12 @@ impl<M> FlightState<M> {
         }
     }
 
+    fn flag(&mut self, conn: u64, kind: TamperKind) {
+        if self.violation.is_none() {
+            self.violation = Some((conn, kind));
+        }
+    }
+
     pub(crate) fn absorb(&mut self, inbound: Inbound<M>) {
         match inbound {
             Inbound::Msg {
@@ -489,23 +559,54 @@ impl<M> FlightState<M> {
                 dst,
                 msg,
                 returned,
+                seq,
+                conn,
             } => {
-                // Decrement only for a frame that (a) came back on dst's
-                // own relay connection and (b) has a shipped frame to
-                // account against — an improvised frame (forged, or a
-                // stray client) is delivered but cannot fake quiescence.
-                if returned {
-                    if let Some(slot) = self.in_flight_by.get_mut(dst) {
-                        if *slot > 0 {
-                            *slot -= 1;
-                            self.in_flight -= 1;
+                match (&mut self.auth, seq) {
+                    // Authenticated channel: the MAC was already verified
+                    // at the parse layer; freshness is checked here, where
+                    // the outstanding set lives. A consumed sequence
+                    // number is a replay — flagged, not delivered.
+                    (Some(a), Some(seq)) => {
+                        if !a.outstanding.remove(&seq) {
+                            self.flag(conn, TamperKind::Replayed);
+                            return;
                         }
+                        if returned {
+                            if let Some(slot) = self.in_flight_by.get_mut(dst) {
+                                if *slot > 0 {
+                                    *slot -= 1;
+                                    self.in_flight -= 1;
+                                }
+                            }
+                        }
+                        self.held.push(Envelope { src, dst, msg });
+                    }
+                    // An unauthenticated Msg reaching an authenticated
+                    // driver: the parse layer rejects these, so this is
+                    // defense in depth against a path drift.
+                    (Some(_), None) => self.flag(conn, TamperKind::Downgrade),
+                    // Plain channel. Decrement only for a frame that (a)
+                    // came back on dst's own relay connection and (b) has
+                    // a shipped frame to account against — an improvised
+                    // frame (forged, or a stray client) is delivered but
+                    // cannot fake quiescence.
+                    (None, _) => {
+                        if returned {
+                            if let Some(slot) = self.in_flight_by.get_mut(dst) {
+                                if *slot > 0 {
+                                    *slot -= 1;
+                                    self.in_flight -= 1;
+                                }
+                            }
+                        }
+                        self.held.push(Envelope { src, dst, msg });
                     }
                 }
-                self.held.push(Envelope { src, dst, msg });
             }
             Inbound::Attached { player } => self.gone.retain(|&p| p != player),
             Inbound::PeerGone { player } => self.gone.push(player),
+            Inbound::Tampered { conn, kind } => self.flag(conn, kind),
         }
     }
 
@@ -530,7 +631,7 @@ fn pump<M: Wire + Send>(
     cfg: &ServiceConfig,
 ) -> Result<Outcome, NetError> {
     let expected = entry.expected;
-    let mut flight: FlightState<M> = FlightState::new(expected);
+    let mut flight: FlightState<M> = FlightState::new(expected, cfg.auth);
     let (depth, mut rng) = match cfg.delivery {
         DeliveryOrder::Arrival => (0usize, None),
         DeliveryOrder::Shuffled { seed, depth } => (depth, Some(StdRng::seed_from_u64(seed ^ sid))),
@@ -565,7 +666,16 @@ fn pump<M: Wire + Send>(
             }
             // Nothing has been shipped yet, so any early frame is a peer
             // improvising; hold it — it will be delivered in order.
-            Ok(msg @ Inbound::Msg { .. }) => flight.absorb(msg),
+            Ok(ev @ (Inbound::Msg { .. } | Inbound::Tampered { .. })) => {
+                flight.absorb(ev);
+                if let Some((conn, kind)) = flight.violation {
+                    return Err(NetError::AuthFailure {
+                        session: sid,
+                        conn,
+                        kind,
+                    });
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {
                 return Err(NetError::AttachTimeout {
                     session: sid,
@@ -578,10 +688,18 @@ fn pump<M: Wire + Send>(
     }
 
     loop {
+        // 0. A tampering verdict (parse-layer event or replay detection)
+        //    aborts the session with its typed owner before anything else.
+        if let Some((conn, kind)) = flight.violation {
+            return Err(NetError::AuthFailure {
+                session: sid,
+                conn,
+                kind,
+            });
+        }
         // 1. Ship every freshly-sent message onto its network leg.
         for env in session.drain_outbox() {
-            flight.shipped(env.dst);
-            ship(entry, sid, env)?;
+            ship(entry, sid, env, &mut flight)?;
         }
         // 2. Dispatch local events (start signals stay on the plane).
         if !session.pending().is_empty() {
@@ -599,6 +717,13 @@ fn pump<M: Wire + Send>(
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => return Err(NetError::ServiceGone),
             }
+        }
+        if let Some((conn, kind)) = flight.violation {
+            return Err(NetError::AuthFailure {
+                session: sid,
+                conn,
+                kind,
+            });
         }
         // 4. Deliver one held frame — immediately under Arrival order,
         //    through the shuffle buffer otherwise (force-drained once

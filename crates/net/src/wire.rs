@@ -23,9 +23,18 @@ use mediator_field::Fp;
 use std::fmt;
 
 /// The wire-format version, written as the first byte of every frame body.
-/// Decoders reject anything else with [`CodecError::UnknownVersion`]:
-/// cross-version negotiation is a non-goal until a second version exists.
+/// Decoders reject anything else with [`CodecError::UnknownVersion`] —
+/// except [`WIRE_VERSION_AUTH`], the authenticated `Msg` layout.
 pub const WIRE_VERSION: u8 = 1;
+
+/// The authenticated wire-format version: a `Msg` frame whose body ends in
+/// a per-session sequence number and an 8-byte SipHash-2-4 MAC (see the
+/// `auth` module). Only `Msg` frames travel under this version — control
+/// frames (`Attach`/`Outcome`/`Reject`/`Abort`) originate at the endpoint
+/// that also judges them, so they stay on [`WIRE_VERSION`]. A service
+/// running with authentication enabled rejects version-1 `Msg` frames
+/// (downgrade rejection): stripping the MAC is itself a detected tamper.
+pub const WIRE_VERSION_AUTH: u8 = 2;
 
 /// A typed decode failure. Every malformed input maps to one of these —
 /// the codec never panics on attacker-controlled bytes.
@@ -150,6 +159,16 @@ impl<'a> Reader<'a> {
             });
         }
         Ok(announced as usize)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
     }
 
     /// Asserts the buffer is fully consumed.

@@ -11,8 +11,8 @@ use mediator_core::MedMsg;
 use mediator_field::Fp;
 use mediator_mpc::MpcMsg;
 use mediator_net::{
-    CodecError, Frame, FrameRx as _, FramedRx, MemTransport, NetError, OutcomeSummary,
-    TcpTransport, Wire, MAX_FRAME_LEN, WIRE_VERSION,
+    AuthKey, AuthTag, CodecError, Frame, FrameRx as _, FramedRx, MemTransport, NetError,
+    OutcomeSummary, TamperKind, TcpTransport, Wire, MAX_FRAME_LEN, WIRE_VERSION, WIRE_VERSION_AUTH,
 };
 use mediator_sim::{Payload, TerminationKind};
 use mediator_vss::{AvssMsg, DetectMsg};
@@ -154,7 +154,7 @@ proptest! {
     fn frames_round_trip(msg in Gen(arb_ct), session in 0u64..1000, src in 0usize..16, dst in 0usize..16) {
         let frames = [
             Frame::Attach { session, player: src },
-            Frame::Msg { session, src, dst, msg },
+            Frame::Msg { session, src, dst, msg, auth: None },
             Frame::Outcome {
                 session,
                 summary: OutcomeSummary {
@@ -322,6 +322,7 @@ fn frames_survive_both_backends_intact() {
         src: 1,
         dst: 4,
         msg: CtMsg::Finished,
+        auth: None,
     };
 
     let hub = MemTransport::new();
@@ -341,6 +342,233 @@ fn frames_survive_both_backends_intact() {
     let (_tx, mut rx) = accept_framed::<CtMsg>(&mut transport);
     assert_eq!(rx.recv().expect("frame over tcp"), frame);
     client.join().expect("client thread");
+}
+
+// ---------------------------------------------------------------------------
+// Authenticated-frame negative paths (WIRE_VERSION_AUTH) over BOTH backends
+// ---------------------------------------------------------------------------
+
+/// A sealed v2 `Msg` frame: session 7, player 0 → 1, an `Open` carrying
+/// `value`, MAC computed under `key`.
+fn sealed_msg(key: &AuthKey, seq: u64, value: u64) -> Frame<CtMsg> {
+    let mut frame = Frame::Msg {
+        session: 7,
+        src: 0,
+        dst: 1,
+        msg: CtMsg::Mpc(MpcMsg::Open {
+            id: 42,
+            value: Fp::new(value),
+        }),
+        auth: Some(AuthTag { seq, mac: [0; 8] }),
+    };
+    frame.seal(key);
+    frame
+}
+
+/// Like [`assert_both_backends`] but for raw pre-built bytes (the sprays
+/// here are crafted mutations of sealed frames, not fn-pointer friendly).
+fn spray_bytes_both_backends(body: &[u8], expect: &NetError) {
+    let framed = |body: &[u8]| {
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(body);
+        bytes
+    };
+
+    let (mut raw_tx, raw_rx) = mediator_net::pipe();
+    std::io::Write::write_all(&mut raw_tx, &framed(body)).unwrap();
+    drop(raw_tx);
+    let mut rx: FramedRx<_> = FramedRx::new(raw_rx);
+    let got: Result<Frame<CtMsg>, NetError> = rx.recv();
+    assert_eq!(got.unwrap_err(), *expect, "mem backend");
+
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind 127.0.0.1:0");
+    let addr = listener.local_addr().expect("local addr");
+    let bytes = framed(body);
+    let client = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        std::io::Write::write_all(&mut stream, &bytes).unwrap();
+    });
+    let (stream, _) = listener.accept().expect("accept");
+    let mut rx: FramedRx<_> = FramedRx::new(stream);
+    let got: Result<Frame<CtMsg>, NetError> = rx.recv();
+    assert_eq!(got.unwrap_err(), *expect, "tcp backend");
+    client.join().expect("client thread");
+}
+
+#[test]
+fn truncated_mac_trailer_is_a_typed_error_on_both_backends() {
+    // A v2 frame with half its MAC cut off: the decoder demands all 8
+    // trailer bytes and surfaces `Truncated` — never a short-MAC compare.
+    let key = AuthKey::from_seed(11);
+    let mut body = Vec::new();
+    sealed_msg(&key, 0, 2).encode_body(&mut body);
+    body.truncate(body.len() - 4);
+    spray_bytes_both_backends(&body, &NetError::Codec(CodecError::Truncated));
+}
+
+#[test]
+fn flipped_version_byte_is_a_typed_error_on_both_backends() {
+    // One bit of stream damage in the version byte of a sealed frame.
+    let key = AuthKey::from_seed(11);
+    let mut body = Vec::new();
+    sealed_msg(&key, 0, 2).encode_body(&mut body);
+    let flipped = body[0] ^ 0x04;
+    body[0] = flipped;
+    spray_bytes_both_backends(&body, &NetError::Codec(CodecError::UnknownVersion(flipped)));
+}
+
+#[test]
+fn auth_version_carries_only_msg_frames_on_both_backends() {
+    // Control frames never travel v2 (they originate at the endpoint that
+    // judges them): a v2 body with a non-Msg kind byte is malformed.
+    let key = AuthKey::from_seed(11);
+    let mut body = Vec::new();
+    sealed_msg(&key, 0, 2).encode_body(&mut body);
+    assert_eq!(body[0], WIRE_VERSION_AUTH);
+    body[1] = 4; // Abort's kind byte — legal in v1, not under v2
+    spray_bytes_both_backends(
+        &body,
+        &NetError::Codec(CodecError::UnknownTag {
+            what: "Frame",
+            tag: 4,
+        }),
+    );
+}
+
+#[test]
+fn bit_flipped_payload_fails_mac_verification_on_both_backends() {
+    // A payload mutation that keeps the frame *well-formed* (value 2 → 3
+    // with the original MAC spliced in): the codec accepts it — MACs are
+    // opaque bytes to the framing layer — and verification must be the
+    // layer that catches it. Both backends deliver the frame intact; the
+    // stale MAC fails against the mutated body on both.
+    let key = AuthKey::from_seed(11);
+    let genuine = sealed_msg(&key, 3, 2);
+    let Frame::Msg {
+        auth: Some(tag), ..
+    } = &genuine
+    else {
+        panic!("sealed_msg builds a Msg");
+    };
+    let forged = match sealed_msg(&key, 3, 3) {
+        Frame::Msg {
+            session,
+            src,
+            dst,
+            msg,
+            ..
+        } => Frame::Msg {
+            session,
+            src,
+            dst,
+            msg,
+            auth: Some(*tag), // genuine MAC, mutated payload
+        },
+        _ => unreachable!(),
+    };
+
+    let verify = |frame: &Frame<CtMsg>| {
+        let mut body = Vec::new();
+        frame.encode_body(&mut body);
+        let Frame::Msg {
+            session,
+            src,
+            dst,
+            auth: Some(tag),
+            ..
+        } = frame
+        else {
+            panic!("Msg expected");
+        };
+        key.verify_msg(*session, *src, *dst, &body[..body.len() - 8], tag.mac)
+            .is_authentic()
+    };
+    assert!(verify(&genuine), "control: the untouched frame verifies");
+    assert!(!verify(&forged), "one flipped payload value must be Forged");
+
+    // Over the wire on both backends: arrives decodable, still Forged.
+    let (raw_tx, raw_rx) = mediator_net::pipe();
+    let mut tx = mediator_net::FramedTx::new(raw_tx);
+    mediator_net::FrameTx::send(&mut tx, &forged).expect("send over mem");
+    let mut rx: FramedRx<_> = FramedRx::new(raw_rx);
+    let got: Frame<CtMsg> = rx.recv().expect("forged frame decodes at the codec layer");
+    assert!(!verify(&got), "mem backend: Forged after the wire hop");
+
+    let mut transport = TcpTransport::bind_loopback().expect("bind");
+    let addr = transport.addr();
+    let sent = forged.clone();
+    let client = std::thread::spawn(move || {
+        let (mut tx, _rx) = TcpTransport::connect::<CtMsg>(addr).expect("connect");
+        tx.send(&sent).expect("send over tcp");
+    });
+    let (_tx, mut rx) = accept_framed::<CtMsg>(&mut transport);
+    let got = rx.recv().expect("forged frame decodes at the codec layer");
+    assert!(!verify(&got), "tcp backend: Forged after the wire hop");
+    client.join().expect("client thread");
+}
+
+#[test]
+fn replayed_frame_aborts_the_session_with_the_typed_owner_on_both_backends() {
+    // End-to-end freshness: a relay that echoes one frame *twice* against
+    // an authenticated service. The duplicate carries a valid MAC — only
+    // the consumed sequence number betrays it — and the session dies with
+    // the typed `Replayed` owner on both transports.
+    use mediator_circuits::catalog;
+    use mediator_core::scenario::Scenario;
+    use mediator_net::{Client, DeliveryOrder, NetPlan, Service, ServiceConfig};
+    use mediator_sim::SchedulerKind;
+
+    let n = 5;
+    let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(vec![vec![Fp::ONE]; n])
+        .build()
+        .expect("n = 5 > 4k+4t = 4");
+    let cfg = ServiceConfig {
+        idle_timeout: std::time::Duration::from_secs(5),
+        attach_timeout: std::time::Duration::from_secs(10),
+        attach_grace: std::time::Duration::from_millis(100),
+        delivery: DeliveryOrder::Arrival,
+        auth: None,
+    }
+    .with_auth(AuthKey::from_seed(0xabad1dea));
+
+    for tcp in [false, true] {
+        let hub = MemTransport::new();
+        let (service, mut client): (Service<CtMsg>, Client<CtMsg>) = if tcp {
+            let listener = TcpTransport::bind_loopback().expect("bind");
+            let addr = listener.addr();
+            let service = Service::with_config(Box::new(listener), cfg.clone());
+            (service, Client::tcp(addr).expect("dial"))
+        } else {
+            let service = Service::with_config(Box::new(hub.listener()), cfg.clone());
+            (service, Client::mem(&hub))
+        };
+        let handle = plan.serve(&service, 7, SchedulerKind::Fifo, 0);
+        for player in 0..n {
+            client.attach(7, player).expect("attach");
+        }
+        let mut duplicated = false;
+        while let Ok(frame @ Frame::Msg { .. }) = client.recv() {
+            if client.send(&frame).is_err() {
+                break; // service already aborted the session
+            }
+            if !duplicated {
+                duplicated = true;
+                let _ = client.send(&frame); // the replay
+            }
+        }
+        assert!(duplicated, "tcp={tcp}: relay replayed a frame");
+        match handle.outcome() {
+            Err(NetError::AuthFailure { session, kind, .. }) => {
+                assert_eq!(session, 7, "tcp={tcp}");
+                assert_eq!(kind, TamperKind::Replayed, "tcp={tcp}");
+            }
+            other => panic!("tcp={tcp}: expected Replayed AuthFailure, got {other:?}"),
+        }
+        service.shutdown();
+    }
 }
 
 /// Spin-waits one connection out of a non-blocking listener and hands it

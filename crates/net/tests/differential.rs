@@ -77,6 +77,7 @@ fn quick_cfg() -> ServiceConfig {
         attach_timeout: Duration::from_millis(400),
         attach_grace: Duration::from_millis(100),
         delivery: DeliveryOrder::Arrival,
+        auth: None,
     }
 }
 
@@ -378,4 +379,59 @@ fn rejection_reasons_are_identical_across_drivers() {
         );
         service.shutdown();
     }
+}
+
+// ---------------------------------------------------------------------------
+// PR 7: the new typed owner — both drivers must report tampering
+// identically
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drivers_agree_on_the_auth_failure_owner() {
+    // The same rewriting relay against the same authenticated config, once
+    // per driver: MAC verification lives in the reactor's single parse
+    // site and freshness in the shared flight state precisely so the two
+    // drivers *cannot* disagree on the verdict. Pin it anyway.
+    use mediator_core::adversary::{Window, OPEN_LIE_OFFSET};
+    use mediator_net::tamper::{
+        run_tampered_pair, DriverMode, TamperPlan, TransportKind, WireTactic, TARGET_SID,
+    };
+    use mediator_net::{AuthKey, TamperKind};
+
+    let plan = majority_plan(5);
+    let cfg = ServiceConfig {
+        auth: None,
+        ..quick_cfg()
+    }
+    .with_auth(AuthKey::from_seed(7));
+    let mut verdicts: Vec<(u64, TamperKind)> = Vec::new();
+    for driver in [DriverMode::Reactor, DriverMode::Threaded] {
+        let pair = run_tampered_pair(
+            &plan,
+            TransportKind::Mem,
+            driver,
+            cfg.clone(),
+            TamperPlan::against(TARGET_SID).tactic(
+                Window::all(),
+                WireTactic::Rewrite {
+                    offset: OPEN_LIE_OFFSET,
+                },
+            ),
+            SchedulerKind::Fifo,
+            0,
+        );
+        match pair.target {
+            Err(NetError::AuthFailure { session, kind, .. }) => verdicts.push((session, kind)),
+            other => panic!("{driver:?}: expected AuthFailure, got {other:?}"),
+        }
+        assert!(
+            pair.honest.is_ok(),
+            "{driver:?}: honest neighbor unaffected"
+        );
+    }
+    assert_eq!(
+        verdicts[0], verdicts[1],
+        "reactor and threaded drivers report the same typed verdict"
+    );
+    assert_eq!(verdicts[0], (TARGET_SID, TamperKind::BadMac));
 }

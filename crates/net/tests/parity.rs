@@ -177,6 +177,7 @@ fn quick_cfg() -> ServiceConfig {
         attach_timeout: Duration::from_millis(400),
         attach_grace: Duration::from_millis(100),
         delivery: DeliveryOrder::Arrival,
+        auth: None,
     }
 }
 
@@ -272,6 +273,7 @@ fn improvised_in_range_frames_cannot_fake_quiescence() {
                 src: 1,
                 dst: 3,
                 msg: mediator_core::MedMsg::Gossip { payload: vec![] },
+                auth: None,
             })
             .expect("forged frame accepted onto the wire");
     }
@@ -303,6 +305,7 @@ fn forged_out_of_range_msg_is_rejected_not_a_panic() {
             src: 999,
             dst: 0,
             msg: CtMsg::Finished,
+            auth: None,
         })
         .expect("send forged frame");
     assert_eq!(
