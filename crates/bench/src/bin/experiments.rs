@@ -8,13 +8,14 @@
 
 use mediator_bench::*;
 use mediator_circuits::catalog;
+use mediator_core::adversary::{cheap_talk_deviant_cells, mediator_deviant_cells};
 use mediator_core::deviations::{Behavior, CounterexampleColluder};
 use mediator_core::egl;
 use mediator_core::implement::compare_run_sets;
 use mediator_core::mediator::{run_mediator_game, MedMsg, MediatorGameSpec};
 use mediator_core::min_info;
 use mediator_core::report::{check, f4, Table};
-use mediator_core::scenario::Scenario;
+use mediator_core::scenario::{CheapTalkPlan, MediatorPlan, Scenario};
 use mediator_core::CheapTalkSpec;
 use mediator_field::Fp;
 use mediator_games::library;
@@ -67,13 +68,36 @@ fn main() {
     if args.iter().any(|a| a == "--conformance") {
         // CONFORMANCE.json mode: run the ε-resilience conformance battery
         // (reduced in --fast) and write the reports as a JSON artifact.
-        // Exits nonzero if any verdict contradicts the paper's claims.
+        // Every Violated verdict's witness run is additionally persisted
+        // as a replayable trace (see `--replay`). Exits nonzero if any
+        // verdict contradicts the paper's claims.
         let out = args
             .iter()
             .find_map(|a| a.strip_prefix("--out="))
             .unwrap_or("CONFORMANCE.json")
             .to_string();
-        conformance_battery(&out, fast);
+        let witness_out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--witness-out="))
+            .unwrap_or("WITNESS.mtrc")
+            .to_string();
+        conformance_battery(&out, &witness_out, fast);
+        return;
+    }
+
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--replay")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--replay=").map(String::from))
+        })
+    {
+        // Replay mode: re-enact every run in a stored trace log (the
+        // `--conformance` witness artifact, typically) and verify each one
+        // reproduces byte-identically. Exits nonzero on any divergence.
+        replay_store(&path);
         return;
     }
 
@@ -254,6 +278,61 @@ fn bench_trajectory(label: &str, out: &str, fast: bool, net_only: bool) {
         }
     }
 
+    use mediator_sim::TraceSink;
+    use mediator_store::{HeaderTemplate, PlanKind, RunHeader, StoreSink, TraceStore};
+
+    if !net_only {
+        // The trace store's append path: CRC-framed encode of header +
+        // event chunks + outcome, ~1e5 events per op into a fresh
+        // in-memory log — the cost a recording sweep pays per session,
+        // aggregated to a stable measurement.
+        let recorded = plan.run_with(&SchedulerKind::Random, 1);
+        let per_run = recorded.trace.events().len().max(1);
+        let appends = 100_000usize.div_ceil(per_run);
+        let ns = median_ns_per_op(ksamples, 1, || {
+            let mut store = TraceStore::in_memory();
+            for session in 0..appends as u64 {
+                let mut header = RunHeader::bare(session, 1);
+                header.plan = PlanKind::CheapTalk;
+                store.record(header, &recorded).expect("append");
+            }
+            store.len()
+        });
+        metrics.push(
+            Metric::new("trace_store_append_1e5_events", ns)
+                .with("events", (appends * per_run) as u64)
+                .with("appends", appends as u64),
+        );
+
+        // Deterministic replay of one stored cheap-talk run: decode the
+        // script, re-run the session under the Replay scheduler, compare
+        // the re-recorded trace byte-for-byte and the outcome field by
+        // field.
+        let sink = StoreSink::with_template(
+            TraceStore::in_memory(),
+            HeaderTemplate {
+                plan: Some(PlanKind::CheapTalk),
+                n: 5,
+                k: 1,
+                ..HeaderTemplate::default()
+            },
+        );
+        sink.record(
+            &mediator_sim::RunMeta::cell(0, SchedulerKind::Random, 1),
+            &recorded,
+        );
+        assert!(sink.take_error().is_none(), "witness append");
+        let store = sink.into_store();
+        let run = store.load(0).expect("stored run loads");
+        let ns = median_ns_per_op(wsamples, 1, || {
+            mediator_store::replay_plan(&plan, &run)
+                .expect("replay reproduces")
+                .events
+        });
+        metrics
+            .push(Metric::new("replay_cheap_talk_n5", ns).with("events", run.outcome.event_count));
+    }
+
     // The transport plane (DESIGN.md §9): one full cheap-talk execution
     // over real TCP loopback sockets — service, five relay connections
     // (one per player), every protocol message framed, shipped, echoed,
@@ -287,6 +366,38 @@ fn bench_trajectory(label: &str, out: &str, fast: bool, net_only: bool) {
         });
         metrics.push(
             Metric::new(name, ns)
+                .with("messages_sent", net_out.messages_sent)
+                .with("steps", net_out.steps),
+        );
+    }
+
+    // The same TCP-loopback workload with a `StoreSink` wired into the
+    // service: every finished session is encoded and appended to an
+    // in-memory trace store. The delta against
+    // `net_cheap_talk_n5_tcp_loopback` is the whole price of recording —
+    // budgeted below 10% of the unrecorded run.
+    {
+        let run_recorded = || {
+            let sink = std::sync::Arc::new(StoreSink::with_template(
+                TraceStore::in_memory(),
+                HeaderTemplate {
+                    plan: Some(PlanKind::CheapTalk),
+                    n: 5,
+                    k: 1,
+                    networked: true,
+                    ..HeaderTemplate::default()
+                },
+            ));
+            let cfg = ServiceConfig::default().with_sink(sink.clone());
+            let out =
+                run_over_tcp(&plan, &SchedulerKind::Random, 1, cfg).expect("tcp loopback run");
+            assert!(sink.take_error().is_none(), "trace recorded");
+            out
+        };
+        let net_out = run_recorded();
+        let ns = median_ns_per_op(nsamples, 1, || run_recorded().steps);
+        metrics.push(
+            Metric::new("net_cheap_talk_n5_tcp_loopback_recorded", ns)
                 .with("messages_sent", net_out.messages_sent)
                 .with("steps", net_out.steps),
         );
@@ -428,7 +539,7 @@ fn tamper_battery(out: &str) {
             attach_timeout: Duration::from_secs(10),
             attach_grace: Duration::from_millis(100),
             delivery: DeliveryOrder::Arrival,
-            auth: None,
+            ..ServiceConfig::default()
         };
         if auth {
             base.with_auth(AuthKey::from_seed(0xfeed))
@@ -584,13 +695,58 @@ fn tamper_battery(out: &str) {
     );
 }
 
+/// The Theorem 4.1 cheap-talk working point of the conformance battery
+/// (n = 5 > 4k + 4t) — factored out so `--replay` can rebuild the exact
+/// plan a stored witness names.
+fn conformance_cheap_talk_plan() -> CheapTalkPlan {
+    let n = 5;
+    Scenario::cheap_talk(catalog::majority_circuit(n))
+        .players(n)
+        .tolerance(1, 0)
+        .inputs(ones_inputs(n))
+        .build()
+        .expect("5 > 4")
+}
+
+/// The §6.4 naive mediator of the conformance battery (n = 7, k = 2 —
+/// below the 4.1 bound, so the harness must find the deviation).
+fn conformance_naive_plan() -> MediatorPlan {
+    let n = 7;
+    let (_, _, k) = library::counterexample_game(n);
+    let bot = library::BOTTOM as u64;
+    Scenario::mediator(catalog::counterexample_naive(n))
+        .players(n)
+        .tolerance(k, 0)
+        .naive_split()
+        .wills(vec![bot; n])
+        .resolve_defaults(vec![bot; n])
+        .build()
+        .expect("n − k ≥ 1")
+}
+
+/// The minimally-informative §6.4 fix of the conformance battery.
+fn conformance_minfo_plan() -> MediatorPlan {
+    let n = 7;
+    let (_, _, k) = library::counterexample_game(n);
+    let bot = library::BOTTOM as u64;
+    Scenario::mediator(catalog::counterexample_minfo(n))
+        .players(n)
+        .tolerance(k, 0)
+        .wills(vec![bot; n])
+        .resolve_defaults(vec![bot; n])
+        .build()
+        .expect("n − k ≥ 1")
+}
+
 /// `--conformance` — the statistical ε-resilience conformance battery:
 /// the Theorem 4.1 cheap talk at a paper-valid working point (must be
 /// resilient), the §6.4 naive mediator below the 4.1 bound (the harness
 /// must *find* the profitable deviation), and the minimally-informative
-/// fix (resilient again). Writes all three reports to `out` as JSON and
-/// panics — failing CI — on any unexpected verdict.
-fn conformance_battery(out: &str, fast: bool) {
+/// fix (resilient again). Writes all three reports to `out` as JSON,
+/// persists every Violated verdict's witness run as a replayable trace
+/// in `witness_out` (one `experiments -- --replay <path>` from a rerun),
+/// and panics — failing CI — on any unexpected verdict.
+fn conformance_battery(out: &str, witness_out: &str, fast: bool) {
     use mediator_core::adversary::Conformance;
 
     let seeds = if fast { 16 } else { 48 };
@@ -604,12 +760,7 @@ fn conformance_battery(out: &str, fast: bool) {
     // Theorem 4.1 working point: n = 5 > 4k + 4t.
     let n = 5;
     let game = library::byzantine_agreement_game(n);
-    let plan = Scenario::cheap_talk(catalog::majority_circuit(n))
-        .players(n)
-        .tolerance(1, 0)
-        .inputs(ones_inputs(n))
-        .build()
-        .expect("5 > 4");
+    let plan = conformance_cheap_talk_plan();
     let report = plan.conformance(
         &game,
         &vec![1usize; n],
@@ -641,14 +792,7 @@ fn conformance_battery(out: &str, fast: bool) {
         .seeds(seeds)
         .coalitions(vec![vec![0], vec![0, 1]])
         .deadlock_action(bot);
-    let naive = Scenario::mediator(catalog::counterexample_naive(n))
-        .players(n)
-        .tolerance(k, 0)
-        .naive_split()
-        .wills(vec![bot; n])
-        .resolve_defaults(vec![bot; n])
-        .build()
-        .expect("n − k ≥ 1");
+    let naive = conformance_naive_plan();
     let report = naive.conformance(&game, &vec![0; n], &cfg);
     let witness = report
         .witness()
@@ -657,13 +801,7 @@ fn conformance_battery(out: &str, fast: bool) {
     assert_eq!(witness.strategy, "deadlock-if-bit=0");
     entries.push(("naive_mediator_sec6_4", report));
 
-    let fixed = Scenario::mediator(catalog::counterexample_minfo(n))
-        .players(n)
-        .tolerance(k, 0)
-        .wills(vec![bot; n])
-        .resolve_defaults(vec![bot; n])
-        .build()
-        .expect("n − k ≥ 1");
+    let fixed = conformance_minfo_plan();
     let report = fixed.conformance(&game, &vec![0; n], &cfg);
     assert!(
         report.is_resilient(),
@@ -710,6 +848,150 @@ fn conformance_battery(out: &str, fast: bool) {
     json.push_str("  ]\n}\n");
     std::fs::write(out, json).expect("write conformance JSON");
     println!("wrote {out}");
+
+    // Persist every Violated verdict's witness run as a replayable trace:
+    // the deviant cell is rebuilt from its (strategy, coalition) recipe,
+    // re-run at the witnessing (scheduler, seed), and recorded with the
+    // recipe in the header metadata so `--replay` needs nothing else.
+    let mut wstore = mediator_store::TraceStore::create(std::path::Path::new(witness_out))
+        .expect("create witness trace store");
+    let mut stored = 0u64;
+    for (i, (name, rep)) in entries.iter().enumerate() {
+        let Some(w) = rep.witness() else { continue };
+        let (plan_kind, outcome, n, k) = match *name {
+            "cheap_talk_thm41_n5" => {
+                let base = conformance_cheap_talk_plan();
+                let cell = cheap_talk_deviant_cells(&base, &w.coalition)
+                    .into_iter()
+                    .find(|(s, _)| *s == w.strategy)
+                    .unwrap_or_else(|| panic!("unknown cheap-talk strategy '{}'", w.strategy))
+                    .1;
+                let out = cell.run_with(&w.kind, w.seed);
+                (mediator_store::PlanKind::CheapTalk, out, 5u64, 1u64)
+            }
+            med @ ("naive_mediator_sec6_4" | "min_info_mediator_sec6_4") => {
+                let base = if med == "naive_mediator_sec6_4" {
+                    conformance_naive_plan()
+                } else {
+                    conformance_minfo_plan()
+                };
+                let cell = mediator_deviant_cells(&base, &w.coalition, Some(bot))
+                    .into_iter()
+                    .find(|(s, _)| *s == w.strategy)
+                    .unwrap_or_else(|| panic!("unknown mediator strategy '{}'", w.strategy))
+                    .1;
+                let out = cell.run_with(&w.kind, w.seed);
+                (mediator_store::PlanKind::Mediator, out, 7u64, k as u64)
+            }
+            other => panic!("no witness recipe for conformance entry '{other}'"),
+        };
+        let coalition = w
+            .coalition
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut header = mediator_store::RunHeader::bare(i as u64, w.seed);
+        header.kind = Some(w.kind.clone());
+        header.plan = plan_kind;
+        header.n = n;
+        header.k = k;
+        header.meta = vec![
+            ("entry".to_string(), name.to_string()),
+            ("strategy".to_string(), w.strategy.clone()),
+            ("coalition".to_string(), coalition),
+            ("deadlock".to_string(), bot.to_string()),
+        ];
+        wstore.record(header, &outcome).expect("record witness");
+        stored += 1;
+    }
+    if stored > 0 {
+        println!("stored {stored} witness trace(s) → {witness_out}");
+        println!(
+            "reproduce: cargo run -p mediator-bench --bin experiments -- --replay {witness_out}"
+        );
+    }
+}
+
+/// `--replay <store>` — re-enacts every run persisted in a trace log and
+/// checks each reproduces byte-identically: the header's metadata names
+/// the conformance entry and the (strategy, coalition) recipe, the plan
+/// is rebuilt from the same single-sourced deviant-cell tables the sweep
+/// used, and [`mediator_store::replay_plan`] pins the re-recorded trace
+/// against the stored one. Exits nonzero on any divergence.
+fn replay_store(path: &str) {
+    let store =
+        mediator_store::TraceStore::open(std::path::Path::new(path)).expect("open trace store");
+    println!("# replaying {} stored run(s) from {path}", store.len());
+    let mut failures = 0usize;
+    for id in store.ids().collect::<Vec<_>>() {
+        let run = store.load(id).expect("stored run loads");
+        let entry = run.header.meta_value("entry").unwrap_or("?").to_string();
+        let strategy = run.header.meta_value("strategy").map(str::to_string);
+        let coalition: Vec<usize> = run
+            .header
+            .meta_value("coalition")
+            .map(|s| {
+                s.split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(|p| p.parse().expect("coalition member id"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let deadlock: Option<u64> = run
+            .header
+            .meta_value("deadlock")
+            .and_then(|s| s.parse().ok());
+        let result = match entry.as_str() {
+            "cheap_talk_thm41_n5" => {
+                let mut plan = conformance_cheap_talk_plan();
+                if let Some(strategy) = &strategy {
+                    plan = cheap_talk_deviant_cells(&plan, &coalition)
+                        .into_iter()
+                        .find(|(s, _)| s == strategy)
+                        .unwrap_or_else(|| panic!("unknown cheap-talk strategy '{strategy}'"))
+                        .1;
+                }
+                mediator_store::replay_plan(&plan, &run).map(|r| r.termination)
+            }
+            med @ ("naive_mediator_sec6_4" | "min_info_mediator_sec6_4") => {
+                let mut plan = if med == "naive_mediator_sec6_4" {
+                    conformance_naive_plan()
+                } else {
+                    conformance_minfo_plan()
+                };
+                if let Some(strategy) = &strategy {
+                    plan = mediator_deviant_cells(&plan, &coalition, deadlock)
+                        .into_iter()
+                        .find(|(s, _)| s == strategy)
+                        .unwrap_or_else(|| panic!("unknown mediator strategy '{strategy}'"))
+                        .1;
+                }
+                mediator_store::replay_plan(&plan, &run).map(|r| r.termination)
+            }
+            other => {
+                println!("run {id}: no recipe for entry '{other}', skipped");
+                continue;
+            }
+        };
+        let strategy = strategy.as_deref().unwrap_or("honest");
+        let cell = format!(
+            "{entry} / {strategy} / coalition {coalition:?} / {:?} seed {}",
+            run.header.kind, run.header.seed
+        );
+        match result {
+            Ok(t) => println!("run {id} [{cell}]: reproduced byte-identically, {t:?}"),
+            Err(e) => {
+                failures += 1;
+                println!("run {id} [{cell}]: REPLAY FAILED: {e:?}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} stored run(s) failed to reproduce");
+        std::process::exit(1);
+    }
+    println!("all runs reproduced");
 }
 
 /// E11 — quick wall-clock substrate measurements (the Criterion benches in

@@ -1111,19 +1111,31 @@ pub fn cheap_talk_conformance(
     types: &[usize],
     cfg: &Conformance,
 ) -> ConformanceReport {
-    let n = plan.players();
     sweep(plan, game, types, cfg, |coalition| {
-        generated_battery(n, coalition)
-            .into_iter()
-            .map(|(name, behavior)| {
-                let mut p = plan.clone();
-                for &m in coalition {
-                    p = p.with_deviant(m, behavior.clone());
-                }
-                (name, p)
-            })
-            .collect()
+        cheap_talk_deviant_cells(plan, coalition)
     })
+}
+
+/// The generated deviant cells of a cheap-talk plan for one coalition:
+/// `(strategy name, deviant plan)` pairs, every coalition member running the
+/// strategy's behavior. This is the single source the conformance sweep
+/// iterates — and the lookup table deterministic replay uses to rebuild a
+/// stored witness cell from its `(strategy, coalition)` recipe.
+pub fn cheap_talk_deviant_cells(
+    plan: &CheapTalkPlan,
+    coalition: &[usize],
+) -> Vec<(String, CheapTalkPlan)> {
+    let n = plan.players();
+    generated_battery(n, coalition)
+        .into_iter()
+        .map(|(name, behavior)| {
+            let mut p = plan.clone();
+            for &m in coalition {
+                p = p.with_deviant(m, behavior.clone());
+            }
+            (name, p)
+        })
+        .collect()
 }
 
 /// Conformance sweep of a mediator-game plan: every coalition of size ≤ k
@@ -1136,80 +1148,94 @@ pub fn mediator_conformance(
     types: &[usize],
     cfg: &Conformance,
 ) -> ConformanceReport {
+    let deadlock = cfg.deadlock_action;
+    sweep(plan, game, types, cfg, |coalition| {
+        mediator_deviant_cells(plan, coalition, deadlock)
+    })
+}
+
+/// The generated deviant cells of a mediator-game plan for one coalition:
+/// gossip-clique colluders under each [`collusion_battery`] rule plus the
+/// message-level tamper strategies, as `(strategy name, deviant plan)`
+/// pairs. Single-sourced for the conformance sweep and for deterministic
+/// replay of a stored witness (rebuild the cell from its
+/// `(strategy, coalition, deadlock_action)` recipe).
+pub fn mediator_deviant_cells(
+    plan: &MediatorPlan,
+    coalition: &[usize],
+    deadlock_action: Option<Action>,
+) -> Vec<(String, MediatorPlan)> {
     let n = plan.players();
     let wills = plan.spec().wills.clone();
     let inputs: Vec<Vec<Fp>> = plan.inputs().to_vec();
-    let deadlock = cfg.deadlock_action;
-    sweep(plan, game, types, cfg, |coalition| {
-        let mut cells: Vec<(String, MediatorPlan)> = Vec::new();
-        let will_of = |m: usize| -> Action {
-            deadlock
-                .or_else(|| wills.as_ref().map(|w| w[m]))
-                .unwrap_or(0)
-        };
-        // Gossip-clique colluders under each collusion rule. The battery
-        // enumerates the rule *shapes*; the deadlock will is re-bound per
-        // member (each member deadlocks with its own preferred action).
-        for shape in collusion_battery(0) {
-            let mut p = plan.clone();
-            for &m in coalition {
-                let partners: Vec<ProcessId> =
-                    coalition.iter().copied().filter(|&q| q != m).collect();
-                let rule = match shape {
-                    CollusionRule::DeadlockOnBit { trigger, .. } => CollusionRule::DeadlockOnBit {
-                        trigger,
-                        will: will_of(m),
-                    },
-                    CollusionRule::AlwaysDeadlock { .. } => {
-                        CollusionRule::AlwaysDeadlock { will: will_of(m) }
-                    }
-                    CollusionRule::AlwaysCooperate => CollusionRule::AlwaysCooperate,
-                };
-                let base_will = will_of(m);
-                let input = inputs[m].clone();
-                p = p.with_deviant(m, move || {
-                    Box::new(
-                        GossipColluder::new(n, partners.clone(), rule, base_will)
-                            .with_input(input.clone()),
-                    )
-                });
-            }
-            cells.push((shape.name(), p));
+    let deadlock = deadlock_action;
+    let mut cells: Vec<(String, MediatorPlan)> = Vec::new();
+    let will_of = |m: usize| -> Action {
+        deadlock
+            .or_else(|| wills.as_ref().map(|w| w[m]))
+            .unwrap_or(0)
+    };
+    // Gossip-clique colluders under each collusion rule. The battery
+    // enumerates the rule *shapes*; the deadlock will is re-bound per
+    // member (each member deadlocks with its own preferred action).
+    for shape in collusion_battery(0) {
+        let mut p = plan.clone();
+        for &m in coalition {
+            let partners: Vec<ProcessId> = coalition.iter().copied().filter(|&q| q != m).collect();
+            let rule = match shape {
+                CollusionRule::DeadlockOnBit { trigger, .. } => CollusionRule::DeadlockOnBit {
+                    trigger,
+                    will: will_of(m),
+                },
+                CollusionRule::AlwaysDeadlock { .. } => {
+                    CollusionRule::AlwaysDeadlock { will: will_of(m) }
+                }
+                CollusionRule::AlwaysCooperate => CollusionRule::AlwaysCooperate,
+            };
+            let base_will = will_of(m);
+            let input = inputs[m].clone();
+            p = p.with_deviant(m, move || {
+                Box::new(
+                    GossipColluder::new(n, partners.clone(), rule, base_will)
+                        .with_input(input.clone()),
+                )
+            });
         }
-        // Message-level tampering of the honest strategy via the sim hook.
-        let tampered: Vec<(&str, Vec<Scheduled>)> = vec![
-            (
-                "drop-acks",
-                vec![Scheduled {
-                    window: Window::starting(1),
-                    primitive: Primitive::Drop,
-                }],
-            ),
-            (
-                "delay-input",
-                vec![Scheduled {
-                    window: Window::between(0, 1),
-                    primitive: Primitive::Delay { release_at: 2 },
-                }],
-            ),
-        ];
-        for (name, steps) in tampered {
-            let mut p = plan.clone();
-            for &m in coalition {
-                let input = inputs[m].clone();
-                let will = wills.as_ref().map(|w| w[m]);
-                let steps = steps.clone();
-                p = p.with_deviant(m, move || {
-                    Box::new(Tamper::new(
-                        crate::mediator::HonestMedPlayer::new(n, input.clone(), will),
-                        TacticState::new(steps.clone()),
-                    ))
-                });
-            }
-            cells.push((name.into(), p));
+        cells.push((shape.name(), p));
+    }
+    // Message-level tampering of the honest strategy via the sim hook.
+    let tampered: Vec<(&str, Vec<Scheduled>)> = vec![
+        (
+            "drop-acks",
+            vec![Scheduled {
+                window: Window::starting(1),
+                primitive: Primitive::Drop,
+            }],
+        ),
+        (
+            "delay-input",
+            vec![Scheduled {
+                window: Window::between(0, 1),
+                primitive: Primitive::Delay { release_at: 2 },
+            }],
+        ),
+    ];
+    for (name, steps) in tampered {
+        let mut p = plan.clone();
+        for &m in coalition {
+            let input = inputs[m].clone();
+            let will = wills.as_ref().map(|w| w[m]);
+            let steps = steps.clone();
+            p = p.with_deviant(m, move || {
+                Box::new(Tamper::new(
+                    crate::mediator::HonestMedPlayer::new(n, input.clone(), will),
+                    TacticState::new(steps.clone()),
+                ))
+            });
         }
-        cells
-    })
+        cells.push((name.into(), p));
+    }
+    cells
 }
 
 #[cfg(test)]

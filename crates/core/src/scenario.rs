@@ -88,6 +88,22 @@ fn default_batch_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Tunes a world for deterministic replay when `kind` is
+/// [`SchedulerKind::Replay`]: the starvation watchdog is disabled (every
+/// forced delivery of the original run is already an ordinary `Delivered`
+/// entry in the script, so re-deriving the watchdog would double-fire), and
+/// drops are allowed exactly when the recording contains them (a relaxed
+/// recording replays its blackout; an ordinary recording must not gain the
+/// ability to drop).
+fn tune_world_for_replay<M>(world: &mut World<M>, kind: &SchedulerKind) {
+    if let SchedulerKind::Replay(script) = kind {
+        world.set_starvation_bound(u64::MAX);
+        if script.has_drops() {
+            world.allow_drops();
+        }
+    }
+}
+
 /// The four cheap-talk theorem regimes and their resilience thresholds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Theorem {
@@ -655,9 +671,12 @@ impl CheapTalkPlan {
         self.run_with(&self.scheduler, self.seed)
     }
 
-    /// Runs once with an explicit scheduler kind and seed.
+    /// Runs once with an explicit scheduler kind and seed. A
+    /// [`SchedulerKind::Replay`] kind re-enacts a recorded run: the
+    /// watchdog is disabled and drops are enabled iff the script has them.
     pub fn run_with(&self, kind: &SchedulerKind, seed: u64) -> Outcome {
         let mut world = self.build_world(seed);
+        tune_world_for_replay(&mut world, kind);
         let mut sched = kind.build();
         world.run(sched.as_mut(), self.max_steps)
     }
@@ -669,7 +688,9 @@ impl CheapTalkPlan {
 
     /// Opens a steppable [`Session`] with an explicit scheduler and seed.
     pub fn session_with(&self, kind: &SchedulerKind, seed: u64) -> Session<CtMsg> {
-        Session::new(self.build_world(seed), kind.build(), self.max_steps)
+        let mut world = self.build_world(seed);
+        tune_world_for_replay(&mut world, kind);
+        Session::new(world, kind.build(), self.max_steps)
     }
 
     /// Starts a batch over the given scheduler battery (seeds default to
@@ -1097,6 +1118,7 @@ impl MediatorPlan {
     ) -> Outcome {
         let mut world = build_mediator_world(&self.spec, &self.inputs, deviants, seed);
         world.set_starvation_bound(self.starvation_bound);
+        tune_world_for_replay(&mut world, kind);
         let mut sched = kind.build();
         world.run(sched.as_mut(), self.max_steps)
     }
@@ -1133,6 +1155,7 @@ impl MediatorPlan {
     pub fn session_with(&self, kind: &SchedulerKind, seed: u64) -> Session<MedMsg> {
         let mut world = build_mediator_world(&self.spec, &self.inputs, self.make_deviants(), seed);
         world.set_starvation_bound(self.starvation_bound);
+        tune_world_for_replay(&mut world, kind);
         Session::new(world, kind.build(), self.max_steps)
     }
 

@@ -96,6 +96,8 @@ pub use readiness::{ConnIo, NbListener, Poller, TryRead, TryWrite, Waker, ACCEPT
 pub use service::{
     run_over_mem, run_over_tcp, DeliveryOrder, Service, ServiceConfig, SessionHandle,
 };
+// Re-exported so sink-wiring callers need not name `mediator_sim` at all.
+pub use mediator_sim::{RunMeta, TraceSink};
 pub use tamper::{tamper_relay, DriverMode, TamperPlan, TamperReport, TransportKind, WireTactic};
 pub use transport::{
     duplex, pipe, ConnPair, FrameRx, FrameTx, FramedRx, FramedTx, MemTransport, PipeReader,

@@ -31,10 +31,10 @@ use crate::frame::{
 use crate::readiness::{
     ConnIo, Event, Interest, NbListener, Poller, TryRead, TryWrite, Waker, ACCEPT_TOKEN,
 };
-use crate::service::{broadcast, DeliveryOrder, ServiceConfig};
+use crate::service::{broadcast, finish_recorded, DeliveryOrder, ServiceConfig};
 use crate::service::{ship, Driver, FlightState, Inbound, SessionEntry, Shared};
 use crate::wire::Wire;
-use mediator_sim::{Outcome, Session, SessionStatus};
+use mediator_sim::{Outcome, Session, SessionStatus, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -152,6 +152,9 @@ pub(crate) struct SessionSm<M: Wire + Send> {
     phase: SmPhase,
     queue: VecDeque<Inbound<M>>,
     result: Sender<Result<Outcome, NetError>>,
+    /// The service-wide outcome recorder, cloned out of the config so the
+    /// finish site needs no reach back into shared state.
+    sink: Option<Arc<dyn TraceSink>>,
     /// Rolls forward on every absorbed event; the heap entry is lazily
     /// revalidated against it.
     idle_deadline: Option<Instant>,
@@ -186,16 +189,15 @@ impl<M: Wire + Send> SessionSm<M> {
             },
             queue: VecDeque::new(),
             result,
+            sink: cfg.sink.clone(),
             idle_deadline: None,
             idle_queued: false,
         }
     }
 
     fn finish_now(&mut self) -> Outcome {
-        self.session
-            .take()
-            .expect("session present until finish")
-            .finish()
+        let session = self.session.take().expect("session present until finish");
+        finish_recorded(session, self.sink.as_ref(), &self.entry.meta)
     }
 
     /// Runs until the session either blocks on the network (`None`) or

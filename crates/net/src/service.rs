@@ -49,7 +49,7 @@ use crate::transport::{ConnPair, MemTransport, TcpTransport};
 use crate::wire::Wire;
 use mediator_core::scenario::SessionPlan;
 use mediator_sim::SchedulerKind;
-use mediator_sim::{Envelope, Outcome, Session, SessionStatus};
+use mediator_sim::{Envelope, Outcome, RunMeta, Session, SessionStatus, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -79,7 +79,7 @@ pub enum DeliveryOrder {
 }
 
 /// Tunables for a [`Service`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// How long a pump waits for in-flight frames before declaring the
     /// network dead ([`NetError::IdleTimeout`]).
@@ -99,6 +99,27 @@ pub struct ServiceConfig {
     /// corrupting the run. `None` (the default) trusts relays, as the
     /// plane did before authenticated frames existed.
     pub auth: Option<AuthKey>,
+    /// When set, every session that reaches an [`Outcome`] is handed to
+    /// this sink exactly once, by whichever driver completed it (the
+    /// reactor thread or a pump thread — sinks must be `Sync`). Failed
+    /// sessions produce no outcome and are not recorded. Plan-hosted
+    /// sessions ([`Service::host_plan`]) record their `(kind, seed)` cell
+    /// so a store-backed sink can replay them; closure-hosted sessions
+    /// record routing metadata only.
+    pub sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("idle_timeout", &self.idle_timeout)
+            .field("attach_timeout", &self.attach_timeout)
+            .field("attach_grace", &self.attach_grace)
+            .field("delivery", &self.delivery)
+            .field("auth", &self.auth)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn TraceSink"))
+            .finish()
+    }
 }
 
 impl Default for ServiceConfig {
@@ -109,6 +130,7 @@ impl Default for ServiceConfig {
             attach_grace: Duration::from_secs(5),
             delivery: DeliveryOrder::Arrival,
             auth: None,
+            sink: None,
         }
     }
 }
@@ -117,6 +139,12 @@ impl ServiceConfig {
     /// This config with authenticated frames enabled under `key`.
     pub fn with_auth(mut self, key: AuthKey) -> Self {
         self.auth = Some(key);
+        self
+    }
+
+    /// This config recording every completed session's outcome to `sink`.
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 }
@@ -166,6 +194,11 @@ pub(crate) struct SessionEntry<M> {
     pub(crate) driver: Driver<M>,
     pub(crate) routes: Mutex<HashMap<usize, Arc<ConnOut>>>,
     pub(crate) expected: usize,
+    /// What the driver knew about the run at host time — handed to the
+    /// configured [`TraceSink`] alongside the outcome. Plan-hosted
+    /// sessions carry their `(kind, seed)` cell; closure-hosted sessions
+    /// carry the routing id alone.
+    pub(crate) meta: RunMeta,
 }
 
 pub(crate) struct Shared<M> {
@@ -262,11 +295,22 @@ impl<M: Wire + Send + 'static> Service<M> {
         processes: usize,
         open: impl FnOnce() -> Session<M> + Send + 'static,
     ) -> SessionHandle {
+        self.host_with_meta(id, processes, open, RunMeta::bare(id))
+    }
+
+    fn host_with_meta(
+        &self,
+        id: SessionId,
+        processes: usize,
+        open: impl FnOnce() -> Session<M> + Send + 'static,
+        meta: RunMeta,
+    ) -> SessionHandle {
         let (result_tx, result_rx) = mpsc::channel();
         let entry = Arc::new(SessionEntry {
             driver: Driver::Reactor,
             routes: Mutex::new(HashMap::new()),
             expected: processes,
+            meta,
         });
         if !self.register(id, &entry, &result_tx) {
             return SessionHandle { id, rx: result_rx };
@@ -294,12 +338,23 @@ impl<M: Wire + Send + 'static> Service<M> {
         processes: usize,
         open: impl FnOnce() -> Session<M> + Send + 'static,
     ) -> SessionHandle {
+        self.host_threaded_with_meta(id, processes, open, RunMeta::bare(id))
+    }
+
+    fn host_threaded_with_meta(
+        &self,
+        id: SessionId,
+        processes: usize,
+        open: impl FnOnce() -> Session<M> + Send + 'static,
+        meta: RunMeta,
+    ) -> SessionHandle {
         let (result_tx, result_rx) = mpsc::channel();
         let (inbox_tx, inbox_rx) = mpsc::channel();
         let entry = Arc::new(SessionEntry {
             driver: Driver::Threaded(inbox_tx),
             routes: Mutex::new(HashMap::new()),
             expected: processes,
+            meta,
         });
         if !self.register(id, &entry, &result_tx) {
             return SessionHandle { id, rx: result_rx };
@@ -379,7 +434,37 @@ impl<M: Wire + Send + 'static> Service<M> {
         P: SessionPlan<Msg = M>,
     {
         let plan = plan.clone();
-        self.host(id, plan.processes(), move || plan.open_session(&kind, seed))
+        let meta = RunMeta::cell(id, kind.clone(), seed);
+        self.host_with_meta(
+            id,
+            plan.processes(),
+            move || plan.open_session(&kind, seed),
+            meta,
+        )
+    }
+
+    /// [`Service::host_plan`] on the thread-per-session engine — the cell
+    /// metadata travels with the session either way, so a store-backed
+    /// sink records replayable headers under both drivers (the
+    /// differential replay suite leans on this).
+    pub fn host_plan_threaded<P>(
+        &self,
+        id: SessionId,
+        plan: &P,
+        kind: SchedulerKind,
+        seed: u64,
+    ) -> SessionHandle
+    where
+        P: SessionPlan<Msg = M>,
+    {
+        let plan = plan.clone();
+        let meta = RunMeta::cell(id, kind.clone(), seed);
+        self.host_threaded_with_meta(
+            id,
+            plan.processes(),
+            move || plan.open_session(&kind, seed),
+            meta,
+        )
     }
 
     /// The batch entry: hosts every `(id, scheduler, seed)` cell of `plan`
@@ -619,6 +704,21 @@ impl<M> FlightState<M> {
     }
 }
 
+/// Finishes a networked session, handing the outcome to the configured
+/// sink first — the single recording site for the threaded driver, so a
+/// session cannot be recorded twice no matter which pump arm ended it.
+pub(crate) fn finish_recorded<M>(
+    session: Session<M>,
+    sink: Option<&Arc<dyn TraceSink>>,
+    meta: &RunMeta,
+) -> Outcome {
+    let outcome = session.finish();
+    if let Some(sink) = sink {
+        sink.record(meta, &outcome);
+    }
+    outcome
+}
+
 /// The thread-per-session engine ([`Service::host_threaded`]): barrier on
 /// attaches, then the ship / deliver / quiesce loop described in the
 /// module docs. The reactor's `SessionSm` mirrors this arm for arm — the
@@ -706,7 +806,7 @@ fn pump<M: Wire + Send>(
             if session.step().is_done() {
                 // Mid-run Done can only be the budget guard: termination
                 // with events pending is BudgetExhausted by construction.
-                return Ok(session.finish());
+                return Ok(finish_recorded(session, cfg.sink.as_ref(), &entry.meta));
             }
             continue;
         }
@@ -735,7 +835,8 @@ fn pump<M: Wire + Send>(
             };
             let env = flight.held.remove(i);
             if session.inject(env.src, env.dst, env.msg).progressed() && session.step().is_done() {
-                return Ok(session.finish()); // budget guard mid-delivery
+                // Budget guard mid-delivery.
+                return Ok(finish_recorded(session, cfg.sink.as_ref(), &entry.meta));
             }
             continue;
         }
@@ -744,7 +845,9 @@ fn pump<M: Wire + Send>(
         if flight.in_flight == 0 {
             debug_assert!(flight.held.is_empty());
             return match session.step() {
-                SessionStatus::Done(_) => Ok(session.finish()),
+                SessionStatus::Done(_) => {
+                    Ok(finish_recorded(session, cfg.sink.as_ref(), &entry.meta))
+                }
                 SessionStatus::Running => unreachable!("empty plane must terminate"),
             };
         }

@@ -530,7 +530,7 @@ fn replayed_frame_aborts_the_session_with_the_typed_owner_on_both_backends() {
         attach_timeout: std::time::Duration::from_secs(10),
         attach_grace: std::time::Duration::from_millis(100),
         delivery: DeliveryOrder::Arrival,
-        auth: None,
+        ..ServiceConfig::default()
     }
     .with_auth(AuthKey::from_seed(0xabad1dea));
 

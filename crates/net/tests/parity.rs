@@ -177,7 +177,7 @@ fn quick_cfg() -> ServiceConfig {
         attach_timeout: Duration::from_millis(400),
         attach_grace: Duration::from_millis(100),
         delivery: DeliveryOrder::Arrival,
-        auth: None,
+        ..ServiceConfig::default()
     }
 }
 

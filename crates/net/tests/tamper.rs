@@ -44,7 +44,7 @@ fn cfg(auth: bool) -> ServiceConfig {
         attach_timeout: Duration::from_secs(10),
         attach_grace: Duration::from_millis(100),
         delivery: DeliveryOrder::Arrival,
-        auth: None,
+        ..ServiceConfig::default()
     };
     if auth {
         base.with_auth(AuthKey::from_seed(0xfeed))

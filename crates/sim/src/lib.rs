@@ -61,6 +61,7 @@ pub mod process;
 pub mod sansio;
 pub mod scheduler;
 pub mod session;
+pub mod sink;
 pub mod trace;
 pub mod world;
 
@@ -71,8 +72,10 @@ pub use sansio::{
 };
 pub use scheduler::{
     FifoScheduler, LifoScheduler, PartitionScheduler, PendingView, RandomScheduler,
-    RelaxedScheduler, SchedChoice, Scheduler, SchedulerKind, TargetedDelayScheduler,
+    RelaxedScheduler, ReplayScheduler, ReplayScript, SchedChoice, Scheduler, SchedulerKind,
+    TargetedDelayScheduler,
 };
 pub use session::{Injected, Session, SessionStatus, SessionWants};
+pub use sink::{RunMeta, TraceSink};
 pub use trace::{Trace, TraceEvent, TraceMode};
 pub use world::{Envelope, Outcome, TerminationKind, World};

@@ -18,9 +18,12 @@
 //! counter (`now`); call [`PendingView::age`] to recover it.
 
 use crate::process::ProcessId;
+use crate::trace::TraceEvent;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
 
 /// Environment-visible metadata of one pending event. All fields are
 /// immutable for the lifetime of the event.
@@ -96,6 +99,10 @@ pub enum SchedulerKind {
         /// Steps before the partition heals.
         heal_after: u64,
     },
+    /// Forces the dispatch order of a previously recorded run (see
+    /// [`ReplayScheduler`]). Built from a stored trace; never part of
+    /// [`SchedulerKind::battery`].
+    Replay(ReplayScript),
 }
 
 impl SchedulerKind {
@@ -109,7 +116,15 @@ impl SchedulerKind {
             SchedulerKind::Partition { group, heal_after } => {
                 Box::new(PartitionScheduler::new(group.clone(), *heal_after))
             }
+            SchedulerKind::Replay(script) => Box::new(ReplayScheduler::new(script.clone())),
         }
+    }
+
+    /// Whether this kind replays a recorded dispatch order (replay runs
+    /// disable the starvation watchdog: forced deliveries are already baked
+    /// into the script).
+    pub fn is_replay(&self) -> bool {
+        matches!(self, SchedulerKind::Replay(_))
     }
 
     /// A small battery of schedulers covering the qualitatively different
@@ -130,6 +145,186 @@ impl SchedulerKind {
             });
         }
         v
+    }
+}
+
+/// The recorded message pattern a [`ReplayScheduler`] re-enacts: the full
+/// [`TraceEvent`] stream of a completed run, shared cheaply (batteries open
+/// many sessions from one recording).
+#[derive(Clone, PartialEq, Eq)]
+pub struct ReplayScript {
+    events: Arc<Vec<TraceEvent>>,
+}
+
+impl ReplayScript {
+    /// Wraps a recorded event stream.
+    pub fn new(events: Vec<TraceEvent>) -> Self {
+        ReplayScript {
+            events: Arc::new(events),
+        }
+    }
+
+    /// The recorded events, in dispatch order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` for an empty recording.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether the recording contains relaxed-scheduler drops (a replaying
+    /// world must then run with drops allowed).
+    pub fn has_drops(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Dropped { .. }))
+    }
+}
+
+impl fmt::Debug for ReplayScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Scripts run to millions of events; printing them would swamp any
+        // assertion diff that mentions a SchedulerKind.
+        write!(f, "ReplayScript({} events)", self.events.len())
+    }
+}
+
+/// Forces the dispatch order of a recorded run (deterministic replay).
+///
+/// The scheduler walks the script and, at each step, picks the pending view
+/// the next recorded event names: a `Started { p }` entry delivers `p`'s
+/// start signal, a `Delivered` entry the matching `(src, dst, k)` message,
+/// and a `Dropped` entry issues the matching [`SchedChoice::Drop`] (skipping
+/// the whole batch's worth of recorded drop events, since the world extends
+/// the drop to the batch). `Sent` entries are activation side effects — the
+/// world re-emits them on its own — and are skipped.
+///
+/// One recorded shape needs care: a message dispatched to a *not-yet-started*
+/// process makes the original world run `on_start` and `on_message` in a
+/// single step — the script shows `Started { p }`, the `on_start` sends, and
+/// then the delivery — leaving the stale start signal to be consumed by a
+/// later, trace-silent step. The scheduler detects this shape by lookahead
+/// and re-enacts the *combined* step (dispatching the message, which starts
+/// `p` on the way), so the pending plane keeps the exact `swap_remove`
+/// layout of the recording; that layout is observable through the emission
+/// order of relaxed batch drops. The stale start signal is then consumed at
+/// script exhaustion or purged when `p` halts, exactly as in the original.
+///
+/// On script exhaustion or a pick the plane cannot satisfy (a diverged
+/// replay), the scheduler falls back to delivering the front of the plane:
+/// the `Scheduler` trait is infallible, and divergence is surfaced by the
+/// trace comparison the replay harness performs afterwards.
+#[derive(Debug, Clone)]
+pub struct ReplayScheduler {
+    script: ReplayScript,
+    cursor: usize,
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler re-enacting `script` from the beginning.
+    pub fn new(script: ReplayScript) -> Self {
+        ReplayScheduler { script, cursor: 0 }
+    }
+
+    /// Script position: recorded events consumed so far.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn next(&mut self, pending: &[PendingView], _now: u64, _rng: &mut StdRng) -> SchedChoice {
+        loop {
+            let Some(ev) = self.script.events().get(self.cursor).copied() else {
+                // Exhausted: consume leftovers (stale start signals) in
+                // plane order.
+                return SchedChoice::Deliver(0);
+            };
+            match ev {
+                TraceEvent::Sent { .. } => {
+                    // Activation side effect, re-emitted by the world.
+                    self.cursor += 1;
+                }
+                TraceEvent::Started { p } => {
+                    // Lookahead: when the recording dispatched a message to a
+                    // not-yet-started process, the world emitted `Started` +
+                    // the `on_start` sends + `Delivered` in ONE combined step,
+                    // leaving the stale start signal in the plane. Replaying
+                    // that as an explicit start pick would remove the start
+                    // view at the wrong moment and permute the plane relative
+                    // to the recording (`swap_remove` layout), which the
+                    // emission order of later batch drops exposes. Whenever
+                    // the script shape allows the combined reading — the next
+                    // non-`Sent` entry delivers to `p` and that message is
+                    // pending — prefer it: the re-enacted step emits the same
+                    // events and keeps the plane in lockstep.
+                    let mut ahead = self.cursor + 1;
+                    while matches!(
+                        self.script.events().get(ahead),
+                        Some(TraceEvent::Sent { .. })
+                    ) {
+                        ahead += 1;
+                    }
+                    if let Some(TraceEvent::Delivered { src, dst, k }) =
+                        self.script.events().get(ahead).copied()
+                    {
+                        if dst == p {
+                            if let Some(i) = pending
+                                .iter()
+                                .position(|v| v.src == Some(src) && v.dst == dst && v.k == k)
+                            {
+                                self.cursor = ahead + 1;
+                                return SchedChoice::Deliver(i);
+                            }
+                        }
+                    }
+                    self.cursor += 1;
+                    let pick = pending.iter().position(|v| v.src.is_none() && v.dst == p);
+                    return SchedChoice::Deliver(pick.unwrap_or(0));
+                }
+                TraceEvent::Delivered { src, dst, k } => {
+                    self.cursor += 1;
+                    let pick = pending
+                        .iter()
+                        .position(|v| v.src == Some(src) && v.dst == dst && v.k == k);
+                    return SchedChoice::Deliver(pick.unwrap_or(0));
+                }
+                TraceEvent::Dropped { src, dst, k } => {
+                    let pick = pending
+                        .iter()
+                        .position(|v| v.src == Some(src) && v.dst == dst && v.k == k);
+                    match pick {
+                        Some(i) => {
+                            // The world drops the whole batch and records
+                            // one Dropped event per member, in plane order —
+                            // exactly the events we skip here.
+                            let b = pending[i].batch;
+                            let members = pending
+                                .iter()
+                                .filter(|v| v.src.is_some() && v.batch == b)
+                                .count();
+                            self.cursor += members;
+                            return SchedChoice::Drop(i);
+                        }
+                        None => {
+                            self.cursor += 1;
+                            return SchedChoice::Deliver(0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
     }
 }
 
@@ -443,6 +638,79 @@ mod tests {
         for k in &b {
             let _ = k.build();
         }
+    }
+
+    #[test]
+    fn replay_scheduler_follows_script_and_skips_sent_entries() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // Script: start 0 was dispatched, then (after an intervening Sent
+        // side effect) message (1→2, k=1) was delivered.
+        let script = ReplayScript::new(vec![
+            TraceEvent::Started { p: 0 },
+            TraceEvent::Sent {
+                src: 1,
+                dst: 2,
+                k: 1,
+            },
+            TraceEvent::Delivered {
+                src: 1,
+                dst: 2,
+                k: 1,
+            },
+        ]);
+        assert!(!script.has_drops());
+        let mut s = ReplayScheduler::new(script);
+        // views(): [start→0, msg 1→2 k=1, msg 2→1 k=1].
+        assert_eq!(s.next(&views(), 0, &mut rng), SchedChoice::Deliver(0));
+        assert_eq!(s.next(&views(), 1, &mut rng), SchedChoice::Deliver(1));
+        // Exhausted: falls back to the plane front.
+        assert_eq!(s.next(&views(), 2, &mut rng), SchedChoice::Deliver(0));
+    }
+
+    #[test]
+    fn replay_scheduler_drop_skips_whole_batch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = |src: ProcessId, dst: ProcessId, k: u64, seq: u64| PendingView {
+            src: Some(src),
+            dst,
+            k,
+            seq,
+            batch: 9,
+            born: 0,
+        };
+        let pending = vec![batch(5, 0, 1, 0), batch(5, 1, 1, 1), batch(5, 2, 1, 2)];
+        let script = ReplayScript::new(vec![
+            TraceEvent::Dropped {
+                src: 5,
+                dst: 0,
+                k: 1,
+            },
+            TraceEvent::Dropped {
+                src: 5,
+                dst: 1,
+                k: 1,
+            },
+            TraceEvent::Dropped {
+                src: 5,
+                dst: 2,
+                k: 1,
+            },
+        ]);
+        assert!(script.has_drops());
+        let mut s = ReplayScheduler::new(script);
+        assert_eq!(s.next(&pending, 0, &mut rng), SchedChoice::Drop(0));
+        // All three recorded drop events were consumed by the one choice.
+        assert_eq!(s.cursor(), 3);
+    }
+
+    #[test]
+    fn replay_kind_builds_and_debug_is_compact() {
+        let script = ReplayScript::new(vec![TraceEvent::Started { p: 0 }; 1000]);
+        let kind = SchedulerKind::Replay(script);
+        assert!(kind.is_replay());
+        assert!(!SchedulerKind::Random.is_replay());
+        let _ = kind.build();
+        assert_eq!(format!("{kind:?}"), "Replay(ReplayScript(1000 events))");
     }
 
     #[test]

@@ -179,6 +179,18 @@ impl Trace {
         self.started
     }
 
+    /// Events recorded but **not retained**: zero in [`TraceMode::Full`],
+    /// the number of events the ring buffer overwrote in
+    /// [`TraceMode::Ring`], and everything in [`TraceMode::Off`].
+    ///
+    /// A nonzero value means the retained stream is *partial* — a trace
+    /// store must mark such a recording accordingly, and deterministic
+    /// replay must refuse it (re-enacting a truncated prefix would silently
+    /// diverge from the recorded run).
+    pub fn wrapped(&self) -> u64 {
+        (self.started + self.sent + self.delivered + self.dropped) - self.events.len() as u64
+    }
+
     /// Messages sent by a specific process, counted over the *retained*
     /// events (the full pattern in [`TraceMode::Full`]).
     pub fn sent_by(&self, p: ProcessId) -> u64 {
@@ -265,6 +277,26 @@ mod tests {
         assert_eq!(t.started_count(), 1);
         assert_eq!(t.dropped_count(), 1);
         assert_eq!(t.to_pattern_string(), "");
+    }
+
+    #[test]
+    fn wrapped_counts_lost_events_per_mode() {
+        let mut full = Trace::new();
+        let mut ring = Trace::with_mode(TraceMode::Ring(3));
+        let mut off = Trace::with_mode(TraceMode::Off);
+        for k in 1..=7u64 {
+            let e = TraceEvent::Sent { src: 0, dst: 1, k };
+            full.push_event(e);
+            ring.push_event(e);
+            off.push_event(e);
+        }
+        assert_eq!(full.wrapped(), 0, "full mode loses nothing");
+        assert_eq!(ring.wrapped(), 4, "7 recorded, 3 retained");
+        assert_eq!(off.wrapped(), 7, "off mode retains nothing");
+        // A ring that never wrapped is still complete.
+        let mut small = Trace::with_mode(TraceMode::Ring(10));
+        small.push_event(TraceEvent::Started { p: 0 });
+        assert_eq!(small.wrapped(), 0);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Bounded retention at sweep scale: the acceptance criterion of the
+//! store subsystem. A 64-session conformance-style sweep is recorded in
+//! full, the log is compacted under a byte cap, and every header and
+//! outcome must survive — the index of who ran, under which seed, to
+//! which verdict is never sacrificed; only event *bodies* are evicted,
+//! oldest first, and an evicted run is typed when replay asks for it.
+
+use mediator_sim::{Ctx, Process, ProcessId, SchedulerKind, World};
+use mediator_store::{stored_script, ReplayError, StoreError, TraceStore};
+
+const SESSIONS: u64 = 64;
+
+/// A small deterministic world with enough traffic that event bodies
+/// dominate the log: every process greets every other, replies to each
+/// greeting, and moves on its first reply.
+struct Gossip {
+    n: usize,
+    done: bool,
+}
+
+impl Process<u64> for Gossip {
+    fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+        let me = ctx.me();
+        for dst in 0..self.n {
+            if dst != me {
+                ctx.send(dst, me as u64);
+            }
+        }
+    }
+    fn on_message(&mut self, src: ProcessId, msg: u64, ctx: &mut Ctx<u64>) {
+        if msg < self.n as u64 {
+            ctx.send(src, self.n as u64 + msg);
+        } else if !self.done {
+            self.done = true;
+            ctx.make_move(msg);
+        }
+    }
+}
+
+fn run_gossip(n: usize, seed: u64) -> mediator_sim::Outcome {
+    let procs: Vec<Box<dyn Process<u64>>> = (0..n)
+        .map(|_| Box::new(Gossip { n, done: false }) as Box<dyn Process<u64>>)
+        .collect();
+    World::new(procs, seed).run(SchedulerKind::Random.build().as_mut(), 100_000)
+}
+
+fn sweep_store() -> (TraceStore, Vec<mediator_sim::Outcome>) {
+    let mut store = TraceStore::in_memory();
+    let mut outcomes = Vec::new();
+    for session in 0..SESSIONS {
+        let outcome = run_gossip(6, session);
+        let mut header = mediator_store::RunHeader::bare(session, session);
+        header.kind = Some(SchedulerKind::Random);
+        store.record(header, &outcome).expect("record");
+        outcomes.push(outcome);
+    }
+    (store, outcomes)
+}
+
+#[test]
+fn sixty_four_session_sweep_survives_a_byte_cap() {
+    let (mut store, outcomes) = sweep_store();
+    assert_eq!(store.len() as u64, SESSIONS);
+    let before = store.bytes();
+
+    // Cap the log at a quarter of its natural size.
+    let budget = before / 4;
+    let evicted = store.compact(budget).expect("compaction");
+    assert!(evicted > 0, "a quartered budget must evict bodies");
+    assert!(
+        store.bytes() <= budget,
+        "log fits the cap ({} > {budget})",
+        store.bytes()
+    );
+
+    // The index is intact: every session's header and outcome survive,
+    // with the exact verdict the run produced.
+    assert_eq!(store.len() as u64, SESSIONS, "no run was dropped");
+    for session in 0..SESSIONS {
+        let id = store
+            .find(session, session)
+            .unwrap_or_else(|| panic!("session {session} lost its header"));
+        let header = store.header(id);
+        assert_eq!(header.kind, Some(SchedulerKind::Random));
+        let stored = store.outcome(id);
+        let original = &outcomes[session as usize];
+        assert_eq!(stored.termination, original.termination);
+        assert_eq!(stored.moves, original.moves);
+        assert_eq!(stored.steps, original.steps);
+        assert_eq!(
+            stored.event_count,
+            original.trace.events().len() as u64,
+            "the recorded event count survives even when the body does not"
+        );
+    }
+
+    // Eviction is oldest-first: the evicted prefix is contiguous.
+    let first_kept = store
+        .ids()
+        .position(|id| !store.evicted(id))
+        .unwrap_or(SESSIONS as usize);
+    for id in store.ids() {
+        assert_eq!(
+            store.evicted(id),
+            id < first_kept,
+            "run {id}: eviction must be a contiguous oldest-first prefix"
+        );
+    }
+    assert!(first_kept > 0, "something was evicted");
+    assert!(
+        (first_kept as u64) < SESSIONS,
+        "a quarter budget keeps the newest bodies"
+    );
+
+    // Evicted runs refuse replay with the typed error; surviving runs
+    // still hand back their full script.
+    let old = store.load(0).expect("evicted run still loads");
+    assert!(matches!(
+        stored_script(&old),
+        Err(ReplayError::Evicted { have: 0, .. })
+    ));
+    let fresh_id = store.len() - 1;
+    let fresh = store.load(fresh_id).expect("fresh run loads");
+    let script = stored_script(&fresh).expect("surviving body replays");
+    assert_eq!(
+        script.events(),
+        outcomes[fresh_id].trace.events(),
+        "the surviving body is byte-identical to the recording"
+    );
+}
+
+#[test]
+fn compaction_is_idempotent_and_monotone() {
+    let (mut store, _) = sweep_store();
+    let budget = store.bytes() / 4;
+    store.compact(budget).expect("first compaction");
+    let after_first = store.bytes();
+    let evicted_again = store.compact(budget).expect("second compaction");
+    assert_eq!(evicted_again, 0, "a fitting log evicts nothing");
+    assert_eq!(store.bytes(), after_first, "no rewrite when nothing evicts");
+
+    // A tighter cap evicts more but can never drop below the index floor.
+    store.compact(0).expect("evict every body");
+    for id in store.ids().collect::<Vec<_>>() {
+        assert!(store.evicted(id) || store.outcome(id).event_count == 0);
+    }
+    assert_eq!(store.len() as u64, SESSIONS);
+}
+
+#[test]
+fn capped_file_store_reopens_with_its_index_intact() {
+    let dir = std::env::temp_dir().join(format!("mediator-store-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("sweep.mtrc");
+    {
+        let mut store = TraceStore::create(&path).expect("create");
+        for session in 0..SESSIONS {
+            let mut header = mediator_store::RunHeader::bare(session, session);
+            header.kind = Some(SchedulerKind::Random);
+            store
+                .record(header, &run_gossip(5, session))
+                .expect("record");
+        }
+        let budget = store.bytes() / 4;
+        store.compact(budget).expect("compact");
+    }
+    let store = TraceStore::open(&path).expect("reopen after compaction");
+    assert_eq!(store.len() as u64, SESSIONS);
+    for session in 0..SESSIONS {
+        assert!(store.find(session, session).is_some());
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn zero_budget_never_loses_a_verdict() {
+    let (mut store, outcomes) = sweep_store();
+    store.compact(0).expect("evict everything");
+    for session in 0..SESSIONS {
+        let id = store.find(session, session).expect("indexed");
+        assert_eq!(
+            store.outcome(id).termination,
+            outcomes[session as usize].termination
+        );
+        match stored_script(&store.load(id).expect("loads")) {
+            Err(ReplayError::Evicted { have: 0, want }) => {
+                assert_eq!(want, outcomes[session as usize].trace.events().len() as u64);
+            }
+            other => panic!("expected Evicted, got {other:?}"),
+        }
+    }
+    // And the emptied-out log still scans clean: no torn state.
+    let err_free: Result<Vec<_>, StoreError> = store.events(0).collect();
+    assert_eq!(err_free.unwrap(), Vec::new());
+}

@@ -19,7 +19,11 @@
 //!   experiment machinery;
 //! * [`net`] — the transport plane: versioned wire codec, in-memory and
 //!   TCP-loopback transports, and the networked multi-session `Service`
-//!   runtime over the `Session` seam (DESIGN.md §9).
+//!   runtime over the `Session` seam (DESIGN.md §9);
+//! * [`store`] — the persistent trace store: CRC-framed append-only run
+//!   logs, budget-bounded compaction that never drops a verdict, and
+//!   deterministic byte-identical replay of stored runs — including
+//!   networked recordings, re-enacted without a transport (DESIGN.md §11).
 //!
 //! # Quickstart
 //!
@@ -59,6 +63,7 @@ pub use mediator_games as games;
 pub use mediator_mpc as mpc;
 pub use mediator_net as net;
 pub use mediator_sim as sim;
+pub use mediator_store as store;
 pub use mediator_vss as vss;
 
 /// The batteries-included import surface: the Scenario builders, their
@@ -85,5 +90,11 @@ pub mod prelude {
         Client, DeliveryOrder, MemTransport, NetError, NetPlan, OutcomeSummary, Service,
         ServiceConfig, SessionHandle, TcpTransport,
     };
-    pub use mediator_sim::{Outcome, SchedulerKind, Session, SessionStatus, TerminationKind};
+    pub use mediator_sim::{
+        Outcome, RunMeta, SchedulerKind, Session, SessionStatus, TerminationKind, TraceSink,
+    };
+    pub use mediator_store::{
+        replay_plan, HeaderTemplate, PlanKind, ReplayError, ReplayReport, RunHeader, StoreSink,
+        StoredRun, TraceStore,
+    };
 }
