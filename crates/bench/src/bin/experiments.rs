@@ -69,7 +69,10 @@ fn main() {
         // CONFORMANCE.json mode: run the ε-resilience conformance battery
         // (reduced in --fast) and write the reports as a JSON artifact.
         // Every Violated verdict's witness run is additionally persisted
-        // as a replayable trace (see `--replay`). Exits nonzero if any
+        // as a replayable trace (see `--replay`). With `--shard N` each
+        // sweep additionally runs sharded over N in-process workers on the
+        // mem transport and the rendered report is asserted byte-identical
+        // to the local fan-out (DESIGN.md §12). Exits nonzero if any
         // verdict contradicts the paper's claims.
         let out = args
             .iter()
@@ -81,7 +84,16 @@ fn main() {
             .find_map(|a| a.strip_prefix("--witness-out="))
             .unwrap_or("WITNESS.mtrc")
             .to_string();
-        conformance_battery(&out, &witness_out, fast);
+        let shard = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--shard=").map(str::to_string))
+            .or_else(|| {
+                args.iter()
+                    .position(|a| a == "--shard")
+                    .and_then(|i| args.get(i + 1).cloned())
+            })
+            .map(|v| v.parse::<usize>().expect("--shard takes a worker count"));
+        conformance_battery(&out, &witness_out, fast, shard);
         return;
     }
 
@@ -502,6 +514,41 @@ fn bench_trajectory(label: &str, out: &str, fast: bool, net_only: bool) {
         println!("service_4096sessions_mem         skipped: --fast (full mode only)");
     }
 
+    // The sharded conformance plane (DESIGN.md §12): the Theorem 4.1
+    // sweep once as the local thread fan-out and once sharded over 4
+    // in-memory workers. The pair is the lease protocol's price tag on a
+    // clean run — framing, lease round trips, and the coordinator-side
+    // re-render — over the identical statistical workload (the verdicts
+    // are bit-identical by the differential suite, so only time differs).
+    {
+        use mediator_core::adversary::Conformance;
+        use mediator_net::{ShardConfig, ShardedSweep, TransportKind};
+        let game = library::byzantine_agreement_game(5);
+        let types = vec![1usize; 5];
+        let conf = Conformance::new(0.05, 1, 0)
+            .battery(vec![SchedulerKind::Random])
+            .seeds(if fast { 2 } else { 3 })
+            .coalitions(vec![vec![1], vec![3]]);
+        let sweep_samples = if fast { 2 } else { 3 };
+        let cells = plan.conformance(&game, &types, &conf).cells.len() as u64;
+        let ns = median_ns_per_op(sweep_samples, 1, || {
+            plan.conformance(&game, &types, &conf).cells.len()
+        });
+        metrics.push(Metric::new("conformance_sweep_local", ns).with("cells", cells));
+        let scfg = ShardConfig::default();
+        let ns = median_ns_per_op(sweep_samples, 1, || {
+            let (report, log) = conf.sharded(&plan, &game, &types, 4, TransportKind::Mem, &scfg);
+            assert!(log.failures.is_empty(), "clean bench run");
+            report.cells.len()
+        });
+        metrics.push(
+            Metric::new("conformance_sweep_sharded_4w", ns)
+                .with("cells", cells)
+                .with("workers", 4)
+                .with("hw_threads", workers as u64),
+        );
+    }
+
     for m in &metrics {
         println!("{:<34} {:>12} ns/op", m.name, m.ns_per_op);
     }
@@ -738,6 +785,33 @@ fn conformance_minfo_plan() -> MediatorPlan {
         .expect("n − k ≥ 1")
 }
 
+/// Re-runs one conformance sweep sharded over `workers` in-process mem
+/// workers and asserts the rendered report is **byte-identical** to the
+/// already-computed local fan-out — the `--shard N` differential pin.
+fn shard_check<P: mediator_core::adversary::SweepPlan>(
+    name: &str,
+    workers: usize,
+    plan: &P,
+    game: &mediator_games::BayesianGame,
+    types: &[usize],
+    conf: &mediator_core::adversary::Conformance,
+    local: &mediator_core::adversary::ConformanceReport,
+) {
+    use mediator_net::{ShardConfig, ShardedSweep, TransportKind};
+    let cfg = ShardConfig::default().lease_deadline(std::time::Duration::from_secs(60));
+    let (sharded, log) = conf.sharded(plan, game, types, workers, TransportKind::Mem, &cfg);
+    assert_eq!(
+        local.to_json(),
+        sharded.to_json(),
+        "{name}: sharded sweep diverged from the local fan-out"
+    );
+    println!(
+        "{name}: sharded over {workers} worker(s) — report identical to local \
+         ({} units, {} re-leases, {} discarded)",
+        log.units, log.releases, log.discarded
+    );
+}
+
 /// `--conformance` — the statistical ε-resilience conformance battery:
 /// the Theorem 4.1 cheap talk at a paper-valid working point (must be
 /// resilient), the §6.4 naive mediator below the 4.1 bound (the harness
@@ -745,8 +819,10 @@ fn conformance_minfo_plan() -> MediatorPlan {
 /// fix (resilient again). Writes all three reports to `out` as JSON,
 /// persists every Violated verdict's witness run as a replayable trace
 /// in `witness_out` (one `experiments -- --replay <path>` from a rerun),
-/// and panics — failing CI — on any unexpected verdict.
-fn conformance_battery(out: &str, witness_out: &str, fast: bool) {
+/// and panics — failing CI — on any unexpected verdict. With
+/// `shard = Some(n)` every sweep also runs sharded over `n` workers and
+/// must render byte-identically (see [`shard_check`]).
+fn conformance_battery(out: &str, witness_out: &str, fast: bool, shard: Option<usize>) {
     use mediator_core::adversary::Conformance;
 
     let seeds = if fast { 16 } else { 48 };
@@ -761,26 +837,34 @@ fn conformance_battery(out: &str, witness_out: &str, fast: bool) {
     let n = 5;
     let game = library::byzantine_agreement_game(n);
     let plan = conformance_cheap_talk_plan();
-    let report = plan.conformance(
-        &game,
-        &vec![1usize; n],
-        &Conformance::new(0.05, 1, 0)
-            .battery(if fast {
-                vec![SchedulerKind::Random]
-            } else {
-                vec![
-                    SchedulerKind::Random,
-                    SchedulerKind::Fifo,
-                    SchedulerKind::Lifo,
-                ]
-            })
-            .seeds(ct_seeds),
-    );
+    let ct_conf = Conformance::new(0.05, 1, 0)
+        .battery(if fast {
+            vec![SchedulerKind::Random]
+        } else {
+            vec![
+                SchedulerKind::Random,
+                SchedulerKind::Fifo,
+                SchedulerKind::Lifo,
+            ]
+        })
+        .seeds(ct_seeds);
+    let report = plan.conformance(&game, &vec![1usize; n], &ct_conf);
     assert!(
         report.is_resilient(),
         "Theorem 4.1 cheap talk must be resilient: {:?}",
         report.verdict
     );
+    if let Some(w) = shard {
+        shard_check(
+            "cheap_talk_thm41_n5",
+            w,
+            &plan,
+            &game,
+            &vec![1usize; n],
+            &ct_conf,
+            &report,
+        );
+    }
     entries.push(("cheap_talk_thm41_n5", report));
 
     // §6.4: naive mediator at n = 7, k = 2 (n ≤ 4k — below the 4.1 bound).
@@ -799,6 +883,17 @@ fn conformance_battery(out: &str, witness_out: &str, fast: bool) {
         .expect("the naive mediator's profitable deviation must be found")
         .clone();
     assert_eq!(witness.strategy, "deadlock-if-bit=0");
+    if let Some(w) = shard {
+        shard_check(
+            "naive_mediator_sec6_4",
+            w,
+            &naive,
+            &game,
+            &vec![0; n],
+            &cfg,
+            &report,
+        );
+    }
     entries.push(("naive_mediator_sec6_4", report));
 
     let fixed = conformance_minfo_plan();
@@ -808,6 +903,17 @@ fn conformance_battery(out: &str, witness_out: &str, fast: bool) {
         "min-info mediator must be resilient: {:?}",
         report.verdict
     );
+    if let Some(w) = shard {
+        shard_check(
+            "min_info_mediator_sec6_4",
+            w,
+            &fixed,
+            &game,
+            &vec![0; n],
+            &cfg,
+            &report,
+        );
+    }
     entries.push(("min_info_mediator_sec6_4", report));
 
     let mut t = Table::new(

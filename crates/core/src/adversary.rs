@@ -33,14 +33,14 @@
 
 use crate::deviations::Behavior;
 use crate::mediator::MedMsg;
-use crate::scenario::{BatchRun, CheapTalkPlan, MediatorPlan, RunSet};
+use crate::scenario::{BatchRun, CheapTalkPlan, MediatorPlan};
 use mediator_field::Fp;
 use mediator_games::solution::subsets_up_to;
 use mediator_games::stats::{mean_ci, paired_gain_ci, ConfidenceInterval};
 use mediator_games::BayesianGame;
 use mediator_mpc::MpcMsg;
 use mediator_sim::{
-    Action, Ctx, OutgoingTamper, Process, ProcessId, SchedulerKind, Tamper, TamperVerdict,
+    Action, Ctx, Outcome, OutgoingTamper, Process, ProcessId, SchedulerKind, Tamper, TamperVerdict,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -731,6 +731,150 @@ impl Conformance {
             .clone()
             .unwrap_or_else(|| subsets_up_to(n, self.k))
     }
+
+    /// The resolved scheduler battery for an `n`-player plan, in grid
+    /// order. A sweep's flat run index `r` decodes as
+    /// `(battery[r / seeds], r % seeds)` with `seeds =`
+    /// [`Self::seeds_per_kind`] — the decode the sharding plane's workers
+    /// and witness re-enactment both rely on.
+    pub fn resolved_battery(&self, n: usize) -> Vec<SchedulerKind> {
+        self.resolve_battery(n)
+    }
+
+    /// Seeds sampled per scheduler kind.
+    pub fn seeds_per_kind(&self) -> u64 {
+        self.seeds
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep decomposition: leasable units and the shared render pipeline
+// ---------------------------------------------------------------------------
+
+/// A plan the conformance harness can sweep: batch-runnable, plus the
+/// enumeration of its generated deviant cells for one coalition. The two
+/// concrete plans implement this, which is what lets the sweep — local
+/// thread fan-out and the sharded coordinator/worker plane alike — stay
+/// generic over the game family.
+pub trait SweepPlan: BatchRun + Sized {
+    /// The generated `(strategy name, deviant plan)` cells for `coalition`
+    /// under `cfg`. Names must be unique within one coalition: they are
+    /// the portable half of a [`SweepUnit`]'s identity.
+    fn deviant_cells(&self, coalition: &[usize], cfg: &Conformance) -> Vec<(String, Self)>;
+}
+
+impl SweepPlan for CheapTalkPlan {
+    fn deviant_cells(&self, coalition: &[usize], _cfg: &Conformance) -> Vec<(String, Self)> {
+        cheap_talk_deviant_cells(self, coalition)
+    }
+}
+
+impl SweepPlan for MediatorPlan {
+    fn deviant_cells(&self, coalition: &[usize], cfg: &Conformance) -> Vec<(String, Self)> {
+        mediator_deviant_cells(self, coalition, cfg.deadlock_action)
+    }
+}
+
+/// One leasable work unit of a conformance sweep: the honest baseline
+/// (`strategy: None`) or one generated `(strategy, coalition)` cell. Every
+/// unit runs the *same* `battery × seeds` grid, so the paired
+/// common-random-number comparison against the baseline happens at render
+/// time by flat run index — a unit can execute on any worker without
+/// breaking the pairing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepUnit {
+    /// Generated strategy name, or `None` for the honest baseline.
+    pub strategy: Option<String>,
+    /// The deviating coalition (empty for the baseline).
+    pub coalition: Vec<usize>,
+}
+
+/// Decomposes a sweep into its units: the honest baseline first (unit 0),
+/// then every `(coalition × strategy)` cell in sweep order. Validates the
+/// coalition set exactly like the local sweep.
+///
+/// # Panics
+///
+/// Panics on an empty coalition set, an empty coalition, or an
+/// out-of-range member — a mis-specified experiment, never a data error.
+pub fn sweep_units<P: SweepPlan>(plan: &P, cfg: &Conformance) -> Vec<SweepUnit> {
+    let n = plan.players();
+    let coalitions = cfg.resolve_coalitions(n);
+    assert!(!coalitions.is_empty(), "conformance needs a coalition set");
+    for c in &coalitions {
+        assert!(!c.is_empty(), "conformance coalitions must be non-empty");
+        assert!(
+            c.iter().all(|&m| m < n),
+            "coalition member out of range: {c:?} (n = {n})"
+        );
+    }
+    let mut units = vec![SweepUnit {
+        strategy: None,
+        coalition: Vec::new(),
+    }];
+    for coalition in &coalitions {
+        for (strategy, _) in plan.deviant_cells(coalition, cfg) {
+            units.push(SweepUnit {
+                strategy: Some(strategy),
+                coalition: coalition.clone(),
+            });
+        }
+    }
+    units
+}
+
+/// Rebuilds the concrete plan of one unit from its `(strategy, coalition)`
+/// recipe — `None` when the strategy name is not one this plan generates
+/// (a hostile or stale lease grant, surfaced as an error rather than a
+/// panic by the shard worker).
+pub fn sweep_unit_plan<P: SweepPlan>(plan: &P, unit: &SweepUnit, cfg: &Conformance) -> Option<P> {
+    match &unit.strategy {
+        None => Some(plan.clone()),
+        Some(name) => plan
+            .deviant_cells(&unit.coalition, cfg)
+            .into_iter()
+            .find(|(s, _)| s == name)
+            .map(|(_, p)| p),
+    }
+}
+
+/// Executes one unit's whole grid and returns the per-run resolved action
+/// profiles in grid (kind-major, seed-minor) order — the portable result a
+/// shard worker ships back. Utilities, intervals, and the verdict are all
+/// deterministic functions of these profiles, which is what makes sharded
+/// verdicts bit-identical to local ones.
+pub fn run_sweep_unit<P: SweepPlan>(
+    plan: &P,
+    unit: &SweepUnit,
+    cfg: &Conformance,
+) -> Option<Vec<Vec<usize>>> {
+    let cell = sweep_unit_plan(plan, unit, cfg)?;
+    let set = cell
+        .batch()
+        .battery(cfg.resolved_battery(plan.players()))
+        .seeds(0..cfg.seeds_per_kind())
+        .run_batch();
+    Some(set.runs().iter().map(|r| set.profile(&r.outcome)).collect())
+}
+
+/// Re-executes a single `(unit, run)` cell: the witness re-enactment path.
+/// Returns the decoded `(kind, seed)`, the raw outcome (for trace-sink
+/// recording), and the resolved profile. `None` when the run index falls
+/// outside the grid or the unit's strategy is unknown.
+pub fn run_sweep_cell<P: SweepPlan>(
+    plan: &P,
+    unit: &SweepUnit,
+    cfg: &Conformance,
+    run: usize,
+) -> Option<(SchedulerKind, u64, Outcome, Vec<usize>)> {
+    let battery = cfg.resolved_battery(plan.players());
+    let seeds = cfg.seeds_per_kind() as usize;
+    let kind = battery.get(run / seeds)?.clone();
+    let seed = (run % seeds) as u64;
+    let cell = sweep_unit_plan(plan, unit, cfg)?;
+    let outcome = cell.run_one(&kind, seed);
+    let profile = cell.resolve_mode().profile(&outcome, cell.players());
+    Some((kind, seed, outcome, profile))
 }
 
 /// One swept cell: a coalition playing a generated strategy, accounted
@@ -772,6 +916,14 @@ pub struct DeviationWitness {
     pub baseline_profile: Vec<usize>,
     /// Resolved action profile of the deviant run.
     pub deviant_profile: Vec<usize>,
+    /// Index of the witnessing `(strategy, coalition)` unit in
+    /// [`sweep_units`] order — the recipe the sharded coordinator leases
+    /// back out to re-enact the witness cell.
+    pub unit: usize,
+    /// Flat run index of the witnessing cell within its unit's grid
+    /// (kind-major, seed-minor; decodes via
+    /// [`Conformance::resolved_battery`]).
+    pub run: usize,
 }
 
 impl fmt::Display for DeviationWitness {
@@ -952,48 +1104,46 @@ fn interval_max(cis: &[ConfidenceInterval]) -> ConfidenceInterval {
     }
 }
 
-/// Per-run utility samples of one [`RunSet`] under `game`/`types`, indexed
+/// Per-run utility samples from resolved action profiles, indexed
 /// `[player][run]` — the grid both sides of a paired comparison share.
-fn utility_grid(set: &RunSet, game: &BayesianGame, types: &[usize]) -> Vec<Vec<f64>> {
-    mediator_games::stats::utility_samples(game, &crate::deviations::run_set_samples(set, types))
+/// Profiles (not outcomes) are the unit of exchange: they are what shard
+/// workers ship back, and utilities are a pure function of them, so the
+/// sharded and local pipelines compute bit-identical floats.
+fn profile_utility_grid(
+    profiles: &[Vec<usize>],
+    game: &BayesianGame,
+    types: &[usize],
+) -> Vec<Vec<f64>> {
+    let samples: Vec<(Vec<usize>, Vec<usize>)> = profiles
+        .iter()
+        .map(|p| (types.to_vec(), p.clone()))
+        .collect();
+    mediator_games::stats::utility_samples(game, &samples)
 }
 
-/// Shared sweep core: runs the baseline once, then every generated
-/// `(strategy, coalition)` cell through the batch runner, pairing each
-/// deviant grid against the baseline grid run-by-run.
-fn sweep<P, F>(
-    plan: &P,
+/// Renders a conformance report from the per-unit profile grids — the
+/// single verdict pipeline shared by the local thread fan-out and the
+/// sharded coordinator. `units` must be in [`sweep_units`] order (baseline
+/// first); `profiles[i]` is unit `i`'s grid in kind-major, seed-minor run
+/// order.
+pub fn render_sweep_report(
     game: &BayesianGame,
     types: &[usize],
     cfg: &Conformance,
-    cells_for: F,
-) -> ConformanceReport
-where
-    P: BatchRun,
-    F: Fn(&[usize]) -> Vec<(String, P)>,
-{
-    let n = plan.players();
-    assert_eq!(game.n(), n, "game and plan disagree on player count");
-    assert_eq!(types.len(), game.n(), "type profile arity");
+    units: &[SweepUnit],
+    profiles: &[Vec<Vec<usize>>],
+) -> ConformanceReport {
+    let n = game.n();
+    assert_eq!(types.len(), n, "type profile arity");
+    assert_eq!(units.len(), profiles.len(), "one profile grid per unit");
+    assert!(
+        matches!(units.first(), Some(u) if u.strategy.is_none()),
+        "unit 0 must be the honest baseline"
+    );
     let battery = cfg.resolve_battery(n);
-    let coalitions = cfg.resolve_coalitions(n);
-    assert!(!coalitions.is_empty(), "conformance needs a coalition set");
-    for c in &coalitions {
-        assert!(!c.is_empty(), "conformance coalitions must be non-empty");
-        assert!(
-            c.iter().all(|&m| m < n),
-            "coalition member out of range: {c:?} (n = {n})"
-        );
-    }
 
-    let run = |p: &P| -> RunSet {
-        p.batch()
-            .battery(battery.clone())
-            .seeds(0..cfg.seeds)
-            .run_batch()
-    };
-    let base_set = run(plan);
-    let base_u = utility_grid(&base_set, game, types);
+    let base_profiles = &profiles[0];
+    let base_u = profile_utility_grid(base_profiles, game, types);
     let baseline: Vec<ConfidenceInterval> = base_u.iter().map(|xs| mean_ci(xs, cfg.z)).collect();
 
     let mut cells = Vec::new();
@@ -1002,76 +1152,81 @@ where
     let mut max_gain_hi = f64::NEG_INFINITY;
     let mut max_harm_hi = f64::NEG_INFINITY;
 
-    for coalition in &coalitions {
-        for (strategy, deviant_plan) in cells_for(coalition) {
-            let dev_set = run(&deviant_plan);
-            let dev_u = utility_grid(&dev_set, game, types);
-            let runs = dev_set.len();
+    for (uidx, (unit, dev_profiles)) in units.iter().zip(profiles).enumerate().skip(1) {
+        let strategy = unit
+            .strategy
+            .clone()
+            .expect("deviant units carry a strategy");
+        let coalition = &unit.coalition;
+        let dev_u = profile_utility_grid(dev_profiles, game, types);
+        let runs = dev_profiles.len();
+        assert_eq!(runs, base_profiles.len(), "paired grids must align");
 
-            // Paired per-member gains: same (kind, seed) cell on each side.
-            let member_gains: Vec<ConfidenceInterval> = coalition
-                .iter()
-                .map(|&m| paired_gain_ci(&dev_u[m], &base_u[m], cfg.z))
-                .collect();
-            // The resilience criterion needs **every** member to gain, so
-            // the cell's gain is the minimum over members — taken
-            // componentwise, which is a sound interval for that minimum:
-            // min(lo_m) bounds it below (a violation needs every member's
-            // lower bound past ε) and min(hi_m) above (one member surely
-            // ≤ ε kills the coalition's joint profit).
-            let gain = interval_min(&member_gains);
-            // Immunity side: the worst honest player's paired loss —
-            // componentwise max over players, for the same reason.
-            let honest_harms: Vec<ConfidenceInterval> = (0..n)
-                .filter(|p| !coalition.contains(p))
-                .map(|p| paired_gain_ci(&base_u[p], &dev_u[p], cfg.z))
-                .collect();
-            let harm = if honest_harms.is_empty() {
-                ConfidenceInterval::point(0.0, runs)
-            } else {
-                interval_max(&honest_harms)
-            };
+        // Paired per-member gains: same (kind, seed) cell on each side.
+        let member_gains: Vec<ConfidenceInterval> = coalition
+            .iter()
+            .map(|&m| paired_gain_ci(&dev_u[m], &base_u[m], cfg.z))
+            .collect();
+        // The resilience criterion needs **every** member to gain, so
+        // the cell's gain is the minimum over members — taken
+        // componentwise, which is a sound interval for that minimum:
+        // min(lo_m) bounds it below (a violation needs every member's
+        // lower bound past ε) and min(hi_m) above (one member surely
+        // ≤ ε kills the coalition's joint profit).
+        let gain = interval_min(&member_gains);
+        // Immunity side: the worst honest player's paired loss —
+        // componentwise max over players, for the same reason.
+        let honest_harms: Vec<ConfidenceInterval> = (0..n)
+            .filter(|p| !coalition.contains(p))
+            .map(|p| paired_gain_ci(&base_u[p], &dev_u[p], cfg.z))
+            .collect();
+        let harm = if honest_harms.is_empty() {
+            ConfidenceInterval::point(0.0, runs)
+        } else {
+            interval_max(&honest_harms)
+        };
 
-            max_gain_hi = max_gain_hi.max(gain.hi);
-            max_harm_hi = max_harm_hi.max(harm.hi);
+        max_gain_hi = max_gain_hi.max(gain.hi);
+        max_harm_hi = max_harm_hi.max(harm.hi);
 
-            if gain.lo > cfg.eps && witness.is_none() {
-                // Locate the grid cell realizing the largest joint gain.
-                let best = (0..runs)
-                    .max_by(|&a, &b| {
-                        let ga = coalition
-                            .iter()
-                            .map(|&m| dev_u[m][a] - base_u[m][a])
-                            .fold(f64::INFINITY, f64::min);
-                        let gb = coalition
-                            .iter()
-                            .map(|&m| dev_u[m][b] - base_u[m][b])
-                            .fold(f64::INFINITY, f64::min);
-                        ga.partial_cmp(&gb).expect("finite utilities")
-                    })
-                    .expect("non-empty run set");
-                let rec = &dev_set.runs()[best];
-                witness = Some(DeviationWitness {
-                    strategy: strategy.clone(),
-                    coalition: coalition.clone(),
-                    gain,
-                    kind: rec.kind.clone(),
-                    seed: rec.seed,
-                    baseline_profile: base_set.profile(&base_set.runs()[best].outcome),
-                    deviant_profile: dev_set.profile(&rec.outcome),
-                });
-            } else if gain.hi > cfg.eps && gain.lo <= cfg.eps && inconclusive.is_none() {
-                inconclusive = Some((strategy.clone(), coalition.clone(), gain));
-            }
-
-            cells.push(ConformanceCell {
-                strategy,
+        if gain.lo > cfg.eps && witness.is_none() {
+            // Locate the grid cell realizing the largest joint gain.
+            let best = (0..runs)
+                .max_by(|&a, &b| {
+                    let ga = coalition
+                        .iter()
+                        .map(|&m| dev_u[m][a] - base_u[m][a])
+                        .fold(f64::INFINITY, f64::min);
+                    let gb = coalition
+                        .iter()
+                        .map(|&m| dev_u[m][b] - base_u[m][b])
+                        .fold(f64::INFINITY, f64::min);
+                    ga.partial_cmp(&gb).expect("finite utilities")
+                })
+                .expect("non-empty run set");
+            let seeds = cfg.seeds as usize;
+            witness = Some(DeviationWitness {
+                strategy: strategy.clone(),
                 coalition: coalition.clone(),
                 gain,
-                member_gains,
-                harm,
+                kind: battery[best / seeds].clone(),
+                seed: (best % seeds) as u64,
+                baseline_profile: base_profiles[best].clone(),
+                deviant_profile: dev_profiles[best].clone(),
+                unit: uidx,
+                run: best,
             });
+        } else if gain.hi > cfg.eps && gain.lo <= cfg.eps && inconclusive.is_none() {
+            inconclusive = Some((strategy.clone(), coalition.clone(), gain));
         }
+
+        cells.push(ConformanceCell {
+            strategy,
+            coalition: coalition.clone(),
+            gain,
+            member_gains,
+            harm,
+        });
     }
 
     let verdict = if let Some(w) = witness {
@@ -1102,6 +1257,27 @@ where
     }
 }
 
+/// Shared sweep core: decomposes into [`sweep_units`], runs every unit's
+/// grid through the local batch runner, and renders the verdict — the
+/// exact pipeline the sharded coordinator replays with remote workers in
+/// place of the local loop.
+fn sweep<P: SweepPlan>(
+    plan: &P,
+    game: &BayesianGame,
+    types: &[usize],
+    cfg: &Conformance,
+) -> ConformanceReport {
+    let n = plan.players();
+    assert_eq!(game.n(), n, "game and plan disagree on player count");
+    assert_eq!(types.len(), game.n(), "type profile arity");
+    let units = sweep_units(plan, cfg);
+    let profiles: Vec<Vec<Vec<usize>>> = units
+        .iter()
+        .map(|u| run_sweep_unit(plan, u, cfg).expect("sweep_units only names existing cells"))
+        .collect();
+    render_sweep_report(game, types, cfg, &units, &profiles)
+}
+
 /// Conformance sweep of a cheap-talk plan: every coalition of size ≤ k
 /// plays every [`generated_battery`] strategy (each member running the
 /// strategy's behavior), and the report decides ε-k-resilience.
@@ -1111,9 +1287,7 @@ pub fn cheap_talk_conformance(
     types: &[usize],
     cfg: &Conformance,
 ) -> ConformanceReport {
-    sweep(plan, game, types, cfg, |coalition| {
-        cheap_talk_deviant_cells(plan, coalition)
-    })
+    sweep(plan, game, types, cfg)
 }
 
 /// The generated deviant cells of a cheap-talk plan for one coalition:
@@ -1148,10 +1322,7 @@ pub fn mediator_conformance(
     types: &[usize],
     cfg: &Conformance,
 ) -> ConformanceReport {
-    let deadlock = cfg.deadlock_action;
-    sweep(plan, game, types, cfg, |coalition| {
-        mediator_deviant_cells(plan, coalition, deadlock)
-    })
+    sweep(plan, game, types, cfg)
 }
 
 /// The generated deviant cells of a mediator-game plan for one coalition:

@@ -1,0 +1,319 @@
+//! Lease accounting for sharded sweeps: a pure state machine over
+//! abstract time.
+//!
+//! The sharded conformance coordinator must guarantee that every grid
+//! unit is **completed exactly once** even while workers vanish
+//! mid-lease, stall past their deadline, or return results for units that
+//! were already re-leased and finished elsewhere. That invariant is pure
+//! bookkeeping — no transport, no threads, no wall clock — so it lives
+//! here in `mediator-core` as [`LeaseLedger`], parameterized over `u64`
+//! ticks, where proptests can drive it through arbitrary churn
+//! histories. The network coordinator (`mediator-net`'s shard module)
+//! wraps it with real connections and maps every [`Reclaim`] to a typed
+//! failure owner.
+//!
+//! State machine per unit:
+//!
+//! ```text
+//! Pending ──grant──▶ Leased(worker, due) ──complete──▶ Done
+//!    ▲                    │
+//!    └──expire / vanish───┘        (late duplicate → discarded += 1)
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Why a leased unit went back to the pending queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reclaim {
+    /// The lease deadline lapsed with no result.
+    Expired {
+        /// The reclaimed unit.
+        unit: u64,
+        /// The worker that held the lease.
+        worker: u64,
+    },
+    /// The holding worker's connection died.
+    Vanished {
+        /// The reclaimed unit.
+        unit: u64,
+        /// The worker that held the lease.
+        worker: u64,
+    },
+}
+
+impl Reclaim {
+    /// The reclaimed unit id.
+    pub fn unit(&self) -> u64 {
+        match *self {
+            Reclaim::Expired { unit, .. } | Reclaim::Vanished { unit, .. } => unit,
+        }
+    }
+}
+
+/// One unit's lease state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitState {
+    Pending,
+    Leased { worker: u64, due: u64 },
+    Done,
+}
+
+/// The coordinator's lease book: which units are pending, who holds a
+/// lease until when, and which are done — with re-lease on expiry or
+/// worker death and first-result-wins deduplication.
+///
+/// Time is an abstract monotone `u64` the caller advances; the ledger
+/// never reads a clock, which keeps it deterministic under test.
+#[derive(Debug, Default)]
+pub struct LeaseLedger {
+    units: BTreeMap<u64, UnitState>,
+    /// FIFO of units awaiting a lease (re-leased units re-enter at the
+    /// back, so a flapping unit cannot starve the rest of the grid).
+    queue: Vec<u64>,
+    /// Units handed back to the queue by expiry or worker death.
+    pub releases: usize,
+    /// Late results for already-completed units, refused.
+    pub discarded: usize,
+}
+
+impl LeaseLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a unit to the pending queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the unit id is already tracked — unit ids are unique by
+    /// construction, so a duplicate is a coordinator bug.
+    pub fn enqueue(&mut self, unit: u64) {
+        let prev = self.units.insert(unit, UnitState::Pending);
+        assert!(prev.is_none(), "unit {unit} enqueued twice");
+        self.queue.push(unit);
+    }
+
+    /// Leases the next pending unit to `worker` with deadline
+    /// `now + deadline` ticks; `None` when nothing is pending.
+    pub fn grant(&mut self, worker: u64, now: u64, deadline: u64) -> Option<u64> {
+        let unit = if self.queue.is_empty() {
+            return None;
+        } else {
+            self.queue.remove(0)
+        };
+        self.units.insert(
+            unit,
+            UnitState::Leased {
+                worker,
+                due: now.saturating_add(deadline),
+            },
+        );
+        Some(unit)
+    }
+
+    /// Records a result for `unit`. Returns `true` when this is the
+    /// first completion (the result must be counted) and `false` for a
+    /// late duplicate — a re-leased unit that already finished elsewhere
+    /// — which the caller must discard to keep cells single-counted.
+    pub fn complete(&mut self, unit: u64) -> bool {
+        match self.units.get(&unit) {
+            Some(UnitState::Done) => {
+                self.discarded += 1;
+                false
+            }
+            Some(_) => {
+                // A result also settles a lease the ledger had already
+                // reclaimed (the unit is back in `queue`): drop the stale
+                // queue entry so the unit is not run a second time.
+                self.queue.retain(|&u| u != unit);
+                self.units.insert(unit, UnitState::Done);
+                true
+            }
+            None => {
+                // A unit the coordinator never issued: refuse it.
+                self.discarded += 1;
+                false
+            }
+        }
+    }
+
+    /// Reclaims every lease whose deadline is `≤ now`, returning the
+    /// reclaimed units (now back in the pending queue).
+    pub fn expire(&mut self, now: u64) -> Vec<Reclaim> {
+        let lapsed: Vec<(u64, u64)> = self
+            .units
+            .iter()
+            .filter_map(|(&unit, state)| match *state {
+                UnitState::Leased { worker, due } if due <= now => Some((unit, worker)),
+                _ => None,
+            })
+            .collect();
+        lapsed
+            .into_iter()
+            .map(|(unit, worker)| {
+                self.release(unit);
+                Reclaim::Expired { unit, worker }
+            })
+            .collect()
+    }
+
+    /// Reclaims every lease held by `worker` (its connection died).
+    pub fn vanish(&mut self, worker: u64) -> Vec<Reclaim> {
+        let held: Vec<u64> = self
+            .units
+            .iter()
+            .filter_map(|(&unit, state)| match *state {
+                UnitState::Leased { worker: w, .. } if w == worker => Some(unit),
+                _ => None,
+            })
+            .collect();
+        held.into_iter()
+            .map(|unit| {
+                self.release(unit);
+                Reclaim::Vanished { unit, worker }
+            })
+            .collect()
+    }
+
+    fn release(&mut self, unit: u64) {
+        self.units.insert(unit, UnitState::Pending);
+        self.queue.push(unit);
+        self.releases += 1;
+    }
+
+    /// The earliest outstanding lease deadline — how long the
+    /// coordinator may sleep before the next [`Self::expire`] sweep.
+    pub fn next_due(&self) -> Option<u64> {
+        self.units
+            .values()
+            .filter_map(|state| match *state {
+                UnitState::Leased { due, .. } => Some(due),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Units not yet done (pending or leased).
+    pub fn outstanding(&self) -> usize {
+        self.units
+            .values()
+            .filter(|s| !matches!(s, UnitState::Done))
+            .count()
+    }
+
+    /// Units currently awaiting a lease.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total units ever enqueued.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// `true` when no unit was ever enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// `true` once every unit is done.
+    pub fn all_done(&self) -> bool {
+        self.units.values().all(|s| matches!(s, UnitState::Done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_complete_lifecycle() {
+        let mut l = LeaseLedger::new();
+        l.enqueue(0);
+        l.enqueue(1);
+        assert_eq!(l.grant(7, 0, 10), Some(0));
+        assert_eq!(l.grant(8, 0, 10), Some(1));
+        assert_eq!(l.grant(9, 0, 10), None, "nothing left to lease");
+        assert!(l.complete(0));
+        assert!(!l.all_done());
+        assert!(l.complete(1));
+        assert!(l.all_done());
+        assert_eq!((l.releases, l.discarded), (0, 0));
+    }
+
+    #[test]
+    fn expiry_requeues_and_late_result_is_discarded() {
+        let mut l = LeaseLedger::new();
+        l.enqueue(0);
+        assert_eq!(l.grant(7, 0, 10), Some(0));
+        assert!(l.expire(9).is_empty(), "deadline not yet due");
+        assert_eq!(l.expire(10), vec![Reclaim::Expired { unit: 0, worker: 7 }]);
+        assert_eq!(l.releases, 1);
+        // Re-leased to another worker, completed there first.
+        assert_eq!(l.grant(8, 10, 10), Some(0));
+        assert!(l.complete(0), "first completion counts");
+        assert!(!l.complete(0), "the slow original is a duplicate");
+        assert_eq!(l.discarded, 1);
+        assert!(l.all_done());
+    }
+
+    #[test]
+    fn vanish_reclaims_only_that_workers_leases() {
+        let mut l = LeaseLedger::new();
+        for u in 0..3 {
+            l.enqueue(u);
+        }
+        assert_eq!(l.grant(1, 0, 100), Some(0));
+        assert_eq!(l.grant(2, 0, 100), Some(1));
+        assert_eq!(l.grant(1, 0, 100), Some(2));
+        let mut got = l.vanish(1);
+        got.sort_by_key(Reclaim::unit);
+        assert_eq!(
+            got,
+            vec![
+                Reclaim::Vanished { unit: 0, worker: 1 },
+                Reclaim::Vanished { unit: 2, worker: 1 },
+            ]
+        );
+        assert_eq!(l.pending(), 2);
+        assert!(l.complete(1), "the survivor's lease is untouched");
+    }
+
+    #[test]
+    fn late_result_settles_a_reclaimed_lease_without_rerun() {
+        // Expiry put the unit back in the queue, then the original slow
+        // worker's result arrives before anyone re-leased it: the result
+        // counts and the stale queue entry disappears.
+        let mut l = LeaseLedger::new();
+        l.enqueue(0);
+        l.grant(7, 0, 10);
+        l.expire(10);
+        assert_eq!(l.pending(), 1);
+        assert!(l.complete(0));
+        assert_eq!(l.pending(), 0);
+        assert!(l.all_done());
+        assert_eq!(l.grant(8, 11, 10), None, "nothing left to lease");
+    }
+
+    #[test]
+    fn next_due_tracks_earliest_lease() {
+        let mut l = LeaseLedger::new();
+        assert_eq!(l.next_due(), None);
+        l.enqueue(0);
+        l.enqueue(1);
+        l.grant(1, 0, 30);
+        l.grant(2, 5, 10);
+        assert_eq!(l.next_due(), Some(15));
+        l.complete(1);
+        assert_eq!(l.next_due(), Some(30));
+    }
+
+    #[test]
+    fn unknown_unit_result_is_refused() {
+        let mut l = LeaseLedger::new();
+        l.enqueue(0);
+        assert!(!l.complete(99), "never-issued unit id");
+        assert_eq!(l.discarded, 1);
+    }
+}

@@ -41,6 +41,9 @@
 //!   intervals — or a concrete witnessing deviation.
 //! * [`egl`] — the Even–Goldreich–Lempel `O(1/ε)`-messages baseline the
 //!   paper compares against in §1.
+//! * [`lease`] — pure lease accounting ([`lease::LeaseLedger`]) for the
+//!   sharded conformance plane: exactly-once unit completion under worker
+//!   churn, proptested here without any transport in the loop.
 //! * [`report`] — plain-text/markdown tables for the experiment harness.
 
 pub mod adversary;
@@ -48,16 +51,19 @@ pub mod cheap_talk;
 pub mod deviations;
 pub mod egl;
 pub mod implement;
+pub mod lease;
 pub mod mediator;
 pub mod min_info;
 pub mod report;
 pub mod scenario;
 
 pub use adversary::{
-    Conformance, ConformanceReport, ConformanceVerdict, Deviation, DeviationWitness,
+    render_sweep_report, run_sweep_cell, run_sweep_unit, sweep_unit_plan, sweep_units, Conformance,
+    ConformanceReport, ConformanceVerdict, Deviation, DeviationWitness, SweepPlan, SweepUnit,
 };
 pub use cheap_talk::{run_cheap_talk, CheapTalkPlayer, CheapTalkSpec, CtMsg, CtVariant};
 pub use deviations::{Behavior, RobustnessReport};
+pub use lease::{LeaseLedger, Reclaim};
 pub use mediator::{run_mediator_game, MedMsg, MediatorGameSpec};
 pub use scenario::{
     Batch, CheapTalkPlan, MediatorPlan, Resolve, RunRecord, RunSet, Scenario, ScenarioError,

@@ -1,0 +1,173 @@
+//! Property-based invariants of the sharded-sweep bookkeeping layer:
+//! the [`LeaseLedger`] completes every grid unit **exactly once** under
+//! arbitrary worker churn, and [`OutcomeDist::merge`] of per-shard
+//! empirical distributions equals the pooled local distribution — the two
+//! laws the wire-level differential tests in `mediator-net` silently
+//! lean on.
+
+use std::collections::BTreeSet;
+
+use mediator_core::{LeaseLedger, Reclaim};
+use mediator_games::dist::{l1_distance, OutcomeDist};
+use proptest::prelude::*;
+
+/// Drives a ledger through a churn script — interleaved grants,
+/// completions, duplicate completions, expiries, and worker deaths — then
+/// drains whatever remains. Returns the set of units whose `complete`
+/// call *counted* (returned `true`), plus the duplicate/refused tallies
+/// the script accrued.
+fn churn(n: u64, script: &[u32]) -> (LeaseLedger, BTreeSet<u64>, usize) {
+    let mut ledger = LeaseLedger::new();
+    for unit in 0..n {
+        ledger.enqueue(unit);
+    }
+    let mut counted = BTreeSet::new();
+    let mut refused = 0usize;
+    let mut now = 0u64;
+    // Leases currently believed held, per worker (the script's model of
+    // the in-flight world; the ledger is the source of truth).
+    let mut held: Vec<(u64, u64)> = Vec::new(); // (worker, unit)
+    let deadline = 10;
+
+    let count =
+        |ledger: &mut LeaseLedger, unit: u64, counted: &mut BTreeSet<u64>, refused: &mut usize| {
+            if ledger.complete(unit) {
+                assert!(counted.insert(unit), "unit {unit} counted twice");
+            } else {
+                *refused += 1;
+            }
+        };
+
+    for &op in script {
+        now += u64::from(op % 7); // uneven clock advance
+        match op % 5 {
+            // Grant to one of four workers.
+            0 => {
+                let worker = u64::from(op / 5 % 4);
+                if let Some(unit) = ledger.grant(worker, now, deadline) {
+                    held.push((worker, unit));
+                }
+            }
+            // Complete a held lease (honest worker finishes).
+            1 => {
+                if !held.is_empty() {
+                    let (_, unit) = held.remove(op as usize % held.len());
+                    count(&mut ledger, unit, &mut counted, &mut refused);
+                }
+            }
+            // Duplicate: re-complete a unit that already counted.
+            2 => {
+                if let Some(&unit) = counted.iter().next() {
+                    count(&mut ledger, unit, &mut counted, &mut refused);
+                }
+            }
+            // Deadline sweep: lapsed leases fall out of the held model.
+            3 => {
+                let lapsed: BTreeSet<u64> = ledger.expire(now).iter().map(Reclaim::unit).collect();
+                held.retain(|(_, u)| !lapsed.contains(u));
+            }
+            // A worker dies with everything it held.
+            _ => {
+                let worker = u64::from(op / 5 % 4);
+                let gone = ledger.vanish(worker);
+                assert!(gone
+                    .iter()
+                    .all(|r| matches!(r, Reclaim::Vanished { worker: w, .. } if *w == worker)));
+                held.retain(|(w, _)| *w != worker);
+            }
+        }
+    }
+
+    // Drain: a fresh worker leases and completes whatever churn left
+    // behind. Leases the script abandoned (held but never completed nor
+    // reclaimed) must first lapse, exactly as the coordinator's expiry
+    // heartbeat would force.
+    loop {
+        ledger.expire(u64::MAX);
+        match ledger.grant(99, now, deadline) {
+            Some(unit) => count(&mut ledger, unit, &mut counted, &mut refused),
+            None => break,
+        }
+    }
+    (ledger, counted, refused)
+}
+
+proptest! {
+    #[test]
+    fn every_unit_completes_exactly_once_under_churn(
+        n in 1u64..12,
+        script in proptest::collection::vec(0u32..100, 0..120),
+    ) {
+        let (ledger, counted, refused) = churn(n, &script);
+        // Exactly-once: each of the n units counted once, none missed.
+        prop_assert_eq!(counted.len(), n as usize, "every unit counted");
+        prop_assert!(counted.iter().all(|&u| u < n));
+        prop_assert!(ledger.all_done());
+        prop_assert_eq!(ledger.outstanding(), 0);
+        prop_assert_eq!(ledger.pending(), 0);
+        prop_assert_eq!(ledger.len(), n as usize);
+        // Accounting: every non-counting completion was tallied as a
+        // discard, and nothing was ever granted after done.
+        prop_assert_eq!(ledger.discarded, refused, "discard tally");
+        let mut ledger = ledger;
+        prop_assert_eq!(ledger.grant(7, 0, 10), None, "nothing left to lease");
+    }
+
+    #[test]
+    fn next_due_is_the_min_outstanding_deadline(
+        starts in proptest::collection::vec(0u64..50, 1..8),
+    ) {
+        // Stagger one lease per start tick; next_due must always be the
+        // minimum unexpired deadline, and empty once all complete.
+        let mut ledger = LeaseLedger::new();
+        for (unit, _) in starts.iter().enumerate() {
+            ledger.enqueue(unit as u64);
+        }
+        let deadline = 10;
+        for (unit, &start) in starts.iter().enumerate() {
+            prop_assert_eq!(ledger.grant(unit as u64, start, deadline), Some(unit as u64));
+        }
+        let min_due = starts.iter().map(|s| s + deadline).min().expect("nonempty");
+        prop_assert_eq!(ledger.next_due(), Some(min_due));
+        for unit in 0..starts.len() as u64 {
+            ledger.complete(unit);
+        }
+        prop_assert_eq!(ledger.next_due(), None, "no leases outstanding");
+    }
+
+    #[test]
+    fn sharded_dist_merge_equals_pooled(
+        samples in proptest::collection::vec(0usize..4, 1..48),
+        cuts in proptest::collection::vec(1usize..48, 0..4),
+    ) {
+        // Split the run list at arbitrary shard boundaries (exactly how
+        // the coordinator reassembles per-unit profile chunks), build a
+        // per-shard empirical distribution, and merge weighted by shard
+        // sample counts: the result must be the pooled distribution of
+        // the undivided run list.
+        let pooled = OutcomeDist::from_samples(samples.iter().map(|&s| vec![s]));
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % samples.len()).collect();
+        bounds.push(0);
+        bounds.push(samples.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let shards: Vec<OutcomeDist> = bounds
+            .windows(2)
+            .map(|w| OutcomeDist::from_samples(samples[w[0]..w[1]].iter().map(|&s| vec![s])))
+            .collect();
+        let weights: Vec<f64> = bounds.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let merged = OutcomeDist::merge(shards.iter().zip(weights));
+        prop_assert!((merged.total() - 1.0).abs() < 1e-9, "proper distribution");
+        prop_assert!(
+            l1_distance(&pooled, &merged) < 1e-9,
+            "merge of shard splits != pooled"
+        );
+        // Sample-count conservation: each profile's merged mass times the
+        // total run count recovers its integer frequency.
+        let n = samples.len();
+        for (profile, p) in merged.iter() {
+            let freq = samples.iter().filter(|&&s| vec![s] == *profile).count();
+            prop_assert!((p * n as f64 - freq as f64).abs() < 1e-9);
+        }
+    }
+}

@@ -62,8 +62,14 @@ impl<M: Wire + 'static> Client<M> {
                     return Err(NetError::Rejected { session, reason })
                 }
                 Frame::Abort { session } => return Err(NetError::Aborted { session }),
-                // `Attach` never travels service → client; tolerate it.
-                Frame::Attach { .. } => {}
+                // `Attach` never travels service → client, and shard
+                // lease frames never reach a session relay; tolerate.
+                Frame::Attach { .. }
+                | Frame::ShardRequest { .. }
+                | Frame::ShardGrant { .. }
+                | Frame::ShardResult { .. }
+                | Frame::ShardWitness { .. }
+                | Frame::ShardDrain => {}
             }
         }
     }

@@ -82,6 +82,57 @@ pub enum Frame<M> {
         /// The failed session.
         session: SessionId,
     },
+    /// Worker → coordinator: ready for a lease. Sent once on connect and
+    /// again after each result, so the coordinator paces grants to worker
+    /// capacity (pull, not push).
+    ShardRequest {
+        /// Self-assigned worker id (unique per connection by convention;
+        /// the coordinator keys leases on it for vanish reclaim).
+        worker: u64,
+    },
+    /// Coordinator → worker: a lease on one sweep unit. The worker
+    /// rebuilds the unit's plan from the `(strategy, coalition)` recipe —
+    /// plans themselves never travel.
+    ShardGrant {
+        /// The leased unit id (index in `sweep_units` order).
+        unit: u64,
+        /// Generated strategy name; `None` leases the honest baseline.
+        strategy: Option<String>,
+        /// The deviating coalition (empty for the baseline).
+        coalition: Vec<usize>,
+        /// `None` leases the unit's whole grid (answer: `ShardResult`);
+        /// `Some(r)` leases the single flat run `r` — the witness
+        /// re-enactment path (answer: `ShardWitness`).
+        run: Option<u64>,
+    },
+    /// Worker → coordinator: one completed unit's grid, as per-run
+    /// resolved action profiles in kind-major, seed-minor order. The only
+    /// shard frame that can travel authenticated ([`WIRE_VERSION_AUTH`]):
+    /// its integrity decides a scientific verdict, where the lease
+    /// control frames only pace work.
+    ShardResult {
+        /// The completed unit.
+        unit: u64,
+        /// The worker that ran it.
+        worker: u64,
+        /// Resolved action profile of every run in the unit's grid.
+        profiles: Vec<Vec<usize>>,
+        /// The authentication trailer, present iff the frame travels
+        /// under [`WIRE_VERSION_AUTH`].
+        auth: Option<AuthTag>,
+    },
+    /// Worker → coordinator: the re-enacted witness cell's resolved
+    /// profile (reply to a single-run grant).
+    ShardWitness {
+        /// The unit the witness run belongs to.
+        unit: u64,
+        /// The flat run index re-enacted.
+        run: u64,
+        /// The run's resolved action profile.
+        profile: Vec<usize>,
+    },
+    /// Coordinator → worker: the sweep is complete; drain and disconnect.
+    ShardDrain,
 }
 
 /// Why the service refused a frame.
@@ -226,6 +277,24 @@ impl<M: Wire> Frame<M> {
             out.extend_from_slice(&tag.mac);
             return;
         }
+        if let Frame::ShardResult {
+            unit,
+            worker,
+            profiles,
+            auth: Some(tag),
+        } = self
+        {
+            // Same trailer discipline as an authenticated Msg:
+            // [2][kind=7][unit][worker][seq][profiles][mac: 8 raw bytes].
+            out.push(WIRE_VERSION_AUTH);
+            out.push(7);
+            unit.encode(out);
+            worker.encode(out);
+            tag.seq.encode(out);
+            profiles.encode(out);
+            out.extend_from_slice(&tag.mac);
+            return;
+        }
         out.push(WIRE_VERSION);
         match self {
             Frame::Attach { session, player } => {
@@ -260,6 +329,42 @@ impl<M: Wire> Frame<M> {
                 out.push(4);
                 session.encode(out);
             }
+            Frame::ShardRequest { worker } => {
+                out.push(5);
+                worker.encode(out);
+            }
+            Frame::ShardGrant {
+                unit,
+                strategy,
+                coalition,
+                run,
+            } => {
+                out.push(6);
+                unit.encode(out);
+                strategy.encode(out);
+                coalition.encode(out);
+                run.encode(out);
+            }
+            Frame::ShardResult {
+                unit,
+                worker,
+                profiles,
+                auth: _,
+            } => {
+                out.push(7);
+                unit.encode(out);
+                worker.encode(out);
+                profiles.encode(out);
+            }
+            Frame::ShardWitness { unit, run, profile } => {
+                out.push(8);
+                unit.encode(out);
+                run.encode(out);
+                profile.encode(out);
+            }
+            Frame::ShardDrain => {
+                out.push(9);
+            }
         }
     }
 
@@ -270,25 +375,41 @@ impl<M: Wire> Frame<M> {
         let mut r = Reader::new(body);
         let version = r.u8()?;
         if version == WIRE_VERSION_AUTH {
-            // Authenticated layout: only `Msg` frames travel under it.
+            // Authenticated layout: exactly `Msg` and `ShardResult`
+            // travel under it — any other kind byte is malformed.
             match r.u8()? {
-                1 => {}
+                1 => {
+                    let session = Wire::decode(&mut r)?;
+                    let src = Wire::decode(&mut r)?;
+                    let dst = Wire::decode(&mut r)?;
+                    let seq = Wire::decode(&mut r)?;
+                    let msg = Wire::decode(&mut r)?;
+                    let mac: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+                    r.finish()?;
+                    return Ok(Frame::Msg {
+                        session,
+                        src,
+                        dst,
+                        msg,
+                        auth: Some(AuthTag { seq, mac }),
+                    });
+                }
+                7 => {
+                    let unit = Wire::decode(&mut r)?;
+                    let worker = Wire::decode(&mut r)?;
+                    let seq = Wire::decode(&mut r)?;
+                    let profiles = Wire::decode(&mut r)?;
+                    let mac: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
+                    r.finish()?;
+                    return Ok(Frame::ShardResult {
+                        unit,
+                        worker,
+                        profiles,
+                        auth: Some(AuthTag { seq, mac }),
+                    });
+                }
                 tag => return Err(CodecError::UnknownTag { what: "Frame", tag }),
             }
-            let session = Wire::decode(&mut r)?;
-            let src = Wire::decode(&mut r)?;
-            let dst = Wire::decode(&mut r)?;
-            let seq = Wire::decode(&mut r)?;
-            let msg = Wire::decode(&mut r)?;
-            let mac: [u8; 8] = r.bytes(8)?.try_into().expect("8 bytes");
-            r.finish()?;
-            return Ok(Frame::Msg {
-                session,
-                src,
-                dst,
-                msg,
-                auth: Some(AuthTag { seq, mac }),
-            });
         }
         if version != WIRE_VERSION {
             return Err(CodecError::UnknownVersion(version));
@@ -316,38 +437,71 @@ impl<M: Wire> Frame<M> {
             4 => Frame::Abort {
                 session: Wire::decode(&mut r)?,
             },
+            5 => Frame::ShardRequest {
+                worker: Wire::decode(&mut r)?,
+            },
+            6 => Frame::ShardGrant {
+                unit: Wire::decode(&mut r)?,
+                strategy: Wire::decode(&mut r)?,
+                coalition: Wire::decode(&mut r)?,
+                run: Wire::decode(&mut r)?,
+            },
+            7 => Frame::ShardResult {
+                unit: Wire::decode(&mut r)?,
+                worker: Wire::decode(&mut r)?,
+                profiles: Wire::decode(&mut r)?,
+                auth: None,
+            },
+            8 => Frame::ShardWitness {
+                unit: Wire::decode(&mut r)?,
+                run: Wire::decode(&mut r)?,
+                profile: Wire::decode(&mut r)?,
+            },
+            9 => Frame::ShardDrain,
             tag => return Err(CodecError::UnknownTag { what: "Frame", tag }),
         };
         r.finish()?;
         Ok(frame)
     }
 
-    /// Seals a `Msg` frame under `key`: encodes the authenticated body,
-    /// MACs everything up to the trailer, and patches the tag in place.
-    /// The frame must already carry an [`AuthTag`] (the ship path assigns
-    /// the sequence number); no-op for any other frame.
+    /// Seals an authenticable frame under `key`: encodes the
+    /// authenticated body, MACs everything up to the trailer, and patches
+    /// the tag in place. `Msg` MACs under its `(session, src, dst)`
+    /// domain; `ShardResult` under `(unit, worker, SHARD_COORD)` — the
+    /// differing kind byte inside the MAC'd prefix keeps the two domains
+    /// disjoint even on colliding ids. The frame must already carry an
+    /// [`AuthTag`] (the ship path assigns the sequence number); no-op for
+    /// any other frame.
     pub fn seal(&mut self, key: &AuthKey) {
-        let Frame::Msg {
-            session, src, dst, ..
-        } = self
-        else {
-            return;
+        let domain = match self {
+            Frame::Msg {
+                session, src, dst, ..
+            } => (*session, *src, *dst),
+            Frame::ShardResult { unit, worker, .. } => (*unit, *worker as usize, SHARD_COORD),
+            _ => return,
         };
-        let (session, src, dst) = (*session, *src, *dst);
         let mut body = Vec::with_capacity(64);
         self.encode_body(&mut body);
         if body.first() != Some(&WIRE_VERSION_AUTH) {
             return; // no trailer to seal
         }
-        let mac = key.msg_mac(session, src, dst, &body[..body.len() - 8]);
-        if let Frame::Msg {
-            auth: Some(tag), ..
-        } = self
-        {
-            tag.mac = mac;
+        let mac = key.msg_mac(domain.0, domain.1, domain.2, &body[..body.len() - 8]);
+        match self {
+            Frame::Msg {
+                auth: Some(tag), ..
+            }
+            | Frame::ShardResult {
+                auth: Some(tag), ..
+            } => tag.mac = mac,
+            _ => {}
         }
     }
 }
+
+/// The `dst` slot of a [`Frame::ShardResult`] MAC domain: shard results
+/// always address the coordinator, which has no player id — this sentinel
+/// stands in for it.
+pub const SHARD_COORD: usize = usize::MAX;
 
 /// Extracts the session id from an authenticated `Msg` body without fully
 /// decoding it — the scoping probe for damaged frames. A truncated

@@ -40,6 +40,12 @@
 //! * [`plan`] — [`NetPlan`]: `.serve(…)` / `.connect_tcp(…)` /
 //!   `.run_over_tcp(…)` entries on every scenario plan, mirroring
 //!   `.session()`.
+//! * [`shard`] — the conformance sharding plane: a coordinator leases
+//!   sweep units (whole `(strategy, coalition)` grids, so honest-baseline
+//!   pairing survives) to workers over mem or TCP, reclaims lapsed or
+//!   orphaned leases with typed owners, re-enacts `Violated` witnesses,
+//!   and renders verdicts **bit-identical** to a local sweep
+//!   ([`ShardedSweep`], DESIGN.md §12).
 //!
 //! **The network is an adversarial scheduler.** A networked run delivers
 //! messages in whatever order the wire returns them — which is precisely a
@@ -82,6 +88,7 @@ pub mod plan;
 mod reactor;
 pub mod readiness;
 pub mod service;
+pub mod shard;
 pub mod tamper;
 pub mod transport;
 pub mod wire;
@@ -90,6 +97,7 @@ pub use auth::{siphash24, AuthKey, AuthTag, AuthVerdict, TamperKind};
 pub use client::{bulk_relay, Client};
 pub use frame::{
     peek_auth_session, Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN,
+    SHARD_COORD,
 };
 pub use plan::NetPlan;
 pub use readiness::{ConnIo, NbListener, Poller, TryRead, TryWrite, Waker, ACCEPT_TOKEN};
@@ -98,6 +106,10 @@ pub use service::{
 };
 // Re-exported so sink-wiring callers need not name `mediator_sim` at all.
 pub use mediator_sim::{RunMeta, TraceSink};
+pub use shard::{
+    coordinate, run_worker, worker_mem, worker_tcp, ShardConfig, ShardFrame, ShardListener,
+    ShardLog, ShardedSweep,
+};
 pub use tamper::{tamper_relay, DriverMode, TamperPlan, TamperReport, TransportKind, WireTactic};
 pub use transport::{
     duplex, pipe, ConnPair, FrameRx, FrameTx, FramedRx, FramedTx, MemTransport, PipeReader,

@@ -1040,8 +1040,17 @@ impl<M: Wire + Send + 'static> Reactor<M> {
                     }
                 }
             }
-            // `Outcome`/`Reject`/`Abort` only travel service → client.
-            Frame::Outcome { .. } | Frame::Reject { .. } | Frame::Abort { .. } => {}
+            // `Outcome`/`Reject`/`Abort` only travel service → client;
+            // shard lease frames belong to the shard coordinator plane,
+            // not a session service. All are dead on arrival here.
+            Frame::Outcome { .. }
+            | Frame::Reject { .. }
+            | Frame::Abort { .. }
+            | Frame::ShardRequest { .. }
+            | Frame::ShardGrant { .. }
+            | Frame::ShardResult { .. }
+            | Frame::ShardWitness { .. }
+            | Frame::ShardDrain => {}
         }
     }
 

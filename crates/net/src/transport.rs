@@ -399,6 +399,47 @@ impl MemTransport {
             inner: Arc::clone(&self.inner),
         }
     }
+
+    /// Blocking accept: parks until a dial arrives, returning the raw
+    /// server endpoint, or `None` once the hub is [`Self::close`]d with
+    /// an empty backlog. The thread-per-connection shard coordinator uses
+    /// this — the readiness-based [`MemListener`] stays the reactor's.
+    pub fn accept(&self) -> Option<(PipeWriter, PipeReader)> {
+        let (lock, cvar) = &*self.inner;
+        let mut hub = lock.lock().expect("hub poisoned");
+        loop {
+            if let Some(pair) = hub.queue.pop_front() {
+                return Some(pair);
+            }
+            if !hub.open {
+                return None;
+            }
+            hub = cvar.wait(hub).expect("hub poisoned");
+        }
+    }
+
+    /// Closes the hub: blocked [`Self::accept`] calls return `None`,
+    /// queued-but-unaccepted dials see EOF, and new dials fail fast.
+    pub fn close(&self) {
+        let (lock, cvar) = &*self.inner;
+        if let Ok(mut hub) = lock.lock() {
+            hub.open = false;
+            hub.queue.clear();
+            hub.watcher = None;
+            cvar.notify_all();
+        }
+    }
+}
+
+/// Cloning a hub clones the handle, not the hub: both ends dial and
+/// accept the same queue (how the shard coordinator and its in-process
+/// workers share one transport).
+impl Clone for MemTransport {
+    fn clone(&self) -> Self {
+        MemTransport {
+            inner: Arc::clone(&self.inner),
+        }
+    }
 }
 
 /// The [`NbListener`] over a [`MemTransport`] hub.

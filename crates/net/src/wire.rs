@@ -27,13 +27,16 @@ use std::fmt;
 /// except [`WIRE_VERSION_AUTH`], the authenticated `Msg` layout.
 pub const WIRE_VERSION: u8 = 1;
 
-/// The authenticated wire-format version: a `Msg` frame whose body ends in
-/// a per-session sequence number and an 8-byte SipHash-2-4 MAC (see the
-/// `auth` module). Only `Msg` frames travel under this version — control
-/// frames (`Attach`/`Outcome`/`Reject`/`Abort`) originate at the endpoint
-/// that also judges them, so they stay on [`WIRE_VERSION`]. A service
-/// running with authentication enabled rejects version-1 `Msg` frames
-/// (downgrade rejection): stripping the MAC is itself a detected tamper.
+/// The authenticated wire-format version: a frame whose body ends in a
+/// per-session sequence number and an 8-byte SipHash-2-4 MAC (see the
+/// `auth` module). Exactly two frame kinds travel under this version —
+/// `Msg` (session traffic) and `ShardResult` (sweep results, whose
+/// integrity decides a scientific verdict). Control frames
+/// (`Attach`/`Outcome`/`Reject`/`Abort`) and the other shard lease frames
+/// originate at the endpoint that also judges them, so they stay on
+/// [`WIRE_VERSION`]. A receiver running with authentication enabled
+/// rejects the version-1 form of an authenticable frame (downgrade
+/// rejection): stripping the MAC is itself a detected tamper.
 pub const WIRE_VERSION_AUTH: u8 = 2;
 
 /// A typed decode failure. Every malformed input maps to one of these —
@@ -67,6 +70,10 @@ pub enum CodecError {
         /// How many bytes were never consumed.
         extra: usize,
     },
+    /// A length-prefixed string whose bytes are not valid UTF-8. Strategy
+    /// names travel the shard lease frames as strings; a hostile byte
+    /// sequence must not reach `String` unchecked.
+    BadString,
 }
 
 impl fmt::Display for CodecError {
@@ -88,6 +95,7 @@ impl fmt::Display for CodecError {
             CodecError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the value")
             }
+            CodecError::BadString => write!(f, "string bytes are not valid UTF-8"),
         }
     }
 }
@@ -278,6 +286,21 @@ impl<T: Wire> Wire for Vec<T> {
             items.push(T::decode(r)?);
         }
         Ok(items)
+    }
+}
+
+/// A string travels as a varint byte length followed by its UTF-8 bytes
+/// (the same shape as `Vec<u8>`, with validity enforced on decode). Used
+/// by the shard lease frames for generated strategy names.
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = r.length()?;
+        let bytes = r.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadString)
     }
 }
 

@@ -88,7 +88,7 @@ pub mod prelude {
     pub use mediator_games::library;
     pub use mediator_net::{
         Client, DeliveryOrder, MemTransport, NetError, NetPlan, OutcomeSummary, Service,
-        ServiceConfig, SessionHandle, TcpTransport,
+        ServiceConfig, SessionHandle, ShardConfig, ShardedSweep, TcpTransport, TransportKind,
     };
     pub use mediator_sim::{
         Outcome, RunMeta, SchedulerKind, Session, SessionStatus, TerminationKind, TraceSink,
