@@ -65,6 +65,41 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--frontier") {
+        // FRONTIER.json mode: the lower-bound atlas (DESIGN.md §13).
+        // Enumerate the (n, k, t) grid straddling each theorem's boundary
+        // (`--fast` selects the small CI grid), classify every cell by
+        // experiment, machine-check the empirical boundary against the
+        // theorem predicate cell-for-cell, persist every Violated cell's
+        // witness as a replayable trace (see `--replay`), and write the
+        // deterministic artifact. With `--shard N` the whole grid is
+        // additionally run over N in-process workers on the mem transport
+        // and the rendered artifact is asserted byte-identical to the
+        // local fan-out. Exits nonzero if the map and the theorems
+        // disagree anywhere.
+        let out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--out="))
+            .unwrap_or("FRONTIER.json")
+            .to_string();
+        let witness_out = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--witness-out="))
+            .unwrap_or("FRONTIER-WITNESS.mtrc")
+            .to_string();
+        let shard = args
+            .iter()
+            .find_map(|a| a.strip_prefix("--shard=").map(str::to_string))
+            .or_else(|| {
+                args.iter()
+                    .position(|a| a == "--shard")
+                    .and_then(|i| args.get(i + 1).cloned())
+            })
+            .map(|v| v.parse::<usize>().expect("--shard takes a worker count"));
+        frontier_atlas(&out, &witness_out, fast, shard);
+        return;
+    }
+
     if args.iter().any(|a| a == "--conformance") {
         // CONFORMANCE.json mode: run the ε-resilience conformance battery
         // (reduced in --fast) and write the reports as a JSON artifact.
@@ -549,6 +584,38 @@ fn bench_trajectory(label: &str, out: &str, fast: bool, net_only: bool) {
         );
     }
 
+    // The frontier atlas (DESIGN.md §13): the fast grid end to end —
+    // every cell's build evidence, conformance sweep, and classification —
+    // once on the local thread fan-out and once sharded over 4 in-memory
+    // workers per cell. The artifacts are byte-identical by the
+    // differential suite, so the pair prices the plane over a
+    // heterogeneous-(n, k, t) workload.
+    if !net_only {
+        use mediator_core::frontier::{run_frontier_local, FrontierSpec};
+        use mediator_net::{run_frontier_sharded, ShardConfig, TransportKind};
+        let spec = FrontierSpec::fast();
+        let grid_cells = spec.cells().len() as u64;
+        let atlas_samples = if fast { 2 } else { 3 };
+        let ns = median_ns_per_op(atlas_samples, 1, || {
+            let atlas = run_frontier_local(&spec);
+            assert!(atlas.check().is_ok(), "fast grid matches the theorems");
+            atlas.results.len()
+        });
+        metrics.push(Metric::new("frontier_fast_grid_local", ns).with("cells", grid_cells));
+        let scfg = ShardConfig::default().lease_deadline(std::time::Duration::from_secs(60));
+        let ns = median_ns_per_op(atlas_samples, 1, || {
+            let (atlas, log) = run_frontier_sharded(&spec, 4, TransportKind::Mem, &scfg);
+            assert_eq!(log.failures(), 0, "clean bench run");
+            atlas.results.len()
+        });
+        metrics.push(
+            Metric::new("frontier_fast_grid_sharded_4w", ns)
+                .with("cells", grid_cells)
+                .with("workers", 4)
+                .with("hw_threads", workers as u64),
+        );
+    }
+
     for m in &metrics {
         println!("{:<34} {:>12} ns/op", m.name, m.ns_per_op);
     }
@@ -1019,6 +1086,122 @@ fn conformance_battery(out: &str, witness_out: &str, fast: bool, shard: Option<u
     }
 }
 
+/// `--frontier` — the lower-bound frontier atlas (DESIGN.md §13): run the
+/// grid, machine-check it against the theorem predicates, persist every
+/// `Violated` cell's witness run with its typed rebuild recipe, and write
+/// the deterministic `FRONTIER.json`. With `--shard N` the grid
+/// additionally runs over the PR 9 coordinator/worker plane and the
+/// artifact is asserted byte-identical to the local fan-out.
+fn frontier_atlas(out: &str, witness_out: &str, fast: bool, shard: Option<usize>) {
+    use mediator_core::frontier::{companion_plan, run_frontier_local, FrontierSpec, BOT};
+    use mediator_store::FrontierRecipe;
+
+    let spec = if fast {
+        FrontierSpec::fast()
+    } else {
+        FrontierSpec::full()
+    };
+    println!(
+        "# frontier atlas: '{}' grid, {} cells",
+        spec.name,
+        spec.cells().len()
+    );
+    let atlas = run_frontier_local(&spec);
+
+    let mut t = Table::new(
+        "Frontier atlas — empirical classification vs theorem predicate",
+        &["cell", "bound", "admits", "experiment", "class", "max gain"],
+    );
+    for r in &atlas.results {
+        t.row(vec![
+            r.cell.key(),
+            format!("n > {}", r.cell.bound()),
+            r.cell.admits().to_string(),
+            r.experiment.to_string(),
+            r.class.name().to_string(),
+            r.max_gain.map(f4).unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    println!("{t}");
+    let (res, vio, inc) = atlas.counts();
+    println!("resilient {res} / violated {vio} / inconclusive {inc}");
+
+    // The machine check: the empirical boundary must coincide with the
+    // theorem predicate on every cell.
+    if let Err(mismatches) = atlas.check() {
+        for m in &mismatches {
+            eprintln!("MISMATCH: {m}");
+        }
+        eprintln!(
+            "{} cell(s) contradict the theorem predicate",
+            mismatches.len()
+        );
+        std::process::exit(1);
+    }
+    println!("machine check: empirical boundary == theorem predicate on all cells");
+
+    // The sharded differential: the whole grid over the coordinator/
+    // worker plane must render the identical artifact, byte for byte.
+    if let Some(workers) = shard {
+        use mediator_net::{run_frontier_sharded, ShardConfig, TransportKind};
+        let cfg = ShardConfig::default().lease_deadline(std::time::Duration::from_secs(60));
+        let (sharded, log) = run_frontier_sharded(&spec, workers, TransportKind::Mem, &cfg);
+        assert_eq!(
+            atlas.to_json(),
+            sharded.to_json(),
+            "sharded atlas ({workers} workers) diverged from the local fan-out"
+        );
+        println!(
+            "sharded differential ({} workers, mem): byte-identical artifact, \
+             {} units leased, {} witnesses re-enacted, {} failures",
+            workers,
+            log.units(),
+            log.witnesses_reenacted(),
+            log.failures()
+        );
+    }
+
+    std::fs::write(out, atlas.to_json()).expect("write FRONTIER.json");
+    println!("wrote {out}");
+
+    // Persist every Violated cell's witness as a replayable trace: the
+    // deviant companion plan is rebuilt from the cell coordinates and the
+    // witness's (strategy, coalition) recipe, re-run at the witnessing
+    // (scheduler, seed), and recorded under a typed FrontierRecipe header
+    // so `--replay` needs nothing else.
+    let mut wstore = mediator_store::TraceStore::create(std::path::Path::new(witness_out))
+        .expect("create frontier witness store");
+    let mut stored = 0u64;
+    for (i, r) in atlas.violated().enumerate() {
+        let w = r.witness.as_ref().expect("violated cells carry witnesses");
+        let plan = companion_plan(r.cell.n, r.cell.k, r.cell.t);
+        let cell = mediator_deviant_cells(&plan, &w.coalition, Some(BOT))
+            .into_iter()
+            .find(|(s, _)| *s == w.strategy)
+            .unwrap_or_else(|| panic!("unknown mediator strategy '{}'", w.strategy))
+            .1;
+        let outcome = cell.run_with(&w.kind, w.seed);
+        let recipe = FrontierRecipe {
+            theorem: r.cell.theorem.name().to_string(),
+            cell_key: r.cell.key(),
+            strategy: w.strategy.clone(),
+            coalition: w.coalition.clone(),
+            deadlock: BOT,
+        };
+        let mut header = mediator_store::RunHeader::bare(i as u64, w.seed);
+        header.kind = Some(w.kind.clone());
+        header.plan = mediator_store::PlanKind::Mediator;
+        header.n = r.cell.n as u64;
+        header.k = r.cell.k as u64;
+        header.t = r.cell.t as u64;
+        header.meta = recipe.meta();
+        wstore.record(header, &outcome).expect("record witness");
+        stored += 1;
+    }
+    println!("stored {stored} witness trace(s) → {witness_out}");
+    println!("reproduce: cargo run -p mediator-bench --bin experiments -- --replay {witness_out}");
+}
+
 /// `--replay <store>` — re-enacts every run persisted in a trace log and
 /// checks each reproduces byte-identically: the header's metadata names
 /// the conformance entry and the (strategy, coalition) recipe, the plan
@@ -1073,6 +1256,24 @@ fn replay_store(path: &str) {
                         .unwrap_or_else(|| panic!("unknown mediator strategy '{strategy}'"))
                         .1;
                 }
+                mediator_store::replay_plan(&plan, &run).map(|r| r.termination)
+            }
+            mediator_store::FrontierRecipe::ENTRY => {
+                // A frontier-atlas witness: the header's typed recipe plus
+                // its (n, k, t) fields rebuild the companion plan and its
+                // deviant cell from scratch.
+                let recipe = mediator_store::FrontierRecipe::from_header(&run.header)
+                    .expect("frontier witnesses carry a well-formed recipe");
+                let plan = mediator_core::frontier::companion_plan(
+                    run.header.n as usize,
+                    run.header.k as usize,
+                    run.header.t as usize,
+                );
+                let plan = mediator_deviant_cells(&plan, &recipe.coalition, Some(recipe.deadlock))
+                    .into_iter()
+                    .find(|(s, _)| *s == recipe.strategy)
+                    .unwrap_or_else(|| panic!("unknown frontier strategy '{}'", recipe.strategy))
+                    .1;
                 mediator_store::replay_plan(&plan, &run).map(|r| r.termination)
             }
             other => {

@@ -39,6 +39,11 @@
 //!   harness** that sweeps generated coalition strategies × scheduler
 //!   battery × seeds and renders an ε-k-resilience verdict with confidence
 //!   intervals — or a concrete witnessing deviation.
+//! * [`frontier`] — the **lower-bound frontier atlas**: an `(n, k, t)`
+//!   grid straddling each theorem's boundary, every cell classified by
+//!   experiment (the theorem's own construction above the line, the §6.4
+//!   companion attack below it) and machine-checked against the theorem
+//!   predicate cell for cell, rendered as a deterministic `FRONTIER.json`.
 //! * [`egl`] — the Even–Goldreich–Lempel `O(1/ε)`-messages baseline the
 //!   paper compares against in §1.
 //! * [`lease`] — pure lease accounting ([`lease::LeaseLedger`]) for the
@@ -50,6 +55,7 @@ pub mod adversary;
 pub mod cheap_talk;
 pub mod deviations;
 pub mod egl;
+pub mod frontier;
 pub mod implement;
 pub mod lease;
 pub mod mediator;
@@ -63,6 +69,10 @@ pub use adversary::{
 };
 pub use cheap_talk::{run_cheap_talk, CheapTalkPlayer, CheapTalkSpec, CtMsg, CtVariant};
 pub use deviations::{Behavior, RobustnessReport};
+pub use frontier::{
+    run_frontier_local, CellClass, CellExperiment, CellResult, FrontierAtlas, FrontierCell,
+    FrontierSpec, PreparedCell, TheoremBand,
+};
 pub use lease::{LeaseLedger, Reclaim};
 pub use mediator::{run_mediator_game, MedMsg, MediatorGameSpec};
 pub use scenario::{

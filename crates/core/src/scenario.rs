@@ -105,7 +105,7 @@ fn tune_world_for_replay<M>(world: &mut World<M>, kind: &SchedulerKind) {
 }
 
 /// The four cheap-talk theorem regimes and their resilience thresholds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Theorem {
     /// Theorem 4.1 — fully robust cheap talk: `n > 4k + 4t`.
     Robust41,
@@ -268,6 +268,7 @@ impl Scenario {
             scheduler: SchedulerKind::Random,
             seed: 0,
             max_steps: 8_000_000,
+            allow_sub_threshold: false,
         }
     }
 
@@ -328,6 +329,7 @@ pub struct CheapTalk {
     scheduler: SchedulerKind,
     seed: u64,
     max_steps: u64,
+    allow_sub_threshold: bool,
 }
 
 impl CheapTalk {
@@ -433,6 +435,26 @@ impl CheapTalk {
         self
     }
 
+    /// Disables the build-time theorem-threshold rejection, letting the
+    /// plan be constructed at a sub-threshold `(n, k, t)` point — the
+    /// typed escape hatch the frontier atlas
+    /// ([`crate::frontier`]) uses to deliberately build cells *below*
+    /// each theorem's boundary.
+    ///
+    /// The default stays strict: without this call, [`CheapTalk::build`]
+    /// returns [`ScenarioError::Threshold`] for any `(n, k, t)` the
+    /// selected theorem does not admit. With it, the threshold check is
+    /// skipped — but the plan's guarantee is void below the boundary (the
+    /// lower-bound papers prove *no* protocol can restore it), and the
+    /// basic sanity check `k + t < n` is still enforced via
+    /// [`ScenarioError::ToleranceTooLarge`]: below that, the machinery
+    /// itself (sharing degree `k + t` among `n` points) is meaningless,
+    /// not merely unprotected.
+    pub fn allow_sub_threshold(mut self) -> Self {
+        self.allow_sub_threshold = true;
+        self
+    }
+
     /// The theorem regime the configured machinery selects.
     pub fn selected_theorem(&self) -> Theorem {
         match (self.kappa.is_some(), self.punishment.is_some()) {
@@ -456,12 +478,23 @@ impl CheapTalk {
         }
         let theorem = self.selected_theorem();
         if !theorem.admits(n, self.k, self.t) {
-            return Err(ScenarioError::Threshold {
-                theorem,
-                n,
-                k: self.k,
-                t: self.t,
-            });
+            if !self.allow_sub_threshold {
+                return Err(ScenarioError::Threshold {
+                    theorem,
+                    n,
+                    k: self.k,
+                    t: self.t,
+                });
+            }
+            // The hatch waives the theorem guarantee, not basic sense:
+            // a sharing degree of k + t needs strictly more points.
+            if self.k + self.t >= n {
+                return Err(ScenarioError::ToleranceTooLarge {
+                    n,
+                    k: self.k,
+                    t: self.t,
+                });
+            }
         }
         let arity = self.circuit.inputs_per_player().to_vec();
         let defaults = match self.defaults {

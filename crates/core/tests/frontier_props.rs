@@ -1,0 +1,140 @@
+//! Property tests for the frontier atlas's grid enumeration: every
+//! `(k, t, offset)` combination in a band's requested ranges appears
+//! exactly once (modulo the documented `n ≥ 1` cut), every cell's
+//! `admits` tag matches the theorem predicate `n > B(k, t)`, and the
+//! enumeration order is deterministic — band order, then lexicographic
+//! `(k, t, offset)`.
+
+use std::collections::HashSet;
+
+use mediator_core::frontier::{FrontierCell, FrontierSpec, TheoremBand, ALL_THEOREMS};
+use proptest::prelude::*;
+
+/// Assembles a band from seven scalar draws (the offline proptest shim
+/// generates tuples through the macro's bindings, not tuple strategies).
+#[allow(clippy::too_many_arguments)]
+fn band(thm: usize, k0: usize, kw: usize, t0: usize, tw: usize, o0: i64, ow: i64) -> TheoremBand {
+    TheoremBand::new(
+        ALL_THEOREMS[thm % ALL_THEOREMS.len()],
+        (k0, k0 + kw),
+        (t0, t0 + tw),
+        (o0, o0 + ow),
+    )
+}
+
+/// The brute-force reference: the set of cells a band denotes.
+fn reference(band: &TheoremBand) -> HashSet<FrontierCell> {
+    let mut set = HashSet::new();
+    for k in band.k.0..=band.k.1 {
+        for t in band.t.0..=band.t.1 {
+            for off in band.offsets.0..=band.offsets.1 {
+                let n = band.theorem.lower_bound(k, t) as i64 + off;
+                if n >= 1 {
+                    set.insert(FrontierCell {
+                        theorem: band.theorem,
+                        n: n as usize,
+                        k,
+                        t,
+                    });
+                }
+            }
+        }
+    }
+    set
+}
+
+proptest! {
+    #[test]
+    fn every_requested_cell_appears_exactly_once(
+        thm in 0usize..4,
+        k0 in 0usize..4, kw in 0usize..3,
+        t0 in 0usize..4, tw in 0usize..3,
+        o0 in -4i64..4, ow in 0i64..4,
+    ) {
+        let band = band(thm, k0, kw, t0, tw, o0, ow);
+        let cells = band.cells();
+        // No duplicates: within one theorem each (k, t, offset) denotes a
+        // distinct (n, k, t) point.
+        let unique: HashSet<_> = cells.iter().copied().collect();
+        prop_assert_eq!(unique.len(), cells.len(), "duplicate cells in {:?}", band);
+        // Exactly the reference set: nothing missing, nothing invented.
+        prop_assert_eq!(unique, reference(&band));
+    }
+
+    #[test]
+    fn admits_tags_match_the_theorem_predicate(
+        thm in 0usize..4,
+        k0 in 0usize..4, kw in 0usize..3,
+        t0 in 0usize..4, tw in 0usize..3,
+        o0 in -4i64..4, ow in 0i64..4,
+    ) {
+        for cell in band(thm, k0, kw, t0, tw, o0, ow).cells() {
+            let bound = cell.theorem.lower_bound(cell.k, cell.t);
+            prop_assert_eq!(cell.bound(), bound);
+            prop_assert_eq!(
+                cell.admits(),
+                cell.n > bound,
+                "cell {} mistagged against {}",
+                cell.key(),
+                cell.theorem
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_order_is_deterministic_and_lexicographic(
+        thm in 0usize..4,
+        k0 in 0usize..4, kw in 0usize..3,
+        t0 in 0usize..4, tw in 0usize..3,
+        o0 in -4i64..4, ow in 0i64..4,
+    ) {
+        let band = band(thm, k0, kw, t0, tw, o0, ow);
+        let first = band.cells();
+        // Deterministic across calls.
+        prop_assert_eq!(&first, &band.cells());
+        // Documented order: k ascending, then t, then offset (which at
+        // fixed (k, t) is n ascending).
+        let order: Vec<_> = first
+            .iter()
+            .map(|c| (c.k, c.t, c.n as i64 - c.bound() as i64))
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        prop_assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn multi_band_specs_concatenate_in_band_order(
+        a in 0usize..4, b in 0usize..4,
+        k0 in 0usize..4, t0 in 0usize..3,
+        o0 in -3i64..2, ow in 0i64..3,
+    ) {
+        // Two-band specs (possibly the same theorem twice) enumerate as
+        // the concatenation of their bands, in spec order.
+        let bands = vec![
+            band(a, k0, 1, t0, 0, o0, ow),
+            band(b, k0, 0, t0, 1, o0, ow),
+        ];
+        let spec = FrontierSpec {
+            name: "prop".to_string(),
+            bands: bands.clone(),
+            ..FrontierSpec::fast()
+        };
+        let concatenated: Vec<_> = bands.iter().flat_map(TheoremBand::cells).collect();
+        prop_assert_eq!(spec.cells(), concatenated);
+    }
+}
+
+#[test]
+fn the_shipped_grids_enumerate_deterministically() {
+    for spec in [
+        FrontierSpec::fast(),
+        FrontierSpec::full(),
+        FrontierSpec::tiny(),
+    ] {
+        assert_eq!(spec.cells(), spec.cells(), "{} grid drifted", spec.name);
+        // Shipped grids contain no degenerate duplicates either.
+        let unique: HashSet<_> = spec.cells().into_iter().collect();
+        assert_eq!(unique.len(), spec.cells().len());
+    }
+}

@@ -1,15 +1,24 @@
 //! Property tests: the `Scenario` builder accepts exactly the `(n, k, t)`
 //! triples satisfying each theorem's resilience bound — 4.1: `n > 4k+4t`,
 //! 4.2: `n > 3k+3t`, 4.4: `n > 3k+4t`, 4.5: `n > 2k+3t` — and returns the
-//! typed [`ScenarioError::Threshold`] (never a panic) otherwise.
+//! typed [`ScenarioError::Threshold`] (never a panic) otherwise. The
+//! `allow_sub_threshold()` escape hatch waives exactly the theorem check
+//! (the frontier atlas builds its below-boundary cells through it) while
+//! `k + t < n` stays enforced.
 
 use mediator_circuits::catalog;
 use mediator_core::scenario::{Scenario, ScenarioError, Theorem};
 use proptest::prelude::*;
 
 /// Builds a majority-circuit cheap-talk scenario in the given regime and
-/// returns the builder verdict.
-fn try_build(theorem: Theorem, n: usize, k: usize, t: usize) -> Result<(), ScenarioError> {
+/// returns the builder verdict. `hatch` engages `allow_sub_threshold()`.
+fn try_build_with(
+    theorem: Theorem,
+    n: usize,
+    k: usize,
+    t: usize,
+    hatch: bool,
+) -> Result<(), ScenarioError> {
     let mut builder = Scenario::cheap_talk(catalog::majority_circuit(n))
         .players(n)
         .tolerance(k, t);
@@ -19,8 +28,15 @@ fn try_build(theorem: Theorem, n: usize, k: usize, t: usize) -> Result<(), Scena
         Theorem::Punishment44 => builder.wills(vec![5; n]),
         Theorem::EpsilonPunishment45 => builder.epsilon(2).wills(vec![5; n]),
     };
+    if hatch {
+        builder = builder.allow_sub_threshold();
+    }
     assert_eq!(builder.selected_theorem(), theorem);
     builder.build().map(|_| ())
+}
+
+fn try_build(theorem: Theorem, n: usize, k: usize, t: usize) -> Result<(), ScenarioError> {
+    try_build_with(theorem, n, k, t, false)
 }
 
 /// The oracle each proptest checks the builder against.
@@ -95,4 +111,52 @@ proptest! {
             prop_assert!(try_build(theorem, bound + 1, k, t).is_ok());
         }
     }
+
+    #[test]
+    fn the_escape_hatch_waives_exactly_the_theorem_check(
+        n in 1usize..20,
+        k in 0usize..4,
+        t in 0usize..4,
+    ) {
+        // With `allow_sub_threshold()` the build verdict depends only on
+        // the basic sanity bound: a sharing degree of k + t needs strictly
+        // more than k + t evaluation points, theorem or no theorem.
+        for theorem in [
+            Theorem::Robust41,
+            Theorem::Epsilon42,
+            Theorem::Punishment44,
+            Theorem::EpsilonPunishment45,
+        ] {
+            let verdict = try_build_with(theorem, n, k, t, true);
+            if k + t < n {
+                prop_assert!(
+                    verdict.is_ok(),
+                    "hatch must build {theorem} at n = {n}, k = {k}, t = {t}: {verdict:?}"
+                );
+            } else {
+                prop_assert_eq!(
+                    verdict,
+                    Err(ScenarioError::ToleranceTooLarge { n, k, t }),
+                    "hatch must still reject k + t ≥ n"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_sec64_point_is_rejected_strictly_and_built_by_the_hatch() {
+    // The §6.4 frontier cell: n = 7 ≤ 4k + 4t = 8 under Theorem 4.1. The
+    // strict builder names the least admissible n; the hatch constructs
+    // the very same point for the atlas's below-boundary experiments.
+    let err = try_build(Theorem::Robust41, 7, 2, 0).expect_err("7 ≤ 8");
+    assert_eq!(err.required_n(), Some(9));
+    assert!(try_build_with(Theorem::Robust41, 7, 2, 0, true).is_ok());
+}
+
+#[test]
+fn the_hatch_is_a_no_op_above_the_boundary() {
+    // Admitted points build identically with or without the hatch.
+    assert!(try_build(Theorem::Robust41, 9, 2, 0).is_ok());
+    assert!(try_build_with(Theorem::Robust41, 9, 2, 0, true).is_ok());
 }

@@ -46,6 +46,10 @@
 //!   orphaned leases with typed owners, re-enacts `Violated` witnesses,
 //!   and renders verdicts **bit-identical** to a local sweep
 //!   ([`ShardedSweep`], DESIGN.md §12).
+//! * [`frontier`] — the lower-bound atlas over that plane:
+//!   [`run_frontier_sharded`] executes every grid cell's sweep through the
+//!   coordinator/worker machinery and must render a `FRONTIER.json`
+//!   byte-identical to the local fan-out (DESIGN.md §13).
 //!
 //! **The network is an adversarial scheduler.** A networked run delivers
 //! messages in whatever order the wire returns them — which is precisely a
@@ -84,6 +88,7 @@
 pub mod auth;
 pub mod client;
 pub mod frame;
+pub mod frontier;
 pub mod plan;
 mod reactor;
 pub mod readiness;
@@ -99,6 +104,7 @@ pub use frame::{
     peek_auth_session, Frame, NetError, OutcomeSummary, RejectReason, SessionId, MAX_FRAME_LEN,
     SHARD_COORD,
 };
+pub use frontier::{run_frontier_sharded, FrontierShardLog};
 pub use plan::NetPlan;
 pub use readiness::{ConnIo, NbListener, Poller, TryRead, TryWrite, Waker, ACCEPT_TOKEN};
 pub use service::{

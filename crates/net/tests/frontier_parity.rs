@@ -1,0 +1,71 @@
+//! Differential pin: the frontier atlas rendered from the sharded plane
+//! must be **byte-identical** to the local thread fan-out — same
+//! `to_bits`-level discipline as `shard_parity`, lifted from one report to
+//! the whole `FRONTIER.json` artifact, on both transports.
+
+use std::time::Duration;
+
+use mediator_core::frontier::{run_frontier_local, CellClass, FrontierSpec};
+use mediator_net::{run_frontier_sharded, ShardConfig, TransportKind};
+
+/// A generous lease deadline so debug-mode cell sweeps never lapse.
+fn clean_cfg() -> ShardConfig {
+    ShardConfig::default().lease_deadline(Duration::from_secs(60))
+}
+
+#[test]
+fn sharded_atlas_is_byte_identical_to_local_mem() {
+    let spec = FrontierSpec::tiny();
+    let local = run_frontier_local(&spec);
+    let (sharded, log) = run_frontier_sharded(&spec, 4, TransportKind::Mem, &clean_cfg());
+    assert_eq!(
+        local.to_json(),
+        sharded.to_json(),
+        "atlas artifacts drifted"
+    );
+    assert!(sharded.check().is_ok());
+    // Every executed cell went over the plane; both violated cells had
+    // their witness re-enacted by a worker before the verdict was sealed.
+    assert_eq!(log.cells.len(), 3);
+    assert_eq!(log.failures(), 0);
+    assert_eq!(log.witnesses_reenacted(), 2);
+}
+
+#[test]
+fn sharded_atlas_is_byte_identical_to_local_tcp() {
+    let spec = FrontierSpec::tiny();
+    let local = run_frontier_local(&spec);
+    let (sharded, log) = run_frontier_sharded(&spec, 2, TransportKind::Tcp, &clean_cfg());
+    assert_eq!(
+        local.to_json(),
+        sharded.to_json(),
+        "atlas artifacts drifted"
+    );
+    assert_eq!(log.failures(), 0);
+}
+
+#[test]
+fn per_cell_verdicts_survive_the_plane_structurally() {
+    // Beyond the byte diff: the sharded atlas classifies each tiny-grid
+    // cell exactly as the local one, witness coordinates included.
+    let spec = FrontierSpec::tiny();
+    let local = run_frontier_local(&spec);
+    let (sharded, _) = run_frontier_sharded(&spec, 3, TransportKind::Mem, &clean_cfg());
+    assert_eq!(local.results.len(), sharded.results.len());
+    for (a, b) in local.results.iter().zip(&sharded.results) {
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.evidence, b.evidence);
+        match (&a.witness, &b.witness) {
+            (None, None) => assert_ne!(a.class, CellClass::Violated),
+            (Some(wa), Some(wb)) => {
+                assert_eq!(wa.strategy, wb.strategy);
+                assert_eq!(wa.coalition, wb.coalition);
+                assert_eq!(wa.kind, wb.kind);
+                assert_eq!(wa.seed, wb.seed);
+                assert_eq!(wa.gain.mean.to_bits(), wb.gain.mean.to_bits());
+            }
+            (a, b) => panic!("witnesses diverged: local {a:?} vs sharded {b:?}"),
+        }
+    }
+}

@@ -32,11 +32,13 @@
 
 pub mod codec;
 pub mod format;
+pub mod recipe;
 pub mod replay;
 pub mod sink;
 pub mod store;
 
 pub use codec::{OutcomeRecord, PlanKind, RunHeader, StoreError};
+pub use recipe::FrontierRecipe;
 pub use replay::{
     replay_networked_session, replay_plan, replay_run, stored_script, ReplayError, ReplayReport,
 };

@@ -1,0 +1,129 @@
+//! Typed rebuild recipes for frontier-atlas witnesses.
+//!
+//! A `Violated` frontier cell persists its witness run to the trace store;
+//! the header's free-form metadata must then carry everything `--replay`
+//! needs to rebuild the deviant plan *from scratch* — the theorem regime,
+//! the cell coordinates (already in the header's `n`/`k`/`t` fields), and
+//! the `(strategy, coalition, deadlock)` deviation recipe. This module
+//! gives that contract a type instead of scattering string keys across the
+//! recorder and the replayer.
+
+use crate::codec::RunHeader;
+
+/// The metadata recipe a frontier witness run carries in its header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierRecipe {
+    /// The theorem whose boundary the cell probes, by paper number
+    /// (`"4.1"`, `"4.2"`, `"4.4"`, `"4.5"`).
+    pub theorem: String,
+    /// The cell's stable atlas key (`thm4.1-n7-k2-t0`), for display and
+    /// cross-referencing against `FRONTIER.json`.
+    pub cell_key: String,
+    /// The generated deviant strategy the witness exercises
+    /// (e.g. `deadlock-if-bit=0`).
+    pub strategy: String,
+    /// The colluding coalition, ascending player ids.
+    pub coalition: Vec<usize>,
+    /// The deadlock/punishment action (`⊥`) the resolve step falls back
+    /// to.
+    pub deadlock: u64,
+}
+
+impl FrontierRecipe {
+    /// The `entry` metadata value that marks a run as a frontier witness —
+    /// the discriminant `--replay` dispatches on.
+    pub const ENTRY: &'static str = "frontier-cell";
+
+    /// Renders the recipe as header metadata (including the
+    /// [`ENTRY`](Self::ENTRY) marker), in stable key order.
+    pub fn meta(&self) -> Vec<(String, String)> {
+        let coalition = self
+            .coalition
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        vec![
+            ("entry".to_string(), Self::ENTRY.to_string()),
+            ("theorem".to_string(), self.theorem.clone()),
+            ("cell".to_string(), self.cell_key.clone()),
+            ("strategy".to_string(), self.strategy.clone()),
+            ("coalition".to_string(), coalition),
+            ("deadlock".to_string(), self.deadlock.to_string()),
+        ]
+    }
+
+    /// Parses a recipe back out of a persisted header. Returns `None`
+    /// when the run is not a frontier witness (its `entry` differs) or a
+    /// required key is missing or malformed — replay then falls through to
+    /// the other entry kinds.
+    pub fn from_header(header: &RunHeader) -> Option<Self> {
+        if header.meta_value("entry") != Some(Self::ENTRY) {
+            return None;
+        }
+        let coalition = header
+            .meta_value("coalition")?
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.parse().ok())
+            .collect::<Option<Vec<usize>>>()?;
+        Some(FrontierRecipe {
+            theorem: header.meta_value("theorem")?.to_string(),
+            cell_key: header.meta_value("cell")?.to_string(),
+            strategy: header.meta_value("strategy")?.to_string(),
+            coalition,
+            deadlock: header.meta_value("deadlock")?.parse().ok()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recipe() -> FrontierRecipe {
+        FrontierRecipe {
+            theorem: "4.1".to_string(),
+            cell_key: "thm4.1-n7-k2-t0".to_string(),
+            strategy: "deadlock-if-bit=0".to_string(),
+            coalition: vec![0, 1],
+            deadlock: 2,
+        }
+    }
+
+    #[test]
+    fn meta_roundtrips_through_a_header() {
+        let r = recipe();
+        let mut header = RunHeader::bare(17, 3);
+        header.meta = r.meta();
+        assert_eq!(FrontierRecipe::from_header(&header), Some(r));
+    }
+
+    #[test]
+    fn foreign_entries_are_not_claimed() {
+        let mut header = RunHeader::bare(0, 0);
+        header.meta = vec![("entry".to_string(), "ct-thm41".to_string())];
+        assert_eq!(FrontierRecipe::from_header(&header), None);
+    }
+
+    #[test]
+    fn malformed_coalitions_are_rejected_not_mangled() {
+        let mut header = RunHeader::bare(0, 0);
+        header.meta = recipe().meta();
+        for kv in header.meta.iter_mut() {
+            if kv.0 == "coalition" {
+                kv.1 = "0,x".to_string();
+            }
+        }
+        assert_eq!(FrontierRecipe::from_header(&header), None);
+    }
+
+    #[test]
+    fn empty_coalition_roundtrips() {
+        let mut r = recipe();
+        r.coalition.clear();
+        let mut header = RunHeader::bare(0, 0);
+        header.meta = r.meta();
+        assert_eq!(FrontierRecipe::from_header(&header), Some(r));
+    }
+}

@@ -15,8 +15,9 @@
 //! * [`vss`] — Shamir, online error correction, AVSS, detectable sharing;
 //! * [`mpc`] — the robust (`n > 4f`) and ε (`n > 3f`) MPC engines;
 //! * [`core`] — mediator games, the four cheap-talk transforms
-//!   (Theorems 4.1/4.2/4.4/4.5), Lemma 6.8, the deviation library and the
-//!   experiment machinery;
+//!   (Theorems 4.1/4.2/4.4/4.5), Lemma 6.8, the deviation library, the
+//!   experiment machinery, and the lower-bound frontier atlas
+//!   (DESIGN.md §13);
 //! * [`net`] — the transport plane: versioned wire codec, in-memory and
 //!   TCP-loopback transports, and the networked multi-session `Service`
 //!   runtime over the `Session` seam (DESIGN.md §9);
@@ -76,6 +77,10 @@ pub mod prelude {
         GossipColluder,
     };
     pub use mediator_core::deviations::Behavior;
+    pub use mediator_core::frontier::{
+        run_frontier_local, CellClass, CellResult, FrontierAtlas, FrontierCell, FrontierSpec,
+        TheoremBand,
+    };
     pub use mediator_core::implement::{compare_run_sets, ImplementationReport};
     pub use mediator_core::scenario::{
         Batch, CheapTalkPlan, DeviantFactory, MediatorPlan, Resolve, RunRecord, RunSet, Scenario,
@@ -87,14 +92,15 @@ pub mod prelude {
     pub use mediator_games::dist::OutcomeDist;
     pub use mediator_games::library;
     pub use mediator_net::{
-        Client, DeliveryOrder, MemTransport, NetError, NetPlan, OutcomeSummary, Service,
-        ServiceConfig, SessionHandle, ShardConfig, ShardedSweep, TcpTransport, TransportKind,
+        run_frontier_sharded, Client, DeliveryOrder, FrontierShardLog, MemTransport, NetError,
+        NetPlan, OutcomeSummary, Service, ServiceConfig, SessionHandle, ShardConfig, ShardedSweep,
+        TcpTransport, TransportKind,
     };
     pub use mediator_sim::{
         Outcome, RunMeta, SchedulerKind, Session, SessionStatus, TerminationKind, TraceSink,
     };
     pub use mediator_store::{
-        replay_plan, HeaderTemplate, PlanKind, ReplayError, ReplayReport, RunHeader, StoreSink,
-        StoredRun, TraceStore,
+        replay_plan, FrontierRecipe, HeaderTemplate, PlanKind, ReplayError, ReplayReport,
+        RunHeader, StoreSink, StoredRun, TraceStore,
     };
 }

@@ -1,0 +1,152 @@
+//! Integration: the lower-bound frontier atlas (DESIGN.md §13).
+//!
+//! The tiny grid covers both sides of the boundary with both experiment
+//! kinds: the §6.4 cell (Theorem 4.1 at `n = 7 ≤ 4k = 8`, companion
+//! attack) plus Theorem 4.5 at its bound (`n = 4`, a freshly discovered
+//! sub-threshold violation) and one above it (`n = 5`, the ε+punishment
+//! construction certified resilient). The atlas's machine check must find
+//! the empirical classification identical to the theorem predicate, and
+//! every `Violated` cell's witness must persist to the trace store and
+//! re-enact byte-identically through `replay_plan` — the same recipe
+//! `experiments -- --replay` uses.
+
+use mediator_talk::core::adversary::mediator_deviant_cells;
+use mediator_talk::core::frontier::{companion_plan, run_frontier_local, CellClass, FrontierSpec};
+use mediator_talk::prelude::*;
+
+#[test]
+fn the_tiny_grid_matches_the_theorem_predicate_cell_for_cell() {
+    let spec = FrontierSpec::tiny();
+    let atlas = run_frontier_local(&spec);
+    atlas
+        .check()
+        .unwrap_or_else(|m| panic!("atlas mismatches: {m:#?}"));
+    let (resilient, violated, inconclusive) = atlas.counts();
+    assert_eq!(
+        (resilient, violated, inconclusive),
+        (1, 2, 0),
+        "tiny grid: one admitted cell, two sub-threshold cells"
+    );
+
+    // The §6.4 cell rediscovers the paper's attack verbatim: the
+    // opposite-parity pair decodes the leaked bit and deadlocks on b = 0.
+    let sec64 = atlas
+        .results
+        .iter()
+        .find(|r| r.cell.key() == "thm4.1-n7-k2-t0")
+        .expect("the §6.4 cell is on the tiny grid");
+    assert_eq!(sec64.class, CellClass::Violated);
+    assert_eq!(sec64.evidence.strict_build, "rejected(required_n=9)");
+    assert_eq!(sec64.evidence.hatch_build, "ok");
+    let w = sec64
+        .witness
+        .as_ref()
+        .expect("violated cells carry witnesses");
+    assert_eq!(w.strategy, "deadlock-if-bit=0");
+    assert_eq!(w.coalition, vec![0, 1]);
+
+    // The fresh Theorem 4.5 cell right on its bound (n = 4 ≤ 2k = 4)
+    // violates through the same companion structure.
+    let fresh = atlas
+        .results
+        .iter()
+        .find(|r| r.cell.key() == "thm4.5-n4-k2-t0")
+        .expect("the 4.5 bound cell is on the tiny grid");
+    assert_eq!(fresh.class, CellClass::Violated);
+    assert!(fresh.witness.is_some());
+
+    // The admitted 4.5 cell (n = 5 > 4) certifies resilient through the
+    // ε+punishment construction itself.
+    let admitted = atlas
+        .results
+        .iter()
+        .find(|r| r.cell.key() == "thm4.5-n5-k2-t0")
+        .expect("the admitted 4.5 cell is on the tiny grid");
+    assert_eq!(admitted.class, CellClass::Resilient);
+    assert_eq!(admitted.evidence.strict_build, "ok");
+    assert_eq!(admitted.experiment, "cheap-talk:eps+wills");
+
+    // The artifact is deterministic and carries the machine check's
+    // verdict.
+    assert_eq!(atlas.to_json(), run_frontier_local(&spec).to_json());
+    assert!(atlas
+        .to_json()
+        .contains("\"matches_theorem_predicate\": true"));
+}
+
+#[test]
+fn every_violated_cell_persists_a_witness_that_replays_byte_identically() {
+    let bot = library::BOTTOM as u64;
+    let atlas = run_frontier_local(&FrontierSpec::tiny());
+    let dir = std::env::temp_dir().join(format!("frontier-witness-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tiny.mtrc");
+    let _ = std::fs::remove_file(&path);
+
+    // Persist: rebuild each witness's deviant plan from its (strategy,
+    // coalition) recipe, re-run it at the witnessing (scheduler, seed),
+    // and record the trace under a FrontierRecipe header — exactly what
+    // `experiments -- --frontier` does.
+    let mut store = TraceStore::create(&path).expect("create store");
+    let mut recorded = Vec::new();
+    for (i, r) in atlas.violated().enumerate() {
+        let w = r.witness.as_ref().expect("violated ⇒ witness");
+        let plan = companion_plan(r.cell.n, r.cell.k, r.cell.t);
+        let deviant = mediator_deviant_cells(&plan, &w.coalition, Some(bot))
+            .into_iter()
+            .find(|(s, _)| *s == w.strategy)
+            .unwrap_or_else(|| panic!("unknown strategy '{}'", w.strategy))
+            .1;
+        let outcome = deviant.run_with(&w.kind, w.seed);
+        let recipe = FrontierRecipe {
+            theorem: r.cell.theorem.name().to_string(),
+            cell_key: r.cell.key(),
+            strategy: w.strategy.clone(),
+            coalition: w.coalition.clone(),
+            deadlock: bot,
+        };
+        let mut header = RunHeader::bare(i as u64, w.seed);
+        header.kind = Some(w.kind.clone());
+        header.plan = PlanKind::Mediator;
+        header.n = r.cell.n as u64;
+        header.k = r.cell.k as u64;
+        header.t = r.cell.t as u64;
+        header.meta = recipe.meta();
+        store.record(header, &outcome).expect("record witness");
+        recorded.push(r.cell.key());
+    }
+    assert_eq!(
+        recorded,
+        vec!["thm4.1-n7-k2-t0", "thm4.5-n4-k2-t0"],
+        "both violated cells persisted"
+    );
+
+    // Replay: reopen the store cold, rebuild each plan purely from the
+    // persisted recipe, and demand a byte-identical re-enactment.
+    let store = TraceStore::open(&path).expect("reopen store");
+    assert_eq!(store.len(), 2);
+    for id in store.ids().collect::<Vec<_>>() {
+        let run = store.load(id).expect("stored run loads");
+        let recipe = FrontierRecipe::from_header(&run.header)
+            .expect("frontier witnesses carry their recipe");
+        let plan = companion_plan(
+            run.header.n as usize,
+            run.header.k as usize,
+            run.header.t as usize,
+        );
+        let deviant = mediator_deviant_cells(&plan, &recipe.coalition, Some(recipe.deadlock))
+            .into_iter()
+            .find(|(s, _)| s == &recipe.strategy)
+            .unwrap_or_else(|| panic!("unknown stored strategy '{}'", recipe.strategy))
+            .1;
+        // `replay_plan` already asserts the re-recorded trace is
+        // byte-identical; outcome equality on top: the re-enactment ends
+        // the same way the witness run did (the deadlock collusion's runs
+        // terminate by deadlock, not quiescence).
+        let report = replay_plan(&deviant, &run)
+            .unwrap_or_else(|e| panic!("{} failed to replay: {e:?}", recipe.cell_key));
+        assert_eq!(report.termination, run.outcome.termination);
+        assert_eq!(report.termination, TerminationKind::Deadlock);
+    }
+    let _ = std::fs::remove_file(&path);
+}
